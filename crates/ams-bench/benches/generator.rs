@@ -1,0 +1,34 @@
+//! Micro-bench: scene generation and ground-truth construction (the data
+//! substrate's throughput — the paper's equivalent step took 6 GPU-days).
+
+use ams::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_generator(c: &mut Criterion) {
+    let zoo = ModelZoo::standard();
+    let catalog = zoo.catalog();
+    let generator = DatasetProfile::Coco2017.generator(7);
+
+    c.bench_function("generate_one_scene", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(generator.scene(black_box(i)))
+        })
+    });
+
+    c.bench_function("infer_full_zoo_on_scene", |b| {
+        let scene = generator.scene(3);
+        b.iter(|| black_box(infer_all(black_box(&scene), &zoo, &catalog, 7)))
+    });
+
+    c.bench_function("truth_table_100_items", |b| {
+        b.iter(|| {
+            let ds = Dataset::generate(DatasetProfile::Coco2017, 100, 7);
+            black_box(TruthTable::build(&zoo, &catalog, &ds, 0.5))
+        })
+    });
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

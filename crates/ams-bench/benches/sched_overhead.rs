@@ -1,0 +1,62 @@
+//! Micro-bench for Table III: the full per-iteration scheduling overhead —
+//! one value prediction plus one greedy selection — for Algorithm 1 and
+//! Algorithm 2 style scoring.
+
+use ams::core::predictor::{OraclePredictor, ValuePredictor};
+use ams::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn fixture() -> (ModelZoo, TruthTable) {
+    let zoo = ModelZoo::standard();
+    let ds = Dataset::generate(DatasetProfile::Coco2017, 8, 7);
+    let table = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+    (zoo, table)
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let (zoo, table) = fixture();
+    let oracle = OraclePredictor::new(zoo.len(), 0.5);
+    let item = table.item(0).clone();
+
+    c.bench_function("algorithm1_full_item_1s_budget", |b| {
+        b.iter(|| {
+            let r = schedule_deadline(&oracle, &zoo, black_box(&item), 1000, 0.5);
+            black_box(r.value)
+        })
+    });
+
+    c.bench_function("algorithm2_full_item_1s_16gb", |b| {
+        b.iter(|| {
+            let r = schedule_deadline_memory(&oracle, &zoo, black_box(&item), 1000, 16384, 0.5);
+            black_box(r.value)
+        })
+    });
+
+    c.bench_function("optimal_star_deadline", |b| {
+        b.iter(|| {
+            black_box(ams::core::scheduler::optimal_star::optimal_star_deadline(
+                &zoo,
+                black_box(&item),
+                1000,
+                0.5,
+            ))
+        })
+    });
+
+    // a single prediction+selection step (the 3-6 ms of the paper's agent)
+    let state = LabelSet::new(1104);
+    c.bench_function("single_greedy_decision", |b| {
+        b.iter(|| {
+            let q = oracle.predict(black_box(&state), &item);
+            let best = q
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i);
+            black_box(best)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerates one experiment of the paper; see DESIGN.md §4.
+//! Pass `--smoke` for a fast low-fidelity run.
+use ams_bench::experiments::*;
+use ams_bench::{ExperimentConfig, Harness};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke { ExperimentConfig::smoke() } else { ExperimentConfig::default() };
+    let mut h = Harness::new(cfg);
+    fig09_theta(&mut h);
+}

@@ -1,0 +1,41 @@
+//! Internal calibration probe: choose the default discount factor γ by
+//! measuring both the Q-greedy (Fig. 4/5) and Algorithm 1/2 (Figs. 10/11)
+//! behaviour of agents trained at several γ values.
+use ams::core::policies::{aggregate_rollouts, predictor_greedy_rollout, random_rollout};
+use ams::core::scheduler::optimal_star;
+use ams::prelude::*;
+
+fn main() {
+    let zoo = ModelZoo::standard();
+    let catalog = zoo.catalog();
+    let ds = Dataset::generate(DatasetProfile::Coco2017, 600, 20200208);
+    let table = TruthTable::build(&zoo, &catalog, &ds, 0.5);
+    let split = ds.split_1_to_4();
+    let (train_items, test_items) = table.split(split);
+    let items: Vec<ItemTruth> = test_items.iter().take(200).cloned().collect();
+
+    let (rm, _) = aggregate_rollouts(items.iter(), |it| random_rollout(it, &zoo, 0.8, 0.5, 5));
+    println!("random models@0.8 = {rm:.2}");
+
+    for gamma in [0.9f32, 0.5, 0.3, 0.1] {
+        let cfg = TrainConfig { episodes: 1200, gamma, ..TrainConfig::new(Algo::DuelingDqn) };
+        let (agent, _) = train(train_items, zoo.len(), &cfg);
+        let p = AgentPredictor::new(agent);
+        let (m08, _) = aggregate_rollouts(items.iter(), |it| predictor_greedy_rollout(it, &zoo, &p, 0.8, 0.5));
+        let (m10, _) = aggregate_rollouts(items.iter(), |it| predictor_greedy_rollout(it, &zoo, &p, 1.0, 0.5));
+        // Alg1 at 0.5s and 1s
+        let mut a05 = 0.0; let mut a10 = 0.0; let mut s05 = 0.0;
+        let mut mem08 = 0.0;
+        for it in &items {
+            a05 += schedule_deadline(&p, &zoo, it, 500, 0.5).recall;
+            a10 += schedule_deadline(&p, &zoo, it, 1000, 0.5).recall;
+            s05 += optimal_star::recall::deadline(&zoo, it, 500, 0.5);
+            mem08 += schedule_deadline_memory(&p, &zoo, it, 800, 8192, 0.5).recall;
+        }
+        let n = items.len() as f64;
+        println!(
+            "gamma {gamma}: qgreedy m@0.8={m08:.2} m@1.0={m10:.2} | alg1 r@0.5s={:.3} r@1s={:.3} (star@0.5s={:.3}) | alg2 r@0.8s/8GB={:.3}",
+            a05 / n, a10 / n, s05 / n, mem08 / n
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! # ams-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§II and
+//! §VI) on the simulation substrate. Each experiment is a library function
+//! so the per-figure binaries and the `run_all` binary share one
+//! implementation; results are printed as aligned tables (the same
+//! rows/series the paper plots) and written as JSON under `results/`.
+//!
+//! Absolute numbers differ from the paper (its testbed was a Tesla P100
+//! running real DNNs); the claims being reproduced are the *shapes*: who
+//! wins, by roughly what factor, and where crossovers fall. EXPERIMENTS.md
+//! records paper-vs-measured for every experiment.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{ExperimentConfig, Harness};

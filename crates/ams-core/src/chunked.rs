@@ -1,0 +1,244 @@
+//! Explore–exploit scheduling for correlated chunks (§I).
+//!
+//! The paper observes that when the stream partitions into chunks with
+//! correlated content (e.g. video segments), a simple strategy works
+//! extremely well: *explore* at the head of each chunk by running all
+//! models on a few items to discover which subset is valuable there, then
+//! *exploit* by running only that subset on the remainder.
+//!
+//! This module implements that scheduler over chunked streams of scenes and
+//! reports the time saved and recall retained — the `ablation_chunked`
+//! bench regenerates the claim.
+
+use ams_data::dataset::Dataset;
+use ams_data::{DatasetProfile, ItemTruth, TruthTable};
+use ams_models::{ModelId, ModelZoo};
+
+/// Configuration of the explore–exploit scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedConfig {
+    /// Items at the head of each chunk executed with *all* models.
+    pub explore_items: usize,
+    /// Greedy subset selection stops when the best remaining model's
+    /// marginal value across the explore items falls below this fraction of
+    /// the explore items' total value. This prunes redundant same-task
+    /// variants, not just worthless models.
+    pub min_gain_fraction: f64,
+    /// Valuable-label confidence threshold.
+    pub value_threshold: f32,
+}
+
+impl Default for ChunkedConfig {
+    fn default() -> Self {
+        Self { explore_items: 4, min_gain_fraction: 0.006, value_threshold: 0.5 }
+    }
+}
+
+/// Outcome over one chunk.
+#[derive(Debug, Clone)]
+pub struct ChunkOutcome {
+    /// Models kept for the exploit phase.
+    pub exploited_models: Vec<ModelId>,
+    /// Total execution time spent on the chunk, ms.
+    pub time_ms: u64,
+    /// Mean recall across the chunk's items.
+    pub mean_recall: f64,
+}
+
+/// Run explore–exploit over one chunk of ground-truth items.
+pub fn run_chunk(items: &[ItemTruth], zoo: &ModelZoo, cfg: &ChunkedConfig) -> ChunkOutcome {
+    let n_models = zoo.len();
+    let explore = cfg.explore_items.min(items.len());
+    let mut time_ms = 0u64;
+    let mut recall_sum = 0.0f64;
+
+    // Explore: run everything on the chunk head.
+    for _item in &items[..explore] {
+        for m in 0..n_models {
+            time_ms += u64::from(zoo.spec(ModelId(m as u8)).time_ms);
+        }
+        recall_sum += 1.0; // full execution recalls everything
+    }
+
+    // Greedy coverage over the explore items: repeatedly keep the model
+    // with the highest marginal recalled value per second, until the best
+    // remaining gain is a negligible fraction of the explore value. Unlike
+    // a per-model "was it valuable" filter, this drops same-task variants
+    // whose labels a kept model already covers.
+    let mut keep: Vec<ModelId> = Vec::new();
+    if explore > 0 {
+        let total_explore_value: f64 =
+            items[..explore].iter().map(|it| it.total_value).sum();
+        let mut states: Vec<ams_models::LabelSet> =
+            items[..explore].iter().map(|it| ams_models::LabelSet::new(it.universe())).collect();
+        let mut kept_mask = 0u64;
+        loop {
+            let mut best: Option<(usize, f64, f64)> = None; // (model, gain, density)
+            for m in 0..n_models {
+                if kept_mask >> m & 1 == 1 {
+                    continue;
+                }
+                let id = ModelId(m as u8);
+                let gain: f64 = items[..explore]
+                    .iter()
+                    .zip(&states)
+                    .map(|(it, st)| it.marginal_value(st, id, cfg.value_threshold))
+                    .sum();
+                let density = gain / f64::from(zoo.spec(id).time_ms).max(1.0);
+                if best.map(|(_, _, d)| density > d).unwrap_or(true) {
+                    best = Some((m, gain, density));
+                }
+            }
+            let Some((m, gain, _)) = best else { break };
+            if gain < cfg.min_gain_fraction * total_explore_value.max(1e-9) {
+                break;
+            }
+            let id = ModelId(m as u8);
+            kept_mask |= 1 << m;
+            keep.push(id);
+            for (it, st) in items[..explore].iter().zip(states.iter_mut()) {
+                it.apply(st, id, cfg.value_threshold);
+            }
+        }
+    }
+
+    // Exploit: run only the kept subset.
+    for item in &items[explore..] {
+        for &id in &keep {
+            time_ms += u64::from(zoo.spec(id).time_ms);
+        }
+        recall_sum += item.recall_of_set(&keep, cfg.value_threshold);
+    }
+
+    let mean_recall = if items.is_empty() { 1.0 } else { recall_sum / items.len() as f64 };
+    ChunkOutcome { exploited_models: keep, time_ms, mean_recall }
+}
+
+/// Build a chunked stream: `num_chunks` chunks of `chunk_len` scenes, each
+/// chunk drawn from a single scene template (maximally correlated content,
+/// like frames of one video segment). Returns one [`TruthTable`] per chunk.
+pub fn chunked_stream(
+    zoo: &ModelZoo,
+    chunk_len: usize,
+    num_chunks: usize,
+    world_seed: u64,
+    threshold: f32,
+) -> Vec<TruthTable> {
+    use ams_data::SceneGenerator;
+    use ams_data::TemplateKind;
+    let catalog = zoo.catalog();
+    let kinds = TemplateKind::ALL;
+    (0..num_chunks)
+        .map(|c| {
+            let kind = kinds[c % kinds.len()];
+            let generator =
+                SceneGenerator::new(vec![(kind, 1.0)], world_seed, 0xC00C + c as u64);
+            let dataset = Dataset {
+                profile: DatasetProfile::Coco2017, // profile tag is irrelevant here
+                scenes: generator.scenes(chunk_len),
+                world_seed,
+            };
+            TruthTable::build(zoo, &catalog, &dataset, threshold)
+        })
+        .collect()
+}
+
+/// Aggregate explore–exploit over a whole chunked stream; returns
+/// `(total time ms, mean recall, no-policy time ms)`.
+pub fn run_stream(chunks: &[TruthTable], zoo: &ModelZoo, cfg: &ChunkedConfig) -> (u64, f64, u64) {
+    let mut time = 0u64;
+    let mut recall = 0.0f64;
+    let mut items = 0usize;
+    for chunk in chunks {
+        let out = run_chunk(chunk.items(), zoo, cfg);
+        time += out.time_ms;
+        recall += out.mean_recall * chunk.len() as f64;
+        items += chunk.len();
+    }
+    let no_policy = u64::from(zoo.total_time_ms()) * items as u64;
+    (time, if items > 0 { recall / items as f64 } else { 1.0 }, no_policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (ModelZoo, Vec<TruthTable>) {
+        let zoo = ModelZoo::standard();
+        let chunks = chunked_stream(&zoo, 12, 4, 91, 0.5);
+        (zoo, chunks)
+    }
+
+    #[test]
+    fn chunks_are_template_homogeneous() {
+        let (_, chunks) = fixture();
+        assert_eq!(chunks.len(), 4);
+        for c in &chunks {
+            assert_eq!(c.len(), 12);
+        }
+    }
+
+    #[test]
+    fn explore_exploit_saves_time_with_high_recall() {
+        let (zoo, chunks) = fixture();
+        let cfg = ChunkedConfig::default();
+        let (time, recall, no_policy) = run_stream(&chunks, &zoo, &cfg);
+        assert!(
+            time < no_policy / 2,
+            "chunked explore-exploit should save >50% ({time} vs {no_policy})"
+        );
+        assert!(recall > 0.85, "recall should stay high ({recall:.3})");
+    }
+
+    #[test]
+    fn exploit_set_is_much_smaller_than_zoo() {
+        let (zoo, chunks) = fixture();
+        let cfg = ChunkedConfig::default();
+        for chunk in &chunks {
+            let out = run_chunk(chunk.items(), &zoo, &cfg);
+            assert!(
+                out.exploited_models.len() < zoo.len(),
+                "exploit subset should shrink ({} models)",
+                out.exploited_models.len()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_explore_keeps_nothing() {
+        let (zoo, chunks) = fixture();
+        let cfg = ChunkedConfig { explore_items: 0, ..Default::default() };
+        let out = run_chunk(chunks[0].items(), &zoo, &cfg);
+        assert!(out.exploited_models.is_empty());
+    }
+
+    #[test]
+    fn exploit_set_avoids_same_task_redundancy() {
+        // Greedy coverage should keep roughly one model per relevant task,
+        // not all three variants.
+        let (zoo, chunks) = fixture();
+        let cfg = ChunkedConfig::default();
+        for chunk in &chunks {
+            let out = run_chunk(chunk.items(), &zoo, &cfg);
+            let mut per_task = std::collections::HashMap::new();
+            for m in &out.exploited_models {
+                *per_task.entry(zoo.spec(*m).task).or_insert(0usize) += 1;
+            }
+            let triples = per_task.values().filter(|&&c| c == 3).count();
+            assert!(
+                triples <= 2,
+                "at most a couple of tasks should need all three variants ({per_task:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn full_explore_equals_no_policy_time() {
+        let (zoo, chunks) = fixture();
+        let cfg = ChunkedConfig { explore_items: usize::MAX, ..Default::default() };
+        let out = run_chunk(chunks[0].items(), &zoo, &cfg);
+        let expected = u64::from(zoo.total_time_ms()) * chunks[0].len() as u64;
+        assert_eq!(out.time_ms, expected);
+        assert!((out.mean_recall - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,272 @@
+//! The user-facing facade: Fig. 3's
+//! "prediction → scheduling → execution → state update" loop behind one
+//! type.
+//!
+//! [`AdaptiveModelScheduler`] owns the zoo, the catalog and a value
+//! predictor, and labels data items under a chosen [`Budget`]. In the paper
+//! the execution step invokes real models on a GPU; here it consults the
+//! simulated-inference substrate (`ams-data::infer`), which plays the same
+//! role at zero cost — the scheduling logic is identical.
+
+use crate::predictor::ValuePredictor;
+use crate::scheduler::deadline::schedule_deadline;
+use crate::scheduler::deadline_memory::schedule_deadline_memory;
+use ams_data::{ItemTruth, Scene, TruthTable};
+use ams_models::{LabelCatalog, LabelId, LabelSet, ModelId, ModelZoo};
+
+/// Resource constraint for labeling one item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// No constraint: Q-greedy until no model predicts positive value.
+    Unconstrained,
+    /// Per-item deadline in milliseconds (Algorithm 1).
+    Deadline {
+        /// Time budget, ms.
+        ms: u64,
+    },
+    /// Deadline + shared GPU memory pool (Algorithm 2).
+    DeadlineMemory {
+        /// Time budget, ms.
+        ms: u64,
+        /// Memory budget, MB.
+        mem_mb: u32,
+    },
+}
+
+/// Result of labeling one data item.
+#[derive(Debug, Clone)]
+pub struct LabelingOutcome {
+    /// Labels extracted (with confidences), sorted by label id.
+    pub labels: Vec<(LabelId, f32)>,
+    /// Models executed (completion order under parallel budgets).
+    pub executed: Vec<ModelId>,
+    /// Value of the extracted labels, `f(S, d)`.
+    pub value: f64,
+    /// Recall of the full-execution value.
+    pub recall: f64,
+    /// Virtual execution time consumed, ms.
+    pub elapsed_ms: u64,
+}
+
+/// The adaptive model scheduling framework.
+pub struct AdaptiveModelScheduler {
+    zoo: ModelZoo,
+    catalog: LabelCatalog,
+    predictor: Box<dyn ValuePredictor>,
+    value_threshold: f32,
+    world_seed: u64,
+}
+
+impl AdaptiveModelScheduler {
+    /// Assemble the framework.
+    pub fn new(
+        zoo: ModelZoo,
+        predictor: Box<dyn ValuePredictor>,
+        value_threshold: f32,
+        world_seed: u64,
+    ) -> Self {
+        assert_eq!(predictor.num_models(), zoo.len(), "predictor/zoo size mismatch");
+        let catalog = zoo.catalog();
+        Self { zoo, catalog, predictor, value_threshold, world_seed }
+    }
+
+    /// The model zoo.
+    pub fn zoo(&self) -> &ModelZoo {
+        &self.zoo
+    }
+
+    /// The label catalog.
+    pub fn catalog(&self) -> &LabelCatalog {
+        &self.catalog
+    }
+
+    /// The value predictor in use.
+    pub fn predictor(&self) -> &dyn ValuePredictor {
+        self.predictor.as_ref()
+    }
+
+    /// Label a scene: simulates model execution on demand, then schedules.
+    pub fn label_scene(&self, scene: &Scene, budget: Budget) -> LabelingOutcome {
+        // The truth-table row for a single scene *is* the set of all model
+        // outputs — exactly what executing models on the item would yield.
+        let dataset = ams_data::Dataset {
+            profile: ams_data::DatasetProfile::Coco2017, // tag unused here
+            scenes: vec![scene.clone()],
+            world_seed: self.world_seed,
+        };
+        let table = TruthTable::build(&self.zoo, &self.catalog, &dataset, self.value_threshold);
+        self.label_item(table.item(0), budget)
+    }
+
+    /// Label a pre-executed ground-truth item under `budget`.
+    pub fn label_item(&self, item: &ItemTruth, budget: Budget) -> LabelingOutcome {
+        match budget {
+            Budget::Unconstrained => self.label_unconstrained(item),
+            Budget::Deadline { ms } => {
+                let r = schedule_deadline(
+                    self.predictor.as_ref(),
+                    &self.zoo,
+                    item,
+                    ms,
+                    self.value_threshold,
+                );
+                self.outcome(item, r.executed, r.value, r.recall, r.elapsed_ms)
+            }
+            Budget::DeadlineMemory { ms, mem_mb } => {
+                let r = schedule_deadline_memory(
+                    self.predictor.as_ref(),
+                    &self.zoo,
+                    item,
+                    ms,
+                    mem_mb,
+                    self.value_threshold,
+                );
+                let elapsed = r.trace.makespan_ms().min(ms);
+                self.outcome(item, r.completed, r.value, r.recall, elapsed)
+            }
+        }
+    }
+
+    /// Greedy by predicted value until no unexecuted model has positive
+    /// predicted value (the "no resource constraint" mode of §V).
+    fn label_unconstrained(&self, item: &ItemTruth) -> LabelingOutcome {
+        let n = self.zoo.len();
+        let mut state = LabelSet::new(item.universe());
+        let mut executed = Vec::new();
+        let mut mask = 0u64;
+        let mut value = 0.0;
+        let mut elapsed = 0u64;
+        while executed.len() < n {
+            let q = self.predictor.predict(&state, item);
+            let mut best: Option<(usize, f32)> = None;
+            for (m, &v) in q.iter().enumerate() {
+                if mask >> m & 1 == 0 && best.map(|(_, bv)| v > bv).unwrap_or(true) {
+                    best = Some((m, v));
+                }
+            }
+            let Some((m, v)) = best else { break };
+            if v <= 0.0 {
+                break; // nothing left worth running
+            }
+            let id = ModelId(m as u8);
+            mask |= 1 << m;
+            executed.push(id);
+            elapsed += u64::from(self.zoo.spec(id).time_ms);
+            value += item.apply(&mut state, id, self.value_threshold);
+        }
+        let recall = if item.total_value > 0.0 { value / item.total_value } else { 1.0 };
+        self.outcome(item, executed, value, recall, elapsed)
+    }
+
+    fn outcome(
+        &self,
+        item: &ItemTruth,
+        executed: Vec<ModelId>,
+        value: f64,
+        recall: f64,
+        elapsed_ms: u64,
+    ) -> LabelingOutcome {
+        // Collect the labels the executed set produced (max conf per label).
+        let mut labels: Vec<(LabelId, f32)> = Vec::new();
+        for &m in &executed {
+            for d in item.output(m).valuable(self.value_threshold) {
+                match labels.binary_search_by_key(&d.label, |&(l, _)| l) {
+                    Ok(i) => labels[i].1 = labels[i].1.max(d.confidence),
+                    Err(i) => labels.insert(i, (d.label, d.confidence)),
+                }
+            }
+        }
+        LabelingOutcome { labels, executed, value, recall, elapsed_ms }
+    }
+
+    /// Human-readable rendering of an outcome (used by examples).
+    pub fn describe(&self, outcome: &LabelingOutcome) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "executed {} models in {:.2}s (recall {:.1}%, value {:.2}):",
+            outcome.executed.len(),
+            outcome.elapsed_ms as f64 / 1000.0,
+            outcome.recall * 100.0,
+            outcome.value,
+        );
+        for &m in &outcome.executed {
+            let _ = writeln!(s, "  - {}", self.zoo.spec(m).name);
+        }
+        let _ = writeln!(s, "labels:");
+        for &(l, c) in &outcome.labels {
+            let _ = writeln!(s, "  {} ({c:.2})", self.catalog.name(l));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::OraclePredictor;
+    use ams_data::{Dataset, DatasetProfile};
+
+    fn scheduler() -> AdaptiveModelScheduler {
+        let zoo = ModelZoo::standard();
+        let predictor = Box::new(OraclePredictor::new(zoo.len(), 0.5));
+        AdaptiveModelScheduler::new(zoo, predictor, 0.5, 7)
+    }
+
+    fn one_scene() -> Scene {
+        Dataset::generate(DatasetProfile::Coco2017, 3, 7).scenes.remove(1)
+    }
+
+    #[test]
+    fn unconstrained_oracle_full_recall() {
+        let s = scheduler();
+        let out = s.label_scene(&one_scene(), Budget::Unconstrained);
+        assert!((out.recall - 1.0).abs() < 1e-9, "oracle unconstrained recalls all");
+        // and it should have skipped worthless models
+        assert!(out.executed.len() < 30, "executed {} models", out.executed.len());
+    }
+
+    #[test]
+    fn deadline_budget_respected() {
+        let s = scheduler();
+        let out = s.label_scene(&one_scene(), Budget::Deadline { ms: 600 });
+        assert!(out.elapsed_ms <= 600);
+        assert!(out.recall <= 1.0);
+    }
+
+    #[test]
+    fn deadline_memory_budget_runs() {
+        let s = scheduler();
+        let out = s.label_scene(&one_scene(), Budget::DeadlineMemory { ms: 800, mem_mb: 12288 });
+        assert!(out.elapsed_ms <= 800);
+        assert!(!out.labels.is_empty() || out.recall == 1.0);
+    }
+
+    #[test]
+    fn labels_are_sorted_and_valuable() {
+        let s = scheduler();
+        let out = s.label_scene(&one_scene(), Budget::Unconstrained);
+        for w in out.labels.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(out.labels.iter().all(|&(_, c)| c >= 0.5));
+    }
+
+    #[test]
+    fn describe_mentions_models_and_labels() {
+        let s = scheduler();
+        let out = s.label_scene(&one_scene(), Budget::Unconstrained);
+        let text = s.describe(&out);
+        assert!(text.contains("executed"));
+        assert!(text.contains("labels:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn size_mismatch_rejected() {
+        let zoo = ModelZoo::standard();
+        let predictor = Box::new(OraclePredictor::new(5, 0.5));
+        let _ = AdaptiveModelScheduler::new(zoo, predictor, 0.5, 7);
+    }
+}

@@ -1,0 +1,205 @@
+//! Model-value prediction: the interface between the learned agent and the
+//! scheduling algorithms.
+
+use ams_data::ItemTruth;
+use ams_models::LabelSet;
+use ams_rl::TrainedAgent;
+
+/// Predicts the value of executing each model given the current labeling
+/// state (Fig. 3's "model value prediction" component).
+///
+/// Implementations that peek at the ground truth (`item`) are *oracles* and
+/// only legitimate for upper-bound baselines; the deployable implementation
+/// is [`AgentPredictor`], which uses only the labeling state.
+pub trait ValuePredictor: Send + Sync {
+    /// Number of models scored.
+    fn num_models(&self) -> usize;
+
+    /// Predicted value per model (higher = more valuable to execute next).
+    /// Scores for already-executed models are ignored by schedulers.
+    fn predict(&self, state: &LabelSet, item: &ItemTruth) -> Vec<f32>;
+
+    /// Short display name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The deployable predictor: a trained DRL agent's Q values.
+pub struct AgentPredictor {
+    agent: TrainedAgent,
+}
+
+impl AgentPredictor {
+    /// Wrap a trained agent.
+    pub fn new(agent: TrainedAgent) -> Self {
+        Self { agent }
+    }
+
+    /// Access the wrapped agent.
+    pub fn agent(&self) -> &TrainedAgent {
+        &self.agent
+    }
+}
+
+impl ValuePredictor for AgentPredictor {
+    fn num_models(&self) -> usize {
+        self.agent.num_models
+    }
+
+    fn predict(&self, state: &LabelSet, _item: &ItemTruth) -> Vec<f32> {
+        self.agent.model_q_values(&state.to_sparse())
+    }
+
+    fn name(&self) -> &'static str {
+        "drl-agent"
+    }
+}
+
+/// Oracle: the *true marginal value* of each model given the state.
+/// Used to realize the optimal\* upper bound of §V-C.
+pub struct OraclePredictor {
+    num_models: usize,
+    threshold: f32,
+}
+
+impl OraclePredictor {
+    /// Oracle over `num_models` models at the given value threshold.
+    pub fn new(num_models: usize, threshold: f32) -> Self {
+        Self { num_models, threshold }
+    }
+}
+
+impl ValuePredictor for OraclePredictor {
+    fn num_models(&self) -> usize {
+        self.num_models
+    }
+
+    fn predict(&self, state: &LabelSet, item: &ItemTruth) -> Vec<f32> {
+        (0..self.num_models)
+            .map(|m| item.marginal_value(state, ams_models::ModelId(m as u8), self.threshold) as f32)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle-marginal"
+    }
+}
+
+/// Oracle with *static* per-model values (ignores overlap): the knowledge
+/// the paper's "optimal policy" baseline of §VI-B uses (models sorted by
+/// their own true output value).
+pub struct StaticValuePredictor {
+    num_models: usize,
+}
+
+impl StaticValuePredictor {
+    /// Static oracle over `num_models` models.
+    pub fn new(num_models: usize) -> Self {
+        Self { num_models }
+    }
+}
+
+impl ValuePredictor for StaticValuePredictor {
+    fn num_models(&self) -> usize {
+        self.num_models
+    }
+
+    fn predict(&self, _state: &LabelSet, item: &ItemTruth) -> Vec<f32> {
+        item.model_value.iter().map(|&v| v as f32).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle-static"
+    }
+}
+
+/// Uninformed predictor: identical value for every model. Under Algorithm 1
+/// this degenerates to cheapest-first; mainly useful in tests.
+pub struct UniformPredictor {
+    num_models: usize,
+}
+
+impl UniformPredictor {
+    /// Uniform scores over `num_models` models.
+    pub fn new(num_models: usize) -> Self {
+        Self { num_models }
+    }
+}
+
+impl ValuePredictor for UniformPredictor {
+    fn num_models(&self) -> usize {
+        self.num_models
+    }
+
+    fn predict(&self, _state: &LabelSet, _item: &ItemTruth) -> Vec<f32> {
+        vec![1.0; self.num_models]
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_data::{Dataset, DatasetProfile, TruthTable};
+    use ams_models::{LabelSet, ModelId, ModelZoo};
+
+    fn fixture() -> TruthTable {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::MirFlickr25, 10, 3);
+        TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5)
+    }
+
+    #[test]
+    fn oracle_matches_marginal_value() {
+        let t = fixture();
+        let item = t.item(0);
+        let oracle = OraclePredictor::new(30, 0.5);
+        let state = LabelSet::new(item.universe());
+        let p = oracle.predict(&state, item);
+        for (m, &got) in p.iter().enumerate() {
+            let want = item.marginal_value(&state, ModelId(m as u8), 0.5) as f32;
+            assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn oracle_decays_as_state_fills() {
+        let t = fixture();
+        let item = t.item(0);
+        let oracle = OraclePredictor::new(30, 0.5);
+        let mut state = LabelSet::new(item.universe());
+        let before: f32 = oracle.predict(&state, item).iter().sum();
+        // execute everything
+        for m in 0..30 {
+            item.apply(&mut state, ModelId(m), 0.5);
+        }
+        let after: f32 = oracle.predict(&state, item).iter().sum();
+        assert_eq!(after, 0.0, "no marginal value left after full execution");
+        assert!(before >= after);
+    }
+
+    #[test]
+    fn static_predictor_is_state_independent() {
+        let t = fixture();
+        let item = t.item(1);
+        let p = StaticValuePredictor::new(30);
+        let empty = LabelSet::new(item.universe());
+        let mut full = LabelSet::new(item.universe());
+        for m in 0..30 {
+            item.apply(&mut full, ModelId(m), 0.5);
+        }
+        assert_eq!(p.predict(&empty, item), p.predict(&full, item));
+    }
+
+    #[test]
+    fn uniform_predictor_scores_equal() {
+        let t = fixture();
+        let p = UniformPredictor::new(30);
+        let state = LabelSet::new(1104);
+        let scores = p.predict(&state, t.item(0));
+        assert_eq!(scores, vec![1.0; 30]);
+        assert_eq!(p.num_models(), 30);
+    }
+}

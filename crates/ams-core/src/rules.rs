@@ -1,0 +1,348 @@
+//! The handcrafted-rule baseline of §III-B / §VI-C (Table II).
+//!
+//! Rules reweight model *execution probabilities* when trigger labels
+//! appear: all models start with equal weight; after each execution, every
+//! rule whose trigger fired multiplies its target models' weights by a
+//! fixed factor (2x to encourage, 0.5x to discourage). The next model is
+//! then sampled proportionally to weight among unexecuted models.
+//!
+//! The paper's point — which this implementation reproduces — is that such
+//! pairwise, fixed-multiplier rules help only marginally: they encode a
+//! handful of obvious dependencies while the DRL agent mines many more.
+
+use ams_data::ItemTruth;
+use ams_models::{LabelCatalog, LabelId, LabelSet, ModelId, ModelZoo, Task};
+use ams_rl::Rollout;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What fires a rule: a predicate over a single newly output valuable label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// A specific label (e.g. "person", "dog", "face").
+    Label(LabelId),
+    /// Any pose-estimation keypoint label.
+    BodyKeypoints,
+    /// A wrist keypoint specifically.
+    WristKeypoints,
+    /// Any indoor place label.
+    IndoorPlace,
+}
+
+impl Trigger {
+    fn matches(&self, label: LabelId, catalog: &LabelCatalog) -> bool {
+        match self {
+            Trigger::Label(l) => *l == label,
+            Trigger::BodyKeypoints => catalog.task_of(label) == Task::PoseEstimation,
+            Trigger::WristKeypoints => {
+                catalog.task_of(label) == Task::PoseEstimation
+                    && catalog.name(label).contains("wrist")
+            }
+            Trigger::IndoorPlace => {
+                catalog.task_of(label) == Task::PlaceClassification
+                    && LabelCatalog::place_is_indoor(
+                        label.index() - Task::PlaceClassification.label_offset(),
+                    )
+            }
+        }
+    }
+}
+
+/// One handcrafted rule: when `trigger` fires, multiply the execution
+/// probability of the targeted models by `multiplier`.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Task of the model whose output is inspected (documentation only —
+    /// triggers are label predicates and already imply the task).
+    pub source_task: Task,
+    /// The firing predicate.
+    pub trigger: Trigger,
+    /// Task whose models are reweighted.
+    pub target_task: Task,
+    /// Restrict the target to one variant tier (e.g. only the specialist
+    /// model of the task). `None` targets every model of the task.
+    pub tier_filter: Option<ams_models::SkillTier>,
+    /// Weight multiplier (2.0 = encourage, 0.5 = discourage).
+    pub multiplier: f64,
+}
+
+/// An ordered collection of rules with the reweighting machinery.
+#[derive(Debug, Clone)]
+pub struct RuleBook {
+    rules: Vec<Rule>,
+}
+
+impl RuleBook {
+    /// Build from explicit rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Self { rules }
+    }
+
+    /// The ten rules of Table II, mapped onto the standard catalog.
+    ///
+    /// The table's "Animal-Object Detection" and "Sport-Action
+    /// Classification" targets are content-specialized models; the closest
+    /// members of this zoo are the *specialist* variants, so the two
+    /// discouraging indoor rules target only those. The tenth rule
+    /// (person → face detection) follows the table's person-centric,
+    /// chain-building pattern: it links the object detectors to the
+    /// face-landmark/emotion rules further down the chain.
+    pub fn table2(catalog: &LabelCatalog) -> Self {
+        use ams_models::SkillTier;
+        let person = catalog.find("person").expect("person label");
+        let dog = catalog.find("dog").expect("dog label");
+        let face = catalog.find("face").expect("face label");
+        let r = |source_task, trigger, target_task, multiplier| Rule {
+            source_task,
+            trigger,
+            target_task,
+            tier_filter: None,
+            multiplier,
+        };
+        let rs = |source_task, trigger, target_task, multiplier| Rule {
+            source_task,
+            trigger,
+            target_task,
+            tier_filter: Some(SkillTier::Specialist),
+            multiplier,
+        };
+        Self::new(vec![
+            r(Task::ObjectDetection, Trigger::Label(person), Task::PoseEstimation, 2.0),
+            r(Task::ObjectDetection, Trigger::Label(person), Task::GenderClassification, 2.0),
+            r(Task::ObjectDetection, Trigger::Label(person), Task::FaceDetection, 2.0),
+            r(Task::ObjectDetection, Trigger::Label(dog), Task::DogClassification, 2.0),
+            r(Task::FaceDetection, Trigger::Label(face), Task::FaceLandmark, 2.0),
+            r(Task::FaceDetection, Trigger::Label(face), Task::EmotionClassification, 2.0),
+            r(Task::PoseEstimation, Trigger::BodyKeypoints, Task::ActionClassification, 2.0),
+            r(Task::PoseEstimation, Trigger::WristKeypoints, Task::HandLandmark, 2.0),
+            rs(Task::PlaceClassification, Trigger::IndoorPlace, Task::DogClassification, 0.5),
+            rs(Task::PlaceClassification, Trigger::IndoorPlace, Task::ActionClassification, 0.5),
+        ])
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Apply every rule fired by `new_labels` to the weight vector.
+    pub fn apply(
+        &self,
+        new_labels: &[LabelId],
+        catalog: &LabelCatalog,
+        zoo: &ModelZoo,
+        weights: &mut [f64],
+    ) {
+        for rule in &self.rules {
+            let fired = new_labels.iter().any(|&l| rule.trigger.matches(l, catalog));
+            if !fired {
+                continue;
+            }
+            for spec in zoo.specs() {
+                let tier_ok =
+                    rule.tier_filter.map(|t| spec.quality.tier == t).unwrap_or(true);
+                if spec.task == rule.target_task && tier_ok {
+                    weights[spec.id.index()] *= rule.multiplier;
+                }
+            }
+        }
+    }
+}
+
+/// Run the rule-based policy on one item until `recall_target` is reached.
+pub fn rule_rollout(
+    item: &ItemTruth,
+    zoo: &ModelZoo,
+    catalog: &LabelCatalog,
+    book: &RuleBook,
+    recall_target: f64,
+    threshold: f32,
+    seed: u64,
+) -> Rollout {
+    let n = zoo.len();
+    let mut rng = StdRng::seed_from_u64(seed ^ item.scene_id.wrapping_mul(0x517C_C1B7));
+    let mut weights = vec![1.0f64; n];
+    let mut state = LabelSet::new(item.universe());
+    let mut executed = Vec::new();
+    let mut mask = 0u64;
+    let mut time_ms = 0u64;
+    let mut recalled = 0.0f64;
+    let total = item.total_value;
+
+    while executed.len() < n && total > 0.0 && recalled / total < recall_target - 1e-12 {
+        // weighted sample among unexecuted models
+        let sum: f64 = (0..n).filter(|&m| mask >> m & 1 == 0).map(|m| weights[m]).sum();
+        let mut x = rng.gen_range(0.0..sum);
+        let mut pick = usize::MAX;
+        #[allow(clippy::needless_range_loop)] // index pairs with the bitmask
+        for m in 0..n {
+            if mask >> m & 1 == 1 {
+                continue;
+            }
+            if x < weights[m] {
+                pick = m;
+                break;
+            }
+            x -= weights[m];
+        }
+        if pick == usize::MAX {
+            pick = (0..n).rev().find(|&m| mask >> m & 1 == 0).expect("model left");
+        }
+        let m = ModelId(pick as u8);
+        mask |= 1 << pick;
+        executed.push(m);
+        time_ms += u64::from(zoo.spec(m).time_ms);
+
+        // A rule's intent ("run a pose estimator") is satisfied once any
+        // model of that task has executed: reset the task-mates' weights so
+        // an earlier boost doesn't keep steering picks into redundant
+        // same-task variants.
+        let task = zoo.spec(m).task;
+        for spec in zoo.specs() {
+            if spec.task == task && mask >> spec.id.index() & 1 == 0 {
+                weights[spec.id.index()] = 1.0;
+            }
+        }
+
+        // Rules fire on *everything the model printed*, valuable or not —
+        // Table II's trigger column reads "Output Label", and a
+        // low-confidence "person 0.43" is still a hint that a pose
+        // estimator may pay off.
+        let output_labels: Vec<LabelId> =
+            item.output(m).detections.iter().map(|d| d.label).collect();
+        recalled += item.apply(&mut state, m, threshold);
+        book.apply(&output_labels, catalog, zoo, &mut weights);
+    }
+    let recall = if total > 0.0 { recalled / total } else { 1.0 };
+    Rollout { executed, time_ms, recall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{aggregate_rollouts, random_rollout};
+    use ams_data::{Dataset, DatasetProfile, TruthTable};
+
+    fn fixture() -> (ModelZoo, LabelCatalog, TruthTable) {
+        let zoo = ModelZoo::standard();
+        let catalog = zoo.catalog();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, 60, 41);
+        let t = TruthTable::build(&zoo, &catalog, &ds, 0.5);
+        (zoo, catalog, t)
+    }
+
+    #[test]
+    fn table2_has_ten_rules() {
+        let catalog = LabelCatalog::standard();
+        let book = RuleBook::table2(&catalog);
+        assert_eq!(book.len(), 10);
+        assert!(!book.is_empty());
+        let encouraging = book.rules().iter().filter(|r| r.multiplier > 1.0).count();
+        let discouraging = book.rules().iter().filter(|r| r.multiplier < 1.0).count();
+        assert_eq!(encouraging, 8);
+        assert_eq!(discouraging, 2);
+    }
+
+    #[test]
+    fn person_label_boosts_pose_models() {
+        let (zoo, catalog, _) = fixture();
+        let book = RuleBook::table2(&catalog);
+        let person = catalog.find("person").unwrap();
+        let mut w = vec![1.0f64; 30];
+        book.apply(&[person], &catalog, &zoo, &mut w);
+        for spec in zoo.specs() {
+            let expect = match spec.task {
+                Task::PoseEstimation | Task::GenderClassification | Task::FaceDetection => 2.0,
+                _ => 1.0,
+            };
+            assert_eq!(w[spec.id.index()], expect, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn indoor_place_discourages_specialist_dogs_and_actions() {
+        use ams_models::SkillTier;
+        let (zoo, catalog, _) = fixture();
+        let book = RuleBook::table2(&catalog);
+        let pub_label = catalog.find("pub").unwrap();
+        let mut w = vec![1.0f64; 30];
+        book.apply(&[pub_label], &catalog, &zoo, &mut w);
+        for spec in zoo.specs() {
+            let targeted = matches!(
+                spec.task,
+                Task::DogClassification | Task::ActionClassification
+            ) && spec.quality.tier == SkillTier::Specialist;
+            let expect = if targeted { 0.5 } else { 1.0 };
+            assert_eq!(w[spec.id.index()], expect, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn wrist_trigger_is_specific() {
+        let (zoo, catalog, _) = fixture();
+        let book = RuleBook::table2(&catalog);
+        let wrist = catalog.find("left wrist").unwrap();
+        let nose = catalog.find("nose").unwrap();
+        let mut w = vec![1.0f64; 30];
+        book.apply(&[wrist], &catalog, &zoo, &mut w);
+        let hand_model = zoo.models_for(Task::HandLandmark).next().unwrap();
+        assert_eq!(w[hand_model.id.index()], 2.0, "wrist boosts hand landmarks");
+        let mut w2 = vec![1.0f64; 30];
+        book.apply(&[nose], &catalog, &zoo, &mut w2);
+        assert_eq!(w2[hand_model.id.index()], 1.0, "nose does not");
+        // but nose IS a body keypoint → boosts action models
+        let action_model = zoo.models_for(Task::ActionClassification).next().unwrap();
+        assert_eq!(w2[action_model.id.index()], 2.0);
+    }
+
+    #[test]
+    fn rollout_reaches_target_and_dedups() {
+        let (zoo, catalog, t) = fixture();
+        let book = RuleBook::table2(&catalog);
+        for item in t.items().iter().take(10) {
+            let r = rule_rollout(item, &zoo, &catalog, &book, 1.0, 0.5, 3);
+            assert!(r.recall >= 1.0 - 1e-9);
+            let mut seen = std::collections::HashSet::new();
+            assert!(r.executed.iter().all(|m| seen.insert(*m)));
+        }
+    }
+
+    #[test]
+    fn rules_perform_no_worse_than_random() {
+        // §III-B/§VI-C: handcrafted rules "slightly improve the performance
+        // compared with the random policy" but "leave a large room for
+        // optimization". On this substrate the improvement is within noise
+        // (see EXPERIMENTS.md fig6 for the measured gap vs the paper's
+        // 22.6%); the invariant we hold is that rules never *hurt*
+        // materially and sit far from the optimal policy.
+        let (zoo, catalog, t) = fixture();
+        let book = RuleBook::table2(&catalog);
+        let (rule_models, _) = aggregate_rollouts(t.items().iter(), |it| {
+            rule_rollout(it, &zoo, &catalog, &book, 0.8, 0.5, 7)
+        });
+        let (rand_models, _) =
+            aggregate_rollouts(t.items().iter(), |it| random_rollout(it, &zoo, 0.8, 0.5, 7));
+        assert!(
+            rule_models <= rand_models * 1.03,
+            "rules ({rule_models:.2}) must not lose to random ({rand_models:.2})"
+        );
+        let (opt_models, _) = aggregate_rollouts(t.items().iter(), |it| {
+            crate::policies::optimal_rollout(it, &zoo, 0.8, 0.5)
+        });
+        assert!(
+            opt_models * 2.0 < rule_models,
+            "optimal ({opt_models:.2}) must dominate rules ({rule_models:.2})"
+        );
+    }
+}
+

@@ -1,0 +1,251 @@
+//! Algorithm 2: model scheduling under deadline + GPU-memory constraints
+//! (§V-B), in the multi-processor setting.
+//!
+//! Each planning iteration:
+//! 1. greedily seeds with the unexecuted model maximizing
+//!    `Q / (time · mem)` (value per unit resource *area*),
+//! 2. sets the seed's finish time as a **temporary deadline** and fills the
+//!    remaining memory with models maximizing `Q / mem` that would finish
+//!    within it,
+//! 3. waits until one running model completes, releases its memory, folds
+//!    its output into the labeling state, and re-plans with fresh
+//!    predictions.
+//!
+//! Models still running at the overall deadline do not contribute value
+//! (their execution did not complete in time).
+
+use super::GreedyScore;
+use crate::predictor::ValuePredictor;
+use ams_data::ItemTruth;
+use ams_models::{LabelSet, ModelId, ModelZoo};
+use ams_sim::{Job, ParallelExecutor};
+
+/// Outcome of scheduling one item under deadline + memory constraints.
+#[derive(Debug, Clone)]
+pub struct DeadlineMemoryResult {
+    /// Models whose execution *completed* within the deadline, in
+    /// completion order.
+    pub completed: Vec<ModelId>,
+    /// Models admitted but still running at the deadline (no value).
+    pub cut_off: Vec<ModelId>,
+    /// Value recalled from completed models.
+    pub value: f64,
+    /// Recall rate.
+    pub recall: f64,
+    /// Execution trace of completed models.
+    pub trace: ams_sim::ExecTrace,
+    /// Peak memory observed, MB.
+    pub peak_mem_mb: u32,
+}
+
+/// Run Algorithm 2 on one item.
+pub fn schedule_deadline_memory(
+    predictor: &dyn ValuePredictor,
+    zoo: &ModelZoo,
+    item: &ItemTruth,
+    budget_ms: u64,
+    mem_budget_mb: u32,
+    threshold: f32,
+) -> DeadlineMemoryResult {
+    let n = zoo.len();
+    debug_assert_eq!(predictor.num_models(), n);
+    let mut ex = ParallelExecutor::new(mem_budget_mb);
+    let mut state = LabelSet::new(item.universe());
+    let mut scheduled = 0u64; // admitted (running or done)
+    let mut completed = Vec::new();
+    let mut value = 0.0f64;
+
+    while ex.now_ms() < budget_ms {
+        let now = ex.now_ms();
+        let q = predictor.predict(&state, item);
+
+        // Step 1: seed by value per resource area among models that fit the
+        // free memory and can finish before the overall deadline.
+        let mut seed: Option<(usize, GreedyScore)> = None;
+        #[allow(clippy::needless_range_loop)] // index pairs with the bitmask
+        for m in 0..n {
+            if scheduled >> m & 1 == 1 {
+                continue;
+            }
+            let spec = zoo.spec(ModelId(m as u8));
+            if !ex.fits(spec.mem_mb) || now + u64::from(spec.time_ms) > budget_ms {
+                continue;
+            }
+            let area = f64::from(spec.time_ms) / 1000.0 * f64::from(spec.mem_mb) / 1024.0;
+            let score = GreedyScore::new(q[m], area);
+            if seed.map(|(_, s)| score.better_than(&s)).unwrap_or(true) {
+                seed = Some((m, score));
+            }
+        }
+
+        if let Some((s, _)) = seed {
+            let spec = zoo.spec(ModelId(s as u8));
+            let temp_deadline = now + u64::from(spec.time_ms);
+            ex.admit(Job { id: s, time_ms: spec.time_ms, mem_mb: spec.mem_mb })
+                .expect("seed fits by construction");
+            scheduled |= 1 << s;
+
+            // Step 2: fill remaining memory with Q/mem-greedy picks that
+            // finish within the temporary deadline.
+            loop {
+                let mut fill: Option<(usize, GreedyScore)> = None;
+                #[allow(clippy::needless_range_loop)] // index pairs with the bitmask
+                for m in 0..n {
+                    if scheduled >> m & 1 == 1 {
+                        continue;
+                    }
+                    let sp = zoo.spec(ModelId(m as u8));
+                    if !ex.fits(sp.mem_mb) || now + u64::from(sp.time_ms) > temp_deadline {
+                        continue;
+                    }
+                    let score = GreedyScore::new(q[m], f64::from(sp.mem_mb) / 1024.0);
+                    if fill.map(|(_, s)| score.better_than(&s)).unwrap_or(true) {
+                        fill = Some((m, score));
+                    }
+                }
+                let Some((f, _)) = fill else { break };
+                let sp = zoo.spec(ModelId(f as u8));
+                ex.admit(Job { id: f, time_ms: sp.time_ms, mem_mb: sp.mem_mb })
+                    .expect("fill fits by construction");
+                scheduled |= 1 << f;
+            }
+        } else if ex.running_count() == 0 {
+            // Nothing runnable and nothing running: done.
+            break;
+        }
+
+        // Step 3: wait for one completion and fold in its output.
+        let Some(done) = ex.wait_next() else { break };
+        if ex.now_ms() <= budget_ms {
+            let m = ModelId(done.id as u8);
+            completed.push(m);
+            value += item.apply(&mut state, m, threshold);
+        }
+    }
+
+    // Anything still in flight at the deadline produced no value.
+    let peak = ex.trace().peak_mem_mb();
+    let mut cut_off = Vec::new();
+    let mut drained = ex;
+    for job in drained.drain() {
+        cut_off.push(ModelId(job.id as u8));
+    }
+    let trace = drained.into_trace();
+    let peak_mem_mb = peak.max(trace.peak_mem_mb());
+
+    let recall = if item.total_value > 0.0 { value / item.total_value } else { 1.0 };
+    DeadlineMemoryResult { completed, cut_off, value, recall, trace, peak_mem_mb }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{OraclePredictor, UniformPredictor};
+    use ams_data::{Dataset, DatasetProfile, TruthTable};
+
+    fn fixture() -> (ModelZoo, TruthTable) {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::PascalVoc2012, 24, 17);
+        let t = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+        (zoo, t)
+    }
+
+    #[test]
+    fn respects_memory_budget() {
+        let (zoo, t) = fixture();
+        let oracle = OraclePredictor::new(30, 0.5);
+        for mem in [8192u32, 12288, 16384] {
+            for item in t.items().iter().take(6) {
+                let r = schedule_deadline_memory(&oracle, &zoo, item, 800, mem, 0.5);
+                assert!(
+                    r.peak_mem_mb <= mem,
+                    "peak {} exceeds budget {mem}",
+                    r.peak_mem_mb
+                );
+                assert!(r.trace.respects_memory(mem));
+            }
+        }
+    }
+
+    #[test]
+    fn completed_models_finish_within_deadline() {
+        let (zoo, t) = fixture();
+        let oracle = OraclePredictor::new(30, 0.5);
+        let budget = 800u64;
+        for item in t.items().iter().take(6) {
+            let r = schedule_deadline_memory(&oracle, &zoo, item, budget, 12288, 0.5);
+            let completed: std::collections::HashSet<usize> =
+                r.completed.iter().map(|m| m.index()).collect();
+            for span in &r.trace.spans {
+                if completed.contains(&span.job) {
+                    assert!(span.end_ms <= budget, "completed job past deadline");
+                }
+            }
+            // no model appears in both lists
+            for m in &r.cut_off {
+                assert!(!completed.contains(&m.index()));
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_beats_serial_at_same_deadline() {
+        // With 16 GB the pool can run several models at once, so recall at a
+        // tight deadline should beat Algorithm 1's serial recall.
+        let (zoo, t) = fixture();
+        let oracle = OraclePredictor::new(30, 0.5);
+        let mut par = 0.0;
+        let mut ser = 0.0;
+        for item in t.items() {
+            par += schedule_deadline_memory(&oracle, &zoo, item, 800, 16384, 0.5).recall;
+            ser += crate::scheduler::deadline::schedule_deadline(&oracle, &zoo, item, 800, 0.5)
+                .recall;
+        }
+        assert!(par > ser, "parallel {par:.2} must beat serial {ser:.2}");
+    }
+
+    #[test]
+    fn more_memory_never_hurts_much() {
+        let (zoo, t) = fixture();
+        let oracle = OraclePredictor::new(30, 0.5);
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for item in t.items() {
+            lo += schedule_deadline_memory(&oracle, &zoo, item, 800, 8192, 0.5).recall;
+            hi += schedule_deadline_memory(&oracle, &zoo, item, 800, 16384, 0.5).recall;
+        }
+        assert!(hi >= lo * 0.98, "16 GB ({hi:.2}) should not lose to 8 GB ({lo:.2})");
+    }
+
+    #[test]
+    fn zero_budget_completes_nothing() {
+        let (zoo, t) = fixture();
+        let oracle = OraclePredictor::new(30, 0.5);
+        let r = schedule_deadline_memory(&oracle, &zoo, t.item(0), 0, 16384, 0.5);
+        assert!(r.completed.is_empty());
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn no_duplicate_admissions() {
+        let (zoo, t) = fixture();
+        let uniform = UniformPredictor::new(30);
+        for item in t.items().iter().take(6) {
+            let r = schedule_deadline_memory(&uniform, &zoo, item, 3000, 16384, 0.5);
+            let mut seen = std::collections::HashSet::new();
+            for m in r.completed.iter().chain(&r.cut_off) {
+                assert!(seen.insert(*m), "model {m} admitted twice");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_memory_budget_still_progresses() {
+        // Even at 8 GB only the pose flagship fills the whole pool; the
+        // scheduler must still run models one at a time.
+        let (zoo, t) = fixture();
+        let oracle = OraclePredictor::new(30, 0.5);
+        let r = schedule_deadline_memory(&oracle, &zoo, t.item(1), 2000, 8192, 0.5);
+        assert!(!r.completed.is_empty(), "some models must complete");
+    }
+}

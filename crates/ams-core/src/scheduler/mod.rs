@@ -1,0 +1,62 @@
+//! The adaptive scheduling algorithms of §V.
+//!
+//! * [`deadline`] — Algorithm 1: single-processor, per-item deadline;
+//!   cost-profit greedy on `Q(m,d) / m.time`.
+//! * [`deadline_memory`] — Algorithm 2: multi-processor with a shared GPU
+//!   memory pool; greedy seed on `Q/(time·mem)`, memory fill on `Q/mem`
+//!   under a temporary deadline, re-plan on every completion.
+//! * [`optimal_star`] — the relaxed fractional upper bound of §V-C used as
+//!   the "optimal\*" baseline in Figs. 10–12.
+
+pub mod deadline;
+pub mod deadline_memory;
+pub mod optimal_star;
+
+/// Ranking score used by the greedy selections: predicted values are
+/// clamped at zero (a model predicted to yield nothing should not look
+/// better merely because it is slow or small), with the raw prediction and
+/// cost as deterministic tie-breakers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct GreedyScore {
+    /// Clamped value-per-cost ratio.
+    pub ratio: f64,
+    /// Raw predicted value (tie-break).
+    pub raw: f64,
+    /// Negated cost (tie-break: prefer cheaper).
+    pub neg_cost: f64,
+}
+
+impl GreedyScore {
+    pub(crate) fn new(q: f32, cost: f64) -> Self {
+        let q = f64::from(q);
+        Self { ratio: q.max(0.0) / cost.max(1e-9), raw: q, neg_cost: -cost }
+    }
+
+    pub(crate) fn better_than(&self, other: &GreedyScore) -> bool {
+        (self.ratio, self.raw, self.neg_cost) > (other.ratio, other.raw, other.neg_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_values_rank_by_ratio() {
+        let a = GreedyScore::new(2.0, 1.0);
+        let b = GreedyScore::new(3.0, 2.0);
+        assert!(a.better_than(&b));
+    }
+
+    #[test]
+    fn negative_values_rank_by_raw_then_cost() {
+        // Both ratios clamp to 0 → fall back to raw prediction.
+        let a = GreedyScore::new(-0.5, 10.0);
+        let b = GreedyScore::new(-1.0, 1.0);
+        assert!(a.better_than(&b), "less-bad prediction wins");
+        // Equal raw → cheaper wins.
+        let c = GreedyScore::new(-1.0, 1.0);
+        let d = GreedyScore::new(-1.0, 5.0);
+        assert!(c.better_than(&d));
+    }
+}

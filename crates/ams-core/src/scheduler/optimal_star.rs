@@ -1,0 +1,213 @@
+//! The optimal\* relaxed upper bound of §V-C.
+//!
+//! Exact optimal scheduling is NP-hard (it would require enumerating
+//! `O(|M|!)` policies), so the paper relaxes the problem: a model may be
+//! selected even when the remaining budget cannot finish it, contributing a
+//! *proportional fraction* of its value. The relaxed optimum is then the
+//! fractional-knapsack greedy on the true marginal value per unit cost —
+//! an upper bound on the exact optimum and the denominator of the
+//! performance-ratio plots (Figs. 10d and 11d).
+
+use ams_data::ItemTruth;
+use ams_models::{LabelSet, ModelId, ModelZoo};
+
+/// Fractional greedy under a time budget: value per `m.time`, proportional
+/// credit for the model straddling the deadline. Returns the (relaxed)
+/// recalled value.
+pub fn optimal_star_deadline(
+    zoo: &ModelZoo,
+    item: &ItemTruth,
+    budget_ms: u64,
+    threshold: f32,
+) -> f64 {
+    fractional_greedy(zoo, item, f64::from(u32::try_from(budget_ms.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)), threshold, |spec| {
+        f64::from(spec.time_ms)
+    })
+}
+
+/// Fractional greedy under a time × memory *area* budget: value per
+/// `m.time · m.mem`, proportional credit for the straddler. The area
+/// capacity is `B_time · B_mem`, the natural relaxation of the
+/// two-dimensional orthogonal packing constraint.
+pub fn optimal_star_deadline_memory(
+    zoo: &ModelZoo,
+    item: &ItemTruth,
+    budget_ms: u64,
+    mem_budget_mb: u32,
+    threshold: f32,
+) -> f64 {
+    let area = budget_ms as f64 * f64::from(mem_budget_mb);
+    fractional_greedy(zoo, item, area, threshold, |spec| {
+        f64::from(spec.time_ms) * f64::from(spec.mem_mb)
+    })
+}
+
+/// Shared fractional-knapsack greedy: repeatedly pick the unexecuted model
+/// with the highest true-marginal-value-to-cost ratio; the final pick that
+/// exceeds the remaining capacity contributes proportionally.
+fn fractional_greedy(
+    zoo: &ModelZoo,
+    item: &ItemTruth,
+    mut capacity: f64,
+    threshold: f32,
+    cost: impl Fn(&ams_models::ModelSpec) -> f64,
+) -> f64 {
+    let n = zoo.len();
+    let mut state = LabelSet::new(item.universe());
+    let mut mask = 0u64;
+    let mut value = 0.0f64;
+
+    while capacity > 0.0 {
+        // Highest marginal-value density among unexecuted models.
+        let mut best: Option<(usize, f64, f64)> = None; // (model, marginal, density)
+        for m in 0..n {
+            if mask >> m & 1 == 1 {
+                continue;
+            }
+            let id = ModelId(m as u8);
+            let marginal = item.marginal_value(&state, id, threshold);
+            if marginal <= 0.0 {
+                continue;
+            }
+            let c = cost(zoo.spec(id)).max(1e-9);
+            let density = marginal / c;
+            if best.map(|(_, _, d)| density > d).unwrap_or(true) {
+                best = Some((m, marginal, density));
+            }
+        }
+        let Some((m, marginal, _)) = best else { break };
+        let id = ModelId(m as u8);
+        let c = cost(zoo.spec(id));
+        mask |= 1 << m;
+        if c <= capacity {
+            capacity -= c;
+            value += marginal;
+            item.apply(&mut state, id, threshold);
+        } else {
+            // Relaxation: proportional credit for the straddling model.
+            value += marginal * capacity / c;
+            break;
+        }
+    }
+    value
+}
+
+/// Recall-rate convenience wrappers.
+pub mod recall {
+    use super::*;
+
+    /// Optimal\* recall under a deadline.
+    pub fn deadline(zoo: &ModelZoo, item: &ItemTruth, budget_ms: u64, threshold: f32) -> f64 {
+        if item.total_value <= 0.0 {
+            return 1.0;
+        }
+        (optimal_star_deadline(zoo, item, budget_ms, threshold) / item.total_value).min(1.0)
+    }
+
+    /// Optimal\* recall under deadline + memory.
+    pub fn deadline_memory(
+        zoo: &ModelZoo,
+        item: &ItemTruth,
+        budget_ms: u64,
+        mem_budget_mb: u32,
+        threshold: f32,
+    ) -> f64 {
+        if item.total_value <= 0.0 {
+            return 1.0;
+        }
+        (optimal_star_deadline_memory(zoo, item, budget_ms, mem_budget_mb, threshold)
+            / item.total_value)
+            .min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::OraclePredictor;
+    use crate::scheduler::deadline::schedule_deadline;
+    use ams_data::{Dataset, DatasetProfile, TruthTable};
+
+    fn fixture() -> (ModelZoo, TruthTable) {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::MirFlickr25, 24, 29);
+        let t = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+        (zoo, t)
+    }
+
+    #[test]
+    fn upper_bounds_the_oracle_scheduler() {
+        let (zoo, t) = fixture();
+        let oracle = OraclePredictor::new(30, 0.5);
+        for item in t.items() {
+            for budget in [300u64, 800, 2000] {
+                let exact = schedule_deadline(&oracle, &zoo, item, budget, 0.5).value;
+                let star = optimal_star_deadline(zoo.specs().first().map(|_| &zoo).unwrap(), item, budget, 0.5);
+                assert!(
+                    star >= exact - 1e-9,
+                    "optimal* {star:.3} must bound the integral schedule {exact:.3} (budget {budget})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_budget_recalls_everything() {
+        let (zoo, t) = fixture();
+        let full: u64 = zoo.total_time_ms().into();
+        for item in t.items().iter().take(8) {
+            let v = optimal_star_deadline(&zoo, item, full, 0.5);
+            assert!((v - item.total_value).abs() < 1e-9);
+            assert!((recall::deadline(&zoo, item, full, 0.5) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_in_budget() {
+        let (zoo, t) = fixture();
+        for item in t.items().iter().take(8) {
+            let mut prev = 0.0;
+            for b in (0..=5000).step_by(250) {
+                let v = optimal_star_deadline(&zoo, item, b, 0.5);
+                assert!(v >= prev - 1e-9);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_credit_is_continuous() {
+        // Value at budget b and b+1 must differ by at most the densest
+        // model's per-ms density — no jumps.
+        let (zoo, t) = fixture();
+        let item = t.item(0);
+        let mut prev = optimal_star_deadline(&zoo, item, 0, 0.5);
+        for b in 1..200u64 {
+            let v = optimal_star_deadline(&zoo, item, b, 0.5);
+            assert!(v - prev < 0.5, "jump of {} at budget {b}", v - prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn memory_variant_bounds_memory_scheduler() {
+        use crate::scheduler::deadline_memory::schedule_deadline_memory;
+        let (zoo, t) = fixture();
+        let oracle = OraclePredictor::new(30, 0.5);
+        for item in t.items().iter().take(10) {
+            for mem in [8192u32, 16384] {
+                let exact = schedule_deadline_memory(&oracle, &zoo, item, 800, mem, 0.5).value;
+                let star = optimal_star_deadline_memory(&zoo, item, 800, mem, 0.5);
+                assert!(star >= exact - 1e-9, "star {star:.3} vs exact {exact:.3} at {mem} MB");
+            }
+        }
+    }
+
+    #[test]
+    fn recall_wrappers_clamp_to_one() {
+        let (zoo, t) = fixture();
+        let item = t.item(0);
+        let r = recall::deadline_memory(&zoo, item, 100_000, 1_000_000, 0.5);
+        assert!((0.99..=1.0).contains(&r));
+    }
+}

@@ -1,0 +1,195 @@
+//! Stream processing: run the framework over a continuous item stream with
+//! running statistics — the deployment shape the paper's motivating
+//! applications (image-retrieval ingestion, album indexing, surveillance)
+//! actually use.
+
+use crate::framework::{AdaptiveModelScheduler, Budget, LabelingOutcome};
+use ams_data::ItemTruth;
+use ams_models::ModelId;
+use serde::{Deserialize, Serialize};
+
+/// Running statistics over a processed stream.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Items processed.
+    pub items: usize,
+    /// Total virtual execution time, ms.
+    pub total_exec_ms: u64,
+    /// Total model executions.
+    pub total_executions: usize,
+    /// Sum of per-item recalls (divide by `items` for the mean).
+    pub recall_sum: f64,
+    /// Total label value recalled.
+    pub value_sum: f64,
+    /// Executions per model (utilization profile).
+    pub per_model_runs: Vec<u64>,
+    /// Items whose recall fell below the alert threshold.
+    pub low_recall_items: usize,
+}
+
+impl StreamStats {
+    /// Mean recall across processed items (1.0 when empty).
+    pub fn mean_recall(&self) -> f64 {
+        if self.items == 0 {
+            1.0
+        } else {
+            self.recall_sum / self.items as f64
+        }
+    }
+
+    /// Mean virtual execution seconds per item.
+    pub fn mean_time_s(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.total_exec_ms as f64 / 1000.0 / self.items as f64
+        }
+    }
+
+    /// Mean executed models per item.
+    pub fn mean_models(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.total_executions as f64 / self.items as f64
+        }
+    }
+
+    /// Model ids sorted by how often they ran, most-used first.
+    pub fn utilization_ranking(&self) -> Vec<(ModelId, u64)> {
+        let mut v: Vec<(ModelId, u64)> = self
+            .per_model_runs
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (ModelId(i as u8), n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// A stream processor: an [`AdaptiveModelScheduler`] plus a fixed budget and
+/// running statistics.
+pub struct StreamProcessor {
+    scheduler: AdaptiveModelScheduler,
+    budget: Budget,
+    stats: StreamStats,
+    /// Items below this recall increment [`StreamStats::low_recall_items`].
+    pub alert_recall: f64,
+}
+
+impl StreamProcessor {
+    /// Wrap a scheduler with a per-item budget.
+    pub fn new(scheduler: AdaptiveModelScheduler, budget: Budget) -> Self {
+        let n = scheduler.zoo().len();
+        Self {
+            scheduler,
+            budget,
+            stats: StreamStats { per_model_runs: vec![0; n], ..Default::default() },
+            alert_recall: 0.5,
+        }
+    }
+
+    /// The underlying scheduler.
+    pub fn scheduler(&self) -> &AdaptiveModelScheduler {
+        &self.scheduler
+    }
+
+    /// Process one item; returns the labeling outcome.
+    pub fn process(&mut self, item: &ItemTruth) -> LabelingOutcome {
+        let outcome = self.scheduler.label_item(item, self.budget);
+        self.stats.items += 1;
+        self.stats.total_exec_ms += outcome.elapsed_ms;
+        self.stats.total_executions += outcome.executed.len();
+        self.stats.recall_sum += outcome.recall;
+        self.stats.value_sum += outcome.value;
+        for &m in &outcome.executed {
+            self.stats.per_model_runs[m.index()] += 1;
+        }
+        if outcome.recall < self.alert_recall {
+            self.stats.low_recall_items += 1;
+        }
+        outcome
+    }
+
+    /// Process a batch of items, returning only the stats delta is not
+    /// needed — the running [`StreamProcessor::stats`] aggregates.
+    pub fn process_all<'a>(&mut self, items: impl IntoIterator<Item = &'a ItemTruth>) {
+        for item in items {
+            self.process(item);
+        }
+    }
+
+    /// The running statistics.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Reset statistics (keeps the scheduler and budget).
+    pub fn reset_stats(&mut self) {
+        let n = self.scheduler.zoo().len();
+        self.stats = StreamStats { per_model_runs: vec![0; n], ..Default::default() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::OraclePredictor;
+    use ams_data::{Dataset, DatasetProfile, TruthTable};
+    use ams_models::ModelZoo;
+
+    fn processor(budget: Budget) -> (StreamProcessor, TruthTable) {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, 30, 64);
+        let truth = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+        let predictor = Box::new(OraclePredictor::new(zoo.len(), 0.5));
+        let scheduler = AdaptiveModelScheduler::new(zoo, predictor, 0.5, 64);
+        (StreamProcessor::new(scheduler, budget), truth)
+    }
+
+    #[test]
+    fn stats_accumulate_consistently() {
+        let (mut proc, truth) = processor(Budget::Deadline { ms: 1000 });
+        proc.process_all(truth.items());
+        let s = proc.stats();
+        assert_eq!(s.items, 30);
+        assert!(s.mean_recall() > 0.0 && s.mean_recall() <= 1.0);
+        assert!(s.mean_time_s() <= 1.0, "per-item deadline respected on average");
+        let runs: u64 = s.per_model_runs.iter().sum();
+        assert_eq!(runs as usize, s.total_executions);
+        assert!((s.mean_models() - s.total_executions as f64 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_ranking_is_sorted() {
+        let (mut proc, truth) = processor(Budget::Deadline { ms: 800 });
+        proc.process_all(truth.items().iter().take(15));
+        let ranking = proc.stats().utilization_ranking();
+        assert_eq!(ranking.len(), 30);
+        for w in ranking.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn low_recall_alerts_fire_under_starved_budget() {
+        let (mut proc, truth) = processor(Budget::Deadline { ms: 60 });
+        proc.process_all(truth.items());
+        assert!(
+            proc.stats().low_recall_items > 0,
+            "a 60ms budget must starve most items below 50% recall"
+        );
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let (mut proc, truth) = processor(Budget::Unconstrained);
+        proc.process(truth.item(0));
+        assert_eq!(proc.stats().items, 1);
+        proc.reset_stats();
+        assert_eq!(proc.stats().items, 0);
+        assert_eq!(proc.stats().total_executions, 0);
+        assert!(proc.stats().per_model_runs.iter().all(|&n| n == 0));
+    }
+}

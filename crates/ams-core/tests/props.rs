@@ -1,0 +1,128 @@
+//! Property tests for the scheduling layer.
+
+use ams_core::metrics::{Cdf, Series};
+use ams_core::policies::{predictor_greedy_rollout, random_rollout, run_to_recall};
+use ams_core::predictor::{OraclePredictor, UniformPredictor};
+use ams_core::scheduler::deadline::schedule_deadline;
+use ams_core::scheduler::optimal_star;
+use ams_data::{Dataset, DatasetProfile, TruthTable};
+use ams_models::{ModelId, ModelZoo};
+use proptest::prelude::*;
+
+fn fixture() -> (ModelZoo, TruthTable) {
+    let zoo = ModelZoo::standard();
+    let ds = Dataset::generate(DatasetProfile::PascalVoc2012, 20, 161);
+    let t = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+    (zoo, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any predictor's greedy rollout reaches the requested recall (or
+    /// exhausts the zoo) without duplicate executions.
+    #[test]
+    fn greedy_rollouts_are_sound(item_idx in 0usize..20, target in 0.0f64..1.0, oracle in any::<bool>()) {
+        let (zoo, t) = fixture();
+        let item = t.item(item_idx);
+        let r = if oracle {
+            let p = OraclePredictor::new(30, 0.5);
+            predictor_greedy_rollout(item, &zoo, &p, target, 0.5)
+        } else {
+            let p = UniformPredictor::new(30);
+            predictor_greedy_rollout(item, &zoo, &p, target, 0.5)
+        };
+        prop_assert!(r.recall >= target - 1e-9 || r.executed.len() == 30);
+        let mut seen = std::collections::HashSet::new();
+        prop_assert!(r.executed.iter().all(|m| seen.insert(*m)));
+        let time: u64 = r.executed.iter().map(|&m| u64::from(zoo.spec(m).time_ms)).sum();
+        prop_assert_eq!(time, r.time_ms);
+    }
+
+    /// run_to_recall honours arbitrary (valid) policies and stops exactly
+    /// at the target.
+    #[test]
+    fn run_to_recall_stops_at_target(item_idx in 0usize..20, target in 0.1f64..1.0, seed in any::<u64>()) {
+        let (zoo, t) = fixture();
+        let item = t.item(item_idx);
+        let r = random_rollout(item, &zoo, target, 0.5, seed);
+        prop_assert!(r.recall >= target - 1e-9 || r.executed.len() == 30);
+        // removing the last execution would drop below the target
+        if r.executed.len() > 1 && r.recall >= target {
+            let prefix = &r.executed[..r.executed.len() - 1];
+            let prefix_recall = item.recall_of_set(prefix, 0.5);
+            prop_assert!(prefix_recall < target, "{} >= {}", prefix_recall, target);
+        }
+    }
+
+    /// Algorithm 1's recall grows monotonically with the budget for a
+    /// deterministic predictor.
+    #[test]
+    fn deadline_recall_monotone(item_idx in 0usize..20, b1 in 0u64..5000, delta in 0u64..2000) {
+        let (zoo, t) = fixture();
+        let oracle = OraclePredictor::new(30, 0.5);
+        let item = t.item(item_idx);
+        let r1 = schedule_deadline(&oracle, &zoo, item, b1, 0.5).recall;
+        let r2 = schedule_deadline(&oracle, &zoo, item, b1 + delta, 0.5).recall;
+        prop_assert!(r2 >= r1 - 1e-9, "budget {} -> {}: recall {} -> {}", b1, b1 + delta, r1, r2);
+    }
+
+    /// optimal* is monotone in budget and bounded by the total value.
+    #[test]
+    fn optimal_star_laws(item_idx in 0usize..20, b in 0u64..8000) {
+        let (zoo, t) = fixture();
+        let item = t.item(item_idx);
+        let v = optimal_star::optimal_star_deadline(&zoo, item, b, 0.5);
+        prop_assert!(v >= -1e-12);
+        prop_assert!(v <= item.total_value + 1e-9);
+        let v2 = optimal_star::optimal_star_deadline(&zoo, item, b + 500, 0.5);
+        prop_assert!(v2 >= v - 1e-9);
+    }
+
+    /// Cdf::at is a monotone map into [0,1] hitting 0 below the min and 1
+    /// at the max.
+    #[test]
+    fn cdf_laws(mut samples in prop::collection::vec(0.0f64..100.0, 1..100), probes in prop::collection::vec(0.0f64..100.0, 0..20)) {
+        let cdf = Cdf::new(samples.clone());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(cdf.at(samples[0] - 1.0), 0.0);
+        prop_assert_eq!(cdf.at(samples[samples.len() - 1]), 1.0);
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for p in sorted_probes {
+            let v = cdf.at(p);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Series interpolation stays within the hull of its y values.
+    #[test]
+    fn series_interpolation_bounded(ys in prop::collection::vec(-50.0f64..50.0, 2..20), probe in -10.0f64..30.0) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let s = Series::new("t", xs, ys.clone());
+        let v = s.at(probe);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    /// A custom run_to_recall policy closure receives a consistent
+    /// (state, mask) view: the mask bit count equals the executed count.
+    #[test]
+    fn policy_view_is_consistent(item_idx in 0usize..20, target in 0.2f64..1.0) {
+        let (zoo, t) = fixture();
+        let item = t.item(item_idx);
+        let mut calls = 0u32;
+        let r = run_to_recall(item, &zoo, target, 0.5, |_state, mask| {
+            assert_eq!(mask.count_ones(), calls, "mask must track executions");
+            calls += 1;
+            // pick lowest unexecuted id
+            let m = (0..30).find(|i| mask >> i & 1 == 0).expect("model left");
+            ModelId(m as u8)
+        });
+        prop_assert_eq!(r.executed.len() as u32, calls);
+    }
+}

@@ -1,0 +1,54 @@
+//! Deterministic seed derivation.
+//!
+//! Every stochastic quantity in the substrate is a pure function of
+//! `(world_seed, scene_id, model_id)` so that "executing" a model twice on
+//! the same item yields byte-identical output — a property the ground-truth
+//! tables and all experiments rely on.
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive an execution seed for `(world, scene, model)`.
+pub fn exec_seed(world_seed: u64, scene_id: u64, model_index: usize) -> u64 {
+    splitmix64(world_seed ^ splitmix64(scene_id) ^ splitmix64(0xA5A5_0000 ^ model_index as u64))
+}
+
+/// Derive a generation seed for the `i`-th scene of a dataset stream.
+pub fn scene_seed(world_seed: u64, stream_tag: u64, i: u64) -> u64 {
+    splitmix64(world_seed ^ splitmix64(stream_tag).rotate_left(17) ^ splitmix64(i ^ 0xDEAD_BEEF))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        // consecutive inputs should not produce consecutive outputs
+        let d = splitmix64(1).abs_diff(splitmix64(2));
+        assert!(d > 1 << 20);
+    }
+
+    #[test]
+    fn exec_seed_varies_in_every_argument() {
+        let base = exec_seed(1, 2, 3);
+        assert_ne!(base, exec_seed(9, 2, 3));
+        assert_ne!(base, exec_seed(1, 9, 3));
+        assert_ne!(base, exec_seed(1, 2, 9));
+        assert_eq!(base, exec_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn scene_seed_distinct_across_streams() {
+        assert_ne!(scene_seed(7, 0, 5), scene_seed(7, 1, 5));
+        assert_ne!(scene_seed(7, 0, 5), scene_seed(7, 0, 6));
+    }
+}

@@ -1,0 +1,461 @@
+//! Scene templates: the conditional structure of the generative model.
+//!
+//! Each template encodes common-sense correlations between scene elements —
+//! exactly the kind of structure the paper's own Fig. 7 example exhibits
+//! ("pub" → cups on tables → people drinking beer). Datasets are mixtures
+//! over templates (see [`crate::dataset`]), which gives each dataset the
+//! distinct content skew that §VI-D's transfer experiments rely on.
+
+use crate::scene::{DogInstance, Person, Place, Scene};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The seven scene templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemplateKind {
+    /// Indoor social scene: pubs, restaurants, living rooms; people eating,
+    /// drinking, chatting; household objects; faces often visible.
+    IndoorSocial,
+    /// Outdoor sports: stadiums, parks, slopes; full-body people performing
+    /// sports actions with sports gear; faces often small/occluded.
+    OutdoorSport,
+    /// Animal-centric outdoor scene: dogs (with breeds), occasional
+    /// dog-walkers, parks and lawns.
+    AnimalScene,
+    /// Object still-life: indoor scenes with objects but no people.
+    ObjectStill,
+    /// Urban street scene: vehicles, pedestrians, street furniture.
+    StreetScene,
+    /// Close-up portrait: one or two large faces, rich emotion signal,
+    /// little body visibility.
+    Portrait,
+    /// Scenic landscape: outdoor places with little or no foreground
+    /// content — only the place classifiers produce value.
+    Landscape,
+}
+
+impl TemplateKind {
+    /// All templates.
+    pub const ALL: [TemplateKind; 7] = [
+        TemplateKind::IndoorSocial,
+        TemplateKind::OutdoorSport,
+        TemplateKind::AnimalScene,
+        TemplateKind::ObjectStill,
+        TemplateKind::StreetScene,
+        TemplateKind::Portrait,
+        TemplateKind::Landscape,
+    ];
+}
+
+// ---------------------------------------------------------------------------
+// Label-index pools (within-task indices; names asserted against the catalog
+// in tests at the bottom of this file).
+// ---------------------------------------------------------------------------
+
+/// Indoor social places: pub, beer hall, kitchen, living room, restaurant, …
+pub const INDOOR_SOCIAL_PLACES: &[u16] = &[0, 1, 5, 10, 14, 3, 4];
+/// Other indoor places: bathroom, lobby, office, classroom, gym, museum,
+/// library, supermarket, corridor, stage, garage, church, airport terminal.
+pub const INDOOR_OTHER_PLACES: &[u16] = &[2, 4, 7, 8, 9, 11, 12, 13, 15, 16, 17, 18, 19];
+/// Outdoor sporty places: stadium, park, beach, ski slope, playground, trail.
+pub const OUTDOOR_SPORT_PLACES: &[u16] = &[25, 24, 21, 34, 30, 39];
+/// Outdoor nature places: mountain, forest, lake, desert, river, garden,
+/// campsite, farm.
+pub const OUTDOOR_NATURE_PLACES: &[u16] = &[20, 22, 27, 28, 35, 36, 33, 31];
+/// Outdoor urban places: street, plaza, parking lot, harbor, bridge.
+pub const OUTDOOR_URBAN_PLACES: &[u16] = &[23, 38, 37, 29, 32];
+/// Park-like places for animal scenes: park, lawn, forest, farm, garden.
+pub const ANIMAL_PLACES: &[u16] = &[24, 26, 22, 31, 36];
+
+/// Household objects: bottle, wine glass, cup, bowl, chair, couch, bed,
+/// dining table, toilet, tv monitor, laptop, microwave, oven, sink,
+/// refrigerator, book, clock, vase.
+pub const HOUSEHOLD_OBJECTS: &[u16] =
+    &[31, 32, 33, 37, 47, 48, 50, 51, 52, 53, 54, 59, 60, 62, 63, 64, 65, 66];
+/// Food objects: banana, apple, sandwich, orange, broccoli, carrot, pizza,
+/// donut, cake.
+pub const FOOD_OBJECTS: &[u16] = &[38, 39, 40, 41, 42, 43, 44, 45, 46];
+/// Vehicles and street furniture: bicycle, car, motorcycle, bus, truck,
+/// boat, traffic light, fire hydrant, stop sign, parking meter, bench.
+pub const STREET_OBJECTS: &[u16] = &[3, 4, 5, 6, 7, 8, 71, 72, 73, 74, 75];
+/// Sports gear: frisbee, skis, snowboard, sports ball, kite, baseball bat,
+/// skateboard, surfboard, tennis racket, bicycle.
+pub const SPORT_OBJECTS: &[u16] = &[22, 23, 24, 25, 26, 27, 28, 29, 30, 3];
+/// Wild/farm animals (non-dog): cat, bird, horse, sheep, cow, elephant,
+/// bear, zebra, giraffe.
+pub const ANIMAL_OBJECTS: &[u16] = &[2, 9, 10, 11, 12, 13, 14, 15, 16];
+/// Personal accessories: backpack, umbrella, handbag, tie, suitcase,
+/// cell phone.
+pub const ACCESSORY_OBJECTS: &[u16] = &[17, 18, 19, 20, 21, 58];
+
+/// Sports actions (named head of the action range).
+pub const SPORT_ACTIONS: &[u16] = &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+/// Social actions: drinking beer, making up, cooking, reading, dancing,
+/// singing, playing guitar, shaking hands, hugging, eating, drinking coffee,
+/// phoning.
+pub const SOCIAL_ACTIONS: &[u16] = &[12, 13, 15, 16, 18, 19, 20, 22, 23, 25, 26, 28];
+/// Street actions: walking the dog, phoning, taking photo, waving, running.
+pub const STREET_ACTIONS: &[u16] = &[27, 28, 21, 24, 9];
+
+/// The within-task index of the "walking the dog" action.
+pub const WALK_DOG_ACTION: u16 = 27;
+/// The within-task index of the "person" object label.
+pub const PERSON_OBJECT: u16 = 0;
+/// The within-task index of the "dog" object label.
+pub const DOG_OBJECT: u16 = 1;
+
+/// Indoor/outdoor rule for synthetic places (index ≥ 40): even indices are
+/// indoor, odd are outdoor. Named places 0..20 are indoor, 20..40 outdoor.
+pub fn place_is_indoor(index: u16) -> bool {
+    if index < 20 {
+        true
+    } else if index < 40 {
+        false
+    } else {
+        index.is_multiple_of(2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sampling helpers
+// ---------------------------------------------------------------------------
+
+fn pick(rng: &mut SmallRng, pool: &[u16]) -> u16 {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Pick from a named pool w.p. `1 - synth_p`, otherwise a synthetic index
+/// from `synth` matching the wanted indoor-ness (places) or any (actions).
+fn pick_place(rng: &mut SmallRng, pool: &[u16], indoor: bool, synth_p: f64) -> u16 {
+    if rng.gen_bool(synth_p) {
+        // synthetic places: 40..365, parity encodes indoor-ness
+        loop {
+            let idx = rng.gen_range(40..365) as u16;
+            if place_is_indoor(idx) == indoor {
+                return idx;
+            }
+        }
+    } else {
+        pick(rng, pool)
+    }
+}
+
+fn pick_action(rng: &mut SmallRng, pool: &[u16], synth_range: std::ops::Range<u16>, synth_p: f64) -> u16 {
+    if rng.gen_bool(synth_p) {
+        rng.gen_range(synth_range.start..synth_range.end)
+    } else {
+        pick(rng, pool)
+    }
+}
+
+struct PersonCfg {
+    face_p: f64,
+    body_p: f64,
+    hands_p: f64,
+    action_p: f64,
+    scale_range: (f32, f32),
+}
+
+fn sample_person(
+    rng: &mut SmallRng,
+    cfg: &PersonCfg,
+    action_pool: &[u16],
+    synth_actions: std::ops::Range<u16>,
+) -> Person {
+    let face_visible = rng.gen_bool(cfg.face_p);
+    let body_visible = rng.gen_bool(cfg.body_p);
+    // hands require a visible body most of the time
+    let hands_visible = body_visible && rng.gen_bool(cfg.hands_p);
+    let action = if rng.gen_bool(cfg.action_p) {
+        Some(pick_action(rng, action_pool, synth_actions, 0.35))
+    } else {
+        None
+    };
+    Person {
+        scale: rng.gen_range(cfg.scale_range.0..=cfg.scale_range.1),
+        face_visible,
+        body_visible,
+        hands_visible,
+        gender: rng.gen_range(0..2),
+        emotion: rng.gen_range(0..7),
+        action,
+    }
+}
+
+fn sample_objects(rng: &mut SmallRng, pools: &[(&[u16], usize)]) -> Vec<u16> {
+    let mut objects = Vec::new();
+    for &(pool, max_n) in pools {
+        let n = rng.gen_range(0..=max_n);
+        for _ in 0..n {
+            objects.push(pick(rng, pool));
+        }
+    }
+    objects.sort_unstable();
+    objects.dedup();
+    objects
+}
+
+/// Sample a scene's content from a template. `id` is assigned by the caller.
+pub fn sample(kind: TemplateKind, id: u64, rng: &mut SmallRng) -> Scene {
+    // Synthetic actions live in two bands: sporty 29..150, social 150..400.
+    const SYNTH_SPORT: std::ops::Range<u16> = 29..150;
+    const SYNTH_SOCIAL: std::ops::Range<u16> = 150..400;
+
+    let (place, persons, dogs, objects) = match kind {
+        TemplateKind::IndoorSocial => {
+            let place_idx = pick_place(rng, INDOOR_SOCIAL_PLACES, true, 0.25);
+            let n = rng.gen_range(1..=4);
+            let cfg = PersonCfg {
+                face_p: 0.85,
+                body_p: 0.65,
+                hands_p: 0.55,
+                action_p: 0.8,
+                scale_range: (0.4, 1.0),
+            };
+            let persons: Vec<Person> =
+                (0..n).map(|_| sample_person(rng, &cfg, SOCIAL_ACTIONS, SYNTH_SOCIAL)).collect();
+            let dogs = if rng.gen_bool(0.05) {
+                vec![DogInstance { breed: rng.gen_range(0..120), scale: rng.gen_range(0.3..0.7) }]
+            } else {
+                vec![]
+            };
+            let objects =
+                sample_objects(rng, &[(HOUSEHOLD_OBJECTS, 4), (FOOD_OBJECTS, 2), (ACCESSORY_OBJECTS, 1)]);
+            (place_idx, persons, dogs, objects)
+        }
+        TemplateKind::OutdoorSport => {
+            let place_idx = pick_place(rng, OUTDOOR_SPORT_PLACES, false, 0.25);
+            let n = rng.gen_range(1..=3);
+            let cfg = PersonCfg {
+                face_p: 0.45,
+                body_p: 0.95,
+                hands_p: 0.6,
+                action_p: 0.95,
+                scale_range: (0.5, 1.0),
+            };
+            let persons: Vec<Person> =
+                (0..n).map(|_| sample_person(rng, &cfg, SPORT_ACTIONS, SYNTH_SPORT)).collect();
+            let objects = sample_objects(rng, &[(SPORT_OBJECTS, 3), (ACCESSORY_OBJECTS, 1)]);
+            (place_idx, persons, vec![], objects)
+        }
+        TemplateKind::AnimalScene => {
+            let place_idx = pick_place(rng, ANIMAL_PLACES, false, 0.2);
+            let n_dogs = rng.gen_range(1..=2);
+            let dogs: Vec<DogInstance> = (0..n_dogs)
+                .map(|_| DogInstance {
+                    breed: rng.gen_range(0..120),
+                    scale: rng.gen_range(0.4..1.0),
+                })
+                .collect();
+            let persons = if rng.gen_bool(0.4) {
+                let cfg = PersonCfg {
+                    face_p: 0.5,
+                    body_p: 0.85,
+                    hands_p: 0.4,
+                    action_p: 1.0,
+                    scale_range: (0.4, 0.9),
+                };
+                let mut p = sample_person(rng, &cfg, &[WALK_DOG_ACTION], 0..1, );
+                p.action = Some(WALK_DOG_ACTION);
+                vec![p]
+            } else {
+                vec![]
+            };
+            let objects = sample_objects(rng, &[(ANIMAL_OBJECTS, 1)]);
+            (place_idx, persons, dogs, objects)
+        }
+        TemplateKind::ObjectStill => {
+            let place_idx = pick_place(rng, INDOOR_OTHER_PLACES, true, 0.35);
+            let objects =
+                sample_objects(rng, &[(HOUSEHOLD_OBJECTS, 6), (FOOD_OBJECTS, 4), (ACCESSORY_OBJECTS, 2)]);
+            (place_idx, vec![], vec![], objects)
+        }
+        TemplateKind::StreetScene => {
+            let place_idx = pick_place(rng, OUTDOOR_URBAN_PLACES, false, 0.3);
+            let n = rng.gen_range(0..=3);
+            let cfg = PersonCfg {
+                face_p: 0.35,
+                body_p: 0.7,
+                hands_p: 0.3,
+                action_p: 0.5,
+                scale_range: (0.3, 0.7),
+            };
+            let persons: Vec<Person> =
+                (0..n).map(|_| sample_person(rng, &cfg, STREET_ACTIONS, SYNTH_SOCIAL)).collect();
+            let dogs = if rng.gen_bool(0.08) {
+                vec![DogInstance { breed: rng.gen_range(0..120), scale: rng.gen_range(0.3..0.6) }]
+            } else {
+                vec![]
+            };
+            let objects = sample_objects(rng, &[(STREET_OBJECTS, 5), (ACCESSORY_OBJECTS, 1)]);
+            (place_idx, persons, dogs, objects)
+        }
+        TemplateKind::Portrait => {
+            let indoor = rng.gen_bool(0.7);
+            let pool = if indoor { INDOOR_OTHER_PLACES } else { OUTDOOR_NATURE_PLACES };
+            let place_idx = pick_place(rng, pool, indoor, 0.3);
+            let n = rng.gen_range(1..=2);
+            let cfg = PersonCfg {
+                face_p: 0.98,
+                body_p: 0.25,
+                hands_p: 0.35,
+                action_p: 0.4,
+                scale_range: (0.7, 1.0),
+            };
+            let persons: Vec<Person> =
+                (0..n).map(|_| sample_person(rng, &cfg, SOCIAL_ACTIONS, SYNTH_SOCIAL)).collect();
+            let objects = sample_objects(rng, &[(ACCESSORY_OBJECTS, 1)]);
+            (place_idx, persons, vec![], objects)
+        }
+        TemplateKind::Landscape => {
+            let place_idx = pick_place(rng, OUTDOOR_NATURE_PLACES, false, 0.4);
+            let objects = sample_objects(rng, &[(ANIMAL_OBJECTS, 1), (STREET_OBJECTS, 1)]);
+            (place_idx, vec![], vec![], objects)
+        }
+    };
+
+    Scene {
+        id,
+        place: Place { index: place, indoor: place_is_indoor(place) },
+        persons,
+        dogs,
+        objects,
+        template: kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_models::{LabelCatalog, Task};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    /// The index pools must point at the labels their doc comments claim.
+    #[test]
+    fn pools_match_catalog_names() {
+        let c = LabelCatalog::standard();
+        let obj = |i: u16| c.name(c.label(Task::ObjectDetection, i as usize)).to_string();
+        let place = |i: u16| c.name(c.label(Task::PlaceClassification, i as usize)).to_string();
+        let act = |i: u16| c.name(c.label(Task::ActionClassification, i as usize)).to_string();
+
+        assert_eq!(obj(PERSON_OBJECT), "person");
+        assert_eq!(obj(DOG_OBJECT), "dog");
+        assert_eq!(place(INDOOR_SOCIAL_PLACES[0]), "pub");
+        assert_eq!(place(INDOOR_SOCIAL_PLACES[1]), "beer hall");
+        assert_eq!(act(SOCIAL_ACTIONS[0]), "drinking beer");
+        assert_eq!(act(WALK_DOG_ACTION), "walking the dog");
+        assert_eq!(act(SPORT_ACTIONS[0]), "riding bike");
+        assert_eq!(obj(HOUSEHOLD_OBJECTS[2]), "cup");
+        assert_eq!(obj(STREET_OBJECTS[0]), "bicycle");
+    }
+
+    #[test]
+    fn place_indoor_rule() {
+        assert!(place_is_indoor(0));
+        assert!(place_is_indoor(19));
+        assert!(!place_is_indoor(20));
+        assert!(!place_is_indoor(39));
+        assert!(place_is_indoor(40));
+        assert!(!place_is_indoor(41));
+    }
+
+    #[test]
+    fn indoor_social_scenes_have_people_indoors() {
+        let mut r = rng(7);
+        for i in 0..50 {
+            let s = sample(TemplateKind::IndoorSocial, i, &mut r);
+            assert!(!s.persons.is_empty());
+            assert!(s.place.indoor, "indoor social scene must be indoor");
+        }
+    }
+
+    #[test]
+    fn landscapes_are_empty_of_people() {
+        let mut r = rng(8);
+        for i in 0..50 {
+            let s = sample(TemplateKind::Landscape, i, &mut r);
+            assert!(s.persons.is_empty());
+            assert!(s.dogs.is_empty());
+            assert!(!s.place.indoor);
+        }
+    }
+
+    #[test]
+    fn animal_scenes_have_dogs() {
+        let mut r = rng(9);
+        for i in 0..50 {
+            let s = sample(TemplateKind::AnimalScene, i, &mut r);
+            assert!(!s.dogs.is_empty());
+            for d in &s.dogs {
+                assert!(d.breed < 120);
+            }
+            // any person in an animal scene is a dog walker
+            for p in &s.persons {
+                assert_eq!(p.action, Some(WALK_DOG_ACTION));
+            }
+        }
+    }
+
+    #[test]
+    fn sport_scenes_bias_to_sport_actions() {
+        let mut r = rng(10);
+        let mut sporty = 0;
+        let mut total = 0;
+        for i in 0..200 {
+            let s = sample(TemplateKind::OutdoorSport, i, &mut r);
+            assert!(!s.place.indoor);
+            for p in &s.persons {
+                if let Some(a) = p.action {
+                    total += 1;
+                    if a < 12 || (29..150).contains(&a) {
+                        sporty += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            sporty as f64 / total as f64 > 0.95,
+            "sport scenes should have sporty actions ({sporty}/{total})"
+        );
+    }
+
+    #[test]
+    fn portraits_have_visible_faces() {
+        let mut r = rng(11);
+        let mut faces = 0;
+        let mut persons = 0;
+        for i in 0..100 {
+            let s = sample(TemplateKind::Portrait, i, &mut r);
+            persons += s.persons.len();
+            faces += s.persons.iter().filter(|p| p.face_visible).count();
+        }
+        assert!(faces as f64 / persons as f64 > 0.9);
+    }
+
+    #[test]
+    fn objects_are_sorted_dedup() {
+        let mut r = rng(12);
+        for i in 0..100 {
+            let s = sample(TemplateKind::ObjectStill, i, &mut r);
+            let mut sorted = s.objects.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(s.objects, sorted);
+            assert!(s.persons.is_empty());
+        }
+    }
+
+    #[test]
+    fn scene_ids_pass_through() {
+        let mut r = rng(13);
+        let s = sample(TemplateKind::StreetScene, 424242, &mut r);
+        assert_eq!(s.id, 424242);
+        assert_eq!(s.template, TemplateKind::StreetScene);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the data substrate: value algebra (Lemma 1) and
+//! determinism of simulated inference.
+
+use ams_data::{Dataset, DatasetProfile, TruthTable};
+use ams_models::{LabelSet, ModelId, ModelZoo};
+use proptest::prelude::*;
+
+fn fixture() -> (ModelZoo, TruthTable) {
+    let zoo = ModelZoo::standard();
+    let ds = Dataset::generate(DatasetProfile::Coco2017, 25, 314);
+    let t = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+    (zoo, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// f(S,d) is order-independent: any permutation of S recalls the same value.
+    #[test]
+    fn value_is_order_independent(item_idx in 0usize..25, perm_seed in any::<u64>(), bits in 0u64..(1u64 << 30)) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let (_, t) = fixture();
+        let item = t.item(item_idx);
+        let mut subset: Vec<ModelId> =
+            (0..30).filter(|i| bits >> i & 1 == 1).map(|i| ModelId(i as u8)).collect();
+        let v1 = item.value_of_set(&subset, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        subset.shuffle(&mut rng);
+        let v2 = item.value_of_set(&subset, 0.5);
+        prop_assert!((v1 - v2).abs() < 1e-9);
+    }
+
+    /// Recall of any subset lies in [0, 1] and the full set recalls 1.
+    #[test]
+    fn recall_bounds(item_idx in 0usize..25, bits in 0u64..(1u64 << 30)) {
+        let (zoo, t) = fixture();
+        let item = t.item(item_idx);
+        let subset: Vec<ModelId> =
+            (0..30).filter(|i| bits >> i & 1 == 1).map(|i| ModelId(i as u8)).collect();
+        let r = item.recall_of_set(&subset, 0.5);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r));
+        let all: Vec<ModelId> = zoo.ids().collect();
+        prop_assert!((item.recall_of_set(&all, 0.5) - 1.0).abs() < 1e-9);
+    }
+
+    /// apply() gains exactly marginal_value() and is idempotent.
+    #[test]
+    fn apply_marginal_consistency(item_idx in 0usize..25, order_bits in 0u64..(1u64 << 30), model in 0u8..30) {
+        let (_, t) = fixture();
+        let item = t.item(item_idx);
+        let mut state = LabelSet::new(item.universe());
+        for i in 0..30 {
+            if order_bits >> i & 1 == 1 {
+                item.apply(&mut state, ModelId(i as u8), 0.5);
+            }
+        }
+        let m = ModelId(model);
+        let predicted = item.marginal_value(&state, m, 0.5);
+        let gained = item.apply(&mut state, m, 0.5);
+        prop_assert!((predicted - gained).abs() < 1e-9);
+        // idempotent: applying again gains nothing
+        let again = item.apply(&mut state, m, 0.5);
+        prop_assert_eq!(again, 0.0);
+    }
+
+    /// Simulated inference is a pure function of (world, scene, model).
+    #[test]
+    fn inference_is_deterministic(scene_idx in 0usize..25, model in 0u8..30) {
+        let zoo = ModelZoo::standard();
+        let catalog = zoo.catalog();
+        let ds = Dataset::generate(DatasetProfile::MirFlickr25, 25, 555);
+        let spec = zoo.spec(ModelId(model));
+        let a = ams_data::infer(&ds.scenes[scene_idx], spec, &catalog, 555);
+        let b = ams_data::infer(&ds.scenes[scene_idx], spec, &catalog, 555);
+        prop_assert_eq!(a.detections.len(), b.detections.len());
+        for (x, y) in a.detections.iter().zip(&b.detections) {
+            prop_assert_eq!(x.label, y.label);
+            prop_assert!((x.confidence - y.confidence).abs() < 1e-9);
+        }
+    }
+
+    /// Dataset generation is stable under the same seed and divergent under
+    /// different seeds.
+    #[test]
+    fn dataset_seed_behaviour(seed in any::<u64>()) {
+        let a = Dataset::generate(DatasetProfile::Places365, 12, seed);
+        let b = Dataset::generate(DatasetProfile::Places365, 12, seed);
+        for (x, y) in a.scenes.iter().zip(&b.scenes) {
+            prop_assert_eq!(x.place.index, y.place.index);
+            prop_assert_eq!(&x.objects, &y.objects);
+            prop_assert_eq!(x.persons.len(), y.persons.len());
+        }
+        let c = Dataset::generate(DatasetProfile::Places365, 12, seed.wrapping_add(1));
+        let same = a
+            .scenes
+            .iter()
+            .zip(&c.scenes)
+            .filter(|(x, y)| x.place.index == y.place.index && x.objects == y.objects)
+            .count();
+        prop_assert!(same < 12, "different seeds must diverge");
+    }
+}

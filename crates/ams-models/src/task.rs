@@ -1,0 +1,159 @@
+//! The ten visual-analysis tasks of Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// A visual-analysis task, one of the ten in Table I of the paper.
+///
+/// Each task owns a contiguous slice of the global label catalog; the label
+/// counts per task replicate Table I exactly (summing to 1104).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Task {
+    /// Object detection (80 labels — COCO-style object classes).
+    ObjectDetection,
+    /// Place classification (365 labels — Places365-style categories).
+    PlaceClassification,
+    /// Face detection (1 label — "face").
+    FaceDetection,
+    /// Face landmark localization (70 labels — facial keypoints).
+    FaceLandmark,
+    /// Human pose estimation (17 labels — body keypoints).
+    PoseEstimation,
+    /// Emotion classification (7 labels).
+    EmotionClassification,
+    /// Gender classification (2 labels).
+    GenderClassification,
+    /// Action classification (400 labels — Kinetics-style actions).
+    ActionClassification,
+    /// Hand landmark localization (42 labels — 21 keypoints x 2 hands).
+    HandLandmark,
+    /// Fine-grained dog breed classification (120 labels).
+    DogClassification,
+}
+
+impl Task {
+    /// All ten tasks in catalog order (the order labels are laid out in).
+    pub const ALL: [Task; 10] = [
+        Task::ObjectDetection,
+        Task::PlaceClassification,
+        Task::FaceDetection,
+        Task::FaceLandmark,
+        Task::PoseEstimation,
+        Task::EmotionClassification,
+        Task::GenderClassification,
+        Task::ActionClassification,
+        Task::HandLandmark,
+        Task::DogClassification,
+    ];
+
+    /// Number of labels this task contributes to the catalog (Table I).
+    pub const fn label_count(self) -> usize {
+        match self {
+            Task::ObjectDetection => 80,
+            Task::PlaceClassification => 365,
+            Task::FaceDetection => 1,
+            Task::FaceLandmark => 70,
+            Task::PoseEstimation => 17,
+            Task::EmotionClassification => 7,
+            Task::GenderClassification => 2,
+            Task::ActionClassification => 400,
+            Task::HandLandmark => 42,
+            Task::DogClassification => 120,
+        }
+    }
+
+    /// Offset of this task's first label in the global catalog.
+    pub fn label_offset(self) -> usize {
+        let mut off = 0;
+        let mut i = 0;
+        while i < Self::ALL.len() {
+            if Self::ALL[i] == self {
+                return off;
+            }
+            off += Self::ALL[i].label_count();
+            i += 1;
+        }
+        unreachable!("task missing from Task::ALL");
+    }
+
+    /// Human-readable task name as printed in Table I.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Task::ObjectDetection => "Object Detection",
+            Task::PlaceClassification => "Place Classification",
+            Task::FaceDetection => "Face Detection",
+            Task::FaceLandmark => "Face Landmark Localization",
+            Task::PoseEstimation => "Pose Estimation",
+            Task::EmotionClassification => "Emotion Classification",
+            Task::GenderClassification => "Gender Classification",
+            Task::ActionClassification => "Action Classification",
+            Task::HandLandmark => "Hand Landmark Localization",
+            Task::DogClassification => "Dog Classification",
+        }
+    }
+
+    /// Stable small index of the task (position in [`Task::ALL`]).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&t| t == self).expect("task in ALL")
+    }
+
+    /// Total number of labels across all tasks: 1104, as in the paper.
+    pub fn total_labels() -> usize {
+        Self::ALL.iter().map(|t| t.label_count()).sum()
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_counts_match_table1() {
+        assert_eq!(Task::ObjectDetection.label_count(), 80);
+        assert_eq!(Task::PlaceClassification.label_count(), 365);
+        assert_eq!(Task::FaceDetection.label_count(), 1);
+        assert_eq!(Task::FaceLandmark.label_count(), 70);
+        assert_eq!(Task::PoseEstimation.label_count(), 17);
+        assert_eq!(Task::EmotionClassification.label_count(), 7);
+        assert_eq!(Task::GenderClassification.label_count(), 2);
+        assert_eq!(Task::ActionClassification.label_count(), 400);
+        assert_eq!(Task::HandLandmark.label_count(), 42);
+        assert_eq!(Task::DogClassification.label_count(), 120);
+    }
+
+    #[test]
+    fn total_is_1104() {
+        assert_eq!(Task::total_labels(), 1104);
+    }
+
+    #[test]
+    fn offsets_are_contiguous_and_ordered() {
+        let mut expected = 0usize;
+        for t in Task::ALL {
+            assert_eq!(t.label_offset(), expected, "offset of {t}");
+            expected += t.label_count();
+        }
+        assert_eq!(expected, 1104);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, t) in Task::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(Task::ALL[t.index()], *t);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Task::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+}

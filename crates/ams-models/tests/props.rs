@@ -1,0 +1,101 @@
+//! Property tests for the model-zoo substrate.
+
+use ams_models::{LabelId, LabelSet, ModelId, ModelOutput, ModelZoo};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// LabelSet behaves exactly like a HashSet<u16> under a random op tape.
+    #[test]
+    fn labelset_matches_hashset_model(ops in prop::collection::vec((0u16..1104, any::<bool>()), 0..200)) {
+        let mut set = LabelSet::new(1104);
+        let mut model: HashSet<u16> = HashSet::new();
+        for (id, insert) in ops {
+            let l = LabelId(id);
+            if insert {
+                prop_assert_eq!(set.insert(l), model.insert(id));
+            } else {
+                prop_assert_eq!(set.remove(l), model.remove(&id));
+            }
+            prop_assert_eq!(set.contains(l), model.contains(&id));
+        }
+        prop_assert_eq!(set.count(), model.len());
+        let mut from_iter: Vec<u16> = set.iter().map(|l| l.0).collect();
+        let mut from_model: Vec<u16> = model.into_iter().collect();
+        from_model.sort_unstable();
+        from_iter.sort_unstable();
+        prop_assert_eq!(from_iter, from_model);
+    }
+
+    /// Union is commutative-by-effect and subset relations hold.
+    #[test]
+    fn labelset_union_laws(a in prop::collection::hash_set(0u16..256, 0..64),
+                           b in prop::collection::hash_set(0u16..256, 0..64)) {
+        let build = |ids: &HashSet<u16>| {
+            let mut s = LabelSet::new(256);
+            for &i in ids {
+                s.insert(LabelId(i));
+            }
+            s
+        };
+        let sa = build(&a);
+        let sb = build(&b);
+        let mut u1 = sa.clone();
+        u1.union_with(&sb);
+        let mut u2 = sb.clone();
+        u2.union_with(&sa);
+        prop_assert_eq!(u1.count(), u2.count());
+        prop_assert!(sa.is_subset_of(&u1));
+        prop_assert!(sb.is_subset_of(&u1));
+        prop_assert_eq!(u1.count(), a.union(&b).count());
+    }
+
+    /// ModelOutput::new dedups to the max confidence, sorted by label.
+    #[test]
+    fn model_output_dedup_keeps_max(dets in prop::collection::vec((0u16..1104, 0.0f32..1.0), 0..60)) {
+        let raw: Vec<ams_models::Detection> = dets
+            .iter()
+            .map(|&(l, c)| ams_models::Detection::new(LabelId(l), c))
+            .collect();
+        let out = ModelOutput::new(ModelId(0), raw);
+        // sorted unique labels
+        for w in out.detections.windows(2) {
+            prop_assert!(w[0].label < w[1].label);
+        }
+        // max confidence per label preserved
+        for d in &out.detections {
+            let max = dets
+                .iter()
+                .filter(|&&(l, _)| l == d.label.0)
+                .map(|&(_, c)| c)
+                .fold(0.0f32, f32::max);
+            prop_assert!((d.confidence - max).abs() < 1e-6);
+        }
+        // value is the sum over the threshold
+        let v = out.value(0.5);
+        let manual: f64 = out
+            .detections
+            .iter()
+            .filter(|d| d.confidence >= 0.5)
+            .map(|d| f64::from(d.confidence))
+            .sum();
+        prop_assert!((v - manual).abs() < 1e-9);
+    }
+
+    /// Zoo subsetting preserves specs and reindexes densely.
+    #[test]
+    fn zoo_subset_preserves_specs(ids in prop::collection::btree_set(0u8..30, 1..30)) {
+        let zoo = ModelZoo::standard();
+        let picks: Vec<ModelId> = ids.iter().map(|&i| ModelId(i)).collect();
+        let sub = zoo.subset(&picks);
+        prop_assert_eq!(sub.len(), picks.len());
+        for (new_idx, &old) in picks.iter().enumerate() {
+            let s = sub.spec(ModelId(new_idx as u8));
+            let o = zoo.spec(old);
+            prop_assert_eq!(s.task, o.task);
+            prop_assert_eq!(s.time_ms, o.time_ms);
+            prop_assert_eq!(s.mem_mb, o.mem_mb);
+            prop_assert_eq!(s.id.index(), new_idx);
+        }
+    }
+}

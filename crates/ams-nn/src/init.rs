@@ -1,0 +1,56 @@
+//! Weight initialization: He-normal for ReLU networks.
+
+use crate::matrix::Mat;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sample a standard normal via Box–Muller.
+pub fn standard_normal(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// He-normal initialization for a `fan_in x fan_out` (input-major) weight
+/// matrix: `w ~ N(0, 2 / fan_in)`.
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Mat {
+    let sd = (2.0 / fan_in as f64).sqrt() as f32;
+    let mut m = Mat::zeros(fan_in, fan_out);
+    for w in m.as_mut_slice() {
+        *w = standard_normal(rng) * sd;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = he_normal(1000, 50, &mut rng);
+        let var = m.as_slice().iter().map(|x| x * x).sum::<f32>() / (1000.0 * 50.0);
+        let expected = 2.0 / 1000.0;
+        assert!((var / expected - 1.0).abs() < 0.1, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = he_normal(4, 4, &mut StdRng::seed_from_u64(3));
+        let b = he_normal(4, 4, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,88 @@
+//! Loss functions for Q-learning targets.
+
+/// Huber (smooth-L1) loss, the standard robust loss for DQN TD errors.
+#[derive(Debug, Clone, Copy)]
+pub struct Huber {
+    /// Transition point between quadratic and linear regimes.
+    pub delta: f32,
+}
+
+impl Default for Huber {
+    fn default() -> Self {
+        Self { delta: 1.0 }
+    }
+}
+
+impl Huber {
+    /// Loss value for residual `r = prediction − target`.
+    pub fn loss(&self, r: f32) -> f32 {
+        let a = r.abs();
+        if a <= self.delta {
+            0.5 * r * r
+        } else {
+            self.delta * (a - 0.5 * self.delta)
+        }
+    }
+
+    /// Derivative w.r.t. the prediction.
+    pub fn dloss(&self, r: f32) -> f32 {
+        r.clamp(-self.delta, self.delta)
+    }
+}
+
+/// Mean-squared-error helpers (used by tests and ablations).
+pub mod mse {
+    /// Loss `0.5 (p − t)^2`.
+    pub fn loss(r: f32) -> f32 {
+        0.5 * r * r
+    }
+
+    /// Derivative w.r.t. the prediction.
+    pub fn dloss(r: f32) -> f32 {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huber_is_quadratic_inside_delta() {
+        let h = Huber::default();
+        assert!((h.loss(0.5) - 0.125).abs() < 1e-7);
+        assert!((h.dloss(0.5) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn huber_is_linear_outside_delta() {
+        let h = Huber::default();
+        assert!((h.loss(3.0) - 2.5).abs() < 1e-7);
+        assert_eq!(h.dloss(3.0), 1.0);
+        assert_eq!(h.dloss(-3.0), -1.0);
+    }
+
+    #[test]
+    fn huber_is_continuous_at_delta() {
+        let h = Huber { delta: 2.0 };
+        let inside = h.loss(2.0 - 1e-4);
+        let outside = h.loss(2.0 + 1e-4);
+        assert!((inside - outside).abs() < 1e-3);
+    }
+
+    #[test]
+    fn huber_derivative_matches_finite_difference() {
+        let h = Huber::default();
+        for r in [-2.5f32, -0.7, 0.0, 0.3, 1.8] {
+            let eps = 1e-3;
+            let fd = (h.loss(r + eps) - h.loss(r - eps)) / (2.0 * eps);
+            assert!((fd - h.dloss(r)).abs() < 1e-2, "r={r}");
+        }
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse::loss(2.0), 2.0);
+        assert_eq!(mse::dloss(2.0), 2.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! First-order optimizers over flattened parameter tensors.
+//!
+//! Networks expose their parameters as an ordered sequence of tensors
+//! (flat `&mut [f32]` slices); gradients expose the same sequence. An
+//! optimizer pairs them up positionally and keeps any per-tensor state
+//! (e.g. Adam moments) in parallel buffers.
+
+/// A first-order optimizer.
+pub trait Optimizer {
+    /// Apply one update step. `params` and `grads` must be positionally
+    /// aligned tensor sequences of identical shapes across calls.
+    fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]) {
+        assert_eq!(params.len(), grads.len());
+        for (p, g) in params.iter_mut().zip(grads) {
+            assert_eq!(p.len(), g.len());
+            for (pi, gi) in p.iter_mut().zip(g.iter()) {
+                *pi -= self.lr * gi;
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the usual defaults and the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]) {
+        assert_eq!(params.len(), grads.len());
+        if self.m.is_empty() {
+            self.m = grads.iter().map(|g| vec![0.0; g.len()]).collect();
+            self.v = grads.iter().map(|g| vec![0.0; g.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "tensor count changed between steps");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in
+            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(p.len(), g.len());
+            for i in 0..p.len() {
+                let gi = g[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * gi;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = Σ (x_i − c_i)^2 and check convergence.
+    fn optimize(opt: &mut dyn Optimizer, steps: usize) -> Vec<f32> {
+        let target = [3.0f32, -2.0, 0.5];
+        let mut x = vec![0.0f32; 3];
+        for _ in 0..steps {
+            let g: Vec<f32> = x.iter().zip(&target).map(|(xi, ti)| 2.0 * (xi - ti)).collect();
+            let mut params: Vec<&mut [f32]> = vec![&mut x];
+            opt.step(&mut params, &[&g]);
+        }
+        x.iter().zip(&target).map(|(xi, ti)| (xi - ti).abs()).collect()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd { lr: 0.1 };
+        let err = optimize(&mut opt, 200);
+        assert!(err.iter().all(|&e| e < 1e-3), "{err:?}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let err = optimize(&mut opt, 500);
+        assert!(err.iter().all(|&e| e < 1e-2), "{err:?}");
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn adam_handles_multiple_tensors() {
+        let mut opt = Adam::new(0.1);
+        let mut a = vec![1.0f32];
+        let mut b = vec![-1.0f32, 2.0];
+        for _ in 0..300 {
+            let ga = vec![2.0 * a[0]];
+            let gb: Vec<f32> = b.iter().map(|x| 2.0 * x).collect();
+            let mut params: Vec<&mut [f32]> = vec![&mut a, &mut b];
+            opt.step(&mut params, &[&ga, &gb]);
+        }
+        assert!(a[0].abs() < 1e-2);
+        assert!(b.iter().all(|x| x.abs() < 1e-2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_tensor_counts_panic() {
+        let mut opt = Sgd { lr: 0.1 };
+        let mut a = vec![0.0f32];
+        let mut params: Vec<&mut [f32]> = vec![&mut a];
+        opt.step(&mut params, &[]);
+    }
+}

@@ -1,0 +1,535 @@
+//! The Q-value network: trunk of ReLU dense layers plus a linear or dueling
+//! head, exactly parameterizable as the paper's architecture
+//! (1104 → 256 ReLU → 31, §IV-B).
+
+use crate::dense::{Dense, DenseGrad, Input};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Network head: plain linear Q output, or dueling value/advantage streams
+/// combined as `Q(s,a) = V(s) + A(s,a) − mean_a A(s,a)` (Wang et al.).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Head {
+    /// Single linear layer producing Q values.
+    Linear(Dense),
+    /// Dueling architecture.
+    Dueling {
+        /// State-value stream (fan_out = 1).
+        value: Dense,
+        /// Advantage stream (fan_out = actions).
+        advantage: Dense,
+    },
+}
+
+/// Architecture description for [`QNet::new`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QNetConfig {
+    /// Input dimension (1104 labels in the paper).
+    pub input_dim: usize,
+    /// Hidden layer widths (the paper uses a single 256-unit layer).
+    pub hidden: Vec<usize>,
+    /// Number of actions (30 models + END = 31 in the paper).
+    pub actions: usize,
+    /// Whether to use the dueling head.
+    pub dueling: bool,
+}
+
+impl QNetConfig {
+    /// The paper's architecture: `input 1104 → 256 ReLU → 31`, linear head.
+    pub fn paper(input_dim: usize, actions: usize) -> Self {
+        Self { input_dim, hidden: vec![256], actions, dueling: false }
+    }
+
+    /// The paper's architecture with a dueling head (DuelingDQN rows).
+    pub fn paper_dueling(input_dim: usize, actions: usize) -> Self {
+        Self { input_dim, hidden: vec![256], actions, dueling: true }
+    }
+}
+
+/// Forward-pass cache: every intermediate needed by the backward pass.
+#[derive(Debug, Clone, Default)]
+pub struct FwdCache {
+    /// Post-ReLU activation of each trunk layer.
+    pub acts: Vec<Vec<f32>>,
+    /// Raw advantage-stream output (dueling only).
+    pub adv: Vec<f32>,
+    /// Raw value-stream output (dueling only).
+    pub value: f32,
+    /// Final Q values.
+    pub q: Vec<f32>,
+}
+
+/// Gradients mirroring a [`QNet`]'s tensors.
+#[derive(Debug, Clone)]
+pub struct QNetGrads {
+    trunk: Vec<DenseGrad>,
+    head_a: DenseGrad,
+    head_b: Option<DenseGrad>,
+}
+
+impl QNetGrads {
+    /// Zero all accumulators.
+    pub fn zero(&mut self) {
+        for g in &mut self.trunk {
+            g.zero();
+        }
+        self.head_a.zero();
+        if let Some(g) = &mut self.head_b {
+            g.zero();
+        }
+    }
+
+    /// Scale all accumulators (e.g. by `1/batch`).
+    pub fn scale(&mut self, s: f32) {
+        for g in &mut self.trunk {
+            g.scale(s);
+        }
+        self.head_a.scale(s);
+        if let Some(g) = &mut self.head_b {
+            g.scale(s);
+        }
+    }
+
+    /// Tensors in canonical order, for the optimizer.
+    pub fn tensors(&self) -> Vec<&[f32]> {
+        let mut v = Vec::new();
+        for g in &self.trunk {
+            v.push(g.w.as_slice());
+            v.push(g.b.as_slice());
+        }
+        v.push(self.head_a.w.as_slice());
+        v.push(self.head_a.b.as_slice());
+        if let Some(g) = &self.head_b {
+            v.push(g.w.as_slice());
+            v.push(g.b.as_slice());
+        }
+        v
+    }
+}
+
+/// The Q network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QNet {
+    trunk: Vec<Dense>,
+    head: Head,
+    config: QNetConfig,
+}
+
+impl QNet {
+    /// Build a fresh network with He initialization under `seed`.
+    pub fn new(config: QNetConfig, seed: u64) -> Self {
+        assert!(config.actions > 0 && config.input_dim > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trunk = Vec::with_capacity(config.hidden.len());
+        let mut prev = config.input_dim;
+        for &h in &config.hidden {
+            trunk.push(Dense::new(prev, h, &mut rng));
+            prev = h;
+        }
+        let head = if config.dueling {
+            Head::Dueling {
+                value: Dense::new(prev, 1, &mut rng),
+                advantage: Dense::new(prev, config.actions, &mut rng),
+            }
+        } else {
+            Head::Linear(Dense::new(prev, config.actions, &mut rng))
+        };
+        Self { trunk, head, config }
+    }
+
+    /// The architecture this network was built with.
+    pub fn config(&self) -> &QNetConfig {
+        &self.config
+    }
+
+    /// Number of actions (Q outputs).
+    pub fn actions(&self) -> usize {
+        self.config.actions
+    }
+
+    /// Total number of learnable parameters.
+    pub fn param_count(&self) -> usize {
+        let dense = |d: &Dense| d.w.rows() * d.w.cols() + d.b.len();
+        let mut n: usize = self.trunk.iter().map(dense).sum();
+        n += match &self.head {
+            Head::Linear(l) => dense(l),
+            Head::Dueling { value, advantage } => dense(value) + dense(advantage),
+        };
+        n
+    }
+
+    /// Forward pass; fills `cache` and returns a reference to the Q values.
+    ///
+    /// Reusing one `cache` across calls avoids all per-call allocations —
+    /// the training loop calls this hundreds of thousands of times.
+    pub fn forward<'c>(&self, input: Input<'_>, cache: &'c mut FwdCache) -> &'c [f32] {
+        let slots = self.trunk.len().max(1);
+        if cache.acts.len() != slots {
+            cache.acts.resize_with(slots, Vec::new);
+        }
+        for li in 0..self.trunk.len() {
+            let layer = &self.trunk[li];
+            // split so we can read acts[li-1] while writing acts[li]
+            let (before, rest) = cache.acts.split_at_mut(li);
+            let act = &mut rest[0];
+            act.resize(layer.fan_out(), 0.0);
+            if li == 0 {
+                layer.forward(input, act);
+            } else {
+                layer.forward(Input::Dense(&before[li - 1]), act);
+            }
+            for a in act.iter_mut() {
+                if *a < 0.0 {
+                    *a = 0.0; // ReLU
+                }
+            }
+        }
+        if self.trunk.is_empty() {
+            // materialize the input as acts[0] so backward has a feature view
+            let x = &mut cache.acts[0];
+            x.resize(self.config.input_dim, 0.0);
+            x.fill(0.0);
+            match input {
+                Input::Dense(d) => x.copy_from_slice(d),
+                Input::Sparse(idx) => {
+                    for &i in idx {
+                        x[i as usize] = 1.0;
+                    }
+                }
+            }
+        }
+        // Disjoint field borrows: read acts, write q/adv/value.
+        let feat: &[f32] = cache.acts.last().expect("feature activation");
+        match &self.head {
+            Head::Linear(l) => {
+                cache.q.resize(l.fan_out(), 0.0);
+                l.forward(Input::Dense(feat), &mut cache.q);
+            }
+            Head::Dueling { value, advantage } => {
+                let mut v = [0.0f32];
+                value.forward(Input::Dense(feat), &mut v);
+                cache.adv.resize(advantage.fan_out(), 0.0);
+                advantage.forward(Input::Dense(feat), &mut cache.adv);
+                cache.value = v[0];
+                let mean = cache.adv.iter().sum::<f32>() / cache.adv.len() as f32;
+                cache.q.resize(cache.adv.len(), 0.0);
+                for (q, a) in cache.q.iter_mut().zip(&cache.adv) {
+                    *q = cache.value + a - mean;
+                }
+            }
+        }
+        &cache.q
+    }
+
+    /// Convenience: forward pass with a throwaway cache, returning owned Qs.
+    pub fn q_values(&self, input: Input<'_>) -> Vec<f32> {
+        let mut cache = FwdCache::default();
+        self.forward(input, &mut cache);
+        cache.q
+    }
+
+    /// Zeroed gradient accumulator with matching shapes.
+    pub fn zero_grads(&self) -> QNetGrads {
+        QNetGrads {
+            trunk: self.trunk.iter().map(Dense::zero_grad).collect(),
+            head_a: match &self.head {
+                Head::Linear(l) => l.zero_grad(),
+                Head::Dueling { value, .. } => value.zero_grad(),
+            },
+            head_b: match &self.head {
+                Head::Linear(_) => None,
+                Head::Dueling { advantage, .. } => Some(advantage.zero_grad()),
+            },
+        }
+    }
+
+    /// Backward pass: accumulate gradients of a scalar loss with gradient
+    /// `grad_q` at the Q output, for the forward pass recorded in `cache`.
+    pub fn backward(&self, input: Input<'_>, cache: &FwdCache, grad_q: &[f32], grads: &mut QNetGrads) {
+        let feat: &[f32] = match self.trunk.len() {
+            0 => &cache.acts[0],
+            n => &cache.acts[n - 1],
+        };
+        // Head backward → gradient at the feature layer.
+        let mut gfeat = vec![0.0f32; feat.len()];
+        match &self.head {
+            Head::Linear(l) => {
+                l.backward(Input::Dense(feat), grad_q, &mut grads.head_a, Some(&mut gfeat));
+            }
+            Head::Dueling { value, advantage } => {
+                // q_a = v + adv_a − mean(adv)
+                // dv = Σ_a gq_a ; dadv_a = gq_a − mean(gq)
+                let gsum: f32 = grad_q.iter().sum();
+                let gmean = gsum / grad_q.len() as f32;
+                let gv = [gsum];
+                value.backward(Input::Dense(feat), &gv, &mut grads.head_a, Some(&mut gfeat));
+                let gadv: Vec<f32> = grad_q.iter().map(|g| g - gmean).collect();
+                let gb = grads.head_b.as_mut().expect("dueling grads");
+                advantage.backward(Input::Dense(feat), &gadv, gb, Some(&mut gfeat));
+            }
+        }
+        // Trunk backward through ReLU masks.
+        let mut grad_out = gfeat;
+        for li in (0..self.trunk.len()).rev() {
+            // ReLU mask: zero where the activation was clipped.
+            for (g, &a) in grad_out.iter_mut().zip(&cache.acts[li]) {
+                if a <= 0.0 {
+                    *g = 0.0;
+                }
+            }
+            let layer_input: Input<'_> = if li == 0 {
+                input
+            } else {
+                Input::Dense(&cache.acts[li - 1])
+            };
+            if li == 0 {
+                self.trunk[0].backward(layer_input, &grad_out, &mut grads.trunk[0], None);
+            } else {
+                let mut gin = vec![0.0f32; self.trunk[li].fan_in()];
+                self.trunk[li].backward(layer_input, &grad_out, &mut grads.trunk[li], Some(&mut gin));
+                grad_out = gin;
+            }
+        }
+    }
+
+    /// Mutable parameter tensors in canonical order (matches
+    /// [`QNetGrads::tensors`]).
+    pub fn tensors_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut v = Vec::new();
+        for l in &mut self.trunk {
+            v.push(l.w.as_mut_slice());
+            v.push(l.b.as_mut_slice());
+        }
+        match &mut self.head {
+            Head::Linear(l) => {
+                v.push(l.w.as_mut_slice());
+                v.push(l.b.as_mut_slice());
+            }
+            Head::Dueling { value, advantage } => {
+                v.push(value.w.as_mut_slice());
+                v.push(value.b.as_mut_slice());
+                v.push(advantage.w.as_mut_slice());
+                v.push(advantage.b.as_mut_slice());
+            }
+        }
+        v
+    }
+
+    /// Copy parameters from another network of identical architecture
+    /// (target-network sync).
+    pub fn copy_from(&mut self, other: &QNet) {
+        let mut dst = self.tensors_mut();
+        let src = other.tensors();
+        assert_eq!(dst.len(), src.len(), "architecture mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            d.copy_from_slice(s);
+        }
+    }
+
+    /// Immutable parameter tensors in canonical order.
+    pub fn tensors(&self) -> Vec<&[f32]> {
+        let mut v: Vec<&[f32]> = Vec::new();
+        for l in &self.trunk {
+            v.push(l.w.as_slice());
+            v.push(l.b.as_slice());
+        }
+        match &self.head {
+            Head::Linear(l) => {
+                v.push(l.w.as_slice());
+                v.push(l.b.as_slice());
+            }
+            Head::Dueling { value, advantage } => {
+                v.push(value.w.as_slice());
+                v.push(value.b.as_slice());
+                v.push(advantage.w.as_slice());
+                v.push(advantage.b.as_slice());
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{Adam, Optimizer};
+
+    fn small(dueling: bool) -> QNet {
+        QNet::new(
+            QNetConfig { input_dim: 12, hidden: vec![8], actions: 5, dueling },
+            42,
+        )
+    }
+
+    #[test]
+    fn forward_shapes() {
+        for dueling in [false, true] {
+            let net = small(dueling);
+            let q = net.q_values(Input::Sparse(&[1, 5, 9]));
+            assert_eq!(q.len(), 5);
+            assert!(q.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        for dueling in [false, true] {
+            let net = small(dueling);
+            let mut dense = vec![0.0f32; 12];
+            for i in [2usize, 7, 11] {
+                dense[i] = 1.0;
+            }
+            let qs = net.q_values(Input::Sparse(&[2, 7, 11]));
+            let qd = net.q_values(Input::Dense(&dense));
+            for (a, b) in qs.iter().zip(&qd) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dueling_q_invariant_under_advantage_shift() {
+        // Adding a constant to every advantage leaves Q unchanged.
+        let mut net = small(true);
+        let q0 = net.q_values(Input::Sparse(&[3]));
+        if let Head::Dueling { advantage, .. } = &mut net.head {
+            for b in &mut advantage.b {
+                *b += 10.0;
+            }
+        }
+        let q1 = net.q_values(Input::Sparse(&[3]));
+        for (a, b) in q0.iter().zip(&q1) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn param_count_paper_architecture() {
+        let net = QNet::new(QNetConfig::paper(1104, 31), 0);
+        // 1104*256 + 256 + 256*31 + 31
+        assert_eq!(net.param_count(), 1104 * 256 + 256 + 256 * 31 + 31);
+    }
+
+    /// End-to-end gradient check through trunk + head, both architectures.
+    ///
+    /// Finite differences are invalid within `eps` of a ReLU kink, so the
+    /// probe skips trunk parameters whose hidden unit's pre-activation is
+    /// near zero.
+    #[test]
+    fn backward_matches_finite_differences() {
+        for dueling in [false, true] {
+            let mut net = small(dueling);
+            let sparse = [1u32, 4, 10];
+            let action = 2usize;
+            let target = 0.7f32;
+            // L = 0.5 (q_a − target)^2
+            let loss = |net: &QNet| {
+                let q = net.q_values(Input::Sparse(&sparse));
+                0.5 * (q[action] - target).powi(2)
+            };
+            // pre-activations of the (single) trunk layer, for kink detection
+            let hidden = net.trunk[0].fan_out();
+            let mut pre = vec![0.0f32; hidden];
+            net.trunk[0].forward(Input::Sparse(&sparse), &mut pre);
+
+            let mut cache = FwdCache::default();
+            net.forward(Input::Sparse(&sparse), &mut cache);
+            let mut gq = vec![0.0f32; 5];
+            gq[action] = cache.q[action] - target;
+            let mut grads = net.zero_grads();
+            net.backward(Input::Sparse(&sparse), &cache, &gq, &mut grads);
+            let flat_grads: Vec<f32> =
+                grads.tensors().iter().flat_map(|t| t.iter().copied()).collect();
+
+            // numeric check on a sample of parameters
+            let eps = 1e-3f32;
+            let kink_margin = 0.02f32;
+            let mut idx_global = 0usize;
+            let n_tensors = net.tensors().len();
+            let mut checked = 0usize;
+            for t in 0..n_tensors {
+                let len = net.tensors()[t].len();
+                let stride = (len / 11).max(1);
+                for i in (0..len).step_by(stride) {
+                    // trunk tensors 0 (weights, in-major) and 1 (bias) feed
+                    // hidden unit `o`; skip near-kink units.
+                    if t < 2 {
+                        let o = if t == 0 { i % hidden } else { i };
+                        if pre[o].abs() < kink_margin {
+                            continue;
+                        }
+                    }
+                    let orig = net.tensors()[t][i];
+                    net.tensors_mut()[t][i] = orig + eps;
+                    let lp = loss(&net);
+                    net.tensors_mut()[t][i] = orig - eps;
+                    let lm = loss(&net);
+                    net.tensors_mut()[t][i] = orig;
+                    let fd = (lp - lm) / (2.0 * eps);
+                    let analytic = flat_grads[idx_global + i];
+                    assert!(
+                        (fd - analytic).abs() < 3e-2,
+                        "dueling={dueling} tensor {t} idx {i}: fd={fd} analytic={analytic}"
+                    );
+                    checked += 1;
+                }
+                idx_global += len;
+            }
+            assert!(checked > 20, "gradient check sampled too few parameters ({checked})");
+        }
+    }
+
+    #[test]
+    fn training_reduces_td_error() {
+        let mut net = small(false);
+        let mut opt = Adam::new(0.01);
+        let sparse = [0u32, 3];
+        let action = 1usize;
+        let target = 2.5f32;
+        let initial = (net.q_values(Input::Sparse(&sparse))[action] - target).abs();
+        for _ in 0..200 {
+            let mut cache = FwdCache::default();
+            net.forward(Input::Sparse(&sparse), &mut cache);
+            let mut gq = vec![0.0f32; 5];
+            gq[action] = cache.q[action] - target;
+            let mut grads = net.zero_grads();
+            net.backward(Input::Sparse(&sparse), &cache, &gq, &mut grads);
+            let g = grads.tensors();
+            let mut p = net.tensors_mut();
+            opt.step(&mut p, &g);
+        }
+        let fin = (net.q_values(Input::Sparse(&sparse))[action] - target).abs();
+        assert!(fin < 0.05, "initial {initial}, final {fin}");
+    }
+
+    #[test]
+    fn copy_from_syncs_outputs() {
+        let a = small(true);
+        let mut b = QNet::new(a.config().clone(), 999);
+        let input = Input::Sparse(&[2u32, 6]);
+        assert!(a
+            .q_values(input)
+            .iter()
+            .zip(b.q_values(input))
+            .any(|(x, y)| (x - y).abs() > 1e-4));
+        b.copy_from(&a);
+        for (x, y) in a.q_values(input).iter().zip(b.q_values(input)) {
+            assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn grads_tensor_order_matches_params() {
+        for dueling in [false, true] {
+            let mut net = small(dueling);
+            let grads = net.zero_grads();
+            let g = grads.tensors();
+            let p = net.tensors_mut();
+            assert_eq!(g.len(), p.len());
+            for (gi, pi) in g.iter().zip(&p) {
+                assert_eq!(gi.len(), pi.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the neural substrate.
+
+use ams_nn::{FwdCache, Input, Optimizer, QNet, QNetConfig, Sgd};
+use proptest::prelude::*;
+
+fn net(dueling: bool, seed: u64) -> QNet {
+    QNet::new(QNetConfig { input_dim: 64, hidden: vec![16], actions: 7, dueling }, seed)
+}
+
+proptest! {
+    /// The sparse fast path agrees with the dense path on any binary input.
+    #[test]
+    fn sparse_equals_dense(active in prop::collection::btree_set(0u32..64, 0..64),
+                           dueling in any::<bool>(),
+                           seed in any::<u64>()) {
+        let net = net(dueling, seed);
+        let sparse: Vec<u32> = active.iter().copied().collect();
+        let mut dense = vec![0.0f32; 64];
+        for &i in &sparse {
+            dense[i as usize] = 1.0;
+        }
+        let qs = net.q_values(Input::Sparse(&sparse));
+        let qd = net.q_values(Input::Dense(&dense));
+        for (a, b) in qs.iter().zip(&qd) {
+            prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    /// Q values are finite for any input and any seed.
+    #[test]
+    fn outputs_always_finite(active in prop::collection::btree_set(0u32..64, 0..64),
+                             dueling in any::<bool>(),
+                             seed in any::<u64>()) {
+        let net = net(dueling, seed);
+        let sparse: Vec<u32> = active.iter().copied().collect();
+        let q = net.q_values(Input::Sparse(&sparse));
+        prop_assert_eq!(q.len(), 7);
+        prop_assert!(q.iter().all(|v| v.is_finite()));
+    }
+
+    /// Cache reuse across different inputs never leaks state between calls.
+    #[test]
+    fn cache_reuse_is_clean(a in prop::collection::btree_set(0u32..64, 0..32),
+                            b in prop::collection::btree_set(0u32..64, 0..32)) {
+        let net = net(true, 9);
+        let sa: Vec<u32> = a.iter().copied().collect();
+        let sb: Vec<u32> = b.iter().copied().collect();
+        // fresh-cache reference results
+        let qa_ref = net.q_values(Input::Sparse(&sa));
+        let qb_ref = net.q_values(Input::Sparse(&sb));
+        // shared-cache results, interleaved
+        let mut cache = FwdCache::default();
+        let qa1 = net.forward(Input::Sparse(&sa), &mut cache).to_vec();
+        let qb1 = net.forward(Input::Sparse(&sb), &mut cache).to_vec();
+        let qa2 = net.forward(Input::Sparse(&sa), &mut cache).to_vec();
+        for (x, y) in qa1.iter().zip(&qa_ref) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+        for (x, y) in qb1.iter().zip(&qb_ref) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+        for (x, y) in qa2.iter().zip(&qa_ref) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    /// Small-step gradient descent against the TD gradient reduces the
+    /// squared error. (SGD, not Adam: Adam's momentum may legitimately
+    /// overshoot within a few steps, which is not a bug.)
+    #[test]
+    fn gradient_step_descends(seed in any::<u64>(), action in 0usize..7, target in -2.0f32..2.0) {
+        let mut net = net(false, seed);
+        let sparse = [3u32, 17, 40];
+        let before = {
+            let q = net.q_values(Input::Sparse(&sparse));
+            (q[action] - target).powi(2)
+        };
+        if before < 1e-6 {
+            return Ok(()); // already at the optimum
+        }
+        let mut opt = Sgd { lr: 1e-3 };
+        for _ in 0..5 {
+            let mut cache = FwdCache::default();
+            net.forward(Input::Sparse(&sparse), &mut cache);
+            let mut gq = vec![0.0f32; 7];
+            gq[action] = cache.q[action] - target;
+            let mut grads = net.zero_grads();
+            net.backward(Input::Sparse(&sparse), &cache, &gq, &mut grads);
+            let g = grads.tensors();
+            let mut p = net.tensors_mut();
+            opt.step(&mut p, &g);
+        }
+        let after = {
+            let q = net.q_values(Input::Sparse(&sparse));
+            (q[action] - target).powi(2)
+        };
+        prop_assert!(after < before, "error should shrink: {} -> {}", before, after);
+    }
+
+    /// copy_from makes two networks functionally identical.
+    #[test]
+    fn copy_from_is_complete(sa in any::<u64>(), sb in any::<u64>(), probe in prop::collection::btree_set(0u32..64, 0..20)) {
+        let a = net(true, sa);
+        let mut b = net(true, sb);
+        b.copy_from(&a);
+        let input: Vec<u32> = probe.iter().copied().collect();
+        let qa = a.q_values(Input::Sparse(&input));
+        let qb = b.q_values(Input::Sparse(&input));
+        for (x, y) in qa.iter().zip(&qb) {
+            prop_assert!((x - y).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The four DRL training schemas compared in §VI-B.
+
+use serde::{Deserialize, Serialize};
+
+/// Training schema for the Q-value network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algo {
+    /// Original DQN (Mnih et al.): off-policy, max-target on a target net.
+    Dqn,
+    /// Double DQN (van Hasselt et al.): online net selects the argmax,
+    /// target net evaluates it — reduces overestimation.
+    DoubleDqn,
+    /// Dueling DQN (Wang et al.): value/advantage head, DQN-style target.
+    DuelingDqn,
+    /// Deep SARSA: on-policy — the target bootstraps on the action the
+    /// behaviour policy actually took next.
+    DeepSarsa,
+}
+
+impl Algo {
+    /// All four schemas in the paper's presentation order.
+    pub const ALL: [Algo; 4] = [Algo::Dqn, Algo::DoubleDqn, Algo::DuelingDqn, Algo::DeepSarsa];
+
+    /// Whether this schema uses the dueling network head.
+    pub fn dueling_head(self) -> bool {
+        matches!(self, Algo::DuelingDqn)
+    }
+
+    /// Display name as used in the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Dqn => "DQN",
+            Algo::DoubleDqn => "DoubleDQN",
+            Algo::DuelingDqn => "DuelingDQN",
+            Algo::DeepSarsa => "DeepSARSA",
+        }
+    }
+}
+
+impl std::fmt::Display for Algo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_dueling_uses_dueling_head() {
+        assert!(Algo::DuelingDqn.dueling_head());
+        assert!(!Algo::Dqn.dueling_head());
+        assert!(!Algo::DoubleDqn.dueling_head());
+        assert!(!Algo::DeepSarsa.dueling_head());
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        let names: Vec<&str> = Algo::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["DQN", "DoubleDQN", "DuelingDQN", "DeepSARSA"]);
+    }
+}

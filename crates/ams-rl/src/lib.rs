@@ -1,0 +1,34 @@
+//! # ams-rl — reinforcement-learning substrate
+//!
+//! Implements §IV of the paper: the labeling MDP and the deep-RL machinery
+//! that learns to predict model values from the labeling state.
+//!
+//! * [`env`] — the MDP: observation = binary labeling state (1104 bits),
+//!   actions = 30 models + the END action, reward per Eq. (3)
+//!   (`ln(θ_m Σ conf + 1)` for new valuable labels, `−1` otherwise, `0`
+//!   for END).
+//! * [`replay`] — experience replay over sparse-state transitions.
+//! * [`policy`] — ε-greedy action selection with availability masking
+//!   (already-executed models cannot be selected again).
+//! * [`algo`] — the four training schemas compared in §VI-B: DQN,
+//!   DoubleDQN, DuelingDQN and DeepSARSA.
+//! * [`trainer`] — the training loop (target network, Adam, Huber TD loss).
+//! * [`eval`] — Q-value-greedy rollouts and the §VI-B metrics (average
+//!   executed models / execution time vs required recall rate).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod algo;
+pub mod env;
+pub mod eval;
+pub mod policy;
+pub mod replay;
+pub mod trainer;
+
+pub use algo::Algo;
+pub use env::{LabelingEnv, RewardConfig, Smoothing, StepResult};
+pub use eval::{evaluate_q_greedy, q_greedy_rollout, EvalSummary, Rollout};
+pub use policy::{epsilon_greedy, masked_argmax, EpsilonSchedule};
+pub use replay::{ReplayBuffer, Transition};
+pub use trainer::{train, TrainConfig, TrainStats, TrainedAgent};

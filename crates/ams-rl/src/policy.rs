@@ -1,0 +1,125 @@
+//! Action selection: ε-greedy over masked Q values.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Index of the maximum Q value among available actions.
+///
+/// # Panics
+/// Panics when no action is available.
+pub fn masked_argmax(q: &[f32], avail: u64) -> usize {
+    let mut best: Option<(usize, f32)> = None;
+    for (a, &v) in q.iter().enumerate() {
+        if avail >> a & 1 == 1 {
+            match best {
+                Some((_, bv)) if bv >= v => {}
+                _ => best = Some((a, v)),
+            }
+        }
+    }
+    best.expect("no available action").0
+}
+
+/// ε-greedy: with probability `eps` a uniformly random available action,
+/// otherwise the masked argmax.
+pub fn epsilon_greedy(q: &[f32], avail: u64, eps: f32, rng: &mut StdRng) -> usize {
+    debug_assert!(avail != 0, "no available action");
+    if rng.gen::<f32>() < eps {
+        let n = avail.count_ones();
+        let mut k = rng.gen_range(0..n);
+        for a in 0..q.len() {
+            if avail >> a & 1 == 1 {
+                if k == 0 {
+                    return a;
+                }
+                k -= 1;
+            }
+        }
+        unreachable!("mask exhausted");
+    } else {
+        masked_argmax(q, avail)
+    }
+}
+
+/// Linear ε decay from `start` to `end` over `decay_episodes` episodes.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct EpsilonSchedule {
+    /// Initial exploration rate.
+    pub start: f32,
+    /// Final exploration rate.
+    pub end: f32,
+    /// Episodes over which ε decays linearly.
+    pub decay_episodes: usize,
+}
+
+impl EpsilonSchedule {
+    /// ε at `episode`.
+    pub fn at(&self, episode: usize) -> f32 {
+        if self.decay_episodes == 0 || episode >= self.decay_episodes {
+            return self.end;
+        }
+        let f = episode as f32 / self.decay_episodes as f32;
+        self.start + (self.end - self.start) * f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn argmax_respects_mask() {
+        let q = [9.0, 1.0, 5.0];
+        assert_eq!(masked_argmax(&q, 0b111), 0);
+        assert_eq!(masked_argmax(&q, 0b110), 2);
+        assert_eq!(masked_argmax(&q, 0b010), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no available action")]
+    fn argmax_empty_mask_panics() {
+        masked_argmax(&[1.0], 0);
+    }
+
+    #[test]
+    fn greedy_at_eps_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = [0.1, 0.9, 0.5];
+        for _ in 0..20 {
+            assert_eq!(epsilon_greedy(&q, 0b111, 0.0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_at_eps_one_and_masked() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = [0.1, 0.9, 0.5, 0.0];
+        let mask = 0b1011u64; // action 2 unavailable
+        let mut counts = [0usize; 4];
+        for _ in 0..3000 {
+            counts[epsilon_greedy(&q, mask, 1.0, &mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0, "masked action must never be chosen");
+        for (a, &c) in counts.iter().enumerate() {
+            if a != 2 {
+                assert!((800..1200).contains(&c), "action {a}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_schedule_decays_linearly() {
+        let s = EpsilonSchedule { start: 1.0, end: 0.1, decay_episodes: 100 };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(50) - 0.55).abs() < 1e-6);
+        assert_eq!(s.at(100), 0.1);
+        assert_eq!(s.at(1000), 0.1);
+    }
+
+    #[test]
+    fn zero_decay_schedule_is_constant_end() {
+        let s = EpsilonSchedule { start: 1.0, end: 0.05, decay_episodes: 0 };
+        assert_eq!(s.at(0), 0.05);
+    }
+}

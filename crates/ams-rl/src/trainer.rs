@@ -1,0 +1,478 @@
+//! The DRL training loop (§IV-B): experience replay, target network,
+//! Adam on a Huber TD loss, ε-greedy behaviour policy with the END action.
+
+use crate::algo::Algo;
+use crate::env::{LabelingEnv, RewardConfig};
+use crate::policy::{epsilon_greedy, masked_argmax, EpsilonSchedule};
+use crate::replay::{ReplayBuffer, Transition};
+use ams_data::ItemTruth;
+use ams_nn::{Adam, FwdCache, Huber, Input, Optimizer, QNet, QNetConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Training schema.
+    pub algo: Algo,
+    /// Number of episodes (items are drawn uniformly from the train set).
+    pub episodes: usize,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Replay capacity.
+    pub replay_cap: usize,
+    /// Environment steps before learning starts.
+    pub warmup: usize,
+    /// Hard target-network sync period (in learning steps).
+    pub target_sync: usize,
+    /// Run a gradient step every `learn_every` environment steps
+    /// (2 halves training cost with negligible quality loss).
+    pub learn_every: usize,
+    /// ε-greedy schedule.
+    pub epsilon: EpsilonSchedule,
+    /// Hidden layer widths (paper: `[256]`).
+    pub hidden: Vec<usize>,
+    /// Dimension of the observation (1104 for the standard catalog).
+    pub input_dim: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether the END action is available (the paper's §IV-B addition;
+    /// disable for the convergence ablation).
+    pub use_end_action: bool,
+    /// Reward function.
+    pub reward: RewardConfig,
+}
+
+impl TrainConfig {
+    /// Sensible defaults for the standard 30-model zoo.
+    ///
+    /// γ defaults to 0.1: the framework's prediction component estimates
+    /// the *value of executing a model now* (§IV), which Algorithms 1–2
+    /// divide by cost. A near-myopic discount makes `Q(s,m) ≈ E[r(m)|s]` —
+    /// the marginal-value estimate those ratios need — while γ near 1 buries
+    /// it under a shared return-to-go term and `Q/time` degenerates to
+    /// cheapest-first (measured in EXPERIMENTS.md's γ calibration).
+    pub fn new(algo: Algo) -> Self {
+        Self {
+            algo,
+            episodes: 1500,
+            gamma: 0.1,
+            lr: 1e-3,
+            batch: 32,
+            replay_cap: 50_000,
+            warmup: 200,
+            target_sync: 250,
+            learn_every: 2,
+            epsilon: EpsilonSchedule { start: 1.0, end: 0.05, decay_episodes: 800 },
+            hidden: vec![256],
+            input_dim: 1104,
+            seed: 0,
+            use_end_action: true,
+            reward: RewardConfig::default(),
+        }
+    }
+
+    /// Quick configuration for unit tests (tiny network, few episodes).
+    pub fn fast_test(algo: Algo) -> Self {
+        Self {
+            episodes: 60,
+            warmup: 32,
+            target_sync: 50,
+            hidden: vec![32],
+            epsilon: EpsilonSchedule { start: 1.0, end: 0.1, decay_episodes: 40 },
+            ..Self::new(algo)
+        }
+    }
+}
+
+/// Per-episode training statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// Total reward per episode.
+    pub episode_rewards: Vec<f32>,
+    /// Episode lengths (number of actions taken).
+    pub episode_lengths: Vec<usize>,
+    /// Mean Huber loss per episode (0 until learning starts).
+    pub episode_losses: Vec<f32>,
+    /// Total environment steps.
+    pub steps: usize,
+    /// Total learning (gradient) steps.
+    pub learn_steps: usize,
+}
+
+impl TrainStats {
+    /// Mean total reward over the trailing `n` episodes.
+    pub fn trailing_reward(&self, n: usize) -> f32 {
+        let k = self.episode_rewards.len().min(n);
+        if k == 0 {
+            return 0.0;
+        }
+        let tail = &self.episode_rewards[self.episode_rewards.len() - k..];
+        tail.iter().sum::<f32>() / k as f32
+    }
+}
+
+/// A trained value-prediction agent: the Q network plus its metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedAgent {
+    /// The learned Q network.
+    pub net: QNet,
+    /// Schema it was trained with.
+    pub algo: Algo,
+    /// Number of models (actions excluding END).
+    pub num_models: usize,
+    /// Reward config used in training (θ, thresholds).
+    pub reward: RewardConfig,
+}
+
+impl TrainedAgent {
+    /// Serialize the agent (weights + metadata) to a JSON string.
+    ///
+    /// The format is stable across runs of the same crate version; it is
+    /// how experiments persist agents so training is not repeated.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("agent serializes")
+    }
+
+    /// Deserialize an agent from [`TrainedAgent::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Persist the agent to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load an agent persisted by [`TrainedAgent::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Q values for a sparse labeling state; returns one value per action
+    /// (END last when present).
+    pub fn q_values(&self, state_sparse: &[u32]) -> Vec<f32> {
+        self.net.q_values(Input::Sparse(state_sparse))
+    }
+
+    /// Q values over *models only* (END dropped), for schedulers.
+    pub fn model_q_values(&self, state_sparse: &[u32]) -> Vec<f32> {
+        let mut q = self.q_values(state_sparse);
+        q.truncate(self.num_models);
+        q
+    }
+}
+
+/// Train an agent on a slice of ground-truth items (the train split).
+pub fn train(items: &[ItemTruth], num_models: usize, cfg: &TrainConfig) -> (TrainedAgent, TrainStats) {
+    assert!(!items.is_empty(), "empty training set");
+    let actions = num_models + usize::from(cfg.use_end_action);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut net = QNet::new(
+        QNetConfig {
+            input_dim: cfg.input_dim,
+            hidden: cfg.hidden.clone(),
+            actions,
+            dueling: cfg.algo.dueling_head(),
+        },
+        cfg.seed ^ 0x51ED_CAFE,
+    );
+    let mut target = net.clone();
+    let mut opt = Adam::new(cfg.lr);
+    let mut replay = ReplayBuffer::new(cfg.replay_cap);
+    let huber = Huber::default();
+    let mut stats = TrainStats::default();
+    let mut grads = net.zero_grads();
+    let mut cache = FwdCache::default();
+    let mut act_cache = FwdCache::default();
+    let mut tgt_cache = FwdCache::default();
+
+    for ep in 0..cfg.episodes {
+        let eps = cfg.epsilon.at(ep);
+        let item = &items[rng.gen_range(0..items.len())];
+        let mut env = LabelingEnv::new(item, &cfg.reward, num_models, cfg.use_end_action);
+
+        let mut state = env.state_sparse();
+        let mut avail = env.available_mask();
+        let q = net.forward(Input::Sparse(&state), &mut act_cache);
+        let mut action = epsilon_greedy(q, avail, eps, &mut rng);
+
+        let mut ep_reward = 0.0f32;
+        let mut ep_len = 0usize;
+        let mut ep_loss = 0.0f32;
+        let mut ep_loss_n = 0usize;
+
+        loop {
+            let step = env.step(action);
+            ep_reward += step.reward;
+            ep_len += 1;
+            stats.steps += 1;
+
+            let next_state = env.state_sparse();
+            let next_avail = env.available_mask();
+            let next_action = if step.done {
+                0
+            } else {
+                let qn = net.forward(Input::Sparse(&next_state), &mut act_cache);
+                epsilon_greedy(qn, next_avail, eps, &mut rng)
+            };
+
+            replay.push(Transition {
+                state: state.into_boxed_slice(),
+                action: action as u8,
+                reward: step.reward,
+                next_state: next_state.clone().into_boxed_slice(),
+                next_avail,
+                next_action: next_action as u8,
+                done: step.done,
+            });
+
+            if replay.len() >= cfg.warmup.max(cfg.batch)
+                && stats.steps.is_multiple_of(cfg.learn_every.max(1))
+            {
+                let loss = learn_step(
+                    &mut net,
+                    &target,
+                    &mut opt,
+                    &replay,
+                    cfg,
+                    &huber,
+                    &mut rng,
+                    &mut grads,
+                    &mut cache,
+                    &mut act_cache,
+                    &mut tgt_cache,
+                );
+                ep_loss += loss;
+                ep_loss_n += 1;
+                stats.learn_steps += 1;
+                if stats.learn_steps % cfg.target_sync == 0 {
+                    target.copy_from(&net);
+                }
+            }
+
+            if step.done {
+                break;
+            }
+            state = next_state;
+            avail = next_avail;
+            debug_assert!(avail != 0);
+            action = next_action;
+        }
+
+        stats.episode_rewards.push(ep_reward);
+        stats.episode_lengths.push(ep_len);
+        stats.episode_losses.push(if ep_loss_n > 0 { ep_loss / ep_loss_n as f32 } else { 0.0 });
+    }
+
+    (
+        TrainedAgent { net, algo: cfg.algo, num_models, reward: cfg.reward.clone() },
+        stats,
+    )
+}
+
+/// One minibatch gradient step; returns the mean Huber loss.
+#[allow(clippy::too_many_arguments)]
+fn learn_step(
+    net: &mut QNet,
+    target: &QNet,
+    opt: &mut Adam,
+    replay: &ReplayBuffer,
+    cfg: &TrainConfig,
+    huber: &Huber,
+    rng: &mut StdRng,
+    grads: &mut ams_nn::QNetGrads,
+    cache: &mut FwdCache,
+    act_cache: &mut FwdCache,
+    tgt_cache: &mut FwdCache,
+) -> f32 {
+    let idx = replay.sample_indices(cfg.batch, rng);
+    grads.zero();
+    let mut total_loss = 0.0f32;
+    let actions = net.actions();
+    let mut gq = vec![0.0f32; actions];
+
+    for &i in &idx {
+        let tr = replay.get(i);
+        // TD target.
+        let y = if tr.done {
+            tr.reward
+        } else {
+            let bootstrap = match cfg.algo {
+                Algo::Dqn | Algo::DuelingDqn => {
+                    let qt = target.forward(Input::Sparse(&tr.next_state), tgt_cache);
+                    qt[masked_argmax(qt, tr.next_avail)]
+                }
+                Algo::DoubleDqn => {
+                    let qo = net.forward(Input::Sparse(&tr.next_state), act_cache);
+                    let a_star = masked_argmax(qo, tr.next_avail);
+                    let qt = target.forward(Input::Sparse(&tr.next_state), tgt_cache);
+                    qt[a_star]
+                }
+                Algo::DeepSarsa => {
+                    let qt = target.forward(Input::Sparse(&tr.next_state), tgt_cache);
+                    qt[tr.next_action as usize]
+                }
+            };
+            tr.reward + cfg.gamma * bootstrap
+        };
+
+        let qs = net.forward(Input::Sparse(&tr.state), cache);
+        let residual = qs[tr.action as usize] - y;
+        total_loss += huber.loss(residual);
+        gq.fill(0.0);
+        gq[tr.action as usize] = huber.dloss(residual);
+        net.backward(Input::Sparse(&tr.state), cache, &gq, grads);
+    }
+
+    grads.scale(1.0 / cfg.batch as f32);
+    let g = grads.tensors();
+    let mut p = net.tensors_mut();
+    opt.step(&mut p, &g);
+    total_loss / cfg.batch as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_data::{Dataset, DatasetProfile, TruthTable};
+    use ams_models::ModelZoo;
+
+    fn fixture() -> TruthTable {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, 30, 21);
+        TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5)
+    }
+
+    #[test]
+    fn training_runs_and_improves_reward() {
+        let table = fixture();
+        let cfg = TrainConfig { episodes: 150, ..TrainConfig::fast_test(Algo::Dqn) };
+        let (agent, stats) = train(table.items(), 30, &cfg);
+        assert_eq!(stats.episode_rewards.len(), 150);
+        assert_eq!(agent.num_models, 30);
+        // With the END action the agent should learn to stop instead of
+        // accumulating -1s: late episodes must beat the random-exploration
+        // start on average.
+        let early: f32 = stats.episode_rewards[..30].iter().sum::<f32>() / 30.0;
+        let late = stats.trailing_reward(30);
+        assert!(
+            late > early,
+            "training should improve reward: early {early:.2} late {late:.2}"
+        );
+    }
+
+    #[test]
+    fn all_four_algos_train() {
+        let table = fixture();
+        for algo in Algo::ALL {
+            let cfg = TrainConfig { episodes: 20, ..TrainConfig::fast_test(algo) };
+            let (agent, stats) = train(table.items(), 30, &cfg);
+            assert_eq!(stats.episode_rewards.len(), 20);
+            assert!(stats.learn_steps > 0, "{algo}: learning must start");
+            let q = agent.q_values(&[]);
+            assert_eq!(q.len(), 31);
+            assert!(q.iter().all(|v| v.is_finite()), "{algo}: finite Qs");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let table = fixture();
+        let cfg = TrainConfig { episodes: 15, ..TrainConfig::fast_test(Algo::DoubleDqn) };
+        let (a1, s1) = train(table.items(), 30, &cfg);
+        let (a2, s2) = train(table.items(), 30, &cfg);
+        assert_eq!(s1.episode_rewards, s2.episode_rewards);
+        let q1 = a1.q_values(&[3, 100, 500]);
+        let q2 = a2.q_values(&[3, 100, 500]);
+        for (x, y) in q1.iter().zip(&q2) {
+            assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn model_q_values_drop_end() {
+        let table = fixture();
+        let cfg = TrainConfig { episodes: 5, ..TrainConfig::fast_test(Algo::Dqn) };
+        let (agent, _) = train(table.items(), 30, &cfg);
+        assert_eq!(agent.q_values(&[]).len(), 31);
+        assert_eq!(agent.model_q_values(&[]).len(), 30);
+    }
+
+    #[test]
+    fn no_end_action_mode_trains() {
+        let table = fixture();
+        let cfg = TrainConfig {
+            episodes: 10,
+            use_end_action: false,
+            ..TrainConfig::fast_test(Algo::Dqn)
+        };
+        let (agent, stats) = train(table.items(), 30, &cfg);
+        assert_eq!(agent.q_values(&[]).len(), 30);
+        // every episode must run all 30 models (no early stop available)
+        assert!(stats.episode_lengths.iter().all(|&l| l == 30));
+    }
+
+    #[test]
+    fn episode_lengths_bounded_by_actions() {
+        let table = fixture();
+        let cfg = TrainConfig { episodes: 25, ..TrainConfig::fast_test(Algo::DeepSarsa) };
+        let (_, stats) = train(table.items(), 30, &cfg);
+        assert!(stats.episode_lengths.iter().all(|&l| (1..=31).contains(&l)));
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use ams_data::{Dataset, DatasetProfile, TruthTable};
+    use ams_models::ModelZoo;
+
+    #[test]
+    fn agent_round_trips_through_json() {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, 20, 77);
+        let table = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+        let cfg = TrainConfig { episodes: 10, ..TrainConfig::fast_test(Algo::DuelingDqn) };
+        let (agent, _) = train(table.items(), 30, &cfg);
+        let json = agent.to_json();
+        let restored = TrainedAgent::from_json(&json).expect("valid json");
+        assert_eq!(restored.algo, agent.algo);
+        assert_eq!(restored.num_models, agent.num_models);
+        let state = [5u32, 100, 800];
+        let qa = agent.q_values(&state);
+        let qb = restored.q_values(&state);
+        for (a, b) in qa.iter().zip(&qb) {
+            assert!((a - b).abs() < 1e-7, "weights must round-trip exactly");
+        }
+    }
+
+    #[test]
+    fn agent_saves_and_loads_from_disk() {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, 20, 78);
+        let table = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+        let cfg = TrainConfig { episodes: 5, ..TrainConfig::fast_test(Algo::Dqn) };
+        let (agent, _) = train(table.items(), 30, &cfg);
+        let path = std::env::temp_dir().join("ams_agent_roundtrip_test.json");
+        agent.save(&path).expect("save");
+        let restored = TrainedAgent::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(restored.q_values(&[]).len(), 31);
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error() {
+        let path = std::env::temp_dir().join("ams_agent_corrupt_test.json");
+        std::fs::write(&path, "{not json").expect("write");
+        let err = TrainedAgent::load(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the RL substrate: MDP invariants and replay laws.
+
+use ams_data::{Dataset, DatasetProfile, TruthTable};
+use ams_models::ModelZoo;
+use ams_rl::{masked_argmax, LabelingEnv, ReplayBuffer, RewardConfig, Transition};
+use proptest::prelude::*;
+
+fn fixture() -> TruthTable {
+    let zoo = ModelZoo::standard();
+    let ds = Dataset::generate(DatasetProfile::Coco2017, 15, 2718);
+    TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any permutation of all 30 models terminates, visits every model
+    /// exactly once, and the state only grows.
+    #[test]
+    fn episode_invariants_under_any_order(item_idx in 0usize..15, perm_seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let t = fixture();
+        let cfg = RewardConfig::default();
+        let mut env = LabelingEnv::new(t.item(item_idx), &cfg, 30, false);
+        let mut order: Vec<usize> = (0..30).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        order.shuffle(&mut rng);
+        let mut prev_count = 0usize;
+        for (i, &a) in order.iter().enumerate() {
+            prop_assert!(!env.is_done());
+            let r = env.step(a);
+            let count = env.state().count();
+            prop_assert!(count >= prev_count, "state can only grow");
+            prev_count = count;
+            prop_assert_eq!(r.done, i == 29);
+        }
+        prop_assert!((env.recall() - 1.0).abs() < 1e-9, "all models => full recall");
+    }
+
+    /// The availability mask always excludes exactly the executed models.
+    #[test]
+    fn availability_mask_tracks_execution(item_idx in 0usize..15, picks in prop::collection::vec(0usize..30, 1..15)) {
+        let t = fixture();
+        let cfg = RewardConfig::default();
+        let mut env = LabelingEnv::new(t.item(item_idx), &cfg, 30, true);
+        let mut executed = std::collections::HashSet::new();
+        for a in picks {
+            if executed.contains(&a) || env.is_done() {
+                continue;
+            }
+            env.step(a);
+            executed.insert(a);
+            let mask = env.available_mask();
+            if env.is_done() {
+                prop_assert_eq!(mask, 0);
+                continue;
+            }
+            for m in 0..30usize {
+                let avail = mask >> m & 1 == 1;
+                prop_assert_eq!(avail, !executed.contains(&m));
+            }
+            prop_assert_eq!(mask >> 30 & 1, 1, "END always available until done");
+        }
+    }
+
+    /// Reward is -1 exactly when the model adds no new valuable label.
+    #[test]
+    fn punishment_iff_nothing_new(item_idx in 0usize..15, first in 0usize..30) {
+        let t = fixture();
+        let item = t.item(item_idx);
+        let cfg = RewardConfig::default();
+        let mut env = LabelingEnv::new(item, &cfg, 30, true);
+        let expected = item.new_label_confidence(env.state(), ams_models::ModelId(first as u8), 0.5);
+        let r = env.step(first);
+        if expected > 0.0 {
+            prop_assert!(r.reward > 0.0);
+        } else {
+            prop_assert_eq!(r.reward, -1.0);
+        }
+    }
+
+    /// The replay ring buffer holds the most recent `cap` transitions.
+    #[test]
+    fn replay_keeps_most_recent(cap in 1usize..64, n in 0usize..200) {
+        let mut rb = ReplayBuffer::new(cap);
+        for a in 0..n {
+            rb.push(Transition {
+                state: Box::new([]),
+                action: (a % 31) as u8,
+                reward: a as f32,
+                next_state: Box::new([]),
+                next_avail: 1,
+                next_action: 0,
+                done: false,
+            });
+        }
+        prop_assert_eq!(rb.len(), n.min(cap));
+        if n > 0 {
+            let min_kept = n.saturating_sub(cap) as f32;
+            for i in 0..rb.len() {
+                prop_assert!(rb.get(i).reward >= min_kept, "evictions are oldest-first");
+            }
+        }
+    }
+
+    /// masked_argmax returns an available index achieving the max.
+    #[test]
+    fn masked_argmax_correct(q in prop::collection::vec(-10.0f32..10.0, 1..31), mask_bits in 1u64..u64::MAX) {
+        let mask = mask_bits & ((1u64 << q.len()) - 1);
+        prop_assume!(mask != 0);
+        let a = masked_argmax(&q, mask);
+        prop_assert!(mask >> a & 1 == 1);
+        for (i, &v) in q.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                prop_assert!(q[a] >= v, "q[{}]={} beats q[{}]={}", i, v, a, q[a]);
+            }
+        }
+    }
+}

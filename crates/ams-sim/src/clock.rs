@@ -1,0 +1,60 @@
+//! A virtual clock measured in milliseconds.
+
+/// Virtual time in integer milliseconds.
+///
+/// Integer arithmetic keeps event ordering exact and experiments
+/// reproducible across platforms (no floating-point drift).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VirtualClock {
+    now_ms: u64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advance by `delta_ms`.
+    pub fn advance(&mut self, delta_ms: u64) {
+        self.now_ms += delta_ms;
+    }
+
+    /// Jump to an absolute time.
+    ///
+    /// # Panics
+    /// Panics if `t_ms` is in the past — virtual time never rewinds.
+    pub fn advance_to(&mut self, t_ms: u64) {
+        assert!(t_ms >= self.now_ms, "clock cannot rewind: {} -> {t_ms}", self.now_ms);
+        self.now_ms = t_ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(100);
+        c.advance(50);
+        assert_eq!(c.now_ms(), 150);
+        c.advance_to(200);
+        assert_eq!(c.now_ms(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn cannot_rewind() {
+        let mut c = VirtualClock::new();
+        c.advance(10);
+        c.advance_to(5);
+    }
+}

@@ -1,0 +1,130 @@
+//! GPU memory pool accounting.
+
+/// Errors from the memory pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The request exceeds the remaining capacity.
+    Insufficient {
+        /// Requested megabytes.
+        requested: u32,
+        /// Currently available megabytes.
+        available: u32,
+    },
+    /// A release was larger than the amount currently held.
+    OverRelease,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::Insufficient { requested, available } => {
+                write!(f, "insufficient memory: requested {requested} MB, {available} MB free")
+            }
+            MemError::OverRelease => write!(f, "released more memory than held"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A fixed-capacity memory pool (one GPU's RAM) with peak tracking.
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    capacity_mb: u32,
+    in_use_mb: u32,
+    peak_mb: u32,
+}
+
+impl MemoryPool {
+    /// Pool with the given capacity in megabytes.
+    pub fn new(capacity_mb: u32) -> Self {
+        Self { capacity_mb, in_use_mb: 0, peak_mb: 0 }
+    }
+
+    /// Total capacity.
+    pub fn capacity_mb(&self) -> u32 {
+        self.capacity_mb
+    }
+
+    /// Currently allocated amount.
+    pub fn in_use_mb(&self) -> u32 {
+        self.in_use_mb
+    }
+
+    /// Free capacity.
+    pub fn available_mb(&self) -> u32 {
+        self.capacity_mb - self.in_use_mb
+    }
+
+    /// High-water mark since construction.
+    pub fn peak_mb(&self) -> u32 {
+        self.peak_mb
+    }
+
+    /// Whether `mb` can currently be acquired.
+    pub fn fits(&self, mb: u32) -> bool {
+        mb <= self.available_mb()
+    }
+
+    /// Acquire `mb`; fails without side effects when it does not fit.
+    pub fn acquire(&mut self, mb: u32) -> Result<(), MemError> {
+        if !self.fits(mb) {
+            return Err(MemError::Insufficient { requested: mb, available: self.available_mb() });
+        }
+        self.in_use_mb += mb;
+        self.peak_mb = self.peak_mb.max(self.in_use_mb);
+        Ok(())
+    }
+
+    /// Release `mb` back to the pool.
+    pub fn release(&mut self, mb: u32) -> Result<(), MemError> {
+        if mb > self.in_use_mb {
+            return Err(MemError::OverRelease);
+        }
+        self.in_use_mb -= mb;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut p = MemoryPool::new(1000);
+        assert!(p.fits(1000));
+        p.acquire(600).unwrap();
+        assert_eq!(p.available_mb(), 400);
+        assert!(!p.fits(401));
+        p.acquire(400).unwrap();
+        assert_eq!(p.available_mb(), 0);
+        p.release(600).unwrap();
+        assert_eq!(p.available_mb(), 600);
+        assert_eq!(p.peak_mb(), 1000);
+    }
+
+    #[test]
+    fn failed_acquire_is_side_effect_free() {
+        let mut p = MemoryPool::new(100);
+        p.acquire(90).unwrap();
+        let err = p.acquire(20).unwrap_err();
+        assert_eq!(err, MemError::Insufficient { requested: 20, available: 10 });
+        assert_eq!(p.in_use_mb(), 90);
+    }
+
+    #[test]
+    fn over_release_detected() {
+        let mut p = MemoryPool::new(100);
+        p.acquire(50).unwrap();
+        assert_eq!(p.release(60).unwrap_err(), MemError::OverRelease);
+        assert_eq!(p.in_use_mb(), 50);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MemError::Insufficient { requested: 5, available: 1 };
+        assert!(e.to_string().contains("5 MB"));
+        assert!(MemError::OverRelease.to_string().contains("release"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # ams-sim — virtual-time execution substrate
+//!
+//! The paper's schedulers reason about two resources: wall-clock time
+//! (deadline per item) and GPU memory (shared pool under multi-processor
+//! parallel execution). In the paper these are properties of a real Tesla
+//! P100; here they are simulated so that experiments are deterministic and
+//! run in milliseconds.
+//!
+//! * [`clock`] — a virtual clock in milliseconds.
+//! * [`gpu`] — a GPU memory pool with acquire/release accounting.
+//! * [`serial`] — single-processor executor: jobs run one after another
+//!   against a deadline (the setting of Algorithm 1).
+//! * [`parallel`] — event-driven multi-processor executor: jobs run
+//!   concurrently while they fit in memory; completions release memory
+//!   (the setting of Algorithm 2).
+//! * [`trace`] — execution traces and their invariants.
+//!
+//! The crate is deliberately generic: a job is just `(id, time, memory)`.
+//! `ams-core` maps models onto jobs.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod clock;
+pub mod gpu;
+pub mod parallel;
+pub mod serial;
+pub mod trace;
+
+pub use clock::VirtualClock;
+pub use gpu::MemoryPool;
+pub use parallel::ParallelExecutor;
+pub use serial::SerialExecutor;
+pub use trace::{ExecTrace, Span};
+
+/// A schedulable unit of work: opaque id plus resource demands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Caller-assigned identifier (model index in `ams-core`).
+    pub id: usize,
+    /// Execution time in milliseconds.
+    pub time_ms: u32,
+    /// Peak memory demand in megabytes.
+    pub mem_mb: u32,
+}

@@ -1,0 +1,210 @@
+//! Event-driven multi-processor execution with a shared memory pool
+//! (the Algorithm 2 setting).
+//!
+//! Jobs admitted into the executor run concurrently as long as their
+//! combined memory fits the pool; each completion releases memory and
+//! advances the virtual clock to the completion instant. This reproduces
+//! the paper's loop: pack models into GPU memory, wait until one finishes,
+//! release its memory, re-plan.
+
+use crate::clock::VirtualClock;
+use crate::gpu::{MemError, MemoryPool};
+use crate::trace::{ExecTrace, Span};
+use crate::Job;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A job currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Running {
+    finish_ms: u64,
+    job: Job,
+}
+
+impl Ord for Running {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; order by finish time then id for
+        // deterministic tie-breaking.
+        (self.finish_ms, self.job.id).cmp(&(other.finish_ms, other.job.id))
+    }
+}
+
+impl PartialOrd for Running {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Event-driven executor over a shared memory pool.
+#[derive(Debug, Clone)]
+pub struct ParallelExecutor {
+    clock: VirtualClock,
+    pool: MemoryPool,
+    running: BinaryHeap<Reverse<Running>>,
+    trace: ExecTrace,
+}
+
+impl ParallelExecutor {
+    /// Executor over a pool of `capacity_mb` megabytes.
+    pub fn new(capacity_mb: u32) -> Self {
+        Self {
+            clock: VirtualClock::new(),
+            pool: MemoryPool::new(capacity_mb),
+            running: BinaryHeap::new(),
+            trace: ExecTrace::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Free memory right now.
+    pub fn available_mb(&self) -> u32 {
+        self.pool.available_mb()
+    }
+
+    /// Whether a job of `mem_mb` can be admitted right now.
+    pub fn fits(&self, mem_mb: u32) -> bool {
+        self.pool.fits(mem_mb)
+    }
+
+    /// Number of jobs currently running.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Earliest completion time among running jobs.
+    pub fn next_completion_ms(&self) -> Option<u64> {
+        self.running.peek().map(|Reverse(r)| r.finish_ms)
+    }
+
+    /// Admit `job` at the current virtual time.
+    pub fn admit(&mut self, job: Job) -> Result<(), MemError> {
+        self.pool.acquire(job.mem_mb)?;
+        let finish_ms = self.clock.now_ms() + u64::from(job.time_ms);
+        self.running.push(Reverse(Running { finish_ms, job }));
+        Ok(())
+    }
+
+    /// Advance the clock to the next completion; returns the finished job.
+    /// Returns `None` when nothing is running.
+    pub fn wait_next(&mut self) -> Option<Job> {
+        let Reverse(done) = self.running.pop()?;
+        self.clock.advance_to(done.finish_ms);
+        self.pool
+            .release(done.job.mem_mb)
+            .expect("release of admitted job cannot fail");
+        self.trace.push(Span {
+            job: done.job.id,
+            start_ms: done.finish_ms - u64::from(done.job.time_ms),
+            end_ms: done.finish_ms,
+            mem_mb: done.job.mem_mb,
+        });
+        Some(done.job)
+    }
+
+    /// Drain every running job to completion, in completion order.
+    pub fn drain(&mut self) -> Vec<Job> {
+        let mut out = Vec::with_capacity(self.running.len());
+        while let Some(j) = self.wait_next() {
+            out.push(j);
+        }
+        out
+    }
+
+    /// The trace of *completed* jobs so far.
+    pub fn trace(&self) -> &ExecTrace {
+        &self.trace
+    }
+
+    /// Consume the executor, draining remaining jobs into the trace.
+    pub fn into_trace(mut self) -> ExecTrace {
+        self.drain();
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: usize, t: u32, m: u32) -> Job {
+        Job { id, time_ms: t, mem_mb: m }
+    }
+
+    #[test]
+    fn parallel_overlap_shortens_makespan() {
+        let mut ex = ParallelExecutor::new(1000);
+        ex.admit(job(0, 300, 400)).unwrap();
+        ex.admit(job(1, 200, 400)).unwrap();
+        let first = ex.wait_next().unwrap();
+        assert_eq!(first.id, 1, "shorter job completes first");
+        assert_eq!(ex.now_ms(), 200);
+        let second = ex.wait_next().unwrap();
+        assert_eq!(second.id, 0);
+        assert_eq!(ex.now_ms(), 300);
+        let t = ex.into_trace();
+        assert_eq!(t.makespan_ms(), 300);
+        assert_eq!(t.busy_ms(), 500);
+        assert!(t.respects_memory(800));
+    }
+
+    #[test]
+    fn memory_gate_rejects_oversubscription() {
+        let mut ex = ParallelExecutor::new(500);
+        ex.admit(job(0, 100, 300)).unwrap();
+        assert!(ex.admit(job(1, 100, 300)).is_err());
+        assert_eq!(ex.running_count(), 1);
+        // after completion the memory frees up
+        ex.wait_next().unwrap();
+        assert!(ex.admit(job(1, 100, 300)).is_ok());
+    }
+
+    #[test]
+    fn admission_after_wait_starts_at_current_time() {
+        let mut ex = ParallelExecutor::new(1000);
+        ex.admit(job(0, 100, 100)).unwrap();
+        ex.wait_next().unwrap();
+        ex.admit(job(1, 50, 100)).unwrap();
+        ex.wait_next().unwrap();
+        let t = ex.into_trace();
+        let span1 = t.spans.iter().find(|s| s.job == 1).unwrap();
+        assert_eq!(span1.start_ms, 100);
+        assert_eq!(span1.end_ms, 150);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_id() {
+        let mut ex = ParallelExecutor::new(1000);
+        ex.admit(job(5, 100, 100)).unwrap();
+        ex.admit(job(2, 100, 100)).unwrap();
+        assert_eq!(ex.wait_next().unwrap().id, 2);
+        assert_eq!(ex.wait_next().unwrap().id, 5);
+    }
+
+    #[test]
+    fn drain_completes_everything() {
+        let mut ex = ParallelExecutor::new(10_000);
+        for i in 0..5 {
+            ex.admit(job(i, 100 * (i as u32 + 1), 1000)).unwrap();
+        }
+        let done = ex.drain();
+        assert_eq!(done.len(), 5);
+        assert_eq!(ex.running_count(), 0);
+        assert!(ex.trace().respects_memory(10_000));
+    }
+
+    #[test]
+    fn trace_memory_profile_matches_pool_constraint() {
+        let mut ex = ParallelExecutor::new(700);
+        ex.admit(job(0, 300, 400)).unwrap();
+        ex.admit(job(1, 100, 300)).unwrap();
+        ex.wait_next().unwrap(); // job 1 at t=100
+        ex.admit(job(2, 100, 300)).unwrap();
+        let t = ex.into_trace();
+        assert!(t.respects_memory(700));
+        assert_eq!(t.peak_mem_mb(), 700);
+    }
+}

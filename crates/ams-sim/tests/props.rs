@@ -1,0 +1,108 @@
+//! Property tests for the execution substrate: memory conservation, trace
+//! invariants, and serial/parallel consistency.
+
+use ams_sim::{Job, MemoryPool, ParallelExecutor, SerialExecutor};
+use proptest::prelude::*;
+
+fn arb_jobs() -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec((50u32..500, 500u32..8000), 1..30).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(id, (time_ms, mem_mb))| Job { id, time_ms, mem_mb })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The parallel executor never exceeds its pool and completes all jobs.
+    #[test]
+    fn parallel_executor_conserves_memory(jobs in arb_jobs(), capacity in 8000u32..20000) {
+        let mut ex = ParallelExecutor::new(capacity);
+        let mut pending = jobs.clone();
+        let mut done = Vec::new();
+        while !pending.is_empty() || ex.running_count() > 0 {
+            let mut i = 0;
+            while i < pending.len() {
+                if ex.fits(pending[i].mem_mb) {
+                    let j = pending.remove(i);
+                    ex.admit(j).expect("fits() said yes");
+                } else {
+                    i += 1;
+                }
+            }
+            match ex.wait_next() {
+                Some(j) => done.push(j),
+                None => break,
+            }
+        }
+        prop_assert_eq!(done.len() + pending.len(), jobs.len());
+        // jobs bigger than the pool can never run, everything else must
+        for p in &pending {
+            prop_assert!(p.mem_mb > capacity);
+        }
+        let trace = ex.into_trace();
+        prop_assert!(trace.respects_memory(capacity), "peak {}", trace.peak_mem_mb());
+        // makespan >= the critical path lower bound (longest single job)
+        if let Some(max_t) = done.iter().map(|j| u64::from(j.time_ms)).max() {
+            prop_assert!(trace.makespan_ms() >= max_t);
+        }
+        // busy time equals the sum of executed job times
+        let total: u64 = done.iter().map(|j| u64::from(j.time_ms)).sum();
+        prop_assert_eq!(trace.busy_ms(), total);
+    }
+
+    /// Serial execution time is exactly the prefix sum; the deadline is a
+    /// hard gate.
+    #[test]
+    fn serial_executor_prefix_sums(jobs in arb_jobs(), deadline in 0u64..8000) {
+        let mut ex = SerialExecutor::new(deadline);
+        let mut expected = 0u64;
+        for j in &jobs {
+            let fits = expected + u64::from(j.time_ms) <= deadline;
+            let ran = ex.run(*j);
+            prop_assert_eq!(ran, fits);
+            if ran {
+                expected += u64::from(j.time_ms);
+            }
+        }
+        prop_assert_eq!(ex.elapsed_ms(), expected);
+        prop_assert!(ex.into_trace().is_serial());
+    }
+
+    /// Memory pool accounting never goes negative or above capacity and
+    /// failed acquires change nothing.
+    #[test]
+    fn memory_pool_accounting(ops in prop::collection::vec((any::<bool>(), 1u32..10000), 0..100), capacity in 1000u32..16000) {
+        let mut pool = MemoryPool::new(capacity);
+        let mut held: Vec<u32> = Vec::new();
+        for (acquire, size) in ops {
+            if acquire {
+                let before = pool.in_use_mb();
+                match pool.acquire(size) {
+                    Ok(()) => held.push(size),
+                    Err(_) => prop_assert_eq!(pool.in_use_mb(), before),
+                }
+            } else if let Some(mb) = held.pop() {
+                pool.release(mb).expect("held memory releases");
+            }
+            let sum: u32 = held.iter().sum();
+            prop_assert_eq!(pool.in_use_mb(), sum);
+            prop_assert!(pool.in_use_mb() <= capacity);
+            prop_assert!(pool.peak_mb() >= pool.in_use_mb());
+        }
+    }
+
+    /// The parallel executor with capacity >= all jobs behaves like pure
+    /// concurrency: makespan equals the longest job.
+    #[test]
+    fn unbounded_pool_is_fully_concurrent(jobs in arb_jobs()) {
+        let total_mem: u32 = jobs.iter().map(|j| j.mem_mb).sum();
+        let mut ex = ParallelExecutor::new(total_mem.max(1));
+        for j in &jobs {
+            ex.admit(*j).expect("unbounded");
+        }
+        let max_t = jobs.iter().map(|j| u64::from(j.time_ms)).max().unwrap_or(0);
+        ex.drain();
+        prop_assert_eq!(ex.now_ms(), max_t);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 7-style inspection: watch the agent's prediction-scheduling-
+//! execution loop unfold on a single image, model by model.
+//!
+//! Run with: `cargo run --release --example inspect_sequence`
+
+use ams::core::policies::predictor_greedy_rollout;
+use ams::prelude::*;
+
+fn main() {
+    let zoo = ModelZoo::standard();
+    let catalog = zoo.catalog();
+    let ds = Dataset::generate(DatasetProfile::MirFlickr25, 300, 5);
+    let truth = TruthTable::build(&zoo, &catalog, &ds, 0.5);
+    let split = ds.split_1_to_4();
+    let (train_items, test_items) = truth.split(split);
+
+    let cfg = TrainConfig { episodes: 400, ..TrainConfig::new(Algo::DuelingDqn) };
+    let (agent, _) = train(train_items, zoo.len(), &cfg);
+    let predictor = AgentPredictor::new(agent);
+
+    // Pick a content-rich item and replay the agent's choices.
+    let item = test_items
+        .iter()
+        .max_by_key(|it| it.valuable_models(0.5).len())
+        .expect("non-empty test set");
+    let scene = &ds.scenes[item.scene_id as usize];
+    println!(
+        "scene {}: {} persons, {} dogs, {} objects, template {:?}\n",
+        item.scene_id,
+        scene.persons.len(),
+        scene.dogs.len(),
+        scene.objects.len(),
+        scene.template
+    );
+
+    let rollout = predictor_greedy_rollout(item, &zoo, &predictor, 1.0, 0.5);
+    let mut state = LabelSet::new(item.universe());
+    let mut recalled = 0.0;
+    for (i, &m) in rollout.executed.iter().enumerate() {
+        let new: Vec<String> = item
+            .output(m)
+            .valuable(0.5)
+            .filter(|d| !state.contains(d.label))
+            .map(|d| format!("{} {:.2}", catalog.name(d.label), d.confidence))
+            .collect();
+        recalled += item.apply(&mut state, m, 0.5);
+        let summary = match new.len() {
+            0 => "—".to_string(),
+            1..=3 => new.join(", "),
+            n => format!("{}, … (+{} more)", new[..3].join(", "), n - 3),
+        };
+        println!(
+            "{:>2}. {:<26} recall {:>5.1}%  {summary}",
+            i + 1,
+            zoo.spec(m).name,
+            recalled / item.total_value * 100.0
+        );
+    }
+}

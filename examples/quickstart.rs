@@ -1,0 +1,59 @@
+//! Quickstart: assemble the framework, train a small agent, and label a
+//! handful of items under different budgets.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ams::prelude::*;
+
+fn main() {
+    // --- 1. The model zoo (Table I): 30 simulated vision models. ---------
+    let zoo = ModelZoo::standard();
+    println!(
+        "zoo: {} models over {} tasks, {} labels, {:.2}s to run everything",
+        zoo.len(),
+        Task::ALL.len(),
+        zoo.catalog().len(),
+        zoo.total_time_ms() as f64 / 1000.0
+    );
+
+    // --- 2. A data stream and its full-execution ground truth. -----------
+    let dataset = Dataset::generate(DatasetProfile::Coco2017, 300, 42);
+    let truth = TruthTable::build(&zoo, &zoo.catalog(), &dataset, 0.5);
+    let split = dataset.split_1_to_4();
+    let (train_items, test_items) = truth.split(split);
+
+    // --- 3. Train a DRL agent to predict model values (§IV). -------------
+    println!("training a DuelingDQN agent on {} items...", train_items.len());
+    let cfg = TrainConfig { episodes: 400, ..TrainConfig::new(Algo::DuelingDqn) };
+    let (agent, stats) = train(train_items, zoo.len(), &cfg);
+    println!(
+        "trained: {} env steps, trailing episode reward {:.2}",
+        stats.steps,
+        stats.trailing_reward(50)
+    );
+
+    // --- 4. Label items under three budgets (§V). -------------------------
+    let scheduler =
+        AdaptiveModelScheduler::new(zoo, Box::new(AgentPredictor::new(agent)), 0.5, 42);
+    let item = &test_items[0];
+
+    for budget in [
+        Budget::Unconstrained,
+        Budget::Deadline { ms: 1000 },
+        Budget::DeadlineMemory { ms: 800, mem_mb: 12 * 1024 },
+    ] {
+        let outcome = scheduler.label_item(item, budget);
+        println!(
+            "\n== {budget:?}: {} models, {:.2}s, recall {:.0}%",
+            outcome.executed.len(),
+            outcome.elapsed_ms as f64 / 1000.0,
+            outcome.recall * 100.0
+        );
+        for (label, conf) in outcome.labels.iter().take(6) {
+            println!("   {} ({conf:.2})", scheduler.catalog().name(*label));
+        }
+        if outcome.labels.len() > 6 {
+            println!("   ... and {} more labels", outcome.labels.len() - 6);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Delay-sensitive video surveillance (§VI-E's motivating deployment):
+//! faces must be detected with the shortest possible delay, so the face
+//! detector's priority θ is raised — without giving up overall labeling
+//! efficiency. Scheduling runs under a tight deadline + GPU memory budget
+//! (Algorithm 2).
+//!
+//! Run with: `cargo run --release --example surveillance`
+
+use ams::prelude::*;
+
+fn main() {
+    let zoo = ModelZoo::standard();
+    let catalog = zoo.catalog();
+    let face_model = zoo.models_for(Task::FaceDetection).next().expect("face detector").id;
+
+    // Street-camera-like content.
+    let stream = Dataset::generate(DatasetProfile::Stanford40, 300, 7);
+    let truth = TruthTable::build(&zoo, &catalog, &stream, 0.5);
+    let split = stream.split_1_to_4();
+    let (train_items, test_items) = truth.split(split);
+
+    for theta in [1.0f32, 10.0] {
+        let reward = RewardConfig::default().with_theta(face_model, theta, zoo.len());
+        let cfg = TrainConfig { episodes: 400, reward, ..TrainConfig::new(Algo::DuelingDqn) };
+        let (agent, _) = train(train_items, zoo.len(), &cfg);
+        let predictor = AgentPredictor::new(agent);
+
+        // Measure where the face detector lands in the execution order and
+        // the recall achieved under a 0.8s / 12GB budget.
+        let mut face_pos = 0.0;
+        let mut recall = 0.0;
+        let mut face_found = 0usize;
+        let n = 60;
+        for item in test_items.iter().take(n) {
+            let r = schedule_deadline_memory(&predictor, &zoo, item, 800, 12 * 1024, 0.5);
+            recall += r.recall;
+            if let Some(p) = r.completed.iter().position(|&m| m == face_model) {
+                face_pos += (p + 1) as f64;
+                face_found += 1;
+            }
+        }
+        println!(
+            "θ(face)={theta:>4}: face detector completed on {face_found}/{n} frames, avg completion rank {:.1}, avg recall {:.0}%",
+            if face_found > 0 { face_pos / face_found as f64 } else { f64::NAN },
+            recall / n as f64 * 100.0
+        );
+    }
+    println!("\nraising θ pulls the face detector forward in the schedule");
+    println!("without sacrificing the overall label recall (§VI-E).");
+}

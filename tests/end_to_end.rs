@@ -1,0 +1,111 @@
+//! End-to-end integration: generator → zoo → ground truth → training →
+//! scheduling, across every crate boundary.
+
+use ams::prelude::*;
+
+fn pipeline() -> (ModelZoo, Dataset, TruthTable, TrainedAgent) {
+    let zoo = ModelZoo::standard();
+    let catalog = zoo.catalog();
+    let dataset = Dataset::generate(DatasetProfile::Coco2017, 100, 4242);
+    let truth = TruthTable::build(&zoo, &catalog, &dataset, 0.5);
+    let split = dataset.split_1_to_4();
+    let (train_items, _) = truth.split(split);
+    let cfg = TrainConfig { episodes: 60, ..TrainConfig::fast_test(Algo::DuelingDqn) };
+    let (agent, _) = train(train_items, zoo.len(), &cfg);
+    (zoo, dataset, truth, agent)
+}
+
+#[test]
+fn full_pipeline_under_all_budgets() {
+    let (zoo, dataset, truth, agent) = pipeline();
+    let scheduler = AdaptiveModelScheduler::new(
+        zoo,
+        Box::new(AgentPredictor::new(agent)),
+        0.5,
+        dataset.world_seed,
+    );
+    let split = dataset.split_1_to_4();
+    let (_, test_items) = truth.split(split);
+
+    for item in test_items.iter().take(10) {
+        let unconstrained = scheduler.label_item(item, Budget::Unconstrained);
+        let deadline = scheduler.label_item(item, Budget::Deadline { ms: 1000 });
+        let memory = scheduler.label_item(item, Budget::DeadlineMemory { ms: 1000, mem_mb: 12288 });
+
+        assert!(deadline.elapsed_ms <= 1000);
+        assert!(memory.elapsed_ms <= 1000);
+        for out in [&unconstrained, &deadline, &memory] {
+            assert!(out.recall >= 0.0 && out.recall <= 1.0 + 1e-9);
+            assert!(out.value <= item.total_value + 1e-9);
+            // labels are sorted, valuable, and consistent with recall
+            for w in out.labels.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+            if out.recall > 0.0 {
+                assert!(!out.labels.is_empty());
+            }
+        }
+        // a looser budget never recalls less under the same policy family
+        let tight = scheduler.label_item(item, Budget::Deadline { ms: 300 });
+        assert!(deadline.recall >= tight.recall - 1e-9);
+    }
+}
+
+#[test]
+fn label_scene_matches_label_item() {
+    let (zoo, dataset, truth, agent) = pipeline();
+    let scheduler = AdaptiveModelScheduler::new(
+        zoo,
+        Box::new(AgentPredictor::new(agent)),
+        0.5,
+        dataset.world_seed,
+    );
+    // label_scene rebuilds the same deterministic outputs as the table row
+    let idx = 30usize;
+    let via_scene = scheduler.label_scene(&dataset.scenes[idx], Budget::Deadline { ms: 2000 });
+    let via_item = scheduler.label_item(truth.item(idx), Budget::Deadline { ms: 2000 });
+    assert_eq!(via_scene.executed, via_item.executed);
+    assert_eq!(via_scene.labels.len(), via_item.labels.len());
+    assert!((via_scene.recall - via_item.recall).abs() < 1e-12);
+}
+
+#[test]
+fn cross_dataset_truth_tables_are_independent() {
+    let zoo = ModelZoo::standard();
+    let catalog = zoo.catalog();
+    let a = Dataset::generate(DatasetProfile::Places365, 40, 1);
+    let b = Dataset::generate(DatasetProfile::Stanford40, 40, 1);
+    let ta = TruthTable::build(&zoo, &catalog, &a, 0.5);
+    let tb = TruthTable::build(&zoo, &catalog, &b, 0.5);
+    // person-heavy Stanford40 items should, on average, have more valuable
+    // models than scene-centric Places365 items
+    let avg = |t: &TruthTable| {
+        t.items().iter().map(|i| i.valuable_models(0.5).len()).sum::<usize>() as f64
+            / t.len() as f64
+    };
+    assert!(
+        avg(&tb) > avg(&ta),
+        "Stanford40 ({:.1}) should need more models than Places365 ({:.1})",
+        avg(&tb),
+        avg(&ta)
+    );
+}
+
+#[test]
+fn relation_graph_integrates_with_scheduler() {
+    let zoo = ModelZoo::standard();
+    let catalog = zoo.catalog();
+    let dataset = Dataset::generate(DatasetProfile::Coco2017, 120, 9);
+    let truth = TruthTable::build(&zoo, &catalog, &dataset, 0.5);
+    let split = dataset.split_1_to_4();
+    let (train_items, test_items) = truth.split(split);
+    let graph = ModelRelationGraph::build(train_items, zoo.len(), catalog.len(), 0.5);
+    let scheduler = AdaptiveModelScheduler::new(
+        zoo,
+        Box::new(GraphPredictor::new(graph)),
+        0.5,
+        dataset.world_seed,
+    );
+    let out = scheduler.label_item(&test_items[0], Budget::Deadline { ms: 1500 });
+    assert!(out.elapsed_ms <= 1500);
+}

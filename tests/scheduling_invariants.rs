@@ -1,0 +1,116 @@
+//! Cross-crate property tests on the scheduling algorithms: budgets are
+//! never exceeded, optimal* really is an upper bound, memory is conserved.
+
+use ams::core::predictor::{OraclePredictor, UniformPredictor};
+use ams::core::scheduler::optimal_star;
+use ams::prelude::*;
+use proptest::prelude::*;
+
+fn fixture() -> (ModelZoo, TruthTable) {
+    let zoo = ModelZoo::standard();
+    let ds = Dataset::generate(DatasetProfile::MirFlickr25, 30, 88);
+    let truth = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+    (zoo, truth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn algorithm1_never_exceeds_deadline(budget_ms in 0u64..6000, item_idx in 0usize..30) {
+        let (zoo, truth) = fixture();
+        let oracle = OraclePredictor::new(zoo.len(), 0.5);
+        let r = schedule_deadline(&oracle, &zoo, truth.item(item_idx), budget_ms, 0.5);
+        prop_assert!(r.elapsed_ms <= budget_ms);
+        let sum: u64 = r.executed.iter().map(|&m| u64::from(zoo.spec(m).time_ms)).sum();
+        prop_assert_eq!(sum, r.elapsed_ms);
+        prop_assert!(r.trace.is_serial());
+    }
+
+    #[test]
+    fn algorithm2_respects_both_budgets(
+        budget_ms in 100u64..3000,
+        mem_mb in 8000u32..20000,
+        item_idx in 0usize..30,
+    ) {
+        let (zoo, truth) = fixture();
+        let oracle = OraclePredictor::new(zoo.len(), 0.5);
+        let r = schedule_deadline_memory(&oracle, &zoo, truth.item(item_idx), budget_ms, mem_mb, 0.5);
+        prop_assert!(r.peak_mem_mb <= mem_mb, "peak {} > {}", r.peak_mem_mb, mem_mb);
+        prop_assert!(r.trace.respects_memory(mem_mb));
+        // every completed model finished within the deadline
+        let completed: std::collections::HashSet<usize> =
+            r.completed.iter().map(|m| m.index()).collect();
+        for span in &r.trace.spans {
+            if completed.contains(&span.job) {
+                prop_assert!(span.end_ms <= budget_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_star_upper_bounds_schedulers(budget_ms in 0u64..6000, item_idx in 0usize..30) {
+        let (zoo, truth) = fixture();
+        let item = truth.item(item_idx);
+        let oracle = OraclePredictor::new(zoo.len(), 0.5);
+        let uniform = UniformPredictor::new(zoo.len());
+        let star = optimal_star::optimal_star_deadline(&zoo, item, budget_ms, 0.5);
+        for value in [
+            schedule_deadline(&oracle, &zoo, item, budget_ms, 0.5).value,
+            schedule_deadline(&uniform, &zoo, item, budget_ms, 0.5).value,
+        ] {
+            prop_assert!(star >= value - 1e-9, "star {} < scheduled {}", star, value);
+        }
+    }
+
+    #[test]
+    fn optimal_star_memory_bounds_algorithm2(
+        budget_ms in 100u64..2000,
+        mem_mb in 8192u32..16384,
+        item_idx in 0usize..30,
+    ) {
+        let (zoo, truth) = fixture();
+        let item = truth.item(item_idx);
+        let oracle = OraclePredictor::new(zoo.len(), 0.5);
+        let star = optimal_star::optimal_star_deadline_memory(&zoo, item, budget_ms, mem_mb, 0.5);
+        let exact = schedule_deadline_memory(&oracle, &zoo, item, budget_ms, mem_mb, 0.5).value;
+        prop_assert!(star >= exact - 1e-9);
+    }
+
+    #[test]
+    fn value_function_is_monotone_and_submodular(
+        item_idx in 0usize..30,
+        mut subset_bits in 0u64..(1 << 30),
+        extra in 0usize..30,
+        probe in 0usize..30,
+    ) {
+        // Lemma 1: f is non-negative, non-decreasing and submodular.
+        let (_zoo, truth) = fixture();
+        let item = truth.item(item_idx);
+        subset_bits &= (1 << 30) - 1;
+        let small: Vec<ModelId> = (0..30).filter(|i| subset_bits >> i & 1 == 1).map(|i| ModelId(i as u8)).collect();
+        let mut large = small.clone();
+        if !large.iter().any(|m| m.index() == extra) {
+            large.push(ModelId(extra as u8));
+        }
+        let f_small = item.value_of_set(&small, 0.5);
+        let f_large = item.value_of_set(&large, 0.5);
+        prop_assert!(f_small >= 0.0);
+        prop_assert!(f_large >= f_small - 1e-9, "monotonicity");
+
+        // submodularity: marginal of `probe` shrinks as the set grows
+        if !small.iter().any(|m| m.index() == probe) && probe != extra {
+            let mut s_state = LabelSet::new(item.universe());
+            for &m in &small {
+                item.apply(&mut s_state, m, 0.5);
+            }
+            let mut l_state = LabelSet::new(item.universe());
+            for &m in &large {
+                item.apply(&mut l_state, m, 0.5);
+            }
+            let m_small = item.marginal_value(&s_state, ModelId(probe as u8), 0.5);
+            let m_large = item.marginal_value(&l_state, ModelId(probe as u8), 0.5);
+            prop_assert!(m_small >= m_large - 1e-9, "submodularity {} < {}", m_small, m_large);
+        }
+    }
+}
