@@ -6,7 +6,11 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn jobs() -> Vec<Job> {
     (0..30)
-        .map(|i| Job { id: i, time_ms: 60 + (i as u32 * 13) % 390, mem_mb: 500 + (i as u32 * 251) % 7500 })
+        .map(|i| Job {
+            id: i,
+            time_ms: 60 + (i as u32 * 13) % 390,
+            mem_mb: 500 + (i as u32 * 251) % 7500,
+        })
         .collect()
 }
 

@@ -5,7 +5,11 @@ use ams_bench::{ExperimentConfig, Harness};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let cfg = if smoke { ExperimentConfig::smoke() } else { ExperimentConfig::default() };
+    let cfg = if smoke {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::default()
+    };
     let mut h = Harness::new(cfg);
     fig06_rules_vs_agent(&mut h);
 }

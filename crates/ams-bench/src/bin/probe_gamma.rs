@@ -18,13 +18,23 @@ fn main() {
     println!("random models@0.8 = {rm:.2}");
 
     for gamma in [0.9f32, 0.5, 0.3, 0.1] {
-        let cfg = TrainConfig { episodes: 1200, gamma, ..TrainConfig::new(Algo::DuelingDqn) };
+        let cfg = TrainConfig {
+            episodes: 1200,
+            gamma,
+            ..TrainConfig::new(Algo::DuelingDqn)
+        };
         let (agent, _) = train(train_items, zoo.len(), &cfg);
         let p = AgentPredictor::new(agent);
-        let (m08, _) = aggregate_rollouts(items.iter(), |it| predictor_greedy_rollout(it, &zoo, &p, 0.8, 0.5));
-        let (m10, _) = aggregate_rollouts(items.iter(), |it| predictor_greedy_rollout(it, &zoo, &p, 1.0, 0.5));
+        let (m08, _) = aggregate_rollouts(items.iter(), |it| {
+            predictor_greedy_rollout(it, &zoo, &p, 0.8, 0.5)
+        });
+        let (m10, _) = aggregate_rollouts(items.iter(), |it| {
+            predictor_greedy_rollout(it, &zoo, &p, 1.0, 0.5)
+        });
         // Alg1 at 0.5s and 1s
-        let mut a05 = 0.0; let mut a10 = 0.0; let mut s05 = 0.0;
+        let mut a05 = 0.0;
+        let mut a10 = 0.0;
+        let mut s05 = 0.0;
         let mut mem08 = 0.0;
         for it in &items {
             a05 += schedule_deadline(&p, &zoo, it, 500, 0.5).recall;

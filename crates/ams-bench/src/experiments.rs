@@ -23,8 +23,10 @@ pub fn fig02_policy_gap(h: &mut Harness) -> Figure {
         let zoo = h.zoo.clone();
         for item in h.eval_items(profile) {
             times_nopolicy.push(no_policy_s);
-            times_random.push(random_rollout(&item, &zoo, 1.0, threshold, 11).time_ms as f64 / 1000.0);
-            times_optimal.push(optimal_rollout(&item, &zoo, 1.0, threshold).time_ms as f64 / 1000.0);
+            times_random
+                .push(random_rollout(&item, &zoo, 1.0, threshold, 11).time_ms as f64 / 1000.0);
+            times_optimal
+                .push(optimal_rollout(&item, &zoo, 1.0, threshold).time_ms as f64 / 1000.0);
         }
     }
 
@@ -41,7 +43,11 @@ pub fn fig02_policy_gap(h: &mut Harness) -> Figure {
         ("optimal", &times_optimal),
     ] {
         let m = mean(t);
-        let _ = writeln!(out, "{name:<12} {m:>10.2} {:>13.1}%", m / no_policy_s * 100.0);
+        let _ = writeln!(
+            out,
+            "{name:<12} {m:>10.2} {:>13.1}%",
+            m / no_policy_s * 100.0
+        );
     }
     let _ = writeln!(out, "(paper: 5.16 / 4.64 / 1.14 s → 100% / 90% / 22.1%)");
     h.emit_text("fig2_summary", &out);
@@ -56,9 +62,23 @@ pub fn fig02_policy_gap(h: &mut Harness) -> Figure {
         x_label: "time s".into(),
         y_label: "CDF".into(),
         series: vec![
-            Series::new("no-policy", xs.clone(), xs.iter().map(|&x| f64::from(x >= no_policy_s - 1e-9)).collect()),
-            Series::new("random", xs.clone(), xs.iter().map(|&x| cdf_r.at(x)).collect()),
-            Series::new("optimal", xs.clone(), xs.iter().map(|&x| cdf_o.at(x)).collect()),
+            Series::new(
+                "no-policy",
+                xs.clone(),
+                xs.iter()
+                    .map(|&x| f64::from(x >= no_policy_s - 1e-9))
+                    .collect(),
+            ),
+            Series::new(
+                "random",
+                xs.clone(),
+                xs.iter().map(|&x| cdf_r.at(x)).collect(),
+            ),
+            Series::new(
+                "optimal",
+                xs.clone(),
+                xs.iter().map(|&x| cdf_o.at(x)).collect(),
+            ),
         ],
     };
     h.emit(&fig);
@@ -68,17 +88,34 @@ pub fn fig02_policy_gap(h: &mut Harness) -> Figure {
 /// Table I — the deployed zoo.
 pub fn table1_zoo(h: &mut Harness) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# table1 — 10 visual analysis tasks, 30 models, 1104 labels");
-    let _ = writeln!(out, "{:<28} {:>7} {:>28}", "task", "labels", "models (time ms / mem MB)");
+    let _ = writeln!(
+        out,
+        "# table1 — 10 visual analysis tasks, 30 models, 1104 labels"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>28}",
+        "task", "labels", "models (time ms / mem MB)"
+    );
     for task in Task::ALL {
         let models: Vec<String> = h
             .zoo
             .models_for(task)
             .map(|s| format!("{}/{}", s.time_ms, s.mem_mb))
             .collect();
-        let _ = writeln!(out, "{:<28} {:>7} {:>28}", task.name(), task.label_count(), models.join("  "));
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>28}",
+            task.name(),
+            task.label_count(),
+            models.join("  ")
+        );
     }
-    let _ = writeln!(out, "total zoo time: {:.2} s (paper: 5.16 s)", h.zoo.total_time_ms() as f64 / 1000.0);
+    let _ = writeln!(
+        out,
+        "total zoo time: {:.2} s (paper: 5.16 s)",
+        h.zoo.total_time_ms() as f64 / 1000.0
+    );
     h.emit_text("table1_zoo", &out);
     out
 }
@@ -116,8 +153,14 @@ pub fn fig04_05_prediction(h: &mut Harness) -> (Vec<Figure>, Vec<Figure>) {
 
         type Runner<'a> = Box<dyn Fn(&ItemTruth, f64) -> Rollout + 'a>;
         let baselines: Vec<(&str, Runner<'_>)> = vec![
-            ("Random", Box::new(|it: &ItemTruth, tgt: f64| random_rollout(it, &zoo, tgt, threshold, 5))),
-            ("Optimal", Box::new(|it: &ItemTruth, tgt: f64| optimal_rollout(it, &zoo, tgt, threshold))),
+            (
+                "Random",
+                Box::new(|it: &ItemTruth, tgt: f64| random_rollout(it, &zoo, tgt, threshold, 5)),
+            ),
+            (
+                "Optimal",
+                Box::new(|it: &ItemTruth, tgt: f64| optimal_rollout(it, &zoo, tgt, threshold)),
+            ),
         ];
         for (name, f) in baselines {
             let mut ys_m = Vec::new();
@@ -159,7 +202,11 @@ pub fn table2_rules(h: &mut Harness) -> String {
     let book = RuleBook::table2(&h.catalog);
     let mut out = String::new();
     let _ = writeln!(out, "# table2 — handcrafted model execution rules");
-    let _ = writeln!(out, "{:<24} {:<18} {:<28} {:>6}", "source task", "trigger", "target task", "mult");
+    let _ = writeln!(
+        out,
+        "{:<24} {:<18} {:<28} {:>6}",
+        "source task", "trigger", "target task", "mult"
+    );
     for r in book.rules() {
         let trig = match &r.trigger {
             Trigger::Label(l) => h.catalog.name(*l).to_string(),
@@ -171,7 +218,14 @@ pub fn table2_rules(h: &mut Harness) -> String {
             Some(_) => format!("{} (specialist)", r.target_task.name()),
             None => r.target_task.name().to_string(),
         };
-        let _ = writeln!(out, "{:<24} {:<18} {:<28} {:>6.1}", r.source_task.name(), trig, target, r.multiplier);
+        let _ = writeln!(
+            out,
+            "{:<24} {:<18} {:<28} {:>6.1}",
+            r.source_task.name(),
+            trig,
+            target,
+            r.multiplier
+        );
     }
     h.emit_text("table2_rules", &out);
     out
@@ -193,10 +247,22 @@ pub fn fig06_rules_vs_agent(h: &mut Harness) -> (Figure, Figure) {
     let mut series_m: Vec<Series> = Vec::new();
     let mut series_t: Vec<Series> = Vec::new();
     let runners: Vec<(&str, TargetRunner<'_>)> = vec![
-        ("Rule", Box::new(|it, tgt| rule_rollout(it, &zoo, &catalog, &book, tgt, threshold, 13))),
-        ("DuelingDQN", Box::new(|it, tgt| predictor_greedy_rollout(it, &zoo, &predictor, tgt, threshold))),
-        ("Random", Box::new(|it, tgt| random_rollout(it, &zoo, tgt, threshold, 13))),
-        ("Optimal", Box::new(|it, tgt| optimal_rollout(it, &zoo, tgt, threshold))),
+        (
+            "Rule",
+            Box::new(|it, tgt| rule_rollout(it, &zoo, &catalog, &book, tgt, threshold, 13)),
+        ),
+        (
+            "DuelingDQN",
+            Box::new(|it, tgt| predictor_greedy_rollout(it, &zoo, &predictor, tgt, threshold)),
+        ),
+        (
+            "Random",
+            Box::new(|it, tgt| random_rollout(it, &zoo, tgt, threshold, 13)),
+        ),
+        (
+            "Optimal",
+            Box::new(|it, tgt| optimal_rollout(it, &zoo, tgt, threshold)),
+        ),
     ];
     for (name, f) in &runners {
         let mut ys_m = Vec::new();
@@ -248,7 +314,11 @@ pub fn fig07_sequence(h: &mut Harness) -> String {
     let rollout = predictor_greedy_rollout(item, &zoo, &predictor, 1.0, threshold);
 
     let mut out = String::new();
-    let _ = writeln!(out, "# fig7 — Q-greedy execution sequence (item {})", item.scene_id);
+    let _ = writeln!(
+        out,
+        "# fig7 — Q-greedy execution sequence (item {})",
+        item.scene_id
+    );
     let mut state = LabelSet::new(item.universe());
     for (i, &m) in rollout.executed.iter().enumerate() {
         let new: Vec<String> = item
@@ -267,7 +337,11 @@ pub fn fig07_sequence(h: &mut Harness) -> String {
         };
         let _ = writeln!(out, "{:>2}. {:<24} -> {rendered}", i + 1, zoo.spec(m).name);
         if i >= 7 {
-            let _ = writeln!(out, "    … ({} more executions)", rollout.executed.len() - i - 1);
+            let _ = writeln!(
+                out,
+                "    … ({} more executions)",
+                rollout.executed.len() - i - 1
+            );
             break;
         }
     }
@@ -287,7 +361,11 @@ pub fn fig08_transfer(h: &mut Harness) -> Figure {
 
     let mut out = String::new();
     let _ = writeln!(out, "# fig8 — transfer: avg time (s) to full recall");
-    let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>8} {:>8}", "test set", "Agent1", "Agent2", "Random", "Optimal");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "test set", "Agent1", "Agent2", "Random", "Optimal"
+    );
     let mut cdf_series = Vec::new();
     for (name, profile) in [("Dataset1", d1), ("Dataset2", d2)] {
         let items = h.eval_items(profile);
@@ -297,8 +375,11 @@ pub fn fig08_transfer(h: &mut Harness) -> Figure {
         let (_, t2) = aggregate_rollouts(items.iter(), |it| {
             predictor_greedy_rollout(it, &zoo, &agent2, 1.0, threshold)
         });
-        let (_, tr) = aggregate_rollouts(items.iter(), |it| random_rollout(it, &zoo, 1.0, threshold, 21));
-        let (_, to) = aggregate_rollouts(items.iter(), |it| optimal_rollout(it, &zoo, 1.0, threshold));
+        let (_, tr) = aggregate_rollouts(items.iter(), |it| {
+            random_rollout(it, &zoo, 1.0, threshold, 21)
+        });
+        let (_, to) =
+            aggregate_rollouts(items.iter(), |it| optimal_rollout(it, &zoo, 1.0, threshold));
         let _ = writeln!(out, "{name:<10} {t1:>8.2} {t2:>8.2} {tr:>8.2} {to:>8.2}");
 
         // CDF of per-item times for the native agent on this set
@@ -317,7 +398,10 @@ pub fn fig08_transfer(h: &mut Harness) -> Figure {
             xs.iter().map(|&x| cdf.at(x)).collect(),
         ));
     }
-    let _ = writeln!(out, "(paper: Agent1 1.94/2.63, Agent2 2.09/2.47, Random 4.12/4.04, Optimal 0.79/0.68)");
+    let _ = writeln!(
+        out,
+        "(paper: Agent1 1.94/2.63, Agent2 2.09/2.47, Random 4.12/4.04, Optimal 0.79/0.68)"
+    );
     h.emit_text("fig8_transfer", &out);
     let fig = Figure {
         id: "fig8_cdf".into(),
@@ -356,8 +440,11 @@ pub fn fig09_theta(h: &mut Harness) -> (Figure, Figure) {
         let mut pos = Vec::new();
         let mut time = Vec::new();
         for &theta in &thetas {
-            let reward = RewardConfig { value_threshold: threshold, ..Default::default() }
-                .with_theta(face_model, theta, zoo.len());
+            let reward = RewardConfig {
+                value_threshold: threshold,
+                ..Default::default()
+            }
+            .with_theta(face_model, theta, zoo.len());
             let cfg = TrainConfig {
                 episodes,
                 seed: h.cfg.seed ^ 0xF19, // identical across θ: only θ varies
@@ -390,8 +477,16 @@ pub fn fig09_theta(h: &mut Harness) -> (Figure, Figure) {
             pos.push(mean(&positions));
             time.push(t);
         }
-        series_pos.push(Series::new(algo.name(), thetas.iter().map(|&t| f64::from(t)).collect(), pos));
-        series_time.push(Series::new(algo.name(), thetas.iter().map(|&t| f64::from(t)).collect(), time));
+        series_pos.push(Series::new(
+            algo.name(),
+            thetas.iter().map(|&t| f64::from(t)).collect(),
+            pos,
+        ));
+        series_time.push(Series::new(
+            algo.name(),
+            thetas.iter().map(|&t| f64::from(t)).collect(),
+            time,
+        ));
     }
     // random baseline: expected position of a fixed model = (n+1)/2
     let n = zoo.len() as f64;
@@ -400,8 +495,14 @@ pub fn fig09_theta(h: &mut Harness) -> (Figure, Figure) {
         thetas.iter().map(|&t| f64::from(t)).collect(),
         vec![(n + 1.0) / 2.0; thetas.len()],
     ));
-    let (_, rt) = aggregate_rollouts(items.iter(), |it| random_rollout(it, &zoo, 1.0, threshold, 31));
-    series_time.push(Series::new("Random", thetas.iter().map(|&t| f64::from(t)).collect(), vec![rt; thetas.len()]));
+    let (_, rt) = aggregate_rollouts(items.iter(), |it| {
+        random_rollout(it, &zoo, 1.0, threshold, 31)
+    });
+    series_time.push(Series::new(
+        "Random",
+        thetas.iter().map(|&t| f64::from(t)).collect(),
+        vec![rt; thetas.len()],
+    ));
 
     let f_pos = Figure {
         id: "fig9_order".into(),
@@ -484,7 +585,11 @@ pub fn fig10_deadline(h: &mut Harness) -> Vec<Figure> {
     }
 
     let one_minus_inv_e = 1.0 - 1.0 / std::f64::consts::E;
-    ratio_series.push(Series::new("1-1/e", grid.clone(), vec![one_minus_inv_e; grid.len()]));
+    ratio_series.push(Series::new(
+        "1-1/e",
+        grid.clone(),
+        vec![one_minus_inv_e; grid.len()],
+    ));
     let ratio_fig = Figure {
         id: "fig10_ratio".into(),
         title: "Algorithm 1 / optimal* performance ratio".into(),
@@ -521,10 +626,12 @@ pub fn fig11_memory(h: &mut Harness) -> Vec<Figure> {
             let mut rr = 0.0;
             let mut rs = 0.0;
             for item in &items {
-                ra += schedule_deadline_memory(&predictor, &zoo, item, budget_ms, mem_mb, threshold)
-                    .recall;
+                ra +=
+                    schedule_deadline_memory(&predictor, &zoo, item, budget_ms, mem_mb, threshold)
+                        .recall;
                 rr += random_memory_recall(&zoo, item, budget_ms, mem_mb, threshold, 23);
-                rs += optimal_star::recall::deadline_memory(&zoo, item, budget_ms, mem_mb, threshold);
+                rs +=
+                    optimal_star::recall::deadline_memory(&zoo, item, budget_ms, mem_mb, threshold);
             }
             let n = items.len() as f64;
             y_agent.push(ra / n);
@@ -552,7 +659,11 @@ pub fn fig11_memory(h: &mut Harness) -> Vec<Figure> {
         figures.push(fig);
     }
     let one_minus_inv_e = 1.0 - 1.0 / std::f64::consts::E;
-    ratio_series.push(Series::new("1-1/e", grid.clone(), vec![one_minus_inv_e; grid.len()]));
+    ratio_series.push(Series::new(
+        "1-1/e",
+        grid.clone(),
+        vec![one_minus_inv_e; grid.len()],
+    ));
     let ratio_fig = Figure {
         id: "fig11_ratio".into(),
         title: "Algorithm 2 / optimal* performance ratio".into(),
@@ -645,20 +756,20 @@ pub fn table3_overhead(h: &mut Harness) -> String {
 
     let params = agent.net.param_count();
     let agent_mb = params as f64 * 4.0 / (1024.0 * 1024.0);
-    let (min_t, max_t) = h
-        .zoo
-        .specs()
-        .iter()
-        .fold((u32::MAX, 0), |(lo, hi), s| (lo.min(s.time_ms), hi.max(s.time_ms)));
-    let (min_m, max_m) = h
-        .zoo
-        .specs()
-        .iter()
-        .fold((u32::MAX, 0), |(lo, hi), s| (lo.min(s.mem_mb), hi.max(s.mem_mb)));
+    let (min_t, max_t) = h.zoo.specs().iter().fold((u32::MAX, 0), |(lo, hi), s| {
+        (lo.min(s.time_ms), hi.max(s.time_ms))
+    });
+    let (min_m, max_m) = h.zoo.specs().iter().fold((u32::MAX, 0), |(lo, hi), s| {
+        (lo.min(s.mem_mb), hi.max(s.mem_mb))
+    });
 
     let mut out = String::new();
     let _ = writeln!(out, "# table3 — scheduling overhead");
-    let _ = writeln!(out, "{:<22} {:>18} {:>22}", "", "DRL agent", "deep learning model");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>18} {:>22}",
+        "", "DRL agent", "deep learning model"
+    );
     let _ = writeln!(
         out,
         "{:<22} {:>15.1} us {:>15}-{} ms",
@@ -669,7 +780,10 @@ pub fn table3_overhead(h: &mut Harness) -> String {
         "{:<22} {:>15.2} MB {:>15}-{} MB",
         "memory", agent_mb, min_m, max_m
     );
-    let _ = writeln!(out, "({params} parameters; paper: 3-6 ms per decision, ~100 MB agent)");
+    let _ = writeln!(
+        out,
+        "({params} parameters; paper: 3-6 ms per decision, ~100 MB agent)"
+    );
     h.emit_text("table3_overhead", &out);
     out
 }
@@ -682,9 +796,19 @@ pub fn ablation_chunked(h: &mut Harness) -> String {
     let (time, recall, no_policy) = chunked::run_stream(&chunks, &zoo, &cfg);
     let mut out = String::new();
     let _ = writeln!(out, "# ablation — explore-exploit on chunked streams");
-    let _ = writeln!(out, "chunks: {} x {} items (one scene template each)", chunks.len(), chunks[0].len());
+    let _ = writeln!(
+        out,
+        "chunks: {} x {} items (one scene template each)",
+        chunks.len(),
+        chunks[0].len()
+    );
     let _ = writeln!(out, "no-policy time  : {:.1} s", no_policy as f64 / 1000.0);
-    let _ = writeln!(out, "explore-exploit : {:.1} s ({:.1}% saved)", time as f64 / 1000.0, (1.0 - time as f64 / no_policy as f64) * 100.0);
+    let _ = writeln!(
+        out,
+        "explore-exploit : {:.1} s ({:.1}% saved)",
+        time as f64 / 1000.0,
+        (1.0 - time as f64 / no_policy as f64) * 100.0
+    );
     let _ = writeln!(out, "mean recall     : {:.3}", recall);
     h.emit_text("ablation_chunked", &out);
     out
@@ -701,7 +825,11 @@ pub fn ablation_reward(h: &mut Harness) -> String {
     let episodes = h.cfg.episodes_small;
 
     let mut out = String::new();
-    let _ = writeln!(out, "# ablation — reward design (DQN, {} episodes)", episodes);
+    let _ = writeln!(
+        out,
+        "# ablation — reward design (DQN, {} episodes)",
+        episodes
+    );
     let _ = writeln!(
         out,
         "{:<26} {:>12} {:>12} {:>14} {:>14}",
@@ -709,16 +837,29 @@ pub fn ablation_reward(h: &mut Harness) -> String {
     );
 
     let variants: Vec<(&str, TrainConfig)> = vec![
-        ("log smoothing + END", TrainConfig { episodes, ..TrainConfig::new(Algo::Dqn) }),
+        (
+            "log smoothing + END",
+            TrainConfig {
+                episodes,
+                ..TrainConfig::new(Algo::Dqn)
+            },
+        ),
         (
             "no END action",
-            TrainConfig { episodes, use_end_action: false, ..TrainConfig::new(Algo::Dqn) },
+            TrainConfig {
+                episodes,
+                use_end_action: false,
+                ..TrainConfig::new(Algo::Dqn)
+            },
         ),
         (
             "mean smoothing",
             TrainConfig {
                 episodes,
-                reward: RewardConfig { smoothing: Smoothing::Mean, ..Default::default() },
+                reward: RewardConfig {
+                    smoothing: Smoothing::Mean,
+                    ..Default::default()
+                },
                 ..TrainConfig::new(Algo::Dqn)
             },
         ),
@@ -726,7 +867,10 @@ pub fn ablation_reward(h: &mut Harness) -> String {
             "raw sum (biased)",
             TrainConfig {
                 episodes,
-                reward: RewardConfig { smoothing: Smoothing::Sum, ..Default::default() },
+                reward: RewardConfig {
+                    smoothing: Smoothing::Sum,
+                    ..Default::default()
+                },
                 ..TrainConfig::new(Algo::Dqn)
             },
         ),
@@ -751,8 +895,14 @@ pub fn ablation_reward(h: &mut Harness) -> String {
             stats.trailing_reward(tail)
         );
     }
-    let (rm, rt) = aggregate_rollouts(items.iter(), |it| random_rollout(it, &zoo, 0.8, threshold, 5));
-    let _ = writeln!(out, "{:<26} {rm:>12.2} {rt:>12.2} {:>14} {:>14}", "random baseline", "-", "-");
+    let (rm, rt) = aggregate_rollouts(items.iter(), |it| {
+        random_rollout(it, &zoo, 0.8, threshold, 5)
+    });
+    let _ = writeln!(
+        out,
+        "{:<26} {rm:>12.2} {rt:>12.2} {:>14} {:>14}",
+        "random baseline", "-", "-"
+    );
     h.emit_text("ablation_reward", &out);
     out
 }
@@ -773,15 +923,33 @@ pub fn ablation_graph(h: &mut Harness) -> String {
     let book = RuleBook::table2(&catalog);
 
     let mut out = String::new();
-    let _ = writeln!(out, "# ablation — relation-graph predictor vs baselines (recall 0.8)");
+    let _ = writeln!(
+        out,
+        "# ablation — relation-graph predictor vs baselines (recall 0.8)"
+    );
     let _ = writeln!(out, "{:<18} {:>12} {:>12}", "policy", "models", "time s");
     type ItemRunner<'a> = Box<dyn Fn(&ItemTruth) -> Rollout + 'a>;
     let rows: Vec<(&str, ItemRunner<'_>)> = vec![
-        ("relation-graph", Box::new(|it| predictor_greedy_rollout(it, &zoo, &gp, 0.8, threshold))),
-        ("dueling-dqn", Box::new(|it| predictor_greedy_rollout(it, &zoo, &agent, 0.8, threshold))),
-        ("rules", Box::new(|it| rule_rollout(it, &zoo, &catalog, &book, 0.8, threshold, 13))),
-        ("random", Box::new(|it| random_rollout(it, &zoo, 0.8, threshold, 13))),
-        ("optimal", Box::new(|it| optimal_rollout(it, &zoo, 0.8, threshold))),
+        (
+            "relation-graph",
+            Box::new(|it| predictor_greedy_rollout(it, &zoo, &gp, 0.8, threshold)),
+        ),
+        (
+            "dueling-dqn",
+            Box::new(|it| predictor_greedy_rollout(it, &zoo, &agent, 0.8, threshold)),
+        ),
+        (
+            "rules",
+            Box::new(|it| rule_rollout(it, &zoo, &catalog, &book, 0.8, threshold, 13)),
+        ),
+        (
+            "random",
+            Box::new(|it| random_rollout(it, &zoo, 0.8, threshold, 13)),
+        ),
+        (
+            "optimal",
+            Box::new(|it| optimal_rollout(it, &zoo, 0.8, threshold)),
+        ),
     ];
     for (name, f) in &rows {
         let (m, t) = aggregate_rollouts(items.iter(), |it| f(it));
@@ -897,8 +1065,12 @@ fn random_memory_recall(
             let spec = zoo.spec(pending[i]);
             if ex.fits(spec.mem_mb) && now + u64::from(spec.time_ms) <= budget_ms {
                 let m = pending.remove(i);
-                ex.admit(Job { id: m.index(), time_ms: spec.time_ms, mem_mb: spec.mem_mb })
-                    .expect("fits");
+                ex.admit(Job {
+                    id: m.index(),
+                    time_ms: spec.time_ms,
+                    mem_mb: spec.mem_mb,
+                })
+                .expect("fits");
             } else {
                 i += 1;
             }

@@ -106,7 +106,13 @@ impl Harness {
     pub fn new(cfg: ExperimentConfig) -> Self {
         let zoo = ModelZoo::standard();
         let catalog = zoo.catalog();
-        Self { cfg, zoo, catalog, worlds: HashMap::new(), agents: HashMap::new() }
+        Self {
+            cfg,
+            zoo,
+            catalog,
+            worlds: HashMap::new(),
+            agents: HashMap::new(),
+        }
     }
 
     /// Get (building on first use) the world for a profile.
@@ -122,7 +128,15 @@ impl Harness {
                 dataset.len(),
                 t0.elapsed()
             );
-            self.worlds.insert(profile, World { profile, dataset, truth, split });
+            self.worlds.insert(
+                profile,
+                World {
+                    profile,
+                    dataset,
+                    truth,
+                    split,
+                },
+            );
         }
         &self.worlds[&profile]
     }
@@ -155,13 +169,20 @@ impl Harness {
         let num_models = self.zoo.len();
         self.world(profile); // ensure built
         let world = &self.worlds[&profile];
-        let mut reward = RewardConfig { value_threshold: threshold, ..Default::default() };
+        let mut reward = RewardConfig {
+            value_threshold: threshold,
+            ..Default::default()
+        };
         if let Some((m, t)) = theta {
             reward = reward.with_theta(m, t, num_models);
         }
         let cfg = TrainConfig {
             episodes,
-            seed: seed ^ (key.theta_model.map(|(m, t)| u64::from(m) * 31 + u64::from(t)).unwrap_or(0)),
+            seed: seed
+                ^ (key
+                    .theta_model
+                    .map(|(m, t)| u64::from(m) * 31 + u64::from(t))
+                    .unwrap_or(0)),
             reward,
             ..TrainConfig::new(algo)
         };
@@ -194,7 +215,10 @@ impl Harness {
     pub fn emit(&self, fig: &Figure) {
         println!("{}", fig.to_table());
         if let Err(e) = std::fs::create_dir_all(&self.cfg.out_dir) {
-            eprintln!("[harness] cannot create {}: {e}", self.cfg.out_dir.display());
+            eprintln!(
+                "[harness] cannot create {}: {e}",
+                self.cfg.out_dir.display()
+            );
             return;
         }
         let json_path = self.cfg.out_dir.join(format!("{}.json", fig.id));

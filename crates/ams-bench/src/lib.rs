@@ -13,5 +13,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod hotpath;
 
 pub use harness::{ExperimentConfig, Harness};

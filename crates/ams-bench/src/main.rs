@@ -8,7 +8,11 @@ use ams_bench::{ExperimentConfig, Harness};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let cfg = if smoke { ExperimentConfig::smoke() } else { ExperimentConfig::default() };
+    let cfg = if smoke {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::default()
+    };
     eprintln!("[run_all] config: {cfg:?}");
     let started = std::time::Instant::now();
     let mut h = Harness::new(cfg);
@@ -17,24 +21,61 @@ fn main() {
         let t0 = std::time::Instant::now();
         eprintln!("=== {name} ===");
         f(&mut h);
-        eprintln!("[run_all] {name} done in {:.1?} (total {:.1?})", t0.elapsed(), started.elapsed());
+        eprintln!(
+            "[run_all] {name} done in {:.1?} (total {:.1?})",
+            t0.elapsed(),
+            started.elapsed()
+        );
     };
 
-    step("table1_zoo", &mut |h| { table1_zoo(h); });
-    step("fig02_policy_gap", &mut |h| { fig02_policy_gap(h); });
-    step("fig04_05_prediction", &mut |h| { fig04_05_prediction(h); });
-    step("table2_rules", &mut |h| { table2_rules(h); });
-    step("fig06_rules_vs_agent", &mut |h| { fig06_rules_vs_agent(h); });
-    step("fig07_sequence", &mut |h| { fig07_sequence(h); });
-    step("fig08_transfer", &mut |h| { fig08_transfer(h); });
-    step("fig09_theta", &mut |h| { fig09_theta(h); });
-    step("fig10_deadline", &mut |h| { fig10_deadline(h); });
-    step("fig11_memory", &mut |h| { fig11_memory(h); });
-    step("fig12_transfer_deadline", &mut |h| { fig12_transfer_deadline(h); });
-    step("table3_overhead", &mut |h| { table3_overhead(h); });
-    step("ablation_chunked", &mut |h| { ablation_chunked(h); });
-    step("ablation_reward", &mut |h| { ablation_reward(h); });
-    step("ablation_graph", &mut |h| { ablation_graph(h); });
+    step("table1_zoo", &mut |h| {
+        table1_zoo(h);
+    });
+    step("fig02_policy_gap", &mut |h| {
+        fig02_policy_gap(h);
+    });
+    step("fig04_05_prediction", &mut |h| {
+        fig04_05_prediction(h);
+    });
+    step("table2_rules", &mut |h| {
+        table2_rules(h);
+    });
+    step("fig06_rules_vs_agent", &mut |h| {
+        fig06_rules_vs_agent(h);
+    });
+    step("fig07_sequence", &mut |h| {
+        fig07_sequence(h);
+    });
+    step("fig08_transfer", &mut |h| {
+        fig08_transfer(h);
+    });
+    step("fig09_theta", &mut |h| {
+        fig09_theta(h);
+    });
+    step("fig10_deadline", &mut |h| {
+        fig10_deadline(h);
+    });
+    step("fig11_memory", &mut |h| {
+        fig11_memory(h);
+    });
+    step("fig12_transfer_deadline", &mut |h| {
+        fig12_transfer_deadline(h);
+    });
+    step("table3_overhead", &mut |h| {
+        table3_overhead(h);
+    });
+    step("ablation_chunked", &mut |h| {
+        ablation_chunked(h);
+    });
+    step("ablation_reward", &mut |h| {
+        ablation_reward(h);
+    });
+    step("ablation_graph", &mut |h| {
+        ablation_graph(h);
+    });
 
-    eprintln!("[run_all] all experiments complete in {:.1?}", started.elapsed());
+    eprintln!(
+        "[run_all] all experiments complete in {:.1?}",
+        started.elapsed()
+    );
 }

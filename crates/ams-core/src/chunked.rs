@@ -23,6 +23,13 @@ pub struct ChunkedConfig {
     /// marginal value across the explore items falls below this fraction of
     /// the explore items' total value. This prunes redundant same-task
     /// variants, not just worthless models.
+    ///
+    /// The default (0.012) is calibrated against the current synthetic
+    /// substrate so the exploit set stays small enough to halve stream cost
+    /// at >0.85 recall; like every threshold over the synthetic worlds it
+    /// is coupled to the seeded scene distribution, so re-calibrate it if
+    /// the RNG or generator internals change (it moved from 0.006 when the
+    /// vendored RNG replaced upstream `rand`'s stream).
     pub min_gain_fraction: f64,
     /// Valuable-label confidence threshold.
     pub value_threshold: f32,
@@ -30,7 +37,11 @@ pub struct ChunkedConfig {
 
 impl Default for ChunkedConfig {
     fn default() -> Self {
-        Self { explore_items: 4, min_gain_fraction: 0.006, value_threshold: 0.5 }
+        Self {
+            explore_items: 4,
+            min_gain_fraction: 0.012,
+            value_threshold: 0.5,
+        }
     }
 }
 
@@ -67,10 +78,11 @@ pub fn run_chunk(items: &[ItemTruth], zoo: &ModelZoo, cfg: &ChunkedConfig) -> Ch
     // whose labels a kept model already covers.
     let mut keep: Vec<ModelId> = Vec::new();
     if explore > 0 {
-        let total_explore_value: f64 =
-            items[..explore].iter().map(|it| it.total_value).sum();
-        let mut states: Vec<ams_models::LabelSet> =
-            items[..explore].iter().map(|it| ams_models::LabelSet::new(it.universe())).collect();
+        let total_explore_value: f64 = items[..explore].iter().map(|it| it.total_value).sum();
+        let mut states: Vec<ams_models::LabelSet> = items[..explore]
+            .iter()
+            .map(|it| ams_models::LabelSet::new(it.universe()))
+            .collect();
         let mut kept_mask = 0u64;
         loop {
             let mut best: Option<(usize, f64, f64)> = None; // (model, gain, density)
@@ -110,8 +122,16 @@ pub fn run_chunk(items: &[ItemTruth], zoo: &ModelZoo, cfg: &ChunkedConfig) -> Ch
         recall_sum += item.recall_of_set(&keep, cfg.value_threshold);
     }
 
-    let mean_recall = if items.is_empty() { 1.0 } else { recall_sum / items.len() as f64 };
-    ChunkOutcome { exploited_models: keep, time_ms, mean_recall }
+    let mean_recall = if items.is_empty() {
+        1.0
+    } else {
+        recall_sum / items.len() as f64
+    };
+    ChunkOutcome {
+        exploited_models: keep,
+        time_ms,
+        mean_recall,
+    }
 }
 
 /// Build a chunked stream: `num_chunks` chunks of `chunk_len` scenes, each
@@ -131,8 +151,7 @@ pub fn chunked_stream(
     (0..num_chunks)
         .map(|c| {
             let kind = kinds[c % kinds.len()];
-            let generator =
-                SceneGenerator::new(vec![(kind, 1.0)], world_seed, 0xC00C + c as u64);
+            let generator = SceneGenerator::new(vec![(kind, 1.0)], world_seed, 0xC00C + c as u64);
             let dataset = Dataset {
                 profile: DatasetProfile::Coco2017, // profile tag is irrelevant here
                 scenes: generator.scenes(chunk_len),
@@ -156,7 +175,15 @@ pub fn run_stream(chunks: &[TruthTable], zoo: &ModelZoo, cfg: &ChunkedConfig) ->
         items += chunk.len();
     }
     let no_policy = u64::from(zoo.total_time_ms()) * items as u64;
-    (time, if items > 0 { recall / items as f64 } else { 1.0 }, no_policy)
+    (
+        time,
+        if items > 0 {
+            recall / items as f64
+        } else {
+            1.0
+        },
+        no_policy,
+    )
 }
 
 #[cfg(test)]
@@ -207,7 +234,10 @@ mod tests {
     #[test]
     fn zero_explore_keeps_nothing() {
         let (zoo, chunks) = fixture();
-        let cfg = ChunkedConfig { explore_items: 0, ..Default::default() };
+        let cfg = ChunkedConfig {
+            explore_items: 0,
+            ..Default::default()
+        };
         let out = run_chunk(chunks[0].items(), &zoo, &cfg);
         assert!(out.exploited_models.is_empty());
     }
@@ -235,7 +265,10 @@ mod tests {
     #[test]
     fn full_explore_equals_no_policy_time() {
         let (zoo, chunks) = fixture();
-        let cfg = ChunkedConfig { explore_items: usize::MAX, ..Default::default() };
+        let cfg = ChunkedConfig {
+            explore_items: usize::MAX,
+            ..Default::default()
+        };
         let out = run_chunk(chunks[0].items(), &zoo, &cfg);
         let expected = u64::from(zoo.total_time_ms()) * chunks[0].len() as u64;
         assert_eq!(out.time_ms, expected);

@@ -11,7 +11,7 @@
 use crate::predictor::ValuePredictor;
 use crate::scheduler::deadline::schedule_deadline;
 use crate::scheduler::deadline_memory::schedule_deadline_memory;
-use ams_data::{ItemTruth, Scene, TruthTable};
+use ams_data::{ItemTruth, Scene};
 use ams_models::{LabelCatalog, LabelId, LabelSet, ModelId, ModelZoo};
 
 /// Resource constraint for labeling one item.
@@ -65,9 +65,19 @@ impl AdaptiveModelScheduler {
         value_threshold: f32,
         world_seed: u64,
     ) -> Self {
-        assert_eq!(predictor.num_models(), zoo.len(), "predictor/zoo size mismatch");
+        assert_eq!(
+            predictor.num_models(),
+            zoo.len(),
+            "predictor/zoo size mismatch"
+        );
         let catalog = zoo.catalog();
-        Self { zoo, catalog, predictor, value_threshold, world_seed }
+        Self {
+            zoo,
+            catalog,
+            predictor,
+            value_threshold,
+            world_seed,
+        }
     }
 
     /// The model zoo.
@@ -87,15 +97,17 @@ impl AdaptiveModelScheduler {
 
     /// Label a scene: simulates model execution on demand, then schedules.
     pub fn label_scene(&self, scene: &Scene, budget: Budget) -> LabelingOutcome {
-        // The truth-table row for a single scene *is* the set of all model
-        // outputs — exactly what executing models on the item would yield.
-        let dataset = ams_data::Dataset {
-            profile: ams_data::DatasetProfile::Coco2017, // tag unused here
-            scenes: vec![scene.clone()],
-            world_seed: self.world_seed,
-        };
-        let table = TruthTable::build(&self.zoo, &self.catalog, &dataset, self.value_threshold);
-        self.label_item(table.item(0), budget)
+        // The truth row for the scene *is* the set of all model outputs —
+        // exactly what executing models on the item would yield. Built
+        // directly: no scene clone, no one-element dataset or table.
+        let item = ams_data::ItemTruth::build(
+            &self.zoo,
+            &self.catalog,
+            scene,
+            self.world_seed,
+            self.value_threshold,
+        );
+        self.label_item(&item, budget)
     }
 
     /// Label a pre-executed ground-truth item under `budget`.
@@ -136,8 +148,9 @@ impl AdaptiveModelScheduler {
         let mut mask = 0u64;
         let mut value = 0.0;
         let mut elapsed = 0u64;
+        let mut q = vec![0.0f32; n];
         while executed.len() < n {
-            let q = self.predictor.predict(&state, item);
+            self.predictor.predict_into(&state, item, &mut q);
             let mut best: Option<(usize, f32)> = None;
             for (m, &v) in q.iter().enumerate() {
                 if mask >> m & 1 == 0 && best.map(|(_, bv)| v > bv).unwrap_or(true) {
@@ -154,7 +167,11 @@ impl AdaptiveModelScheduler {
             elapsed += u64::from(self.zoo.spec(id).time_ms);
             value += item.apply(&mut state, id, self.value_threshold);
         }
-        let recall = if item.total_value > 0.0 { value / item.total_value } else { 1.0 };
+        let recall = if item.total_value > 0.0 {
+            value / item.total_value
+        } else {
+            1.0
+        };
         self.outcome(item, executed, value, recall, elapsed)
     }
 
@@ -176,7 +193,13 @@ impl AdaptiveModelScheduler {
                 }
             }
         }
-        LabelingOutcome { labels, executed, value, recall, elapsed_ms }
+        LabelingOutcome {
+            labels,
+            executed,
+            value,
+            recall,
+            elapsed_ms,
+        }
     }
 
     /// Human-readable rendering of an outcome (used by examples).
@@ -215,16 +238,25 @@ mod tests {
     }
 
     fn one_scene() -> Scene {
-        Dataset::generate(DatasetProfile::Coco2017, 3, 7).scenes.remove(1)
+        Dataset::generate(DatasetProfile::Coco2017, 3, 7)
+            .scenes
+            .remove(1)
     }
 
     #[test]
     fn unconstrained_oracle_full_recall() {
         let s = scheduler();
         let out = s.label_scene(&one_scene(), Budget::Unconstrained);
-        assert!((out.recall - 1.0).abs() < 1e-9, "oracle unconstrained recalls all");
+        assert!(
+            (out.recall - 1.0).abs() < 1e-9,
+            "oracle unconstrained recalls all"
+        );
         // and it should have skipped worthless models
-        assert!(out.executed.len() < 30, "executed {} models", out.executed.len());
+        assert!(
+            out.executed.len() < 30,
+            "executed {} models",
+            out.executed.len()
+        );
     }
 
     #[test]
@@ -238,7 +270,13 @@ mod tests {
     #[test]
     fn deadline_memory_budget_runs() {
         let s = scheduler();
-        let out = s.label_scene(&one_scene(), Budget::DeadlineMemory { ms: 800, mem_mb: 12288 });
+        let out = s.label_scene(
+            &one_scene(),
+            Budget::DeadlineMemory {
+                ms: 800,
+                mem_mb: 12288,
+            },
+        );
         assert!(out.elapsed_ms <= 800);
         assert!(!out.labels.is_empty() || out.recall == 1.0);
     }

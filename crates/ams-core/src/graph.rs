@@ -34,7 +34,12 @@ pub struct ModelRelationGraph {
 
 impl ModelRelationGraph {
     /// Estimate the graph from ground-truth items (a train split).
-    pub fn build(items: &[ItemTruth], num_models: usize, num_labels: usize, threshold: f32) -> Self {
+    pub fn build(
+        items: &[ItemTruth],
+        num_models: usize,
+        num_labels: usize,
+        threshold: f32,
+    ) -> Self {
         assert!(!items.is_empty(), "empty training split");
         let n = items.len() as f64;
         let mut p_valuable = vec![0.0f64; num_models];
@@ -43,7 +48,12 @@ impl ModelRelationGraph {
 
         for item in items {
             let valuable_models: Vec<bool> = (0..num_models)
-                .map(|m| item.output(ModelId(m as u8)).valuable(threshold).next().is_some())
+                .map(|m| {
+                    item.output(ModelId(m as u8))
+                        .valuable(threshold)
+                        .next()
+                        .is_some()
+                })
                 .collect();
             for (m, &v) in valuable_models.iter().enumerate() {
                 if v {
@@ -68,7 +78,14 @@ impl ModelRelationGraph {
         for p in &mut p_joint {
             *p /= n;
         }
-        Self { num_models, num_labels, p_valuable, p_joint, p_label, threshold }
+        Self {
+            num_models,
+            num_labels,
+            p_valuable,
+            p_joint,
+            p_label,
+            threshold,
+        }
     }
 
     /// Prior probability that model `m` is valuable.
@@ -97,7 +114,13 @@ impl ModelRelationGraph {
 
     /// Strongest incoming edges of model `m`: `(label, lift)` with lift ≥
     /// `min_lift` and label support ≥ `min_support`, sorted descending.
-    pub fn top_edges(&self, m: ModelId, min_lift: f64, min_support: f64, k: usize) -> Vec<(LabelId, f64)> {
+    pub fn top_edges(
+        &self,
+        m: ModelId,
+        min_lift: f64,
+        min_support: f64,
+        k: usize,
+    ) -> Vec<(LabelId, f64)> {
         let mut edges: Vec<(LabelId, f64)> = (0..self.num_labels)
             .filter(|&l| self.p_label[l] >= min_support)
             .map(|l| (LabelId(l as u16), self.lift(LabelId(l as u16), m)))
@@ -109,7 +132,12 @@ impl ModelRelationGraph {
     }
 
     /// Export the strongest edges as a Graphviz dot digraph.
-    pub fn to_dot(&self, catalog: &LabelCatalog, zoo: &ams_models::ModelZoo, min_lift: f64) -> String {
+    pub fn to_dot(
+        &self,
+        catalog: &LabelCatalog,
+        zoo: &ams_models::ModelZoo,
+        min_lift: f64,
+    ) -> String {
         use std::fmt::Write;
         let mut out = String::from("digraph model_relations {\n  rankdir=LR;\n");
         for m in 0..self.num_models {
@@ -158,18 +186,15 @@ impl ValuePredictor for GraphPredictor {
         self.graph.num_models
     }
 
-    fn predict(&self, state: &LabelSet, _item: &ItemTruth) -> Vec<f32> {
-        let active: Vec<LabelId> = state.iter().collect();
-        (0..self.graph.num_models)
-            .map(|m| {
-                let id = ModelId(m as u8);
-                let mut score = self.graph.prior(id);
-                for &l in &active {
-                    score = score.max(self.graph.conditional(l, id));
-                }
-                score as f32
-            })
-            .collect()
+    fn predict_into(&self, state: &LabelSet, _item: &ItemTruth, out: &mut [f32]) {
+        for (m, o) in out.iter_mut().enumerate() {
+            let id = ModelId(m as u8);
+            let mut score = self.graph.prior(id);
+            for l in state.iter() {
+                score = score.max(self.graph.conditional(l, id));
+            }
+            *o = score as f32;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -212,24 +237,45 @@ mod tests {
         let (zoo, catalog, t) = fixture();
         let g = ModelRelationGraph::build(t.items(), 30, 1104, 0.5);
         let person = catalog.find("person").unwrap();
-        let pose = zoo.models_for(ams_models::Task::PoseEstimation).next().unwrap().id;
+        let pose = zoo
+            .models_for(ams_models::Task::PoseEstimation)
+            .next()
+            .unwrap()
+            .id;
         let lift = g.lift(person, pose);
-        assert!(lift > 1.1, "person should lift pose models (lift {lift:.2})");
+        assert!(
+            lift > 1.1,
+            "person should lift pose models (lift {lift:.2})"
+        );
     }
 
     #[test]
     fn place_models_have_high_prior() {
         let (zoo, _, t) = fixture();
         let g = ModelRelationGraph::build(t.items(), 30, 1104, 0.5);
-        let place = zoo.models_for(ams_models::Task::PlaceClassification).next().unwrap().id;
-        let hand = zoo.models_for(ams_models::Task::HandLandmark).next().unwrap().id;
-        assert!(g.prior(place) > g.prior(hand), "place classifiers pay off more often");
+        let place = zoo
+            .models_for(ams_models::Task::PlaceClassification)
+            .next()
+            .unwrap()
+            .id;
+        let hand = zoo
+            .models_for(ams_models::Task::HandLandmark)
+            .next()
+            .unwrap()
+            .id;
+        assert!(
+            g.prior(place) > g.prior(hand),
+            "place classifiers pay off more often"
+        );
     }
 
     #[test]
     fn graph_predictor_beats_random() {
         let (zoo, _, t) = fixture();
-        let (train, test) = t.split(ams_data::dataset::Split { train_len: 100, total: 150 });
+        let (train, test) = t.split(ams_data::dataset::Split {
+            train_len: 100,
+            total: 150,
+        });
         let g = GraphPredictor::new(ModelRelationGraph::build(train, 30, 1104, 0.5));
         let (graph_models, _) = aggregate_rollouts(test.iter(), |it| {
             predictor_greedy_rollout(it, &zoo, &g, 0.8, 0.5)

@@ -97,7 +97,11 @@ impl Series {
     /// Build a series; `x` and `y` must have equal length.
     pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
         assert_eq!(x.len(), y.len(), "series length mismatch");
-        Self { label: label.into(), x, y }
+        Self {
+            label: label.into(),
+            x,
+            y,
+        }
     }
 
     /// Interpolated y at `x` (linear, clamped to the range).

@@ -46,7 +46,11 @@ pub fn run_to_recall(
         recalled += item.apply(&mut state, m, threshold);
     }
     let recall = if total > 0.0 { recalled / total } else { 1.0 };
-    Rollout { executed, time_ms, recall }
+    Rollout {
+        executed,
+        time_ms,
+        recall,
+    }
 }
 
 /// Random policy: a fresh uniformly random order per item.
@@ -99,8 +103,9 @@ pub fn predictor_greedy_rollout(
     recall_target: f64,
     threshold: f32,
 ) -> Rollout {
-    run_to_recall(item, zoo, recall_target, threshold, |state, mask| {
-        let q = predictor.predict(state, item);
+    let mut q = vec![0.0f32; predictor.num_models()];
+    run_to_recall(item, zoo, recall_target, threshold, move |state, mask| {
+        predictor.predict_into(state, item, &mut q);
         let mut best = usize::MAX;
         let mut best_q = f32::NEG_INFINITY;
         for (a, &v) in q.iter().enumerate() {

@@ -3,7 +3,9 @@
 
 use ams_data::ItemTruth;
 use ams_models::LabelSet;
+use ams_nn::{FwdCache, Input};
 use ams_rl::TrainedAgent;
+use std::sync::Mutex;
 
 /// Predicts the value of executing each model given the current labeling
 /// state (Fig. 3's "model value prediction" component).
@@ -15,23 +17,53 @@ pub trait ValuePredictor: Send + Sync {
     /// Number of models scored.
     fn num_models(&self) -> usize;
 
-    /// Predicted value per model (higher = more valuable to execute next).
-    /// Scores for already-executed models are ignored by schedulers.
-    fn predict(&self, state: &LabelSet, item: &ItemTruth) -> Vec<f32>;
+    /// Predicted value per model, written into `out`
+    /// (`out.len() == num_models`). Scores for already-executed models are
+    /// ignored by schedulers.
+    ///
+    /// This is the scheduling hot path: it runs once per decision step per
+    /// item, so implementations keep it allocation-free and schedulers
+    /// reuse one `out` buffer across the whole item.
+    fn predict_into(&self, state: &LabelSet, item: &ItemTruth, out: &mut [f32]);
+
+    /// Predicted value per model as a fresh vector (convenience wrapper
+    /// over [`ValuePredictor::predict_into`]).
+    fn predict(&self, state: &LabelSet, item: &ItemTruth) -> Vec<f32> {
+        let mut out = vec![0.0; self.num_models()];
+        self.predict_into(state, item, &mut out);
+        out
+    }
 
     /// Short display name for experiment output.
     fn name(&self) -> &'static str;
 }
 
+/// Per-call scratch of an [`AgentPredictor`]: the sparse state encoding
+/// and the network forward cache, both reused across predictions.
+#[derive(Default)]
+struct AgentScratch {
+    sparse: Vec<u32>,
+    cache: FwdCache,
+}
+
 /// The deployable predictor: a trained DRL agent's Q values.
+///
+/// Forward passes run against a small pool of reusable scratch buffers
+/// (sparse encoding + `FwdCache`), so prediction allocates nothing in
+/// steady state and concurrent callers (the parallel stream engine) each
+/// check out their own scratch instead of serializing on a shared one.
 pub struct AgentPredictor {
     agent: TrainedAgent,
+    scratch_pool: Mutex<Vec<AgentScratch>>,
 }
 
 impl AgentPredictor {
     /// Wrap a trained agent.
     pub fn new(agent: TrainedAgent) -> Self {
-        Self { agent }
+        Self {
+            agent,
+            scratch_pool: Mutex::new(Vec::new()),
+        }
     }
 
     /// Access the wrapped agent.
@@ -45,8 +77,25 @@ impl ValuePredictor for AgentPredictor {
         self.agent.num_models
     }
 
-    fn predict(&self, state: &LabelSet, _item: &ItemTruth) -> Vec<f32> {
-        self.agent.model_q_values(&state.to_sparse())
+    fn predict_into(&self, state: &LabelSet, _item: &ItemTruth, out: &mut [f32]) {
+        // Check out a scratch; the lock is held only for the pop/push, not
+        // for the network forward, so parallel workers rarely contend.
+        let mut scratch = self
+            .scratch_pool
+            .lock()
+            .expect("scratch pool")
+            .pop()
+            .unwrap_or_default();
+        state.write_sparse(&mut scratch.sparse);
+        let q = self
+            .agent
+            .net
+            .forward(Input::Sparse(&scratch.sparse), &mut scratch.cache);
+        out.copy_from_slice(&q[..self.agent.num_models]);
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool")
+            .push(scratch);
     }
 
     fn name(&self) -> &'static str {
@@ -64,7 +113,10 @@ pub struct OraclePredictor {
 impl OraclePredictor {
     /// Oracle over `num_models` models at the given value threshold.
     pub fn new(num_models: usize, threshold: f32) -> Self {
-        Self { num_models, threshold }
+        Self {
+            num_models,
+            threshold,
+        }
     }
 }
 
@@ -73,10 +125,10 @@ impl ValuePredictor for OraclePredictor {
         self.num_models
     }
 
-    fn predict(&self, state: &LabelSet, item: &ItemTruth) -> Vec<f32> {
-        (0..self.num_models)
-            .map(|m| item.marginal_value(state, ams_models::ModelId(m as u8), self.threshold) as f32)
-            .collect()
+    fn predict_into(&self, state: &LabelSet, item: &ItemTruth, out: &mut [f32]) {
+        for (m, o) in out.iter_mut().enumerate() {
+            *o = item.marginal_value(state, ams_models::ModelId(m as u8), self.threshold) as f32;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -103,8 +155,10 @@ impl ValuePredictor for StaticValuePredictor {
         self.num_models
     }
 
-    fn predict(&self, _state: &LabelSet, item: &ItemTruth) -> Vec<f32> {
-        item.model_value.iter().map(|&v| v as f32).collect()
+    fn predict_into(&self, _state: &LabelSet, item: &ItemTruth, out: &mut [f32]) {
+        for (o, &v) in out.iter_mut().zip(&item.model_value) {
+            *o = v as f32;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -130,8 +184,8 @@ impl ValuePredictor for UniformPredictor {
         self.num_models
     }
 
-    fn predict(&self, _state: &LabelSet, _item: &ItemTruth) -> Vec<f32> {
-        vec![1.0; self.num_models]
+    fn predict_into(&self, _state: &LabelSet, _item: &ItemTruth, out: &mut [f32]) {
+        out.fill(1.0);
     }
 
     fn name(&self) -> &'static str {

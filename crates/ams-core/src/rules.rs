@@ -107,16 +107,66 @@ impl RuleBook {
             multiplier,
         };
         Self::new(vec![
-            r(Task::ObjectDetection, Trigger::Label(person), Task::PoseEstimation, 2.0),
-            r(Task::ObjectDetection, Trigger::Label(person), Task::GenderClassification, 2.0),
-            r(Task::ObjectDetection, Trigger::Label(person), Task::FaceDetection, 2.0),
-            r(Task::ObjectDetection, Trigger::Label(dog), Task::DogClassification, 2.0),
-            r(Task::FaceDetection, Trigger::Label(face), Task::FaceLandmark, 2.0),
-            r(Task::FaceDetection, Trigger::Label(face), Task::EmotionClassification, 2.0),
-            r(Task::PoseEstimation, Trigger::BodyKeypoints, Task::ActionClassification, 2.0),
-            r(Task::PoseEstimation, Trigger::WristKeypoints, Task::HandLandmark, 2.0),
-            rs(Task::PlaceClassification, Trigger::IndoorPlace, Task::DogClassification, 0.5),
-            rs(Task::PlaceClassification, Trigger::IndoorPlace, Task::ActionClassification, 0.5),
+            r(
+                Task::ObjectDetection,
+                Trigger::Label(person),
+                Task::PoseEstimation,
+                2.0,
+            ),
+            r(
+                Task::ObjectDetection,
+                Trigger::Label(person),
+                Task::GenderClassification,
+                2.0,
+            ),
+            r(
+                Task::ObjectDetection,
+                Trigger::Label(person),
+                Task::FaceDetection,
+                2.0,
+            ),
+            r(
+                Task::ObjectDetection,
+                Trigger::Label(dog),
+                Task::DogClassification,
+                2.0,
+            ),
+            r(
+                Task::FaceDetection,
+                Trigger::Label(face),
+                Task::FaceLandmark,
+                2.0,
+            ),
+            r(
+                Task::FaceDetection,
+                Trigger::Label(face),
+                Task::EmotionClassification,
+                2.0,
+            ),
+            r(
+                Task::PoseEstimation,
+                Trigger::BodyKeypoints,
+                Task::ActionClassification,
+                2.0,
+            ),
+            r(
+                Task::PoseEstimation,
+                Trigger::WristKeypoints,
+                Task::HandLandmark,
+                2.0,
+            ),
+            rs(
+                Task::PlaceClassification,
+                Trigger::IndoorPlace,
+                Task::DogClassification,
+                0.5,
+            ),
+            rs(
+                Task::PlaceClassification,
+                Trigger::IndoorPlace,
+                Task::ActionClassification,
+                0.5,
+            ),
         ])
     }
 
@@ -149,8 +199,10 @@ impl RuleBook {
                 continue;
             }
             for spec in zoo.specs() {
-                let tier_ok =
-                    rule.tier_filter.map(|t| spec.quality.tier == t).unwrap_or(true);
+                let tier_ok = rule
+                    .tier_filter
+                    .map(|t| spec.quality.tier == t)
+                    .unwrap_or(true);
                 if spec.task == rule.target_task && tier_ok {
                     weights[spec.id.index()] *= rule.multiplier;
                 }
@@ -181,7 +233,10 @@ pub fn rule_rollout(
 
     while executed.len() < n && total > 0.0 && recalled / total < recall_target - 1e-12 {
         // weighted sample among unexecuted models
-        let sum: f64 = (0..n).filter(|&m| mask >> m & 1 == 0).map(|m| weights[m]).sum();
+        let sum: f64 = (0..n)
+            .filter(|&m| mask >> m & 1 == 0)
+            .map(|m| weights[m])
+            .sum();
         let mut x = rng.gen_range(0.0..sum);
         let mut pick = usize::MAX;
         #[allow(clippy::needless_range_loop)] // index pairs with the bitmask
@@ -196,7 +251,10 @@ pub fn rule_rollout(
             x -= weights[m];
         }
         if pick == usize::MAX {
-            pick = (0..n).rev().find(|&m| mask >> m & 1 == 0).expect("model left");
+            pick = (0..n)
+                .rev()
+                .find(|&m| mask >> m & 1 == 0)
+                .expect("model left");
         }
         let m = ModelId(pick as u8);
         mask |= 1 << pick;
@@ -224,7 +282,11 @@ pub fn rule_rollout(
         book.apply(&output_labels, catalog, zoo, &mut weights);
     }
     let recall = if total > 0.0 { recalled / total } else { 1.0 };
-    Rollout { executed, time_ms, recall }
+    Rollout {
+        executed,
+        time_ms,
+        recall,
+    }
 }
 
 #[cfg(test)]
@@ -345,4 +407,3 @@ mod tests {
         );
     }
 }
-

@@ -43,11 +43,12 @@ pub fn schedule_deadline(
     let mut executed = Vec::new();
     let mut mask = 0u64;
     let mut value = 0.0f64;
+    let mut q = vec![0.0f32; n];
 
     loop {
         // Line 3: filter models that don't fit the remaining budget.
         let remaining = ex.remaining_ms();
-        let q = predictor.predict(&state, item);
+        predictor.predict_into(&state, item, &mut q);
         let mut best: Option<(usize, GreedyScore)> = None;
         #[allow(clippy::needless_range_loop)] // index pairs with the bitmask
         for m in 0..n {
@@ -67,15 +68,29 @@ pub fn schedule_deadline(
         let Some((pick, _)) = best else { break };
         let m = ModelId(pick as u8);
         let spec = zoo.spec(m);
-        let ran = ex.run(Job { id: pick, time_ms: spec.time_ms, mem_mb: spec.mem_mb });
+        let ran = ex.run(Job {
+            id: pick,
+            time_ms: spec.time_ms,
+            mem_mb: spec.mem_mb,
+        });
         debug_assert!(ran, "filtered model must fit");
         mask |= 1 << pick;
         executed.push(m);
         value += item.apply(&mut state, m, threshold);
     }
 
-    let recall = if item.total_value > 0.0 { value / item.total_value } else { 1.0 };
-    DeadlineResult { executed, value, recall, elapsed_ms: ex.elapsed_ms(), trace: ex.into_trace() }
+    let recall = if item.total_value > 0.0 {
+        value / item.total_value
+    } else {
+        1.0
+    };
+    DeadlineResult {
+        executed,
+        value,
+        recall,
+        elapsed_ms: ex.elapsed_ms(),
+        trace: ex.into_trace(),
+    }
 }
 
 #[cfg(test)]
@@ -98,9 +113,16 @@ mod tests {
         for budget in [100u64, 500, 1000, 3000] {
             for item in t.items().iter().take(8) {
                 let r = schedule_deadline(&oracle, &zoo, item, budget, 0.5);
-                assert!(r.elapsed_ms <= budget, "elapsed {} > budget {budget}", r.elapsed_ms);
-                let sum: u64 =
-                    r.executed.iter().map(|&m| u64::from(zoo.spec(m).time_ms)).sum();
+                assert!(
+                    r.elapsed_ms <= budget,
+                    "elapsed {} > budget {budget}",
+                    r.elapsed_ms
+                );
+                let sum: u64 = r
+                    .executed
+                    .iter()
+                    .map(|&m| u64::from(zoo.spec(m).time_ms))
+                    .sum();
                 assert_eq!(sum, r.elapsed_ms);
                 assert!(r.trace.is_serial());
             }

@@ -54,10 +54,11 @@ pub fn schedule_deadline_memory(
     let mut scheduled = 0u64; // admitted (running or done)
     let mut completed = Vec::new();
     let mut value = 0.0f64;
+    let mut q = vec![0.0f32; n];
 
     while ex.now_ms() < budget_ms {
         let now = ex.now_ms();
-        let q = predictor.predict(&state, item);
+        predictor.predict_into(&state, item, &mut q);
 
         // Step 1: seed by value per resource area among models that fit the
         // free memory and can finish before the overall deadline.
@@ -81,8 +82,12 @@ pub fn schedule_deadline_memory(
         if let Some((s, _)) = seed {
             let spec = zoo.spec(ModelId(s as u8));
             let temp_deadline = now + u64::from(spec.time_ms);
-            ex.admit(Job { id: s, time_ms: spec.time_ms, mem_mb: spec.mem_mb })
-                .expect("seed fits by construction");
+            ex.admit(Job {
+                id: s,
+                time_ms: spec.time_ms,
+                mem_mb: spec.mem_mb,
+            })
+            .expect("seed fits by construction");
             scheduled |= 1 << s;
 
             // Step 2: fill remaining memory with Q/mem-greedy picks that
@@ -105,8 +110,12 @@ pub fn schedule_deadline_memory(
                 }
                 let Some((f, _)) = fill else { break };
                 let sp = zoo.spec(ModelId(f as u8));
-                ex.admit(Job { id: f, time_ms: sp.time_ms, mem_mb: sp.mem_mb })
-                    .expect("fill fits by construction");
+                ex.admit(Job {
+                    id: f,
+                    time_ms: sp.time_ms,
+                    mem_mb: sp.mem_mb,
+                })
+                .expect("fill fits by construction");
                 scheduled |= 1 << f;
             }
         } else if ex.running_count() == 0 {
@@ -133,8 +142,19 @@ pub fn schedule_deadline_memory(
     let trace = drained.into_trace();
     let peak_mem_mb = peak.max(trace.peak_mem_mb());
 
-    let recall = if item.total_value > 0.0 { value / item.total_value } else { 1.0 };
-    DeadlineMemoryResult { completed, cut_off, value, recall, trace, peak_mem_mb }
+    let recall = if item.total_value > 0.0 {
+        value / item.total_value
+    } else {
+        1.0
+    };
+    DeadlineMemoryResult {
+        completed,
+        cut_off,
+        value,
+        recall,
+        trace,
+        peak_mem_mb,
+    }
 }
 
 #[cfg(test)]
@@ -198,8 +218,8 @@ mod tests {
         let mut ser = 0.0;
         for item in t.items() {
             par += schedule_deadline_memory(&oracle, &zoo, item, 800, 16384, 0.5).recall;
-            ser += crate::scheduler::deadline::schedule_deadline(&oracle, &zoo, item, 800, 0.5)
-                .recall;
+            ser +=
+                crate::scheduler::deadline::schedule_deadline(&oracle, &zoo, item, 800, 0.5).recall;
         }
         assert!(par > ser, "parallel {par:.2} must beat serial {ser:.2}");
     }
@@ -214,7 +234,10 @@ mod tests {
             lo += schedule_deadline_memory(&oracle, &zoo, item, 800, 8192, 0.5).recall;
             hi += schedule_deadline_memory(&oracle, &zoo, item, 800, 16384, 0.5).recall;
         }
-        assert!(hi >= lo * 0.98, "16 GB ({hi:.2}) should not lose to 8 GB ({lo:.2})");
+        assert!(
+            hi >= lo * 0.98,
+            "16 GB ({hi:.2}) should not lose to 8 GB ({lo:.2})"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub(crate) struct GreedyScore {
 impl GreedyScore {
     pub(crate) fn new(q: f32, cost: f64) -> Self {
         let q = f64::from(q);
-        Self { ratio: q.max(0.0) / cost.max(1e-9), raw: q, neg_cost: -cost }
+        Self {
+            ratio: q.max(0.0) / cost.max(1e-9),
+            raw: q,
+            neg_cost: -cost,
+        }
     }
 
     pub(crate) fn better_than(&self, other: &GreedyScore) -> bool {

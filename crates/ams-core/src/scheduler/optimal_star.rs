@@ -20,9 +20,13 @@ pub fn optimal_star_deadline(
     budget_ms: u64,
     threshold: f32,
 ) -> f64 {
-    fractional_greedy(zoo, item, f64::from(u32::try_from(budget_ms.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)), threshold, |spec| {
-        f64::from(spec.time_ms)
-    })
+    fractional_greedy(
+        zoo,
+        item,
+        f64::from(u32::try_from(budget_ms.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)),
+        threshold,
+        |spec| f64::from(spec.time_ms),
+    )
 }
 
 /// Fractional greedy under a time × memory *area* budget: value per
@@ -142,7 +146,12 @@ mod tests {
         for item in t.items() {
             for budget in [300u64, 800, 2000] {
                 let exact = schedule_deadline(&oracle, &zoo, item, budget, 0.5).value;
-                let star = optimal_star_deadline(zoo.specs().first().map(|_| &zoo).unwrap(), item, budget, 0.5);
+                let star = optimal_star_deadline(
+                    zoo.specs().first().map(|_| &zoo).unwrap(),
+                    item,
+                    budget,
+                    0.5,
+                );
                 assert!(
                     star >= exact - 1e-9,
                     "optimal* {star:.3} must bound the integral schedule {exact:.3} (budget {budget})"
@@ -198,7 +207,10 @@ mod tests {
             for mem in [8192u32, 16384] {
                 let exact = schedule_deadline_memory(&oracle, &zoo, item, 800, mem, 0.5).value;
                 let star = optimal_star_deadline_memory(&zoo, item, 800, mem, 0.5);
-                assert!(star >= exact - 1e-9, "star {star:.3} vs exact {exact:.3} at {mem} MB");
+                assert!(
+                    star >= exact - 1e-9,
+                    "star {star:.3} vs exact {exact:.3} at {mem} MB"
+                );
             }
         }
     }

@@ -55,6 +55,39 @@ impl StreamStats {
         }
     }
 
+    /// Fold one labeling outcome into the statistics.
+    pub fn absorb(&mut self, outcome: &LabelingOutcome, alert_recall: f64) {
+        self.items += 1;
+        self.total_exec_ms += outcome.elapsed_ms;
+        self.total_executions += outcome.executed.len();
+        self.recall_sum += outcome.recall;
+        self.value_sum += outcome.value;
+        for &m in &outcome.executed {
+            self.per_model_runs[m.index()] += 1;
+        }
+        if outcome.recall < alert_recall {
+            self.low_recall_items += 1;
+        }
+    }
+
+    /// Merge another shard's statistics into this one. Every field is an
+    /// order-independent sum, so merging per-worker shards yields exactly
+    /// the stats a serial pass over the same items produces.
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.items += other.items;
+        self.total_exec_ms += other.total_exec_ms;
+        self.total_executions += other.total_executions;
+        self.recall_sum += other.recall_sum;
+        self.value_sum += other.value_sum;
+        if self.per_model_runs.len() < other.per_model_runs.len() {
+            self.per_model_runs.resize(other.per_model_runs.len(), 0);
+        }
+        for (a, &b) in self.per_model_runs.iter_mut().zip(&other.per_model_runs) {
+            *a += b;
+        }
+        self.low_recall_items += other.low_recall_items;
+    }
+
     /// Model ids sorted by how often they ran, most-used first.
     pub fn utilization_ranking(&self) -> Vec<(ModelId, u64)> {
         let mut v: Vec<(ModelId, u64)> = self
@@ -76,6 +109,13 @@ pub struct StreamProcessor {
     stats: StreamStats,
     /// Items below this recall increment [`StreamStats::low_recall_items`].
     pub alert_recall: f64,
+    /// Deployment emulation: wall-clock milliseconds slept per *virtual*
+    /// execution millisecond of each item (default 0 — pure simulation).
+    /// In the paper's deployment the processor waits on real model
+    /// executions; the virtual clock elides that wait, and this knob
+    /// reintroduces it so throughput experiments see a realistic
+    /// latency-bound workload.
+    pub exec_emulation_scale: f64,
 }
 
 impl StreamProcessor {
@@ -85,8 +125,12 @@ impl StreamProcessor {
         Self {
             scheduler,
             budget,
-            stats: StreamStats { per_model_runs: vec![0; n], ..Default::default() },
+            stats: StreamStats {
+                per_model_runs: vec![0; n],
+                ..Default::default()
+            },
             alert_recall: 0.5,
+            exec_emulation_scale: 0.0,
         }
     }
 
@@ -98,17 +142,8 @@ impl StreamProcessor {
     /// Process one item; returns the labeling outcome.
     pub fn process(&mut self, item: &ItemTruth) -> LabelingOutcome {
         let outcome = self.scheduler.label_item(item, self.budget);
-        self.stats.items += 1;
-        self.stats.total_exec_ms += outcome.elapsed_ms;
-        self.stats.total_executions += outcome.executed.len();
-        self.stats.recall_sum += outcome.recall;
-        self.stats.value_sum += outcome.value;
-        for &m in &outcome.executed {
-            self.stats.per_model_runs[m.index()] += 1;
-        }
-        if outcome.recall < self.alert_recall {
-            self.stats.low_recall_items += 1;
-        }
+        emulate_execution(&outcome, self.exec_emulation_scale);
+        self.stats.absorb(&outcome, self.alert_recall);
         outcome
     }
 
@@ -128,7 +163,126 @@ impl StreamProcessor {
     /// Reset statistics (keeps the scheduler and budget).
     pub fn reset_stats(&mut self) {
         let n = self.scheduler.zoo().len();
-        self.stats = StreamStats { per_model_runs: vec![0; n], ..Default::default() };
+        self.stats = StreamStats {
+            per_model_runs: vec![0; n],
+            ..Default::default()
+        };
+    }
+}
+
+/// Sleep for an item's emulated execution latency (no-op at scale 0).
+fn emulate_execution(outcome: &LabelingOutcome, scale: f64) {
+    if scale > 0.0 && outcome.elapsed_ms > 0 {
+        let wait = outcome.elapsed_ms as f64 * scale;
+        std::thread::sleep(std::time::Duration::from_secs_f64(wait / 1000.0));
+    }
+}
+
+/// A multi-core stream processor: shards items across worker threads, each
+/// labeling against the shared (immutable) scheduler with its own local
+/// statistics, then merges the shards.
+///
+/// Per-item labeling is deterministic and every [`StreamStats`] field is an
+/// order-independent sum, so the merged statistics are identical to what
+/// the serial [`StreamProcessor`] produces over the same items — verified
+/// by the property tests. Predictors keep per-worker scratch (e.g.
+/// [`crate::AgentPredictor`]'s pool), so workers don't serialize on shared
+/// caches.
+pub struct ParallelStreamProcessor {
+    scheduler: AdaptiveModelScheduler,
+    budget: Budget,
+    stats: StreamStats,
+    threads: usize,
+    /// Items below this recall increment [`StreamStats::low_recall_items`].
+    pub alert_recall: f64,
+    /// Deployment emulation: wall-clock milliseconds slept per *virtual*
+    /// execution millisecond of each item (see
+    /// [`StreamProcessor::exec_emulation_scale`]). Workers overlap these
+    /// waits, which is precisely the latency-hiding a deployment's
+    /// parallel labeler exists for.
+    pub exec_emulation_scale: f64,
+}
+
+impl ParallelStreamProcessor {
+    /// Wrap a scheduler with a per-item budget, fanning work out over
+    /// `threads` workers (clamped to at least 1).
+    pub fn new(scheduler: AdaptiveModelScheduler, budget: Budget, threads: usize) -> Self {
+        let n = scheduler.zoo().len();
+        Self {
+            scheduler,
+            budget,
+            stats: StreamStats {
+                per_model_runs: vec![0; n],
+                ..Default::default()
+            },
+            threads: threads.max(1),
+            alert_recall: 0.5,
+            exec_emulation_scale: 0.0,
+        }
+    }
+
+    /// Worker count the processor fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The underlying scheduler.
+    pub fn scheduler(&self) -> &AdaptiveModelScheduler {
+        &self.scheduler
+    }
+
+    /// Process a batch of items across the worker pool.
+    pub fn process_all(&mut self, items: &[ItemTruth]) {
+        if items.is_empty() {
+            return;
+        }
+        let threads = self.threads.min(items.len());
+        let chunk = items.len().div_ceil(threads);
+        let n = self.scheduler.zoo().len();
+        let scheduler = &self.scheduler;
+        let budget = self.budget;
+        let alert = self.alert_recall;
+        let emu = self.exec_emulation_scale;
+        let shards: Vec<StreamStats> = std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut local = StreamStats {
+                            per_model_runs: vec![0; n],
+                            ..Default::default()
+                        };
+                        for item in part {
+                            let outcome = scheduler.label_item(item, budget);
+                            emulate_execution(&outcome, emu);
+                            local.absorb(&outcome, alert);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stream worker"))
+                .collect()
+        });
+        for shard in &shards {
+            self.stats.merge(shard);
+        }
+    }
+
+    /// The running statistics.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Reset statistics (keeps the scheduler, budget and worker count).
+    pub fn reset_stats(&mut self) {
+        let n = self.scheduler.zoo().len();
+        self.stats = StreamStats {
+            per_model_runs: vec![0; n],
+            ..Default::default()
+        };
     }
 }
 
@@ -155,7 +309,10 @@ mod tests {
         let s = proc.stats();
         assert_eq!(s.items, 30);
         assert!(s.mean_recall() > 0.0 && s.mean_recall() <= 1.0);
-        assert!(s.mean_time_s() <= 1.0, "per-item deadline respected on average");
+        assert!(
+            s.mean_time_s() <= 1.0,
+            "per-item deadline respected on average"
+        );
         let runs: u64 = s.per_model_runs.iter().sum();
         assert_eq!(runs as usize, s.total_executions);
         assert!((s.mean_models() - s.total_executions as f64 / 30.0).abs() < 1e-12);
@@ -180,6 +337,66 @@ mod tests {
             proc.stats().low_recall_items > 0,
             "a 60ms budget must starve most items below 50% recall"
         );
+    }
+
+    /// The parallel engine must produce byte-identical statistics to the
+    /// serial one, at every thread count, including the degenerate ones.
+    #[test]
+    fn parallel_stats_match_serial_exactly() {
+        let budget = Budget::Deadline { ms: 900 };
+        let (mut serial, truth) = processor(budget);
+        serial.process_all(truth.items());
+        let want = serial.stats().clone();
+        for threads in [1usize, 2, 3, 4, 7, 64] {
+            let (proc_serial, _) = processor(budget);
+            let (scheduler, b) = (proc_serial.scheduler, proc_serial.budget);
+            let mut par = ParallelStreamProcessor::new(scheduler, b, threads);
+            par.process_all(truth.items());
+            let got = par.stats();
+            assert_eq!(got.items, want.items, "{threads} threads");
+            assert_eq!(got.total_exec_ms, want.total_exec_ms);
+            assert_eq!(got.total_executions, want.total_executions);
+            assert_eq!(got.per_model_runs, want.per_model_runs);
+            assert_eq!(got.low_recall_items, want.low_recall_items);
+            assert!(
+                (got.recall_sum - want.recall_sum).abs() < 1e-9,
+                "{threads} threads"
+            );
+            assert!((got.value_sum - want.value_sum).abs() < 1e-9);
+        }
+    }
+
+    /// Same equivalence through a trained-agent predictor, whose scratch
+    /// pool is the part exercised only under concurrency.
+    #[test]
+    fn parallel_agent_predictor_matches_serial() {
+        use crate::predictor::AgentPredictor;
+        use ams_rl::{train, Algo, TrainConfig};
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, 24, 123);
+        let truth = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+        let cfg = TrainConfig {
+            episodes: 12,
+            ..TrainConfig::fast_test(Algo::Dqn)
+        };
+        let (agent, _) = train(truth.items(), zoo.len(), &cfg);
+
+        let budget = Budget::Deadline { ms: 700 };
+        let make = |agent: ams_rl::TrainedAgent| {
+            AdaptiveModelScheduler::new(
+                ModelZoo::standard(),
+                Box::new(AgentPredictor::new(agent)),
+                0.5,
+                64,
+            )
+        };
+        let mut serial = StreamProcessor::new(make(agent.clone()), budget);
+        serial.process_all(truth.items());
+        let mut par = ParallelStreamProcessor::new(make(agent), budget, 4);
+        par.process_all(truth.items());
+        assert_eq!(par.stats().per_model_runs, serial.stats().per_model_runs);
+        assert_eq!(par.stats().total_exec_ms, serial.stats().total_exec_ms);
+        assert!((par.stats().recall_sum - serial.stats().recall_sum).abs() < 1e-9);
     }
 
     #[test]

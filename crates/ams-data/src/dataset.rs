@@ -31,8 +31,11 @@ pub enum DatasetProfile {
 
 impl DatasetProfile {
     /// The three "diverse" datasets used for the §VI-B prediction study.
-    pub const PREDICTION_TRIO: [DatasetProfile; 3] =
-        [DatasetProfile::Coco2017, DatasetProfile::MirFlickr25, DatasetProfile::Places365];
+    pub const PREDICTION_TRIO: [DatasetProfile; 3] = [
+        DatasetProfile::Coco2017,
+        DatasetProfile::MirFlickr25,
+        DatasetProfile::Places365,
+    ];
 
     /// All profiles.
     pub const ALL: [DatasetProfile; 6] = [
@@ -112,7 +115,11 @@ impl DatasetProfile {
     /// Stable stream tag so different profiles draw decorrelated streams
     /// from the same world seed.
     fn stream_tag(self) -> u64 {
-        DatasetProfile::ALL.iter().position(|&p| p == self).expect("profile in ALL") as u64 + 1
+        DatasetProfile::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("profile in ALL") as u64
+            + 1
     }
 
     /// Build a generator for this profile.
@@ -144,7 +151,11 @@ pub struct Split {
 impl Dataset {
     /// Generate `n` scenes of `profile` under `world_seed`.
     pub fn generate(profile: DatasetProfile, n: usize, world_seed: u64) -> Self {
-        Self { profile, scenes: profile.generator(world_seed).scenes(n), world_seed }
+        Self {
+            profile,
+            scenes: profile.generator(world_seed).scenes(n),
+            world_seed,
+        }
     }
 
     /// Number of scenes.
@@ -161,14 +172,20 @@ impl Dataset {
     /// agent, the rest test it. (Scenes are i.i.d., so a prefix split is a
     /// random split.)
     pub fn split_1_to_4(&self) -> Split {
-        Split { train_len: self.len() / 5, total: self.len() }
+        Split {
+            train_len: self.len() / 5,
+            total: self.len(),
+        }
     }
 
     /// An arbitrary-ratio split (`train_fraction` in `(0,1)`).
     pub fn split(&self, train_fraction: f64) -> Split {
         assert!((0.0..1.0).contains(&train_fraction));
         let train_len = ((self.len() as f64) * train_fraction).round() as usize;
-        Split { train_len: train_len.min(self.len()), total: self.len() }
+        Split {
+            train_len: train_len.min(self.len()),
+            total: self.len(),
+        }
     }
 
     /// Training scenes of a split.

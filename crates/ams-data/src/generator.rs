@@ -26,8 +26,16 @@ impl SceneGenerator {
     /// Panics if the weights are empty or sum to a non-positive value.
     pub fn new(weights: Vec<(TemplateKind, f64)>, world_seed: u64, stream_tag: u64) -> Self {
         let total_weight: f64 = weights.iter().map(|(_, w)| w).sum();
-        assert!(!weights.is_empty() && total_weight > 0.0, "invalid template mixture");
-        Self { weights, total_weight, world_seed, stream_tag }
+        assert!(
+            !weights.is_empty() && total_weight > 0.0,
+            "invalid template mixture"
+        );
+        Self {
+            weights,
+            total_weight,
+            world_seed,
+            stream_tag,
+        }
     }
 
     /// The mixture weights.
@@ -66,7 +74,10 @@ mod tests {
 
     fn gen() -> SceneGenerator {
         SceneGenerator::new(
-            vec![(TemplateKind::IndoorSocial, 0.5), (TemplateKind::Landscape, 0.5)],
+            vec![
+                (TemplateKind::IndoorSocial, 0.5),
+                (TemplateKind::Landscape, 0.5),
+            ],
             42,
             0,
         )
@@ -89,21 +100,25 @@ mod tests {
         let g = gen();
         let scenes = g.scenes(64);
         // at least two distinct templates should appear in 64 draws
-        let distinct: std::collections::HashSet<_> =
-            scenes.iter().map(|s| s.template).collect();
+        let distinct: std::collections::HashSet<_> = scenes.iter().map(|s| s.template).collect();
         assert!(distinct.len() >= 2);
     }
 
     #[test]
     fn mixture_roughly_respected() {
         let g = SceneGenerator::new(
-            vec![(TemplateKind::Portrait, 0.9), (TemplateKind::Landscape, 0.1)],
+            vec![
+                (TemplateKind::Portrait, 0.9),
+                (TemplateKind::Landscape, 0.1),
+            ],
             1,
             2,
         );
         let scenes = g.scenes(500);
-        let portraits =
-            scenes.iter().filter(|s| s.template == TemplateKind::Portrait).count();
+        let portraits = scenes
+            .iter()
+            .filter(|s| s.template == TemplateKind::Portrait)
+            .count();
         let frac = portraits as f64 / 500.0;
         assert!((0.8..1.0).contains(&frac), "portrait fraction {frac}");
     }

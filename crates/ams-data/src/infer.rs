@@ -79,7 +79,12 @@ impl ExecRng {
 }
 
 /// Execute `spec` on `scene`, deterministically under `world_seed`.
-pub fn infer(scene: &Scene, spec: &ModelSpec, catalog: &LabelCatalog, world_seed: u64) -> ModelOutput {
+pub fn infer(
+    scene: &Scene,
+    spec: &ModelSpec,
+    catalog: &LabelCatalog,
+    world_seed: u64,
+) -> ModelOutput {
     let mut r = ExecRng::new(scene, spec, world_seed);
     let q = &spec.quality;
     let task = spec.task;
@@ -191,7 +196,11 @@ pub fn infer(scene: &Scene, spec: &ModelSpec, catalog: &LabelCatalog, world_seed
             let mut any = false;
             for p in scene.persons.iter().filter(|p| p.face_visible) {
                 if r.detect(q, p.emotion as usize, size_factor(p.scale)) {
-                    push(&mut dets, u16::from(p.emotion), tp_confidence(&mut r.noise, q));
+                    push(
+                        &mut dets,
+                        u16::from(p.emotion),
+                        tp_confidence(&mut r.noise, q),
+                    );
                     any = true;
                 }
             }
@@ -206,7 +215,11 @@ pub fn infer(scene: &Scene, spec: &ModelSpec, catalog: &LabelCatalog, world_seed
                 // one shared draw per person regardless of visibility gate
                 let hit = r.detect(q, p.gender as usize, size_factor(p.scale));
                 if (p.face_visible || p.body_visible) && hit {
-                    push(&mut dets, u16::from(p.gender), tp_confidence(&mut r.noise, q));
+                    push(
+                        &mut dets,
+                        u16::from(p.gender),
+                        tp_confidence(&mut r.noise, q),
+                    );
                 }
             }
         }
@@ -268,7 +281,10 @@ pub fn infer_all(
     catalog: &LabelCatalog,
     world_seed: u64,
 ) -> Vec<ModelOutput> {
-    zoo.specs().iter().map(|spec| infer(scene, spec, catalog, world_seed)).collect()
+    zoo.specs()
+        .iter()
+        .map(|spec| infer(scene, spec, catalog, world_seed))
+        .collect()
 }
 
 #[cfg(test)]
@@ -285,7 +301,10 @@ mod tests {
     fn person_scene() -> Scene {
         Scene {
             id: 1,
-            place: Place { index: 0, indoor: true },
+            place: Place {
+                index: 0,
+                indoor: true,
+            },
             persons: vec![Person {
                 scale: 0.95,
                 face_visible: true,
@@ -304,7 +323,10 @@ mod tests {
     fn empty_scene() -> Scene {
         Scene {
             id: 2,
-            place: Place { index: 20, indoor: false },
+            place: Place {
+                index: 20,
+                indoor: false,
+            },
             persons: vec![],
             dogs: vec![],
             objects: vec![],
@@ -339,11 +361,18 @@ mod tests {
             let mut s = person_scene();
             s.id = seed;
             let out = infer(&s, spec, &c, 7);
-            if out.confidence_of(person_label).map(|conf| conf >= 0.5).unwrap_or(false) {
+            if out
+                .confidence_of(person_label)
+                .map(|conf| conf >= 0.5)
+                .unwrap_or(false)
+            {
                 hits += 1;
             }
         }
-        assert!(hits > 75, "flagship should find the person most of the time ({hits}/100)");
+        assert!(
+            hits > 75,
+            "flagship should find the person most of the time ({hits}/100)"
+        );
     }
 
     /// Shared difficulty nests same-task detections: whatever a low-recall
@@ -401,7 +430,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(valuable, 0, "person/dog models must produce no valuable labels on landscapes");
+        assert_eq!(
+            valuable, 0,
+            "person/dog models must produce no valuable labels on landscapes"
+        );
     }
 
     #[test]
@@ -445,19 +477,32 @@ mod tests {
         for seed in 0..100 {
             let s = Scene {
                 id: 3000 + seed,
-                place: Place { index: 24, indoor: false },
+                place: Place {
+                    index: 24,
+                    indoor: false,
+                },
                 persons: vec![],
-                dogs: vec![DogInstance { breed: 7, scale: 0.9 }],
+                dogs: vec![DogInstance {
+                    breed: 7,
+                    scale: 0.9,
+                }],
                 objects: vec![1],
                 template: TemplateKind::AnimalScene,
             };
             let out = infer(&s, spec, &c, 7);
             let breed_label = c.label(Task::DogClassification, 7);
-            if out.confidence_of(breed_label).map(|conf| conf >= 0.5).unwrap_or(false) {
+            if out
+                .confidence_of(breed_label)
+                .map(|conf| conf >= 0.5)
+                .unwrap_or(false)
+            {
                 hits += 1;
             }
         }
-        assert!(hits > 70, "dog flagship should identify the breed ({hits}/100)");
+        assert!(
+            hits > 70,
+            "dog flagship should identify the breed ({hits}/100)"
+        );
     }
 
     #[test]

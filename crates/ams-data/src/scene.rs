@@ -115,8 +115,14 @@ mod tests {
     fn visibility_aggregates() {
         let s = Scene {
             id: 0,
-            place: Place { index: 0, indoor: true },
-            persons: vec![person(true, false, false, 0.5), person(false, true, true, 0.9)],
+            place: Place {
+                index: 0,
+                indoor: true,
+            },
+            persons: vec![
+                person(true, false, false, 0.5),
+                person(false, true, true, 0.9),
+            ],
             dogs: vec![],
             objects: vec![],
             template: TemplateKind::IndoorSocial,
@@ -132,9 +138,15 @@ mod tests {
     fn empty_scene_has_no_visibility() {
         let s = Scene {
             id: 1,
-            place: Place { index: 25, indoor: false },
+            place: Place {
+                index: 25,
+                indoor: false,
+            },
             persons: vec![],
-            dogs: vec![DogInstance { breed: 0, scale: 0.7 }],
+            dogs: vec![DogInstance {
+                breed: 0,
+                scale: 0.7,
+            }],
             objects: vec![1],
             template: TemplateKind::AnimalScene,
         };

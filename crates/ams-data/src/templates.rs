@@ -71,8 +71,9 @@ pub const ANIMAL_PLACES: &[u16] = &[24, 26, 22, 31, 36];
 /// Household objects: bottle, wine glass, cup, bowl, chair, couch, bed,
 /// dining table, toilet, tv monitor, laptop, microwave, oven, sink,
 /// refrigerator, book, clock, vase.
-pub const HOUSEHOLD_OBJECTS: &[u16] =
-    &[31, 32, 33, 37, 47, 48, 50, 51, 52, 53, 54, 59, 60, 62, 63, 64, 65, 66];
+pub const HOUSEHOLD_OBJECTS: &[u16] = &[
+    31, 32, 33, 37, 47, 48, 50, 51, 52, 53, 54, 59, 60, 62, 63, 64, 65, 66,
+];
 /// Food objects: banana, apple, sandwich, orange, broccoli, carrot, pizza,
 /// donut, cake.
 pub const FOOD_OBJECTS: &[u16] = &[38, 39, 40, 41, 42, 43, 44, 45, 46];
@@ -141,7 +142,12 @@ fn pick_place(rng: &mut SmallRng, pool: &[u16], indoor: bool, synth_p: f64) -> u
     }
 }
 
-fn pick_action(rng: &mut SmallRng, pool: &[u16], synth_range: std::ops::Range<u16>, synth_p: f64) -> u16 {
+fn pick_action(
+    rng: &mut SmallRng,
+    pool: &[u16],
+    synth_range: std::ops::Range<u16>,
+    synth_p: f64,
+) -> u16 {
     if rng.gen_bool(synth_p) {
         rng.gen_range(synth_range.start..synth_range.end)
     } else {
@@ -213,15 +219,25 @@ pub fn sample(kind: TemplateKind, id: u64, rng: &mut SmallRng) -> Scene {
                 action_p: 0.8,
                 scale_range: (0.4, 1.0),
             };
-            let persons: Vec<Person> =
-                (0..n).map(|_| sample_person(rng, &cfg, SOCIAL_ACTIONS, SYNTH_SOCIAL)).collect();
+            let persons: Vec<Person> = (0..n)
+                .map(|_| sample_person(rng, &cfg, SOCIAL_ACTIONS, SYNTH_SOCIAL))
+                .collect();
             let dogs = if rng.gen_bool(0.05) {
-                vec![DogInstance { breed: rng.gen_range(0..120), scale: rng.gen_range(0.3..0.7) }]
+                vec![DogInstance {
+                    breed: rng.gen_range(0..120),
+                    scale: rng.gen_range(0.3..0.7),
+                }]
             } else {
                 vec![]
             };
-            let objects =
-                sample_objects(rng, &[(HOUSEHOLD_OBJECTS, 4), (FOOD_OBJECTS, 2), (ACCESSORY_OBJECTS, 1)]);
+            let objects = sample_objects(
+                rng,
+                &[
+                    (HOUSEHOLD_OBJECTS, 4),
+                    (FOOD_OBJECTS, 2),
+                    (ACCESSORY_OBJECTS, 1),
+                ],
+            );
             (place_idx, persons, dogs, objects)
         }
         TemplateKind::OutdoorSport => {
@@ -234,8 +250,9 @@ pub fn sample(kind: TemplateKind, id: u64, rng: &mut SmallRng) -> Scene {
                 action_p: 0.95,
                 scale_range: (0.5, 1.0),
             };
-            let persons: Vec<Person> =
-                (0..n).map(|_| sample_person(rng, &cfg, SPORT_ACTIONS, SYNTH_SPORT)).collect();
+            let persons: Vec<Person> = (0..n)
+                .map(|_| sample_person(rng, &cfg, SPORT_ACTIONS, SYNTH_SPORT))
+                .collect();
             let objects = sample_objects(rng, &[(SPORT_OBJECTS, 3), (ACCESSORY_OBJECTS, 1)]);
             (place_idx, persons, vec![], objects)
         }
@@ -256,7 +273,7 @@ pub fn sample(kind: TemplateKind, id: u64, rng: &mut SmallRng) -> Scene {
                     action_p: 1.0,
                     scale_range: (0.4, 0.9),
                 };
-                let mut p = sample_person(rng, &cfg, &[WALK_DOG_ACTION], 0..1, );
+                let mut p = sample_person(rng, &cfg, &[WALK_DOG_ACTION], 0..1);
                 p.action = Some(WALK_DOG_ACTION);
                 vec![p]
             } else {
@@ -267,8 +284,14 @@ pub fn sample(kind: TemplateKind, id: u64, rng: &mut SmallRng) -> Scene {
         }
         TemplateKind::ObjectStill => {
             let place_idx = pick_place(rng, INDOOR_OTHER_PLACES, true, 0.35);
-            let objects =
-                sample_objects(rng, &[(HOUSEHOLD_OBJECTS, 6), (FOOD_OBJECTS, 4), (ACCESSORY_OBJECTS, 2)]);
+            let objects = sample_objects(
+                rng,
+                &[
+                    (HOUSEHOLD_OBJECTS, 6),
+                    (FOOD_OBJECTS, 4),
+                    (ACCESSORY_OBJECTS, 2),
+                ],
+            );
             (place_idx, vec![], vec![], objects)
         }
         TemplateKind::StreetScene => {
@@ -281,10 +304,14 @@ pub fn sample(kind: TemplateKind, id: u64, rng: &mut SmallRng) -> Scene {
                 action_p: 0.5,
                 scale_range: (0.3, 0.7),
             };
-            let persons: Vec<Person> =
-                (0..n).map(|_| sample_person(rng, &cfg, STREET_ACTIONS, SYNTH_SOCIAL)).collect();
+            let persons: Vec<Person> = (0..n)
+                .map(|_| sample_person(rng, &cfg, STREET_ACTIONS, SYNTH_SOCIAL))
+                .collect();
             let dogs = if rng.gen_bool(0.08) {
-                vec![DogInstance { breed: rng.gen_range(0..120), scale: rng.gen_range(0.3..0.6) }]
+                vec![DogInstance {
+                    breed: rng.gen_range(0..120),
+                    scale: rng.gen_range(0.3..0.6),
+                }]
             } else {
                 vec![]
             };
@@ -293,7 +320,11 @@ pub fn sample(kind: TemplateKind, id: u64, rng: &mut SmallRng) -> Scene {
         }
         TemplateKind::Portrait => {
             let indoor = rng.gen_bool(0.7);
-            let pool = if indoor { INDOOR_OTHER_PLACES } else { OUTDOOR_NATURE_PLACES };
+            let pool = if indoor {
+                INDOOR_OTHER_PLACES
+            } else {
+                OUTDOOR_NATURE_PLACES
+            };
             let place_idx = pick_place(rng, pool, indoor, 0.3);
             let n = rng.gen_range(1..=2);
             let cfg = PersonCfg {
@@ -303,8 +334,9 @@ pub fn sample(kind: TemplateKind, id: u64, rng: &mut SmallRng) -> Scene {
                 action_p: 0.4,
                 scale_range: (0.7, 1.0),
             };
-            let persons: Vec<Person> =
-                (0..n).map(|_| sample_person(rng, &cfg, SOCIAL_ACTIONS, SYNTH_SOCIAL)).collect();
+            let persons: Vec<Person> = (0..n)
+                .map(|_| sample_person(rng, &cfg, SOCIAL_ACTIONS, SYNTH_SOCIAL))
+                .collect();
             let objects = sample_objects(rng, &[(ACCESSORY_OBJECTS, 1)]);
             (place_idx, persons, vec![], objects)
         }
@@ -317,7 +349,10 @@ pub fn sample(kind: TemplateKind, id: u64, rng: &mut SmallRng) -> Scene {
 
     Scene {
         id,
-        place: Place { index: place, indoor: place_is_indoor(place) },
+        place: Place {
+            index: place,
+            indoor: place_is_indoor(place),
+        },
         persons,
         dogs,
         objects,
@@ -339,9 +374,18 @@ mod tests {
     #[test]
     fn pools_match_catalog_names() {
         let c = LabelCatalog::standard();
-        let obj = |i: u16| c.name(c.label(Task::ObjectDetection, i as usize)).to_string();
-        let place = |i: u16| c.name(c.label(Task::PlaceClassification, i as usize)).to_string();
-        let act = |i: u16| c.name(c.label(Task::ActionClassification, i as usize)).to_string();
+        let obj = |i: u16| {
+            c.name(c.label(Task::ObjectDetection, i as usize))
+                .to_string()
+        };
+        let place = |i: u16| {
+            c.name(c.label(Task::PlaceClassification, i as usize))
+                .to_string()
+        };
+        let act = |i: u16| {
+            c.name(c.label(Task::ActionClassification, i as usize))
+                .to_string()
+        };
 
         assert_eq!(obj(PERSON_OBJECT), "person");
         assert_eq!(obj(DOG_OBJECT), "dog");

@@ -39,6 +39,44 @@ pub struct ItemTruth {
 }
 
 impl ItemTruth {
+    /// Execute the whole zoo on one scene and collect its ground truth —
+    /// the single-item unit of [`TruthTable::build`]. Framework code labels
+    /// ad-hoc scenes through this without materializing a one-element
+    /// dataset and table.
+    pub fn build(
+        zoo: &ModelZoo,
+        catalog: &LabelCatalog,
+        scene: &crate::scene::Scene,
+        world_seed: u64,
+        threshold: f32,
+    ) -> Self {
+        let outputs: Vec<ModelOutput> = zoo
+            .specs()
+            .iter()
+            .map(|spec| infer(scene, spec, catalog, world_seed))
+            .collect();
+
+        // profit of each label = max confidence across models, if ≥ threshold
+        let mut best: Vec<(LabelId, f32)> = Vec::new();
+        for out in &outputs {
+            for d in out.valuable(threshold) {
+                match best.binary_search_by_key(&d.label, |&(l, _)| l) {
+                    Ok(i) => best[i].1 = best[i].1.max(d.confidence),
+                    Err(i) => best.insert(i, (d.label, d.confidence)),
+                }
+            }
+        }
+        let total_value = best.iter().map(|&(_, c)| f64::from(c)).sum();
+        let model_value = outputs.iter().map(|o| o.value(threshold)).collect();
+        ItemTruth {
+            scene_id: scene.id,
+            outputs,
+            valuable: best,
+            total_value,
+            model_value,
+        }
+    }
+
     /// Output of one model.
     pub fn output(&self, m: ModelId) -> &ModelOutput {
         &self.outputs[m.index()]
@@ -114,7 +152,10 @@ impl ItemTruth {
     pub fn valuable_models(&self, threshold: f32) -> Vec<ModelId> {
         (0..self.outputs.len())
             .map(|i| ModelId(i as u8))
-            .filter(|&m| self.model_value[m.index()] > 0.0 && self.output(m).valuable(threshold).next().is_some())
+            .filter(|&m| {
+                self.model_value[m.index()] > 0.0
+                    && self.output(m).valuable(threshold).next().is_some()
+            })
             .collect()
     }
 }
@@ -134,11 +175,16 @@ pub struct TruthTable {
 impl TruthTable {
     /// Execute the whole zoo on every scene of `dataset` and collect ground
     /// truth (the paper's §VI-A procedure).
-    pub fn build(zoo: &ModelZoo, catalog: &LabelCatalog, dataset: &Dataset, threshold: f32) -> Self {
+    pub fn build(
+        zoo: &ModelZoo,
+        catalog: &LabelCatalog,
+        dataset: &Dataset,
+        threshold: f32,
+    ) -> Self {
         let items = dataset
             .scenes
             .iter()
-            .map(|scene| Self::build_item(zoo, catalog, scene, dataset.world_seed, threshold))
+            .map(|scene| ItemTruth::build(zoo, catalog, scene, dataset.world_seed, threshold))
             .collect();
         Self {
             world_seed: dataset.world_seed,
@@ -146,31 +192,6 @@ impl TruthTable {
             num_models: zoo.len(),
             items,
         }
-    }
-
-    fn build_item(
-        zoo: &ModelZoo,
-        catalog: &LabelCatalog,
-        scene: &crate::scene::Scene,
-        world_seed: u64,
-        threshold: f32,
-    ) -> ItemTruth {
-        let outputs: Vec<ModelOutput> =
-            zoo.specs().iter().map(|spec| infer(scene, spec, catalog, world_seed)).collect();
-
-        // profit of each label = max confidence across models, if ≥ threshold
-        let mut best: Vec<(LabelId, f32)> = Vec::new();
-        for out in &outputs {
-            for d in out.valuable(threshold) {
-                match best.binary_search_by_key(&d.label, |&(l, _)| l) {
-                    Ok(i) => best[i].1 = best[i].1.max(d.confidence),
-                    Err(i) => best.insert(i, (d.label, d.confidence)),
-                }
-            }
-        }
-        let total_value = best.iter().map(|&(_, c)| f64::from(c)).sum();
-        let model_value = outputs.iter().map(|o| o.value(threshold)).collect();
-        ItemTruth { scene_id: scene.id, outputs, valuable: best, total_value, model_value }
     }
 
     /// Number of items.
@@ -214,7 +235,12 @@ impl TruthTable {
         for it in &self.items {
             for m in 0..self.num_models {
                 total += 1;
-                if it.output(ModelId(m as u8)).valuable(self.value_threshold).next().is_some() {
+                if it
+                    .output(ModelId(m as u8))
+                    .valuable(self.value_threshold)
+                    .next()
+                    .is_some()
+                {
                     valuable += 1;
                 }
             }
@@ -251,7 +277,12 @@ mod tests {
         let all: Vec<ModelId> = zoo.ids().collect();
         for it in table.items() {
             let v = it.value_of_set(&all, table.value_threshold);
-            assert!((v - it.total_value).abs() < 1e-9, "item {}: {v} vs {}", it.scene_id, it.total_value);
+            assert!(
+                (v - it.total_value).abs() < 1e-9,
+                "item {}: {v} vs {}",
+                it.scene_id,
+                it.total_value
+            );
             assert!((it.recall_of_set(&all, table.value_threshold) - 1.0).abs() < 1e-12);
         }
     }
@@ -316,7 +347,10 @@ mod tests {
             .iter()
             .filter(|it| !it.valuable_models(table.value_threshold).is_empty())
             .count();
-        assert!(nonempty >= 38, "{nonempty}/40 items should have valuable models");
+        assert!(
+            nonempty >= 38,
+            "{nonempty}/40 items should have valuable models"
+        );
     }
 
     #[test]

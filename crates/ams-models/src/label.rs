@@ -32,29 +32,133 @@ impl std::fmt::Display for LabelId {
 /// The first entries matter to the synthetic scene generator and the
 /// handcrafted rules: `person`, `dog`, vehicles, household items.
 const OBJECT_NAMES: &[&str] = &[
-    "person", "dog", "cat", "bicycle", "car", "motorcycle", "bus", "truck", "boat", "bird",
-    "horse", "sheep", "cow", "elephant", "bear", "zebra", "giraffe", "backpack", "umbrella",
-    "handbag", "tie", "suitcase", "frisbee", "skis", "snowboard", "sports ball", "kite",
-    "baseball bat", "skateboard", "surfboard", "tennis racket", "bottle", "wine glass", "cup",
-    "fork", "knife", "spoon", "bowl", "banana", "apple", "sandwich", "orange", "broccoli",
-    "carrot", "pizza", "donut", "cake", "chair", "couch", "potted plant", "bed", "dining table",
-    "toilet", "tv monitor", "laptop", "mouse", "remote", "keyboard", "cell phone", "microwave",
-    "oven", "toaster", "sink", "refrigerator", "book", "clock", "vase", "scissors",
-    "teddy bear", "hair drier", "toothbrush", "traffic light", "fire hydrant", "stop sign",
-    "parking meter", "bench", "wheelchair", "stroller", "ladder", "guitar",
+    "person",
+    "dog",
+    "cat",
+    "bicycle",
+    "car",
+    "motorcycle",
+    "bus",
+    "truck",
+    "boat",
+    "bird",
+    "horse",
+    "sheep",
+    "cow",
+    "elephant",
+    "bear",
+    "zebra",
+    "giraffe",
+    "backpack",
+    "umbrella",
+    "handbag",
+    "tie",
+    "suitcase",
+    "frisbee",
+    "skis",
+    "snowboard",
+    "sports ball",
+    "kite",
+    "baseball bat",
+    "skateboard",
+    "surfboard",
+    "tennis racket",
+    "bottle",
+    "wine glass",
+    "cup",
+    "fork",
+    "knife",
+    "spoon",
+    "bowl",
+    "banana",
+    "apple",
+    "sandwich",
+    "orange",
+    "broccoli",
+    "carrot",
+    "pizza",
+    "donut",
+    "cake",
+    "chair",
+    "couch",
+    "potted plant",
+    "bed",
+    "dining table",
+    "toilet",
+    "tv monitor",
+    "laptop",
+    "mouse",
+    "remote",
+    "keyboard",
+    "cell phone",
+    "microwave",
+    "oven",
+    "toaster",
+    "sink",
+    "refrigerator",
+    "book",
+    "clock",
+    "vase",
+    "scissors",
+    "teddy bear",
+    "hair drier",
+    "toothbrush",
+    "traffic light",
+    "fire hydrant",
+    "stop sign",
+    "parking meter",
+    "bench",
+    "wheelchair",
+    "stroller",
+    "ladder",
+    "guitar",
 ];
 
 /// Named place categories at the head of the place-classification range.
 /// Indoor places come first (indices 0..INDOOR_PLACE_COUNT are indoor).
 const PLACE_NAMES: &[&str] = &[
     // indoor (first 20)
-    "pub", "beer hall", "bathroom", "mall", "lobby", "kitchen", "bedroom", "office",
-    "classroom", "gym", "restaurant", "museum", "library", "supermarket", "living room",
-    "corridor", "stage", "garage", "church", "airport terminal",
+    "pub",
+    "beer hall",
+    "bathroom",
+    "mall",
+    "lobby",
+    "kitchen",
+    "bedroom",
+    "office",
+    "classroom",
+    "gym",
+    "restaurant",
+    "museum",
+    "library",
+    "supermarket",
+    "living room",
+    "corridor",
+    "stage",
+    "garage",
+    "church",
+    "airport terminal",
     // outdoor
-    "mountain", "beach", "forest", "street", "park", "stadium", "lawn", "lake", "desert",
-    "harbor", "playground", "farm", "bridge", "campsite", "ski slope", "river", "garden",
-    "parking lot", "plaza", "trail",
+    "mountain",
+    "beach",
+    "forest",
+    "street",
+    "park",
+    "stadium",
+    "lawn",
+    "lake",
+    "desert",
+    "harbor",
+    "playground",
+    "farm",
+    "bridge",
+    "campsite",
+    "ski slope",
+    "river",
+    "garden",
+    "parking lot",
+    "plaza",
+    "trail",
 ];
 
 /// Number of leading place labels that are indoor categories.
@@ -68,12 +172,37 @@ pub const NAMED_PLACE_COUNT: usize = 40;
 /// "indoor place lowers sport-action probability" rule).
 const ACTION_NAMES: &[&str] = &[
     // sports actions (first 12)
-    "riding bike", "playing soccer", "playing basketball", "swimming", "surfing", "skiing",
-    "skateboarding", "playing tennis", "climbing", "running", "rowing", "playing golf",
+    "riding bike",
+    "playing soccer",
+    "playing basketball",
+    "swimming",
+    "surfing",
+    "skiing",
+    "skateboarding",
+    "playing tennis",
+    "climbing",
+    "running",
+    "rowing",
+    "playing golf",
     // general actions
-    "drinking beer", "making up", "falling down", "cooking", "reading", "writing", "dancing",
-    "singing", "playing guitar", "taking photo", "shaking hands", "hugging", "waving",
-    "eating", "drinking coffee", "walking the dog", "phoning", "applauding",
+    "drinking beer",
+    "making up",
+    "falling down",
+    "cooking",
+    "reading",
+    "writing",
+    "dancing",
+    "singing",
+    "playing guitar",
+    "taking photo",
+    "shaking hands",
+    "hugging",
+    "waving",
+    "eating",
+    "drinking coffee",
+    "walking the dog",
+    "phoning",
+    "applauding",
 ];
 
 /// Number of leading action labels that are sports actions.
@@ -81,21 +210,56 @@ pub const SPORT_ACTION_COUNT: usize = 12;
 
 /// Named dog breeds at the head of the dog-classification range.
 const DOG_NAMES: &[&str] = &[
-    "akita", "beagle", "border collie", "boxer", "chihuahua", "corgi", "dachshund",
-    "dalmatian", "german shepherd", "golden retriever", "great dane", "greyhound", "husky",
-    "labrador", "malamute", "pomeranian", "poodle", "pug", "rottweiler", "samoyed",
-    "shiba inu", "st bernard", "terrier", "whippet",
+    "akita",
+    "beagle",
+    "border collie",
+    "boxer",
+    "chihuahua",
+    "corgi",
+    "dachshund",
+    "dalmatian",
+    "german shepherd",
+    "golden retriever",
+    "great dane",
+    "greyhound",
+    "husky",
+    "labrador",
+    "malamute",
+    "pomeranian",
+    "poodle",
+    "pug",
+    "rottweiler",
+    "samoyed",
+    "shiba inu",
+    "st bernard",
+    "terrier",
+    "whippet",
 ];
 
-const EMOTION_NAMES: [&str; 7] =
-    ["angry", "disgust", "fear", "happy", "sad", "surprise", "neutral"];
+const EMOTION_NAMES: [&str; 7] = [
+    "angry", "disgust", "fear", "happy", "sad", "surprise", "neutral",
+];
 
 const GENDER_NAMES: [&str; 2] = ["male", "female"];
 
 const POSE_KEYPOINT_NAMES: [&str; 17] = [
-    "nose", "left eye", "right eye", "left ear", "right ear", "left shoulder",
-    "right shoulder", "left elbow", "right elbow", "left wrist", "right wrist", "left hip",
-    "right hip", "left knee", "right knee", "left ankle", "right ankle",
+    "nose",
+    "left eye",
+    "right eye",
+    "left ear",
+    "right ear",
+    "left shoulder",
+    "right shoulder",
+    "left elbow",
+    "right elbow",
+    "left wrist",
+    "right wrist",
+    "left hip",
+    "right hip",
+    "left knee",
+    "right knee",
+    "left ankle",
+    "right ankle",
 ];
 
 /// The global label catalog.
@@ -196,7 +360,10 @@ impl LabelCatalog {
     /// Look up a label by exact name. Linear scan — intended for tests,
     /// examples and rule construction, not hot paths.
     pub fn find(&self, name: &str) -> Option<LabelId> {
-        self.names.iter().position(|n| n == name).map(|i| LabelId(i as u16))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| LabelId(i as u16))
     }
 
     /// Iterator over `(LabelId, name, task)` for the whole catalog.

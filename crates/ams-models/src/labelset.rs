@@ -15,7 +15,10 @@ pub struct LabelSet {
 impl LabelSet {
     /// An empty set over a universe of `len` labels.
     pub fn new(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Universe size.
@@ -80,7 +83,10 @@ impl LabelSet {
     /// Whether `self` is a subset of `other`.
     pub fn is_subset_of(&self, other: &LabelSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate set members in increasing label order.
@@ -102,6 +108,14 @@ impl LabelSet {
     /// the binary observation vector, used by the Q-network's sparse path).
     pub fn to_sparse(&self) -> Vec<u32> {
         self.iter().map(|l| u32::from(l.0)).collect()
+    }
+
+    /// Write the sparse encoding into `out`, reusing its allocation.
+    /// The hot-path variant of [`LabelSet::to_sparse`]: schedulers and the
+    /// trainer call this once per decision step.
+    pub fn write_sparse(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.iter().map(|l| u32::from(l.0)));
     }
 
     /// Write the set as a dense 0/1 `f32` vector into `out`

@@ -16,7 +16,10 @@ pub struct Detection {
 impl Detection {
     /// Construct a detection, clamping confidence into `[0, 1]`.
     pub fn new(label: LabelId, confidence: f32) -> Self {
-        Self { label, confidence: confidence.clamp(0.0, 1.0) }
+        Self {
+            label,
+            confidence: confidence.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -37,9 +40,11 @@ impl ModelOutput {
     /// maximum confidence per label.
     pub fn new(model: ModelId, mut detections: Vec<Detection>) -> Self {
         detections.sort_by(|a, b| {
-            a.label
-                .cmp(&b.label)
-                .then(b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal))
+            a.label.cmp(&b.label).then(
+                b.confidence
+                    .partial_cmp(&a.confidence)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         detections.dedup_by_key(|d| d.label);
         Self { model, detections }
@@ -65,12 +70,16 @@ impl ModelOutput {
 
     /// Detections at or above a confidence threshold ("valuable" outputs).
     pub fn valuable(&self, threshold: f32) -> impl Iterator<Item = &Detection> + '_ {
-        self.detections.iter().filter(move |d| d.confidence >= threshold)
+        self.detections
+            .iter()
+            .filter(move |d| d.confidence >= threshold)
     }
 
     /// Sum of confidences of detections at or above `threshold`.
     pub fn value(&self, threshold: f32) -> f64 {
-        self.valuable(threshold).map(|d| f64::from(d.confidence)).sum()
+        self.valuable(threshold)
+            .map(|d| f64::from(d.confidence))
+            .sum()
     }
 }
 

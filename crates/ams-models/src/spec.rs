@@ -4,7 +4,9 @@ use crate::task::Task;
 use serde::{Deserialize, Serialize};
 
 /// Dense identifier of a model in the zoo (0..30 for the standard zoo).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct ModelId(pub u8);
 
 impl ModelId {
@@ -40,7 +42,11 @@ pub enum SkillTier {
 
 impl SkillTier {
     /// All tiers in zoo layout order.
-    pub const ALL: [SkillTier; 3] = [SkillTier::Flagship, SkillTier::Specialist, SkillTier::Compact];
+    pub const ALL: [SkillTier; 3] = [
+        SkillTier::Flagship,
+        SkillTier::Specialist,
+        SkillTier::Compact,
+    ];
 
     /// Detection probability for a ground-truth label inside the model's
     /// specialty slice of the task label space.
@@ -160,13 +166,18 @@ mod tests {
         assert!(SkillTier::Specialist.specialty_recall() > SkillTier::Flagship.specialty_recall());
         assert!(SkillTier::Specialist.base_recall() < SkillTier::Compact.base_recall());
         // Compact models are noisier.
-        assert!(SkillTier::Compact.false_positive_rate() > SkillTier::Flagship.false_positive_rate());
+        assert!(
+            SkillTier::Compact.false_positive_rate() > SkillTier::Flagship.false_positive_rate()
+        );
         assert!(SkillTier::Compact.conf_mean() < SkillTier::Flagship.conf_mean());
     }
 
     #[test]
     fn quality_profile_recall_switches_on_specialty() {
-        let q = QualityProfile { tier: SkillTier::Specialist, specialty: (10, 20) };
+        let q = QualityProfile {
+            tier: SkillTier::Specialist,
+            specialty: (10, 20),
+        };
         assert_eq!(q.recall_for(15), SkillTier::Specialist.specialty_recall());
         assert_eq!(q.recall_for(5), SkillTier::Specialist.base_recall());
         assert!(q.in_specialty(10));
@@ -188,7 +199,10 @@ mod tests {
             task: Task::FaceDetection,
             time_ms: 250,
             mem_mb: 500,
-            quality: QualityProfile { tier: SkillTier::Flagship, specialty: (0, 1) },
+            quality: QualityProfile {
+                tier: SkillTier::Flagship,
+                specialty: (0, 1),
+            },
         };
         assert!((spec.time_secs() - 0.25).abs() < 1e-12);
     }

@@ -93,7 +93,10 @@ impl Task {
 
     /// Stable small index of the task (position in [`Task::ALL`]).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&t| t == self).expect("task in ALL")
+        Self::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("task in ALL")
     }
 
     /// Total number of labels across all tasks: 1104, as in the paper.

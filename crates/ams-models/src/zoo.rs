@@ -13,16 +13,37 @@ use serde::{Deserialize, Serialize};
 /// paper reports 5.16 s for "no policy" on a Tesla P100); individual times sit
 /// in the 50–450 ms band and memory in the 500–8000 MB band (Table III).
 const COSTS: [(Task, [(u32, u32); 3]); 10] = [
-    (Task::ObjectDetection, [(210, 3500), (150, 2200), (110, 900)]),
-    (Task::PlaceClassification, [(80, 1200), (65, 800), (90, 1500)]),
+    (
+        Task::ObjectDetection,
+        [(210, 3500), (150, 2200), (110, 900)],
+    ),
+    (
+        Task::PlaceClassification,
+        [(80, 1200), (65, 800), (90, 1500)],
+    ),
     (Task::FaceDetection, [(60, 600), (75, 900), (65, 700)]),
     (Task::FaceLandmark, [(250, 2800), (215, 2200), (185, 1800)]),
-    (Task::PoseEstimation, [(450, 8000), (370, 6000), (300, 4500)]),
-    (Task::EmotionClassification, [(95, 900), (80, 700), (70, 600)]),
-    (Task::GenderClassification, [(65, 700), (60, 600), (55, 500)]),
-    (Task::ActionClassification, [(420, 7000), (350, 5500), (270, 4200)]),
+    (
+        Task::PoseEstimation,
+        [(450, 8000), (370, 6000), (300, 4500)],
+    ),
+    (
+        Task::EmotionClassification,
+        [(95, 900), (80, 700), (70, 600)],
+    ),
+    (
+        Task::GenderClassification,
+        [(65, 700), (60, 600), (55, 500)],
+    ),
+    (
+        Task::ActionClassification,
+        [(420, 7000), (350, 5500), (270, 4200)],
+    ),
     (Task::HandLandmark, [(260, 3200), (220, 2600), (190, 2100)]),
-    (Task::DogClassification, [(150, 1600), (120, 1200), (95, 900)]),
+    (
+        Task::DogClassification,
+        [(150, 1600), (120, 1200), (95, 900)],
+    ),
 ];
 
 /// The model zoo: an ordered collection of [`ModelSpec`]s plus the label
@@ -186,8 +207,18 @@ mod tests {
     fn costs_within_paper_bands() {
         let zoo = ModelZoo::standard();
         for s in zoo.specs() {
-            assert!((50..=450).contains(&s.time_ms), "{}: {} ms", s.name, s.time_ms);
-            assert!((500..=8000).contains(&s.mem_mb), "{}: {} MB", s.name, s.mem_mb);
+            assert!(
+                (50..=450).contains(&s.time_ms),
+                "{}: {} ms",
+                s.name,
+                s.time_ms
+            );
+            assert!(
+                (500..=8000).contains(&s.mem_mb),
+                "{}: {} MB",
+                s.name,
+                s.mem_mb
+            );
         }
     }
 
@@ -207,7 +238,11 @@ mod tests {
             let (a, b) = s.quality.specialty;
             assert!(a <= b && b <= n, "{}: specialty {a}..{b} of {n}", s.name);
             if matches!(s.quality.tier, SkillTier::Specialist) && n >= 3 {
-                assert!(b - a < n, "{}: specialist should not span whole task", s.name);
+                assert!(
+                    b - a < n,
+                    "{}: specialist should not span whole task",
+                    s.name
+                );
             }
         }
     }

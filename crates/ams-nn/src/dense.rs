@@ -26,6 +26,34 @@ impl<'a> Input<'a> {
     }
 }
 
+/// A minibatch of layer inputs: one dense row per sample, or one sparse
+/// active-index row per sample.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchInput<'a> {
+    /// Dense inputs, `batch x fan_in`.
+    Dense(&'a Mat),
+    /// Sparse binary inputs: per sample, the sorted indices of the `1`s.
+    Sparse(&'a [&'a [u32]]),
+}
+
+impl<'a> BatchInput<'a> {
+    /// Number of samples in the batch.
+    pub fn batch(&self) -> usize {
+        match self {
+            BatchInput::Dense(x) => x.rows(),
+            BatchInput::Sparse(rows) => rows.len(),
+        }
+    }
+
+    /// The `s`-th sample as a scalar-path [`Input`].
+    pub fn sample(&self, s: usize) -> Input<'a> {
+        match *self {
+            BatchInput::Dense(x) => Input::Dense(x.row(s)),
+            BatchInput::Sparse(rows) => Input::Sparse(rows[s]),
+        }
+    }
+}
+
 /// A dense layer `y = W^T x + b`, with `W` stored input-major
 /// (`w.row(i)` holds the fan-out weights of input `i`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,7 +76,10 @@ pub struct DenseGrad {
 impl Dense {
     /// He-initialized layer.
     pub fn new(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
-        Self { w: he_normal(fan_in, fan_out, rng), b: vec![0.0; fan_out] }
+        Self {
+            w: he_normal(fan_in, fan_out, rng),
+            b: vec![0.0; fan_out],
+        }
     }
 
     /// Input dimension.
@@ -121,9 +152,117 @@ impl Dense {
         }
     }
 
+    /// Batched forward pass: `out[s] = W^T x[s] + b` for every sample.
+    ///
+    /// `out` is reshaped to `batch x fan_out`. For dense inputs the kernel
+    /// iterates inputs in the outer loop so each weight row `w[i]` is
+    /// streamed once per batch instead of once per sample — the blocked
+    /// GEMM access pattern that makes minibatch training cache-friendly.
+    /// Per output element the accumulation order over `i` matches the
+    /// scalar [`Dense::forward`], so this kernel's results are bitwise
+    /// identical (callers that route through transposed head kernels get
+    /// float-rounding equality instead; see `QNet::forward_batch`).
+    pub fn forward_batch(&self, input: BatchInput<'_>, out: &mut Mat) {
+        let batch = input.batch();
+        out.resize_zeroed(batch, self.fan_out());
+        for s in 0..batch {
+            out.row_mut(s).copy_from_slice(&self.b);
+        }
+        match input {
+            BatchInput::Dense(x) => {
+                debug_assert_eq!(x.cols(), self.fan_in());
+                for i in 0..self.fan_in() {
+                    let w_row = self.w.row(i);
+                    for s in 0..batch {
+                        let xi = x.get(s, i);
+                        if xi != 0.0 {
+                            axpy(out.row_mut(s), w_row, xi);
+                        }
+                    }
+                }
+            }
+            BatchInput::Sparse(rows) => {
+                for (s, idx) in rows.iter().enumerate() {
+                    let out_row = out.row_mut(s);
+                    for &i in *idx {
+                        axpy(out_row, self.w.row(i as usize), 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched backward pass: accumulate `dW`/`db` over the whole batch and
+    /// optionally produce per-sample input gradients.
+    ///
+    /// `grad_out` is `batch x fan_out`; `input` must be the forward-pass
+    /// batch. When `grad_in` is given it must be `batch x fan_in` and is
+    /// **accumulated into** (matching the scalar path's `+=` semantics), so
+    /// zero it first unless summing head streams.
+    pub fn backward_batch(
+        &self,
+        input: BatchInput<'_>,
+        grad_out: &Mat,
+        grad: &mut DenseGrad,
+        mut grad_in: Option<&mut Mat>,
+    ) {
+        let batch = input.batch();
+        debug_assert_eq!(grad_out.rows(), batch);
+        debug_assert_eq!(grad_out.cols(), self.fan_out());
+        for s in 0..batch {
+            let go = grad_out.row(s);
+            for (gb, g) in grad.b.iter_mut().zip(go) {
+                *gb += g;
+            }
+        }
+        match input {
+            BatchInput::Dense(x) => {
+                // i-outer loops keep w[i] / dW[i] hot across the batch.
+                for i in 0..self.fan_in() {
+                    let grad_row = grad.w.row_mut(i);
+                    for s in 0..batch {
+                        let xi = x.get(s, i);
+                        if xi != 0.0 {
+                            axpy(grad_row, grad_out.row(s), xi);
+                        }
+                    }
+                }
+                if let Some(gi) = grad_in.as_deref_mut() {
+                    debug_assert_eq!((gi.rows(), gi.cols()), (batch, self.fan_in()));
+                    for i in 0..self.fan_in() {
+                        let w_row = self.w.row(i);
+                        for s in 0..batch {
+                            *gi.get_mut(s, i) += dot(w_row, grad_out.row(s));
+                        }
+                    }
+                }
+            }
+            BatchInput::Sparse(rows) => {
+                for (s, idx) in rows.iter().enumerate() {
+                    let go = grad_out.row(s);
+                    for &i in *idx {
+                        axpy(grad.w.row_mut(i as usize), go, 1.0);
+                    }
+                }
+                if let Some(gi) = grad_in {
+                    debug_assert_eq!((gi.rows(), gi.cols()), (batch, self.fan_in()));
+                    for i in 0..self.fan_in() {
+                        let w_row = self.w.row(i);
+                        for s in 0..batch {
+                            *gi.get_mut(s, i) += dot(w_row, grad_out.row(s));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Zeroed gradient accumulator with matching shape.
     pub fn zero_grad(&self) -> DenseGrad {
-        DenseGrad { w: Mat::zeros(self.w.rows(), self.w.cols()), b: vec![0.0; self.b.len()] }
+        DenseGrad {
+            w: Mat::zeros(self.w.rows(), self.w.cols()),
+            b: vec![0.0; self.b.len()],
+        }
     }
 }
 
@@ -223,7 +362,11 @@ mod tests {
             let lm = loss(&l, &x);
             l.b[o] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - grad.b[o]).abs() < 1e-2, "db[{o}]: fd={fd} analytic={}", grad.b[o]);
+            assert!(
+                (fd - grad.b[o]).abs() < 1e-2,
+                "db[{o}]: fd={fd} analytic={}",
+                grad.b[o]
+            );
         }
         // input grads
         let mut x2 = x.clone();
@@ -235,7 +378,11 @@ mod tests {
             let lm = loss(&l, &x2);
             x2[i] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - gin[i]).abs() < 1e-2, "dx[{i}]: fd={fd} analytic={}", gin[i]);
+            assert!(
+                (fd - gin[i]).abs() < 1e-2,
+                "dx[{i}]: fd={fd} analytic={}",
+                gin[i]
+            );
         }
     }
 

@@ -44,7 +44,10 @@ mod tests {
         let m = he_normal(1000, 50, &mut rng);
         let var = m.as_slice().iter().map(|x| x * x).sum::<f32>() / (1000.0 * 50.0);
         let expected = 2.0 / 1000.0;
-        assert!((var / expected - 1.0).abs() < 0.1, "var {var} vs {expected}");
+        assert!(
+            (var / expected - 1.0).abs() < 0.1,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

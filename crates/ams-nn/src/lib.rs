@@ -27,8 +27,10 @@ pub mod matrix;
 pub mod optimizer;
 pub mod qnet;
 
-pub use dense::{Dense, DenseGrad, Input};
+pub use dense::{BatchInput, Dense, DenseGrad, Input};
 pub use loss::Huber;
 pub use matrix::Mat;
 pub use optimizer::{Adam, Optimizer, Sgd};
-pub use qnet::{FwdCache, Head, QNet, QNetConfig, QNetGrads};
+pub use qnet::{
+    BatchBwdCache, BatchFwdCache, BwdCache, FwdCache, Head, QNet, QNetConfig, QNetGrads,
+};

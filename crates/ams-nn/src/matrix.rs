@@ -13,7 +13,11 @@ pub struct Mat {
 impl Mat {
     /// A `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -76,6 +80,15 @@ impl Mat {
         self.data.fill(0.0);
     }
 
+    /// Reshape in place to `rows x cols`, reusing the existing allocation
+    /// when it is large enough. All elements are zeroed.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `self += other * scale` element-wise.
     ///
     /// # Panics
@@ -103,10 +116,30 @@ pub fn axpy(out: &mut [f32], row: &[f32], scale: f32) {
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Accumulates in eight parallel lanes: a naive `sum()` is a sequential
+/// float dependency chain the compiler must not reorder, which caps it at
+/// one add per few cycles; independent lanes vectorize.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        let (av, bv) = (
+            &a[c * LANES..(c + 1) * LANES],
+            &b[c * LANES..(c + 1) * LANES],
+        );
+        for k in 0..LANES {
+            acc[k] += av[k] * bv[k];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..a.len() {
+        tail += a[i] * b[i];
+    }
+    acc.iter().sum::<f32>() + tail
 }
 
 #[cfg(test)]

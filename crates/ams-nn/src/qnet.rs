@@ -2,7 +2,8 @@
 //! head, exactly parameterizable as the paper's architecture
 //! (1104 → 256 ReLU → 31, §IV-B).
 
-use crate::dense::{Dense, DenseGrad, Input};
+use crate::dense::{BatchInput, Dense, DenseGrad, Input};
+use crate::matrix::{axpy, dot, Mat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -38,12 +39,22 @@ pub struct QNetConfig {
 impl QNetConfig {
     /// The paper's architecture: `input 1104 → 256 ReLU → 31`, linear head.
     pub fn paper(input_dim: usize, actions: usize) -> Self {
-        Self { input_dim, hidden: vec![256], actions, dueling: false }
+        Self {
+            input_dim,
+            hidden: vec![256],
+            actions,
+            dueling: false,
+        }
     }
 
     /// The paper's architecture with a dueling head (DuelingDQN rows).
     pub fn paper_dueling(input_dim: usize, actions: usize) -> Self {
-        Self { input_dim, hidden: vec![256], actions, dueling: true }
+        Self {
+            input_dim,
+            hidden: vec![256],
+            actions,
+            dueling: true,
+        }
     }
 }
 
@@ -58,6 +69,66 @@ pub struct FwdCache {
     pub value: f32,
     /// Final Q values.
     pub q: Vec<f32>,
+}
+
+/// Backward-pass scratch: every intermediate gradient buffer the scalar
+/// backward needs, reusable across calls so the training hot loop performs
+/// no per-call heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct BwdCache {
+    gfeat: Vec<f32>,
+    gadv: Vec<f32>,
+    gnext: Vec<f32>,
+}
+
+/// Minibatch forward-pass cache: one matrix per intermediate, reused
+/// across gradient steps.
+#[derive(Debug, Clone)]
+pub struct BatchFwdCache {
+    /// Post-ReLU activation of each trunk layer, `batch x width`.
+    pub acts: Vec<Mat>,
+    /// Raw advantage-stream outputs (dueling only), `batch x actions`.
+    pub adv: Mat,
+    /// Value-stream output per sample (dueling only).
+    pub value: Vec<f32>,
+    /// Final Q values, `batch x actions`.
+    pub q: Mat,
+    /// Output-major transpose of the linear/advantage head weights, built
+    /// per forward call; contiguous rows make the head GEMM and its
+    /// backward run on full-width dots/axpys.
+    wt_head: Mat,
+}
+
+impl Default for BatchFwdCache {
+    fn default() -> Self {
+        Self {
+            acts: Vec::new(),
+            adv: Mat::zeros(0, 0),
+            value: Vec::new(),
+            q: Mat::zeros(0, 0),
+            wt_head: Mat::zeros(0, 0),
+        }
+    }
+}
+
+/// Minibatch backward-pass scratch, reusable across gradient steps.
+#[derive(Debug, Clone)]
+pub struct BatchBwdCache {
+    gfeat: Mat,
+    gadv: Mat,
+    gnext: Mat,
+    dwt: Mat,
+}
+
+impl Default for BatchBwdCache {
+    fn default() -> Self {
+        Self {
+            gfeat: Mat::zeros(0, 0),
+            gadv: Mat::zeros(0, 0),
+            gnext: Mat::zeros(0, 0),
+            dwt: Mat::zeros(0, 0),
+        }
+    }
 }
 
 /// Gradients mirroring a [`QNet`]'s tensors.
@@ -135,7 +206,11 @@ impl QNet {
         } else {
             Head::Linear(Dense::new(prev, config.actions, &mut rng))
         };
-        Self { trunk, head, config }
+        Self {
+            trunk,
+            head,
+            config,
+        }
     }
 
     /// The architecture this network was built with.
@@ -246,16 +321,28 @@ impl QNet {
 
     /// Backward pass: accumulate gradients of a scalar loss with gradient
     /// `grad_q` at the Q output, for the forward pass recorded in `cache`.
-    pub fn backward(&self, input: Input<'_>, cache: &FwdCache, grad_q: &[f32], grads: &mut QNetGrads) {
+    ///
+    /// `bwd` holds every intermediate gradient buffer; reusing one across
+    /// calls makes the pass allocation-free.
+    pub fn backward(
+        &self,
+        input: Input<'_>,
+        cache: &FwdCache,
+        grad_q: &[f32],
+        grads: &mut QNetGrads,
+        bwd: &mut BwdCache,
+    ) {
         let feat: &[f32] = match self.trunk.len() {
             0 => &cache.acts[0],
             n => &cache.acts[n - 1],
         };
         // Head backward → gradient at the feature layer.
-        let mut gfeat = vec![0.0f32; feat.len()];
+        let BwdCache { gfeat, gadv, gnext } = bwd;
+        gfeat.resize(feat.len(), 0.0);
+        gfeat.fill(0.0);
         match &self.head {
             Head::Linear(l) => {
-                l.backward(Input::Dense(feat), grad_q, &mut grads.head_a, Some(&mut gfeat));
+                l.backward(Input::Dense(feat), grad_q, &mut grads.head_a, Some(gfeat));
             }
             Head::Dueling { value, advantage } => {
                 // q_a = v + adv_a − mean(adv)
@@ -263,32 +350,194 @@ impl QNet {
                 let gsum: f32 = grad_q.iter().sum();
                 let gmean = gsum / grad_q.len() as f32;
                 let gv = [gsum];
-                value.backward(Input::Dense(feat), &gv, &mut grads.head_a, Some(&mut gfeat));
-                let gadv: Vec<f32> = grad_q.iter().map(|g| g - gmean).collect();
+                value.backward(Input::Dense(feat), &gv, &mut grads.head_a, Some(gfeat));
+                gadv.resize(grad_q.len(), 0.0);
+                for (ga, g) in gadv.iter_mut().zip(grad_q) {
+                    *ga = g - gmean;
+                }
                 let gb = grads.head_b.as_mut().expect("dueling grads");
-                advantage.backward(Input::Dense(feat), &gadv, gb, Some(&mut gfeat));
+                advantage.backward(Input::Dense(feat), gadv, gb, Some(gfeat));
             }
         }
-        // Trunk backward through ReLU masks.
-        let mut grad_out = gfeat;
+        // Trunk backward through ReLU masks, ping-ponging between the two
+        // scratch buffers instead of allocating a fresh one per layer.
+        let mut cur: &mut Vec<f32> = gfeat;
+        let mut spare: &mut Vec<f32> = gnext;
         for li in (0..self.trunk.len()).rev() {
             // ReLU mask: zero where the activation was clipped.
-            for (g, &a) in grad_out.iter_mut().zip(&cache.acts[li]) {
+            for (g, &a) in cur.iter_mut().zip(&cache.acts[li]) {
                 if a <= 0.0 {
                     *g = 0.0;
                 }
             }
-            let layer_input: Input<'_> = if li == 0 {
-                input
-            } else {
-                Input::Dense(&cache.acts[li - 1])
-            };
             if li == 0 {
-                self.trunk[0].backward(layer_input, &grad_out, &mut grads.trunk[0], None);
+                self.trunk[0].backward(input, cur, &mut grads.trunk[0], None);
             } else {
-                let mut gin = vec![0.0f32; self.trunk[li].fan_in()];
-                self.trunk[li].backward(layer_input, &grad_out, &mut grads.trunk[li], Some(&mut gin));
-                grad_out = gin;
+                spare.resize(self.trunk[li].fan_in(), 0.0);
+                spare.fill(0.0);
+                self.trunk[li].backward(
+                    Input::Dense(&cache.acts[li - 1]),
+                    cur,
+                    &mut grads.trunk[li],
+                    Some(spare),
+                );
+                std::mem::swap(&mut cur, &mut spare);
+            }
+        }
+    }
+
+    /// Batched forward pass: one GEMM per layer over the whole minibatch;
+    /// returns the `batch x actions` Q matrix.
+    ///
+    /// Per sample the result matches [`QNet::forward`] to within float
+    /// rounding (the property tests enforce 1e-5): the trunk kernels keep
+    /// the scalar path's per-element accumulation order exactly, while the
+    /// transposed head kernels use a multi-lane `dot` whose reassociated
+    /// summation can differ from the scalar head in the last ULPs.
+    pub fn forward_batch<'c>(
+        &self,
+        input: BatchInput<'_>,
+        cache: &'c mut BatchFwdCache,
+    ) -> &'c Mat {
+        let batch = input.batch();
+        let slots = self.trunk.len().max(1);
+        if cache.acts.len() != slots {
+            cache.acts.resize_with(slots, || Mat::zeros(0, 0));
+        }
+        for li in 0..self.trunk.len() {
+            // split so we can read acts[li-1] while writing acts[li]
+            let (before, rest) = cache.acts.split_at_mut(li);
+            let act = &mut rest[0];
+            if li == 0 {
+                self.trunk[0].forward_batch(input, act);
+            } else {
+                self.trunk[li].forward_batch(BatchInput::Dense(&before[li - 1]), act);
+            }
+            for a in act.as_mut_slice() {
+                if *a < 0.0 {
+                    *a = 0.0; // ReLU
+                }
+            }
+        }
+        if self.trunk.is_empty() {
+            // materialize the input as acts[0] so backward has a feature view
+            let x = &mut cache.acts[0];
+            x.resize_zeroed(batch, self.config.input_dim);
+            match input {
+                BatchInput::Dense(m) => x.as_mut_slice().copy_from_slice(m.as_slice()),
+                BatchInput::Sparse(rows) => {
+                    for (s, idx) in rows.iter().enumerate() {
+                        let row = x.row_mut(s);
+                        for &i in *idx {
+                            row[i as usize] = 1.0;
+                        }
+                    }
+                }
+            }
+        }
+        // Disjoint field borrows: read acts, write q/adv/value.
+        let feat: &Mat = cache.acts.last().expect("feature activations");
+        match &self.head {
+            Head::Linear(l) => {
+                head_forward_t(l, feat, &mut cache.wt_head, &mut cache.q);
+            }
+            Head::Dueling { value, advantage } => {
+                // Value stream: fan_out = 1, so its weight matrix is already
+                // a contiguous column — one dot per sample.
+                cache.value.resize(batch, 0.0);
+                for s in 0..batch {
+                    cache.value[s] = value.b[0] + dot(value.w.as_slice(), feat.row(s));
+                }
+                head_forward_t(advantage, feat, &mut cache.wt_head, &mut cache.adv);
+                cache.q.resize_zeroed(batch, advantage.fan_out());
+                for s in 0..batch {
+                    let adv = cache.adv.row(s);
+                    let mean = adv.iter().sum::<f32>() / adv.len() as f32;
+                    let v = cache.value[s];
+                    for (q, a) in cache.q.row_mut(s).iter_mut().zip(adv) {
+                        *q = v + a - mean;
+                    }
+                }
+            }
+        }
+        &cache.q
+    }
+
+    /// Batched backward pass matching [`QNet::forward_batch`]: accumulates
+    /// the summed gradients of all samples into `grads` in one blocked
+    /// sweep per layer.
+    pub fn backward_batch(
+        &self,
+        input: BatchInput<'_>,
+        cache: &BatchFwdCache,
+        grad_q: &Mat,
+        grads: &mut QNetGrads,
+        bwd: &mut BatchBwdCache,
+    ) {
+        let batch = grad_q.rows();
+        let feat: &Mat = cache.acts.last().expect("feature activations");
+        debug_assert_eq!(feat.rows(), batch);
+        let BatchBwdCache {
+            gfeat,
+            gadv,
+            gnext,
+            dwt,
+        } = bwd;
+        gfeat.resize_zeroed(batch, feat.cols());
+        match &self.head {
+            Head::Linear(l) => {
+                head_backward_t(
+                    l,
+                    feat,
+                    grad_q,
+                    &cache.wt_head,
+                    dwt,
+                    &mut grads.head_a,
+                    gfeat,
+                );
+            }
+            Head::Dueling { value, advantage } => {
+                gadv.resize_zeroed(batch, grad_q.cols());
+                let gb = grads.head_b.as_mut().expect("dueling grads");
+                for s in 0..batch {
+                    let gq = grad_q.row(s);
+                    let gsum: f32 = gq.iter().sum();
+                    let gmean = gsum / gq.len() as f32;
+                    for (ga, g) in gadv.row_mut(s).iter_mut().zip(gq) {
+                        *ga = g - gmean;
+                    }
+                    // Value stream (fan_out 1): contiguous column, direct
+                    // axpys instead of a degenerate GEMM.
+                    if gsum != 0.0 {
+                        let f = feat.row(s);
+                        grads.head_a.b[0] += gsum;
+                        axpy(grads.head_a.w.as_mut_slice(), f, gsum);
+                        axpy(gfeat.row_mut(s), value.w.as_slice(), gsum);
+                    }
+                }
+                head_backward_t(advantage, feat, gadv, &cache.wt_head, dwt, gb, gfeat);
+            }
+        }
+        // Trunk backward through ReLU masks, ping-ponging scratch matrices.
+        let mut cur: &mut Mat = gfeat;
+        let mut spare: &mut Mat = gnext;
+        for li in (0..self.trunk.len()).rev() {
+            for (g, &a) in cur.as_mut_slice().iter_mut().zip(cache.acts[li].as_slice()) {
+                if a <= 0.0 {
+                    *g = 0.0;
+                }
+            }
+            if li == 0 {
+                self.trunk[0].backward_batch(input, cur, &mut grads.trunk[0], None);
+            } else {
+                spare.resize_zeroed(batch, self.trunk[li].fan_in());
+                self.trunk[li].backward_batch(
+                    BatchInput::Dense(&cache.acts[li - 1]),
+                    cur,
+                    &mut grads.trunk[li],
+                    Some(spare),
+                );
+                std::mem::swap(&mut cur, &mut spare);
             }
         }
     }
@@ -350,6 +599,68 @@ impl QNet {
     }
 }
 
+/// Batched forward of a small-fan-out head layer through an output-major
+/// weight transpose: `out[s][o] = b[o] + dot(wt[o], feat[s])`, with both
+/// operands contiguous and full-width. The straightforward input-major
+/// kernel would stream `fan_out`-wide (e.g. 31-float) rows, which
+/// vectorizes poorly. The reassociated dot reduction means head outputs
+/// agree with the scalar path to float rounding, not bitwise.
+fn head_forward_t(l: &Dense, feat: &Mat, wt: &mut Mat, out: &mut Mat) {
+    let (fan_in, fan_out) = (l.fan_in(), l.fan_out());
+    wt.resize_zeroed(fan_out, fan_in);
+    for i in 0..fan_in {
+        for (o, &v) in l.w.row(i).iter().enumerate() {
+            *wt.get_mut(o, i) = v;
+        }
+    }
+    let batch = feat.rows();
+    out.resize_zeroed(batch, fan_out);
+    for s in 0..batch {
+        let f = feat.row(s);
+        for (o, ov) in out.row_mut(s).iter_mut().enumerate() {
+            *ov = l.b[o] + dot(wt.row(o), f);
+        }
+    }
+}
+
+/// Batched backward of a small-fan-out head layer. Weight gradients
+/// accumulate output-major in `dwt` (full-width axpys, skipping the zero
+/// entries of `grad_out` — TD gradients are one-hot per sample) and are
+/// folded into `grad.w` once at the end; the input gradient reuses the
+/// forward pass's `wt` transpose and is accumulated into `gfeat`.
+fn head_backward_t(
+    l: &Dense,
+    feat: &Mat,
+    grad_out: &Mat,
+    wt: &Mat,
+    dwt: &mut Mat,
+    grad: &mut DenseGrad,
+    gfeat: &mut Mat,
+) {
+    let (fan_in, fan_out) = (l.fan_in(), l.fan_out());
+    let batch = feat.rows();
+    debug_assert_eq!((wt.rows(), wt.cols()), (fan_out, fan_in));
+    dwt.resize_zeroed(fan_out, fan_in);
+    for s in 0..batch {
+        let go = grad_out.row(s);
+        let f = feat.row(s);
+        for (gb, g) in grad.b.iter_mut().zip(go) {
+            *gb += g;
+        }
+        for (o, &g) in go.iter().enumerate() {
+            if g != 0.0 {
+                axpy(dwt.row_mut(o), f, g);
+                axpy(gfeat.row_mut(s), wt.row(o), g);
+            }
+        }
+    }
+    for i in 0..fan_in {
+        for (o, gv) in grad.w.row_mut(i).iter_mut().enumerate() {
+            *gv += dwt.get(o, i);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,7 +668,12 @@ mod tests {
 
     fn small(dueling: bool) -> QNet {
         QNet::new(
-            QNetConfig { input_dim: 12, hidden: vec![8], actions: 5, dueling },
+            QNetConfig {
+                input_dim: 12,
+                hidden: vec![8],
+                actions: 5,
+                dueling,
+            },
             42,
         )
     }
@@ -438,9 +754,13 @@ mod tests {
             let mut gq = vec![0.0f32; 5];
             gq[action] = cache.q[action] - target;
             let mut grads = net.zero_grads();
-            net.backward(Input::Sparse(&sparse), &cache, &gq, &mut grads);
-            let flat_grads: Vec<f32> =
-                grads.tensors().iter().flat_map(|t| t.iter().copied()).collect();
+            let mut bwd = BwdCache::default();
+            net.backward(Input::Sparse(&sparse), &cache, &gq, &mut grads, &mut bwd);
+            let flat_grads: Vec<f32> = grads
+                .tensors()
+                .iter()
+                .flat_map(|t| t.iter().copied())
+                .collect();
 
             // numeric check on a sample of parameters
             let eps = 1e-3f32;
@@ -476,7 +796,10 @@ mod tests {
                 }
                 idx_global += len;
             }
-            assert!(checked > 20, "gradient check sampled too few parameters ({checked})");
+            assert!(
+                checked > 20,
+                "gradient check sampled too few parameters ({checked})"
+            );
         }
     }
 
@@ -494,7 +817,8 @@ mod tests {
             let mut gq = vec![0.0f32; 5];
             gq[action] = cache.q[action] - target;
             let mut grads = net.zero_grads();
-            net.backward(Input::Sparse(&sparse), &cache, &gq, &mut grads);
+            let mut bwd = BwdCache::default();
+            net.backward(Input::Sparse(&sparse), &cache, &gq, &mut grads, &mut bwd);
             let g = grads.tensors();
             let mut p = net.tensors_mut();
             opt.step(&mut p, &g);

@@ -1,0 +1,156 @@
+//! Property tests for the batched kernels: `forward_batch` /
+//! `backward_batch` must agree with the scalar path on dense and sparse
+//! inputs, for linear and dueling heads.
+
+use ams_nn::{
+    BatchBwdCache, BatchFwdCache, BatchInput, BwdCache, FwdCache, Input, Mat, QNet, QNetConfig,
+};
+use proptest::prelude::*;
+
+const DIM: usize = 48;
+const ACTIONS: usize = 7;
+
+fn net(dueling: bool, seed: u64) -> QNet {
+    QNet::new(
+        QNetConfig {
+            input_dim: DIM,
+            hidden: vec![16],
+            actions: ACTIONS,
+            dueling,
+        },
+        seed,
+    )
+}
+
+/// Sparse row views over a batch of index vectors.
+fn rows(batch: &[Vec<u32>]) -> Vec<&[u32]> {
+    batch.iter().map(|r| r.as_slice()).collect()
+}
+
+/// Densify sparse rows into a `batch x DIM` matrix.
+fn densify(batch: &[Vec<u32>]) -> Mat {
+    let mut m = Mat::zeros(batch.len(), DIM);
+    for (s, idx) in batch.iter().enumerate() {
+        for &i in idx {
+            *m.get_mut(s, i as usize) = 1.0;
+        }
+    }
+    m
+}
+
+fn sparse_batch_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0u32..DIM as u32, 0..DIM).prop_map(|s| s.into_iter().collect()),
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batched forward equals per-sample scalar forward (sparse inputs).
+    #[test]
+    fn forward_batch_sparse_matches_scalar(batch in sparse_batch_strategy(),
+                                           dueling in any::<bool>(),
+                                           seed in any::<u64>()) {
+        let net = net(dueling, seed);
+        let views = rows(&batch);
+        let mut bcache = BatchFwdCache::default();
+        let q = net.forward_batch(BatchInput::Sparse(&views), &mut bcache);
+        prop_assert_eq!(q.rows(), batch.len());
+        prop_assert_eq!(q.cols(), ACTIONS);
+        let mut cache = FwdCache::default();
+        for (s, idx) in batch.iter().enumerate() {
+            let qs = net.forward(Input::Sparse(idx), &mut cache);
+            for (a, (&b, &c)) in q.row(s).iter().zip(qs).enumerate() {
+                prop_assert!((b - c).abs() < 1e-5, "sample {} action {}: {} vs {}", s, a, b, c);
+            }
+        }
+    }
+
+    /// Batched forward equals per-sample scalar forward (dense inputs).
+    #[test]
+    fn forward_batch_dense_matches_scalar(batch in sparse_batch_strategy(),
+                                          dueling in any::<bool>(),
+                                          seed in any::<u64>()) {
+        let net = net(dueling, seed);
+        let dense = densify(&batch);
+        let mut bcache = BatchFwdCache::default();
+        let q = net.forward_batch(BatchInput::Dense(&dense), &mut bcache);
+        let mut cache = FwdCache::default();
+        for s in 0..batch.len() {
+            let qs = net.forward(Input::Dense(dense.row(s)), &mut cache);
+            for (&b, &c) in q.row(s).iter().zip(qs) {
+                prop_assert!((b - c).abs() < 1e-5, "{} vs {}", b, c);
+            }
+        }
+    }
+
+    /// Batched backward accumulates the same gradients as summing scalar
+    /// backward passes over the batch (sparse and dense inputs).
+    #[test]
+    fn backward_batch_matches_scalar_sum(batch in sparse_batch_strategy(),
+                                         dueling in any::<bool>(),
+                                         seed in any::<u64>(),
+                                         use_dense in any::<bool>()) {
+        let net = net(dueling, seed);
+        let views = rows(&batch);
+        let dense = densify(&batch);
+
+        // Output gradients: deterministic per (sample, action) values.
+        let mut gq = Mat::zeros(batch.len(), ACTIONS);
+        for s in 0..batch.len() {
+            for a in 0..ACTIONS {
+                *gq.get_mut(s, a) = ((s * 31 + a * 7) as f32 * 0.37).sin();
+            }
+        }
+
+        // Batched pass.
+        let mut bcache = BatchFwdCache::default();
+        let mut bbwd = BatchBwdCache::default();
+        let mut bgrads = net.zero_grads();
+        let input = if use_dense {
+            BatchInput::Dense(&dense)
+        } else {
+            BatchInput::Sparse(&views)
+        };
+        net.forward_batch(input, &mut bcache);
+        net.backward_batch(input, &bcache, &gq, &mut bgrads, &mut bbwd);
+
+        // Scalar reference: accumulate per-sample gradients.
+        let mut cache = FwdCache::default();
+        let mut bwd = BwdCache::default();
+        let mut sgrads = net.zero_grads();
+        for (s, idx) in batch.iter().enumerate() {
+            let input = if use_dense {
+                Input::Dense(dense.row(s))
+            } else {
+                Input::Sparse(idx)
+            };
+            net.forward(input, &mut cache);
+            net.backward(input, &cache, gq.row(s), &mut sgrads, &mut bwd);
+        }
+
+        for (tb, ts) in bgrads.tensors().iter().zip(sgrads.tensors()) {
+            prop_assert_eq!(tb.len(), ts.len());
+            for (&b, &s) in tb.iter().zip(ts) {
+                prop_assert!((b - s).abs() < 1e-5, "{} vs {}", b, s);
+            }
+        }
+    }
+
+    /// Cache reuse across batches of different sizes never leaks state.
+    #[test]
+    fn batch_cache_reuse_is_clean(a in sparse_batch_strategy(), b in sparse_batch_strategy()) {
+        let net = net(true, 11);
+        let (va, vb) = (rows(&a), rows(&b));
+        let mut shared = BatchFwdCache::default();
+        let qa1 = net.forward_batch(BatchInput::Sparse(&va), &mut shared).clone();
+        let _qb = net.forward_batch(BatchInput::Sparse(&vb), &mut shared);
+        let qa2 = net.forward_batch(BatchInput::Sparse(&va), &mut shared).clone();
+        prop_assert_eq!(qa1.rows(), qa2.rows());
+        for (x, y) in qa1.as_slice().iter().zip(qa2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

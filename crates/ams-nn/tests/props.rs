@@ -4,7 +4,15 @@ use ams_nn::{FwdCache, Input, Optimizer, QNet, QNetConfig, Sgd};
 use proptest::prelude::*;
 
 fn net(dueling: bool, seed: u64) -> QNet {
-    QNet::new(QNetConfig { input_dim: 64, hidden: vec![16], actions: 7, dueling }, seed)
+    QNet::new(
+        QNetConfig {
+            input_dim: 64,
+            hidden: vec![16],
+            actions: 7,
+            dueling,
+        },
+        seed,
+    )
 }
 
 proptest! {
@@ -85,7 +93,8 @@ proptest! {
             let mut gq = vec![0.0f32; 7];
             gq[action] = cache.q[action] - target;
             let mut grads = net.zero_grads();
-            net.backward(Input::Sparse(&sparse), &cache, &gq, &mut grads);
+            let mut bwd = ams_nn::BwdCache::default();
+            net.backward(Input::Sparse(&sparse), &cache, &gq, &mut grads, &mut bwd);
             let g = grads.tensors();
             let mut p = net.tensors_mut();
             opt.step(&mut p, &g);

@@ -19,7 +19,12 @@ pub enum Algo {
 
 impl Algo {
     /// All four schemas in the paper's presentation order.
-    pub const ALL: [Algo; 4] = [Algo::Dqn, Algo::DoubleDqn, Algo::DuelingDqn, Algo::DeepSarsa];
+    pub const ALL: [Algo; 4] = [
+        Algo::Dqn,
+        Algo::DoubleDqn,
+        Algo::DuelingDqn,
+        Algo::DeepSarsa,
+    ];
 
     /// Whether this schema uses the dueling network head.
     pub fn dueling_head(self) -> bool {

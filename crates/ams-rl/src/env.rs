@@ -95,7 +95,12 @@ pub struct LabelingEnv<'a> {
 
 impl<'a> LabelingEnv<'a> {
     /// Fresh episode on `item`.
-    pub fn new(item: &'a ItemTruth, cfg: &'a RewardConfig, num_models: usize, use_end_action: bool) -> Self {
+    pub fn new(
+        item: &'a ItemTruth,
+        cfg: &'a RewardConfig,
+        num_models: usize,
+        use_end_action: bool,
+    ) -> Self {
         assert!(num_models <= 63, "availability mask is u64");
         Self {
             item,
@@ -187,7 +192,10 @@ impl<'a> LabelingEnv<'a> {
         self.steps += 1;
         if self.use_end_action && action == self.end_action() {
             self.finished = true;
-            return StepResult { reward: self.cfg.end_reward, done: true };
+            return StepResult {
+                reward: self.cfg.end_reward,
+                done: true,
+            };
         }
 
         let m = ModelId(action as u8);
@@ -220,7 +228,10 @@ impl<'a> LabelingEnv<'a> {
         if all_done {
             self.finished = true;
         }
-        StepResult { reward, done: self.finished }
+        StepResult {
+            reward,
+            done: self.finished,
+        }
     }
 }
 
@@ -253,7 +264,13 @@ mod tests {
         let cfg = RewardConfig::default();
         let mut env = LabelingEnv::new(t.item(0), &cfg, 30, true);
         let r = env.step(30);
-        assert_eq!(r, StepResult { reward: 0.0, done: true });
+        assert_eq!(
+            r,
+            StepResult {
+                reward: 0.0,
+                done: true
+            }
+        );
         assert_eq!(env.available_mask(), 0);
     }
 
@@ -318,7 +335,10 @@ mod tests {
                 punished += 1;
             }
         }
-        assert!(punished * 2 > n, "redundant model should usually be punished ({punished}/{n})");
+        assert!(
+            punished * 2 > n,
+            "redundant model should usually be punished ({punished}/{n})"
+        );
     }
 
     #[test]
@@ -351,7 +371,10 @@ mod tests {
             for a in 0..30usize {
                 let out = item.output(ModelId(a as u8));
                 if out.valuable(0.5).count() >= 3 {
-                    let mk = |s: Smoothing| RewardConfig { smoothing: s, ..Default::default() };
+                    let mk = |s: Smoothing| RewardConfig {
+                        smoothing: s,
+                        ..Default::default()
+                    };
                     let cfgs = (mk(Smoothing::Sum), mk(Smoothing::Log), mk(Smoothing::Mean));
                     let mut e_sum = LabelingEnv::new(item, &cfgs.0, 30, true);
                     let mut e_log = LabelingEnv::new(item, &cfgs.1, 30, true);

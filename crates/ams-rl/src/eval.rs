@@ -38,6 +38,8 @@ pub fn q_greedy_rollout(
     let mut time_ms = 0u64;
     let mut recalled = 0.0f64;
     let total = item.total_value;
+    let mut sparse: Vec<u32> = Vec::new();
+    let mut cache = ams_nn::FwdCache::default();
 
     while executed.len() < num_models {
         if total > 0.0 && recalled / total >= recall_target - 1e-12 {
@@ -46,12 +48,12 @@ pub fn q_greedy_rollout(
         if total <= 0.0 {
             break; // nothing valuable on this item
         }
-        let sparse = state.to_sparse();
-        let q = agent.model_q_values(&sparse);
-        // argmax over unexecuted models
+        state.write_sparse(&mut sparse);
+        let q = agent.q_values_cached(&sparse, &mut cache);
+        // argmax over unexecuted models (END, when present, sits past them)
         let mut best = usize::MAX;
         let mut best_q = f32::NEG_INFINITY;
-        for (a, &v) in q.iter().enumerate() {
+        for (a, &v) in q[..num_models].iter().enumerate() {
             if executed_mask >> a & 1 == 0 && v > best_q {
                 best_q = v;
                 best = a;
@@ -65,7 +67,11 @@ pub fn q_greedy_rollout(
     }
 
     let recall = if total > 0.0 { recalled / total } else { 1.0 };
-    Rollout { executed, time_ms, recall }
+    Rollout {
+        executed,
+        time_ms,
+        recall,
+    }
 }
 
 /// Aggregate §VI-B metrics across a test set.
@@ -91,13 +97,16 @@ pub fn evaluate_q_greedy(
     if items.is_empty() {
         return EvalSummary::default();
     }
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     let chunk = items.len().div_ceil(threads);
-    let partials: Vec<(f64, f64, f64)> = crossbeam::thread::scope(|s| {
+    let partials: Vec<(f64, f64, f64)> = std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .map(|part| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut models = 0.0;
                     let mut time = 0.0;
                     let mut recall = 0.0;
@@ -111,15 +120,21 @@ pub fn evaluate_q_greedy(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("eval worker")).collect()
-    })
-    .expect("eval scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker"))
+            .collect()
+    });
 
     let n = items.len() as f64;
-    let (m, t, r) = partials
-        .into_iter()
-        .fold((0.0, 0.0, 0.0), |acc, p| (acc.0 + p.0, acc.1 + p.1, acc.2 + p.2));
-    EvalSummary { avg_models: m / n, avg_time_s: t / n, avg_recall: r / n }
+    let (m, t, r) = partials.into_iter().fold((0.0, 0.0, 0.0), |acc, p| {
+        (acc.0 + p.0, acc.1 + p.1, acc.2 + p.2)
+    });
+    EvalSummary {
+        avg_models: m / n,
+        avg_time_s: t / n,
+        avg_recall: r / n,
+    }
 }
 
 /// Position (1-based) of `model` in the Q-greedy execution sequence run to
@@ -151,7 +166,10 @@ mod tests {
         let zoo = ModelZoo::standard();
         let ds = Dataset::generate(DatasetProfile::Coco2017, 24, 33);
         let table = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
-        let cfg = TrainConfig { episodes: 30, ..TrainConfig::fast_test(Algo::Dqn) };
+        let cfg = TrainConfig {
+            episodes: 30,
+            ..TrainConfig::fast_test(Algo::Dqn)
+        };
         let (agent, _) = train(table.items(), 30, &cfg);
         (zoo, table, agent)
     }
@@ -161,14 +179,22 @@ mod tests {
         let (zoo, table, agent) = fixture();
         for item in table.items().iter().take(8) {
             let r = q_greedy_rollout(&agent, &zoo, item, 0.8, 0.5);
-            assert!(r.recall >= 0.8 || r.executed.len() == 30, "recall {}", r.recall);
+            assert!(
+                r.recall >= 0.8 || r.executed.len() == 30,
+                "recall {}",
+                r.recall
+            );
             // no duplicates
             let mut seen = std::collections::HashSet::new();
             for m in &r.executed {
                 assert!(seen.insert(*m), "duplicate model {m}");
             }
             // time is the sum of spec times
-            let t: u64 = r.executed.iter().map(|&m| u64::from(zoo.spec(m).time_ms)).sum();
+            let t: u64 = r
+                .executed
+                .iter()
+                .map(|&m| u64::from(zoo.spec(m).time_ms))
+                .sum();
             assert_eq!(t, r.time_ms);
         }
     }
@@ -189,7 +215,10 @@ mod tests {
         let s = evaluate_q_greedy(&agent, &zoo, table.items(), 1.0, 0.5);
         assert!(s.avg_models > 0.0 && s.avg_models <= 30.0);
         assert!(s.avg_time_s > 0.0 && s.avg_time_s <= 5.5);
-        assert!(s.avg_recall > 0.99, "full-recall eval must recall everything");
+        assert!(
+            s.avg_recall > 0.99,
+            "full-recall eval must recall everything"
+        );
     }
 
     #[test]

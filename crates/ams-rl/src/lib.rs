@@ -31,4 +31,7 @@ pub use env::{LabelingEnv, RewardConfig, Smoothing, StepResult};
 pub use eval::{evaluate_q_greedy, q_greedy_rollout, EvalSummary, Rollout};
 pub use policy::{epsilon_greedy, masked_argmax, EpsilonSchedule};
 pub use replay::{ReplayBuffer, Transition};
-pub use trainer::{train, TrainConfig, TrainStats, TrainedAgent};
+pub use trainer::{
+    learn_step_batched, learn_step_scalar, train, BatchScratch, ScalarScratch, TrainConfig,
+    TrainStats, TrainedAgent,
+};

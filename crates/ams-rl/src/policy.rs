@@ -110,7 +110,11 @@ mod tests {
 
     #[test]
     fn epsilon_schedule_decays_linearly() {
-        let s = EpsilonSchedule { start: 1.0, end: 0.1, decay_episodes: 100 };
+        let s = EpsilonSchedule {
+            start: 1.0,
+            end: 0.1,
+            decay_episodes: 100,
+        };
         assert_eq!(s.at(0), 1.0);
         assert!((s.at(50) - 0.55).abs() < 1e-6);
         assert_eq!(s.at(100), 0.1);
@@ -119,7 +123,11 @@ mod tests {
 
     #[test]
     fn zero_decay_schedule_is_constant_end() {
-        let s = EpsilonSchedule { start: 1.0, end: 0.05, decay_episodes: 0 };
+        let s = EpsilonSchedule {
+            start: 1.0,
+            end: 0.05,
+            decay_episodes: 0,
+        };
         assert_eq!(s.at(0), 0.05);
     }
 }

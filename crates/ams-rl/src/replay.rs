@@ -2,23 +2,26 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 /// One stored transition `(s, a, r, s', …)`.
 ///
 /// States are stored sparsely (active label indices); `next_avail` records
 /// which actions were available at `s'` so the TD target can mask executed
 /// models; `next_action` records the action actually taken at `s'` (used by
-/// the on-policy DeepSARSA target).
+/// the on-policy DeepSARSA target). States are shared `Arc` slices: one
+/// step's `next_state` *is* the following step's `state`, so sharing the
+/// buffer halves the per-step copies the trainer makes.
 #[derive(Debug, Clone)]
 pub struct Transition {
     /// Sparse active-label indices of the state.
-    pub state: Box<[u32]>,
+    pub state: Arc<[u32]>,
     /// Action taken.
     pub action: u8,
     /// Reward received.
     pub reward: f32,
     /// Sparse active-label indices of the next state.
-    pub next_state: Box<[u32]>,
+    pub next_state: Arc<[u32]>,
     /// Availability mask at the next state.
     pub next_avail: u64,
     /// Action taken at the next state (meaningless when `done`).
@@ -43,7 +46,12 @@ impl ReplayBuffer {
     /// Panics when `cap == 0`.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "replay capacity must be positive");
-        Self { buf: Vec::with_capacity(cap.min(4096)), cap, pos: 0, pushed: 0 }
+        Self {
+            buf: Vec::with_capacity(cap.min(4096)),
+            cap,
+            pos: 0,
+            pushed: 0,
+        }
     }
 
     /// Insert a transition, evicting the oldest when full.
@@ -80,7 +88,9 @@ impl ReplayBuffer {
     /// Uniformly sample `batch` indices (with replacement).
     pub fn sample_indices(&self, batch: usize, rng: &mut StdRng) -> Vec<usize> {
         assert!(!self.buf.is_empty(), "cannot sample an empty buffer");
-        (0..batch).map(|_| rng.gen_range(0..self.buf.len())).collect()
+        (0..batch)
+            .map(|_| rng.gen_range(0..self.buf.len()))
+            .collect()
     }
 }
 
@@ -91,10 +101,10 @@ mod tests {
 
     fn t(a: u8) -> Transition {
         Transition {
-            state: Box::new([1, 2]),
+            state: Arc::new([1, 2]),
             action: a,
             reward: 0.5,
-            next_state: Box::new([1, 2, 3]),
+            next_state: Arc::new([1, 2, 3]),
             next_avail: 0b111,
             next_action: 0,
             done: false,

@@ -6,10 +6,14 @@ use crate::env::{LabelingEnv, RewardConfig};
 use crate::policy::{epsilon_greedy, masked_argmax, EpsilonSchedule};
 use crate::replay::{ReplayBuffer, Transition};
 use ams_data::ItemTruth;
-use ams_nn::{Adam, FwdCache, Huber, Input, Optimizer, QNet, QNetConfig};
+use ams_nn::{
+    Adam, BatchBwdCache, BatchFwdCache, BatchInput, BwdCache, FwdCache, Huber, Input, Mat,
+    Optimizer, QNet, QNetConfig, QNetGrads,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Training configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -68,7 +72,11 @@ impl TrainConfig {
             warmup: 200,
             target_sync: 250,
             learn_every: 2,
-            epsilon: EpsilonSchedule { start: 1.0, end: 0.05, decay_episodes: 800 },
+            epsilon: EpsilonSchedule {
+                start: 1.0,
+                end: 0.05,
+                decay_episodes: 800,
+            },
             hidden: vec![256],
             input_dim: 1104,
             seed: 0,
@@ -84,7 +92,11 @@ impl TrainConfig {
             warmup: 32,
             target_sync: 50,
             hidden: vec![32],
-            epsilon: EpsilonSchedule { start: 1.0, end: 0.1, decay_episodes: 40 },
+            epsilon: EpsilonSchedule {
+                start: 1.0,
+                end: 0.1,
+                decay_episodes: 40,
+            },
             ..Self::new(algo)
         }
     }
@@ -161,6 +173,13 @@ impl TrainedAgent {
         self.net.q_values(Input::Sparse(state_sparse))
     }
 
+    /// Q values through a caller-provided forward cache — the
+    /// allocation-free variant of [`TrainedAgent::q_values`] for rollout
+    /// and scheduling hot loops.
+    pub fn q_values_cached<'c>(&self, state_sparse: &[u32], cache: &'c mut FwdCache) -> &'c [f32] {
+        self.net.forward(Input::Sparse(state_sparse), cache)
+    }
+
     /// Q values over *models only* (END dropped), for schedulers.
     pub fn model_q_values(&self, state_sparse: &[u32]) -> Vec<f32> {
         let mut q = self.q_values(state_sparse);
@@ -170,7 +189,11 @@ impl TrainedAgent {
 }
 
 /// Train an agent on a slice of ground-truth items (the train split).
-pub fn train(items: &[ItemTruth], num_models: usize, cfg: &TrainConfig) -> (TrainedAgent, TrainStats) {
+pub fn train(
+    items: &[ItemTruth],
+    num_models: usize,
+    cfg: &TrainConfig,
+) -> (TrainedAgent, TrainStats) {
     assert!(!items.is_empty(), "empty training set");
     let actions = num_models + usize::from(cfg.use_end_action);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -188,17 +211,19 @@ pub fn train(items: &[ItemTruth], num_models: usize, cfg: &TrainConfig) -> (Trai
     let mut replay = ReplayBuffer::new(cfg.replay_cap);
     let huber = Huber::default();
     let mut stats = TrainStats::default();
-    let mut grads = net.zero_grads();
-    let mut cache = FwdCache::default();
+    let mut scratch = BatchScratch::new(&net);
     let mut act_cache = FwdCache::default();
-    let mut tgt_cache = FwdCache::default();
+    let mut sparse_scratch: Vec<u32> = Vec::new();
 
     for ep in 0..cfg.episodes {
         let eps = cfg.epsilon.at(ep);
         let item = &items[rng.gen_range(0..items.len())];
         let mut env = LabelingEnv::new(item, &cfg.reward, num_models, cfg.use_end_action);
 
-        let mut state = env.state_sparse();
+        let mut state: Arc<[u32]> = {
+            env.state().write_sparse(&mut sparse_scratch);
+            Arc::from(&sparse_scratch[..])
+        };
         let mut avail = env.available_mask();
         let q = net.forward(Input::Sparse(&state), &mut act_cache);
         let mut action = epsilon_greedy(q, avail, eps, &mut rng);
@@ -214,7 +239,10 @@ pub fn train(items: &[ItemTruth], num_models: usize, cfg: &TrainConfig) -> (Trai
             ep_len += 1;
             stats.steps += 1;
 
-            let next_state = env.state_sparse();
+            let next_state: Arc<[u32]> = {
+                env.state().write_sparse(&mut sparse_scratch);
+                Arc::from(&sparse_scratch[..])
+            };
             let next_avail = env.available_mask();
             let next_action = if step.done {
                 0
@@ -224,10 +252,10 @@ pub fn train(items: &[ItemTruth], num_models: usize, cfg: &TrainConfig) -> (Trai
             };
 
             replay.push(Transition {
-                state: state.into_boxed_slice(),
+                state,
                 action: action as u8,
                 reward: step.reward,
-                next_state: next_state.clone().into_boxed_slice(),
+                next_state: Arc::clone(&next_state),
                 next_avail,
                 next_action: next_action as u8,
                 done: step.done,
@@ -236,7 +264,7 @@ pub fn train(items: &[ItemTruth], num_models: usize, cfg: &TrainConfig) -> (Trai
             if replay.len() >= cfg.warmup.max(cfg.batch)
                 && stats.steps.is_multiple_of(cfg.learn_every.max(1))
             {
-                let loss = learn_step(
+                let loss = learn_step_batched(
                     &mut net,
                     &target,
                     &mut opt,
@@ -244,10 +272,7 @@ pub fn train(items: &[ItemTruth], num_models: usize, cfg: &TrainConfig) -> (Trai
                     cfg,
                     &huber,
                     &mut rng,
-                    &mut grads,
-                    &mut cache,
-                    &mut act_cache,
-                    &mut tgt_cache,
+                    &mut scratch,
                 );
                 ep_loss += loss;
                 ep_loss_n += 1;
@@ -268,18 +293,59 @@ pub fn train(items: &[ItemTruth], num_models: usize, cfg: &TrainConfig) -> (Trai
 
         stats.episode_rewards.push(ep_reward);
         stats.episode_lengths.push(ep_len);
-        stats.episode_losses.push(if ep_loss_n > 0 { ep_loss / ep_loss_n as f32 } else { 0.0 });
+        stats.episode_losses.push(if ep_loss_n > 0 {
+            ep_loss / ep_loss_n as f32
+        } else {
+            0.0
+        });
     }
 
     (
-        TrainedAgent { net, algo: cfg.algo, num_models, reward: cfg.reward.clone() },
+        TrainedAgent {
+            net,
+            algo: cfg.algo,
+            num_models,
+            reward: cfg.reward.clone(),
+        },
         stats,
     )
 }
 
-/// One minibatch gradient step; returns the mean Huber loss.
-#[allow(clippy::too_many_arguments)]
-fn learn_step(
+/// Reusable buffers for [`learn_step_scalar`]: gradient accumulators and
+/// forward/backward caches, so a gradient step performs no heap allocation
+/// beyond the sampled index vector.
+pub struct ScalarScratch {
+    grads: QNetGrads,
+    cache: FwdCache,
+    act_cache: FwdCache,
+    tgt_cache: FwdCache,
+    bwd: BwdCache,
+    gq: Vec<f32>,
+}
+
+impl ScalarScratch {
+    /// Scratch shaped for `net`.
+    pub fn new(net: &QNet) -> Self {
+        Self {
+            grads: net.zero_grads(),
+            cache: FwdCache::default(),
+            act_cache: FwdCache::default(),
+            tgt_cache: FwdCache::default(),
+            bwd: BwdCache::default(),
+            gq: vec![0.0; net.actions()],
+        }
+    }
+}
+
+/// One minibatch gradient step via per-sample scalar passes; returns the
+/// mean Huber loss.
+///
+/// This is the pre-batching reference implementation: ~`2 x batch` scalar
+/// network passes per step. [`learn_step_batched`] computes the same update
+/// with one batched pass per network; this version is kept as the baseline
+/// the `ams-bench` hot-path benchmark compares against.
+#[allow(clippy::too_many_arguments)] // mirrors learn_step_batched's signature
+pub fn learn_step_scalar(
     net: &mut QNet,
     target: &QNet,
     opt: &mut Adam,
@@ -287,16 +353,14 @@ fn learn_step(
     cfg: &TrainConfig,
     huber: &Huber,
     rng: &mut StdRng,
-    grads: &mut ams_nn::QNetGrads,
-    cache: &mut FwdCache,
-    act_cache: &mut FwdCache,
-    tgt_cache: &mut FwdCache,
+    scratch: &mut ScalarScratch,
 ) -> f32 {
     let idx = replay.sample_indices(cfg.batch, rng);
+    let grads = &mut scratch.grads;
     grads.zero();
     let mut total_loss = 0.0f32;
-    let actions = net.actions();
-    let mut gq = vec![0.0f32; actions];
+    let gq = &mut scratch.gq;
+    debug_assert_eq!(gq.len(), net.actions());
 
     for &i in &idx {
         let tr = replay.get(i);
@@ -306,33 +370,164 @@ fn learn_step(
         } else {
             let bootstrap = match cfg.algo {
                 Algo::Dqn | Algo::DuelingDqn => {
-                    let qt = target.forward(Input::Sparse(&tr.next_state), tgt_cache);
+                    let qt = target.forward(Input::Sparse(&tr.next_state), &mut scratch.tgt_cache);
                     qt[masked_argmax(qt, tr.next_avail)]
                 }
                 Algo::DoubleDqn => {
-                    let qo = net.forward(Input::Sparse(&tr.next_state), act_cache);
+                    let qo = net.forward(Input::Sparse(&tr.next_state), &mut scratch.act_cache);
                     let a_star = masked_argmax(qo, tr.next_avail);
-                    let qt = target.forward(Input::Sparse(&tr.next_state), tgt_cache);
+                    let qt = target.forward(Input::Sparse(&tr.next_state), &mut scratch.tgt_cache);
                     qt[a_star]
                 }
                 Algo::DeepSarsa => {
-                    let qt = target.forward(Input::Sparse(&tr.next_state), tgt_cache);
+                    let qt = target.forward(Input::Sparse(&tr.next_state), &mut scratch.tgt_cache);
                     qt[tr.next_action as usize]
                 }
             };
             tr.reward + cfg.gamma * bootstrap
         };
 
-        let qs = net.forward(Input::Sparse(&tr.state), cache);
+        let qs = net.forward(Input::Sparse(&tr.state), &mut scratch.cache);
         let residual = qs[tr.action as usize] - y;
         total_loss += huber.loss(residual);
-        gq.fill(0.0);
-        gq[tr.action as usize] = huber.dloss(residual);
-        net.backward(Input::Sparse(&tr.state), cache, &gq, grads);
+        // gq is one-hot: write the single live entry, clear it after the
+        // backward pass instead of re-zeroing the whole vector per sample.
+        let a = tr.action as usize;
+        gq[a] = huber.dloss(residual);
+        net.backward(
+            Input::Sparse(&tr.state),
+            &scratch.cache,
+            gq,
+            grads,
+            &mut scratch.bwd,
+        );
+        gq[a] = 0.0;
     }
 
     grads.scale(1.0 / cfg.batch as f32);
     let g = grads.tensors();
+    let mut p = net.tensors_mut();
+    opt.step(&mut p, &g);
+    total_loss / cfg.batch as f32
+}
+
+/// Reusable buffers for [`learn_step_batched`].
+pub struct BatchScratch {
+    grads: QNetGrads,
+    q_cache: BatchFwdCache,
+    next_act_cache: BatchFwdCache,
+    tgt_cache: BatchFwdCache,
+    bwd: BatchBwdCache,
+    gq: Mat,
+    y: Vec<f32>,
+    a_star: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// Scratch shaped for `net`.
+    pub fn new(net: &QNet) -> Self {
+        Self {
+            grads: net.zero_grads(),
+            q_cache: BatchFwdCache::default(),
+            next_act_cache: BatchFwdCache::default(),
+            tgt_cache: BatchFwdCache::default(),
+            bwd: BatchBwdCache::default(),
+            gq: Mat::zeros(0, 0),
+            y: Vec::new(),
+            a_star: Vec::new(),
+        }
+    }
+}
+
+/// One minibatch gradient step via batched passes; returns the mean Huber
+/// loss.
+///
+/// The sampled transitions are gathered into batch matrices and each
+/// network runs exactly once per role — one batched forward of the target
+/// net (plus one of the online net for DoubleDQN's argmax), one batched
+/// forward of the online net on the current states, and one batched
+/// backward — instead of the ~`2 x batch` scalar passes of
+/// [`learn_step_scalar`]. Sampling consumes the same RNG stream and the
+/// batched kernels agree with the scalar ones to float rounding (the head
+/// kernels reassociate their reductions, and `1/batch` is folded into the
+/// output gradient instead of a post-hoc rescale), so training
+/// trajectories match the scalar implementation up to last-ULP noise —
+/// asserted by the equivalence test over identical RNG streams.
+#[allow(clippy::too_many_arguments)] // net/target/opt/replay are distinct roles
+pub fn learn_step_batched(
+    net: &mut QNet,
+    target: &QNet,
+    opt: &mut Adam,
+    replay: &ReplayBuffer,
+    cfg: &TrainConfig,
+    huber: &Huber,
+    rng: &mut StdRng,
+    scratch: &mut BatchScratch,
+) -> f32 {
+    let idx = replay.sample_indices(cfg.batch, rng);
+    let batch = idx.len();
+    let actions = net.actions();
+
+    // Gather the minibatch as per-sample sparse rows (no copies).
+    let states: Vec<&[u32]> = idx.iter().map(|&i| &*replay.get(i).state).collect();
+    let next_states: Vec<&[u32]> = idx.iter().map(|&i| &*replay.get(i).next_state).collect();
+
+    // TD targets from one batched pass over the next states.
+    scratch.y.resize(batch, 0.0);
+    if cfg.algo == Algo::DoubleDqn {
+        scratch.a_star.resize(batch, 0);
+        let qo = net.forward_batch(
+            BatchInput::Sparse(&next_states),
+            &mut scratch.next_act_cache,
+        );
+        for (s, &i) in idx.iter().enumerate() {
+            let tr = replay.get(i);
+            if !tr.done {
+                scratch.a_star[s] = masked_argmax(qo.row(s), tr.next_avail);
+            }
+        }
+    }
+    let qt = target.forward_batch(BatchInput::Sparse(&next_states), &mut scratch.tgt_cache);
+    for (s, &i) in idx.iter().enumerate() {
+        let tr = replay.get(i);
+        scratch.y[s] = if tr.done {
+            tr.reward
+        } else {
+            let row = qt.row(s);
+            let bootstrap = match cfg.algo {
+                Algo::Dqn | Algo::DuelingDqn => row[masked_argmax(row, tr.next_avail)],
+                Algo::DoubleDqn => row[scratch.a_star[s]],
+                Algo::DeepSarsa => row[tr.next_action as usize],
+            };
+            tr.reward + cfg.gamma * bootstrap
+        };
+    }
+
+    // One batched forward over the current states, then the loss gradient.
+    let q = net.forward_batch(BatchInput::Sparse(&states), &mut scratch.q_cache);
+    let mut total_loss = 0.0f32;
+    let inv_batch = 1.0 / cfg.batch as f32;
+    scratch.gq.resize_zeroed(batch, actions);
+    for (s, &i) in idx.iter().enumerate() {
+        let tr = replay.get(i);
+        let a = tr.action as usize;
+        let residual = q.get(s, a) - scratch.y[s];
+        total_loss += huber.loss(residual);
+        // 1/batch is folded in here, replacing the full-gradient rescale
+        // sweep of the scalar path.
+        *scratch.gq.get_mut(s, a) = huber.dloss(residual) * inv_batch;
+    }
+
+    // One batched backward, then the optimizer step.
+    scratch.grads.zero();
+    net.backward_batch(
+        BatchInput::Sparse(&states),
+        &scratch.q_cache,
+        &scratch.gq,
+        &mut scratch.grads,
+        &mut scratch.bwd,
+    );
+    let g = scratch.grads.tensors();
     let mut p = net.tensors_mut();
     opt.step(&mut p, &g);
     total_loss / cfg.batch as f32
@@ -353,7 +548,10 @@ mod tests {
     #[test]
     fn training_runs_and_improves_reward() {
         let table = fixture();
-        let cfg = TrainConfig { episodes: 150, ..TrainConfig::fast_test(Algo::Dqn) };
+        let cfg = TrainConfig {
+            episodes: 150,
+            ..TrainConfig::fast_test(Algo::Dqn)
+        };
         let (agent, stats) = train(table.items(), 30, &cfg);
         assert_eq!(stats.episode_rewards.len(), 150);
         assert_eq!(agent.num_models, 30);
@@ -372,7 +570,10 @@ mod tests {
     fn all_four_algos_train() {
         let table = fixture();
         for algo in Algo::ALL {
-            let cfg = TrainConfig { episodes: 20, ..TrainConfig::fast_test(algo) };
+            let cfg = TrainConfig {
+                episodes: 20,
+                ..TrainConfig::fast_test(algo)
+            };
             let (agent, stats) = train(table.items(), 30, &cfg);
             assert_eq!(stats.episode_rewards.len(), 20);
             assert!(stats.learn_steps > 0, "{algo}: learning must start");
@@ -385,7 +586,10 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let table = fixture();
-        let cfg = TrainConfig { episodes: 15, ..TrainConfig::fast_test(Algo::DoubleDqn) };
+        let cfg = TrainConfig {
+            episodes: 15,
+            ..TrainConfig::fast_test(Algo::DoubleDqn)
+        };
         let (a1, s1) = train(table.items(), 30, &cfg);
         let (a2, s2) = train(table.items(), 30, &cfg);
         assert_eq!(s1.episode_rewards, s2.episode_rewards);
@@ -399,7 +603,10 @@ mod tests {
     #[test]
     fn model_q_values_drop_end() {
         let table = fixture();
-        let cfg = TrainConfig { episodes: 5, ..TrainConfig::fast_test(Algo::Dqn) };
+        let cfg = TrainConfig {
+            episodes: 5,
+            ..TrainConfig::fast_test(Algo::Dqn)
+        };
         let (agent, _) = train(table.items(), 30, &cfg);
         assert_eq!(agent.q_values(&[]).len(), 31);
         assert_eq!(agent.model_q_values(&[]).len(), 30);
@@ -419,10 +626,103 @@ mod tests {
         assert!(stats.episode_lengths.iter().all(|&l| l == 30));
     }
 
+    /// The batched learn step computes the same update as the scalar
+    /// reference: starting from identical nets, replays and RNG streams,
+    /// the learned Q values stay within float-rounding distance.
+    #[test]
+    fn batched_learn_step_matches_scalar() {
+        let table = fixture();
+        for algo in Algo::ALL {
+            let cfg = TrainConfig {
+                batch: 16,
+                ..TrainConfig::fast_test(algo)
+            };
+            let actions = 30 + usize::from(cfg.use_end_action);
+            let arch = QNetConfig {
+                input_dim: cfg.input_dim,
+                hidden: cfg.hidden.clone(),
+                actions,
+                dueling: algo.dueling_head(),
+            };
+            let mut net_s = QNet::new(arch.clone(), 99);
+            let mut net_b = net_s.clone();
+            let target = net_s.clone();
+            let huber = Huber::default();
+
+            // Shared replay filled from a few random episodes.
+            let mut replay = ReplayBuffer::new(1024);
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..4 {
+                let item = &table.items()[rng.gen_range(0..table.len())];
+                let mut env = LabelingEnv::new(item, &cfg.reward, 30, cfg.use_end_action);
+                let mut state: Arc<[u32]> = env.state_sparse().into();
+                let zeros = vec![0.0f32; actions];
+                loop {
+                    let avail = env.available_mask();
+                    let action = epsilon_greedy(&zeros, avail, 1.0, &mut rng);
+                    let step = env.step(action);
+                    let next_state: Arc<[u32]> = env.state_sparse().into();
+                    replay.push(Transition {
+                        state: Arc::clone(&state),
+                        action: action as u8,
+                        reward: step.reward,
+                        next_state: Arc::clone(&next_state),
+                        next_avail: env.available_mask(),
+                        next_action: 0,
+                        done: step.done,
+                    });
+                    if step.done {
+                        break;
+                    }
+                    state = next_state;
+                }
+            }
+
+            let mut opt_s = Adam::new(cfg.lr);
+            let mut opt_b = Adam::new(cfg.lr);
+            let mut rng_s = StdRng::seed_from_u64(17);
+            let mut rng_b = StdRng::seed_from_u64(17);
+            let mut scratch_s = ScalarScratch::new(&net_s);
+            let mut scratch_b = BatchScratch::new(&net_b);
+            for _ in 0..5 {
+                let ls = learn_step_scalar(
+                    &mut net_s,
+                    &target,
+                    &mut opt_s,
+                    &replay,
+                    &cfg,
+                    &huber,
+                    &mut rng_s,
+                    &mut scratch_s,
+                );
+                let lb = learn_step_batched(
+                    &mut net_b,
+                    &target,
+                    &mut opt_b,
+                    &replay,
+                    &cfg,
+                    &huber,
+                    &mut rng_b,
+                    &mut scratch_b,
+                );
+                assert!((ls - lb).abs() < 1e-4, "{algo}: loss {ls} vs {lb}");
+            }
+            let probe = [2u32, 40, 700];
+            let qs = net_s.q_values(Input::Sparse(&probe));
+            let qb = net_b.q_values(Input::Sparse(&probe));
+            for (a, b) in qs.iter().zip(&qb) {
+                assert!((a - b).abs() < 1e-3, "{algo}: {a} vs {b}");
+            }
+        }
+    }
+
     #[test]
     fn episode_lengths_bounded_by_actions() {
         let table = fixture();
-        let cfg = TrainConfig { episodes: 25, ..TrainConfig::fast_test(Algo::DeepSarsa) };
+        let cfg = TrainConfig {
+            episodes: 25,
+            ..TrainConfig::fast_test(Algo::DeepSarsa)
+        };
         let (_, stats) = train(table.items(), 30, &cfg);
         assert!(stats.episode_lengths.iter().all(|&l| (1..=31).contains(&l)));
     }
@@ -439,7 +739,10 @@ mod persistence_tests {
         let zoo = ModelZoo::standard();
         let ds = Dataset::generate(DatasetProfile::Coco2017, 20, 77);
         let table = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
-        let cfg = TrainConfig { episodes: 10, ..TrainConfig::fast_test(Algo::DuelingDqn) };
+        let cfg = TrainConfig {
+            episodes: 10,
+            ..TrainConfig::fast_test(Algo::DuelingDqn)
+        };
         let (agent, _) = train(table.items(), 30, &cfg);
         let json = agent.to_json();
         let restored = TrainedAgent::from_json(&json).expect("valid json");
@@ -458,7 +761,10 @@ mod persistence_tests {
         let zoo = ModelZoo::standard();
         let ds = Dataset::generate(DatasetProfile::Coco2017, 20, 78);
         let table = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
-        let cfg = TrainConfig { episodes: 5, ..TrainConfig::fast_test(Algo::Dqn) };
+        let cfg = TrainConfig {
+            episodes: 5,
+            ..TrainConfig::fast_test(Algo::Dqn)
+        };
         let (agent, _) = train(table.items(), 30, &cfg);
         let path = std::env::temp_dir().join("ams_agent_roundtrip_test.json");
         agent.save(&path).expect("save");

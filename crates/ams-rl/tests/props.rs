@@ -86,10 +86,10 @@ proptest! {
         let mut rb = ReplayBuffer::new(cap);
         for a in 0..n {
             rb.push(Transition {
-                state: Box::new([]),
+                state: std::sync::Arc::new([]),
                 action: (a % 31) as u8,
                 reward: a as f32,
-                next_state: Box::new([]),
+                next_state: std::sync::Arc::new([]),
                 next_avail: 1,
                 next_action: 0,
                 done: false,

@@ -30,7 +30,11 @@ impl VirtualClock {
     /// # Panics
     /// Panics if `t_ms` is in the past — virtual time never rewinds.
     pub fn advance_to(&mut self, t_ms: u64) {
-        assert!(t_ms >= self.now_ms, "clock cannot rewind: {} -> {t_ms}", self.now_ms);
+        assert!(
+            t_ms >= self.now_ms,
+            "clock cannot rewind: {} -> {t_ms}",
+            self.now_ms
+        );
         self.now_ms = t_ms;
     }
 }

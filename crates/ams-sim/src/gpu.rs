@@ -17,8 +17,14 @@ pub enum MemError {
 impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MemError::Insufficient { requested, available } => {
-                write!(f, "insufficient memory: requested {requested} MB, {available} MB free")
+            MemError::Insufficient {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "insufficient memory: requested {requested} MB, {available} MB free"
+                )
             }
             MemError::OverRelease => write!(f, "released more memory than held"),
         }
@@ -38,7 +44,11 @@ pub struct MemoryPool {
 impl MemoryPool {
     /// Pool with the given capacity in megabytes.
     pub fn new(capacity_mb: u32) -> Self {
-        Self { capacity_mb, in_use_mb: 0, peak_mb: 0 }
+        Self {
+            capacity_mb,
+            in_use_mb: 0,
+            peak_mb: 0,
+        }
     }
 
     /// Total capacity.
@@ -69,7 +79,10 @@ impl MemoryPool {
     /// Acquire `mb`; fails without side effects when it does not fit.
     pub fn acquire(&mut self, mb: u32) -> Result<(), MemError> {
         if !self.fits(mb) {
-            return Err(MemError::Insufficient { requested: mb, available: self.available_mb() });
+            return Err(MemError::Insufficient {
+                requested: mb,
+                available: self.available_mb(),
+            });
         }
         self.in_use_mb += mb;
         self.peak_mb = self.peak_mb.max(self.in_use_mb);
@@ -109,7 +122,13 @@ mod tests {
         let mut p = MemoryPool::new(100);
         p.acquire(90).unwrap();
         let err = p.acquire(20).unwrap_err();
-        assert_eq!(err, MemError::Insufficient { requested: 20, available: 10 });
+        assert_eq!(
+            err,
+            MemError::Insufficient {
+                requested: 20,
+                available: 10
+            }
+        );
         assert_eq!(p.in_use_mb(), 90);
     }
 
@@ -123,7 +142,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = MemError::Insufficient { requested: 5, available: 1 };
+        let e = MemError::Insufficient {
+            requested: 5,
+            available: 1,
+        };
         assert!(e.to_string().contains("5 MB"));
         assert!(MemError::OverRelease.to_string().contains("release"));
     }

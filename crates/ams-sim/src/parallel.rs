@@ -131,7 +131,11 @@ mod tests {
     use super::*;
 
     fn job(id: usize, t: u32, m: u32) -> Job {
-        Job { id, time_ms: t, mem_mb: m }
+        Job {
+            id,
+            time_ms: t,
+            mem_mb: m,
+        }
     }
 
     #[test]

@@ -15,7 +15,11 @@ pub struct SerialExecutor {
 impl SerialExecutor {
     /// Executor with a total time budget (`B_time`) in milliseconds.
     pub fn new(deadline_ms: u64) -> Self {
-        Self { clock: VirtualClock::new(), deadline_ms, trace: ExecTrace::default() }
+        Self {
+            clock: VirtualClock::new(),
+            deadline_ms,
+            trace: ExecTrace::default(),
+        }
     }
 
     /// Remaining budget.
@@ -66,7 +70,11 @@ mod tests {
     use super::*;
 
     fn job(id: usize, t: u32) -> Job {
-        Job { id, time_ms: t, mem_mb: 100 }
+        Job {
+            id,
+            time_ms: t,
+            mem_mb: 100,
+        }
     }
 
     #[test]

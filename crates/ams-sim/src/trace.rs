@@ -83,7 +83,12 @@ mod tests {
     use super::*;
 
     fn span(job: usize, start: u64, end: u64, mem: u32) -> Span {
-        Span { job, start_ms: start, end_ms: end, mem_mb: mem }
+        Span {
+            job,
+            start_ms: start,
+            end_ms: end,
+            mem_mb: mem,
+        }
     }
 
     #[test]

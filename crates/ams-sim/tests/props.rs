@@ -8,7 +8,11 @@ fn arb_jobs() -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec((50u32..500, 500u32..8000), 1..30).prop_map(|v| {
         v.into_iter()
             .enumerate()
-            .map(|(id, (time_ms, mem_mb))| Job { id, time_ms, mem_mb })
+            .map(|(id, (time_ms, mem_mb))| Job {
+                id,
+                time_ms,
+                mem_mb,
+            })
             .collect()
     })
 }

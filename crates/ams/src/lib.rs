@@ -67,7 +67,7 @@ pub mod prelude {
         schedule_deadline_memory, DeadlineMemoryResult,
     };
     pub use ams_core::scheduler::optimal_star;
-    pub use ams_core::streaming::{StreamProcessor, StreamStats};
+    pub use ams_core::streaming::{ParallelStreamProcessor, StreamProcessor, StreamStats};
     pub use ams_data::{
         infer, infer_all, Dataset, DatasetProfile, DogInstance, ItemTruth, Person, Place, Scene,
         SceneGenerator, TemplateKind, TruthTable,
@@ -77,8 +77,9 @@ pub mod prelude {
         QualityProfile, SkillTier, Task,
     };
     pub use ams_rl::{
-        evaluate_q_greedy, q_greedy_rollout, train, Algo, EvalSummary, LabelingEnv, RewardConfig,
-        Rollout, Smoothing, TrainConfig, TrainStats, TrainedAgent,
+        evaluate_q_greedy, learn_step_batched, learn_step_scalar, q_greedy_rollout, train, Algo,
+        BatchScratch, EvalSummary, LabelingEnv, RewardConfig, Rollout, ScalarScratch, Smoothing,
+        TrainConfig, TrainStats, TrainedAgent,
     };
     pub use ams_sim::{ExecTrace, Job, MemoryPool, ParallelExecutor, SerialExecutor, Span};
 }

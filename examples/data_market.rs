@@ -15,7 +15,10 @@ fn main() {
     let split = corpus.split_1_to_4();
     let (train_items, test_items) = truth.split(split);
 
-    let cfg = TrainConfig { episodes: 400, ..TrainConfig::new(Algo::DuelingDqn) };
+    let cfg = TrainConfig {
+        episodes: 400,
+        ..TrainConfig::new(Algo::DuelingDqn)
+    };
     let (agent, _) = train(train_items, zoo.len(), &cfg);
     let predictor = AgentPredictor::new(agent);
 
@@ -23,13 +26,25 @@ fn main() {
     // costs $c per GPU-second. Compare policies at a 90% recall target.
     let gpu_cost_per_s = 0.002;
     let price_per_value = 0.05;
-    println!("{:<12} {:>12} {:>12} {:>12} {:>12}", "policy", "value", "gpu-hours", "cost $", "margin $");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "policy", "value", "gpu-hours", "cost $", "margin $"
+    );
     let items: Vec<&ItemTruth> = test_items.iter().take(200).collect();
     type Runner<'a> = Box<dyn Fn(&ItemTruth) -> Rollout + 'a>;
     let policies: Vec<(&str, Runner<'_>)> = vec![
-        ("random", Box::new(|it: &ItemTruth| random_rollout(it, &zoo, 0.9, 0.5, 3))),
-        ("drl-agent", Box::new(|it: &ItemTruth| predictor_greedy_rollout(it, &zoo, &predictor, 0.9, 0.5))),
-        ("oracle", Box::new(|it: &ItemTruth| optimal_rollout(it, &zoo, 0.9, 0.5))),
+        (
+            "random",
+            Box::new(|it: &ItemTruth| random_rollout(it, &zoo, 0.9, 0.5, 3)),
+        ),
+        (
+            "drl-agent",
+            Box::new(|it: &ItemTruth| predictor_greedy_rollout(it, &zoo, &predictor, 0.9, 0.5)),
+        ),
+        (
+            "oracle",
+            Box::new(|it: &ItemTruth| optimal_rollout(it, &zoo, 0.9, 0.5)),
+        ),
     ];
     for (name, run) in &policies {
         let mut value = 0.0;

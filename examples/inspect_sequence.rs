@@ -14,7 +14,10 @@ fn main() {
     let split = ds.split_1_to_4();
     let (train_items, test_items) = truth.split(split);
 
-    let cfg = TrainConfig { episodes: 400, ..TrainConfig::new(Algo::DuelingDqn) };
+    let cfg = TrainConfig {
+        episodes: 400,
+        ..TrainConfig::new(Algo::DuelingDqn)
+    };
     let (agent, _) = train(train_items, zoo.len(), &cfg);
     let predictor = AgentPredictor::new(agent);
 

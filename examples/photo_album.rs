@@ -17,8 +17,14 @@ fn main() {
     let split = album.split_1_to_4();
     let (train_items, test_items) = truth.split(split);
 
-    println!("album: {} photos; indexing the first 20% to learn the content profile", album.len());
-    let cfg = TrainConfig { episodes: 400, ..TrainConfig::new(Algo::DuelingDqn) };
+    println!(
+        "album: {} photos; indexing the first 20% to learn the content profile",
+        album.len()
+    );
+    let cfg = TrainConfig {
+        episodes: 400,
+        ..TrainConfig::new(Algo::DuelingDqn)
+    };
     let (agent, _) = train(train_items, zoo.len(), &cfg);
     let scheduler =
         AdaptiveModelScheduler::new(zoo, Box::new(AgentPredictor::new(agent)), 0.5, 2024);

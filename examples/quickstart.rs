@@ -23,8 +23,14 @@ fn main() {
     let (train_items, test_items) = truth.split(split);
 
     // --- 3. Train a DRL agent to predict model values (§IV). -------------
-    println!("training a DuelingDQN agent on {} items...", train_items.len());
-    let cfg = TrainConfig { episodes: 400, ..TrainConfig::new(Algo::DuelingDqn) };
+    println!(
+        "training a DuelingDQN agent on {} items...",
+        train_items.len()
+    );
+    let cfg = TrainConfig {
+        episodes: 400,
+        ..TrainConfig::new(Algo::DuelingDqn)
+    };
     let (agent, stats) = train(train_items, zoo.len(), &cfg);
     println!(
         "trained: {} env steps, trailing episode reward {:.2}",
@@ -33,14 +39,16 @@ fn main() {
     );
 
     // --- 4. Label items under three budgets (§V). -------------------------
-    let scheduler =
-        AdaptiveModelScheduler::new(zoo, Box::new(AgentPredictor::new(agent)), 0.5, 42);
+    let scheduler = AdaptiveModelScheduler::new(zoo, Box::new(AgentPredictor::new(agent)), 0.5, 42);
     let item = &test_items[0];
 
     for budget in [
         Budget::Unconstrained,
         Budget::Deadline { ms: 1000 },
-        Budget::DeadlineMemory { ms: 800, mem_mb: 12 * 1024 },
+        Budget::DeadlineMemory {
+            ms: 800,
+            mem_mb: 12 * 1024,
+        },
     ] {
         let outcome = scheduler.label_item(item, budget);
         println!(

@@ -11,7 +11,11 @@ use ams::prelude::*;
 fn main() {
     let zoo = ModelZoo::standard();
     let catalog = zoo.catalog();
-    let face_model = zoo.models_for(Task::FaceDetection).next().expect("face detector").id;
+    let face_model = zoo
+        .models_for(Task::FaceDetection)
+        .next()
+        .expect("face detector")
+        .id;
 
     // Street-camera-like content.
     let stream = Dataset::generate(DatasetProfile::Stanford40, 300, 7);
@@ -21,7 +25,11 @@ fn main() {
 
     for theta in [1.0f32, 10.0] {
         let reward = RewardConfig::default().with_theta(face_model, theta, zoo.len());
-        let cfg = TrainConfig { episodes: 400, reward, ..TrainConfig::new(Algo::DuelingDqn) };
+        let cfg = TrainConfig {
+            episodes: 400,
+            reward,
+            ..TrainConfig::new(Algo::DuelingDqn)
+        };
         let (agent, _) = train(train_items, zoo.len(), &cfg);
         let predictor = AgentPredictor::new(agent);
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-command gate for every PR: formatting, lints, and the tier-1 verify.
+#
+#   ./scripts/check.sh          # fmt + clippy + build --release + test
+#   ./scripts/check.sh --quick  # skip the release build (debug tests only)
+#
+# PROPTEST_CASES=16 ./scripts/check.sh gives a faster property-test pass
+# while iterating; leave it unset for the full default case counts.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) quick=1 ;;
+    *)
+        echo "unknown flag: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

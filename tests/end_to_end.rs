@@ -10,7 +10,10 @@ fn pipeline() -> (ModelZoo, Dataset, TruthTable, TrainedAgent) {
     let truth = TruthTable::build(&zoo, &catalog, &dataset, 0.5);
     let split = dataset.split_1_to_4();
     let (train_items, _) = truth.split(split);
-    let cfg = TrainConfig { episodes: 60, ..TrainConfig::fast_test(Algo::DuelingDqn) };
+    let cfg = TrainConfig {
+        episodes: 60,
+        ..TrainConfig::fast_test(Algo::DuelingDqn)
+    };
     let (agent, _) = train(train_items, zoo.len(), &cfg);
     (zoo, dataset, truth, agent)
 }
@@ -30,7 +33,13 @@ fn full_pipeline_under_all_budgets() {
     for item in test_items.iter().take(10) {
         let unconstrained = scheduler.label_item(item, Budget::Unconstrained);
         let deadline = scheduler.label_item(item, Budget::Deadline { ms: 1000 });
-        let memory = scheduler.label_item(item, Budget::DeadlineMemory { ms: 1000, mem_mb: 12288 });
+        let memory = scheduler.label_item(
+            item,
+            Budget::DeadlineMemory {
+                ms: 1000,
+                mem_mb: 12288,
+            },
+        );
 
         assert!(deadline.elapsed_ms <= 1000);
         assert!(memory.elapsed_ms <= 1000);
@@ -80,7 +89,10 @@ fn cross_dataset_truth_tables_are_independent() {
     // person-heavy Stanford40 items should, on average, have more valuable
     // models than scene-centric Places365 items
     let avg = |t: &TruthTable| {
-        t.items().iter().map(|i| i.valuable_models(0.5).len()).sum::<usize>() as f64
+        t.items()
+            .iter()
+            .map(|i| i.valuable_models(0.5).len())
+            .sum::<usize>() as f64
             / t.len() as f64
     };
     assert!(

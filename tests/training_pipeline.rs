@@ -14,7 +14,10 @@ fn truth(n: usize, seed: u64) -> (ModelZoo, TruthTable) {
 fn four_schemas_produce_working_predictors() {
     let (zoo, table) = truth(60, 3);
     for algo in Algo::ALL {
-        let cfg = TrainConfig { episodes: 50, ..TrainConfig::fast_test(algo) };
+        let cfg = TrainConfig {
+            episodes: 50,
+            ..TrainConfig::fast_test(algo)
+        };
         let (agent, stats) = train(table.items(), zoo.len(), &cfg);
         assert!(stats.learn_steps > 0, "{algo}");
         // the agent must plug into the scheduler stack and respect budgets
@@ -27,14 +30,24 @@ fn four_schemas_produce_working_predictors() {
 #[test]
 fn end_action_lets_episodes_stop_early() {
     let (_, table) = truth(60, 5);
-    let with_end = TrainConfig { episodes: 120, ..TrainConfig::fast_test(Algo::Dqn) };
-    let without_end = TrainConfig { use_end_action: false, ..with_end.clone() };
+    let with_end = TrainConfig {
+        episodes: 120,
+        ..TrainConfig::fast_test(Algo::Dqn)
+    };
+    let without_end = TrainConfig {
+        use_end_action: false,
+        ..with_end.clone()
+    };
     let (_, s_with) = train(table.items(), 30, &with_end);
     let (_, s_without) = train(table.items(), 30, &without_end);
     // without END every episode runs all 30 models; with END the trained
     // agent learns to terminate, so late episodes are shorter on average
     assert!(s_without.episode_lengths.iter().all(|&l| l == 30));
-    let late_with: f64 = s_with.episode_lengths[80..].iter().map(|&l| l as f64).sum::<f64>() / 40.0;
+    let late_with: f64 = s_with.episode_lengths[80..]
+        .iter()
+        .map(|&l| l as f64)
+        .sum::<f64>()
+        / 40.0;
     assert!(
         late_with < 30.0,
         "END action should shorten late episodes (avg {late_with:.1})"
@@ -63,7 +76,10 @@ fn theta_priority_shifts_reward_toward_model() {
 #[test]
 fn training_is_reproducible_across_calls() {
     let (_, table) = truth(40, 11);
-    let cfg = TrainConfig { episodes: 25, ..TrainConfig::fast_test(Algo::DoubleDqn) };
+    let cfg = TrainConfig {
+        episodes: 25,
+        ..TrainConfig::fast_test(Algo::DoubleDqn)
+    };
     let (a, sa) = train(table.items(), 30, &cfg);
     let (b, sb) = train(table.items(), 30, &cfg);
     assert_eq!(sa.episode_rewards, sb.episode_rewards);
@@ -78,7 +94,10 @@ fn training_is_reproducible_across_calls() {
 #[test]
 fn eval_metrics_consistent_with_rollouts() {
     let (zoo, table) = truth(50, 13);
-    let cfg = TrainConfig { episodes: 40, ..TrainConfig::fast_test(Algo::Dqn) };
+    let cfg = TrainConfig {
+        episodes: 40,
+        ..TrainConfig::fast_test(Algo::Dqn)
+    };
     let (agent, _) = train(table.items(), zoo.len(), &cfg);
     let summary = evaluate_q_greedy(&agent, &zoo, table.items(), 0.7, 0.5);
     assert!(summary.avg_recall >= 0.7 - 1e-9);

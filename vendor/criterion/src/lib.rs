@@ -1,0 +1,129 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` / `Criterion` /
+//! `Bencher::iter` / `black_box` surface with a simple wall-clock
+//! measurement loop: a short warm-up sizes the iteration count, then the
+//! bench body runs for a fixed measurement window and the mean ns/iter is
+//! printed. No statistics, plots or baselines — just quick, comparable
+//! numbers in environments without crates.io access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and result sink.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(120),
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+/// One benchmark's timing loop.
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, storing the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up window elapses, counting calls.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        // Measurement: a fixed batch sized from the warm-up estimate.
+        let target = (self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(1, 1_000_000_000);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t0.elapsed();
+        self.iters = iters;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let (value, unit) = humanize(b.ns_per_iter);
+        println!("{name:<40} {value:>10.2} {unit}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+fn humanize(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s ")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// Group benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+        };
+        let mut captured = 0.0;
+        c.bench_function("noop_loop", |b| {
+            b.iter(|| black_box(3u64).wrapping_mul(7));
+            captured = b.ns_per_iter;
+        });
+        assert!(captured > 0.0 && captured < 1e6, "{captured}");
+    }
+}

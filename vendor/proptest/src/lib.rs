@@ -1,0 +1,486 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro
+//! (with optional `#![proptest_config(...)]`), range / `any` / tuple /
+//! collection strategies, `prop_map`, and the `prop_assert*` family.
+//! Cases are generated from a deterministic RNG; there is **no
+//! shrinking** — a failure reports the case number and message only.
+//!
+//! The number of cases defaults to 256 and can be overridden per block
+//! via `ProptestConfig::with_cases(n)` or globally via the
+//! `PROPTEST_CASES` environment variable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// Deterministic case generator handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A fresh deterministic generator (fixed seed; strategies advance it).
+    pub fn deterministic() -> Self {
+        TestRng(StdRng::seed_from_u64(0x4d59_5df4_d0f3_3173))
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.0.gen_range(range)
+    }
+}
+
+/// Per-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Effective case count (environment override applied).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Failure signal from inside a proptest body.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure with its message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+            TestCaseError::Reject => f.write_str("input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values spanning a wide magnitude range.
+        let m = rng.gen_range(-1.0f32..1.0);
+        let e = rng.gen_range(-20i32..20) as f32;
+        m * e.exp2()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let m = rng.gen_range(-1.0f64..1.0);
+        let e = rng.gen_range(-40i32..40) as f64;
+        m * e.exp2()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// `Vec` strategy with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: core::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = sample_size(&self.size, rng);
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        fn sample_size(size: &core::ops::Range<usize>, rng: &mut TestRng) -> usize {
+            if size.start + 1 >= size.end {
+                size.start
+            } else {
+                size.clone().generate(rng)
+            }
+        }
+
+        /// Vectors of `elem` values with length in `size`.
+        pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        /// `BTreeSet` strategy (size is a target; duplicates shrink it).
+        pub struct BTreeSetStrategy<S> {
+            elem: S,
+            size: core::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = std::collections::BTreeSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = sample_size(&self.size, rng);
+                let mut out = std::collections::BTreeSet::new();
+                let mut attempts = 0;
+                while out.len() < target && attempts < target * 10 + 16 {
+                    out.insert(self.elem.generate(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+
+        /// Sets of `elem` values with size up to the `size` bound.
+        pub fn btree_set<S: Strategy>(
+            elem: S,
+            size: core::ops::Range<usize>,
+        ) -> BTreeSetStrategy<S> {
+            BTreeSetStrategy { elem, size }
+        }
+
+        /// `HashSet` strategy (size is a target; duplicates shrink it).
+        pub struct HashSetStrategy<S> {
+            elem: S,
+            size: core::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for HashSetStrategy<S>
+        where
+            S::Value: std::hash::Hash + Eq,
+        {
+            type Value = std::collections::HashSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = sample_size(&self.size, rng);
+                let mut out = std::collections::HashSet::new();
+                let mut attempts = 0;
+                while out.len() < target && attempts < target * 10 + 16 {
+                    out.insert(self.elem.generate(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+
+        /// Hash sets of `elem` values with size up to the `size` bound.
+        pub fn hash_set<S: Strategy>(
+            elem: S,
+            size: core::ops::Range<usize>,
+        ) -> HashSetStrategy<S> {
+            HashSetStrategy { elem, size }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Assert a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __a, __b
+            )));
+        }
+    }};
+}
+
+/// Reject inputs that don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@block $cfg; $($rest)*);
+    };
+    (@block $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __cases = __cfg.effective_cases();
+                let mut __rng = $crate::TestRng::deterministic();
+                for __case in 0..__cases {
+                    let ($($arg,)+) =
+                        ($($crate::Strategy::generate(&($strat), &mut __rng),)+);
+                    #[allow(unused_mut)]
+                    let mut __body = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    match __body() {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            panic!("proptest case {}/{} failed: {}", __case + 1, __cases, __msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@block $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -2.0f64..2.0, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            let _ = b;
+        }
+
+        #[test]
+        fn collections_respect_sizes(v in prop::collection::vec(0u8..10, 2..6),
+                                     s in prop::collection::btree_set(0u32..100, 0..20),
+                                     h in prop::collection::hash_set(0u16..50, 1..10)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(s.len() < 20);
+            prop_assert!(h.len() < 10);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u8..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Doc comments on cases must parse.
+        #[test]
+        fn config_applies(mut n in 0usize..5, pair in (0u8..3, any::<u64>())) {
+            n += 1;
+            prop_assert!(n <= 5);
+            prop_assert!(pair.0 < 3);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = prop::collection::vec((1u32..5, 10u32..20), 1..4)
+            .prop_map(|v| v.into_iter().map(|(a, b)| a + b).collect::<Vec<u32>>());
+        let mut rng = TestRng::deterministic();
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 4);
+            assert!(v.iter().all(|&x| (11..25).contains(&x)));
+        }
+    }
+}
