@@ -43,10 +43,16 @@ struct Record {
     q_equivalence_max_abs_diff: f64,
     stream_items: usize,
     /// Compute-only engine throughput (virtual execution elided). On a
-    /// single-core host the parallel engine cannot beat serial here.
+    /// single-core host the parallel engine cannot beat serial here — the
+    /// fixed-4-thread numbers record that own-goal honestly.
     compute_serial_items_per_s: f64,
     compute_parallel_items_per_s: f64,
     compute_stream_speedup: f64,
+    /// Compute-only throughput of the auto-sized pool, which falls back to
+    /// serial when the workload is compute-bound on few cores.
+    compute_auto_threads: usize,
+    compute_auto_items_per_s: f64,
+    compute_stream_speedup_auto: f64,
     /// Deployment-shaped throughput: each item additionally waits
     /// `elapsed_ms x exec_emulation_scale` of wall-clock, emulating the
     /// real model executions the virtual clock elides. Workers overlap
@@ -199,32 +205,19 @@ fn main() {
 
     // ---- stream engine: serial vs parallel ------------------------------
     let emu_scale = 1.0e-3; // 1 wall-clock us per virtual execution ms
-    let zoo = ModelZoo::standard();
-    let ds = Dataset::generate(DatasetProfile::Coco2017, 240, 7);
-    let truth = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
-    let tcfg = TrainConfig {
-        episodes: 120,
-        ..TrainConfig::fast_test(Algo::Dqn)
-    };
-    let (agent, _) = train(truth.items(), zoo.len(), &tcfg);
+    let setup = ams_bench::hotpath::StreamSetup::paper(240, 120);
     let budget = Budget::Deadline { ms: 1000 };
-    let items = truth.items();
-
-    let make_scheduler = |agent: TrainedAgent| {
-        AdaptiveModelScheduler::new(
-            ModelZoo::standard(),
-            Box::new(AgentPredictor::new(agent)),
-            0.5,
-            ds.world_seed,
-        )
-    };
+    let items = setup.truth.items();
 
     let threads = 4usize;
-    let mut serial = StreamProcessor::new(make_scheduler(agent.clone()), budget);
-    let mut par = ParallelStreamProcessor::new(make_scheduler(agent), budget, threads);
+    let mut serial = StreamProcessor::new(setup.scheduler(), budget);
+    let mut par = ParallelStreamProcessor::new(setup.scheduler(), budget, threads);
+    let mut auto = ParallelStreamProcessor::auto(setup.scheduler(), budget);
 
-    // Compute-only (virtual execution elided): core-bound.
-    let serial_rounds = 3usize;
+    // Compute-only (virtual execution elided): core-bound. Enough rounds
+    // that each measurement spans tens of milliseconds — at ~5 µs/item the
+    // old 3-round window was noise-dominated.
+    let serial_rounds = 20usize;
     serial.process_all(items.iter().take(24)); // warmup
     serial.reset_stats();
     let t0 = Instant::now();
@@ -239,6 +232,23 @@ fn main() {
         par.process_all(items);
     }
     let compute_par_ips = (items.len() * serial_rounds) as f64 / t0.elapsed().as_secs_f64();
+    // Auto-sized pool on the same compute-bound workload: on a single-core
+    // host this resolves to the serial fallback instead of losing to
+    // spawn/merge overhead.
+    let compute_auto_threads = auto.threads();
+    auto.process_all(&items[..24]); // warmup
+    auto.reset_stats();
+    let t0 = Instant::now();
+    for _ in 0..serial_rounds {
+        auto.process_all(items);
+    }
+    let auto_elapsed = t0.elapsed();
+    let compute_auto_ips = (items.len() * serial_rounds) as f64 / auto_elapsed.as_secs_f64();
+    trajectory.push(Measurement {
+        name: format!("stream_auto_t{compute_auto_threads}_compute"),
+        iters: (items.len() * serial_rounds) as u64,
+        ns_per_iter: auto_elapsed.as_nanos() as f64 / (items.len() * serial_rounds) as f64,
+    });
 
     // Deployment-shaped: emulate waiting on the actual model executions.
     serial.exec_emulation_scale = emu_scale;
@@ -279,6 +289,9 @@ fn main() {
         compute_serial_items_per_s: compute_serial_ips,
         compute_parallel_items_per_s: compute_par_ips,
         compute_stream_speedup: compute_par_ips / compute_serial_ips,
+        compute_auto_threads,
+        compute_auto_items_per_s: compute_auto_ips,
+        compute_stream_speedup_auto: compute_auto_ips / compute_serial_ips,
         exec_emulation_scale: emu_scale,
         serial_items_per_s: serial_ips,
         parallel_threads: threads,

@@ -1,0 +1,252 @@
+//! Serving benchmark: drive the sharded front-end through an offered-load
+//! sweep and record throughput, tail latency, shed rate, and recall at
+//! each point. Writes `BENCH_serve.json` (methodology in `PERF.md`).
+//!
+//! Two load modes:
+//! * **closed loop** — submissions block on queue space, so the measured
+//!   rate *is* the server's sustainable capacity (no coordinated-omission
+//!   games: the producer can never outrun the system being measured).
+//! * **open loop** — submissions arrive on a fixed schedule regardless of
+//!   server progress (the real-traffic shape); overload shows up as queue
+//!   growth, shed requests, and tail-latency blowup rather than as a
+//!   silently slowed producer.
+//!
+//! Run with: `cargo run --release -p ams-bench --bin bench_serve [-- --smoke]`
+
+use ams::prelude::*;
+use ams_bench::hotpath::StreamSetup;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One measured load point.
+#[derive(Debug, Serialize)]
+struct LoadPoint {
+    mode: String,
+    /// Offered rate, items/s (for closed loop: the achieved rate).
+    offered_per_s: f64,
+    /// Completed items / wall-clock elapsed (includes the drain).
+    achieved_per_s: f64,
+    offered: u64,
+    completed: u64,
+    shed_rate: f64,
+    mean_recall: f64,
+    queue_wait_p50_us: u64,
+    queue_wait_p99_us: u64,
+    execute_p50_us: u64,
+    execute_p99_us: u64,
+    total_p50_us: u64,
+    total_p95_us: u64,
+    total_p99_us: u64,
+    batches: u64,
+    max_batch_observed: usize,
+}
+
+/// The whole benchmark record.
+#[derive(Debug, Serialize)]
+struct Record {
+    description: String,
+    cores_available: usize,
+    smoke: bool,
+    items: usize,
+    shards: usize,
+    workers_per_shard: usize,
+    max_batch: usize,
+    queue_capacity: usize,
+    exec_emulation_scale: f64,
+    /// Serve-mode `StreamStats` equal the serial engine's over the same
+    /// stream (verified on the lossless configuration; the process aborts
+    /// if they ever diverge, so a green bench is a green equivalence).
+    stats_match_serial: bool,
+    /// Closed-loop sustainable capacity, items/s.
+    closed_loop_capacity_per_s: f64,
+    /// 1 − (batched virtual execution / serial virtual execution bill) on
+    /// the closed-loop run: the share of simulated GPU time that batched
+    /// admission saved.
+    batching_saving_fraction: f64,
+    sweep: Vec<LoadPoint>,
+}
+
+/// The shared stream fixture ([`StreamSetup`]) at full size matches
+/// `bench_hotpath`'s workload exactly (240 items, 120 episodes), keeping
+/// `BENCH_serve.json` and `BENCH_hotpath.json` comparable; smoke shrinks
+/// both knobs so the CI gate stays in seconds.
+fn fixture(smoke: bool) -> StreamSetup {
+    if smoke {
+        StreamSetup::paper(96, 24)
+    } else {
+        StreamSetup::paper(240, 120)
+    }
+}
+
+fn point_from(mode: &str, offered_per_s: f64, elapsed: Duration, r: &ServeReport) -> LoadPoint {
+    LoadPoint {
+        mode: mode.into(),
+        offered_per_s,
+        achieved_per_s: r.completed as f64 / elapsed.as_secs_f64(),
+        offered: r.offered,
+        completed: r.completed,
+        shed_rate: r.shed_rate(),
+        mean_recall: r.stats.mean_recall(),
+        queue_wait_p50_us: r.queue_wait.p50_us,
+        queue_wait_p99_us: r.queue_wait.p99_us,
+        execute_p50_us: r.execute.p50_us,
+        execute_p99_us: r.execute.p99_us,
+        total_p50_us: r.total.p50_us,
+        total_p95_us: r.total.p95_us,
+        total_p99_us: r.total.p99_us,
+        batches: r.batches,
+        max_batch_observed: r.max_batch_observed,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let fx = fixture(smoke);
+    let budget = Budget::Deadline { ms: 1000 };
+    let items: Vec<Arc<ItemTruth>> = fx
+        .truth
+        .items()
+        .iter()
+        .map(|i| Arc::new(i.clone()))
+        .collect();
+
+    let shards = 4usize;
+    let workers_per_shard = 2usize;
+    let max_batch = 8usize;
+    let queue_capacity = 8usize;
+    // 20 wall-clock µs per virtual execution ms: a batch's compressed
+    // makespan (~1-2 virtual s) costs tens of wall ms, so queues genuinely
+    // build, batches genuinely coalesce, and the overload point genuinely
+    // sheds — while the whole sweep still finishes in seconds.
+    let emu_scale = 2e-2;
+
+    let base_cfg = ServeConfig {
+        shards,
+        workers_per_shard,
+        max_batch,
+        queue_capacity,
+        exec_emulation_scale: emu_scale,
+        ..ServeConfig::default()
+    };
+
+    // ---- equivalence gate: serve stats == serial stats, losslessly ------
+    let mut serial = StreamProcessor::new(fx.scheduler(), budget);
+    serial.process_all(fx.truth.items());
+    let want = serial.stats().clone();
+    let server = AmsServer::start(
+        fx.scheduler(),
+        budget,
+        ServeConfig {
+            policy: BackpressurePolicy::Block,
+            exec_emulation_scale: 0.0,
+            ..base_cfg.clone()
+        },
+    );
+    for item in &items {
+        server.submit(Arc::clone(item));
+    }
+    let eq_report = server.shutdown();
+    let got = &eq_report.stats;
+    assert_eq!(got.items, want.items, "serve items diverged from serial");
+    assert_eq!(got.total_exec_ms, want.total_exec_ms);
+    assert_eq!(got.total_executions, want.total_executions);
+    assert_eq!(got.per_model_runs, want.per_model_runs);
+    assert!((got.recall_sum - want.recall_sum).abs() < 1e-9);
+    eprintln!(
+        "[bench_serve] equivalence: serve stats == serial stats over {} items",
+        want.items
+    );
+
+    let mut sweep: Vec<LoadPoint> = Vec::new();
+
+    // ---- closed loop: sustainable capacity ------------------------------
+    let server = AmsServer::start(
+        fx.scheduler(),
+        budget,
+        ServeConfig {
+            policy: BackpressurePolicy::Block,
+            ..base_cfg.clone()
+        },
+    );
+    let t0 = Instant::now();
+    for item in &items {
+        server.submit(Arc::clone(item));
+    }
+    let report = server.shutdown();
+    let elapsed = t0.elapsed();
+    let capacity_per_s = report.completed as f64 / elapsed.as_secs_f64();
+    let batching_saving =
+        1.0 - report.virtual_exec_ms as f64 / report.stats.total_exec_ms.max(1) as f64;
+    eprintln!(
+        "[bench_serve] closed loop: {capacity_per_s:.0} items/s, batching saved {:.0}% of the virtual GPU bill",
+        batching_saving * 100.0
+    );
+    sweep.push(point_from("closed", capacity_per_s, elapsed, &report));
+
+    // ---- open loop: under, near, and past saturation --------------------
+    for load_factor in [0.4f64, 0.8, 1.6] {
+        let rate = (capacity_per_s * load_factor).max(1.0);
+        let server = AmsServer::start(
+            fx.scheduler(),
+            budget,
+            ServeConfig {
+                policy: BackpressurePolicy::ShedOldest,
+                // Stale requests are worthless to a live feed: shed at
+                // dequeue anything that queued longer than 100ms.
+                request_timeout_ms: Some(100),
+                ..base_cfg.clone()
+            },
+        );
+        let t0 = Instant::now();
+        for (i, item) in items.iter().enumerate() {
+            let due = t0 + Duration::from_secs_f64(i as f64 / rate);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            server.submit(Arc::clone(item));
+        }
+        let report = server.shutdown();
+        let elapsed = t0.elapsed();
+        eprintln!(
+            "[bench_serve] open loop {load_factor}x: offered {rate:.0}/s, achieved {:.0}/s, shed {:.1}%, total p99 {:.1}ms",
+            report.completed as f64 / elapsed.as_secs_f64(),
+            report.shed_rate() * 100.0,
+            report.total.p99_us as f64 / 1000.0
+        );
+        sweep.push(point_from("open", rate, elapsed, &report));
+    }
+
+    let record = Record {
+        description: "AMS serving benchmark: sharded front-end (hash-sharded bounded queues, \
+                      per-shard workers, batched admission into the virtual GPU pool) driven \
+                      closed-loop at capacity and open-loop under/near/past saturation. \
+                      DRL-agent predictor, 1s per-item deadline. See PERF.md for methodology."
+            .into(),
+        cores_available: cores,
+        smoke,
+        items: items.len(),
+        shards,
+        workers_per_shard,
+        max_batch,
+        queue_capacity,
+        exec_emulation_scale: emu_scale,
+        stats_match_serial: true,
+        closed_loop_capacity_per_s: capacity_per_s,
+        batching_saving_fraction: batching_saving,
+        sweep,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serializes");
+    // Smoke runs are a CI gate, not a measurement: don't clobber the
+    // committed full-run record.
+    let path = if smoke {
+        "target/BENCH_serve.smoke.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("{json}");
+}

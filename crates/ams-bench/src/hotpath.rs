@@ -215,6 +215,47 @@ pub fn learn_step_seed(
     total_loss / cfg.batch as f32
 }
 
+/// The stream/serving fixture shared by `bench_hotpath` and `bench_serve`:
+/// a COCO-like truth table (seed 7) plus a fast-test DQN agent, so both
+/// records measure the same workload and stay comparable.
+pub struct StreamSetup {
+    /// Ground truth for the item stream.
+    pub truth: TruthTable,
+    /// The trained value-prediction agent.
+    pub agent: TrainedAgent,
+    /// World seed the scenes were generated with.
+    pub world_seed: u64,
+}
+
+impl StreamSetup {
+    /// `items` COCO-like scenes; agent trained for `episodes` episodes.
+    pub fn paper(items: usize, episodes: usize) -> Self {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, items, 7);
+        let truth = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+        let cfg = TrainConfig {
+            episodes,
+            ..TrainConfig::fast_test(Algo::Dqn)
+        };
+        let (agent, _) = train(truth.items(), zoo.len(), &cfg);
+        Self {
+            truth,
+            agent,
+            world_seed: ds.world_seed,
+        }
+    }
+
+    /// A fresh scheduler over a clone of the trained agent.
+    pub fn scheduler(&self) -> AdaptiveModelScheduler {
+        AdaptiveModelScheduler::new(
+            ModelZoo::standard(),
+            Box::new(AgentPredictor::new(self.agent.clone())),
+            0.5,
+            self.world_seed,
+        )
+    }
+}
+
 /// Everything a learn-step benchmark needs, at the paper architecture.
 pub struct LearnSetup {
     /// Training config (batch size, γ, lr, …).

@@ -28,6 +28,16 @@ pub struct StreamStats {
 }
 
 impl StreamStats {
+    /// Empty statistics sized for a zoo of `num_models` models — the
+    /// constructor shard collectors (workers, serving front-ends) use so
+    /// their [`StreamStats::merge`] results line up with the zoo.
+    pub fn with_models(num_models: usize) -> Self {
+        Self {
+            per_model_runs: vec![0; num_models],
+            ..Default::default()
+        }
+    }
+
     /// Mean recall across processed items (1.0 when empty).
     pub fn mean_recall(&self) -> f64 {
         if self.items == 0 {
@@ -125,10 +135,7 @@ impl StreamProcessor {
         Self {
             scheduler,
             budget,
-            stats: StreamStats {
-                per_model_runs: vec![0; n],
-                ..Default::default()
-            },
+            stats: StreamStats::with_models(n),
             alert_recall: 0.5,
             exec_emulation_scale: 0.0,
         }
@@ -137,6 +144,11 @@ impl StreamProcessor {
     /// The underlying scheduler.
     pub fn scheduler(&self) -> &AdaptiveModelScheduler {
         &self.scheduler
+    }
+
+    /// The per-item budget every processed item is labeled under.
+    pub fn budget(&self) -> Budget {
+        self.budget
     }
 
     /// Process one item; returns the labeling outcome.
@@ -162,11 +174,7 @@ impl StreamProcessor {
 
     /// Reset statistics (keeps the scheduler and budget).
     pub fn reset_stats(&mut self) {
-        let n = self.scheduler.zoo().len();
-        self.stats = StreamStats {
-            per_model_runs: vec![0; n],
-            ..Default::default()
-        };
+        self.stats = StreamStats::with_models(self.scheduler.zoo().len());
     }
 }
 
@@ -192,6 +200,7 @@ pub struct ParallelStreamProcessor {
     scheduler: AdaptiveModelScheduler,
     budget: Budget,
     stats: StreamStats,
+    /// Configured worker count; 0 means "auto" (see [`Self::auto`]).
     threads: usize,
     /// Items below this recall increment [`StreamStats::low_recall_items`].
     pub alert_recall: f64,
@@ -211,19 +220,60 @@ impl ParallelStreamProcessor {
         Self {
             scheduler,
             budget,
-            stats: StreamStats {
-                per_model_runs: vec![0; n],
-                ..Default::default()
-            },
+            stats: StreamStats::with_models(n),
             threads: threads.max(1),
             alert_recall: 0.5,
             exec_emulation_scale: 0.0,
         }
     }
 
-    /// Worker count the processor fans out to.
+    /// Auto-sized worker pool: the thread count is chosen per
+    /// [`Self::process_all`] call from the host's core count and the
+    /// workload's shape.
+    ///
+    /// * **Compute-bound** (`exec_emulation_scale == 0`): labeling is pure
+    ///   CPU work, so more workers than cores only add scheduling overhead
+    ///   — the pool sizes itself to the available parallelism and *falls
+    ///   back to serial on a single-core host* (spawning threads there is
+    ///   the measured own-goal `BENCH_hotpath.json` records as
+    ///   `compute_stream_speedup` < 1).
+    /// * **Latency-bound** (`exec_emulation_scale > 0`): workers mostly
+    ///   wait on (emulated) model executions, so the pool oversubscribes
+    ///   the cores to overlap those waits.
+    pub fn auto(scheduler: AdaptiveModelScheduler, budget: Budget) -> Self {
+        let n = scheduler.zoo().len();
+        Self {
+            scheduler,
+            budget,
+            stats: StreamStats::with_models(n),
+            threads: 0,
+            alert_recall: 0.5,
+            exec_emulation_scale: 0.0,
+        }
+    }
+
+    /// Worker count the processor fans out to. For an [`Self::auto`] pool
+    /// this is the count the heuristic resolves to *right now* (it tracks
+    /// `exec_emulation_scale`).
     pub fn threads(&self) -> usize {
-        self.threads
+        self.effective_threads()
+    }
+
+    /// Resolve the configured thread count, applying the auto heuristic.
+    fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if self.exec_emulation_scale > 0.0 {
+            // Latency-bound: oversubscribe to overlap execution waits.
+            (cores * 4).clamp(4, 32)
+        } else {
+            // Compute-bound: one worker per core; serial on one core.
+            cores
+        }
     }
 
     /// The underlying scheduler.
@@ -231,12 +281,23 @@ impl ParallelStreamProcessor {
         &self.scheduler
     }
 
-    /// Process a batch of items across the worker pool.
+    /// Process a batch of items across the worker pool. At an effective
+    /// thread count of 1 (e.g. an [`Self::auto`] pool on a single-core
+    /// host) the items are processed inline — a true serial fallback, no
+    /// thread is spawned.
     pub fn process_all(&mut self, items: &[ItemTruth]) {
         if items.is_empty() {
             return;
         }
-        let threads = self.threads.min(items.len());
+        let threads = self.effective_threads().min(items.len());
+        if threads == 1 {
+            for item in items {
+                let outcome = self.scheduler.label_item(item, self.budget);
+                emulate_execution(&outcome, self.exec_emulation_scale);
+                self.stats.absorb(&outcome, self.alert_recall);
+            }
+            return;
+        }
         let chunk = items.len().div_ceil(threads);
         let n = self.scheduler.zoo().len();
         let scheduler = &self.scheduler;
@@ -248,10 +309,7 @@ impl ParallelStreamProcessor {
                 .chunks(chunk)
                 .map(|part| {
                     s.spawn(move || {
-                        let mut local = StreamStats {
-                            per_model_runs: vec![0; n],
-                            ..Default::default()
-                        };
+                        let mut local = StreamStats::with_models(n);
                         for item in part {
                             let outcome = scheduler.label_item(item, budget);
                             emulate_execution(&outcome, emu);
@@ -276,13 +334,14 @@ impl ParallelStreamProcessor {
         &self.stats
     }
 
+    /// The per-item budget every processed item is labeled under.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
     /// Reset statistics (keeps the scheduler, budget and worker count).
     pub fn reset_stats(&mut self) {
-        let n = self.scheduler.zoo().len();
-        self.stats = StreamStats {
-            per_model_runs: vec![0; n],
-            ..Default::default()
-        };
+        self.stats = StreamStats::with_models(self.scheduler.zoo().len());
     }
 }
 
@@ -397,6 +456,30 @@ mod tests {
         assert_eq!(par.stats().per_model_runs, serial.stats().per_model_runs);
         assert_eq!(par.stats().total_exec_ms, serial.stats().total_exec_ms);
         assert!((par.stats().recall_sum - serial.stats().recall_sum).abs() < 1e-9);
+    }
+
+    /// The auto-sized pool resolves to a live thread count for both
+    /// workload shapes and still produces exactly the serial statistics.
+    #[test]
+    fn auto_pool_matches_serial_and_resolves_threads() {
+        let budget = Budget::Deadline { ms: 900 };
+        let (mut serial, truth) = processor(budget);
+        serial.process_all(truth.items());
+
+        let (proc_serial, _) = processor(budget);
+        let mut auto = ParallelStreamProcessor::auto(proc_serial.scheduler, budget);
+        assert!(auto.threads() >= 1, "compute-bound count resolves");
+        auto.exec_emulation_scale = 1e-6;
+        assert!(
+            auto.threads() >= 4,
+            "latency-bound workloads oversubscribe the cores"
+        );
+        auto.exec_emulation_scale = 0.0;
+        auto.process_all(truth.items());
+        assert_eq!(auto.stats().items, serial.stats().items);
+        assert_eq!(auto.stats().total_exec_ms, serial.stats().total_exec_ms);
+        assert_eq!(auto.stats().per_model_runs, serial.stats().per_model_runs);
+        assert!((auto.stats().recall_sum - serial.stats().recall_sum).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Property tests for [`StreamStats`] shard merging: served statistics
+//! must not depend on how items were sharded across queues and workers or
+//! in which order the shards are folded back together, and the record must
+//! survive a serde round trip (the serving report is persisted as JSON).
+
+use ams_core::streaming::StreamStats;
+use proptest::prelude::*;
+
+const MODELS: usize = 30;
+
+fn arb_stats() -> impl Strategy<Value = StreamStats> {
+    (
+        0usize..1000,
+        0u64..1_000_000,
+        0usize..10_000,
+        0.0f64..1000.0,
+        0.0f64..5000.0,
+        prop::collection::vec(0u64..500, MODELS..MODELS + 1),
+        0usize..1000,
+    )
+        .prop_map(
+            |(
+                items,
+                total_exec_ms,
+                total_executions,
+                recall_sum,
+                value_sum,
+                per_model_runs,
+                low,
+            )| {
+                StreamStats {
+                    items,
+                    total_exec_ms,
+                    total_executions,
+                    recall_sum,
+                    value_sum,
+                    per_model_runs,
+                    low_recall_items: low,
+                }
+            },
+        )
+}
+
+fn merged(parts: &[&StreamStats]) -> StreamStats {
+    let mut acc = StreamStats::with_models(MODELS);
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+fn assert_stats_eq(a: &StreamStats, b: &StreamStats) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.items, b.items);
+    prop_assert_eq!(a.total_exec_ms, b.total_exec_ms);
+    prop_assert_eq!(a.total_executions, b.total_executions);
+    prop_assert_eq!(&a.per_model_runs, &b.per_model_runs);
+    prop_assert_eq!(a.low_recall_items, b.low_recall_items);
+    prop_assert!((a.recall_sum - b.recall_sum).abs() < 1e-6 * (1.0 + a.recall_sum.abs()));
+    prop_assert!((a.value_sum - b.value_sum).abs() < 1e-6 * (1.0 + a.value_sum.abs()));
+    Ok(())
+}
+
+proptest! {
+    /// Merge is commutative: shard arrival order cannot change the report.
+    #[test]
+    fn merge_is_commutative(a in arb_stats(), b in arb_stats()) {
+        assert_stats_eq(&merged(&[&a, &b]), &merged(&[&b, &a]))?;
+    }
+
+    /// Merge is associative: folding worker-locals into shard subtotals
+    /// first is the same as folding them straight into the global record.
+    #[test]
+    fn merge_is_associative(a in arb_stats(), b in arb_stats(), c in arb_stats()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        assert_stats_eq(&ab_c, &a_bc)?;
+    }
+
+    /// The empty record is a merge identity on both sides.
+    #[test]
+    fn empty_is_identity(a in arb_stats()) {
+        let empty = StreamStats::with_models(MODELS);
+        assert_stats_eq(&merged(&[&empty, &a]), &a)?;
+        assert_stats_eq(&merged(&[&a, &empty]), &a)?;
+    }
+
+    /// Shards of different zoo widths merge to the widest profile without
+    /// losing any run counts.
+    #[test]
+    fn merge_widens_model_profiles(a in arb_stats(), keep in 0usize..MODELS) {
+        let mut narrow = a.clone();
+        narrow.per_model_runs.truncate(keep);
+        let mut acc = narrow.clone();
+        acc.merge(&a);
+        prop_assert_eq!(acc.per_model_runs.len(), MODELS);
+        for (i, &runs) in acc.per_model_runs.iter().enumerate() {
+            let from_narrow = narrow.per_model_runs.get(i).copied().unwrap_or(0);
+            prop_assert_eq!(runs, from_narrow + a.per_model_runs[i]);
+        }
+    }
+
+    /// Serde round trip preserves every field exactly (JSON is the serve
+    /// report's wire format).
+    #[test]
+    fn serde_round_trip(a in arb_stats()) {
+        let json = serde_json::to_string(&a).expect("stats serialize");
+        let back: StreamStats = serde_json::from_str(&json).expect("stats deserialize");
+        prop_assert_eq!(a.items, back.items);
+        prop_assert_eq!(a.total_exec_ms, back.total_exec_ms);
+        prop_assert_eq!(a.total_executions, back.total_executions);
+        prop_assert_eq!(&a.per_model_runs, &back.per_model_runs);
+        prop_assert_eq!(a.low_recall_items, back.low_recall_items);
+        prop_assert_eq!(a.recall_sum.to_bits(), back.recall_sum.to_bits());
+        prop_assert_eq!(a.value_sum.to_bits(), back.value_sum.to_bits());
+    }
+}

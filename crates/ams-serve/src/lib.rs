@@ -1,0 +1,34 @@
+//! # ams-serve — sharded serving front-end
+//!
+//! The paper's motivating deployments (image-retrieval ingestion, album
+//! indexing, surveillance) are continuous services, not batch jobs. This
+//! crate turns the labeling engine into one:
+//!
+//! * [`queue`] — bounded per-shard admission queues with selectable
+//!   backpressure (block / reject / shed-oldest).
+//! * [`server`] — the [`AmsServer`]: hash-sharded queues, a worker pool
+//!   per shard over one shared
+//!   [`AdaptiveModelScheduler`](ams_core::framework::AdaptiveModelScheduler),
+//!   deadline-aware load shedding, batched admission into the `ams-sim`
+//!   virtual GPU pool, and graceful drain on shutdown.
+//! * [`telemetry`] — per-request latency histograms split into queue wait
+//!   vs execute, published as p50/p95/p99 summaries.
+//!
+//! Served statistics are *exact*: per-item labeling is deterministic and
+//! every [`StreamStats`](ams_core::streaming::StreamStats) field is an
+//! order-independent sum, so when no request is shed the merged
+//! [`ServeReport::stats`] equal what the serial
+//! [`StreamProcessor`](ams_core::streaming::StreamProcessor) produces over
+//! the same items — sharding and batching change *when* work runs and what
+//! it costs, never what it computes.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod queue;
+pub mod server;
+pub mod telemetry;
+
+pub use queue::{BackpressurePolicy, ShardQueue, SubmitOutcome};
+pub use server::{AmsServer, ServeConfig, ServeReport};
+pub use telemetry::{LatencyHistogram, LatencySummary};

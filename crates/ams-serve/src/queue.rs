@@ -1,0 +1,250 @@
+//! Bounded per-shard admission queues with selectable backpressure.
+//!
+//! Each shard owns one [`ShardQueue`]: a mutex-guarded ring of pending
+//! requests plus two condvars (producers wait on `not_full` under the
+//! [`BackpressurePolicy::Block`] policy, workers wait on `not_empty`).
+//! The queue is the *only* synchronization point between producers and a
+//! shard's workers, and it is held only for O(1) push/pop bookkeeping —
+//! never across labeling work.
+
+use ams_data::ItemTruth;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What a full queue does to the *next* submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the producer until a worker frees a slot (lossless; pushes
+    /// the queueing upstream — the paper's batch-ingestion shape).
+    #[default]
+    Block,
+    /// Refuse the new request immediately (lossy at the edge; the caller
+    /// sees the rejection and can retry elsewhere).
+    Reject,
+    /// Admit the new request and shed the *oldest* queued one (lossy in
+    /// the queue; freshest-first, the surveillance-feed shape where a
+    /// stale frame is worth less than a current one).
+    ShedOldest,
+}
+
+impl BackpressurePolicy {
+    /// Stable lowercase name for reports and JSON records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackpressurePolicy::Block => "block",
+            BackpressurePolicy::Reject => "reject",
+            BackpressurePolicy::ShedOldest => "shed-oldest",
+        }
+    }
+}
+
+/// Outcome of one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued; a worker will label it (or deadline-shed it at dequeue).
+    Enqueued,
+    /// Queued, at the cost of shedding the oldest queued request
+    /// ([`BackpressurePolicy::ShedOldest`] on a full queue).
+    EnqueuedShedOldest,
+    /// Refused: the queue was full ([`BackpressurePolicy::Reject`]) or the
+    /// server is shutting down.
+    Rejected,
+}
+
+/// One labeling request as it sits in a shard queue.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The pre-executed ground-truth item to label.
+    pub item: Arc<ItemTruth>,
+    /// When the request entered the queue (queue-wait clock starts here).
+    pub enqueued_at: Instant,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: VecDeque<Request>,
+    closed: bool,
+    /// Requests dropped from the queue head by [`BackpressurePolicy::ShedOldest`].
+    shed_oldest: u64,
+}
+
+/// A bounded MPMC queue for one shard.
+#[derive(Debug)]
+pub struct ShardQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    policy: BackpressurePolicy,
+}
+
+impl ShardQueue {
+    /// Queue holding at most `capacity` pending requests (min 1).
+    pub fn new(capacity: usize, policy: BackpressurePolicy) -> Self {
+        Self {
+            state: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("shard queue").pending.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests shed from the queue head so far (ShedOldest policy).
+    pub fn shed_oldest_count(&self) -> u64 {
+        self.state.lock().expect("shard queue").shed_oldest
+    }
+
+    /// Submit one request under the queue's backpressure policy.
+    pub fn push(&self, item: Arc<ItemTruth>) -> SubmitOutcome {
+        let mut st = self.state.lock().expect("shard queue");
+        if st.closed {
+            return SubmitOutcome::Rejected;
+        }
+        let mut outcome = SubmitOutcome::Enqueued;
+        if st.pending.len() >= self.capacity {
+            match self.policy {
+                BackpressurePolicy::Block => {
+                    while st.pending.len() >= self.capacity && !st.closed {
+                        st = self.not_full.wait(st).expect("shard queue");
+                    }
+                    if st.closed {
+                        return SubmitOutcome::Rejected;
+                    }
+                }
+                BackpressurePolicy::Reject => return SubmitOutcome::Rejected,
+                BackpressurePolicy::ShedOldest => {
+                    st.pending.pop_front();
+                    st.shed_oldest += 1;
+                    outcome = SubmitOutcome::EnqueuedShedOldest;
+                }
+            }
+        }
+        st.pending.push_back(Request {
+            item,
+            enqueued_at: Instant::now(),
+        });
+        drop(st);
+        self.not_empty.notify_one();
+        outcome
+    }
+
+    /// Pop up to `max_batch` requests, blocking while the queue is open
+    /// and empty. Returns an empty vec only when the queue is closed *and*
+    /// drained — the worker's signal to exit. Never waits to fill a batch:
+    /// coalescing is opportunistic, so an idle server stays low-latency.
+    pub fn pop_batch(&self, max_batch: usize) -> Vec<Request> {
+        let max_batch = max_batch.max(1);
+        let mut st = self.state.lock().expect("shard queue");
+        while st.pending.is_empty() && !st.closed {
+            st = self.not_empty.wait(st).expect("shard queue");
+        }
+        let take = st.pending.len().min(max_batch);
+        let batch: Vec<Request> = st.pending.drain(..take).collect();
+        drop(st);
+        if !batch.is_empty() {
+            // Freed up to `take` slots; wake blocked producers.
+            self.not_full.notify_all();
+        }
+        batch
+    }
+
+    /// Close the queue: subsequent pushes are rejected, blocked producers
+    /// wake and see the rejection, and workers drain what remains.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("shard queue");
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_data::{Dataset, DatasetProfile, TruthTable};
+    use ams_models::ModelZoo;
+
+    fn item() -> Arc<ItemTruth> {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, 1, 5);
+        let truth = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+        Arc::new(truth.item(0).clone())
+    }
+
+    #[test]
+    fn reject_policy_refuses_when_full() {
+        let q = ShardQueue::new(2, BackpressurePolicy::Reject);
+        let it = item();
+        assert_eq!(q.push(Arc::clone(&it)), SubmitOutcome::Enqueued);
+        assert_eq!(q.push(Arc::clone(&it)), SubmitOutcome::Enqueued);
+        assert_eq!(q.push(Arc::clone(&it)), SubmitOutcome::Rejected);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn shed_oldest_drops_head_and_admits() {
+        let q = ShardQueue::new(2, BackpressurePolicy::ShedOldest);
+        let it = item();
+        q.push(Arc::clone(&it));
+        q.push(Arc::clone(&it));
+        assert_eq!(q.push(Arc::clone(&it)), SubmitOutcome::EnqueuedShedOldest);
+        assert_eq!(q.len(), 2, "still at capacity");
+        assert_eq!(q.shed_oldest_count(), 1);
+    }
+
+    #[test]
+    fn block_policy_waits_for_a_slot() {
+        let q = Arc::new(ShardQueue::new(1, BackpressurePolicy::Block));
+        let it = item();
+        q.push(Arc::clone(&it));
+        let q2 = Arc::clone(&q);
+        let it2 = Arc::clone(&it);
+        let producer = std::thread::spawn(move || q2.push(it2));
+        // Give the producer time to block, then free the slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let drained = q.pop_batch(1);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(producer.join().expect("producer"), SubmitOutcome::Enqueued);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_batch_coalesces_up_to_max() {
+        let q = ShardQueue::new(16, BackpressurePolicy::Block);
+        let it = item();
+        for _ in 0..5 {
+            q.push(Arc::clone(&it));
+        }
+        assert_eq!(q.pop_batch(3).len(), 3);
+        assert_eq!(q.pop_batch(3).len(), 2, "takes what's there, no waiting");
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = ShardQueue::new(8, BackpressurePolicy::Block);
+        let it = item();
+        q.push(Arc::clone(&it));
+        q.close();
+        assert_eq!(q.push(Arc::clone(&it)), SubmitOutcome::Rejected);
+        assert_eq!(q.pop_batch(8).len(), 1, "remaining work drains");
+        assert!(q.pop_batch(8).is_empty(), "then workers see the close");
+    }
+}

@@ -1,0 +1,390 @@
+//! The serving front-end: hash-sharded bounded queues feeding per-shard
+//! worker pools over one shared [`AdaptiveModelScheduler`].
+//!
+//! Life of a request: `submit` hashes the item's scene id to a shard and
+//! pushes it into that shard's queue under the configured backpressure
+//! policy. A shard worker pops up to `max_batch` queued requests, sheds
+//! those whose age has already reached the request timeout, labels the
+//! rest through the scheduler, coalesces the batch's model executions into
+//! batched invocations on the virtual GPU pool (the `ams-sim` batching
+//! model — one memory acquisition and one setup charge per model, marginal
+//! cost per extra item), and records the queue-wait / execute latency
+//! split. `shutdown` closes the queues, drains every worker gracefully,
+//! and merges the per-worker shards into one [`ServeReport`].
+
+use crate::queue::{BackpressurePolicy, Request, ShardQueue, SubmitOutcome};
+use crate::telemetry::{LatencyHistogram, LatencySummary};
+use ams_core::framework::{AdaptiveModelScheduler, Budget};
+use ams_core::streaming::StreamStats;
+use ams_data::ItemTruth;
+use ams_models::ModelId;
+use ams_sim::{batched_makespan, BatchLatencyModel, Job};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving front-end configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Hash shards (each with its own bounded queue). Min 1.
+    pub shards: usize,
+    /// Workers per shard. Min 1.
+    pub workers_per_shard: usize,
+    /// Pending-request capacity of each shard queue. Min 1.
+    pub queue_capacity: usize,
+    /// What a full queue does to the next submission.
+    pub policy: BackpressurePolicy,
+    /// Max requests a worker coalesces into one batched admission. Min 1.
+    pub max_batch: usize,
+    /// Calibrated setup + marginal latency split for batched invocations.
+    pub batch_model: BatchLatencyModel,
+    /// Virtual GPU pool each batched invocation packs into, MB.
+    pub pool_mb: u32,
+    /// Deadline-aware shedding: a dequeued request whose queue age has
+    /// reached this many wall-clock milliseconds is shed, not executed
+    /// (`None` disables; `Some(0)` sheds everything — useful in tests).
+    pub request_timeout_ms: Option<u64>,
+    /// Wall-clock milliseconds slept per *virtual* millisecond of each
+    /// batch's execution makespan (see
+    /// [`ams_core::streaming::StreamProcessor::exec_emulation_scale`]);
+    /// batching pays one wait per batch, not per item.
+    pub exec_emulation_scale: f64,
+    /// Items below this recall increment [`StreamStats::low_recall_items`].
+    pub alert_recall: f64,
+}
+
+impl Default for ServeConfig {
+    /// 4 shards × 1 worker, 64-deep queues, lossless blocking admission,
+    /// batches of up to 8 on a 12 GB pool — the paper's single-P100 shape.
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            workers_per_shard: 1,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::default(),
+            max_batch: 8,
+            batch_model: BatchLatencyModel::default(),
+            pool_mb: 12_288,
+            request_timeout_ms: None,
+            exec_emulation_scale: 0.0,
+            alert_recall: 0.5,
+        }
+    }
+}
+
+/// The merged end-of-run serving record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Shard count the server ran with.
+    pub shards: usize,
+    /// Total worker threads.
+    pub workers: usize,
+    /// Backpressure policy name.
+    pub policy: String,
+    /// Requests offered to `submit` (accepted + rejected).
+    pub offered: u64,
+    /// Requests accepted into a queue.
+    pub submitted: u64,
+    /// Requests labeled to completion.
+    pub completed: u64,
+    /// Requests refused at admission (full queue under Reject, or closed).
+    pub rejected: u64,
+    /// Queued requests dropped by the ShedOldest policy.
+    pub shed_oldest: u64,
+    /// Dequeued requests dropped because their queue age reached the
+    /// request timeout.
+    pub shed_deadline: u64,
+    /// Batched invocation rounds the workers ran.
+    pub batches: u64,
+    /// Largest coalesced batch observed.
+    pub max_batch_observed: usize,
+    /// Sum of the batches' virtual execution makespans, ms. Batching and
+    /// pool parallelism compress this below the serial sum of the same
+    /// items' execution times ([`StreamStats::total_exec_ms`]).
+    pub virtual_exec_ms: u64,
+    /// Wall-clock time requests spent queued.
+    pub queue_wait: LatencySummary,
+    /// Wall-clock time requests spent in a worker (label + batched wait).
+    pub execute: LatencySummary,
+    /// Queue wait + execute, per request.
+    pub total: LatencySummary,
+    /// Merged labeling statistics over completed requests — field-for-field
+    /// what a serial [`ams_core::streaming::StreamProcessor`] produces over
+    /// the same items when nothing is shed.
+    pub stats: StreamStats,
+}
+
+impl ServeReport {
+    /// Shed + rejected share of offered load (0 when nothing was offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        (self.rejected + self.shed_oldest + self.shed_deadline) as f64 / self.offered as f64
+    }
+
+    /// Every offered request is accounted for exactly once.
+    pub fn is_conserved(&self) -> bool {
+        self.offered == self.completed + self.rejected + self.shed_oldest + self.shed_deadline
+    }
+}
+
+/// Shared server state (queues + scheduler), behind one `Arc`.
+struct Shared {
+    queues: Vec<ShardQueue>,
+    scheduler: AdaptiveModelScheduler,
+    budget: Budget,
+    cfg: ServeConfig,
+    offered: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Per-worker accumulators, merged at shutdown.
+struct WorkerLocal {
+    stats: StreamStats,
+    queue_wait: LatencyHistogram,
+    execute: LatencyHistogram,
+    total: LatencyHistogram,
+    completed: u64,
+    shed_deadline: u64,
+    batches: u64,
+    max_batch_observed: usize,
+    virtual_exec_ms: u64,
+}
+
+impl WorkerLocal {
+    fn new(num_models: usize) -> Self {
+        Self {
+            stats: StreamStats::with_models(num_models),
+            queue_wait: LatencyHistogram::default(),
+            execute: LatencyHistogram::default(),
+            total: LatencyHistogram::default(),
+            completed: 0,
+            shed_deadline: 0,
+            batches: 0,
+            max_batch_observed: 0,
+            virtual_exec_ms: 0,
+        }
+    }
+}
+
+/// The sharded serving front-end.
+///
+/// ```
+/// use ams_core::framework::{AdaptiveModelScheduler, Budget};
+/// use ams_core::predictor::OraclePredictor;
+/// use ams_data::{Dataset, DatasetProfile, TruthTable};
+/// use ams_models::ModelZoo;
+/// use ams_serve::{AmsServer, ServeConfig};
+/// use std::sync::Arc;
+///
+/// let zoo = ModelZoo::standard();
+/// let ds = Dataset::generate(DatasetProfile::Coco2017, 8, 42);
+/// let truth = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+/// let predictor = Box::new(OraclePredictor::new(zoo.len(), 0.5));
+/// let scheduler = AdaptiveModelScheduler::new(zoo, predictor, 0.5, 42);
+///
+/// let server = AmsServer::start(scheduler, Budget::Deadline { ms: 1000 }, ServeConfig::default());
+/// for item in truth.items() {
+///     server.submit(Arc::new(item.clone()));
+/// }
+/// let report = server.shutdown();
+/// assert_eq!(report.completed, 8);
+/// assert!(report.is_conserved());
+/// ```
+pub struct AmsServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<WorkerLocal>>,
+}
+
+impl AmsServer {
+    /// Spin up the shard queues and worker threads.
+    pub fn start(scheduler: AdaptiveModelScheduler, budget: Budget, cfg: ServeConfig) -> Self {
+        let cfg = ServeConfig {
+            shards: cfg.shards.max(1),
+            workers_per_shard: cfg.workers_per_shard.max(1),
+            queue_capacity: cfg.queue_capacity.max(1),
+            max_batch: cfg.max_batch.max(1),
+            ..cfg
+        };
+        let queues = (0..cfg.shards)
+            .map(|_| ShardQueue::new(cfg.queue_capacity, cfg.policy))
+            .collect();
+        let shared = Arc::new(Shared {
+            queues,
+            scheduler,
+            budget,
+            cfg,
+            offered: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let workers = (0..shared.cfg.shards * shared.cfg.workers_per_shard)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let shard = w / shared.cfg.workers_per_shard;
+                std::thread::spawn(move || worker_loop(&shared, shard))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The shard an item routes to (Fibonacci-hashed scene id).
+    pub fn shard_of(&self, item: &ItemTruth) -> usize {
+        (item.scene_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.shared.cfg.shards
+    }
+
+    /// Submit one item for labeling under the shard's backpressure policy.
+    /// Under [`BackpressurePolicy::Block`] this call waits for queue space.
+    pub fn submit(&self, item: Arc<ItemTruth>) -> SubmitOutcome {
+        let shard = self.shard_of(&item);
+        self.shared.offered.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.shared.queues[shard].push(item);
+        match outcome {
+            SubmitOutcome::Enqueued | SubmitOutcome::EnqueuedShedOldest => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+            }
+            SubmitOutcome::Rejected => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    /// Requests currently queued across all shards (racy snapshot).
+    pub fn pending(&self) -> usize {
+        self.shared.queues.iter().map(ShardQueue::len).sum()
+    }
+
+    /// Close admission, drain every queue through the workers, join them,
+    /// and merge the per-worker shards into the final report.
+    pub fn shutdown(self) -> ServeReport {
+        for q in &self.shared.queues {
+            q.close();
+        }
+        let num_models = self.shared.scheduler.zoo().len();
+        let mut merged = WorkerLocal::new(num_models);
+        for handle in self.workers {
+            let local = handle.join().expect("serve worker panicked");
+            merged.stats.merge(&local.stats);
+            merged.queue_wait.merge(&local.queue_wait);
+            merged.execute.merge(&local.execute);
+            merged.total.merge(&local.total);
+            merged.completed += local.completed;
+            merged.shed_deadline += local.shed_deadline;
+            merged.batches += local.batches;
+            merged.max_batch_observed = merged.max_batch_observed.max(local.max_batch_observed);
+            merged.virtual_exec_ms += local.virtual_exec_ms;
+        }
+        let shed_oldest: u64 = self
+            .shared
+            .queues
+            .iter()
+            .map(ShardQueue::shed_oldest_count)
+            .sum();
+        ServeReport {
+            shards: self.shared.cfg.shards,
+            workers: self.shared.cfg.shards * self.shared.cfg.workers_per_shard,
+            policy: self.shared.cfg.policy.name().to_string(),
+            offered: self.shared.offered.load(Ordering::Relaxed),
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: merged.completed,
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            shed_oldest,
+            shed_deadline: merged.shed_deadline,
+            batches: merged.batches,
+            max_batch_observed: merged.max_batch_observed,
+            virtual_exec_ms: merged.virtual_exec_ms,
+            queue_wait: merged.queue_wait.summary(),
+            execute: merged.execute.summary(),
+            total: merged.total.summary(),
+            stats: merged.stats,
+        }
+    }
+}
+
+/// One worker: pop → shed stale → label → batch-admit → record, until the
+/// shard queue closes and drains.
+fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
+    let zoo = shared.scheduler.zoo();
+    let n = zoo.len();
+    let mut local = WorkerLocal::new(n);
+    let mut runs_per_model = vec![0usize; n];
+    loop {
+        let batch = shared.queues[shard].pop_batch(shared.cfg.max_batch);
+        if batch.is_empty() {
+            return local;
+        }
+        local.batches += 1;
+        local.max_batch_observed = local.max_batch_observed.max(batch.len());
+        let exec_start = Instant::now();
+
+        // Deadline-aware shedding: a request whose queue age has already
+        // reached the timeout is dropped before any work is spent on it.
+        let mut survivors: Vec<(Request, Duration)> = Vec::with_capacity(batch.len());
+        for req in batch {
+            let wait = req.enqueued_at.elapsed();
+            let expired = shared
+                .cfg
+                .request_timeout_ms
+                .is_some_and(|t| wait.as_micros() as u64 >= t.saturating_mul(1000));
+            if expired {
+                local.shed_deadline += 1;
+            } else {
+                survivors.push((req, wait));
+            }
+        }
+
+        // Label each survivor; collect the batch's per-model run counts.
+        runs_per_model.fill(0);
+        let outcomes: Vec<_> = survivors
+            .iter()
+            .map(|(req, _)| {
+                let outcome = shared.scheduler.label_item(&req.item, shared.budget);
+                for &m in &outcome.executed {
+                    runs_per_model[m.index()] += 1;
+                }
+                outcome
+            })
+            .collect();
+
+        // Batched admission: one invocation per model over the whole
+        // coalesced batch, packed into the virtual GPU pool.
+        let groups: Vec<(Job, usize)> = runs_per_model
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(m, &count)| {
+                let spec = zoo.spec(ModelId(m as u8));
+                (
+                    Job {
+                        id: m,
+                        time_ms: spec.time_ms,
+                        mem_mb: spec.mem_mb,
+                    },
+                    count,
+                )
+            })
+            .collect();
+        let makespan_ms = batched_makespan(&groups, shared.cfg.pool_mb, &shared.cfg.batch_model);
+        local.virtual_exec_ms += makespan_ms;
+        if shared.cfg.exec_emulation_scale > 0.0 && makespan_ms > 0 {
+            let wait_ms = makespan_ms as f64 * shared.cfg.exec_emulation_scale;
+            std::thread::sleep(Duration::from_secs_f64(wait_ms / 1000.0));
+        }
+
+        // Whole batch completes together; each member is charged the
+        // batch's execute span on top of its own queue wait.
+        let exec_elapsed = exec_start.elapsed();
+        for ((_, wait), outcome) in survivors.iter().zip(&outcomes) {
+            local.stats.absorb(outcome, shared.cfg.alert_recall);
+            local.queue_wait.record(*wait);
+            local.execute.record(exec_elapsed);
+            local.total.record(*wait + exec_elapsed);
+            local.completed += 1;
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-request latency telemetry: log-bucketed histograms and the summary
+//! quantiles the serving report publishes.
+//!
+//! A serving front-end cares about the *tail*, not the mean, and about
+//! where time went: a request that waited 80 ms in a queue and executed in
+//! 5 ms needs more shards or workers, one that executed in 80 ms needs a
+//! bigger batch or a faster model. The server therefore keeps three
+//! histograms per worker — queue wait, execute, and total — and merges
+//! them at drain, exactly like [`StreamStats`] shards.
+//!
+//! [`StreamStats`]: ams_core::streaming::StreamStats
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric bucket growth per step: ~25% relative error ceiling on any
+/// reported quantile, constant memory, exact (integer-count) merging.
+const GROWTH: f64 = 1.25;
+/// Bucket count: `1.25^128` µs ≈ 30 days — anything beyond lands in the
+/// last bucket (whose quantile reads report the observed max) instead of
+/// being dropped.
+const BUCKETS: usize = 128;
+
+/// A log-bucketed latency histogram over microseconds.
+///
+/// Recording is O(1), merging is element-wise addition (order-independent,
+/// like every serving statistic), and quantiles are read by walking the
+/// cumulative counts. Values are clamped into the last bucket rather than
+/// dropped, so `count` is always the number of recorded requests.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+/// Upper bound (µs) of bucket `i`.
+fn bucket_bound_us(i: usize) -> u64 {
+    GROWTH.powi(i as i32 + 1) as u64
+}
+
+/// Bucket index for a value in microseconds.
+fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        return 0;
+    }
+    let idx = (us as f64).ln() / GROWTH.ln();
+    (idx as usize).min(BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// Record one latency in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Record a [`std::time::Duration`].
+    pub fn record(&mut self, d: std::time::Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded latencies.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`, as the upper bound of the
+    /// bucket holding that rank (≤ ~25% relative overestimate). Returns 0
+    /// when empty; the top quantile reports the exact observed max.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == BUCKETS - 1 {
+                    // The overflow bucket is unbounded; its only honest
+                    // upper bound is the observed max.
+                    self.max_us
+                } else {
+                    bucket_bound_us(i).min(self.max_us)
+                };
+            }
+        }
+        self.max_us
+    }
+
+    /// Fold another histogram into this one (shard merge).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Condense into the serializable summary the report publishes.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_us: self.mean_us(),
+            p50_us: self.quantile_us(0.50),
+            p95_us: self.quantile_us(0.95),
+            p99_us: self.quantile_us(0.99),
+            max_us: self.max_us,
+        }
+    }
+}
+
+/// The published latency quantiles (all wall-clock microseconds).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Observed maximum.
+    pub max_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        // Bucket upper bounds overestimate by at most the growth factor.
+        assert!((400..=650).contains(&p50), "p50 = {p50}");
+        assert!((950..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile_us(1.0), 1000);
+        assert!((h.mean_us() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.summary().p50_us, 0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut whole = LatencyHistogram::default();
+        for us in [3u64, 17, 170, 1700, 90_000, 2_000_000] {
+            whole.record_us(us);
+            if us < 1000 { &mut a } else { &mut b }.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max_us(), whole.max_us());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_us(q), whole.quantile_us(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn huge_values_clamp_into_last_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record_us(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let mut h = LatencyHistogram::default();
+        for us in [10u64, 100, 1000] {
+            h.record_us(us);
+        }
+        let s = h.summary();
+        let json = serde_json::to_string(&s).expect("summary serializes");
+        let back: LatencySummary = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.count, 3);
+        assert_eq!(back.p99_us, s.p99_us);
+    }
+}

@@ -1,0 +1,245 @@
+//! End-to-end serving tests: when backpressure never triggers, serve-mode
+//! statistics must equal the serial stream engine's over the same items —
+//! across shard counts, worker counts, and batch sizes — and every offered
+//! request must be accounted for exactly once under every policy.
+
+use ams_core::framework::{AdaptiveModelScheduler, Budget};
+use ams_core::predictor::OraclePredictor;
+use ams_core::streaming::{StreamProcessor, StreamStats};
+use ams_data::{Dataset, DatasetProfile, TruthTable};
+use ams_models::ModelZoo;
+use ams_serve::{AmsServer, BackpressurePolicy, ServeConfig, SubmitOutcome};
+use std::sync::Arc;
+
+fn scheduler() -> AdaptiveModelScheduler {
+    let zoo = ModelZoo::standard();
+    let predictor = Box::new(OraclePredictor::new(zoo.len(), 0.5));
+    AdaptiveModelScheduler::new(zoo, predictor, 0.5, 64)
+}
+
+fn truth(items: usize) -> TruthTable {
+    let zoo = ModelZoo::standard();
+    let ds = Dataset::generate(DatasetProfile::Coco2017, items, 64);
+    TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5)
+}
+
+fn serial_stats(budget: Budget, table: &TruthTable) -> StreamStats {
+    let mut serial = StreamProcessor::new(scheduler(), budget);
+    serial.process_all(table.items());
+    serial.stats().clone()
+}
+
+fn assert_stats_match(got: &StreamStats, want: &StreamStats, ctx: &str) {
+    assert_eq!(got.items, want.items, "{ctx}: items");
+    assert_eq!(got.total_exec_ms, want.total_exec_ms, "{ctx}: exec ms");
+    assert_eq!(got.total_executions, want.total_executions, "{ctx}: execs");
+    assert_eq!(got.per_model_runs, want.per_model_runs, "{ctx}: per-model");
+    assert_eq!(got.low_recall_items, want.low_recall_items, "{ctx}: alerts");
+    assert!(
+        (got.recall_sum - want.recall_sum).abs() < 1e-9,
+        "{ctx}: recall_sum {} vs {}",
+        got.recall_sum,
+        want.recall_sum
+    );
+    assert!(
+        (got.value_sum - want.value_sum).abs() < 1e-9,
+        "{ctx}: value_sum"
+    );
+}
+
+/// The acceptance-criterion test: serve-mode stats equal the serial
+/// engine's on the same item stream whenever backpressure never triggers,
+/// for several shard/worker/batch shapes.
+#[test]
+fn serve_stats_match_serial_when_nothing_is_shed() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(40);
+    let want = serial_stats(budget, &table);
+    for (shards, workers_per_shard, max_batch) in
+        [(1, 1, 1), (1, 4, 8), (3, 1, 4), (4, 2, 8), (8, 1, 1)]
+    {
+        let cfg = ServeConfig {
+            shards,
+            workers_per_shard,
+            max_batch,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            request_timeout_ms: None,
+            ..ServeConfig::default()
+        };
+        let server = AmsServer::start(scheduler(), budget, cfg);
+        for item in table.items() {
+            assert_ne!(
+                server.submit(Arc::new(item.clone())),
+                SubmitOutcome::Rejected,
+                "lossless config must accept everything"
+            );
+        }
+        let report = server.shutdown();
+        let ctx = format!("{shards} shards x {workers_per_shard} workers, batch {max_batch}");
+        assert_eq!(report.completed, 40, "{ctx}");
+        assert_eq!(
+            report.shed_deadline + report.shed_oldest + report.rejected,
+            0
+        );
+        assert!(report.is_conserved(), "{ctx}");
+        assert_stats_match(&report.stats, &want, &ctx);
+        assert_eq!(report.total.count, 40, "{ctx}: every request timed");
+        assert!(report.batches > 0 && report.max_batch_observed <= max_batch);
+    }
+}
+
+/// Batched admission compresses virtual execution: the sum of batch
+/// makespans never exceeds the serial sum of the same items' execution
+/// times, and the compression is strict once real coalescing happens.
+#[test]
+fn batched_admission_compresses_virtual_exec_time() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(48);
+    let cfg = ServeConfig {
+        shards: 1,
+        workers_per_shard: 1,
+        max_batch: 16,
+        queue_capacity: 64,
+        policy: BackpressurePolicy::Block,
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler(), budget, cfg);
+    for item in table.items() {
+        server.submit(Arc::new(item.clone()));
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 48);
+    assert!(
+        report.virtual_exec_ms <= report.stats.total_exec_ms,
+        "batching can only compress: {} > {}",
+        report.virtual_exec_ms,
+        report.stats.total_exec_ms
+    );
+    assert!(report.virtual_exec_ms > 0);
+}
+
+/// Reject policy on a tiny queue with no workers draining fast enough:
+/// rejections surface to the submitter and the ledger still balances.
+#[test]
+fn reject_policy_accounts_for_every_request() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(60);
+    let cfg = ServeConfig {
+        shards: 1,
+        workers_per_shard: 1,
+        queue_capacity: 2,
+        max_batch: 2,
+        policy: BackpressurePolicy::Reject,
+        // Slow the worker so the queue genuinely fills.
+        exec_emulation_scale: 5e-3,
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler(), budget, cfg);
+    let mut rejected = 0u64;
+    for item in table.items() {
+        if server.submit(Arc::new(item.clone())) == SubmitOutcome::Rejected {
+            rejected += 1;
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.rejected, rejected);
+    assert!(report.rejected > 0, "a 2-deep queue must overflow");
+    assert!(report.is_conserved());
+    assert_eq!(report.completed + report.rejected, 60);
+    assert!(report.shed_rate() > 0.0);
+}
+
+/// ShedOldest policy: the queue stays fresh by dropping its head; sheds
+/// are counted and the ledger balances.
+#[test]
+fn shed_oldest_policy_keeps_admitting() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(60);
+    let cfg = ServeConfig {
+        shards: 1,
+        workers_per_shard: 1,
+        queue_capacity: 2,
+        max_batch: 2,
+        policy: BackpressurePolicy::ShedOldest,
+        exec_emulation_scale: 5e-3,
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler(), budget, cfg);
+    for item in table.items() {
+        assert_ne!(
+            server.submit(Arc::new(item.clone())),
+            SubmitOutcome::Rejected,
+            "shed-oldest always admits while open"
+        );
+    }
+    let report = server.shutdown();
+    assert!(report.shed_oldest > 0, "a 2-deep queue must shed");
+    assert_eq!(report.rejected, 0);
+    assert!(report.is_conserved());
+    assert_eq!(report.completed + report.shed_oldest, 60);
+}
+
+/// Deadline-aware shedding: with a zero timeout every dequeued request is
+/// already expired, so everything is shed and nothing is executed.
+#[test]
+fn zero_timeout_sheds_every_request_at_dequeue() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(20);
+    let cfg = ServeConfig {
+        shards: 2,
+        request_timeout_ms: Some(0),
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler(), budget, cfg);
+    for item in table.items() {
+        server.submit(Arc::new(item.clone()));
+    }
+    let report = server.shutdown();
+    assert_eq!(report.shed_deadline, 20);
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.stats.items, 0);
+    assert!(report.is_conserved());
+    assert!((report.shed_rate() - 1.0).abs() < 1e-12);
+}
+
+/// Graceful drain: everything accepted before shutdown is processed, and
+/// submissions after shutdown-close are rejected (observed via a queue
+/// closed mid-stream — the server consumes itself on shutdown, so the
+/// post-shutdown path is exercised through the conservation ledger).
+#[test]
+fn shutdown_drains_backlog_and_latency_split_is_recorded() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(32);
+    let cfg = ServeConfig {
+        shards: 2,
+        workers_per_shard: 1,
+        queue_capacity: 32,
+        max_batch: 4,
+        policy: BackpressurePolicy::Block,
+        exec_emulation_scale: 1e-3,
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler(), budget, cfg);
+    for item in table.items() {
+        server.submit(Arc::new(item.clone()));
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 32, "backlog drained, not dropped");
+    assert_eq!(report.queue_wait.count, 32);
+    assert_eq!(report.execute.count, 32);
+    assert_eq!(report.total.count, 32);
+    // The latency split is internally consistent: total >= each part.
+    assert!(report.total.p50_us >= report.queue_wait.p50_us.min(report.execute.p50_us));
+    assert!(report.total.max_us >= report.execute.max_us);
+    assert!(report.total.max_us >= report.queue_wait.max_us);
+    assert!(
+        report.execute.mean_us > 0.0,
+        "emulated execution takes time"
+    );
+    // And the report serializes for the bench harness.
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let back: ams_serve::ServeReport = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.completed, 32);
+    assert_eq!(back.policy, "block");
+}

@@ -1,0 +1,207 @@
+//! Batched admission: a calibrated per-batch latency model.
+//!
+//! A real GPU serving stack coalesces items queued for the same model into
+//! one batched invocation: the model's weights are loaded (or already
+//! resident) once, the kernels launch once, and each extra item only pays
+//! the marginal per-item compute. The virtual executors model this as
+//!
+//! ```text
+//! batch_time(k) = setup + k * marginal        (k items, same model)
+//! ```
+//!
+//! calibrated against the model's published single-item latency so that
+//! `batch_time(1)` equals `time_ms` exactly — batching is free to help but
+//! can never make a lone job faster than its spec says. Memory is charged
+//! once per batch (the weights dominate and are shared; per-item
+//! activations are folded into the spec's peak figure).
+
+use crate::parallel::ParallelExecutor;
+use crate::Job;
+use serde::{Deserialize, Serialize};
+
+/// Calibrated setup + marginal per-item latency split for batched execution.
+///
+/// `setup_permille` is the share (in thousandths) of a model's single-item
+/// latency that is fixed per invocation — weight residency checks, kernel
+/// launch, host/device transfer setup. The remainder is the marginal
+/// per-item cost. Integer millisecond arithmetic keeps virtual schedules
+/// exactly reproducible:
+///
+/// * `batch_time_ms(t, 1) == t` for every `t` (calibration identity),
+/// * `batch_time_ms(t, k)` is non-decreasing in `k` (monotonicity),
+/// * `batch_time_ms(t, k) <= k * t` (batching never loses to k serial runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchLatencyModel {
+    setup_permille: u32,
+}
+
+impl BatchLatencyModel {
+    /// Model with the given fixed-setup share, clamped to `0..=1000`.
+    pub fn new(setup_permille: u32) -> Self {
+        Self {
+            setup_permille: setup_permille.min(1000),
+        }
+    }
+
+    /// The configured fixed-setup share in thousandths.
+    pub fn setup_permille(&self) -> u32 {
+        self.setup_permille
+    }
+
+    /// Fixed setup portion of a single-item latency of `single_ms`.
+    pub fn setup_ms(&self, single_ms: u32) -> u64 {
+        u64::from(single_ms) * u64::from(self.setup_permille) / 1000
+    }
+
+    /// Marginal per-item portion of a single-item latency of `single_ms`.
+    pub fn marginal_ms(&self, single_ms: u32) -> u64 {
+        u64::from(single_ms) - self.setup_ms(single_ms)
+    }
+
+    /// Latency of one batched invocation over `batch` items of a model
+    /// whose single-item latency is `single_ms`. Zero items cost nothing.
+    pub fn batch_time_ms(&self, single_ms: u32, batch: usize) -> u64 {
+        if batch == 0 {
+            return 0;
+        }
+        self.setup_ms(single_ms) + batch as u64 * self.marginal_ms(single_ms)
+    }
+}
+
+impl Default for BatchLatencyModel {
+    /// 70% fixed setup: the measured shape of small-batch vision inference,
+    /// where weight residency and launch overhead dominate a single item.
+    fn default() -> Self {
+        Self::new(700)
+    }
+}
+
+/// Virtual makespan of running `groups` of batched jobs — `(job, count)`
+/// pairs, one per model, where `job` carries the model's single-item spec —
+/// on a shared pool of `capacity_mb`, under `model`'s latency split.
+///
+/// Greedy event loop (the Algorithm 2 shape): admit every batch that fits,
+/// wait for the earliest completion, repeat. Deterministic for a given
+/// group order. A batch whose weights exceed the whole pool is clamped to
+/// the pool (it would stream from host memory; it still runs, exclusively).
+pub fn batched_makespan(
+    groups: &[(Job, usize)],
+    capacity_mb: u32,
+    model: &BatchLatencyModel,
+) -> u64 {
+    let capacity_mb = capacity_mb.max(1);
+    let mut ex = ParallelExecutor::new(capacity_mb);
+    let mut pending: Vec<(Job, usize)> = groups
+        .iter()
+        .filter(|&&(_, count)| count > 0)
+        .map(|&(job, count)| {
+            (
+                Job {
+                    mem_mb: job.mem_mb.min(capacity_mb),
+                    ..job
+                },
+                count,
+            )
+        })
+        .collect();
+    while !pending.is_empty() {
+        let mut i = 0;
+        while i < pending.len() {
+            if ex.fits(pending[i].0.mem_mb) {
+                let (job, count) = pending.remove(i);
+                ex.admit_batch(job, count, model)
+                    .expect("fits() admits the batch");
+            } else {
+                i += 1;
+            }
+        }
+        if ex.wait_next().is_none() {
+            break;
+        }
+    }
+    ex.drain();
+    ex.now_ms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_item_batch_is_calibrated_exactly() {
+        for permille in [0, 137, 500, 700, 1000] {
+            let m = BatchLatencyModel::new(permille);
+            for t in [1u32, 7, 90, 333, 2000] {
+                assert_eq!(m.batch_time_ms(t, 1), u64::from(t), "permille {permille}");
+                assert_eq!(m.setup_ms(t) + m.marginal_ms(t), u64::from(t));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_time_monotone_and_bounded_by_serial() {
+        let m = BatchLatencyModel::default();
+        for t in [1u32, 45, 90, 700] {
+            let mut prev = 0;
+            for k in 1..=64usize {
+                let bt = m.batch_time_ms(t, k);
+                assert!(bt >= prev, "monotone in batch size");
+                assert!(bt >= u64::from(t), "never cheaper than one full run");
+                assert!(bt <= k as u64 * u64::from(t), "never worse than serial");
+                prev = bt;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        assert_eq!(BatchLatencyModel::default().batch_time_ms(500, 0), 0);
+    }
+
+    #[test]
+    fn permille_clamped() {
+        let m = BatchLatencyModel::new(5000);
+        assert_eq!(m.setup_permille(), 1000);
+        assert_eq!(m.marginal_ms(100), 0);
+        assert_eq!(m.batch_time_ms(100, 50), 100, "pure-setup model is flat");
+    }
+
+    #[test]
+    fn makespan_of_disjoint_fitting_groups_is_longest_batch() {
+        let m = BatchLatencyModel::new(500);
+        let j = |id, t, mem| Job {
+            id,
+            time_ms: t,
+            mem_mb: mem,
+        };
+        let groups = [(j(0, 100, 300), 4), (j(1, 200, 300), 2)];
+        // batch 0: 50 + 4*50 = 250; batch 1: 100 + 2*100 = 300
+        assert_eq!(batched_makespan(&groups, 1000, &m), 300);
+    }
+
+    #[test]
+    fn makespan_serializes_under_memory_pressure() {
+        let m = BatchLatencyModel::new(0); // no setup: batch k = k * t
+        let job = Job {
+            id: 0,
+            time_ms: 100,
+            mem_mb: 600,
+        };
+        // Two 600 MB batches on a 1000 MB pool cannot overlap.
+        let groups = [(job, 1), (Job { id: 1, ..job }, 1)];
+        assert_eq!(batched_makespan(&groups, 1000, &m), 200);
+        // On a 1200 MB pool they run concurrently.
+        assert_eq!(batched_makespan(&groups, 1200, &m), 100);
+    }
+
+    #[test]
+    fn oversized_batch_is_clamped_not_stuck() {
+        let m = BatchLatencyModel::default();
+        let job = Job {
+            id: 0,
+            time_ms: 100,
+            mem_mb: 50_000,
+        };
+        assert_eq!(batched_makespan(&[(job, 1)], 1000, &m), 100);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`parallel`] — event-driven multi-processor executor: jobs run
 //!   concurrently while they fit in memory; completions release memory
 //!   (the setting of Algorithm 2).
+//! * [`batch`] — batched admission: coalesce same-model items into one
+//!   invocation under a calibrated setup + marginal-per-item latency split.
 //! * [`trace`] — execution traces and their invariants.
 //!
 //! The crate is deliberately generic: a job is just `(id, time, memory)`.
@@ -21,12 +23,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod clock;
 pub mod gpu;
 pub mod parallel;
 pub mod serial;
 pub mod trace;
 
+pub use batch::{batched_makespan, BatchLatencyModel};
 pub use clock::VirtualClock;
 pub use gpu::MemoryPool;
 pub use parallel::ParallelExecutor;

@@ -1,7 +1,9 @@
 //! Property tests for the execution substrate: memory conservation, trace
 //! invariants, and serial/parallel consistency.
 
-use ams_sim::{Job, MemoryPool, ParallelExecutor, SerialExecutor};
+use ams_sim::{
+    batched_makespan, BatchLatencyModel, Job, MemoryPool, ParallelExecutor, SerialExecutor,
+};
 use proptest::prelude::*;
 
 fn arb_jobs() -> impl Strategy<Value = Vec<Job>> {
@@ -94,6 +96,98 @@ proptest! {
             prop_assert!(pool.in_use_mb() <= capacity);
             prop_assert!(pool.peak_mb() >= pool.in_use_mb());
         }
+    }
+
+    /// The per-batch latency model is calibrated (batch of 1 = the single
+    /// job), monotone in batch size, and never cheaper than the max single
+    /// job nor dearer than running the batch serially.
+    #[test]
+    fn batch_latency_model_calibrated_and_monotone(
+        single_ms in 1u32..5000,
+        permille in 0u32..=1000,
+        batch in 1usize..128,
+    ) {
+        let m = BatchLatencyModel::new(permille);
+        prop_assert_eq!(m.batch_time_ms(single_ms, 1), u64::from(single_ms));
+        let t = m.batch_time_ms(single_ms, batch);
+        prop_assert!(t >= m.batch_time_ms(single_ms, batch.saturating_sub(1)));
+        prop_assert!(t <= m.batch_time_ms(single_ms, batch + 1));
+        prop_assert!(t >= u64::from(single_ms), "never cheaper than one full run");
+        prop_assert!(t <= batch as u64 * u64::from(single_ms), "never worse than serial");
+        prop_assert_eq!(m.setup_ms(single_ms) + m.marginal_ms(single_ms), u64::from(single_ms));
+    }
+
+    /// Batched admission conserves pool memory: weights are acquired once
+    /// per batch, every admission/release balances, and the trace respects
+    /// the capacity.
+    #[test]
+    fn batched_admission_conserves_memory(
+        groups in prop::collection::vec((50u32..500, 500u32..8000, 1usize..32), 1..20),
+        capacity in 8000u32..20000,
+        permille in 0u32..=1000,
+    ) {
+        let model = BatchLatencyModel::new(permille);
+        let mut ex = ParallelExecutor::new(capacity);
+        let mut pending: Vec<(Job, usize)> = groups
+            .iter()
+            .enumerate()
+            .map(|(id, &(time_ms, mem_mb, count))| (Job { id, time_ms, mem_mb }, count))
+            .collect();
+        let mut admitted = 0usize;
+        while !pending.is_empty() || ex.running_count() > 0 {
+            let mut i = 0;
+            while i < pending.len() {
+                if ex.fits(pending[i].0.mem_mb) {
+                    let (job, count) = pending.remove(i);
+                    let dur = ex.admit_batch(job, count, &model).expect("fits() said yes");
+                    prop_assert_eq!(dur, model.batch_time_ms(job.time_ms, count));
+                    admitted += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            prop_assert!(ex.available_mb() <= capacity);
+            if ex.wait_next().is_none() {
+                break;
+            }
+        }
+        // every admitted batch ran and released its memory
+        prop_assert_eq!(ex.running_count(), 0);
+        prop_assert_eq!(ex.available_mb(), capacity);
+        for p in &pending {
+            prop_assert!(p.0.mem_mb > capacity, "only pool-exceeding batches remain");
+        }
+        let trace = ex.into_trace();
+        prop_assert_eq!(trace.spans.len(), admitted);
+        prop_assert!(trace.respects_memory(capacity));
+    }
+
+    /// `batched_makespan` is bounded below by the longest single batch and
+    /// above by the serial sum of batch times.
+    #[test]
+    fn batched_makespan_within_scheduling_bounds(
+        groups in prop::collection::vec((50u32..500, 500u32..8000, 1usize..32), 1..20),
+        capacity in 1000u32..20000,
+        permille in 0u32..=1000,
+    ) {
+        let model = BatchLatencyModel::new(permille);
+        let gs: Vec<(Job, usize)> = groups
+            .iter()
+            .enumerate()
+            .map(|(id, &(time_ms, mem_mb, count))| (Job { id, time_ms, mem_mb }, count))
+            .collect();
+        let makespan = batched_makespan(&gs, capacity, &model);
+        let longest = gs
+            .iter()
+            .map(|&(j, c)| model.batch_time_ms(j.time_ms, c))
+            .max()
+            .unwrap_or(0);
+        let serial: u64 = gs
+            .iter()
+            .map(|&(j, c)| model.batch_time_ms(j.time_ms, c))
+            .sum();
+        prop_assert!(makespan >= longest);
+        prop_assert!(makespan <= serial);
     }
 
     /// The parallel executor with capacity >= all jobs behaves like pure

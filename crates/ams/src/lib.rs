@@ -9,10 +9,14 @@
 //!   inference and ground-truth tables.
 //! * [`nn`] — the dense neural-network substrate.
 //! * [`rl`] — the labeling MDP and the four DRL training schemas.
-//! * [`sim`] — virtual-time serial/parallel executors and the GPU pool.
+//! * [`sim`] — virtual-time serial/parallel executors, the GPU pool, and
+//!   batched admission.
 //! * [`core`] — value prediction, Algorithms 1–2, baselines, rules, the
 //!   relation graph, and the [`core::framework::AdaptiveModelScheduler`]
 //!   facade.
+//! * [`serve`] — the sharded serving front-end: bounded queues with
+//!   backpressure, batched admission, deadline shedding, and latency
+//!   telemetry.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,7 @@ pub use ams_data as data;
 pub use ams_models as models;
 pub use ams_nn as nn;
 pub use ams_rl as rl;
+pub use ams_serve as serve;
 pub use ams_sim as sim;
 
 /// Everything a typical user needs, importable in one line.
@@ -81,5 +86,11 @@ pub mod prelude {
         BatchScratch, EvalSummary, LabelingEnv, RewardConfig, Rollout, ScalarScratch, Smoothing,
         TrainConfig, TrainStats, TrainedAgent,
     };
-    pub use ams_sim::{ExecTrace, Job, MemoryPool, ParallelExecutor, SerialExecutor, Span};
+    pub use ams_serve::{
+        AmsServer, BackpressurePolicy, LatencySummary, ServeConfig, ServeReport, SubmitOutcome,
+    };
+    pub use ams_sim::{
+        batched_makespan, BatchLatencyModel, ExecTrace, Job, MemoryPool, ParallelExecutor,
+        SerialExecutor, Span,
+    };
 }

@@ -30,6 +30,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo build --release"
     cargo build --release
+
+    # Serving-path gate: a seconds-long sweep that asserts serve-mode stats
+    # still equal the serial engine's (writes target/BENCH_serve.smoke.json,
+    # never the committed BENCH_serve.json).
+    echo "==> bench_serve --smoke"
+    cargo run --release -p ams-bench --bin bench_serve -- --smoke >/dev/null
 fi
 
 echo "==> cargo test -q"

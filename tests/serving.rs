@@ -1,0 +1,103 @@
+//! End-to-end serving integration: the full deployable pipeline — trained
+//! DRL agent → adaptive scheduler → sharded serving front-end — must
+//! produce exactly the statistics the serial stream engine does over the
+//! same item stream when backpressure never triggers, while the batched
+//! admission layer compresses virtual execution cost.
+
+use ams::prelude::*;
+use std::sync::Arc;
+
+fn pipeline() -> (TruthTable, TrainedAgent, u64) {
+    let zoo = ModelZoo::standard();
+    let dataset = Dataset::generate(DatasetProfile::Coco2017, 36, 2026);
+    let truth = TruthTable::build(&zoo, &zoo.catalog(), &dataset, 0.5);
+    let cfg = TrainConfig {
+        episodes: 16,
+        ..TrainConfig::fast_test(Algo::Dqn)
+    };
+    let (agent, _) = train(truth.items(), zoo.len(), &cfg);
+    (truth, agent, dataset.world_seed)
+}
+
+fn scheduler_for(agent: TrainedAgent, world_seed: u64) -> AdaptiveModelScheduler {
+    AdaptiveModelScheduler::new(
+        ModelZoo::standard(),
+        Box::new(AgentPredictor::new(agent)),
+        0.5,
+        world_seed,
+    )
+}
+
+#[test]
+fn served_agent_pipeline_matches_serial_engine() {
+    let (truth, agent, world_seed) = pipeline();
+    let budget = Budget::Deadline { ms: 800 };
+
+    let mut serial = StreamProcessor::new(scheduler_for(agent.clone(), world_seed), budget);
+    serial.process_all(truth.items());
+    let want = serial.stats().clone();
+
+    let cfg = ServeConfig {
+        shards: 3,
+        workers_per_shard: 2,
+        max_batch: 4,
+        policy: BackpressurePolicy::Block,
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler_for(agent, world_seed), budget, cfg);
+    for item in truth.items() {
+        assert_ne!(
+            server.submit(Arc::new(item.clone())),
+            SubmitOutcome::Rejected,
+            "lossless serving config must accept every request"
+        );
+    }
+    let report = server.shutdown();
+
+    // Nothing shed → serve-mode stats are the serial engine's, exactly.
+    assert!(report.is_conserved());
+    assert_eq!(report.completed, want.items as u64);
+    assert_eq!(
+        report.rejected + report.shed_oldest + report.shed_deadline,
+        0
+    );
+    assert_eq!(report.stats.items, want.items);
+    assert_eq!(report.stats.total_exec_ms, want.total_exec_ms);
+    assert_eq!(report.stats.total_executions, want.total_executions);
+    assert_eq!(report.stats.per_model_runs, want.per_model_runs);
+    assert_eq!(report.stats.low_recall_items, want.low_recall_items);
+    assert!((report.stats.recall_sum - want.recall_sum).abs() < 1e-9);
+    assert!((report.stats.value_sum - want.value_sum).abs() < 1e-9);
+    assert!((report.stats.mean_recall() - want.mean_recall()).abs() < 1e-12);
+
+    // Batched admission only compresses the virtual execution bill.
+    assert!(report.virtual_exec_ms > 0);
+    assert!(report.virtual_exec_ms <= report.stats.total_exec_ms);
+
+    // Telemetry covered every request with a coherent wait/execute split.
+    assert_eq!(report.total.count, want.items as u64);
+    assert_eq!(report.queue_wait.count, report.execute.count);
+    assert!(report.total.max_us >= report.execute.max_us);
+    assert!(report.total.p99_us >= report.total.p50_us);
+}
+
+#[test]
+fn served_report_survives_json_round_trip() {
+    let (truth, agent, world_seed) = pipeline();
+    let budget = Budget::Deadline { ms: 800 };
+    let server = AmsServer::start(
+        scheduler_for(agent, world_seed),
+        budget,
+        ServeConfig::default(),
+    );
+    for item in truth.items().iter().take(12) {
+        server.submit(Arc::new(item.clone()));
+    }
+    let report = server.shutdown();
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let back: ServeReport = serde_json::from_str(&json).expect("report parses");
+    assert_eq!(back.completed, report.completed);
+    assert_eq!(back.stats.per_model_runs, report.stats.per_model_runs);
+    assert_eq!(back.total.p99_us, report.total.p99_us);
+    assert!((back.shed_rate() - report.shed_rate()).abs() < 1e-12);
+}
