@@ -2,7 +2,12 @@
 //! stream processing. Writes the measured trajectory to
 //! `BENCH_hotpath.json` (methodology in `PERF.md`).
 //!
-//! Run with: `cargo run --release -p ams-bench --bin bench_hotpath`
+//! `--smoke` runs a shortened pass (fewer timed iterations, smaller stream
+//! fixture) and writes `target/BENCH_hotpath.smoke.json` instead — the CI
+//! bench gate compares it against the committed smoke baseline without
+//! ever clobbering the full record.
+//!
+//! Run with: `cargo run --release -p ams-bench --bin bench_hotpath [-- --smoke]`
 
 use ams::nn::{BatchFwdCache, BatchInput, FwdCache, Input, QNet, QNetConfig};
 use ams::prelude::*;
@@ -24,6 +29,7 @@ struct Measurement {
 struct Record {
     description: String,
     cores_available: usize,
+    smoke: bool,
     batch: usize,
     /// The seed repository's learn step (scalar passes, per-call backward
     /// allocations, non-vectorized Adam) — the pre-PR baseline.
@@ -79,6 +85,10 @@ fn time_ns(mut f: impl FnMut(), warmup: u64, iters: u64) -> (f64, u64) {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Shortened smoke pass: enough iterations that the speedup ratios are
+    // stable to well under the gate tolerances, small enough for CI.
+    let (warmup, iters) = if smoke { (10u64, 80u64) } else { (30, 300) };
     let mut trajectory: Vec<Measurement> = Vec::new();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -112,8 +122,8 @@ fn main() {
                 &mut scratch_seed,
             );
         },
-        30,
-        300,
+        warmup,
+        iters,
     );
     trajectory.push(Measurement {
         name: "learn_step_seed_baseline_b32".into(),
@@ -140,8 +150,8 @@ fn main() {
                 &mut scratch_s,
             );
         },
-        30,
-        300,
+        warmup,
+        iters,
     );
     trajectory.push(Measurement {
         name: "learn_step_scalar_b32".into(),
@@ -177,8 +187,8 @@ fn main() {
                 &mut scratch_b,
             );
         },
-        30,
-        300,
+        warmup,
+        iters,
     );
     trajectory.push(Measurement {
         name: "learn_step_batched_b32".into(),
@@ -205,7 +215,11 @@ fn main() {
 
     // ---- stream engine: serial vs parallel ------------------------------
     let emu_scale = 1.0e-3; // 1 wall-clock us per virtual execution ms
-    let setup = ams_bench::hotpath::StreamSetup::paper(240, 120);
+    let setup = if smoke {
+        ams_bench::hotpath::StreamSetup::paper(96, 24)
+    } else {
+        ams_bench::hotpath::StreamSetup::paper(240, 120)
+    };
     let budget = Budget::Deadline { ms: 1000 };
     let items = setup.truth.items();
 
@@ -217,7 +231,7 @@ fn main() {
     // Compute-only (virtual execution elided): core-bound. Enough rounds
     // that each measurement spans tens of milliseconds — at ~5 µs/item the
     // old 3-round window was noise-dominated.
-    let serial_rounds = 20usize;
+    let serial_rounds = if smoke { 8usize } else { 20 };
     serial.process_all(items.iter().take(24)); // warmup
     serial.reset_stats();
     let t0 = Instant::now();
@@ -278,6 +292,7 @@ fn main() {
                       DRL-agent predictor). See PERF.md for methodology."
             .into(),
         cores_available: cores,
+        smoke,
         batch: cfg.batch,
         learn_seed_ns: seed_ns,
         learn_scalar_ns: scalar_ns,
@@ -301,7 +316,14 @@ fn main() {
     };
 
     let json = serde_json::to_string_pretty(&record).expect("record serializes");
-    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    // Smoke runs are a CI gate, not a measurement: don't clobber the
+    // committed full-run record.
+    let path = if smoke {
+        "target/BENCH_hotpath.smoke.json"
+    } else {
+        "BENCH_hotpath.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("{json}");
     eprintln!(
         "learn_step speedup: {:.2}x | stream speedup @{} threads on {} core(s): {:.2}x",

@@ -1,6 +1,8 @@
 //! Serving benchmark: drive the sharded front-end through an offered-load
 //! sweep and record throughput, tail latency, shed rate, and recall at
-//! each point. Writes `BENCH_serve.json` (methodology in `PERF.md`).
+//! each point; compare hash vs model-affinity routing; and close the loop
+//! on the adaptive batch-limit controller. Writes `BENCH_serve.json`
+//! (methodology in `PERF.md`).
 //!
 //! Two load modes:
 //! * **closed loop** — submissions block on queue space, so the measured
@@ -10,6 +12,15 @@
 //!   server progress (the real-traffic shape); overload shows up as queue
 //!   growth, shed requests, and tail-latency blowup rather than as a
 //!   silently slowed producer.
+//!
+//! Three gates run *inside* the bench (the process aborts on violation, so
+//! a green record is a green guarantee):
+//! * serve-mode stats equal the serial engine's, under hash **and**
+//!   affinity routing;
+//! * affinity routing strictly raises the mean coalesced batch depth and
+//!   the virtual-GPU saving over hash routing at 0.8x and 1.6x load;
+//! * the adaptive controller's last window on every shard meets the
+//!   configured p99 target in the closed-loop sweep.
 //!
 //! Run with: `cargo run --release -p ams-bench --bin bench_serve [-- --smoke]`
 
@@ -42,6 +53,50 @@ struct LoadPoint {
     max_batch_observed: usize,
 }
 
+/// One routing-mode measurement at a fixed offered load.
+#[derive(Debug, Serialize)]
+struct RoutingPoint {
+    /// `"hash"` or `"affinity"`.
+    mode: String,
+    /// Offered load as a fraction of the measured closed-loop capacity.
+    load_factor: f64,
+    offered_per_s: f64,
+    achieved_per_s: f64,
+    completed: u64,
+    batches: u64,
+    /// Executed requests per batched round.
+    mean_batch_size: f64,
+    /// Model executions coalesced per batched GPU invocation — the
+    /// quantity affinity routing exists to raise.
+    mean_coalesced: f64,
+    /// 1 − batched virtual *makespan* / serial virtual bill (wall-clock
+    /// view; pool packing moves it).
+    batching_saving_fraction: f64,
+    /// 1 − batched GPU-time consumed / serial virtual bill (billing view;
+    /// only coalescing moves it — the routing-quality metric).
+    bill_saving_fraction: f64,
+    /// Requests that landed on their affinity home shard (0 under hash).
+    affinity_hit_rate: f64,
+    affinity_spills: u64,
+    total_p50_us: u64,
+    total_p99_us: u64,
+}
+
+/// The adaptive-controller closed-loop sweep.
+#[derive(Debug, Serialize)]
+struct AdaptiveSweep {
+    /// Self-calibrated target: 1.25× the static batch-8 closed-loop p99.
+    target_p99_ms: u64,
+    start_max_batch: usize,
+    ceiling_max_batch: usize,
+    window: u64,
+    achieved_per_s: f64,
+    total_p99_us: u64,
+    all_within_target: bool,
+    /// Per-shard limit trajectories (one entry per adjustment).
+    shards: Vec<ShardAdaptive>,
+}
+
 /// The whole benchmark record.
 #[derive(Debug, Serialize)]
 struct Record {
@@ -55,8 +110,9 @@ struct Record {
     queue_capacity: usize,
     exec_emulation_scale: f64,
     /// Serve-mode `StreamStats` equal the serial engine's over the same
-    /// stream (verified on the lossless configuration; the process aborts
-    /// if they ever diverge, so a green bench is a green equivalence).
+    /// stream under hash *and* affinity routing (verified on the lossless
+    /// configuration; the process aborts if they ever diverge, so a green
+    /// bench is a green equivalence).
     stats_match_serial: bool,
     /// Closed-loop sustainable capacity, items/s.
     closed_loop_capacity_per_s: f64,
@@ -64,6 +120,12 @@ struct Record {
     /// the closed-loop run: the share of simulated GPU time that batched
     /// admission saved.
     batching_saving_fraction: f64,
+    /// Fingerprint width of the affinity runs.
+    affinity_top_k: usize,
+    /// Hash vs affinity at 0.8x and 1.6x offered load, burst arrivals.
+    routing_sweep: Vec<RoutingPoint>,
+    /// The adaptive batch-limit controller under closed-loop pressure.
+    adaptive: AdaptiveSweep,
     sweep: Vec<LoadPoint>,
 }
 
@@ -100,8 +162,32 @@ fn point_from(mode: &str, offered_per_s: f64, elapsed: Duration, r: &ServeReport
     }
 }
 
+fn saving_fraction(r: &ServeReport) -> f64 {
+    1.0 - r.virtual_exec_ms as f64 / r.stats.total_exec_ms.max(1) as f64
+}
+
+/// Submit the items in bursts of `burst` at an aggregate rate of
+/// `rate` items/s (the album-upload arrival shape: requests come in
+/// clumps, which is exactly when batch coalescing has something to do).
+fn submit_bursts(server: &AmsServer, items: &[Arc<ItemTruth>], rate: f64, burst: usize) {
+    let t0 = Instant::now();
+    for (b, chunk) in items.chunks(burst.max(1)).enumerate() {
+        let due = t0 + Duration::from_secs_f64((b * burst) as f64 / rate);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        for item in chunk {
+            server.submit(Arc::clone(item));
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // Exploration escape hatch: skip the in-process gates (still measures
+    // and writes the record) so parameter experiments can inspect a
+    // violating configuration instead of dying on the first assert.
+    let skip_gates = std::env::var_os("BENCH_SERVE_SKIP_GATES").is_some();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -123,6 +209,11 @@ fn main() {
     // build, batches genuinely coalesce, and the overload point genuinely
     // sheds — while the whole sweep still finishes in seconds.
     let emu_scale = 2e-2;
+    let affinity_top_k = 2usize;
+    let affinity = RoutingMode::Affinity(AffinityConfig {
+        top_k: affinity_top_k,
+        spill_lag: 8,
+    });
 
     let base_cfg = ServeConfig {
         shards,
@@ -134,30 +225,36 @@ fn main() {
     };
 
     // ---- equivalence gate: serve stats == serial stats, losslessly ------
+    // Routing (hash or affinity) changes where requests queue, never what
+    // they compute: both modes must reproduce the serial engine exactly.
     let mut serial = StreamProcessor::new(fx.scheduler(), budget);
     serial.process_all(fx.truth.items());
     let want = serial.stats().clone();
-    let server = AmsServer::start(
-        fx.scheduler(),
-        budget,
-        ServeConfig {
-            policy: BackpressurePolicy::Block,
-            exec_emulation_scale: 0.0,
-            ..base_cfg.clone()
-        },
-    );
-    for item in &items {
-        server.submit(Arc::clone(item));
+    for routing in [RoutingMode::Hash, affinity] {
+        let server = AmsServer::start(
+            fx.scheduler(),
+            budget,
+            ServeConfig {
+                policy: BackpressurePolicy::Block,
+                routing,
+                exec_emulation_scale: 0.0,
+                ..base_cfg.clone()
+            },
+        );
+        for item in &items {
+            server.submit(Arc::clone(item));
+        }
+        let eq_report = server.shutdown();
+        let got = &eq_report.stats;
+        let mode = eq_report.routing.as_str();
+        assert_eq!(got.items, want.items, "{mode}: serve items diverged");
+        assert_eq!(got.total_exec_ms, want.total_exec_ms, "{mode}");
+        assert_eq!(got.total_executions, want.total_executions, "{mode}");
+        assert_eq!(got.per_model_runs, want.per_model_runs, "{mode}");
+        assert!((got.recall_sum - want.recall_sum).abs() < 1e-9, "{mode}");
     }
-    let eq_report = server.shutdown();
-    let got = &eq_report.stats;
-    assert_eq!(got.items, want.items, "serve items diverged from serial");
-    assert_eq!(got.total_exec_ms, want.total_exec_ms);
-    assert_eq!(got.total_executions, want.total_executions);
-    assert_eq!(got.per_model_runs, want.per_model_runs);
-    assert!((got.recall_sum - want.recall_sum).abs() < 1e-9);
     eprintln!(
-        "[bench_serve] equivalence: serve stats == serial stats over {} items",
+        "[bench_serve] equivalence: hash and affinity serve stats == serial stats over {} items",
         want.items
     );
 
@@ -179,13 +276,163 @@ fn main() {
     let report = server.shutdown();
     let elapsed = t0.elapsed();
     let capacity_per_s = report.completed as f64 / elapsed.as_secs_f64();
-    let batching_saving =
-        1.0 - report.virtual_exec_ms as f64 / report.stats.total_exec_ms.max(1) as f64;
+    let batching_saving = saving_fraction(&report);
+    let closed_p99_us = report.total.p99_us;
     eprintln!(
         "[bench_serve] closed loop: {capacity_per_s:.0} items/s, batching saved {:.0}% of the virtual GPU bill",
         batching_saving * 100.0
     );
     sweep.push(point_from("closed", capacity_per_s, elapsed, &report));
+
+    // ---- routing: hash vs affinity at 0.8x and 1.6x ---------------------
+    // Burst arrivals (8 at a time) at a fixed aggregate rate, lossless
+    // blocking admission. The routing runs use their own server shape —
+    // one worker per shard, wide batches, deep queues, so batches
+    // assemble from whatever accumulated during the previous batch's
+    // execution, for both modes alike — and the load factors are taken
+    // against *that shape's* measured capacity, so 0.8x genuinely has
+    // slack and 1.6x genuinely saturates.
+    let routing_cfg = |routing| ServeConfig {
+        policy: BackpressurePolicy::Block,
+        routing,
+        workers_per_shard: 1,
+        max_batch: 16,
+        queue_capacity: 64,
+        ..base_cfg.clone()
+    };
+    let server = AmsServer::start(fx.scheduler(), budget, routing_cfg(RoutingMode::Hash));
+    let t0 = Instant::now();
+    for item in &items {
+        server.submit(Arc::clone(item));
+    }
+    let cal = server.shutdown();
+    let routing_capacity_per_s = cal.completed as f64 / t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[bench_serve] routing-shape closed-loop capacity: {routing_capacity_per_s:.0} items/s"
+    );
+
+    let mut routing_sweep: Vec<RoutingPoint> = Vec::new();
+    for load_factor in [0.8f64, 1.6] {
+        let rate = (routing_capacity_per_s * load_factor).max(1.0);
+        let mut measured: Vec<(String, f64, f64)> = Vec::new();
+        for routing in [RoutingMode::Hash, affinity] {
+            let server = AmsServer::start(fx.scheduler(), budget, routing_cfg(routing));
+            let t0 = Instant::now();
+            submit_bursts(&server, &items, rate, 8);
+            let report = server.shutdown();
+            // Like every other load point: completions over the full span
+            // including the drain, so achieved can never exceed offered on
+            // a lossless run.
+            let elapsed = t0.elapsed().max(Duration::from_micros(1));
+            assert_eq!(report.completed as usize, items.len(), "lossless run");
+            let point = RoutingPoint {
+                mode: report.routing.clone(),
+                load_factor,
+                offered_per_s: rate,
+                achieved_per_s: report.completed as f64 / elapsed.as_secs_f64(),
+                completed: report.completed,
+                batches: report.batches,
+                mean_batch_size: report.mean_batch_size(),
+                mean_coalesced: report.mean_coalesced(),
+                batching_saving_fraction: saving_fraction(&report),
+                bill_saving_fraction: report.bill_saving_fraction(),
+                affinity_hit_rate: report.affinity_hit_rate(),
+                affinity_spills: report.affinity_spills,
+                total_p50_us: report.total.p50_us,
+                total_p99_us: report.total.p99_us,
+            };
+            eprintln!(
+                "[bench_serve] routing {mode} @{load_factor}x: {coal:.2} executions/invocation, \
+                 {saving:.1}% GPU bill saved, hit rate {hit:.0}%",
+                mode = point.mode,
+                coal = point.mean_coalesced,
+                saving = point.bill_saving_fraction * 100.0,
+                hit = point.affinity_hit_rate * 100.0,
+            );
+            measured.push((
+                point.mode.clone(),
+                point.mean_coalesced,
+                point.bill_saving_fraction,
+            ));
+            routing_sweep.push(point);
+        }
+        // The acceptance gate: affinity must *strictly* out-coalesce hash
+        // at this load, and the deeper coalescing must show up as a
+        // strictly larger virtual-GPU saving.
+        let hash = &measured[0];
+        let aff = &measured[1];
+        if !skip_gates {
+            assert!(
+                aff.1 > hash.1,
+                "affinity must out-coalesce hash at {load_factor}x: {:.3} vs {:.3}",
+                aff.1,
+                hash.1
+            );
+            assert!(
+                aff.2 > hash.2,
+                "affinity must out-save hash at {load_factor}x: {:.4} vs {:.4}",
+                aff.2,
+                hash.2
+            );
+        }
+    }
+
+    // ---- adaptive batching: closed loop against a p99 target ------------
+    // Self-calibrated target (1.25× the static batch-8 closed-loop p99, so
+    // the number transfers across machines), start at the static limit,
+    // ceiling at 2×: the controller grows throughput while the
+    // BatchLatencyModel-bounded step keeps the predicted tail inside the
+    // target. Last window on every shard must comply.
+    let adaptive_cfg = AdaptiveBatchConfig {
+        target_p99_ms: (closed_p99_us as f64 * 1.25 / 1000.0).ceil() as u64,
+        min_batch: 2,
+        max_batch: 2 * max_batch,
+        window: 8,
+        ..AdaptiveBatchConfig::default()
+    };
+    let server = AmsServer::start(
+        fx.scheduler(),
+        budget,
+        ServeConfig {
+            policy: BackpressurePolicy::Block,
+            adaptive: Some(adaptive_cfg),
+            ..base_cfg.clone()
+        },
+    );
+    let t0 = Instant::now();
+    for item in &items {
+        server.submit(Arc::clone(item));
+    }
+    let report = server.shutdown();
+    let elapsed = t0.elapsed();
+    let adaptive_report = report.adaptive.clone().expect("adaptive controller ran");
+    let adaptive = AdaptiveSweep {
+        target_p99_ms: adaptive_cfg.target_p99_ms,
+        start_max_batch: max_batch,
+        ceiling_max_batch: adaptive_cfg.max_batch,
+        window: adaptive_cfg.window,
+        achieved_per_s: report.completed as f64 / elapsed.as_secs_f64(),
+        total_p99_us: report.total.p99_us,
+        all_within_target: adaptive_report.all_within_target(),
+        shards: adaptive_report.shards,
+    };
+    for s in &adaptive.shards {
+        eprintln!(
+            "[bench_serve] adaptive shard {}: {:?} -> {} (last window p99 {:.1}ms vs {}ms target)",
+            s.shard,
+            s.trajectory,
+            s.final_max_batch,
+            s.last_window_p99_us as f64 / 1000.0,
+            adaptive.target_p99_ms
+        );
+    }
+    if !skip_gates {
+        assert!(
+            adaptive.all_within_target,
+            "adaptive controller must keep every shard's last-window p99 within {}ms",
+            adaptive.target_p99_ms
+        );
+    }
 
     // ---- open loop: under, near, and past saturation --------------------
     for load_factor in [0.4f64, 0.8, 1.6] {
@@ -221,9 +468,11 @@ fn main() {
     }
 
     let record = Record {
-        description: "AMS serving benchmark: sharded front-end (hash-sharded bounded queues, \
-                      per-shard workers, batched admission into the virtual GPU pool) driven \
-                      closed-loop at capacity and open-loop under/near/past saturation. \
+        description: "AMS serving benchmark: sharded front-end (bounded queues, per-shard \
+                      workers, batched admission into the virtual GPU pool) driven closed-loop \
+                      at capacity and open-loop under/near/past saturation; hash vs \
+                      model-affinity routing compared at 0.8x/1.6x burst load; adaptive \
+                      batch-limit controller closed-loop against a self-calibrated p99 target. \
                       DRL-agent predictor, 1s per-item deadline. See PERF.md for methodology."
             .into(),
         cores_available: cores,
@@ -237,6 +486,9 @@ fn main() {
         stats_match_serial: true,
         closed_loop_capacity_per_s: capacity_per_s,
         batching_saving_fraction: batching_saving,
+        affinity_top_k,
+        routing_sweep,
+        adaptive,
         sweep,
     };
     let json = serde_json::to_string_pretty(&record).expect("record serializes");

@@ -1,0 +1,521 @@
+//! The bench regression gate: compare a freshly measured smoke record
+//! against the committed baseline and fail loudly when a tracked metric
+//! regresses beyond its tolerance.
+//!
+//! Perf claims in this repo are *enforced*, not just recorded: CI and
+//! `scripts/check.sh` rerun the smoke sweeps and pipe the fresh records
+//! through [`run_gate`]. Tolerances are deliberately asymmetric —
+//! deterministic quantities (recall, equivalence flags, routing wins) are
+//! gated tightly, wall-clock throughput loosely (machines differ; the gate
+//! exists to catch *catastrophic* slowdowns like an accidentally
+//! serialized worker pool, not 10% scheduler noise).
+
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Which record schema a comparison uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// `BENCH_serve.json` — serving sweep.
+    Serve,
+    /// `BENCH_hotpath.json` — learn-step and stream throughput.
+    Hotpath,
+}
+
+/// Outcome of one gate run: every check, pass or fail, with its numbers.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Human-readable lines for checks that passed.
+    pub passed: Vec<String>,
+    /// Human-readable lines for checks that failed.
+    pub failed: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether every check passed.
+    pub fn ok(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Render the outcome as one report string.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for line in &self.passed {
+            let _ = writeln!(s, "  ok   {line}");
+        }
+        for line in &self.failed {
+            let _ = writeln!(s, "  FAIL {line}");
+        }
+        s
+    }
+}
+
+/// Throughput floor: a candidate may be slower than baseline by at most
+/// this factor before the gate trips (CI machines vary; a healthy run sits
+/// near 1.0, an accidentally serialized hot path falls well under 0.5).
+const THROUGHPUT_FLOOR: f64 = 0.5;
+/// Mean recall is deterministic for the lossless closed-loop fixture; two
+/// points of slack absorb float-sum ordering only.
+const RECALL_SLACK: f64 = 0.02;
+/// Batching-saving slack: batch composition is timing-dependent at the
+/// margins, the headline saving is not.
+const SAVING_SLACK: f64 = 0.10;
+/// Speedup ratios are scale-free; half the baseline ratio means the
+/// optimization substantially regressed.
+const SPEEDUP_FLOOR: f64 = 0.5;
+
+/// Numeric view of a [`Value`].
+fn value_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::U64(n) => Some(n as f64),
+        Value::I64(n) => Some(n as f64),
+        Value::F64(f) => Some(f),
+        _ => None,
+    }
+}
+
+/// Walk a `/`-separated path of object fields and array indices.
+fn get<'v>(v: &'v Value, path: &str) -> Option<&'v Value> {
+    let mut cur = v;
+    for part in path.split('/') {
+        cur = match part.parse::<usize>() {
+            Ok(i) => match cur {
+                Value::Array(items) => items.get(i)?,
+                _ => return None,
+            },
+            Err(_) => cur.field(part)?,
+        };
+    }
+    Some(cur)
+}
+
+fn num(v: &Value, path: &str) -> Result<f64, String> {
+    get(v, path)
+        .and_then(value_f64)
+        .ok_or_else(|| format!("missing numeric field `{path}`"))
+}
+
+fn boolean(v: &Value, path: &str) -> Result<bool, String> {
+    match get(v, path) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing bool field `{path}`")),
+    }
+}
+
+/// `candidate >= floor_factor * baseline` (ratio check for throughputs).
+fn check_ratio(
+    out: &mut GateOutcome,
+    name: &str,
+    baseline: f64,
+    candidate: f64,
+    floor_factor: f64,
+) {
+    let line = format!(
+        "{name}: candidate {candidate:.3} vs baseline {baseline:.3} (floor {:.3})",
+        baseline * floor_factor
+    );
+    if candidate >= baseline * floor_factor {
+        out.passed.push(line);
+    } else {
+        out.failed.push(line);
+    }
+}
+
+/// `candidate >= baseline - slack` (absolute check for fractions).
+fn check_slack(out: &mut GateOutcome, name: &str, baseline: f64, candidate: f64, slack: f64) {
+    let line =
+        format!("{name}: candidate {candidate:.4} vs baseline {baseline:.4} (slack {slack:.3})");
+    if candidate >= baseline - slack {
+        out.passed.push(line);
+    } else {
+        out.failed.push(line);
+    }
+}
+
+fn check_flag(out: &mut GateOutcome, name: &str, value: Result<bool, String>) {
+    match value {
+        Ok(true) => out.passed.push(format!("{name}: true")),
+        Ok(false) => out.failed.push(format!("{name}: false")),
+        Err(e) => out.failed.push(format!("{name}: {e}")),
+    }
+}
+
+/// Closed-loop `mean_recall` of the first sweep point whose mode matches.
+fn sweep_recall(v: &Value) -> Result<f64, String> {
+    let Some(Value::Array(points)) = get(v, "sweep") else {
+        return Err("missing `sweep` array".into());
+    };
+    points
+        .iter()
+        .find(|p| matches!(p.field("mode"), Some(Value::Str(m)) if m == "closed"))
+        .and_then(|p| p.field("mean_recall").and_then(value_f64))
+        .ok_or_else(|| "no closed-loop sweep point with mean_recall".into())
+}
+
+/// Gate a serving record against its baseline.
+pub fn gate_serve(baseline: &Value, candidate: &Value) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    check_flag(
+        &mut out,
+        "stats_match_serial",
+        boolean(candidate, "stats_match_serial"),
+    );
+    check_flag(
+        &mut out,
+        "adaptive.all_within_target",
+        boolean(candidate, "adaptive/all_within_target"),
+    );
+    match (
+        num(baseline, "closed_loop_capacity_per_s"),
+        num(candidate, "closed_loop_capacity_per_s"),
+    ) {
+        (Ok(b), Ok(c)) => check_ratio(
+            &mut out,
+            "closed_loop_capacity_per_s",
+            b,
+            c,
+            THROUGHPUT_FLOOR,
+        ),
+        (b, c) => out
+            .failed
+            .push(format!("closed_loop_capacity_per_s: {b:?} vs {c:?}")),
+    }
+    match (sweep_recall(baseline), sweep_recall(candidate)) {
+        (Ok(b), Ok(c)) => check_slack(&mut out, "closed-loop mean_recall", b, c, RECALL_SLACK),
+        (b, c) => out
+            .failed
+            .push(format!("closed-loop mean_recall: {b:?} vs {c:?}")),
+    }
+    match (
+        num(baseline, "batching_saving_fraction"),
+        num(candidate, "batching_saving_fraction"),
+    ) {
+        (Ok(b), Ok(c)) => check_slack(&mut out, "batching_saving_fraction", b, c, SAVING_SLACK),
+        (b, c) => out
+            .failed
+            .push(format!("batching_saving_fraction: {b:?} vs {c:?}")),
+    }
+    // The routing win is re-verified from the candidate record itself:
+    // affinity must out-coalesce hash at every measured load factor.
+    match get(candidate, "routing_sweep") {
+        Some(Value::Array(points)) => {
+            let coal = |mode: &str, lf: f64| -> Option<f64> {
+                points
+                    .iter()
+                    .find(|p| {
+                        matches!(p.field("mode"), Some(Value::Str(m)) if m == mode)
+                            && p.field("load_factor").and_then(value_f64) == Some(lf)
+                    })
+                    .and_then(|p| p.field("mean_coalesced").and_then(value_f64))
+            };
+            let factors: Vec<f64> = points
+                .iter()
+                .filter_map(|p| p.field("load_factor").and_then(value_f64))
+                .fold(Vec::new(), |mut acc, lf| {
+                    if !acc.contains(&lf) {
+                        acc.push(lf);
+                    }
+                    acc
+                });
+            if factors.is_empty() {
+                out.failed.push("empty `routing_sweep`".into());
+            }
+            for lf in factors {
+                match (coal("hash", lf), coal("affinity", lf)) {
+                    (Some(h), Some(a)) => {
+                        let line = format!("affinity out-coalesces hash @{lf}x: {a:.3} vs {h:.3}");
+                        if a > h {
+                            out.passed.push(line);
+                        } else {
+                            out.failed.push(line);
+                        }
+                    }
+                    (h, a) => out
+                        .failed
+                        .push(format!("routing point @{lf}x incomplete: {h:?} vs {a:?}")),
+                }
+            }
+        }
+        _ => out.failed.push("missing `routing_sweep` array".into()),
+    }
+    out
+}
+
+/// Gate a hot-path record against its baseline.
+pub fn gate_hotpath(baseline: &Value, candidate: &Value) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for field in [
+        "learn_speedup",
+        "stream_speedup",
+        "compute_stream_speedup_auto",
+    ] {
+        match (num(baseline, field), num(candidate, field)) {
+            (Ok(b), Ok(c)) => check_ratio(&mut out, field, b, c, SPEEDUP_FLOOR),
+            (b, c) => out.failed.push(format!("{field}: {b:?} vs {c:?}")),
+        }
+    }
+    match num(candidate, "q_equivalence_max_abs_diff") {
+        Ok(d) if d < 1e-5 => out
+            .passed
+            .push(format!("q_equivalence_max_abs_diff: {d:.2e} < 1e-5")),
+        Ok(d) => out
+            .failed
+            .push(format!("q_equivalence_max_abs_diff: {d:.2e} >= 1e-5")),
+        Err(e) => out.failed.push(e),
+    }
+    out
+}
+
+/// Run the gate of `kind` over two parsed records.
+pub fn run_gate(kind: GateKind, baseline: &Value, candidate: &Value) -> GateOutcome {
+    match kind {
+        GateKind::Serve => gate_serve(baseline, candidate),
+        GateKind::Hotpath => gate_hotpath(baseline, candidate),
+    }
+}
+
+/// Mutable lookup of an object field (for the self-test's injections).
+fn field_mut<'v>(v: &'v mut Value, name: &str) -> Option<&'v mut Value> {
+    match v {
+        Value::Object(fields) => fields
+            .iter_mut()
+            .find(|(k, _)| k == name)
+            .map(|(_, val)| val),
+        _ => None,
+    }
+}
+
+/// Walk a `/`-separated path mutably.
+fn get_mut<'v>(v: &'v mut Value, path: &str) -> Option<&'v mut Value> {
+    let mut cur = v;
+    for part in path.split('/') {
+        cur = match part.parse::<usize>() {
+            Ok(i) => match cur {
+                Value::Array(items) => items.get_mut(i)?,
+                _ => return None,
+            },
+            Err(_) => field_mut(cur, part)?,
+        };
+    }
+    Some(cur)
+}
+
+/// Overwrite the value at `path` (self-test injections only; missing paths
+/// are a self-test bug and panic).
+fn inject_at(v: &mut Value, path: &str, new: Value) {
+    *get_mut(v, path).unwrap_or_else(|| panic!("self-test path `{path}` missing")) = new;
+}
+
+/// Scale the number at `path` by `factor`.
+fn scale_at(v: &mut Value, path: &str, factor: f64) {
+    let cur = get(v, path).and_then(value_f64).unwrap_or(0.0);
+    inject_at(v, path, Value::F64(cur * factor));
+}
+
+/// Subtract `delta` from the number at `path`.
+fn sub_at(v: &mut Value, path: &str, delta: f64) {
+    let cur = get(v, path).and_then(value_f64).unwrap_or(0.0);
+    inject_at(v, path, Value::F64(cur - delta));
+}
+
+/// Index of the first sweep point with the given mode (self-test helper).
+fn sweep_index(v: &Value, mode: &str) -> Option<usize> {
+    match get(v, "sweep") {
+        Some(Value::Array(points)) => points
+            .iter()
+            .position(|p| matches!(p.field("mode"), Some(Value::Str(m)) if m == mode)),
+        _ => None,
+    }
+}
+
+/// Prove the gate *can* fail: inject synthetic regressions into a copy of
+/// each baseline and require every injection to trip its check, while the
+/// untouched baseline passes against itself. Returns the injections that
+/// were exercised.
+pub fn self_test(serve_baseline: &Value, hotpath_baseline: &Value) -> Result<Vec<String>, String> {
+    let mut exercised = Vec::new();
+
+    let self_check = gate_serve(serve_baseline, serve_baseline);
+    if !self_check.ok() {
+        return Err(format!(
+            "serve baseline must pass against itself:\n{}",
+            self_check.render()
+        ));
+    }
+    let self_check = gate_hotpath(hotpath_baseline, hotpath_baseline);
+    if !self_check.ok() {
+        return Err(format!(
+            "hotpath baseline must pass against itself:\n{}",
+            self_check.render()
+        ));
+    }
+
+    let mut inject = |name: &str,
+                      kind: GateKind,
+                      baseline: &Value,
+                      mutate: &dyn Fn(&mut Value)|
+     -> Result<(), String> {
+        let mut bad = baseline.clone();
+        mutate(&mut bad);
+        if run_gate(kind, baseline, &bad).ok() {
+            return Err(format!("injected regression `{name}` was NOT caught"));
+        }
+        exercised.push(name.to_string());
+        Ok(())
+    };
+
+    let closed = sweep_index(serve_baseline, "closed")
+        .ok_or("serve baseline has no closed-loop sweep point")?;
+    inject(
+        "capacity collapse (x0.3)",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| scale_at(v, "closed_loop_capacity_per_s", 0.3),
+    )?;
+    inject(
+        "recall regression (-0.1)",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| sub_at(v, &format!("sweep/{closed}/mean_recall"), 0.1),
+    )?;
+    inject(
+        "batching saving collapse (-0.3)",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| sub_at(v, "batching_saving_fraction", 0.3),
+    )?;
+    inject(
+        "adaptive target missed",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| inject_at(v, "adaptive/all_within_target", Value::Bool(false)),
+    )?;
+    inject(
+        "affinity coalescing win lost",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| {
+            if let Some(Value::Array(points)) = get_mut(v, "routing_sweep") {
+                for p in points {
+                    if matches!(p.field("mode"), Some(Value::Str(m)) if m == "affinity") {
+                        if let Some(c) = field_mut(p, "mean_coalesced") {
+                            *c = Value::F64(1.0);
+                        }
+                    }
+                }
+            }
+        },
+    )?;
+    inject(
+        "learn speedup collapse (x0.3)",
+        GateKind::Hotpath,
+        hotpath_baseline,
+        &|v| scale_at(v, "learn_speedup", 0.3),
+    )?;
+    inject(
+        "batched-Q divergence",
+        GateKind::Hotpath,
+        hotpath_baseline,
+        &|v| inject_at(v, "q_equivalence_max_abs_diff", Value::F64(0.5)),
+    )?;
+
+    Ok(exercised)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serve_record() -> Value {
+        serde_json::parse_value(
+            r#"{
+                "stats_match_serial": true,
+                "closed_loop_capacity_per_s": 1800.0,
+                "batching_saving_fraction": 0.8,
+                "adaptive": { "all_within_target": true },
+                "routing_sweep": [
+                    { "mode": "hash", "load_factor": 0.8, "mean_coalesced": 2.5 },
+                    { "mode": "affinity", "load_factor": 0.8, "mean_coalesced": 2.9 },
+                    { "mode": "hash", "load_factor": 1.6, "mean_coalesced": 3.5 },
+                    { "mode": "affinity", "load_factor": 1.6, "mean_coalesced": 3.6 }
+                ],
+                "sweep": [
+                    { "mode": "closed", "mean_recall": 0.72 },
+                    { "mode": "open", "mean_recall": 0.70 }
+                ]
+            }"#,
+        )
+        .expect("fixture parses")
+    }
+
+    fn hotpath_record() -> Value {
+        serde_json::parse_value(
+            r#"{
+                "learn_speedup": 4.0,
+                "stream_speedup": 4.0,
+                "compute_stream_speedup_auto": 1.0,
+                "q_equivalence_max_abs_diff": 1e-7
+            }"#,
+        )
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let s = serve_record();
+        let h = hotpath_record();
+        assert!(gate_serve(&s, &s).ok(), "{}", gate_serve(&s, &s).render());
+        assert!(gate_hotpath(&h, &h).ok());
+    }
+
+    #[test]
+    fn modest_noise_passes_but_collapse_fails() {
+        let base = serve_record();
+        let mut noisy = base.clone();
+        inject_at(&mut noisy, "closed_loop_capacity_per_s", Value::F64(1500.0));
+        assert!(gate_serve(&base, &noisy).ok(), "-17% is machine noise");
+        inject_at(&mut noisy, "closed_loop_capacity_per_s", Value::F64(700.0));
+        assert!(!gate_serve(&base, &noisy).ok(), "-61% is a collapse");
+    }
+
+    #[test]
+    fn recall_is_gated_tightly() {
+        let base = serve_record();
+        let mut bad = base.clone();
+        inject_at(&mut bad, "sweep/0/mean_recall", Value::F64(0.67));
+        assert!(!gate_serve(&base, &bad).ok());
+        inject_at(&mut bad, "sweep/0/mean_recall", Value::F64(0.71));
+        assert!(gate_serve(&base, &bad).ok(), "1 point is within slack");
+    }
+
+    #[test]
+    fn lost_routing_win_fails() {
+        let base = serve_record();
+        let mut bad = base.clone();
+        inject_at(&mut bad, "routing_sweep/1/mean_coalesced", Value::F64(2.4));
+        assert!(!gate_serve(&base, &bad).ok());
+    }
+
+    #[test]
+    fn missing_fields_fail_loudly() {
+        let base = serve_record();
+        let empty = Value::Object(Vec::new());
+        let out = gate_serve(&base, &empty);
+        assert!(!out.ok());
+        assert!(out.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn hotpath_equivalence_is_absolute() {
+        let base = hotpath_record();
+        let mut bad = base.clone();
+        inject_at(&mut bad, "q_equivalence_max_abs_diff", Value::F64(0.1));
+        assert!(!gate_hotpath(&base, &bad).ok());
+    }
+
+    #[test]
+    fn self_test_exercises_every_injection() {
+        let injected = self_test(&serve_record(), &hotpath_record()).expect("self test passes");
+        assert_eq!(injected.len(), 7, "{injected:?}");
+    }
+}

@@ -12,6 +12,7 @@
 //! records paper-vs-measured for every experiment.
 
 pub mod experiments;
+pub mod gate;
 pub mod harness;
 pub mod hotpath;
 

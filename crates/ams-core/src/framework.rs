@@ -95,6 +95,52 @@ impl AdaptiveModelScheduler {
         self.predictor.as_ref()
     }
 
+    /// Predicted per-model values on the item's *initial* (empty) labeling
+    /// state, written into `out` (`out.len() == zoo.len()`). One predictor
+    /// forward, no labeling work — the cheap introspection a serving router
+    /// uses to guess which models an item will lean on before any scheduling
+    /// decision is made.
+    pub fn initial_values_into(&self, item: &ItemTruth, out: &mut [f32]) {
+        let state = LabelSet::new(item.universe());
+        self.predictor.predict_into(&state, item, out);
+    }
+
+    /// The item's *affinity signature*: a bitmask over the zoo of the
+    /// `top_k` models whose own output is most valuable on this item
+    /// ([`ItemTruth::model_value`]; ties broken toward the lower model
+    /// index, models with zero static value skipped — nothing schedules
+    /// them first).
+    ///
+    /// This is the cheap per-request fingerprint a serving router keys on:
+    /// no predictor forward, no labeling work, just a top-k scan of the
+    /// request's precomputed value profile. In a real deployment the
+    /// profile would come from a lightweight scene classifier; in this
+    /// reproduction the simulated request *is* its ground truth, and the
+    /// static per-model values (the same knowledge the paper's "optimal
+    /// policy" baseline sorts by) play that role. Crucially it is
+    /// **item-discriminative even under the deployable state-only DRL
+    /// predictor**, whose empty-state scores are identical for every item.
+    ///
+    /// Requests with equal signatures execute largely overlapping model
+    /// sets, so routing equal signatures to the same shard coalesces
+    /// bigger same-model batches. The signature is a pure function of the
+    /// item: routing stays deterministic.
+    pub fn affinity_signature(&self, item: &ItemTruth, top_k: usize) -> u64 {
+        let n = self.zoo.len().min(64).min(item.model_value.len());
+        let mut mask = 0u64;
+        for _ in 0..top_k.min(n) {
+            let mut best: Option<(usize, f64)> = None;
+            for (m, &v) in item.model_value.iter().enumerate().take(n) {
+                if mask >> m & 1 == 0 && v > 0.0 && best.map(|(_, bv)| v > bv).unwrap_or(true) {
+                    best = Some((m, v));
+                }
+            }
+            let Some((m, _)) = best else { break };
+            mask |= 1 << m;
+        }
+        mask
+    }
+
     /// Label a scene: simulates model execution on demand, then schedules.
     pub fn label_scene(&self, scene: &Scene, budget: Budget) -> LabelingOutcome {
         // The truth row for the scene *is* the set of all model outputs —
@@ -298,6 +344,53 @@ mod tests {
         let text = s.describe(&out);
         assert!(text.contains("executed"));
         assert!(text.contains("labels:"));
+    }
+
+    #[test]
+    fn affinity_signature_is_stable_and_bounded() {
+        let s = scheduler();
+        let scenes = Dataset::generate(DatasetProfile::Coco2017, 6, 7).scenes;
+        for scene in &scenes {
+            let item = ams_data::ItemTruth::build(s.zoo(), s.catalog(), scene, 7, 0.5);
+            let sig = s.affinity_signature(&item, 4);
+            assert_eq!(sig, s.affinity_signature(&item, 4), "deterministic");
+            assert!(sig.count_ones() <= 4, "at most top_k bits");
+            // Signature bits point at real models.
+            assert_eq!(sig >> s.zoo().len(), 0, "bits within the zoo");
+        }
+        // top_k = 0 yields the empty signature.
+        let item = ams_data::ItemTruth::build(s.zoo(), s.catalog(), &scenes[0], 7, 0.5);
+        assert_eq!(s.affinity_signature(&item, 0), 0);
+    }
+
+    #[test]
+    fn affinity_signature_tracks_the_items_best_models() {
+        // The single-bit signature is exactly the model with the highest
+        // static output value on the item.
+        let s = scheduler();
+        let scene = one_scene();
+        let item = ams_data::ItemTruth::build(s.zoo(), s.catalog(), &scene, 7, 0.5);
+        let best = item
+            .model_value
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(m, _)| m)
+            .unwrap();
+        let sig = s.affinity_signature(&item, 1);
+        assert_eq!(sig, 1 << best);
+        // Larger top_k only adds bits.
+        let sig4 = s.affinity_signature(&item, 4);
+        assert_eq!(sig4 & sig, sig, "top-1 remains in top-4");
+        // The predictor-introspection hook stays coherent: initial oracle
+        // values are the marginal values on the empty state.
+        let mut q = vec![0.0f32; s.zoo().len()];
+        s.initial_values_into(&item, &mut q);
+        let state = LabelSet::new(item.universe());
+        for (m, &got) in q.iter().enumerate() {
+            let want = item.marginal_value(&state, ModelId(m as u8), 0.5) as f32;
+            assert!((got - want).abs() < 1e-6, "model {m}");
+        }
     }
 
     #[test]

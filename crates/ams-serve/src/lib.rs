@@ -6,11 +6,17 @@
 //!
 //! * [`queue`] — bounded per-shard admission queues with selectable
 //!   backpressure (block / reject / shed-oldest).
-//! * [`server`] — the [`AmsServer`]: hash-sharded queues, a worker pool
-//!   per shard over one shared
+//! * [`router`] — request routing: scene-id hash, or *model-affinity*
+//!   routing that steers requests with matching predicted model sets onto
+//!   the same shard (bigger same-model batches) with a least-loaded spill
+//!   hatch.
+//! * [`server`] — the [`AmsServer`]: sharded queues, a worker pool per
+//!   shard over one shared
 //!   [`AdaptiveModelScheduler`](ams_core::framework::AdaptiveModelScheduler),
 //!   deadline-aware load shedding, batched admission into the `ams-sim`
-//!   virtual GPU pool, and graceful drain on shutdown.
+//!   virtual GPU pool, an optional per-shard adaptive batch-limit
+//!   controller (AIMD against a tail-latency target, step-bounded by the
+//!   calibrated batch latency model), and graceful drain on shutdown.
 //! * [`telemetry`] — per-request latency histograms split into queue wait
 //!   vs execute, published as p50/p95/p99 summaries.
 //!
@@ -26,9 +32,13 @@
 #![warn(clippy::all)]
 
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod telemetry;
 
 pub use queue::{BackpressurePolicy, ShardQueue, SubmitOutcome};
-pub use server::{AmsServer, ServeConfig, ServeReport};
+pub use router::{AffinityConfig, Route, Router, RoutingMode};
+pub use server::{
+    AdaptiveBatchConfig, AdaptiveReport, AmsServer, ServeConfig, ServeReport, ShardAdaptive,
+};
 pub use telemetry::{LatencyHistogram, LatencySummary};

@@ -10,7 +10,7 @@
 use ams_data::ItemTruth;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What a full queue does to the *next* submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +57,9 @@ pub enum SubmitOutcome {
 pub struct Request {
     /// The pre-executed ground-truth item to label.
     pub item: Arc<ItemTruth>,
+    /// The item's affinity signature (0 under hash routing). Workers use
+    /// it to assemble signature-pure batches from a mixed queue.
+    pub signature: u64,
     /// When the request entered the queue (queue-wait clock starts here).
     pub enqueued_at: Instant,
 }
@@ -112,7 +115,9 @@ impl ShardQueue {
     }
 
     /// Submit one request under the queue's backpressure policy.
-    pub fn push(&self, item: Arc<ItemTruth>) -> SubmitOutcome {
+    /// `signature` is the item's affinity fingerprint (0 under hash
+    /// routing); it rides along so dequeues can group same-signature work.
+    pub fn push(&self, item: Arc<ItemTruth>, signature: u64) -> SubmitOutcome {
         let mut st = self.state.lock().expect("shard queue");
         if st.closed {
             return SubmitOutcome::Rejected;
@@ -138,6 +143,7 @@ impl ShardQueue {
         }
         st.pending.push_back(Request {
             item,
+            signature,
             enqueued_at: Instant::now(),
         });
         drop(st);
@@ -147,16 +153,100 @@ impl ShardQueue {
 
     /// Pop up to `max_batch` requests, blocking while the queue is open
     /// and empty. Returns an empty vec only when the queue is closed *and*
-    /// drained — the worker's signal to exit. Never waits to fill a batch:
-    /// coalescing is opportunistic, so an idle server stays low-latency.
+    /// drained — the worker's signal to exit. Equivalent to
+    /// [`ShardQueue::pop_batch_lingering`] with a zero linger: coalescing
+    /// is opportunistic, so an idle server stays low-latency.
+    ///
+    /// The batch is assembled *signature-first*: the head request (always
+    /// served — no starvation) sets the batch's signature, every queued
+    /// request sharing it joins next (their model sets overlap most, so
+    /// they coalesce best), and the batch is then topped up with the
+    /// remaining requests in decreasing signature *overlap* with the head
+    /// (shared fingerprint bits = shared models = shared setup charges),
+    /// age breaking ties. Under hash routing every signature is 0, which
+    /// degenerates to the plain FIFO drain. The head is always served, so
+    /// no request starves; a request can be overtaken only while batches
+    /// ahead of it keep finding better-matching work.
     pub fn pop_batch(&self, max_batch: usize) -> Vec<Request> {
+        self.pop_batch_lingering(max_batch, Duration::ZERO)
+    }
+
+    /// [`ShardQueue::pop_batch`] with a *batching linger*: once the first
+    /// request is available, wait up to `linger` for the batch to fill
+    /// before taking it (the classic serving trade — a bounded latency
+    /// deposit buys a fuller, better-amortized batch on a lightly loaded
+    /// shard). A closed queue never lingers: drain stays prompt.
+    pub fn pop_batch_lingering(&self, max_batch: usize, linger: Duration) -> Vec<Request> {
         let max_batch = max_batch.max(1);
         let mut st = self.state.lock().expect("shard queue");
         while st.pending.is_empty() && !st.closed {
             st = self.not_empty.wait(st).expect("shard queue");
         }
+        if !linger.is_zero() && !st.closed && st.pending.len() < max_batch {
+            let deadline = Instant::now() + linger;
+            while st.pending.len() < max_batch && !st.closed {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                let (guard, timeout) = self
+                    .not_empty
+                    .wait_timeout(st, remaining)
+                    .expect("shard queue");
+                st = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
         let take = st.pending.len().min(max_batch);
-        let batch: Vec<Request> = st.pending.drain(..take).collect();
+        let mut batch: Vec<Request> = Vec::with_capacity(take);
+        if take > 0 {
+            let head_sig = st.pending[0].signature;
+            // Batch-member indices in batch order: same-signature first,
+            // then the oldest of the rest, each group in queue order.
+            let mut order: Vec<usize> = Vec::with_capacity(take);
+            for (i, req) in st.pending.iter().enumerate() {
+                if req.signature == head_sig {
+                    order.push(i);
+                    if order.len() == take {
+                        break;
+                    }
+                }
+            }
+            if order.len() < take {
+                // Fill by similarity: most shared fingerprint bits first,
+                // oldest first among equals.
+                let mut rest: Vec<(u32, usize)> = st
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, req)| req.signature != head_sig)
+                    .map(|(i, req)| ((req.signature & head_sig).count_ones(), i))
+                    .collect();
+                rest.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                for (_, i) in rest {
+                    order.push(i);
+                    if order.len() == take {
+                        break;
+                    }
+                }
+            }
+            // Remove highest-index-first so earlier indices stay valid,
+            // then emit in batch order.
+            let mut desc = order.clone();
+            desc.sort_unstable_by(|a, b| b.cmp(a));
+            let mut tagged: Vec<(usize, Request)> = Vec::with_capacity(take);
+            for i in desc {
+                tagged.push((i, st.pending.remove(i).expect("picked index in range")));
+            }
+            for want in order {
+                let pos = tagged
+                    .iter()
+                    .position(|&(i, _)| i == want)
+                    .expect("every picked index was removed");
+                batch.push(tagged.swap_remove(pos).1);
+            }
+        }
         drop(st);
         if !batch.is_empty() {
             // Freed up to `take` slots; wake blocked producers.
@@ -193,9 +283,9 @@ mod tests {
     fn reject_policy_refuses_when_full() {
         let q = ShardQueue::new(2, BackpressurePolicy::Reject);
         let it = item();
-        assert_eq!(q.push(Arc::clone(&it)), SubmitOutcome::Enqueued);
-        assert_eq!(q.push(Arc::clone(&it)), SubmitOutcome::Enqueued);
-        assert_eq!(q.push(Arc::clone(&it)), SubmitOutcome::Rejected);
+        assert_eq!(q.push(Arc::clone(&it), 0), SubmitOutcome::Enqueued);
+        assert_eq!(q.push(Arc::clone(&it), 0), SubmitOutcome::Enqueued);
+        assert_eq!(q.push(Arc::clone(&it), 0), SubmitOutcome::Rejected);
         assert_eq!(q.len(), 2);
     }
 
@@ -203,9 +293,12 @@ mod tests {
     fn shed_oldest_drops_head_and_admits() {
         let q = ShardQueue::new(2, BackpressurePolicy::ShedOldest);
         let it = item();
-        q.push(Arc::clone(&it));
-        q.push(Arc::clone(&it));
-        assert_eq!(q.push(Arc::clone(&it)), SubmitOutcome::EnqueuedShedOldest);
+        q.push(Arc::clone(&it), 0);
+        q.push(Arc::clone(&it), 0);
+        assert_eq!(
+            q.push(Arc::clone(&it), 0),
+            SubmitOutcome::EnqueuedShedOldest
+        );
         assert_eq!(q.len(), 2, "still at capacity");
         assert_eq!(q.shed_oldest_count(), 1);
     }
@@ -214,10 +307,10 @@ mod tests {
     fn block_policy_waits_for_a_slot() {
         let q = Arc::new(ShardQueue::new(1, BackpressurePolicy::Block));
         let it = item();
-        q.push(Arc::clone(&it));
+        q.push(Arc::clone(&it), 0);
         let q2 = Arc::clone(&q);
         let it2 = Arc::clone(&it);
-        let producer = std::thread::spawn(move || q2.push(it2));
+        let producer = std::thread::spawn(move || q2.push(it2, 0));
         // Give the producer time to block, then free the slot.
         std::thread::sleep(std::time::Duration::from_millis(20));
         let drained = q.pop_batch(1);
@@ -231,19 +324,39 @@ mod tests {
         let q = ShardQueue::new(16, BackpressurePolicy::Block);
         let it = item();
         for _ in 0..5 {
-            q.push(Arc::clone(&it));
+            q.push(Arc::clone(&it), 0);
         }
         assert_eq!(q.pop_batch(3).len(), 3);
         assert_eq!(q.pop_batch(3).len(), 2, "takes what's there, no waiting");
     }
 
     #[test]
+    fn pop_batch_groups_head_signature_first_then_tops_up() {
+        let q = ShardQueue::new(16, BackpressurePolicy::Block);
+        let it = item();
+        // Interleaved signatures: A B A B A
+        for sig in [7u64, 9, 7, 9, 7] {
+            q.push(Arc::clone(&it), sig);
+        }
+        let batch = q.pop_batch(4);
+        assert_eq!(batch.len(), 4, "fills from the rest after the sig group");
+        let sigs: Vec<u64> = batch.iter().map(|r| r.signature).collect();
+        // All three sig-7 requests (the head's signature) come first, then
+        // the oldest sig-9 tops the batch up.
+        assert_eq!(sigs, vec![7, 7, 7, 9]);
+        // The remaining request is the younger sig-9.
+        let rest = q.pop_batch(4);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].signature, 9);
+    }
+
+    #[test]
     fn close_drains_then_signals_exit() {
         let q = ShardQueue::new(8, BackpressurePolicy::Block);
         let it = item();
-        q.push(Arc::clone(&it));
+        q.push(Arc::clone(&it), 0);
         q.close();
-        assert_eq!(q.push(Arc::clone(&it)), SubmitOutcome::Rejected);
+        assert_eq!(q.push(Arc::clone(&it), 0), SubmitOutcome::Rejected);
         assert_eq!(q.pop_batch(8).len(), 1, "remaining work drains");
         assert!(q.pop_batch(8).is_empty(), "then workers see the close");
     }

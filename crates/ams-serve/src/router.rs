@@ -1,0 +1,366 @@
+//! Model-affinity request routing: steer requests whose *predicted
+//! dominant model sets* match onto the same shard, so the worker there
+//! coalesces bigger same-model batches.
+//!
+//! Hash sharding (the PR-2 default) spreads similar requests uniformly:
+//! two album photos that would both run the same five detectors land on
+//! different shards and each pays the per-invocation setup charge alone.
+//! The affinity router instead fingerprints each request with a cheap
+//! top-k scan of its per-model value profile
+//! ([`AdaptiveModelScheduler::affinity_signature`] — no predictor forward,
+//! no labeling work) and keys placement on it at two granularities:
+//!
+//! * **placement** uses the *coarse* top-1 key — every request leaning on
+//!   the same dominant model shares a home shard, so even a lightly
+//!   loaded shard's whole queue is mutually similar and its take-all
+//!   batches coalesce;
+//! * **batch grouping** uses the full `top_k` signature, which rides on
+//!   the request into the queue — when a queue runs deep, the
+//!   signature-aware [`pop_batch`](crate::queue::ShardQueue::pop_batch)
+//!   assembles signature-pure batches out of it.
+//!
+//! Batch coalescing becomes deliberate: same-model groups concentrate, and
+//! the [`BatchLatencyModel`](ams_sim::BatchLatencyModel) setup charge
+//! amortizes over more items.
+//!
+//! A **load-balance escape hatch** keeps the skew honest: every signature
+//! also names a deterministic *alternate* shard, and when the home queue is
+//! full or lags the alternate by more than `spill_lag` requests, the
+//! request *spills* to the alternate — still signature-keyed, so a hot
+//! cluster splits across two shards instead of scattering and its batches
+//! keep coalescing. Only when both choices are full does the router fall
+//! back to the least-loaded shard. No shard hot-spots (bounded lag), no
+//! shard starves (overflow traffic flows outward), and under uniform
+//! traffic the router degrades gracefully toward balanced sharding. Hits
+//! and spills are counted and published in the
+//! [`ServeReport`](crate::ServeReport).
+
+use crate::queue::ShardQueue;
+use ams_core::framework::AdaptiveModelScheduler;
+use ams_data::ItemTruth;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fibonacci multiplicative hash to a shard index.
+fn fib_shard(key: u64, shards: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % shards.max(1)
+}
+
+/// Knobs of the affinity routing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffinityConfig {
+    /// Models in the fingerprint: the top-k by static output value on the
+    /// item. Small k clusters aggressively (few distinct signatures, deep
+    /// coalescing), large k splits finer.
+    pub top_k: usize,
+    /// Escape hatch: route to the signature's *alternate* shard when the
+    /// home queue is full or lags the alternate by more than this many
+    /// requests. 0 degenerates to two-choice join-shortest-queue over the
+    /// signature's shard pair.
+    pub spill_lag: usize,
+}
+
+impl Default for AffinityConfig {
+    /// Top-2 fingerprint — measured on the bench fixture, the coarse
+    /// two-model key clusters best (finer keys fragment clusters faster
+    /// than they purify batches) — and spill at 8 requests of lag, one
+    /// default batch of slack before the balancer overrides affinity.
+    fn default() -> Self {
+        Self {
+            top_k: 2,
+            spill_lag: 8,
+        }
+    }
+}
+
+/// How submissions map to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Hash the scene id (uniform spread, PR-2 behavior).
+    #[default]
+    Hash,
+    /// Model-affinity routing with a load-balance escape hatch.
+    Affinity(AffinityConfig),
+}
+
+impl RoutingMode {
+    /// Stable lowercase name for reports and JSON records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingMode::Hash => "hash",
+            RoutingMode::Affinity(_) => "affinity",
+        }
+    }
+}
+
+/// Where a request was routed, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// The shard the request should be pushed to.
+    pub shard: usize,
+    /// The affinity signature the decision keyed on (0 under hash routing);
+    /// rides into the queue so dequeues can group same-signature work.
+    pub signature: u64,
+    /// Whether the affinity home shard was used (`false` for spills; always
+    /// `true` under hash routing, whose home is the hash itself).
+    pub affine: bool,
+}
+
+/// The shard router: mode plus hit/spill accounting.
+#[derive(Debug)]
+pub struct Router {
+    mode: RoutingMode,
+    shards: usize,
+    affinity_hits: AtomicU64,
+    affinity_spills: AtomicU64,
+}
+
+impl Router {
+    /// Router over `shards` shards (min 1).
+    pub fn new(mode: RoutingMode, shards: usize) -> Self {
+        Self {
+            mode,
+            shards: shards.max(1),
+            affinity_hits: AtomicU64::new(0),
+            affinity_spills: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured routing mode.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
+    /// Requests routed to their affinity home shard so far.
+    pub fn affinity_hits(&self) -> u64 {
+        self.affinity_hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests diverted to the least-loaded shard by the escape hatch.
+    pub fn affinity_spills(&self) -> u64 {
+        self.affinity_spills.load(Ordering::Relaxed)
+    }
+
+    /// Pick the shard for `item` and record the hit/spill. Queue lengths
+    /// are a racy snapshot — good enough for balancing, never consulted for
+    /// correctness (any shard labels any item identically).
+    pub fn route(
+        &self,
+        scheduler: &AdaptiveModelScheduler,
+        item: &ItemTruth,
+        queues: &[ShardQueue],
+    ) -> Route {
+        match self.mode {
+            RoutingMode::Hash => Route {
+                shard: fib_shard(item.scene_id, self.shards),
+                signature: 0,
+                affine: true,
+            },
+            RoutingMode::Affinity(cfg) => {
+                let sig = scheduler.affinity_signature(item, cfg.top_k);
+                // Route on the *coarse* key — the single dominant model,
+                // i.e. the highest-value bit of the fingerprint — so every
+                // request leaning on that model shares a home even when
+                // the rest of its fingerprint differs; the finer `top_k`
+                // signature rides along on the request and governs batch
+                // grouping inside the queue. Coarse placement keeps a
+                // shard's whole queue mutually similar (take-all pops on a
+                // lightly loaded shard still coalesce); fine grouping
+                // purifies batches when the queue runs deep.
+                let route_key = {
+                    let mut best: Option<(usize, f64)> = None;
+                    let mut bits = sig;
+                    while bits != 0 {
+                        let m = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let v = item.model_value[m];
+                        if best.map(|(_, bv)| v > bv).unwrap_or(true) {
+                            best = Some((m, v));
+                        }
+                    }
+                    best.map(|(m, _)| 1u64 << m).unwrap_or(0)
+                };
+                let home = fib_shard(route_key, self.shards);
+                // The alternate is also signature-keyed (a second
+                // independent hash of the same fingerprint): a cluster that
+                // outgrows its home splits across *two* shards, not across
+                // all of them, so its batches keep coalescing.
+                let alt = if self.shards == 1 {
+                    home
+                } else {
+                    let a = fib_shard(
+                        route_key.rotate_left(17) ^ 0xD1B5_4A32_D192_ED03,
+                        self.shards,
+                    );
+                    if a == home {
+                        (a + 1) % self.shards
+                    } else {
+                        a
+                    }
+                };
+                // Cascade: home while it keeps pace with the alternate,
+                // alternate while it keeps pace with the emptiest shard,
+                // else the emptiest shard — so a hot signature pair sheds
+                // its true overflow toward idle workers instead of
+                // stalling the producer while they starve. Spilled
+                // requests still carry the signature, and the
+                // signature-aware dequeue re-groups them wherever they
+                // land. The hit path touches only the pair's queues; the
+                // full least-loaded scan is paid on spills alone.
+                let home_len = queues[home].len();
+                let alt_len = queues[alt].len();
+                let home_ok =
+                    home_len < queues[home].capacity() && home_len <= alt_len + cfg.spill_lag;
+                if home_ok || alt == home {
+                    self.affinity_hits.fetch_add(1, Ordering::Relaxed);
+                    return Route {
+                        shard: home,
+                        signature: sig,
+                        affine: true,
+                    };
+                }
+                self.affinity_spills.fetch_add(1, Ordering::Relaxed);
+                let (mut least, mut least_len) = (alt, alt_len);
+                for (i, q) in queues.iter().enumerate() {
+                    let len = q.len();
+                    if len < least_len {
+                        least = i;
+                        least_len = len;
+                    }
+                }
+                let alt_ok =
+                    alt_len < queues[alt].capacity() && alt_len <= least_len + cfg.spill_lag;
+                Route {
+                    shard: if alt_ok { alt } else { least },
+                    signature: sig,
+                    affine: false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::BackpressurePolicy;
+    use ams_core::predictor::OraclePredictor;
+    use ams_data::{Dataset, DatasetProfile, TruthTable};
+    use ams_models::ModelZoo;
+    use std::sync::Arc;
+
+    fn scheduler() -> AdaptiveModelScheduler {
+        let zoo = ModelZoo::standard();
+        let predictor = Box::new(OraclePredictor::new(zoo.len(), 0.5));
+        AdaptiveModelScheduler::new(zoo, predictor, 0.5, 64)
+    }
+
+    fn truth(items: usize) -> TruthTable {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, items, 64);
+        TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5)
+    }
+
+    fn queues(n: usize, cap: usize) -> Vec<ShardQueue> {
+        (0..n)
+            .map(|_| ShardQueue::new(cap, BackpressurePolicy::Reject))
+            .collect()
+    }
+
+    #[test]
+    fn hash_mode_matches_scene_hash_and_counts_nothing() {
+        let s = scheduler();
+        let t = truth(8);
+        let qs = queues(4, 16);
+        let r = Router::new(RoutingMode::Hash, 4);
+        for item in t.items() {
+            let route = r.route(&s, item, &qs);
+            assert_eq!(route.shard, fib_shard(item.scene_id, 4));
+            assert!(route.affine);
+        }
+        assert_eq!(r.affinity_hits() + r.affinity_spills(), 0);
+    }
+
+    #[test]
+    fn affinity_mode_is_deterministic_on_idle_queues() {
+        let s = scheduler();
+        let t = truth(12);
+        let qs = queues(4, 16);
+        let r = Router::new(RoutingMode::Affinity(AffinityConfig::default()), 4);
+        for item in t.items() {
+            let a = r.route(&s, item, &qs).shard;
+            let b = r.route(&s, item, &qs).shard;
+            assert_eq!(a, b, "same item, same idle queues, same shard");
+        }
+        assert_eq!(r.affinity_hits(), 24);
+        assert_eq!(r.affinity_spills(), 0);
+    }
+
+    #[test]
+    fn equal_signatures_share_a_home_shard() {
+        let s = scheduler();
+        let t = truth(20);
+        let qs = queues(4, 64);
+        let r = Router::new(
+            RoutingMode::Affinity(AffinityConfig {
+                top_k: 4,
+                spill_lag: 64,
+            }),
+            4,
+        );
+        let mut by_sig: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for item in t.items() {
+            let sig = s.affinity_signature(item, 4);
+            let shard = r.route(&s, item, &qs).shard;
+            if let Some(&prev) = by_sig.get(&sig) {
+                assert_eq!(prev, shard, "signature {sig:#x} split across shards");
+            }
+            by_sig.insert(sig, shard);
+        }
+    }
+
+    #[test]
+    fn escape_hatch_spills_off_a_hot_home_shard() {
+        let s = scheduler();
+        let t = truth(4);
+        let item = Arc::new(t.item(0).clone());
+        let qs = queues(2, 8);
+        let r = Router::new(
+            RoutingMode::Affinity(AffinityConfig {
+                top_k: 4,
+                spill_lag: 2,
+            }),
+            2,
+        );
+        let home = r.route(&s, &item, &qs).shard;
+        // Load the home queue past the lag threshold; the other stays empty.
+        for _ in 0..4 {
+            qs[home].push(Arc::clone(&item), 0);
+        }
+        let route = r.route(&s, &item, &qs);
+        assert_ne!(route.shard, home, "must divert to the least-loaded shard");
+        assert!(!route.affine);
+        assert!(r.affinity_spills() >= 1);
+    }
+
+    #[test]
+    fn full_home_queue_always_spills() {
+        let s = scheduler();
+        let t = truth(2);
+        let item = Arc::new(t.item(0).clone());
+        let qs = queues(2, 2);
+        let r = Router::new(
+            RoutingMode::Affinity(AffinityConfig {
+                top_k: 4,
+                // Lag alone would never trigger; capacity must.
+                spill_lag: 1000,
+            }),
+            2,
+        );
+        let home = r.route(&s, &item, &qs).shard;
+        qs[home].push(Arc::clone(&item), 0);
+        qs[home].push(Arc::clone(&item), 0);
+        let route = r.route(&s, &item, &qs);
+        assert_ne!(route.shard, home);
+        assert!(!route.affine);
+    }
+}

@@ -1,18 +1,26 @@
-//! The serving front-end: hash-sharded bounded queues feeding per-shard
-//! worker pools over one shared [`AdaptiveModelScheduler`].
+//! The serving front-end: sharded bounded queues feeding per-shard worker
+//! pools over one shared [`AdaptiveModelScheduler`].
 //!
-//! Life of a request: `submit` hashes the item's scene id to a shard and
+//! Life of a request: `submit` routes the item to a shard — by scene-id
+//! hash, or by *model affinity* (see [`crate::router`]) so that requests
+//! predicted to run the same models coalesce on the same shard — and
 //! pushes it into that shard's queue under the configured backpressure
-//! policy. A shard worker pops up to `max_batch` queued requests, sheds
-//! those whose age has already reached the request timeout, labels the
-//! rest through the scheduler, coalesces the batch's model executions into
-//! batched invocations on the virtual GPU pool (the `ams-sim` batching
-//! model — one memory acquisition and one setup charge per model, marginal
-//! cost per extra item), and records the queue-wait / execute latency
-//! split. `shutdown` closes the queues, drains every worker gracefully,
-//! and merges the per-worker shards into one [`ServeReport`].
+//! policy. A shard worker pops up to the shard's current batch limit,
+//! sheds requests whose age has already reached the request timeout,
+//! labels the rest through the scheduler, coalesces the batch's model
+//! executions into batched invocations on the virtual GPU pool (the
+//! `ams-sim` batching model — one memory acquisition and one setup charge
+//! per model, marginal cost per extra item), and records the queue-wait /
+//! execute latency split. With adaptive batching enabled, each shard's
+//! batch limit is retuned online: AIMD on the observed total-latency p99
+//! against [`AdaptiveBatchConfig::target_p99_ms`], with the growth step
+//! bounded by the calibrated [`BatchLatencyModel`] so the controller never
+//! *predictably* overshoots its own target. `shutdown` closes the queues,
+//! drains every worker gracefully, and merges the per-worker shards into
+//! one [`ServeReport`].
 
 use crate::queue::{BackpressurePolicy, Request, ShardQueue, SubmitOutcome};
+use crate::router::{Router, RoutingMode};
 use crate::telemetry::{LatencyHistogram, LatencySummary};
 use ams_core::framework::{AdaptiveModelScheduler, Budget};
 use ams_core::streaming::StreamStats;
@@ -20,15 +28,62 @@ use ams_data::ItemTruth;
 use ams_models::ModelId;
 use ams_sim::{batched_makespan, BatchLatencyModel, Job};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Online batch-limit control: AIMD on the tail latency, bounded by the
+/// calibrated batch latency model.
+///
+/// Each shard starts at the server's configured `max_batch` (clamped into
+/// `[min_batch, max_batch]` below) and retunes after every `window`
+/// completed requests:
+///
+/// * observed total-latency p99 **above** `target_p99_ms` → multiplicative
+///   decrease (`limit × decrease_factor`, floored at `min_batch`);
+/// * otherwise → additive increase (`limit + increase_step`, capped at
+///   `max_batch`) — but only if the [`BatchLatencyModel`] predicts the
+///   grown batch's execute tail still fits the target. The model's
+///   [`growth_ratio`](BatchLatencyModel::growth_ratio) is scale-free, so
+///   the prediction `queue_p99 + exec_p99 × ratio` needs no knowledge of
+///   absolute model latencies: the step is bounded before it is taken
+///   instead of oscillating through a violation it could have foreseen.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveBatchConfig {
+    /// Wall-clock total-latency (queue wait + execute) p99 target, ms.
+    pub target_p99_ms: u64,
+    /// AIMD floor: the limit never shrinks below this. Min 1.
+    pub min_batch: usize,
+    /// AIMD ceiling: the limit never grows past this.
+    pub max_batch: usize,
+    /// Completed requests per shard between adjustments. Min 1.
+    pub window: u64,
+    /// Multiplicative decrease factor in `(0, 1)` applied on violation.
+    pub decrease_factor: f64,
+    /// Additive increase per compliant window.
+    pub increase_step: usize,
+}
+
+impl Default for AdaptiveBatchConfig {
+    /// 50 ms p99 target, limits in `[1, 32]`, retune every 16 requests,
+    /// halve on violation, grow by one otherwise.
+    fn default() -> Self {
+        Self {
+            target_p99_ms: 50,
+            min_batch: 1,
+            max_batch: 32,
+            window: 16,
+            decrease_factor: 0.5,
+            increase_step: 1,
+        }
+    }
+}
 
 /// Serving front-end configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Hash shards (each with its own bounded queue). Min 1.
+    /// Shards (each with its own bounded queue). Min 1.
     pub shards: usize,
     /// Workers per shard. Min 1.
     pub workers_per_shard: usize,
@@ -36,8 +91,21 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// What a full queue does to the next submission.
     pub policy: BackpressurePolicy,
+    /// How submissions map to shards: scene-id hash or model-affinity
+    /// routing (see [`crate::router`]).
+    pub routing: RoutingMode,
     /// Max requests a worker coalesces into one batched admission. Min 1.
+    /// With [`ServeConfig::adaptive`] set this is the *starting* limit;
+    /// the controller then retunes each shard online.
     pub max_batch: usize,
+    /// Online per-shard batch-limit control (`None` keeps `max_batch`
+    /// fixed).
+    pub adaptive: Option<AdaptiveBatchConfig>,
+    /// Batching linger, ms: once a worker sees the first queued request it
+    /// waits up to this long for its batch to fill before executing
+    /// (0 = pop immediately). A bounded latency deposit that buys fuller,
+    /// better-amortized batches on lightly loaded shards.
+    pub batch_linger_ms: u64,
     /// Calibrated setup + marginal latency split for batched invocations.
     pub batch_model: BatchLatencyModel,
     /// Virtual GPU pool each batched invocation packs into, MB.
@@ -64,13 +132,52 @@ impl Default for ServeConfig {
             workers_per_shard: 1,
             queue_capacity: 64,
             policy: BackpressurePolicy::default(),
+            routing: RoutingMode::default(),
             max_batch: 8,
+            adaptive: None,
+            batch_linger_ms: 0,
             batch_model: BatchLatencyModel::default(),
             pool_mb: 12_288,
             request_timeout_ms: None,
             exec_emulation_scale: 0.0,
             alert_recall: 0.5,
         }
+    }
+}
+
+/// One shard's adaptive-batching record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardAdaptive {
+    /// Shard index.
+    pub shard: usize,
+    /// Batch limit when the server drained.
+    pub final_max_batch: usize,
+    /// Adjustment windows evaluated.
+    pub adjustments: u64,
+    /// Total-latency p99 of the last evaluated window, µs (0 when the
+    /// shard never filled half a window — too little traffic to judge).
+    pub last_window_p99_us: u64,
+    /// Whether the last evaluated window met the target.
+    pub within_target: bool,
+    /// Batch limit after each adjustment, in order — the trajectory the
+    /// benchmark publishes.
+    pub trajectory: Vec<usize>,
+}
+
+/// The merged adaptive-batching record (present when the server ran with
+/// [`ServeConfig::adaptive`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveReport {
+    /// The configured total-latency p99 target, ms.
+    pub target_p99_ms: u64,
+    /// Per-shard controller trajectories.
+    pub shards: Vec<ShardAdaptive>,
+}
+
+impl AdaptiveReport {
+    /// Whether every shard's last evaluated window met the target.
+    pub fn all_within_target(&self) -> bool {
+        self.shards.iter().all(|s| s.within_target)
     }
 }
 
@@ -83,6 +190,13 @@ pub struct ServeReport {
     pub workers: usize,
     /// Backpressure policy name.
     pub policy: String,
+    /// Routing mode name (`"hash"` or `"affinity"`).
+    pub routing: String,
+    /// Requests routed to their affinity home shard (0 under hash routing).
+    pub affinity_hits: u64,
+    /// Requests diverted to the least-loaded shard by the load-balance
+    /// escape hatch (0 under hash routing).
+    pub affinity_spills: u64,
     /// Requests offered to `submit` (accepted + rejected).
     pub offered: u64,
     /// Requests accepted into a queue.
@@ -96,13 +210,26 @@ pub struct ServeReport {
     /// Dequeued requests dropped because their queue age reached the
     /// request timeout.
     pub shed_deadline: u64,
-    /// Batched invocation rounds the workers ran.
+    /// Batched invocation rounds the workers executed (rounds whose every
+    /// member was deadline-shed don't count — no work ran).
     pub batches: u64,
-    /// Largest coalesced batch observed.
+    /// Largest executed (post-shedding) batch observed.
     pub max_batch_observed: usize,
-    /// Sum of the batches' virtual execution makespans, ms. Batching and
-    /// pool parallelism compress this below the serial sum of the same
-    /// items' execution times ([`StreamStats::total_exec_ms`]).
+    /// Batched model invocations: one per `(model, batch)` group admitted
+    /// to the virtual GPU pool. `stats.total_executions /
+    /// model_invocations` is the mean coalescing depth — the quantity
+    /// affinity routing exists to raise.
+    pub model_invocations: u64,
+    /// Virtual GPU **bill**: the summed batched invocation times
+    /// (`Σ batch_time(model, count)`), i.e. GPU-time consumed, independent
+    /// of how invocations packed into the pool. Coalescing shrinks it by
+    /// deduplicating setup charges; compare with
+    /// [`StreamStats::total_exec_ms`], the unbatched serial bill.
+    pub virtual_work_ms: u64,
+    /// Sum of the batches' virtual execution *makespans*, ms — the virtual
+    /// wall-clock the GPU pool was busy. Batching and pool parallelism
+    /// compress this below the serial sum of the same items' execution
+    /// times ([`StreamStats::total_exec_ms`]).
     pub virtual_exec_ms: u64,
     /// Wall-clock time requests spent queued.
     pub queue_wait: LatencySummary,
@@ -114,6 +241,8 @@ pub struct ServeReport {
     /// what a serial [`ams_core::streaming::StreamProcessor`] produces over
     /// the same items when nothing is shed.
     pub stats: StreamStats,
+    /// Adaptive-batching trajectories (when the controller ran).
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 impl ServeReport {
@@ -129,11 +258,150 @@ impl ServeReport {
     pub fn is_conserved(&self) -> bool {
         self.offered == self.completed + self.rejected + self.shed_oldest + self.shed_deadline
     }
+
+    /// Mean executed requests per batched round (0 when no batch ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.batches as f64
+    }
+
+    /// Mean model executions coalesced per batched invocation (0 when no
+    /// invocation ran): how many same-model items shared one setup charge
+    /// on the virtual GPU. Routing that groups similar requests raises
+    /// this; 1.0 means batching bought nothing.
+    pub fn mean_coalesced(&self) -> f64 {
+        if self.model_invocations == 0 {
+            return 0.0;
+        }
+        self.stats.total_executions as f64 / self.model_invocations as f64
+    }
+
+    /// Share of the serial virtual GPU bill that batched admission saved,
+    /// measured in GPU-time consumed (`1 - virtual_work_ms /
+    /// stats.total_exec_ms`; 0 when nothing executed). Pool packing does
+    /// not move this number — only coalescing does, so it is the metric
+    /// routing quality shows up in.
+    pub fn bill_saving_fraction(&self) -> f64 {
+        if self.stats.total_exec_ms == 0 {
+            return 0.0;
+        }
+        1.0 - self.virtual_work_ms as f64 / self.stats.total_exec_ms as f64
+    }
+
+    /// Share of routed requests that landed on their affinity home shard
+    /// (0 when the affinity router never ran — e.g. hash routing).
+    pub fn affinity_hit_rate(&self) -> f64 {
+        let routed = self.affinity_hits + self.affinity_spills;
+        if routed == 0 {
+            return 0.0;
+        }
+        self.affinity_hits as f64 / routed as f64
+    }
 }
 
-/// Shared server state (queues + scheduler), behind one `Arc`.
+/// One shard's adaptive-batching state: the live limit workers read before
+/// every pop, plus the observation window the controller adjusts from.
+struct ShardControl {
+    limit: AtomicUsize,
+    window: Mutex<AdaptiveWindow>,
+}
+
+/// The controller's per-window observations and its published trajectory.
+#[derive(Default)]
+struct AdaptiveWindow {
+    execute: LatencyHistogram,
+    total: LatencyHistogram,
+    adjustments: u64,
+    last_window_p99_us: u64,
+    last_within_target: bool,
+    trajectory: Vec<usize>,
+}
+
+impl ShardControl {
+    fn new(start_limit: usize) -> Self {
+        Self {
+            limit: AtomicUsize::new(start_limit),
+            window: Mutex::new(AdaptiveWindow {
+                last_within_target: true,
+                ..AdaptiveWindow::default()
+            }),
+        }
+    }
+
+    /// Record one executed batch's member latencies and retune the limit
+    /// once the window fills. One lock per batch, not per request.
+    fn observe_batch(
+        &self,
+        waits: impl Iterator<Item = Duration>,
+        exec: Duration,
+        acfg: &AdaptiveBatchConfig,
+        batch_model: &BatchLatencyModel,
+    ) {
+        let mut win = self.window.lock().expect("adaptive window");
+        for wait in waits {
+            win.execute.record(exec);
+            win.total.record(wait + exec);
+        }
+        if win.total.count() < acfg.window {
+            return;
+        }
+        let p99_total = win.total.quantile_us(0.99);
+        let p99_exec = win.execute.quantile_us(0.99);
+        let target_us = acfg.target_p99_ms.saturating_mul(1000);
+        let cur = self.limit.load(Ordering::Relaxed);
+        let next = if p99_total > target_us {
+            // Violation: multiplicative decrease.
+            ((cur as f64 * acfg.decrease_factor) as usize).max(acfg.min_batch)
+        } else {
+            // Compliant: additive increase, but bounded by the latency
+            // model — grow only when the predicted tail still fits.
+            let cand = (cur + acfg.increase_step).min(acfg.max_batch.max(acfg.min_batch));
+            let ratio = batch_model.growth_ratio(cur, cand);
+            let queue_share = p99_total.saturating_sub(p99_exec) as f64;
+            let predicted = queue_share + p99_exec as f64 * ratio;
+            if predicted <= target_us as f64 {
+                cand
+            } else {
+                cur
+            }
+        };
+        self.limit.store(next, Ordering::Relaxed);
+        win.adjustments += 1;
+        win.last_window_p99_us = p99_total;
+        win.last_within_target = p99_total <= target_us;
+        win.trajectory.push(next);
+        win.execute = LatencyHistogram::default();
+        win.total = LatencyHistogram::default();
+    }
+
+    /// Close out the controller at drain: judge a half-full residual window
+    /// (enough evidence), discard a thinner one.
+    fn into_record(self, shard: usize, acfg: &AdaptiveBatchConfig) -> ShardAdaptive {
+        let final_max_batch = self.limit.load(Ordering::Relaxed);
+        let mut win = self.window.into_inner().expect("adaptive window");
+        if win.total.count() * 2 >= acfg.window.max(1) {
+            let p99 = win.total.quantile_us(0.99);
+            win.last_window_p99_us = p99;
+            win.last_within_target = p99 <= acfg.target_p99_ms.saturating_mul(1000);
+        }
+        ShardAdaptive {
+            shard,
+            final_max_batch,
+            adjustments: win.adjustments,
+            last_window_p99_us: win.last_window_p99_us,
+            within_target: win.last_within_target,
+            trajectory: win.trajectory,
+        }
+    }
+}
+
+/// Shared server state (queues + router + scheduler), behind one `Arc`.
 struct Shared {
     queues: Vec<ShardQueue>,
+    router: Router,
+    controls: Vec<ShardControl>,
     scheduler: AdaptiveModelScheduler,
     budget: Budget,
     cfg: ServeConfig,
@@ -152,6 +420,8 @@ struct WorkerLocal {
     shed_deadline: u64,
     batches: u64,
     max_batch_observed: usize,
+    model_invocations: u64,
+    virtual_work_ms: u64,
     virtual_exec_ms: u64,
 }
 
@@ -166,6 +436,8 @@ impl WorkerLocal {
             shed_deadline: 0,
             batches: 0,
             max_batch_observed: 0,
+            model_invocations: 0,
+            virtual_work_ms: 0,
             virtual_exec_ms: 0,
         }
     }
@@ -201,20 +473,39 @@ pub struct AmsServer {
 }
 
 impl AmsServer {
-    /// Spin up the shard queues and worker threads.
+    /// Spin up the shard queues, the router, and the worker threads.
     pub fn start(scheduler: AdaptiveModelScheduler, budget: Budget, cfg: ServeConfig) -> Self {
         let cfg = ServeConfig {
             shards: cfg.shards.max(1),
             workers_per_shard: cfg.workers_per_shard.max(1),
             queue_capacity: cfg.queue_capacity.max(1),
             max_batch: cfg.max_batch.max(1),
+            adaptive: cfg.adaptive.map(|a| AdaptiveBatchConfig {
+                min_batch: a.min_batch.max(1),
+                max_batch: a.max_batch.max(a.min_batch.max(1)),
+                window: a.window.max(1),
+                increase_step: a.increase_step.max(1),
+                decrease_factor: a.decrease_factor.clamp(0.1, 0.99),
+                ..a
+            }),
             ..cfg
         };
-        let queues = (0..cfg.shards)
+        let queues: Vec<ShardQueue> = (0..cfg.shards)
             .map(|_| ShardQueue::new(cfg.queue_capacity, cfg.policy))
             .collect();
+        // The controller starts every shard at the configured static limit,
+        // clamped into the adaptive band.
+        let start_limit = cfg.adaptive.map_or(cfg.max_batch, |a| {
+            cfg.max_batch
+                .clamp(a.min_batch, a.max_batch.max(a.min_batch))
+        });
+        let controls = (0..cfg.shards)
+            .map(|_| ShardControl::new(start_limit))
+            .collect();
         let shared = Arc::new(Shared {
+            router: Router::new(cfg.routing, cfg.shards),
             queues,
+            controls,
             scheduler,
             budget,
             cfg,
@@ -232,7 +523,10 @@ impl AmsServer {
         Self { shared, workers }
     }
 
-    /// The shard an item routes to (Fibonacci-hashed scene id).
+    /// The shard an item routes to (Fibonacci-hashed scene id — the hash
+    /// mode's home shard). Under affinity routing the live router may
+    /// divert a submission elsewhere; this accessor stays the stable
+    /// hash-partition answer.
     pub fn shard_of(&self, item: &ItemTruth) -> usize {
         (item.scene_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.shared.cfg.shards
     }
@@ -240,9 +534,12 @@ impl AmsServer {
     /// Submit one item for labeling under the shard's backpressure policy.
     /// Under [`BackpressurePolicy::Block`] this call waits for queue space.
     pub fn submit(&self, item: Arc<ItemTruth>) -> SubmitOutcome {
-        let shard = self.shard_of(&item);
+        let route = self
+            .shared
+            .router
+            .route(&self.shared.scheduler, &item, &self.shared.queues);
         self.shared.offered.fetch_add(1, Ordering::Relaxed);
-        let outcome = self.shared.queues[shard].push(item);
+        let outcome = self.shared.queues[route.shard].push(item, route.signature);
         match outcome {
             SubmitOutcome::Enqueued | SubmitOutcome::EnqueuedShedOldest => {
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
@@ -277,6 +574,8 @@ impl AmsServer {
             merged.shed_deadline += local.shed_deadline;
             merged.batches += local.batches;
             merged.max_batch_observed = merged.max_batch_observed.max(local.max_batch_observed);
+            merged.model_invocations += local.model_invocations;
+            merged.virtual_work_ms += local.virtual_work_ms;
             merged.virtual_exec_ms += local.virtual_exec_ms;
         }
         let shed_oldest: u64 = self
@@ -285,23 +584,40 @@ impl AmsServer {
             .iter()
             .map(ShardQueue::shed_oldest_count)
             .sum();
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("workers joined; no other Arc holder remains"));
+        let adaptive = shared.cfg.adaptive.map(|acfg| AdaptiveReport {
+            target_p99_ms: acfg.target_p99_ms,
+            shards: shared
+                .controls
+                .into_iter()
+                .enumerate()
+                .map(|(shard, ctl)| ctl.into_record(shard, &acfg))
+                .collect(),
+        });
         ServeReport {
-            shards: self.shared.cfg.shards,
-            workers: self.shared.cfg.shards * self.shared.cfg.workers_per_shard,
-            policy: self.shared.cfg.policy.name().to_string(),
-            offered: self.shared.offered.load(Ordering::Relaxed),
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            shards: shared.cfg.shards,
+            workers: shared.cfg.shards * shared.cfg.workers_per_shard,
+            policy: shared.cfg.policy.name().to_string(),
+            routing: shared.router.mode().name().to_string(),
+            affinity_hits: shared.router.affinity_hits(),
+            affinity_spills: shared.router.affinity_spills(),
+            offered: shared.offered.load(Ordering::Relaxed),
+            submitted: shared.submitted.load(Ordering::Relaxed),
             completed: merged.completed,
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            rejected: shared.rejected.load(Ordering::Relaxed),
             shed_oldest,
             shed_deadline: merged.shed_deadline,
             batches: merged.batches,
             max_batch_observed: merged.max_batch_observed,
+            model_invocations: merged.model_invocations,
+            virtual_work_ms: merged.virtual_work_ms,
             virtual_exec_ms: merged.virtual_exec_ms,
             queue_wait: merged.queue_wait.summary(),
             execute: merged.execute.summary(),
             total: merged.total.summary(),
             stats: merged.stats,
+            adaptive,
         }
     }
 }
@@ -314,16 +630,25 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
     let mut local = WorkerLocal::new(n);
     let mut runs_per_model = vec![0usize; n];
     loop {
-        let batch = shared.queues[shard].pop_batch(shared.cfg.max_batch);
+        // Under adaptive batching the shard's live limit replaces the
+        // static one; the controller retunes it between pops.
+        let limit = if shared.cfg.adaptive.is_some() {
+            shared.controls[shard].limit.load(Ordering::Relaxed)
+        } else {
+            shared.cfg.max_batch
+        };
+        let batch = shared.queues[shard]
+            .pop_batch_lingering(limit, Duration::from_millis(shared.cfg.batch_linger_ms));
         if batch.is_empty() {
             return local;
         }
-        local.batches += 1;
-        local.max_batch_observed = local.max_batch_observed.max(batch.len());
         let exec_start = Instant::now();
 
         // Deadline-aware shedding: a request whose queue age has already
         // reached the timeout is dropped before any work is spent on it.
+        // A shed request is accounted exactly once — in `shed_deadline` —
+        // and never reaches the stats (the recall denominator) or the
+        // latency histograms.
         let mut survivors: Vec<(Request, Duration)> = Vec::with_capacity(batch.len());
         for req in batch {
             let wait = req.enqueued_at.elapsed();
@@ -337,6 +662,13 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
                 survivors.push((req, wait));
             }
         }
+        if survivors.is_empty() {
+            // The whole round was shed: no batch executed, nothing to
+            // observe or charge.
+            continue;
+        }
+        local.batches += 1;
+        local.max_batch_observed = local.max_batch_observed.max(survivors.len());
 
         // Label each survivor; collect the batch's per-model run counts.
         runs_per_model.fill(0);
@@ -370,6 +702,11 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
             })
             .collect();
         let makespan_ms = batched_makespan(&groups, shared.cfg.pool_mb, &shared.cfg.batch_model);
+        local.model_invocations += groups.len() as u64;
+        local.virtual_work_ms += groups
+            .iter()
+            .map(|&(job, count)| shared.cfg.batch_model.batch_time_ms(job.time_ms, count))
+            .sum::<u64>();
         local.virtual_exec_ms += makespan_ms;
         if shared.cfg.exec_emulation_scale > 0.0 && makespan_ms > 0 {
             let wait_ms = makespan_ms as f64 * shared.cfg.exec_emulation_scale;
@@ -385,6 +722,14 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
             local.execute.record(exec_elapsed);
             local.total.record(*wait + exec_elapsed);
             local.completed += 1;
+        }
+        if let Some(acfg) = &shared.cfg.adaptive {
+            shared.controls[shard].observe_batch(
+                survivors.iter().map(|(_, wait)| *wait),
+                exec_elapsed,
+                acfg,
+                &shared.cfg.batch_model,
+            );
         }
     }
 }

@@ -179,9 +179,75 @@ mod tests {
     #[test]
     fn empty_histogram_reports_zero() {
         let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.99), 0);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 0, "q={q}");
+        }
         assert_eq!(h.mean_us(), 0.0);
-        assert_eq!(h.summary().p50_us, 0);
+        assert_eq!(h.max_us(), 0);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.p95_us, 0);
+        assert_eq!(s.p99_us, 0);
+        assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        for us in [0u64, 1, 7, 900, 123_456] {
+            let mut h = LatencyHistogram::default();
+            h.record_us(us);
+            // With one sample every rank lands in its bucket, and the
+            // bucket bound is clamped to the observed max — so every
+            // quantile reports the sample exactly.
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.quantile_us(q), us, "us={us} q={q}");
+            }
+            assert_eq!(h.mean_us(), us as f64);
+            let s = h.summary();
+            assert_eq!(
+                (s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us),
+                (1, us, us, us, us)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_ranges_preserves_both_tails() {
+        // `a` holds only sub-millisecond samples, `b` only multi-second
+        // ones: no bucket is occupied in both.
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        for us in [2u64, 5, 11, 40, 100] {
+            a.record_us(us);
+        }
+        for us in [2_000_000u64, 5_000_000, 9_000_000] {
+            b.record_us(us);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 8);
+        // The low half of the distribution still reads from `a`'s range...
+        assert!(
+            merged.quantile_us(0.25) <= 100,
+            "{}",
+            merged.quantile_us(0.25)
+        );
+        // ...and the tail from `b`'s.
+        assert!(merged.quantile_us(0.99) >= 2_000_000);
+        assert_eq!(merged.max_us(), 9_000_000);
+        // Merging the other way round is identical (commutativity).
+        let mut other = b.clone();
+        other.merge(&a);
+        for q in [0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile_us(q), other.quantile_us(q), "q={q}");
+        }
+        // Merging an empty histogram is the identity.
+        let before = merged.summary();
+        merged.merge(&LatencyHistogram::default());
+        let after = merged.summary();
+        assert_eq!(before.count, after.count);
+        assert_eq!(before.p99_us, after.p99_us);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use ams_core::predictor::OraclePredictor;
 use ams_core::streaming::{StreamProcessor, StreamStats};
 use ams_data::{Dataset, DatasetProfile, TruthTable};
 use ams_models::ModelZoo;
-use ams_serve::{AmsServer, BackpressurePolicy, ServeConfig, SubmitOutcome};
+use ams_serve::{
+    AdaptiveBatchConfig, AffinityConfig, AmsServer, BackpressurePolicy, RoutingMode, ServeConfig,
+    SubmitOutcome,
+};
 use std::sync::Arc;
 
 fn scheduler() -> AdaptiveModelScheduler {
@@ -87,6 +90,137 @@ fn serve_stats_match_serial_when_nothing_is_shed() {
         assert_eq!(report.total.count, 40, "{ctx}: every request timed");
         assert!(report.batches > 0 && report.max_batch_observed <= max_batch);
     }
+}
+
+/// Affinity routing changes only *where* requests queue, never what they
+/// compute: serve-mode stats stay exactly the serial engine's, the whole
+/// stream is accounted through the router, and coalescing never gets
+/// worse-than-singleton.
+#[test]
+fn affinity_routing_preserves_serial_equivalence() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(40);
+    let want = serial_stats(budget, &table);
+    for (shards, workers_per_shard, max_batch) in [(1, 1, 4), (3, 1, 4), (4, 2, 8)] {
+        let cfg = ServeConfig {
+            shards,
+            workers_per_shard,
+            max_batch,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            routing: RoutingMode::Affinity(AffinityConfig::default()),
+            ..ServeConfig::default()
+        };
+        let server = AmsServer::start(scheduler(), budget, cfg);
+        for item in table.items() {
+            assert_ne!(
+                server.submit(Arc::new(item.clone())),
+                SubmitOutcome::Rejected,
+                "lossless affinity config must accept everything"
+            );
+        }
+        let report = server.shutdown();
+        let ctx = format!("affinity {shards}x{workers_per_shard}, batch {max_batch}");
+        assert_eq!(report.routing, "affinity", "{ctx}");
+        assert_eq!(report.completed, 40, "{ctx}");
+        assert!(report.is_conserved(), "{ctx}");
+        assert_stats_match(&report.stats, &want, &ctx);
+        // Every submission went through the router exactly once.
+        assert_eq!(report.affinity_hits + report.affinity_spills, 40, "{ctx}");
+        assert!(report.affinity_hit_rate() > 0.0, "{ctx}");
+        assert!(report.model_invocations > 0, "{ctx}");
+        assert!(report.mean_coalesced() >= 1.0, "{ctx}");
+    }
+}
+
+/// The adaptive controller retunes the batch limit without perturbing the
+/// labeling results, and publishes its trajectory.
+#[test]
+fn adaptive_controller_keeps_stats_exact_and_reports_trajectory() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(48);
+    let want = serial_stats(budget, &table);
+    let cfg = ServeConfig {
+        shards: 1,
+        workers_per_shard: 1,
+        max_batch: 4,
+        queue_capacity: 64,
+        policy: BackpressurePolicy::Block,
+        adaptive: Some(AdaptiveBatchConfig {
+            // Generous target: pure simulation latencies sit far below
+            // 10 s, so every window complies and the limit can only grow.
+            target_p99_ms: 10_000,
+            min_batch: 1,
+            max_batch: 16,
+            window: 8,
+            ..AdaptiveBatchConfig::default()
+        }),
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler(), budget, cfg);
+    for item in table.items() {
+        server.submit(Arc::new(item.clone()));
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 48);
+    assert_stats_match(&report.stats, &want, "adaptive");
+    let adaptive = report.adaptive.expect("controller ran");
+    assert_eq!(adaptive.target_p99_ms, 10_000);
+    assert_eq!(adaptive.shards.len(), 1);
+    let shard = &adaptive.shards[0];
+    assert!(
+        shard.adjustments > 0,
+        "48 items fill several 8-wide windows"
+    );
+    assert_eq!(shard.trajectory.len(), shard.adjustments as usize);
+    assert!(shard.final_max_batch >= 4, "compliant windows only grow");
+    assert!(shard.final_max_batch <= 16, "never past the ceiling");
+    assert!(shard.within_target);
+    assert!(adaptive.all_within_target());
+}
+
+/// An impossible target drives the limit down to the floor — the
+/// multiplicative-decrease path — and the report says the target was
+/// missed rather than pretending otherwise.
+#[test]
+fn adaptive_controller_decays_to_floor_under_impossible_target() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(48);
+    let cfg = ServeConfig {
+        shards: 1,
+        workers_per_shard: 1,
+        max_batch: 16,
+        queue_capacity: 64,
+        policy: BackpressurePolicy::Block,
+        // Make execution take real wall time so a 0 ms target must fail.
+        exec_emulation_scale: 1e-3,
+        adaptive: Some(AdaptiveBatchConfig {
+            target_p99_ms: 0,
+            min_batch: 2,
+            max_batch: 16,
+            window: 8,
+            ..AdaptiveBatchConfig::default()
+        }),
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler(), budget, cfg);
+    for item in table.items() {
+        server.submit(Arc::new(item.clone()));
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 48, "latency control never drops work");
+    let adaptive = report.adaptive.expect("controller ran");
+    let shard = &adaptive.shards[0];
+    assert_eq!(shard.final_max_batch, 2, "decayed to the configured floor");
+    assert!(
+        !shard.within_target,
+        "an impossible target is reported missed"
+    );
+    assert!(
+        shard.trajectory.windows(2).all(|w| w[1] <= w[0]),
+        "violations only shrink the limit: {:?}",
+        shard.trajectory
+    );
 }
 
 /// Batched admission compresses virtual execution: the sum of batch
@@ -178,6 +312,52 @@ fn shed_oldest_policy_keeps_admitting() {
     assert_eq!(report.rejected, 0);
     assert!(report.is_conserved());
     assert_eq!(report.completed + report.shed_oldest, 60);
+}
+
+/// A request shed after partial batch admission (popped in a batch, then
+/// dropped by the deadline check while its batch-mates execute) is counted
+/// exactly once in the shed ledger and never enters the recall denominator
+/// or the latency histograms.
+#[test]
+fn partial_batch_shed_counted_once_and_excluded_from_recall() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(60);
+    let cfg = ServeConfig {
+        shards: 1,
+        workers_per_shard: 1,
+        queue_capacity: 64,
+        max_batch: 8,
+        policy: BackpressurePolicy::Block,
+        // Each batch's emulated execution takes tens of wall ms, so
+        // requests queued behind it age past the timeout while the ones
+        // popped fresh survive — mixed batches, the partial-shed shape.
+        request_timeout_ms: Some(40),
+        exec_emulation_scale: 5e-3,
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler(), budget, cfg);
+    for item in table.items() {
+        server.submit(Arc::new(item.clone()));
+    }
+    let report = server.shutdown();
+    assert!(report.shed_deadline > 0, "the backlog must age past 40ms");
+    assert!(report.completed > 0, "fresh requests must survive");
+    // Exactly-once ledger: every offered request is in precisely one bucket.
+    assert!(report.is_conserved());
+    assert_eq!(report.completed + report.shed_deadline, 60);
+    // Never in the recall denominator: stats cover completed requests only,
+    // so mean_recall is over survivors, not shed work.
+    assert_eq!(report.stats.items as u64, report.completed);
+    let runs: u64 = report.stats.per_model_runs.iter().sum();
+    assert_eq!(runs as usize, report.stats.total_executions);
+    assert!(report.stats.mean_recall() > 0.0 && report.stats.mean_recall() <= 1.0);
+    // Never in the telemetry either: one histogram entry per completion.
+    assert_eq!(report.queue_wait.count, report.completed);
+    assert_eq!(report.execute.count, report.completed);
+    assert_eq!(report.total.count, report.completed);
+    // Executed-batch accounting ignores all-shed rounds.
+    assert!(report.mean_batch_size() >= 1.0);
+    assert!(report.batches <= report.completed);
 }
 
 /// Deadline-aware shedding: with a zero timeout every dequeued request is

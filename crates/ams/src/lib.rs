@@ -15,8 +15,9 @@
 //!   relation graph, and the [`core::framework::AdaptiveModelScheduler`]
 //!   facade.
 //! * [`serve`] — the sharded serving front-end: bounded queues with
-//!   backpressure, batched admission, deadline shedding, and latency
-//!   telemetry.
+//!   backpressure, model-affinity routing, batched admission with an
+//!   adaptive per-shard batch-limit controller, deadline shedding, and
+//!   latency telemetry.
 //!
 //! ## Quickstart
 //!
@@ -87,7 +88,8 @@ pub mod prelude {
         TrainConfig, TrainStats, TrainedAgent,
     };
     pub use ams_serve::{
-        AmsServer, BackpressurePolicy, LatencySummary, ServeConfig, ServeReport, SubmitOutcome,
+        AdaptiveBatchConfig, AdaptiveReport, AffinityConfig, AmsServer, BackpressurePolicy,
+        LatencySummary, RoutingMode, ServeConfig, ServeReport, ShardAdaptive, SubmitOutcome,
     };
     pub use ams_sim::{
         batched_makespan, BatchLatencyModel, ExecTrace, Job, MemoryPool, ParallelExecutor,

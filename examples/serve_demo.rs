@@ -2,10 +2,13 @@
 //! deployment shape of the paper's motivating applications — with sharded
 //! admission queues, batched execution, and latency telemetry.
 //!
-//! A burst of album photos is submitted to an [`AmsServer`] twice: once
-//! with a lossless blocking configuration, once with a tiny queue and a
-//! shed-oldest policy under a request timeout, showing how the same engine
-//! degrades gracefully under overload instead of falling behind.
+//! A burst of album photos is submitted to an [`AmsServer`] three times:
+//! once with a lossless blocking configuration, once with a tiny queue and
+//! a shed-oldest policy under a request timeout (graceful degradation
+//! under overload), and once with model-affinity routing plus the adaptive
+//! batch-limit controller — the configuration that coalesces same-model
+//! batches deliberately and retunes `max_batch` against a tail-latency
+//! target.
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
@@ -54,6 +57,28 @@ fn print_report(tag: &str, r: &ServeReport) {
         r.stats.items,
         r.stats.mean_models()
     );
+    if r.routing == "affinity" {
+        println!(
+            "  routing: affinity hit rate {:.0}% ({} hits, {} spills), {:.2} executions coalesced per model invocation",
+            r.affinity_hit_rate() * 100.0,
+            r.affinity_hits,
+            r.affinity_spills,
+            r.mean_coalesced(),
+        );
+    }
+    if let Some(a) = &r.adaptive {
+        for s in &a.shards {
+            println!(
+                "  adaptive shard {}: max_batch -> {} after {} adjustments (last window p99 {:.1}ms vs {}ms target, {})",
+                s.shard,
+                s.final_max_batch,
+                s.adjustments,
+                s.last_window_p99_us as f64 / 1000.0,
+                a.target_p99_ms,
+                if s.within_target { "within target" } else { "missed" },
+            );
+        }
+    }
 }
 
 fn main() {
@@ -90,7 +115,7 @@ fn main() {
     // 2) Overloaded surveillance shape: shallow queues, freshest-first
     //    shedding, and a hard staleness deadline per frame.
     let server = AmsServer::start(
-        scheduler(agent, album.world_seed),
+        scheduler(agent.clone(), album.world_seed),
         budget,
         ServeConfig {
             shards: 2,
@@ -111,6 +136,36 @@ fn main() {
         &server.shutdown(),
     );
 
-    println!("\nthe same scheduler serves both: backpressure policy and deadline");
-    println!("shedding trade recall coverage for bounded queues and fresh frames.");
+    // 3) Affinity routing + adaptive batching: requests predicted to run
+    //    the same models coalesce on the same shard, and each shard's
+    //    batch limit is retuned online against a 60ms p99 target.
+    let server = AmsServer::start(
+        scheduler(agent, album.world_seed),
+        budget,
+        ServeConfig {
+            shards: 4,
+            workers_per_shard: 2,
+            max_batch: 8,
+            policy: BackpressurePolicy::Block,
+            routing: RoutingMode::Affinity(AffinityConfig::default()),
+            adaptive: Some(AdaptiveBatchConfig {
+                target_p99_ms: 60,
+                max_batch: 16,
+                ..AdaptiveBatchConfig::default()
+            }),
+            exec_emulation_scale: 1e-3,
+            ..ServeConfig::default()
+        },
+    );
+    for item in &items {
+        server.submit(Arc::clone(item));
+    }
+    print_report(
+        "affinity routing + adaptive batching (60ms p99 target)",
+        &server.shutdown(),
+    );
+
+    println!("\nthe same scheduler serves all three: backpressure and deadline shedding");
+    println!("trade recall coverage for bounded queues and fresh frames, while affinity");
+    println!("routing and the adaptive batch controller trade them off deliberately.");
 }

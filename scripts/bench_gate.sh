@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Perf regression gate: rerun the smoke benchmarks and compare them against
+# the committed smoke baselines under results-smoke/. Fails if throughput,
+# recall, the batching saving, the affinity-routing win, or the adaptive
+# controller's target compliance regresses beyond tolerance (tolerances
+# live in crates/ams-bench/src/gate.rs, with rationale).
+#
+#   ./scripts/bench_gate.sh               # self-test + rerun + compare
+#   ./scripts/bench_gate.sh --self-test   # only prove the gate can fail
+#
+# Called from scripts/check.sh (full and --smoke modes) and from the CI
+# full lane. Smoke records are written under target/ — the committed
+# BENCH_serve.json / BENCH_hotpath.json full-run records are never
+# clobbered by a gate run.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE_BASE=results-smoke/BENCH_serve.smoke.json
+HOTPATH_BASE=results-smoke/BENCH_hotpath.smoke.json
+
+self_test_only=0
+for arg in "$@"; do
+    case "$arg" in
+    --self-test) self_test_only=1 ;;
+    *)
+        echo "unknown flag: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+# 1) Prove the gate can fail: inject synthetic regressions into copies of
+#    the baselines; every one must be caught or this exits non-zero.
+echo "==> bench_gate self-test (injected regressions must be caught)"
+cargo run --release -q -p ams-bench --bin bench_gate -- \
+    self-test "$SERVE_BASE" "$HOTPATH_BASE"
+
+if [[ $self_test_only -eq 1 ]]; then
+    exit 0
+fi
+
+# 2) Re-measure. The serve smoke run also asserts serve==serial stats
+#    equivalence, the routing win, and adaptive target compliance
+#    in-process — it aborts on violation before the gate even compares.
+echo "==> bench_serve --smoke"
+cargo run --release -q -p ams-bench --bin bench_serve -- --smoke >/dev/null
+echo "==> bench_hotpath --smoke"
+cargo run --release -q -p ams-bench --bin bench_hotpath -- --smoke >/dev/null
+
+# 3) Compare against the committed baselines.
+echo "==> bench_gate serve"
+cargo run --release -q -p ams-bench --bin bench_gate -- \
+    serve "$SERVE_BASE" target/BENCH_serve.smoke.json
+echo "==> bench_gate hotpath"
+cargo run --release -q -p ams-bench --bin bench_gate -- \
+    hotpath "$HOTPATH_BASE" target/BENCH_hotpath.smoke.json
+
+echo "Bench gate passed."

@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
-# One-command gate for every PR: formatting, lints, and the tier-1 verify.
+# One-command gate for every PR: formatting, lints, the perf gate, and the
+# tier-1 verify. Three modes:
 #
-#   ./scripts/check.sh          # fmt + clippy + build --release + test
-#   ./scripts/check.sh --quick  # skip the release build (debug tests only)
+#   ./scripts/check.sh          # full: fmt + clippy + release build
+#                               #       + bench gate + tier-1 tests
+#   ./scripts/check.sh --quick  # fmt + clippy + debug tests (no release
+#                               #       build, no bench gate)
+#   ./scripts/check.sh --smoke  # fmt + clippy + bench gate only (the
+#                               #       fast perf-regression lane; runs
+#                               #       scripts/bench_gate.sh, which also
+#                               #       asserts serve==serial equivalence)
 #
 # PROPTEST_CASES=16 ./scripts/check.sh gives a faster property-test pass
 # while iterating; leave it unset for the full default case counts.
@@ -10,10 +17,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-quick=0
+mode=full
 for arg in "$@"; do
     case "$arg" in
-    --quick) quick=1 ;;
+    --quick) mode=quick ;;
+    --smoke) mode=smoke ;;
     *)
         echo "unknown flag: $arg" >&2
         exit 2
@@ -27,18 +35,20 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-if [[ $quick -eq 0 ]]; then
+if [[ $mode == full ]]; then
     echo "==> cargo build --release"
     cargo build --release
-
-    # Serving-path gate: a seconds-long sweep that asserts serve-mode stats
-    # still equal the serial engine's (writes target/BENCH_serve.smoke.json,
-    # never the committed BENCH_serve.json).
-    echo "==> bench_serve --smoke"
-    cargo run --release -p ams-bench --bin bench_serve -- --smoke >/dev/null
 fi
 
-echo "==> cargo test -q"
-cargo test -q
+if [[ $mode == full || $mode == smoke ]]; then
+    # Perf-regression gate: smoke sweeps compared against the committed
+    # baselines (plus the in-process serve==serial equivalence assert).
+    ./scripts/bench_gate.sh
+fi
+
+if [[ $mode == full || $mode == quick ]]; then
+    echo "==> cargo test -q"
+    cargo test -q
+fi
 
 echo "All checks passed."

@@ -81,6 +81,84 @@ fn served_agent_pipeline_matches_serial_engine() {
     assert!(report.total.p99_us >= report.total.p50_us);
 }
 
+/// The full pipeline under affinity routing + adaptive batching: labeling
+/// results stay exactly serial, the router accounts every request, and
+/// the controller publishes a coherent trajectory.
+#[test]
+fn served_pipeline_with_affinity_and_adaptive_matches_serial() {
+    let (truth, agent, world_seed) = pipeline();
+    let budget = Budget::Deadline { ms: 800 };
+
+    let mut serial = StreamProcessor::new(scheduler_for(agent.clone(), world_seed), budget);
+    serial.process_all(truth.items());
+    let want = serial.stats().clone();
+
+    let cfg = ServeConfig {
+        shards: 2,
+        workers_per_shard: 1,
+        max_batch: 4,
+        policy: BackpressurePolicy::Block,
+        routing: RoutingMode::Affinity(AffinityConfig::default()),
+        adaptive: Some(AdaptiveBatchConfig {
+            target_p99_ms: 10_000,
+            min_batch: 1,
+            max_batch: 8,
+            window: 6,
+            ..AdaptiveBatchConfig::default()
+        }),
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler_for(agent, world_seed), budget, cfg);
+    for item in truth.items() {
+        assert_ne!(
+            server.submit(Arc::new(item.clone())),
+            SubmitOutcome::Rejected,
+            "lossless affinity config must accept every request"
+        );
+    }
+    let report = server.shutdown();
+
+    assert!(report.is_conserved());
+    assert_eq!(report.completed, want.items as u64);
+    assert_eq!(report.stats.per_model_runs, want.per_model_runs);
+    assert_eq!(report.stats.total_exec_ms, want.total_exec_ms);
+    assert!((report.stats.recall_sum - want.recall_sum).abs() < 1e-9);
+
+    // Router ledger: every submission routed exactly once.
+    assert_eq!(report.routing, "affinity");
+    assert_eq!(
+        report.affinity_hits + report.affinity_spills,
+        report.offered
+    );
+    // Coalescing metrics are well-formed.
+    assert!(report.model_invocations > 0);
+    assert!(report.mean_coalesced() >= 1.0);
+    assert!(report.mean_batch_size() >= 1.0);
+
+    // Controller ran and its report is internally consistent.
+    let adaptive = report
+        .adaptive
+        .as_ref()
+        .expect("adaptive controller configured");
+    assert_eq!(adaptive.shards.len(), 2);
+    for shard in &adaptive.shards {
+        assert!(shard.final_max_batch >= 1 && shard.final_max_batch <= 8);
+        assert_eq!(shard.trajectory.len(), shard.adjustments as usize);
+    }
+
+    // And the full report (with the new fields) survives serde.
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let back: ServeReport = serde_json::from_str(&json).expect("report parses");
+    assert_eq!(back.routing, report.routing);
+    assert_eq!(back.affinity_hits, report.affinity_hits);
+    assert_eq!(back.model_invocations, report.model_invocations);
+    let back_adaptive = back.adaptive.expect("adaptive survives serde");
+    assert_eq!(
+        back_adaptive.shards[0].trajectory,
+        report.adaptive.as_ref().unwrap().shards[0].trajectory
+    );
+}
+
 #[test]
 fn served_report_survives_json_round_trip() {
     let (truth, agent, world_seed) = pipeline();
