@@ -195,6 +195,49 @@ pub fn gate_serve(baseline: &Value, candidate: &Value) -> GateOutcome {
             .failed
             .push(format!("batching_saving_fraction: {b:?} vs {c:?}")),
     }
+    // The SLO-aware shedding win is re-verified from the candidate record
+    // itself: on the same overloaded stream, aware mode must strictly
+    // reduce the value-weighted shed loss and must not worsen the
+    // deadline-met rate, and both modes must conserve every request.
+    for mode in ["blind", "aware"] {
+        check_flag(
+            &mut out,
+            &format!("slo_sweep.{mode}.conserved"),
+            boolean(candidate, &format!("slo_sweep/{mode}/conserved")),
+        );
+    }
+    match (
+        num(candidate, "slo_sweep/aware/value_shed_loss"),
+        num(candidate, "slo_sweep/blind/value_shed_loss"),
+    ) {
+        (Ok(aware), Ok(blind)) => {
+            let line = format!("slo aware reduces value shed loss: {aware:.1} vs blind {blind:.1}");
+            if aware < blind {
+                out.passed.push(line);
+            } else {
+                out.failed.push(line);
+            }
+        }
+        (a, b) => out
+            .failed
+            .push(format!("slo value_shed_loss incomplete: {a:?} vs {b:?}")),
+    }
+    match (
+        num(candidate, "slo_sweep/aware/deadline_met_rate"),
+        num(candidate, "slo_sweep/blind/deadline_met_rate"),
+    ) {
+        (Ok(aware), Ok(blind)) => {
+            let line = format!("slo aware deadline-met no worse: {aware:.4} vs blind {blind:.4}");
+            if aware >= blind {
+                out.passed.push(line);
+            } else {
+                out.failed.push(line);
+            }
+        }
+        (a, b) => out
+            .failed
+            .push(format!("slo deadline_met_rate incomplete: {a:?} vs {b:?}")),
+    }
     // The routing win is re-verified from the candidate record itself:
     // affinity must out-coalesce hash at every measured load factor.
     match get(candidate, "routing_sweep") {
@@ -407,6 +450,33 @@ pub fn self_test(serve_baseline: &Value, hotpath_baseline: &Value) -> Result<Vec
         },
     )?;
     inject(
+        "SLO shedding win lost",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| {
+            let blind = get(v, "slo_sweep/blind/value_shed_loss")
+                .and_then(value_f64)
+                .unwrap_or(0.0);
+            inject_at(
+                v,
+                "slo_sweep/aware/value_shed_loss",
+                Value::F64(blind + 1.0),
+            );
+        },
+    )?;
+    inject(
+        "SLO deadline-met regression",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| sub_at(v, "slo_sweep/aware/deadline_met_rate", 0.5),
+    )?;
+    inject(
+        "SLO conservation broken",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| inject_at(v, "slo_sweep/aware/conserved", Value::Bool(false)),
+    )?;
+    inject(
         "learn speedup collapse (x0.3)",
         GateKind::Hotpath,
         hotpath_baseline,
@@ -439,6 +509,10 @@ mod tests {
                     { "mode": "hash", "load_factor": 1.6, "mean_coalesced": 3.5 },
                     { "mode": "affinity", "load_factor": 1.6, "mean_coalesced": 3.6 }
                 ],
+                "slo_sweep": {
+                    "blind": { "value_shed_loss": 8400.0, "deadline_met_rate": 0.75, "conserved": true },
+                    "aware": { "value_shed_loss": 5800.0, "deadline_met_rate": 0.78, "conserved": true }
+                },
                 "sweep": [
                     { "mode": "closed", "mean_recall": 0.72 },
                     { "mode": "open", "mean_recall": 0.70 }
@@ -516,6 +590,31 @@ mod tests {
     #[test]
     fn self_test_exercises_every_injection() {
         let injected = self_test(&serve_record(), &hotpath_record()).expect("self test passes");
-        assert_eq!(injected.len(), 7, "{injected:?}");
+        assert_eq!(injected.len(), 10, "{injected:?}");
+    }
+
+    #[test]
+    fn slo_win_and_conservation_are_gated() {
+        let base = serve_record();
+        let mut bad = base.clone();
+        // Aware no longer beating blind on value loss fails.
+        inject_at(
+            &mut bad,
+            "slo_sweep/aware/value_shed_loss",
+            Value::F64(8400.0),
+        );
+        assert!(!gate_serve(&base, &bad).ok());
+        // A worse deadline-met rate fails.
+        let mut bad = base.clone();
+        inject_at(
+            &mut bad,
+            "slo_sweep/aware/deadline_met_rate",
+            Value::F64(0.70),
+        );
+        assert!(!gate_serve(&base, &bad).ok());
+        // A broken ledger fails even with the wins intact.
+        let mut bad = base.clone();
+        inject_at(&mut bad, "slo_sweep/blind/conserved", Value::Bool(false));
+        assert!(!gate_serve(&base, &bad).ok());
     }
 }

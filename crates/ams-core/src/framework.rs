@@ -126,8 +126,27 @@ impl AdaptiveModelScheduler {
     /// bigger same-model batches. The signature is a pure function of the
     /// item: routing stays deterministic.
     pub fn affinity_signature(&self, item: &ItemTruth, top_k: usize) -> u64 {
+        self.affinity_value_scan(item, top_k).0
+    }
+
+    /// The affinity signature *and* the summed static value of the masked
+    /// models — the same top-k scan as [`affinity_signature`], returning
+    /// the value it already computed along the way.
+    ///
+    /// This is the serving layer's per-request **value hook**: the returned
+    /// sum is a cheap prediction of how much label value the request will
+    /// yield (the models that would be scheduled first, weighted by what
+    /// their output is worth on this item), available at admission time
+    /// with no predictor forward and no labeling work. SLO-aware shedding
+    /// uses it to decide *which* request to drop when overloaded — the
+    /// economics MCAL frames as minimum-cost selection — so the value
+    /// estimate comes for free with routing.
+    ///
+    /// [`affinity_signature`]: AdaptiveModelScheduler::affinity_signature
+    pub fn affinity_value_scan(&self, item: &ItemTruth, top_k: usize) -> (u64, f64) {
         let n = self.zoo.len().min(64).min(item.model_value.len());
         let mut mask = 0u64;
+        let mut value = 0.0f64;
         for _ in 0..top_k.min(n) {
             let mut best: Option<(usize, f64)> = None;
             for (m, &v) in item.model_value.iter().enumerate().take(n) {
@@ -135,10 +154,11 @@ impl AdaptiveModelScheduler {
                     best = Some((m, v));
                 }
             }
-            let Some((m, _)) = best else { break };
+            let Some((m, v)) = best else { break };
             mask |= 1 << m;
+            value += v;
         }
-        mask
+        (mask, value)
     }
 
     /// Label a scene: simulates model execution on demand, then schedules.
@@ -391,6 +411,33 @@ mod tests {
             let want = item.marginal_value(&state, ModelId(m as u8), 0.5) as f32;
             assert!((got - want).abs() < 1e-6, "model {m}");
         }
+    }
+
+    #[test]
+    fn affinity_value_scan_sums_the_masked_models() {
+        let s = scheduler();
+        let scenes = Dataset::generate(DatasetProfile::Coco2017, 6, 7).scenes;
+        for scene in &scenes {
+            let item = ams_data::ItemTruth::build(s.zoo(), s.catalog(), scene, 7, 0.5);
+            for top_k in [0usize, 1, 2, 4] {
+                let (sig, value) = s.affinity_value_scan(&item, top_k);
+                assert_eq!(sig, s.affinity_signature(&item, top_k), "same scan");
+                let want: f64 = item
+                    .model_value
+                    .iter()
+                    .enumerate()
+                    .filter(|&(m, _)| sig >> m & 1 == 1)
+                    .map(|(_, &v)| v)
+                    .sum();
+                assert!((value - want).abs() < 1e-12, "top_k={top_k}");
+                // Value only grows with k, and is 0 iff the mask is empty.
+                assert_eq!(value == 0.0, sig == 0);
+            }
+        }
+        // A zero-value profile yields an empty signature and zero value.
+        let mut flat = ams_data::ItemTruth::build(s.zoo(), s.catalog(), &scenes[0], 7, 0.5);
+        flat.model_value.iter_mut().for_each(|v| *v = 0.0);
+        assert_eq!(s.affinity_value_scan(&flat, 4), (0, 0.0));
     }
 
     #[test]

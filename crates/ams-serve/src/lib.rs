@@ -16,7 +16,10 @@
 //!   deadline-aware load shedding, batched admission into the `ams-sim`
 //!   virtual GPU pool, an optional per-shard adaptive batch-limit
 //!   controller (AIMD against a tail-latency target, step-bounded by the
-//!   calibrated batch latency model), and graceful drain on shutdown.
+//!   calibrated batch latency model), optional **SLO-aware admission and
+//!   shedding** (per-request deadline + value classes, predicted-wait
+//!   admission control, value-weighted overflow eviction, EDF dequeue,
+//!   per-class ledgers), and graceful drain on shutdown.
 //! * [`telemetry`] — per-request latency histograms split into queue wait
 //!   vs execute, published as p50/p95/p99 summaries.
 //!
@@ -36,9 +39,10 @@ pub mod router;
 pub mod server;
 pub mod telemetry;
 
-pub use queue::{BackpressurePolicy, ShardQueue, SubmitOutcome};
-pub use router::{AffinityConfig, Route, Router, RoutingMode};
+pub use queue::{BackpressurePolicy, ClassShed, Request, ShardQueue, SubmitOutcome};
+pub use router::{fib_shard, AffinityConfig, Route, Router, RoutingMode};
 pub use server::{
-    AdaptiveBatchConfig, AdaptiveReport, AmsServer, ServeConfig, ServeReport, ShardAdaptive,
+    AdaptiveBatchConfig, AdaptiveReport, AmsServer, ClassReport, ServeConfig, ServeReport,
+    ShardAdaptive, SloClass, SloConfig, SloReport,
 };
 pub use telemetry::{LatencyHistogram, LatencySummary};

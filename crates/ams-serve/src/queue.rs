@@ -9,6 +9,7 @@
 
 use ams_data::ItemTruth;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -44,12 +45,25 @@ impl BackpressurePolicy {
 pub enum SubmitOutcome {
     /// Queued; a worker will label it (or deadline-shed it at dequeue).
     Enqueued,
-    /// Queued, at the cost of shedding the oldest queued request
-    /// ([`BackpressurePolicy::ShedOldest`] on a full queue).
+    /// Queued, at the cost of shedding a queued request
+    /// ([`BackpressurePolicy::ShedOldest`] on a full queue: the head under
+    /// blind shedding, the worst value-per-remaining-deadline victim
+    /// under value-weighted shedding).
     EnqueuedShedOldest,
+    /// Not queued: the queue was full and, under value-weighted shedding,
+    /// the submission itself was already *doomed* (expired, or budget
+    /// below the queue's drain wait) and scored strictly worst — evicting
+    /// viable queued work to admit a request that would only be
+    /// deadline-shed at dequeue loses a completion for nothing. Accounted
+    /// in the overflow-shed ledger, exactly like an evicted request.
+    ShedIncoming,
     /// Refused: the queue was full ([`BackpressurePolicy::Reject`]) or the
     /// server is shutting down.
     Rejected,
+    /// Shed at admission, before occupying a queue slot: the shard's
+    /// predicted queue wait already exceeded the request's deadline, so
+    /// queueing it could only convert capacity into a deadline shed.
+    ShedAdmission,
 }
 
 /// One labeling request as it sits in a shard queue.
@@ -60,16 +74,96 @@ pub struct Request {
     /// The item's affinity signature (0 under hash routing). Workers use
     /// it to assemble signature-pure batches from a mixed queue.
     pub signature: u64,
+    /// SLO class index (0 when no SLO classes are configured).
+    pub class: usize,
+    /// Predicted label value, weighted by the SLO class (the scheduler's
+    /// cheap affinity-value scan × the class weight; 1.0 without SLO
+    /// classes). Value-weighted shedding evicts the worst
+    /// value-per-remaining-deadline first.
+    pub value: f64,
+    /// Relative deadline budget from `enqueued_at`, µs (`None` =
+    /// unbounded). A request whose queue age reaches this is shed at
+    /// dequeue instead of executed.
+    pub deadline_us: Option<u64>,
     /// When the request entered the queue (queue-wait clock starts here).
     pub enqueued_at: Instant,
+}
+
+impl Request {
+    /// A request with no SLO attached: class 0, unit value, no deadline.
+    pub fn new(item: Arc<ItemTruth>, signature: u64) -> Self {
+        Self {
+            item,
+            signature,
+            class: 0,
+            value: 1.0,
+            deadline_us: None,
+            enqueued_at: Instant::now(),
+        }
+    }
+
+    /// Attach an SLO class: index, weighted value, and deadline budget.
+    pub fn with_slo(mut self, class: usize, value: f64, deadline_us: Option<u64>) -> Self {
+        self.class = class;
+        self.value = value;
+        self.deadline_us = deadline_us;
+        self
+    }
+
+    /// Remaining deadline budget at `now`, µs (`None` = unbounded;
+    /// `Some(0)` = already expired).
+    pub fn remaining_us(&self, now: Instant) -> Option<u64> {
+        self.deadline_us.map(|d| {
+            let age = now
+                .saturating_duration_since(self.enqueued_at)
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64;
+            d.saturating_sub(age)
+        })
+    }
+
+    /// Whether the deadline budget is exhausted at `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.remaining_us(now) == Some(0)
+    }
+
+    /// Absolute deadline instant (`None` = unbounded), the EDF sort key.
+    fn deadline_at(&self) -> Option<Instant> {
+        self.deadline_us
+            .map(|d| self.enqueued_at + Duration::from_micros(d))
+    }
+}
+
+/// Per-class overflow-shed ledger entry: how many requests of the class
+/// were evicted on overflow, and the summed predicted value lost.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClassShed {
+    /// Evicted requests of this class.
+    pub count: u64,
+    /// Summed predicted (weighted) value of the evicted requests.
+    pub value: f64,
 }
 
 #[derive(Debug, Default)]
 struct QueueState {
     pending: VecDeque<Request>,
     closed: bool,
-    /// Requests dropped from the queue head by [`BackpressurePolicy::ShedOldest`].
+    /// Requests evicted from the queue by [`BackpressurePolicy::ShedOldest`].
     shed_oldest: u64,
+    /// The evictions broken down by SLO class (index = class).
+    shed_classes: Vec<ClassShed>,
+}
+
+impl QueueState {
+    fn record_shed(&mut self, req: &Request) {
+        self.shed_oldest += 1;
+        if self.shed_classes.len() <= req.class {
+            self.shed_classes
+                .resize(req.class + 1, ClassShed::default());
+        }
+        self.shed_classes[req.class].count += 1;
+        self.shed_classes[req.class].value += req.value;
+    }
 }
 
 /// A bounded MPMC queue for one shard.
@@ -80,18 +174,57 @@ pub struct ShardQueue {
     not_full: Condvar,
     capacity: usize,
     policy: BackpressurePolicy,
+    /// Overflow eviction picks the worst value-per-remaining-deadline
+    /// victim instead of the head.
+    value_weighted: bool,
+    /// Dequeue picks the earliest-deadline head (EDF) instead of the
+    /// oldest, so urgent work leads batch assembly.
+    edf: bool,
+    /// Per-request drain time of this queue, µs (amortized service time ÷
+    /// workers), published by the shard's workers
+    /// ([`ShardQueue::set_service_hint_us`]; 0 = unknown). Value-weighted
+    /// eviction uses it to recognize *doomed* requests — remaining budget
+    /// below the typical wait still ahead of them — and evict those
+    /// first: they will be deadline-shed at dequeue anyway, so their slot
+    /// is free.
+    service_hint_us: AtomicU64,
 }
 
 impl ShardQueue {
-    /// Queue holding at most `capacity` pending requests (min 1).
+    /// Queue holding at most `capacity` pending requests (min 1), with
+    /// blind (head-first) overflow eviction and FIFO dequeue.
     pub fn new(capacity: usize, policy: BackpressurePolicy) -> Self {
+        Self::with_slo(capacity, policy, false, false)
+    }
+
+    /// [`ShardQueue::new`] with the SLO-aware behaviors selectable:
+    /// `value_weighted` overflow eviction and `edf` (earliest-deadline
+    /// head) dequeue.
+    pub fn with_slo(
+        capacity: usize,
+        policy: BackpressurePolicy,
+        value_weighted: bool,
+        edf: bool,
+    ) -> Self {
         Self {
             state: Mutex::new(QueueState::default()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
             policy,
+            value_weighted,
+            edf,
+            service_hint_us: AtomicU64::new(0),
         }
+    }
+
+    /// Publish the queue's observed per-request *drain* time (µs): the
+    /// workers' amortized service time divided by how many workers share
+    /// this queue. Purely advisory: it sharpens the value-weighted
+    /// eviction's notion of a doomed request, and 0 (never published)
+    /// degrades gracefully to pure value-per-remaining-deadline.
+    pub fn set_service_hint_us(&self, us: u64) {
+        self.service_hint_us.store(us, Ordering::Relaxed);
     }
 
     /// The configured capacity.
@@ -109,15 +242,85 @@ impl ShardQueue {
         self.len() == 0
     }
 
-    /// Requests shed from the queue head so far (ShedOldest policy).
+    /// Requests evicted on overflow so far (ShedOldest policy).
     pub fn shed_oldest_count(&self) -> u64 {
         self.state.lock().expect("shard queue").shed_oldest
     }
 
-    /// Submit one request under the queue's backpressure policy.
-    /// `signature` is the item's affinity fingerprint (0 under hash
-    /// routing); it rides along so dequeues can group same-signature work.
-    pub fn push(&self, item: Arc<ItemTruth>, signature: u64) -> SubmitOutcome {
+    /// The overflow evictions broken down by SLO class (index = class;
+    /// shorter than the class count when a class never shed).
+    pub fn shed_ledger(&self) -> Vec<ClassShed> {
+        self.state.lock().expect("shard queue").shed_classes.clone()
+    }
+
+    /// One consistent admission snapshot — `(depth, ahead)` — under a
+    /// single lock acquisition: the total queued requests, and the subset
+    /// whose absolute deadline falls before `deadline_at` (the work an
+    /// EDF dequeue would serve *ahead of* a request with that deadline;
+    /// deadline-less requests sort last under EDF and are never counted).
+    /// Admission control prices an EDF queue with `ahead` instead of the
+    /// raw depth — an urgent request doesn't wait behind lax work it will
+    /// overtake — and checks fullness against `depth` from the *same*
+    /// snapshot, so the decision is internally consistent.
+    pub fn queued_ahead(&self, deadline_at: Instant) -> (usize, usize) {
+        let st = self.state.lock().expect("shard queue");
+        let ahead = st
+            .pending
+            .iter()
+            .filter(|r| r.deadline_at().is_some_and(|d| d < deadline_at))
+            .count();
+        (st.pending.len(), ahead)
+    }
+
+    /// Eviction sort key for one request, smallest shed first:
+    ///
+    /// * tier 0 — *doomed* (remaining budget at or below `doom_wait_us`,
+    ///   the typical wait still ahead of it: it will be deadline-shed at
+    ///   dequeue anyway, so shedding it costs nothing), keyed by raw
+    ///   value so the cheapest doomed request goes first;
+    /// * tier 1 — viable, keyed by **value-per-remaining-deadline**: low
+    ///   value and far-off deadlines both lower the score, so the queue
+    ///   keeps the work worth the most per unit of urgency — the
+    ///   economics of value-maximizing labeling under a time budget.
+    ///
+    /// A request without a deadline competes as infinitely lax: it is
+    /// never doomed, but any similarly valued request actually racing a
+    /// clock outranks it.
+    fn victim_key(r: &Request, now: Instant, doom_wait_us: u64) -> (u8, f64) {
+        match r.remaining_us(now) {
+            Some(remaining) if remaining <= doom_wait_us => (0, r.value),
+            Some(remaining) => (1, r.value / remaining.max(1) as f64),
+            None => (1, r.value / u64::MAX as f64),
+        }
+    }
+
+    /// The queued request with the smallest [`victim_key`] — the overflow
+    /// victim under value-weighted shedding — plus its key and the doom
+    /// horizon used (half the queue depth × the published per-request
+    /// drain time), so the caller can score the incoming request against
+    /// the same yardstick without re-deriving it.
+    ///
+    /// [`victim_key`]: ShardQueue::victim_key
+    fn pick_victim(&self, pending: &VecDeque<Request>, now: Instant) -> (usize, (u8, f64), u64) {
+        let hint = self.service_hint_us.load(Ordering::Relaxed);
+        let doom_wait_us = hint.saturating_mul(pending.len() as u64 / 2);
+        let mut victim = 0usize;
+        let mut worst = (u8::MAX, f64::INFINITY);
+        for (i, r) in pending.iter().enumerate() {
+            let key = Self::victim_key(r, now, doom_wait_us);
+            if key < worst {
+                worst = key;
+                victim = i;
+            }
+        }
+        (victim, worst, doom_wait_us)
+    }
+
+    /// Submit one request under the queue's backpressure policy. The
+    /// request's `enqueued_at` is stamped when it actually takes a slot
+    /// (after any [`BackpressurePolicy::Block`] wait), so the queue-wait
+    /// clock never charges producer-side blocking.
+    pub fn push(&self, mut req: Request) -> SubmitOutcome {
         let mut st = self.state.lock().expect("shard queue");
         if st.closed {
             return SubmitOutcome::Rejected;
@@ -135,17 +338,41 @@ impl ShardQueue {
                 }
                 BackpressurePolicy::Reject => return SubmitOutcome::Rejected,
                 BackpressurePolicy::ShedOldest => {
-                    st.pending.pop_front();
-                    st.shed_oldest += 1;
+                    let now = Instant::now();
+                    if self.value_weighted {
+                        // A *doomed* incoming request (tier 0: expired,
+                        // or budget already below the queue's drain wait)
+                        // that also scores worse than every queued
+                        // request is itself the shed — evicting viable
+                        // queued work to admit a request that will only
+                        // be deadline-shed at dequeue loses a completion
+                        // for nothing. A viable newcomer always gets its
+                        // slot: value density naturally reads lower on a
+                        // fresh full budget than on aged queued work, and
+                        // shedding fresh-but-lax traffic on that alone
+                        // would invert the freshest-first instinct that
+                        // makes overflow eviction work.
+                        let (victim, victim_key, doom_wait_us) = self.pick_victim(&st.pending, now);
+                        let incoming_key = Self::victim_key(&req, now, doom_wait_us);
+                        if incoming_key.0 == 0 && incoming_key < victim_key {
+                            st.record_shed(&req);
+                            // No slot was freed and nothing was queued:
+                            // waiting workers and producers are
+                            // unaffected.
+                            return SubmitOutcome::ShedIncoming;
+                        }
+                        let shed = st.pending.remove(victim).expect("victim index in range");
+                        st.record_shed(&shed);
+                    } else {
+                        let shed = st.pending.pop_front().expect("full queue has a head");
+                        st.record_shed(&shed);
+                    }
                     outcome = SubmitOutcome::EnqueuedShedOldest;
                 }
             }
         }
-        st.pending.push_back(Request {
-            item,
-            signature,
-            enqueued_at: Instant::now(),
-        });
+        req.enqueued_at = Instant::now();
+        st.pending.push_back(req);
         drop(st);
         self.not_empty.notify_one();
         outcome
@@ -176,6 +403,16 @@ impl ShardQueue {
     /// before taking it (the classic serving trade — a bounded latency
     /// deposit buys a fuller, better-amortized batch on a lightly loaded
     /// shard). A closed queue never lingers: drain stays prompt.
+    ///
+    /// The linger is additionally capped by **half the tightest remaining
+    /// deadline budget** among the queued requests: an uncapped linger
+    /// longer than a request's deadline would hold a perfectly
+    /// dequeued-able batch until its members expire, converting
+    /// completable work into deadline sheds. Half, not all, of the budget
+    /// is spent lingering so the batch still has the other half to
+    /// actually execute in. The cap is recomputed on every wakeup, so a
+    /// tight-deadline request that arrives *mid-linger* shortens the
+    /// remaining wait instead of being held past its whole budget.
     pub fn pop_batch_lingering(&self, max_batch: usize, linger: Duration) -> Vec<Request> {
         let max_batch = max_batch.max(1);
         let mut st = self.state.lock().expect("shard queue");
@@ -183,17 +420,34 @@ impl ShardQueue {
             st = self.not_empty.wait(st).expect("shard queue");
         }
         if !linger.is_zero() && !st.closed && st.pending.len() < max_batch {
-            let deadline = Instant::now() + linger;
+            // The effective pop deadline is kept *monotone non-increasing*
+            // across wakeups: each iteration may only pull it earlier (a
+            // tight-deadline arrival shortens the wait), never later.
+            // Recomputing `now + remaining/2` from scratch each wakeup
+            // would drift *later* as the tightest request ages (it
+            // resolves to enqueue + budget/2 + age/2), letting a trickle
+            // of wakeups stretch the linger across the whole budget.
+            let mut until = Instant::now() + linger;
             while st.pending.len() < max_batch && !st.closed {
-                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                let now = Instant::now();
+                if let Some(tightest) = st.pending.iter().filter_map(|r| r.remaining_us(now)).min()
+                {
+                    until = until.min(now + Duration::from_micros(tightest / 2));
+                }
+                let Some(remaining) = until.checked_duration_since(now) else {
                     break;
                 };
+                if remaining.is_zero() {
+                    break;
+                }
                 let (guard, timeout) = self
                     .not_empty
                     .wait_timeout(st, remaining)
                     .expect("shard queue");
                 st = guard;
                 if timeout.timed_out() {
+                    // `until` only ever moves earlier, so a timeout at it
+                    // is final.
                     break;
                 }
             }
@@ -201,21 +455,41 @@ impl ShardQueue {
         let take = st.pending.len().min(max_batch);
         let mut batch: Vec<Request> = Vec::with_capacity(take);
         if take > 0 {
-            let head_sig = st.pending[0].signature;
+            // Head selection: oldest (FIFO, no starvation) — or, under EDF
+            // dequeue, the earliest absolute deadline, so the most urgent
+            // request leads batch assembly and signature coalescing groups
+            // around *it*. Deadline-less requests sort strictly last
+            // (leading bool, not a far-future sentinel that a long enough
+            // real deadline could overtake); ties fall back to queue
+            // order.
+            let anchor = Instant::now();
+            let edf_key = |r: &Request| {
+                let d = r.deadline_at();
+                (d.is_none(), d.unwrap_or(anchor))
+            };
+            let head_idx = if self.edf {
+                (0..st.pending.len())
+                    .min_by_key(|&i| (edf_key(&st.pending[i]), i))
+                    .expect("take > 0")
+            } else {
+                0
+            };
+            let head_sig = st.pending[head_idx].signature;
             // Batch-member indices in batch order: same-signature first,
-            // then the oldest of the rest, each group in queue order.
-            let mut order: Vec<usize> = Vec::with_capacity(take);
-            for (i, req) in st.pending.iter().enumerate() {
-                if req.signature == head_sig {
-                    order.push(i);
-                    if order.len() == take {
-                        break;
-                    }
-                }
+            // then the best-overlap rest — each group in queue order, or
+            // in deadline order under EDF (so EDF and coalescing compose:
+            // the urgent head still gets a signature-pure batch, and
+            // within that batch the clock-racing members go first).
+            let mut order: Vec<usize> = (0..st.pending.len())
+                .filter(|&i| st.pending[i].signature == head_sig)
+                .collect();
+            if self.edf {
+                order.sort_by_key(|&i| (edf_key(&st.pending[i]), i));
             }
+            order.truncate(take);
             if order.len() < take {
                 // Fill by similarity: most shared fingerprint bits first,
-                // oldest first among equals.
+                // oldest (or most urgent, under EDF) among equals.
                 let mut rest: Vec<(u32, usize)> = st
                     .pending
                     .iter()
@@ -223,7 +497,15 @@ impl ShardQueue {
                     .filter(|(_, req)| req.signature != head_sig)
                     .map(|(i, req)| ((req.signature & head_sig).count_ones(), i))
                     .collect();
-                rest.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                if self.edf {
+                    rest.sort_by(|a, b| {
+                        b.0.cmp(&a.0).then(
+                            (edf_key(&st.pending[a.1]), a.1).cmp(&(edf_key(&st.pending[b.1]), b.1)),
+                        )
+                    });
+                } else {
+                    rest.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                }
                 for (_, i) in rest {
                     order.push(i);
                     if order.len() == take {
@@ -279,13 +561,17 @@ mod tests {
         Arc::new(truth.item(0).clone())
     }
 
+    fn req(it: &Arc<ItemTruth>, sig: u64) -> Request {
+        Request::new(Arc::clone(it), sig)
+    }
+
     #[test]
     fn reject_policy_refuses_when_full() {
         let q = ShardQueue::new(2, BackpressurePolicy::Reject);
         let it = item();
-        assert_eq!(q.push(Arc::clone(&it), 0), SubmitOutcome::Enqueued);
-        assert_eq!(q.push(Arc::clone(&it), 0), SubmitOutcome::Enqueued);
-        assert_eq!(q.push(Arc::clone(&it), 0), SubmitOutcome::Rejected);
+        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::Enqueued);
+        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::Enqueued);
+        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::Rejected);
         assert_eq!(q.len(), 2);
     }
 
@@ -293,24 +579,25 @@ mod tests {
     fn shed_oldest_drops_head_and_admits() {
         let q = ShardQueue::new(2, BackpressurePolicy::ShedOldest);
         let it = item();
-        q.push(Arc::clone(&it), 0);
-        q.push(Arc::clone(&it), 0);
-        assert_eq!(
-            q.push(Arc::clone(&it), 0),
-            SubmitOutcome::EnqueuedShedOldest
-        );
+        q.push(req(&it, 0));
+        q.push(req(&it, 0));
+        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::EnqueuedShedOldest);
         assert_eq!(q.len(), 2, "still at capacity");
         assert_eq!(q.shed_oldest_count(), 1);
+        let ledger = q.shed_ledger();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].count, 1);
+        assert!((ledger[0].value - 1.0).abs() < 1e-12, "unit default value");
     }
 
     #[test]
     fn block_policy_waits_for_a_slot() {
         let q = Arc::new(ShardQueue::new(1, BackpressurePolicy::Block));
         let it = item();
-        q.push(Arc::clone(&it), 0);
+        q.push(req(&it, 0));
         let q2 = Arc::clone(&q);
-        let it2 = Arc::clone(&it);
-        let producer = std::thread::spawn(move || q2.push(it2, 0));
+        let r2 = req(&it, 0);
+        let producer = std::thread::spawn(move || q2.push(r2));
         // Give the producer time to block, then free the slot.
         std::thread::sleep(std::time::Duration::from_millis(20));
         let drained = q.pop_batch(1);
@@ -324,7 +611,7 @@ mod tests {
         let q = ShardQueue::new(16, BackpressurePolicy::Block);
         let it = item();
         for _ in 0..5 {
-            q.push(Arc::clone(&it), 0);
+            q.push(req(&it, 0));
         }
         assert_eq!(q.pop_batch(3).len(), 3);
         assert_eq!(q.pop_batch(3).len(), 2, "takes what's there, no waiting");
@@ -336,7 +623,7 @@ mod tests {
         let it = item();
         // Interleaved signatures: A B A B A
         for sig in [7u64, 9, 7, 9, 7] {
-            q.push(Arc::clone(&it), sig);
+            q.push(req(&it, sig));
         }
         let batch = q.pop_batch(4);
         assert_eq!(batch.len(), 4, "fills from the rest after the sig group");
@@ -354,10 +641,200 @@ mod tests {
     fn close_drains_then_signals_exit() {
         let q = ShardQueue::new(8, BackpressurePolicy::Block);
         let it = item();
-        q.push(Arc::clone(&it), 0);
+        q.push(req(&it, 0));
         q.close();
-        assert_eq!(q.push(Arc::clone(&it), 0), SubmitOutcome::Rejected);
+        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::Rejected);
         assert_eq!(q.pop_batch(8).len(), 1, "remaining work drains");
         assert!(q.pop_batch(8).is_empty(), "then workers see the close");
+    }
+
+    #[test]
+    fn value_weighted_eviction_drops_worst_value_density() {
+        let q = ShardQueue::with_slo(3, BackpressurePolicy::ShedOldest, true, false);
+        let it = item();
+        // Three queued: generous deadlines, values 5 / 0.5 / 3. The blind
+        // policy would evict the head (value 5); value-weighted must evict
+        // the value-0.5 request — worst value-per-remaining-deadline.
+        q.push(req(&it, 0).with_slo(0, 5.0, Some(1_000_000)));
+        q.push(req(&it, 0).with_slo(1, 0.5, Some(1_000_000)));
+        q.push(req(&it, 0).with_slo(0, 3.0, Some(1_000_000)));
+        assert_eq!(
+            q.push(req(&it, 0).with_slo(0, 2.0, Some(1_000_000))),
+            SubmitOutcome::EnqueuedShedOldest
+        );
+        let ledger = q.shed_ledger();
+        assert_eq!(ledger.len(), 2, "class-1 victim recorded");
+        assert_eq!(ledger[1].count, 1);
+        assert!((ledger[1].value - 0.5).abs() < 1e-12);
+        let values: Vec<f64> = q.pop_batch(4).iter().map(|r| r.value).collect();
+        assert_eq!(values, vec![5.0, 3.0, 2.0], "high-value work survived");
+    }
+
+    #[test]
+    fn value_weighted_eviction_prefers_an_expired_request() {
+        let q = ShardQueue::with_slo(2, BackpressurePolicy::ShedOldest, true, false);
+        let it = item();
+        // The high-value request is already expired (zero budget) — it
+        // would be deadline-shed at dequeue anyway, so evicting it loses
+        // nothing even though its value density would otherwise keep it.
+        q.push(req(&it, 0).with_slo(0, 100.0, Some(0)));
+        q.push(req(&it, 0).with_slo(0, 1.0, Some(1_000_000)));
+        assert_eq!(
+            q.push(req(&it, 0).with_slo(0, 1.0, Some(1_000_000))),
+            SubmitOutcome::EnqueuedShedOldest
+        );
+        let survivors = q.pop_batch(4);
+        assert_eq!(survivors.len(), 2);
+        assert!(
+            survivors.iter().all(|r| r.value == 1.0),
+            "the expired 100-value request was the victim"
+        );
+    }
+
+    #[test]
+    fn edf_pop_serves_earliest_deadline_first_within_signature_groups() {
+        let q = ShardQueue::with_slo(16, BackpressurePolicy::Block, false, true);
+        let it = item();
+        // Two signature groups; deadlines deliberately out of queue order.
+        // Group 7 holds the tightest deadline overall, so it leads.
+        q.push(req(&it, 9).with_slo(0, 1.0, Some(500_000)));
+        q.push(req(&it, 7).with_slo(0, 1.0, Some(400_000)));
+        q.push(req(&it, 9).with_slo(0, 1.0, Some(100_000)));
+        q.push(req(&it, 7).with_slo(0, 1.0, Some(50_000)));
+        let batch = q.pop_batch(3);
+        let got: Vec<(u64, Option<u64>)> =
+            batch.iter().map(|r| (r.signature, r.deadline_us)).collect();
+        // Head = tightest deadline (sig 7, 50ms); its signature group
+        // joins in deadline order; the most urgent sig-9 tops up.
+        assert_eq!(
+            got,
+            vec![(7, Some(50_000)), (7, Some(400_000)), (9, Some(100_000))]
+        );
+    }
+
+    /// Regression (linger > deadline): a lingering worker used to hold a
+    /// dequeued-able request past its whole deadline budget, guaranteeing
+    /// a deadline shed. The linger is now capped by half the tightest
+    /// remaining budget, so the request comes back with time to execute.
+    #[test]
+    fn linger_is_capped_by_the_head_requests_remaining_deadline() {
+        let q = ShardQueue::new(16, BackpressurePolicy::Block);
+        let it = item();
+        // 60 ms budget, 2 s linger: uncapped, the pop would sit out the
+        // full 2 s (queue never fills) and return an expired request.
+        q.push(req(&it, 0).with_slo(0, 1.0, Some(60_000)));
+        let t0 = Instant::now();
+        let batch = q.pop_batch_lingering(8, Duration::from_secs(2));
+        let waited = t0.elapsed();
+        assert_eq!(batch.len(), 1);
+        assert!(
+            waited < Duration::from_millis(60),
+            "linger must stop within half the 60ms budget, waited {waited:?}"
+        );
+        assert!(
+            !batch[0].expired(Instant::now()),
+            "the request comes back dequeued-able, not doomed"
+        );
+    }
+
+    /// Regression: the linger cap used to be computed once at linger
+    /// start, so a tight-deadline request arriving *mid-linger* was held
+    /// for the full (already uncapped) linger and doomed. The cap is now
+    /// recomputed on every wakeup.
+    #[test]
+    fn request_arriving_mid_linger_tightens_the_cap() {
+        let q = Arc::new(ShardQueue::new(16, BackpressurePolicy::Block));
+        let it = item();
+        // A deadline-less request starts the linger with no cap at all.
+        q.push(req(&it, 0));
+        let q2 = Arc::clone(&q);
+        let it2 = Arc::clone(&it);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            // 60 ms budget lands mid-linger: the worker must wake, adopt
+            // the new cap, and return well before the 2 s linger.
+            q2.push(req(&it2, 0).with_slo(0, 1.0, Some(60_000)));
+        });
+        let t0 = Instant::now();
+        let batch = q.pop_batch_lingering(8, Duration::from_secs(2));
+        let waited = t0.elapsed();
+        pusher.join().expect("pusher");
+        assert_eq!(batch.len(), 2);
+        assert!(
+            waited < Duration::from_millis(200),
+            "cap must tighten mid-linger, waited {waited:?}"
+        );
+        assert!(!batch[1].expired(Instant::now()), "still completable");
+    }
+
+    /// Value-weighted overflow considers the *incoming* request too: a
+    /// newcomer that scores strictly worst (here: already expired) is
+    /// itself shed instead of evicting viable queued work.
+    #[test]
+    fn worthless_incoming_request_is_shed_instead_of_viable_queued_work() {
+        let q = ShardQueue::with_slo(2, BackpressurePolicy::ShedOldest, true, false);
+        let it = item();
+        q.push(req(&it, 0).with_slo(0, 5.0, Some(1_000_000)));
+        q.push(req(&it, 0).with_slo(0, 3.0, Some(1_000_000)));
+        // Expired on arrival: admitting it could only convert a viable
+        // queued request into a shed.
+        assert_eq!(
+            q.push(req(&it, 0).with_slo(1, 9.0, Some(0))),
+            SubmitOutcome::ShedIncoming
+        );
+        let ledger = q.shed_ledger();
+        assert_eq!(ledger.len(), 2, "the class-1 newcomer was the shed");
+        assert_eq!(ledger[1].count, 1);
+        assert!((ledger[1].value - 9.0).abs() < 1e-12);
+        let values: Vec<f64> = q.pop_batch(4).iter().map(|r| r.value).collect();
+        assert_eq!(values, vec![5.0, 3.0], "queued work untouched");
+    }
+
+    /// Regression: recomputing the cap as `now + remaining/2` from
+    /// scratch on every wakeup drifts *later* as the tightest request
+    /// ages, so a trickle of deadline-less arrivals (each waking the
+    /// lingering worker without filling the batch) could stretch the
+    /// linger across the whole budget. The effective deadline must be
+    /// monotone non-increasing across wakeups.
+    #[test]
+    fn trickle_of_wakeups_cannot_stretch_the_linger_cap() {
+        let q = Arc::new(ShardQueue::new(64, BackpressurePolicy::Block));
+        let it = item();
+        // 80 ms budget: the cap fixes the pop at ~40 ms after this push.
+        q.push(req(&it, 0).with_slo(0, 1.0, Some(80_000)));
+        let q2 = Arc::clone(&q);
+        let it2 = Arc::clone(&it);
+        let trickler = std::thread::spawn(move || {
+            // Wake the lingering worker every ~10 ms without ever
+            // filling the 32-wide batch.
+            for _ in 0..12 {
+                std::thread::sleep(Duration::from_millis(10));
+                q2.push(Request::new(Arc::clone(&it2), 0));
+            }
+        });
+        let t0 = Instant::now();
+        let batch = q.pop_batch_lingering(32, Duration::from_secs(2));
+        let waited = t0.elapsed();
+        assert!(!batch.is_empty());
+        assert!(
+            waited < Duration::from_millis(70),
+            "wakeups must not extend the 40ms cap toward the full 80ms \
+             budget, waited {waited:?}"
+        );
+        trickler.join().expect("trickler");
+    }
+
+    #[test]
+    fn deadline_less_requests_never_cap_the_linger() {
+        let q = ShardQueue::new(16, BackpressurePolicy::Block);
+        let it = item();
+        q.push(req(&it, 0));
+        let t0 = Instant::now();
+        let batch = q.pop_batch_lingering(8, Duration::from_millis(40));
+        assert_eq!(batch.len(), 1);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(35),
+            "without deadlines the full linger is spent"
+        );
     }
 }

@@ -40,10 +40,19 @@ use ams_core::framework::AdaptiveModelScheduler;
 use ams_data::ItemTruth;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Fibonacci multiplicative hash to a shard index.
-fn fib_shard(key: u64, shards: usize) -> usize {
+/// Fibonacci multiplicative hash to a shard index — the one hash-placement
+/// function in the crate. Everything that needs "the shard a key homes to"
+/// (the hash routing mode, the affinity router's signature placement,
+/// [`AmsServer::shard_of`](crate::AmsServer::shard_of)) calls this, so the
+/// constants cannot drift between call sites.
+pub fn fib_shard(key: u64, shards: usize) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % shards.max(1)
 }
+
+/// Fingerprint width of the value scan used when routing doesn't need a
+/// signature (hash mode): wide enough to estimate a request's label value
+/// for SLO-aware shedding, matching [`AffinityConfig::default`]'s `top_k`.
+const VALUE_SCAN_TOP_K: usize = 2;
 
 /// Knobs of the affinity routing mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,13 +102,19 @@ impl RoutingMode {
 }
 
 /// Where a request was routed, and why.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Route {
     /// The shard the request should be pushed to.
     pub shard: usize,
     /// The affinity signature the decision keyed on (0 under hash routing);
     /// rides into the queue so dequeues can group same-signature work.
     pub signature: u64,
+    /// The request's predicted label value: the summed static value of the
+    /// fingerprinted models
+    /// ([`AdaptiveModelScheduler::affinity_value_scan`]). Computed during
+    /// the routing scan, so SLO-aware shedding gets its value estimate for
+    /// free with routing.
+    pub value: f64,
     /// Whether the affinity home shard was used (`false` for spills; always
     /// `true` under hash routing, whose home is the hash itself).
     pub affine: bool,
@@ -110,6 +125,7 @@ pub struct Route {
 pub struct Router {
     mode: RoutingMode,
     shards: usize,
+    hash_value_scan: bool,
     affinity_hits: AtomicU64,
     affinity_spills: AtomicU64,
 }
@@ -120,9 +136,20 @@ impl Router {
         Self {
             mode,
             shards: shards.max(1),
+            hash_value_scan: true,
             affinity_hits: AtomicU64::new(0),
             affinity_spills: AtomicU64::new(0),
         }
+    }
+
+    /// Skip the value scan in hash mode (`Route::value` reads 0.0): the
+    /// scan exists for SLO-aware shedding, so a server without SLO
+    /// classes shouldn't pay it on every submission. Affinity mode scans
+    /// regardless — there the scan *is* the routing key and the value is
+    /// free.
+    pub fn without_hash_value_scan(mut self) -> Self {
+        self.hash_value_scan = false;
+        self
     }
 
     /// The configured routing mode.
@@ -153,10 +180,15 @@ impl Router {
             RoutingMode::Hash => Route {
                 shard: fib_shard(item.scene_id, self.shards),
                 signature: 0,
+                value: if self.hash_value_scan {
+                    scheduler.affinity_value_scan(item, VALUE_SCAN_TOP_K).1
+                } else {
+                    0.0
+                },
                 affine: true,
             },
             RoutingMode::Affinity(cfg) => {
-                let sig = scheduler.affinity_signature(item, cfg.top_k);
+                let (sig, value) = scheduler.affinity_value_scan(item, cfg.top_k);
                 // Route on the *coarse* key — the single dominant model,
                 // i.e. the highest-value bit of the fingerprint — so every
                 // request leaning on that model shares a home even when
@@ -166,6 +198,13 @@ impl Router {
                 // shard's whole queue mutually similar (take-all pops on a
                 // lightly loaded shard still coalesce); fine grouping
                 // purifies batches when the queue runs deep.
+                //
+                // An *empty* signature (all-nonpositive value profile) has
+                // no dominant model to key on; it falls back to scene-id
+                // hash placement. Keying those requests on the constant 0
+                // would home every one of them onto the same `fib_shard(0)`
+                // pair — a self-inflicted hot spot carrying zero coalescing
+                // benefit, since signature-0 requests don't batch-group.
                 let route_key = {
                     let mut best: Option<(usize, f64)> = None;
                     let mut bits = sig;
@@ -177,7 +216,7 @@ impl Router {
                             best = Some((m, v));
                         }
                     }
-                    best.map(|(m, _)| 1u64 << m).unwrap_or(0)
+                    best.map(|(m, _)| 1u64 << m).unwrap_or(item.scene_id)
                 };
                 let home = fib_shard(route_key, self.shards);
                 // The alternate is also signature-keyed (a second
@@ -215,6 +254,7 @@ impl Router {
                     return Route {
                         shard: home,
                         signature: sig,
+                        value,
                         affine: true,
                     };
                 }
@@ -232,6 +272,7 @@ impl Router {
                 Route {
                     shard: if alt_ok { alt } else { least },
                     signature: sig,
+                    value,
                     affine: false,
                 }
             }
@@ -334,7 +375,7 @@ mod tests {
         let home = r.route(&s, &item, &qs).shard;
         // Load the home queue past the lag threshold; the other stays empty.
         for _ in 0..4 {
-            qs[home].push(Arc::clone(&item), 0);
+            qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
         }
         let route = r.route(&s, &item, &qs);
         assert_ne!(route.shard, home, "must divert to the least-loaded shard");
@@ -357,10 +398,60 @@ mod tests {
             2,
         );
         let home = r.route(&s, &item, &qs).shard;
-        qs[home].push(Arc::clone(&item), 0);
-        qs[home].push(Arc::clone(&item), 0);
+        qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
+        qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
         let route = r.route(&s, &item, &qs);
         assert_ne!(route.shard, home);
         assert!(!route.affine);
+    }
+
+    /// Regression: an item whose value scan comes up empty (signature 0)
+    /// used to key placement on the constant 0 — every such item homed to
+    /// `fib_shard(0)`, piling one shard pair with zero-coalescing-benefit
+    /// traffic. It must fall back to scene-id hash placement instead.
+    #[test]
+    fn zero_signature_items_fall_back_to_scene_hash_placement() {
+        let s = scheduler();
+        let t = truth(16);
+        let shards = 4usize;
+        let qs = queues(shards, 64);
+        let r = Router::new(RoutingMode::Affinity(AffinityConfig::default()), shards);
+        let mut homes = std::collections::HashSet::new();
+        for item in t.items() {
+            // Zero out the value profile: the scan yields signature 0.
+            let mut flat = item.clone();
+            flat.model_value.iter_mut().for_each(|v| *v = 0.0);
+            let route = r.route(&s, &flat, &qs);
+            assert_eq!(route.signature, 0, "empty profile → empty signature");
+            assert_eq!(route.value, 0.0);
+            assert_eq!(
+                route.shard,
+                fib_shard(flat.scene_id, shards),
+                "scene {} must place by scene-id hash",
+                flat.scene_id
+            );
+            homes.insert(route.shard);
+        }
+        assert!(
+            homes.len() > 1,
+            "16 distinct scenes must spread across shards, not pile on one"
+        );
+    }
+
+    /// The routing scan doubles as the SLO value hook: the route's value
+    /// is the scheduler's top-k scan sum, under both modes.
+    #[test]
+    fn route_value_matches_the_scheduler_scan() {
+        let s = scheduler();
+        let t = truth(8);
+        let qs = queues(4, 16);
+        let hash = Router::new(RoutingMode::Hash, 4);
+        let aff = Router::new(RoutingMode::Affinity(AffinityConfig::default()), 4);
+        for item in t.items() {
+            let (_, want2) = s.affinity_value_scan(item, 2);
+            assert!((hash.route(&s, item, &qs).value - want2).abs() < 1e-12);
+            assert!((aff.route(&s, item, &qs).value - want2).abs() < 1e-12);
+            assert!(want2 > 0.0, "fixture items carry value");
+        }
     }
 }

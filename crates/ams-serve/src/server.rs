@@ -19,8 +19,8 @@
 //! drains every worker gracefully, and merges the per-worker shards into
 //! one [`ServeReport`].
 
-use crate::queue::{BackpressurePolicy, Request, ShardQueue, SubmitOutcome};
-use crate::router::{Router, RoutingMode};
+use crate::queue::{BackpressurePolicy, ClassShed, Request, ShardQueue, SubmitOutcome};
+use crate::router::{fib_shard, Router, RoutingMode};
 use crate::telemetry::{LatencyHistogram, LatencySummary};
 use ams_core::framework::{AdaptiveModelScheduler, Budget};
 use ams_core::streaming::StreamStats;
@@ -80,6 +80,104 @@ impl Default for AdaptiveBatchConfig {
     }
 }
 
+/// One request class of the service-level objective: a deadline and a
+/// value weight.
+///
+/// A request of this class must complete within `deadline_ms` of entering
+/// its queue to be worth anything; its predicted label value (the
+/// scheduler's cheap affinity-value scan, computed during routing) is
+/// scaled by `weight`, so an interactive class can be worth several times
+/// a bulk class to the shedding economics. The paper's objective is the
+/// aggregate *value* of labels produced under a time budget — the class
+/// carries exactly the two numbers that objective needs per request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloClass {
+    /// Stable class name for reports.
+    pub name: String,
+    /// Wall-clock completion deadline from enqueue, ms.
+    pub deadline_ms: u64,
+    /// Multiplier on the request's predicted label value.
+    pub weight: f64,
+}
+
+impl SloClass {
+    /// A named class with the given deadline and weight.
+    pub fn new(name: impl Into<String>, deadline_ms: u64, weight: f64) -> Self {
+        Self {
+            name: name.into(),
+            deadline_ms,
+            weight: weight.max(0.0),
+        }
+    }
+}
+
+/// SLO-aware admission and shedding configuration.
+///
+/// With classes configured, every request carries a deadline and a
+/// weighted value, and three behaviors become selectable (all off =
+/// "blind" mode — identical scheduling to a classless server, but with the
+/// per-class value/latency ledger still recorded, which is what makes an
+/// honest blind-vs-aware comparison on the same stream possible):
+///
+/// * **admission control** — `submit` predicts the shard's queue wait
+///   (depth × the amortized per-request batch time the workers publish,
+///   i.e. the same headroom signal the adaptive batch controller tunes
+///   against) and sheds a request *before* it occupies a slot when the
+///   prediction already exceeds its deadline;
+/// * **value-weighted shedding** — on ShedOldest overflow, evict the
+///   queued request with the worst value-per-remaining-deadline (expired
+///   requests first — they are dead weight) instead of the head;
+/// * **EDF dequeue** — workers assemble batches around the
+///   earliest-deadline request instead of the oldest, composing with
+///   signature coalescing (the urgent head still gets a signature-pure
+///   batch).
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// The request classes. Class 0 is the default for
+    /// [`AmsServer::submit`]; [`AmsServer::submit_class`] picks others.
+    /// Normalized to at least one class at server start.
+    pub classes: Vec<SloClass>,
+    /// Shed at admission when the predicted queue wait exceeds the
+    /// request's deadline.
+    pub admission_control: bool,
+    /// Evict the worst value-per-remaining-deadline request on overflow
+    /// instead of the head.
+    pub value_weighted_shedding: bool,
+    /// Earliest-deadline-first head selection at dequeue.
+    pub edf_dequeue: bool,
+}
+
+impl SloConfig {
+    /// All three SLO-aware behaviors on.
+    pub fn aware(classes: Vec<SloClass>) -> Self {
+        Self {
+            classes,
+            admission_control: true,
+            value_weighted_shedding: true,
+            edf_dequeue: true,
+        }
+    }
+
+    /// Classes tracked (deadlines, values, per-class ledger) but every
+    /// SLO-aware behavior off: oldest-first eviction, FIFO dequeue, no
+    /// admission control — the blind baseline.
+    pub fn blind(classes: Vec<SloClass>) -> Self {
+        Self {
+            classes,
+            admission_control: false,
+            value_weighted_shedding: false,
+            edf_dequeue: false,
+        }
+    }
+}
+
+impl Default for SloConfig {
+    /// One "default" class: 1 s deadline, unit weight, all behaviors on.
+    fn default() -> Self {
+        Self::aware(vec![SloClass::new("default", 1_000, 1.0)])
+    }
+}
+
 /// Serving front-end configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -113,7 +211,13 @@ pub struct ServeConfig {
     /// Deadline-aware shedding: a dequeued request whose queue age has
     /// reached this many wall-clock milliseconds is shed, not executed
     /// (`None` disables; `Some(0)` sheds everything — useful in tests).
+    /// With [`ServeConfig::slo`] set, the per-class deadlines govern
+    /// instead and this field is ignored.
     pub request_timeout_ms: Option<u64>,
+    /// SLO classes plus the SLO-aware admission/shedding behaviors
+    /// (`None` = classless serving, every request unit-valued and
+    /// deadline-governed by `request_timeout_ms` alone).
+    pub slo: Option<SloConfig>,
     /// Wall-clock milliseconds slept per *virtual* millisecond of each
     /// batch's execution makespan (see
     /// [`ams_core::streaming::StreamProcessor::exec_emulation_scale`]);
@@ -139,6 +243,7 @@ impl Default for ServeConfig {
             batch_model: BatchLatencyModel::default(),
             pool_mb: 12_288,
             request_timeout_ms: None,
+            slo: None,
             exec_emulation_scale: 0.0,
             alert_recall: 0.5,
         }
@@ -181,6 +286,126 @@ impl AdaptiveReport {
     }
 }
 
+/// One SLO class's merged ledger: every loss path, the value accounting,
+/// and the class's own latency distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Class index.
+    pub class: usize,
+    /// Class name.
+    pub name: String,
+    /// The class's deadline, ms.
+    pub deadline_ms: u64,
+    /// The class's value weight.
+    pub weight: f64,
+    /// Requests of this class offered to `submit`.
+    pub offered: u64,
+    /// Requests labeled to completion.
+    pub completed: u64,
+    /// Completed requests whose total latency met the class deadline.
+    pub deadline_met: u64,
+    /// Requests refused at admission (full queue under Reject, or closed).
+    pub rejected: u64,
+    /// Requests shed by admission control (predicted wait > deadline).
+    pub shed_admission: u64,
+    /// Requests evicted from a queue on overflow (ShedOldest).
+    pub shed_oldest: u64,
+    /// Dequeued requests shed because their deadline budget was exhausted.
+    pub shed_deadline: u64,
+    /// Summed predicted (weighted) value of offered requests.
+    pub value_offered: f64,
+    /// Summed value of completed requests — the value the service banked.
+    pub value_completed: f64,
+    /// The subset of `value_completed` delivered *past* the class
+    /// deadline — capacity spent on labels the client had already given
+    /// up on. SLO-aware scheduling shrinks this by serving urgent work
+    /// first and shedding doomed work before it occupies a slot.
+    pub value_late: f64,
+    /// Summed value of every non-completed request (all four loss paths)
+    /// — the class's value-weighted shed loss.
+    pub value_shed: f64,
+    /// Total (queue wait + execute) latency of completed requests.
+    pub total: LatencySummary,
+}
+
+impl ClassReport {
+    /// Every offered request of the class is accounted for exactly once.
+    pub fn is_conserved(&self) -> bool {
+        self.offered
+            == self.completed
+                + self.rejected
+                + self.shed_admission
+                + self.shed_oldest
+                + self.shed_deadline
+    }
+
+    /// Share of offered requests that completed within the class deadline
+    /// (0 when nothing was offered). Offered, not completed, is the
+    /// denominator: a shed request missed its deadline as far as the
+    /// client is concerned.
+    pub fn deadline_met_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.deadline_met as f64 / self.offered as f64
+    }
+}
+
+/// The merged SLO record (present when the server ran with
+/// [`ServeConfig::slo`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Whether admission control ran.
+    pub admission_control: bool,
+    /// Whether overflow eviction was value-weighted.
+    pub value_weighted_shedding: bool,
+    /// Whether dequeue was earliest-deadline-first.
+    pub edf_dequeue: bool,
+    /// Per-class ledgers, indexed by class.
+    pub classes: Vec<ClassReport>,
+}
+
+impl SloReport {
+    /// The value-weighted shed loss: every unit of offered value that was
+    /// *not delivered within its deadline* — shed value plus late-completed
+    /// value. A label produced past its deadline is as lost to the client
+    /// as a shed one (the deadline is what defines its worth), and counting
+    /// it keeps the metric honest: a blind server cannot launder doomed
+    /// requests into "banked value" by completing them late. This is the
+    /// quantity SLO-aware shedding exists to minimize.
+    pub fn value_shed_loss(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.value_shed + c.value_late)
+            .sum()
+    }
+
+    /// Summed banked value across classes.
+    pub fn value_completed(&self) -> f64 {
+        self.classes.iter().map(|c| c.value_completed).sum()
+    }
+
+    /// Summed value delivered past its deadline across classes.
+    pub fn value_late(&self) -> f64 {
+        self.classes.iter().map(|c| c.value_late).sum()
+    }
+
+    /// Share of all offered requests that completed within their class
+    /// deadline (0 when nothing was offered).
+    pub fn deadline_met_rate(&self) -> f64 {
+        let offered: u64 = self.classes.iter().map(|c| c.offered).sum();
+        if offered == 0 {
+            return 0.0;
+        }
+        self.classes.iter().map(|c| c.deadline_met).sum::<u64>() as f64 / offered as f64
+    }
+
+    /// Every class ledger balances exactly.
+    pub fn is_conserved(&self) -> bool {
+        self.classes.iter().all(ClassReport::is_conserved)
+    }
+}
+
 /// The merged end-of-run serving record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -208,8 +433,11 @@ pub struct ServeReport {
     /// Queued requests dropped by the ShedOldest policy.
     pub shed_oldest: u64,
     /// Dequeued requests dropped because their queue age reached the
-    /// request timeout.
+    /// request timeout (or their SLO class deadline).
     pub shed_deadline: u64,
+    /// Requests shed by SLO admission control before occupying a queue
+    /// slot: the shard's predicted wait already exceeded their deadline.
+    pub shed_admission: u64,
     /// Batched invocation rounds the workers executed (rounds whose every
     /// member was deadline-shed don't count — no work ran).
     pub batches: u64,
@@ -243,6 +471,8 @@ pub struct ServeReport {
     pub stats: StreamStats,
     /// Adaptive-batching trajectories (when the controller ran).
     pub adaptive: Option<AdaptiveReport>,
+    /// Per-class SLO ledgers (when SLO classes were configured).
+    pub slo: Option<SloReport>,
 }
 
 impl ServeReport {
@@ -251,12 +481,18 @@ impl ServeReport {
         if self.offered == 0 {
             return 0.0;
         }
-        (self.rejected + self.shed_oldest + self.shed_deadline) as f64 / self.offered as f64
+        (self.rejected + self.shed_oldest + self.shed_deadline + self.shed_admission) as f64
+            / self.offered as f64
     }
 
     /// Every offered request is accounted for exactly once.
     pub fn is_conserved(&self) -> bool {
-        self.offered == self.completed + self.rejected + self.shed_oldest + self.shed_deadline
+        self.offered
+            == self.completed
+                + self.rejected
+                + self.shed_oldest
+                + self.shed_deadline
+                + self.shed_admission
     }
 
     /// Mean executed requests per batched round (0 when no batch ran).
@@ -302,9 +538,22 @@ impl ServeReport {
 }
 
 /// One shard's adaptive-batching state: the live limit workers read before
-/// every pop, plus the observation window the controller adjusts from.
+/// every pop, the observation window the controller adjusts from, and the
+/// shard's published headroom signal.
 struct ShardControl {
     limit: AtomicUsize,
+    /// Amortized per-request service time, µs (EWMA over executed
+    /// batches: execute span ÷ batch size). Published by the workers
+    /// after every batch whether or not the adaptive controller runs —
+    /// this is the headroom signal SLO admission control prices queue
+    /// depth with (predicted wait = depth × amortized ÷ workers). 0 until
+    /// the shard executes its first batch (admission control admits
+    /// everything until then — no evidence, no shedding).
+    amortized_us: AtomicU64,
+    /// EWMA of the whole batch execute span, µs — what one more batch
+    /// costs end to end. Admission control adds it to the predicted wait
+    /// when pricing a *full* queue, where admitting means evicting.
+    exec_span_us: AtomicU64,
     window: Mutex<AdaptiveWindow>,
 }
 
@@ -323,11 +572,34 @@ impl ShardControl {
     fn new(start_limit: usize) -> Self {
         Self {
             limit: AtomicUsize::new(start_limit),
+            amortized_us: AtomicU64::new(0),
+            exec_span_us: AtomicU64::new(0),
             window: Mutex::new(AdaptiveWindow {
                 last_within_target: true,
                 ..AdaptiveWindow::default()
             }),
         }
+    }
+
+    /// Fold one executed batch's amortized per-request time into the
+    /// published EWMA (¾ old + ¼ new — smooth enough that one outlier
+    /// batch doesn't whipsaw admission, fresh enough to track load
+    /// shifts). Racy read-modify-write is fine: any interleaving stores a
+    /// plausible smoothed value.
+    fn publish_amortized(&self, exec: Duration, batch_len: usize) -> u64 {
+        let span = exec.as_micros().min(u128::from(u64::MAX)) as u64;
+        let obs = span / batch_len.max(1) as u64;
+        let old = self.amortized_us.load(Ordering::Relaxed);
+        let next = (if old == 0 { obs } else { (old * 3 + obs) / 4 }).max(1);
+        self.amortized_us.store(next, Ordering::Relaxed);
+        let old_span = self.exec_span_us.load(Ordering::Relaxed);
+        let next_span = if old_span == 0 {
+            span
+        } else {
+            (old_span * 3 + span) / 4
+        };
+        self.exec_span_us.store(next_span.max(1), Ordering::Relaxed);
+        next
     }
 
     /// Record one executed batch's member latencies and retune the limit
@@ -397,6 +669,18 @@ impl ShardControl {
     }
 }
 
+/// Per-class counters recorded on the submit path (offered, rejected,
+/// admission-shed) — one short-lived lock per submission.
+#[derive(Debug, Default, Clone)]
+struct ClassAdmission {
+    offered: u64,
+    value_offered: f64,
+    rejected: u64,
+    value_rejected: f64,
+    shed_admission: u64,
+    value_shed_admission: f64,
+}
+
 /// Shared server state (queues + router + scheduler), behind one `Arc`.
 struct Shared {
     queues: Vec<ShardQueue>,
@@ -408,6 +692,25 @@ struct Shared {
     offered: AtomicU64,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    shed_admission: AtomicU64,
+    /// Per-shard, per-class submit-path ledgers (present when SLO classes
+    /// are configured; outer index = shard). Shard-local so producers
+    /// contend at the same granularity as the shard queues themselves —
+    /// one global ledger lock would serialize every submitter.
+    class_admission: Option<Vec<Mutex<Vec<ClassAdmission>>>>,
+}
+
+/// Per-class worker-side accumulators (completions, deadline sheds,
+/// value accounting, the class latency histogram).
+#[derive(Default)]
+struct ClassLocal {
+    completed: u64,
+    deadline_met: u64,
+    value_completed: f64,
+    value_late: f64,
+    shed_deadline: u64,
+    value_shed_deadline: f64,
+    total: LatencyHistogram,
 }
 
 /// Per-worker accumulators, merged at shutdown.
@@ -423,10 +726,12 @@ struct WorkerLocal {
     model_invocations: u64,
     virtual_work_ms: u64,
     virtual_exec_ms: u64,
+    /// Per-class ledgers (empty when no SLO classes are configured).
+    classes: Vec<ClassLocal>,
 }
 
 impl WorkerLocal {
-    fn new(num_models: usize) -> Self {
+    fn new(num_models: usize, num_classes: usize) -> Self {
         Self {
             stats: StreamStats::with_models(num_models),
             queue_wait: LatencyHistogram::default(),
@@ -439,6 +744,7 @@ impl WorkerLocal {
             model_invocations: 0,
             virtual_work_ms: 0,
             virtual_exec_ms: 0,
+            classes: (0..num_classes).map(|_| ClassLocal::default()).collect(),
         }
     }
 }
@@ -488,10 +794,22 @@ impl AmsServer {
                 decrease_factor: a.decrease_factor.clamp(0.1, 0.99),
                 ..a
             }),
+            slo: cfg.slo.map(|mut s| {
+                if s.classes.is_empty() {
+                    s.classes = SloConfig::default().classes;
+                }
+                for c in &mut s.classes {
+                    c.weight = c.weight.max(0.0);
+                }
+                s
+            }),
             ..cfg
         };
+        let (value_weighted, edf) = cfg.slo.as_ref().map_or((false, false), |s| {
+            (s.value_weighted_shedding, s.edf_dequeue)
+        });
         let queues: Vec<ShardQueue> = (0..cfg.shards)
-            .map(|_| ShardQueue::new(cfg.queue_capacity, cfg.policy))
+            .map(|_| ShardQueue::with_slo(cfg.queue_capacity, cfg.policy, value_weighted, edf))
             .collect();
         // The controller starts every shard at the configured static limit,
         // clamped into the adaptive band.
@@ -502,8 +820,19 @@ impl AmsServer {
         let controls = (0..cfg.shards)
             .map(|_| ShardControl::new(start_limit))
             .collect();
+        let class_admission = cfg.slo.as_ref().map(|s| {
+            (0..cfg.shards)
+                .map(|_| Mutex::new(vec![ClassAdmission::default(); s.classes.len()]))
+                .collect()
+        });
+        // Without SLO classes nothing consumes `Route::value`, so hash
+        // routing skips the per-submission value scan.
+        let mut router = Router::new(cfg.routing, cfg.shards);
+        if cfg.slo.is_none() {
+            router = router.without_hash_value_scan();
+        }
         let shared = Arc::new(Shared {
-            router: Router::new(cfg.routing, cfg.shards),
+            router,
             queues,
             controls,
             scheduler,
@@ -512,6 +841,8 @@ impl AmsServer {
             offered: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed_admission: AtomicU64::new(0),
+            class_admission,
         });
         let workers = (0..shared.cfg.shards * shared.cfg.workers_per_shard)
             .map(|w| {
@@ -523,30 +854,131 @@ impl AmsServer {
         Self { shared, workers }
     }
 
-    /// The shard an item routes to (Fibonacci-hashed scene id — the hash
-    /// mode's home shard). Under affinity routing the live router may
-    /// divert a submission elsewhere; this accessor stays the stable
-    /// hash-partition answer.
+    /// The shard an item routes to ([`fib_shard`] of the scene id — the
+    /// hash mode's home shard, shared with the router so the constants
+    /// cannot drift). Under affinity routing the live router may divert a
+    /// submission elsewhere; this accessor stays the stable hash-partition
+    /// answer.
     pub fn shard_of(&self, item: &ItemTruth) -> usize {
-        (item.scene_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.shared.cfg.shards
+        fib_shard(item.scene_id, self.shared.cfg.shards)
     }
 
-    /// Submit one item for labeling under the shard's backpressure policy.
-    /// Under [`BackpressurePolicy::Block`] this call waits for queue space.
+    /// Submit one item for labeling under the shard's backpressure policy
+    /// (SLO class 0 when classes are configured). Under
+    /// [`BackpressurePolicy::Block`] this call waits for queue space.
     pub fn submit(&self, item: Arc<ItemTruth>) -> SubmitOutcome {
+        self.submit_class(item, 0)
+    }
+
+    /// [`AmsServer::submit`] with an explicit SLO class (clamped to the
+    /// configured classes; ignored when no SLO is configured).
+    ///
+    /// With admission control on, the call first prices the shard's
+    /// backlog: predicted wait = queue depth × the amortized per-request
+    /// batch time the shard's workers publish ÷ workers on the shard. A
+    /// request whose prediction already exceeds its class deadline is
+    /// refused here ([`SubmitOutcome::ShedAdmission`]) *before* it
+    /// occupies a queue slot — admitting it could only evict or delay
+    /// work that still has a chance, then be deadline-shed anyway.
+    pub fn submit_class(&self, item: Arc<ItemTruth>, class: usize) -> SubmitOutcome {
         let route = self
             .shared
             .router
             .route(&self.shared.scheduler, &item, &self.shared.queues);
         self.shared.offered.fetch_add(1, Ordering::Relaxed);
-        let outcome = self.shared.queues[route.shard].push(item, route.signature);
+        let (class, value, deadline_us) = match &self.shared.cfg.slo {
+            Some(slo) => {
+                let class = class.min(slo.classes.len() - 1);
+                let c = &slo.classes[class];
+                (
+                    class,
+                    c.weight * route.value,
+                    Some(c.deadline_ms.saturating_mul(1000)),
+                )
+            }
+            None => (
+                0,
+                1.0,
+                self.shared
+                    .cfg
+                    .request_timeout_ms
+                    .map(|t| t.saturating_mul(1000)),
+            ),
+        };
+        if let Some(ledgers) = &self.shared.class_admission {
+            let mut l = ledgers[route.shard].lock().expect("class ledger");
+            l[class].offered += 1;
+            l[class].value_offered += value;
+        }
+        if let (Some(slo), Some(deadline)) = (&self.shared.cfg.slo, deadline_us) {
+            if slo.admission_control {
+                let amortized = self.shared.controls[route.shard]
+                    .amortized_us
+                    .load(Ordering::Relaxed);
+                // One consistent snapshot of the queue (single lock
+                // acquisition): total depth for the fullness check, and
+                // the earlier-deadline backlog for EDF pricing — under
+                // EDF dequeue an urgent request overtakes lax work, so
+                // the raw depth would overcharge it (and shed requests
+                // EDF would have served in time).
+                let at = Instant::now() + Duration::from_micros(deadline);
+                let (qlen, ahead) = self.shared.queues[route.shard].queued_ahead(at);
+                let depth = if slo.edf_dequeue { ahead } else { qlen } as u64;
+                // Two shedding criteria, deliberately asymmetric:
+                //
+                // * the predicted *wait alone* exceeds the deadline — the
+                //   request provably cannot complete in time (it cannot
+                //   even dequeue in budget), so queueing it only wastes a
+                //   slot;
+                // * the queue is *full* and wait + one batch execute span
+                //   (the measured EWMA) exceeds the deadline — here
+                //   admitting means evicting a queued request that still
+                //   has a chance, in favor of one predicted to finish
+                //   late; refusing the doomed newcomer is the strictly
+                //   better trade.
+                //
+                // A merely-probably-late request on a non-full queue is
+                // admitted: EDF dequeue may still save it, and shedding
+                // at the margin would throw away value on a coin flip.
+                let wait_us =
+                    depth as f64 * amortized as f64 / self.shared.cfg.workers_per_shard as f64;
+                let full = qlen >= self.shared.queues[route.shard].capacity();
+                let span = self.shared.controls[route.shard]
+                    .exec_span_us
+                    .load(Ordering::Relaxed);
+                let doomed = wait_us >= deadline as f64
+                    || (full && wait_us + span as f64 >= deadline as f64);
+                if amortized > 0 && doomed {
+                    self.shared.shed_admission.fetch_add(1, Ordering::Relaxed);
+                    if let Some(ledgers) = &self.shared.class_admission {
+                        let mut l = ledgers[route.shard].lock().expect("class ledger");
+                        l[class].shed_admission += 1;
+                        l[class].value_shed_admission += value;
+                    }
+                    return SubmitOutcome::ShedAdmission;
+                }
+            }
+        }
+        let req = Request::new(item, route.signature).with_slo(class, value, deadline_us);
+        let outcome = self.shared.queues[route.shard].push(req);
         match outcome {
             SubmitOutcome::Enqueued | SubmitOutcome::EnqueuedShedOldest => {
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
             }
+            // The submission itself was the overflow shed: it never
+            // entered a queue (so it is not `submitted`) and the queue
+            // recorded it in the overflow-shed ledger, which keeps the
+            // conservation equation balanced.
+            SubmitOutcome::ShedIncoming => {}
             SubmitOutcome::Rejected => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(ledgers) = &self.shared.class_admission {
+                    let mut l = ledgers[route.shard].lock().expect("class ledger");
+                    l[class].rejected += 1;
+                    l[class].value_rejected += value;
+                }
             }
+            SubmitOutcome::ShedAdmission => unreachable!("queues never shed at admission"),
         }
         outcome
     }
@@ -563,7 +995,8 @@ impl AmsServer {
             q.close();
         }
         let num_models = self.shared.scheduler.zoo().len();
-        let mut merged = WorkerLocal::new(num_models);
+        let num_classes = self.shared.cfg.slo.as_ref().map_or(0, |s| s.classes.len());
+        let mut merged = WorkerLocal::new(num_models, num_classes);
         for handle in self.workers {
             let local = handle.join().expect("serve worker panicked");
             merged.stats.merge(&local.stats);
@@ -577,6 +1010,15 @@ impl AmsServer {
             merged.model_invocations += local.model_invocations;
             merged.virtual_work_ms += local.virtual_work_ms;
             merged.virtual_exec_ms += local.virtual_exec_ms;
+            for (into, from) in merged.classes.iter_mut().zip(&local.classes) {
+                into.completed += from.completed;
+                into.deadline_met += from.deadline_met;
+                into.value_completed += from.value_completed;
+                into.value_late += from.value_late;
+                into.shed_deadline += from.shed_deadline;
+                into.value_shed_deadline += from.value_shed_deadline;
+                into.total.merge(&from.total);
+            }
         }
         let shed_oldest: u64 = self
             .shared
@@ -584,6 +1026,16 @@ impl AmsServer {
             .iter()
             .map(ShardQueue::shed_oldest_count)
             .sum();
+        // Per-class overflow-shed ledgers, merged across shards.
+        let mut shed_classes: Vec<ClassShed> = vec![ClassShed::default(); num_classes];
+        for q in &self.shared.queues {
+            for (class, entry) in q.shed_ledger().into_iter().enumerate() {
+                if class < shed_classes.len() {
+                    shed_classes[class].count += entry.count;
+                    shed_classes[class].value += entry.value;
+                }
+            }
+        }
         let shared = Arc::try_unwrap(self.shared)
             .unwrap_or_else(|_| panic!("workers joined; no other Arc holder remains"));
         let adaptive = shared.cfg.adaptive.map(|acfg| AdaptiveReport {
@@ -594,6 +1046,63 @@ impl AmsServer {
                 .enumerate()
                 .map(|(shard, ctl)| ctl.into_record(shard, &acfg))
                 .collect(),
+        });
+        let slo = shared.cfg.slo.as_ref().map(|slo_cfg| {
+            // Fold the per-shard submit-path ledgers into one.
+            let mut admission = vec![ClassAdmission::default(); slo_cfg.classes.len()];
+            for shard_ledger in shared
+                .class_admission
+                .as_ref()
+                .expect("ledger exists when SLO is configured")
+            {
+                for (into, from) in admission
+                    .iter_mut()
+                    .zip(shard_ledger.lock().expect("class ledger").iter())
+                {
+                    into.offered += from.offered;
+                    into.value_offered += from.value_offered;
+                    into.rejected += from.rejected;
+                    into.value_rejected += from.value_rejected;
+                    into.shed_admission += from.shed_admission;
+                    into.value_shed_admission += from.value_shed_admission;
+                }
+            }
+            SloReport {
+                admission_control: slo_cfg.admission_control,
+                value_weighted_shedding: slo_cfg.value_weighted_shedding,
+                edf_dequeue: slo_cfg.edf_dequeue,
+                classes: slo_cfg
+                    .classes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let adm = &admission[i];
+                        let local = &merged.classes[i];
+                        let oldest = shed_classes[i];
+                        ClassReport {
+                            class: i,
+                            name: c.name.clone(),
+                            deadline_ms: c.deadline_ms,
+                            weight: c.weight,
+                            offered: adm.offered,
+                            completed: local.completed,
+                            deadline_met: local.deadline_met,
+                            rejected: adm.rejected,
+                            shed_admission: adm.shed_admission,
+                            shed_oldest: oldest.count,
+                            shed_deadline: local.shed_deadline,
+                            value_offered: adm.value_offered,
+                            value_completed: local.value_completed,
+                            value_late: local.value_late,
+                            value_shed: adm.value_rejected
+                                + adm.value_shed_admission
+                                + oldest.value
+                                + local.value_shed_deadline,
+                            total: local.total.summary(),
+                        }
+                    })
+                    .collect(),
+            }
         });
         ServeReport {
             shards: shared.cfg.shards,
@@ -608,6 +1117,7 @@ impl AmsServer {
             rejected: shared.rejected.load(Ordering::Relaxed),
             shed_oldest,
             shed_deadline: merged.shed_deadline,
+            shed_admission: shared.shed_admission.load(Ordering::Relaxed),
             batches: merged.batches,
             max_batch_observed: merged.max_batch_observed,
             model_invocations: merged.model_invocations,
@@ -618,6 +1128,7 @@ impl AmsServer {
             total: merged.total.summary(),
             stats: merged.stats,
             adaptive,
+            slo,
         }
     }
 }
@@ -627,7 +1138,8 @@ impl AmsServer {
 fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
     let zoo = shared.scheduler.zoo();
     let n = zoo.len();
-    let mut local = WorkerLocal::new(n);
+    let num_classes = shared.cfg.slo.as_ref().map_or(0, |s| s.classes.len());
+    let mut local = WorkerLocal::new(n, num_classes);
     let mut runs_per_model = vec![0usize; n];
     loop {
         // Under adaptive batching the shard's live limit replaces the
@@ -645,19 +1157,22 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
         let exec_start = Instant::now();
 
         // Deadline-aware shedding: a request whose queue age has already
-        // reached the timeout is dropped before any work is spent on it.
-        // A shed request is accounted exactly once — in `shed_deadline` —
-        // and never reaches the stats (the recall denominator) or the
-        // latency histograms.
+        // exhausted its deadline budget (its SLO class deadline, or the
+        // server-wide request timeout when no classes are configured —
+        // `submit` stamped whichever applies onto the request) is dropped
+        // before any work is spent on it. A shed request is accounted
+        // exactly once — in `shed_deadline` — and never reaches the stats
+        // (the recall denominator) or the latency histograms.
         let mut survivors: Vec<(Request, Duration)> = Vec::with_capacity(batch.len());
         for req in batch {
-            let wait = req.enqueued_at.elapsed();
-            let expired = shared
-                .cfg
-                .request_timeout_ms
-                .is_some_and(|t| wait.as_micros() as u64 >= t.saturating_mul(1000));
-            if expired {
+            let now = Instant::now();
+            let wait = now.saturating_duration_since(req.enqueued_at);
+            if req.expired(now) {
                 local.shed_deadline += 1;
+                if let Some(cl) = local.classes.get_mut(req.class) {
+                    cl.shed_deadline += 1;
+                    cl.value_shed_deadline += req.value;
+                }
             } else {
                 survivors.push((req, wait));
             }
@@ -716,12 +1231,34 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
         // Whole batch completes together; each member is charged the
         // batch's execute span on top of its own queue wait.
         let exec_elapsed = exec_start.elapsed();
-        for ((_, wait), outcome) in survivors.iter().zip(&outcomes) {
+        // Publish the amortized per-request service time — the headroom
+        // signal admission control prices queue depth with — and the
+        // queue's drain rate (service time ÷ the workers sharing the
+        // queue), which value-weighted eviction prices its doom horizon
+        // with. Same yardstick as admission, so the two policies agree on
+        // what a queued request's wait looks like.
+        let amortized = shared.controls[shard].publish_amortized(exec_elapsed, survivors.len());
+        shared.queues[shard]
+            .set_service_hint_us((amortized / shared.cfg.workers_per_shard as u64).max(1));
+        for ((req, wait), outcome) in survivors.iter().zip(&outcomes) {
             local.stats.absorb(outcome, shared.cfg.alert_recall);
             local.queue_wait.record(*wait);
             local.execute.record(exec_elapsed);
-            local.total.record(*wait + exec_elapsed);
+            let total = *wait + exec_elapsed;
+            local.total.record(total);
             local.completed += 1;
+            if let Some(cl) = local.classes.get_mut(req.class) {
+                cl.completed += 1;
+                cl.value_completed += req.value;
+                cl.total.record(total);
+                let met = req
+                    .deadline_us
+                    .is_none_or(|d| total.as_micros().min(u128::from(u64::MAX)) as u64 <= d);
+                cl.deadline_met += u64::from(met);
+                if !met {
+                    cl.value_late += req.value;
+                }
+            }
         }
         if let Some(acfg) = &shared.cfg.adaptive {
             shared.controls[shard].observe_batch(

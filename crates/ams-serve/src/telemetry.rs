@@ -11,6 +11,7 @@
 //! [`StreamStats`]: ams_core::streaming::StreamStats
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Geometric bucket growth per step: ~25% relative error ceiling on any
 /// reported quantile, constant memory, exact (integer-count) merging.
@@ -45,18 +46,42 @@ impl Default for LatencyHistogram {
     }
 }
 
-/// Upper bound (µs) of bucket `i`.
-fn bucket_bound_us(i: usize) -> u64 {
-    GROWTH.powi(i as i32 + 1) as u64
+/// Strictly increasing bucket upper bounds (µs), computed once.
+///
+/// Bucket `i` holds values `bound(i-1) < us <= bound(i)`. The bounds follow
+/// the geometric series `GROWTH^(i+1)` truncated to integers, forced
+/// strictly increasing at the small-integer head where truncation would
+/// otherwise produce duplicate bounds — the duplicates are what used to
+/// leave buckets 1–2 unreachable (the index formula jumped from 0 to 3 at
+/// `us = 2`) while their reported bounds all truncated to 1 µs. Deriving
+/// index *and* bound from this one table makes the two consistent by
+/// construction: every recorded value is ≤ its bucket's reported bound,
+/// and every bucket's bound is strictly above its predecessor's.
+fn bucket_bounds() -> &'static [u64; BUCKETS] {
+    static BOUNDS: OnceLock<[u64; BUCKETS]> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut bounds = [0u64; BUCKETS];
+        let mut prev = 0u64;
+        for (i, b) in bounds.iter_mut().enumerate() {
+            prev = (GROWTH.powi(i as i32 + 1) as u64).max(prev + 1);
+            *b = prev;
+        }
+        bounds
+    })
 }
 
-/// Bucket index for a value in microseconds.
+/// Upper bound (µs) of bucket `i`.
+fn bucket_bound_us(i: usize) -> u64 {
+    bucket_bounds()[i]
+}
+
+/// Bucket index for a value in microseconds: the first bucket whose bound
+/// covers the value (values past the last bound clamp into the overflow
+/// bucket, whose quantile reads report the observed max instead).
 fn bucket_index(us: u64) -> usize {
-    if us <= 1 {
-        return 0;
-    }
-    let idx = (us as f64).ln() / GROWTH.ln();
-    (idx as usize).min(BUCKETS - 1)
+    bucket_bounds()
+        .partition_point(|&bound| bound < us)
+        .min(BUCKETS - 1)
 }
 
 impl LatencyHistogram {
@@ -159,6 +184,54 @@ pub struct LatencySummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::{prop_assert, prop_assert_eq, proptest};
+
+    #[test]
+    fn every_bucket_bound_exceeds_its_predecessor() {
+        let bounds = bucket_bounds();
+        for i in 1..BUCKETS {
+            assert!(
+                bounds[i] > bounds[i - 1],
+                "bucket {i}: bound {} <= predecessor {}",
+                bounds[i],
+                bounds[i - 1]
+            );
+        }
+        // The head buckets are all reachable: each small value indexes a
+        // distinct bucket whose bound covers it (the old derivation jumped
+        // from bucket 0 to 3 at us = 2 and reported bounds 0–2 all as 1).
+        for us in 0..=4u64 {
+            let i = bucket_index(us);
+            assert!(
+                us <= bucket_bound_us(i),
+                "us={us} above bound of bucket {i}"
+            );
+        }
+        assert_eq!(bucket_index(2), bucket_index(1) + 1, "bucket 1 reachable");
+    }
+
+    proptest! {
+        /// Index/bound consistency: every recorded value lands in a bucket
+        /// whose reported bound covers it (overflow bucket excepted — its
+        /// quantile reads report the observed max instead), and the bound
+        /// sequence is monotone around every landing point.
+        #[test]
+        fn recorded_value_is_covered_by_its_buckets_bound(us in 0u64..u64::MAX) {
+            let i = bucket_index(us);
+            if i < BUCKETS - 1 {
+                prop_assert!(us <= bucket_bound_us(i), "us={us} bucket {i}");
+            }
+            if i > 0 {
+                prop_assert!(bucket_bound_us(i) > bucket_bound_us(i - 1));
+                prop_assert!(us > bucket_bound_us(i - 1), "us={us} belongs below bucket {i}");
+            }
+            // Round-trip: a histogram holding only `us` reports it exactly
+            // (bound clamped to the observed max).
+            let mut h = LatencyHistogram::default();
+            h.record_us(us);
+            prop_assert_eq!(h.quantile_us(0.99), us);
+        }
+    }
 
     #[test]
     fn quantiles_of_uniform_ramp() {

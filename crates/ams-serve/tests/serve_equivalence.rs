@@ -6,11 +6,11 @@
 use ams_core::framework::{AdaptiveModelScheduler, Budget};
 use ams_core::predictor::OraclePredictor;
 use ams_core::streaming::{StreamProcessor, StreamStats};
-use ams_data::{Dataset, DatasetProfile, TruthTable};
+use ams_data::{Dataset, DatasetProfile, ItemTruth, TruthTable};
 use ams_models::ModelZoo;
 use ams_serve::{
-    AdaptiveBatchConfig, AffinityConfig, AmsServer, BackpressurePolicy, RoutingMode, ServeConfig,
-    SubmitOutcome,
+    AdaptiveBatchConfig, AffinityConfig, AmsServer, BackpressurePolicy, Router, RoutingMode,
+    ServeConfig, ShardQueue, SloClass, SloConfig, SubmitOutcome,
 };
 use std::sync::Arc;
 
@@ -358,6 +358,227 @@ fn partial_batch_shed_counted_once_and_excluded_from_recall() {
     // Executed-batch accounting ignores all-shed rounds.
     assert!(report.mean_batch_size() >= 1.0);
     assert!(report.batches <= report.completed);
+}
+
+/// `AmsServer::shard_of` and the hash router answer from the same
+/// `fib_shard` — the placement function is shared, so the constants
+/// cannot drift between the accessor and the live routing path.
+#[test]
+fn shard_of_matches_the_hash_routers_placement() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(24);
+    for shards in [1usize, 2, 4, 7] {
+        let sched = scheduler();
+        let router = Router::new(RoutingMode::Hash, shards);
+        let queues: Vec<ShardQueue> = (0..shards)
+            .map(|_| ShardQueue::new(8, BackpressurePolicy::Reject))
+            .collect();
+        let server = AmsServer::start(
+            scheduler(),
+            budget,
+            ServeConfig {
+                shards,
+                ..ServeConfig::default()
+            },
+        );
+        for item in table.items() {
+            assert_eq!(
+                server.shard_of(item),
+                router.route(&sched, item, &queues).shard,
+                "scene {} with {shards} shards",
+                item.scene_id
+            );
+        }
+        server.shutdown();
+    }
+}
+
+/// Two SLO classes routed through every backpressure policy: the
+/// admission-time shed path and value-weighted eviction keep the ledger
+/// exactly-once — globally, per class, and in value terms.
+#[test]
+fn slo_shedding_conserves_every_request_across_policies() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(60);
+    for policy in [
+        BackpressurePolicy::Block,
+        BackpressurePolicy::Reject,
+        BackpressurePolicy::ShedOldest,
+    ] {
+        let cfg = ServeConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 2,
+            max_batch: 2,
+            policy,
+            // Real wall time per batch (tens of ms), so queues build, the
+            // amortized estimate is far above the interactive budget, and
+            // a 2 ms deadline is hopeless once anything is queued ahead.
+            exec_emulation_scale: 2e-2,
+            slo: Some(SloConfig::aware(vec![
+                SloClass::new("interactive", 2, 4.0),
+                SloClass::new("bulk", 10_000, 1.0),
+            ])),
+            ..ServeConfig::default()
+        };
+        let server = AmsServer::start(scheduler(), budget, cfg);
+        let mut outcomes = [0u64; 5];
+        let mut offered_by_class = [0u64; 2];
+        {
+            let mut submit = |item: &ItemTruth, class: usize| {
+                let idx = match server.submit_class(Arc::new(item.clone()), class) {
+                    SubmitOutcome::Enqueued => 0,
+                    SubmitOutcome::EnqueuedShedOldest => 1,
+                    SubmitOutcome::Rejected => 2,
+                    SubmitOutcome::ShedAdmission => 3,
+                    SubmitOutcome::ShedIncoming => 4,
+                };
+                outcomes[idx] += 1;
+                offered_by_class[class] += 1;
+            };
+            // Warm-up: paced bulk submissions, so at least one batch
+            // executes and the workers publish the amortized-time signal
+            // admission control prices with (before the first execution
+            // there is no evidence, so nothing is shed at admission).
+            for item in table.items().iter().take(10) {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                submit(item, 1);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            // Flood: the rest arrives back to back. The worker is
+            // mid-batch for milliseconds at a time while submissions land
+            // in microseconds, so the queue genuinely backs up — and with
+            // the published amortized time far above the 2 ms interactive
+            // budget, an interactive request behind *any* earlier-deadline
+            // backlog (or facing a full queue) is provably doomed and must
+            // be shed at admission, not queued.
+            for (i, item) in table.items().iter().enumerate().skip(10) {
+                submit(item, i % 2);
+            }
+        }
+        let report = server.shutdown();
+        let ctx = format!("policy {policy:?}");
+        assert!(report.is_conserved(), "{ctx}: {report:?}");
+        assert_eq!(report.offered, 60, "{ctx}");
+        assert_eq!(
+            report.shed_admission, outcomes[3],
+            "{ctx}: admission sheds surface to the submitter"
+        );
+        assert_eq!(report.rejected, outcomes[2], "{ctx}");
+        assert!(
+            report.shed_admission > 0,
+            "{ctx}: a 2 ms class budget against tens-of-ms batches must \
+             trip admission control once the amortized estimate exists"
+        );
+        let slo = report.slo.as_ref().expect("slo ledger present");
+        assert!(slo.is_conserved(), "{ctx}: every class ledger balances");
+        assert_eq!(slo.classes.len(), 2, "{ctx}");
+        let offered: u64 = slo.classes.iter().map(|c| c.offered).sum();
+        assert_eq!(offered, 60, "{ctx}: every submission classed");
+        for c in &slo.classes {
+            assert_eq!(
+                c.offered, offered_by_class[c.class],
+                "{ctx}: every submission classed as submitted"
+            );
+            // Value conservation: offered value = banked + lost, to float
+            // sum tolerance.
+            assert!(
+                (c.value_offered - c.value_completed - c.value_shed).abs() < 1e-6,
+                "{ctx} class {}: {} != {} + {}",
+                c.name,
+                c.value_offered,
+                c.value_completed,
+                c.value_shed
+            );
+            assert!(c.deadline_met <= c.completed, "{ctx}");
+        }
+        // The global ledger and the class ledgers agree bucket by bucket.
+        assert_eq!(
+            slo.classes.iter().map(|c| c.completed).sum::<u64>(),
+            report.completed,
+            "{ctx}"
+        );
+        assert_eq!(
+            slo.classes.iter().map(|c| c.shed_admission).sum::<u64>(),
+            report.shed_admission,
+            "{ctx}"
+        );
+        assert_eq!(
+            slo.classes.iter().map(|c| c.shed_oldest).sum::<u64>(),
+            report.shed_oldest,
+            "{ctx}"
+        );
+        assert_eq!(
+            slo.classes.iter().map(|c| c.shed_deadline).sum::<u64>(),
+            report.shed_deadline,
+            "{ctx}"
+        );
+        assert_eq!(
+            slo.classes.iter().map(|c| c.rejected).sum::<u64>(),
+            report.rejected,
+            "{ctx}"
+        );
+    }
+}
+
+/// Blind SLO mode (classes tracked, behaviors off) on a lossless blocking
+/// configuration: scheduling is untouched — serve stats still equal the
+/// serial engine's — while the per-class ledger records every completion
+/// and every generous deadline as met.
+#[test]
+fn blind_slo_mode_tracks_classes_without_perturbing_results() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth(40);
+    let want = serial_stats(budget, &table);
+    let cfg = ServeConfig {
+        shards: 2,
+        workers_per_shard: 2,
+        max_batch: 4,
+        queue_capacity: 64,
+        policy: BackpressurePolicy::Block,
+        slo: Some(SloConfig::blind(vec![
+            SloClass::new("interactive", 60_000, 3.0),
+            SloClass::new("bulk", 60_000, 1.0),
+        ])),
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler(), budget, cfg);
+    for (i, item) in table.items().iter().enumerate() {
+        assert_eq!(
+            server.submit_class(Arc::new(item.clone()), i % 2),
+            SubmitOutcome::Enqueued,
+            "lossless blind config admits everything"
+        );
+    }
+    let report = server.shutdown();
+    assert!(report.is_conserved());
+    assert_eq!(report.completed, 40);
+    assert_eq!(report.shed_admission, 0, "admission control is off");
+    assert_stats_match(&report.stats, &want, "blind slo");
+    // The full SLO report survives serde for the bench records.
+    let json = serde_json::to_string(&report).expect("serializes");
+    let slo = report.slo.expect("ledger present");
+    assert!(!slo.admission_control && !slo.value_weighted_shedding && !slo.edf_dequeue);
+    assert!(slo.is_conserved());
+    assert!(
+        (slo.deadline_met_rate() - 1.0).abs() < 1e-12,
+        "60 s budgets"
+    );
+    assert!(slo.value_shed_loss() == 0.0, "nothing shed, nothing lost");
+    assert!(slo.value_completed() > 0.0, "banked value recorded");
+    // Class weights scale banked value: equal item splits, 3x weight.
+    let per_item_0 = slo.classes[0].value_completed / slo.classes[0].completed as f64;
+    let per_item_1 = slo.classes[1].value_completed / slo.classes[1].completed as f64;
+    assert!(
+        per_item_0 > per_item_1,
+        "weight-3 class banks more per item: {per_item_0} vs {per_item_1}"
+    );
+    let back: ams_serve::ServeReport = serde_json::from_str(&json).expect("parses");
+    let back_slo = back.slo.expect("slo survives");
+    assert_eq!(back_slo.classes.len(), 2);
+    assert_eq!(back_slo.classes[0].name, "interactive");
+    assert_eq!(back_slo.classes[0].completed, slo.classes[0].completed);
+    assert!((back_slo.value_shed_loss() - slo.value_shed_loss()).abs() < 1e-12);
 }
 
 /// Deadline-aware shedding: with a zero timeout every dequeued request is

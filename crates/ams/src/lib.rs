@@ -89,7 +89,8 @@ pub mod prelude {
     };
     pub use ams_serve::{
         AdaptiveBatchConfig, AdaptiveReport, AffinityConfig, AmsServer, BackpressurePolicy,
-        LatencySummary, RoutingMode, ServeConfig, ServeReport, ShardAdaptive, SubmitOutcome,
+        ClassReport, LatencySummary, RoutingMode, ServeConfig, ServeReport, ShardAdaptive,
+        SloClass, SloConfig, SloReport, SubmitOutcome,
     };
     pub use ams_sim::{
         batched_makespan, BatchLatencyModel, ExecTrace, Job, MemoryPool, ParallelExecutor,

@@ -2,13 +2,15 @@
 //! deployment shape of the paper's motivating applications — with sharded
 //! admission queues, batched execution, and latency telemetry.
 //!
-//! A burst of album photos is submitted to an [`AmsServer`] three times:
+//! A burst of album photos is submitted to an [`AmsServer`] four times:
 //! once with a lossless blocking configuration, once with a tiny queue and
 //! a shed-oldest policy under a request timeout (graceful degradation
-//! under overload), and once with model-affinity routing plus the adaptive
+//! under overload), once with model-affinity routing plus the adaptive
 //! batch-limit controller — the configuration that coalesces same-model
 //! batches deliberately and retunes `max_batch` against a tail-latency
-//! target.
+//! target — and once with SLO classes (deadline + value weight per
+//! request), where admission control, value-weighted eviction, and EDF
+//! dequeue make the *shedding* deliberate as well.
 //!
 //! Run with: `cargo run --release --example serve_demo`
 
@@ -79,6 +81,29 @@ fn print_report(tag: &str, r: &ServeReport) {
             );
         }
     }
+    if let Some(slo) = &r.slo {
+        println!(
+            "  slo: {:.1} value banked / {:.1} lost ({:.1} of it late), deadline met {:.0}%",
+            slo.value_completed(),
+            slo.value_shed_loss(),
+            slo.value_late(),
+            slo.deadline_met_rate() * 100.0,
+        );
+        for c in &slo.classes {
+            println!(
+                "    class {:<12} ({:>4}ms, weight {}): {} offered, {} met, sheds adm/old/dead = {}/{}/{}, p99 {:.1}ms",
+                c.name,
+                c.deadline_ms,
+                c.weight,
+                c.offered,
+                c.deadline_met,
+                c.shed_admission,
+                c.shed_oldest,
+                c.shed_deadline,
+                c.total.p99_us as f64 / 1000.0,
+            );
+        }
+    }
 }
 
 fn main() {
@@ -140,7 +165,7 @@ fn main() {
     //    the same models coalesce on the same shard, and each shard's
     //    batch limit is retuned online against a 60ms p99 target.
     let server = AmsServer::start(
-        scheduler(agent, album.world_seed),
+        scheduler(agent.clone(), album.world_seed),
         budget,
         ServeConfig {
             shards: 4,
@@ -165,7 +190,47 @@ fn main() {
         &server.shutdown(),
     );
 
-    println!("\nthe same scheduler serves all three: backpressure and deadline shedding");
-    println!("trade recall coverage for bounded queues and fresh frames, while affinity");
-    println!("routing and the adaptive batch controller trade them off deliberately.");
+    // 4) SLO-aware shedding: two request classes — urgent high-value
+    //    "alerts" and lax "archive" backfill — on an overloaded server.
+    //    Admission control refuses provably doomed requests before they
+    //    occupy a slot, overflow evicts the worst value-per-remaining-
+    //    deadline victim, and EDF dequeue serves the clock-racing class
+    //    first. Compare the per-class ledger with scenario 2, which shed
+    //    blind.
+    let server = AmsServer::start(
+        scheduler(agent, album.world_seed),
+        budget,
+        ServeConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            queue_capacity: 8,
+            max_batch: 4,
+            policy: BackpressurePolicy::ShedOldest,
+            exec_emulation_scale: 5e-3,
+            slo: Some(SloConfig::aware(vec![
+                SloClass::new("alert", 40, 4.0),
+                SloClass::new("archive", 400, 1.0),
+            ])),
+            ..ServeConfig::default()
+        },
+    );
+    // Paced at roughly twice what the two workers sustain: a genuine
+    // overload, not an instantaneous flood.
+    for (i, item) in items.iter().enumerate() {
+        if i % 8 == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        server.submit_class(Arc::clone(item), i % 2);
+    }
+    print_report(
+        "slo-aware overload (40ms alerts + 400ms archive, value-weighted shedding)",
+        &server.shutdown(),
+    );
+
+    println!("\nthe same scheduler serves all four: backpressure and deadline shedding");
+    println!("trade recall coverage for bounded queues and fresh frames; affinity");
+    println!("routing and the adaptive batch controller make batching deliberate; and");
+    println!("SLO classes make the *shedding* deliberate too — when something must be");
+    println!("dropped, it is the request whose label was worth the least per unit of");
+    println!("remaining deadline.");
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Perf regression gate: rerun the smoke benchmarks and compare them against
 # the committed smoke baselines under results-smoke/. Fails if throughput,
-# recall, the batching saving, the affinity-routing win, or the adaptive
-# controller's target compliance regresses beyond tolerance (tolerances
-# live in crates/ams-bench/src/gate.rs, with rationale).
+# recall, the batching saving, the affinity-routing win, the SLO-aware
+# shedding win (lower value-weighted shed loss + no-worse deadline-met
+# rate + request conservation in both modes), or the adaptive controller's
+# target compliance regresses beyond tolerance (tolerances live in
+# crates/ams-bench/src/gate.rs, with rationale).
 #
 #   ./scripts/bench_gate.sh               # self-test + rerun + compare
 #   ./scripts/bench_gate.sh --self-test   # only prove the gate can fail

@@ -159,6 +159,64 @@ fn served_pipeline_with_affinity_and_adaptive_matches_serial() {
     );
 }
 
+/// The deployable pipeline under SLO-aware serving: a trained agent behind
+/// admission control, value-weighted shedding, and EDF dequeue still
+/// accounts every request exactly once, and the per-class value ledger
+/// sums to the report's aggregate story.
+#[test]
+fn served_pipeline_with_slo_classes_keeps_the_ledger_exact() {
+    let (truth, agent, world_seed) = pipeline();
+    let budget = Budget::Deadline { ms: 800 };
+    let cfg = ServeConfig {
+        shards: 2,
+        workers_per_shard: 1,
+        queue_capacity: 4,
+        max_batch: 4,
+        policy: BackpressurePolicy::ShedOldest,
+        routing: RoutingMode::Affinity(AffinityConfig::default()),
+        exec_emulation_scale: 1e-2,
+        slo: Some(SloConfig::aware(vec![
+            SloClass::new("interactive", 30, 4.0),
+            SloClass::new("bulk", 5_000, 1.0),
+        ])),
+        ..ServeConfig::default()
+    };
+    let server = AmsServer::start(scheduler_for(agent, world_seed), budget, cfg);
+    for (i, item) in truth.items().iter().enumerate() {
+        server.submit_class(Arc::new(item.clone()), i % 2);
+    }
+    let report = server.shutdown();
+    assert!(report.is_conserved());
+    assert_eq!(report.offered, 36);
+    let slo = report.slo.as_ref().expect("slo ledger present");
+    assert!(slo.is_conserved());
+    assert!(slo.admission_control && slo.value_weighted_shedding && slo.edf_dequeue);
+    assert_eq!(slo.classes.iter().map(|c| c.offered).sum::<u64>(), 36);
+    assert_eq!(
+        slo.classes.iter().map(|c| c.completed).sum::<u64>(),
+        report.completed
+    );
+    for c in &slo.classes {
+        assert!(
+            (c.value_offered - c.value_completed - c.value_shed).abs() < 1e-6,
+            "class {} value ledger",
+            c.name
+        );
+    }
+    assert!(slo.deadline_met_rate() <= 1.0);
+    // The router still accounts every submission under SLO serving.
+    assert_eq!(
+        report.affinity_hits + report.affinity_spills,
+        report.offered
+    );
+    // And the enriched report round-trips for the bench records.
+    let json = serde_json::to_string(&report).expect("serializes");
+    let back: ServeReport = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.shed_admission, report.shed_admission);
+    let back_slo = back.slo.expect("slo survives serde");
+    assert!((back_slo.value_shed_loss() - slo.value_shed_loss()).abs() < 1e-9);
+}
+
 #[test]
 fn served_report_survives_json_round_trip() {
     let (truth, agent, world_seed) = pipeline();
