@@ -13,14 +13,19 @@
 //!   growth, shed requests, and tail-latency blowup rather than as a
 //!   silently slowed producer.
 //!
-//! Three gates run *inside* the bench (the process aborts on violation, so
+//! Four gates run *inside* the bench (the process aborts on violation, so
 //! a green record is a green guarantee):
 //! * serve-mode stats equal the serial engine's, under hash **and**
 //!   affinity routing;
 //! * affinity routing strictly raises the mean coalesced batch depth and
 //!   the virtual-GPU saving over hash routing at 0.8x and 1.6x load;
 //! * the adaptive controller's last window on every shard meets the
-//!   configured p99 target in the closed-loop sweep.
+//!   configured p99 target in the closed-loop sweep;
+//! * **exactly-once ticketing** — every sweep submits through the
+//!   request/response [`Client`] API, and at every measured point the
+//!   tickets issued equal the terminal completion events delivered
+//!   (labeled + shed + cancelled), bucket-for-bucket against the report's
+//!   conservation ledger.
 //!
 //! Run with: `cargo run --release -p ams-bench --bin bench_serve [-- --smoke]`
 
@@ -166,6 +171,13 @@ struct Record {
     /// configuration; the process aborts if they ever diverge, so a green
     /// bench is a green equivalence).
     stats_match_serial: bool,
+    /// Completion tickets issued across every measured run (all
+    /// submissions go through the client API).
+    tickets_issued: u64,
+    /// Exactly-once ticketing held at every measured point: tickets issued
+    /// == terminal events delivered (labeled + shed + cancelled), asserted
+    /// in-process alongside `is_conserved()`.
+    exactly_once_ticketing: bool,
     /// Closed-loop sustainable capacity, items/s.
     closed_loop_capacity_per_s: f64,
     /// 1 − (batched virtual execution / serial virtual execution bill) on
@@ -228,10 +240,76 @@ fn saving_fraction(r: &ServeReport) -> f64 {
     1.0 - r.virtual_exec_ms as f64 / r.stats.total_exec_ms.max(1) as f64
 }
 
+/// One measured run's ticketing ledger: submissions go through a
+/// [`Client`] and every issued ticket must come back as exactly one
+/// terminal completion event.
+struct Ticketed {
+    client: Client,
+    issued: u64,
+    rejected: u64,
+}
+
+impl Ticketed {
+    /// A client sized so the completion window can never block the
+    /// submission loop (the bench drains events after shutdown).
+    fn open(server: &AmsServer, expected: usize) -> Self {
+        Self {
+            client: server.client_with_capacity(expected + 16),
+            issued: 0,
+            rejected: 0,
+        }
+    }
+
+    fn submit(&mut self, item: Arc<ItemTruth>) -> SubmitOutcome<Ticket> {
+        self.submit_class(item, 0)
+    }
+
+    fn submit_class(&mut self, item: Arc<ItemTruth>, class: usize) -> SubmitOutcome<Ticket> {
+        let outcome = self.client.submit_class(item, class);
+        if outcome.is_rejected() {
+            self.rejected += 1;
+        } else {
+            self.issued += 1;
+        }
+        outcome
+    }
+
+    /// The exactly-once gate, run at every measured point: tickets issued
+    /// == terminal events delivered, bucket-for-bucket against the
+    /// report's (already `is_conserved()`-checked) ledger.
+    fn assert_exactly_once(self, report: &ServeReport, ctx: &str) -> u64 {
+        let events = self.client.drain();
+        assert_eq!(
+            events.len() as u64,
+            self.issued,
+            "{ctx}: every ticket must deliver exactly one terminal event"
+        );
+        let mut labeled = 0u64;
+        let mut shed = 0u64;
+        let mut cancelled = 0u64;
+        for ev in &events {
+            match ev {
+                Completion::Labeled(_) => labeled += 1,
+                Completion::Shed { .. } => shed += 1,
+                Completion::Cancelled { .. } => cancelled += 1,
+            }
+        }
+        assert_eq!(labeled, report.completed, "{ctx}: labeled == completed");
+        assert_eq!(
+            shed,
+            report.shed_admission + report.shed_oldest + report.shed_deadline,
+            "{ctx}: shed events match the shed ledger"
+        );
+        assert_eq!(cancelled, report.cancelled, "{ctx}: cancelled events");
+        assert_eq!(self.rejected, report.rejected, "{ctx}: rejections");
+        self.issued
+    }
+}
+
 /// Submit the items in bursts of `burst` at an aggregate rate of
 /// `rate` items/s (the album-upload arrival shape: requests come in
 /// clumps, which is exactly when batch coalescing has something to do).
-fn submit_bursts(server: &AmsServer, items: &[Arc<ItemTruth>], rate: f64, burst: usize) {
+fn submit_bursts(client: &mut Ticketed, items: &[Arc<ItemTruth>], rate: f64, burst: usize) {
     let t0 = Instant::now();
     for (b, chunk) in items.chunks(burst.max(1)).enumerate() {
         let due = t0 + Duration::from_secs_f64((b * burst) as f64 / rate);
@@ -239,7 +317,7 @@ fn submit_bursts(server: &AmsServer, items: &[Arc<ItemTruth>], rate: f64, burst:
             std::thread::sleep(wait);
         }
         for item in chunk {
-            server.submit(Arc::clone(item));
+            client.submit(Arc::clone(item));
         }
     }
 }
@@ -292,6 +370,7 @@ fn main() {
     let mut serial = StreamProcessor::new(fx.scheduler(), budget);
     serial.process_all(fx.truth.items());
     let want = serial.stats().clone();
+    let mut tickets_issued = 0u64;
     for routing in [RoutingMode::Hash, affinity] {
         let server = AmsServer::start(
             fx.scheduler(),
@@ -303,10 +382,12 @@ fn main() {
                 ..base_cfg.clone()
             },
         );
+        let mut client = Ticketed::open(&server, items.len());
         for item in &items {
-            server.submit(Arc::clone(item));
+            client.submit(Arc::clone(item));
         }
         let eq_report = server.shutdown();
+        tickets_issued += client.assert_exactly_once(&eq_report, "equivalence");
         let got = &eq_report.stats;
         let mode = eq_report.routing.as_str();
         assert_eq!(got.items, want.items, "{mode}: serve items diverged");
@@ -331,12 +412,14 @@ fn main() {
             ..base_cfg.clone()
         },
     );
+    let mut client = Ticketed::open(&server, items.len());
     let t0 = Instant::now();
     for item in &items {
-        server.submit(Arc::clone(item));
+        client.submit(Arc::clone(item));
     }
     let report = server.shutdown();
     let elapsed = t0.elapsed();
+    tickets_issued += client.assert_exactly_once(&report, "closed loop");
     let capacity_per_s = report.completed as f64 / elapsed.as_secs_f64();
     let batching_saving = saving_fraction(&report);
     let closed_p99_us = report.total.p99_us;
@@ -363,12 +446,14 @@ fn main() {
         ..base_cfg.clone()
     };
     let server = AmsServer::start(fx.scheduler(), budget, routing_cfg(RoutingMode::Hash));
+    let mut client = Ticketed::open(&server, items.len());
     let t0 = Instant::now();
     for item in &items {
-        server.submit(Arc::clone(item));
+        client.submit(Arc::clone(item));
     }
     let cal = server.shutdown();
     let routing_capacity_per_s = cal.completed as f64 / t0.elapsed().as_secs_f64();
+    tickets_issued += client.assert_exactly_once(&cal, "routing calibration");
     eprintln!(
         "[bench_serve] routing-shape closed-loop capacity: {routing_capacity_per_s:.0} items/s"
     );
@@ -379,14 +464,16 @@ fn main() {
         let mut measured: Vec<(String, f64, f64)> = Vec::new();
         for routing in [RoutingMode::Hash, affinity] {
             let server = AmsServer::start(fx.scheduler(), budget, routing_cfg(routing));
+            let mut client = Ticketed::open(&server, items.len());
             let t0 = Instant::now();
-            submit_bursts(&server, &items, rate, 8);
+            submit_bursts(&mut client, &items, rate, 8);
             let report = server.shutdown();
             // Like every other load point: completions over the full span
             // including the drain, so achieved can never exceed offered on
             // a lossless run.
             let elapsed = t0.elapsed().max(Duration::from_micros(1));
             assert_eq!(report.completed as usize, items.len(), "lossless run");
+            tickets_issued += client.assert_exactly_once(&report, "routing sweep");
             let point = RoutingPoint {
                 mode: report.routing.clone(),
                 load_factor,
@@ -461,12 +548,14 @@ fn main() {
             ..base_cfg.clone()
         },
     );
+    let mut client = Ticketed::open(&server, items.len());
     let t0 = Instant::now();
     for item in &items {
-        server.submit(Arc::clone(item));
+        client.submit(Arc::clone(item));
     }
     let report = server.shutdown();
     let elapsed = t0.elapsed();
+    tickets_issued += client.assert_exactly_once(&report, "adaptive sweep");
     let adaptive_report = report.adaptive.clone().expect("adaptive controller ran");
     let adaptive = AdaptiveSweep {
         target_p99_ms: adaptive_cfg.target_p99_ms,
@@ -531,12 +620,14 @@ fn main() {
         budget,
         slo_cfg(BackpressurePolicy::Block, None),
     );
+    let mut client = Ticketed::open(&server, items.len());
     let t0 = Instant::now();
     for item in &items {
-        server.submit(Arc::clone(item));
+        client.submit(Arc::clone(item));
     }
     let cal = server.shutdown();
     let slo_capacity_per_s = cal.completed as f64 / t0.elapsed().as_secs_f64();
+    tickets_issued += client.assert_exactly_once(&cal, "slo calibration");
     eprintln!("[bench_serve] slo-shape closed-loop capacity: {slo_capacity_per_s:.0} items/s");
 
     // Self-calibrated class deadlines, so the numbers transfer across
@@ -573,6 +664,7 @@ fn main() {
             budget,
             slo_cfg(BackpressurePolicy::ShedOldest, Some(slo)),
         );
+        let mut client = Ticketed::open(&server, items.len() * slo_passes);
         let t0 = Instant::now();
         let mut offered = 0usize;
         for _ in 0..slo_passes {
@@ -582,12 +674,13 @@ fn main() {
                     std::thread::sleep(wait);
                 }
                 for item in chunk {
-                    server.submit_class(Arc::clone(item), offered % 2);
+                    client.submit_class(Arc::clone(item), offered % 2);
                     offered += 1;
                 }
             }
         }
         let report = server.shutdown();
+        tickets_issued += client.assert_exactly_once(&report, "slo sweep");
         let s = report.slo.as_ref().expect("slo ledger present");
         let conserved = report.is_conserved() && s.is_conserved();
         assert!(
@@ -667,16 +760,18 @@ fn main() {
                 ..base_cfg.clone()
             },
         );
+        let mut client = Ticketed::open(&server, items.len());
         let t0 = Instant::now();
         for (i, item) in items.iter().enumerate() {
             let due = t0 + Duration::from_secs_f64(i as f64 / rate);
             if let Some(wait) = due.checked_duration_since(Instant::now()) {
                 std::thread::sleep(wait);
             }
-            server.submit(Arc::clone(item));
+            client.submit(Arc::clone(item));
         }
         let report = server.shutdown();
         let elapsed = t0.elapsed();
+        tickets_issued += client.assert_exactly_once(&report, "open loop");
         eprintln!(
             "[bench_serve] open loop {load_factor}x: offered {rate:.0}/s, achieved {:.0}/s, shed {:.1}%, total p99 {:.1}ms",
             report.completed as f64 / elapsed.as_secs_f64(),
@@ -703,6 +798,8 @@ fn main() {
         queue_capacity,
         exec_emulation_scale: emu_scale,
         stats_match_serial: true,
+        tickets_issued,
+        exactly_once_ticketing: true,
         closed_loop_capacity_per_s: capacity_per_s,
         batching_saving_fraction: batching_saving,
         affinity_top_k,

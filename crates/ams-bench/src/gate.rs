@@ -165,6 +165,15 @@ pub fn gate_serve(baseline: &Value, candidate: &Value) -> GateOutcome {
         "adaptive.all_within_target",
         boolean(candidate, "adaptive/all_within_target"),
     );
+    // Exactly-once ticketing: the candidate record was produced through
+    // the request/response client API with tickets == delivered events
+    // asserted at every sweep point; the flag records that those asserts
+    // ran (the bench aborts before writing a record if any failed).
+    check_flag(
+        &mut out,
+        "exactly_once_ticketing",
+        boolean(candidate, "exactly_once_ticketing"),
+    );
     match (
         num(baseline, "closed_loop_capacity_per_s"),
         num(candidate, "closed_loop_capacity_per_s"),
@@ -477,6 +486,12 @@ pub fn self_test(serve_baseline: &Value, hotpath_baseline: &Value) -> Result<Vec
         &|v| inject_at(v, "slo_sweep/aware/conserved", Value::Bool(false)),
     )?;
     inject(
+        "exactly-once ticketing lost",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| inject_at(v, "exactly_once_ticketing", Value::Bool(false)),
+    )?;
+    inject(
         "learn speedup collapse (x0.3)",
         GateKind::Hotpath,
         hotpath_baseline,
@@ -500,6 +515,7 @@ mod tests {
         serde_json::parse_value(
             r#"{
                 "stats_match_serial": true,
+                "exactly_once_ticketing": true,
                 "closed_loop_capacity_per_s": 1800.0,
                 "batching_saving_fraction": 0.8,
                 "adaptive": { "all_within_target": true },
@@ -590,7 +606,7 @@ mod tests {
     #[test]
     fn self_test_exercises_every_injection() {
         let injected = self_test(&serve_record(), &hotpath_record()).expect("self test passes");
-        assert_eq!(injected.len(), 10, "{injected:?}");
+        assert_eq!(injected.len(), 11, "{injected:?}");
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! Per-request completion delivery: tickets, terminal events, and the
+//! bounded per-client completion queue.
+//!
+//! The serving front-end used to be fire-and-forget: `submit` returned a
+//! bare admission outcome and the labels themselves were only visible as
+//! merged statistics at `shutdown()`. This module is the request/response
+//! half of the redesigned client API:
+//!
+//! * every accepted submission issues a [`Ticket`] — a cancellable handle
+//!   tied to **exactly one** terminal [`Completion`] event;
+//! * the terminal event is either [`Completion::Labeled`] (the request's
+//!   own labels, chosen models, value banked, and queue-wait/execute
+//!   breakdown), [`Completion::Shed`] (which loss path took it, delivered
+//!   at eviction time instead of silently ledgered), or
+//!   [`Completion::Cancelled`];
+//! * events are delivered through a bounded per-client
+//!   [`CompletionQueue`] (a vendored `std`-style mpsc — mutex + condvars,
+//!   no dependencies) with blocking, `try_`, and drain receive variants.
+//!
+//! ## Exactly-once resolution
+//!
+//! A ticket's [`CompletionSlot`] is a tiny atomic state machine:
+//!
+//! ```text
+//!             try_claim (worker, before labeling)
+//!   PENDING ────────────────────────────────────► CLAIMED
+//!      │                                             │
+//!      │ try_shed / cancel / retract                 │ finish_labeled
+//!      ▼                                             ▼
+//!   RESOLVED ◄───────────────────────────────────────┘
+//! ```
+//!
+//! Cancellation races with dequeue, batch assembly, overflow eviction, and
+//! deadline shedding; whoever wins the single `PENDING → RESOLVED` (or
+//! `PENDING → CLAIMED`) compare-and-swap owns the terminal event, and every
+//! loser backs off without delivering or ledgering anything. A claimed
+//! request can no longer be cancelled — its labels are already being
+//! computed and will be delivered.
+//!
+//! ## Bounded delivery without deadlock
+//!
+//! The queue's bound is enforced on the *ticket window*, not on event
+//! pushes: `submit` blocks while `capacity` tickets are outstanding
+//! (issued but their events not yet consumed), and since every ticket
+//! produces exactly one event the queued-event depth can never exceed the
+//! capacity. Workers and cancellers therefore never block on delivery —
+//! a canceller running on the client's own thread cannot deadlock against
+//! the client's own full queue.
+
+use ams_models::{LabelId, ModelId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Which loss path took a shed request — the reason delivered to the
+/// client in its [`Completion::Shed`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Refused at admission, before occupying a queue slot: the shard's
+    /// predicted wait already exceeded the request's deadline.
+    Admission,
+    /// Evicted from a full queue by the shed-oldest overflow policy (or
+    /// the submission itself was the overflow victim).
+    Overflow,
+    /// Dequeued with its deadline budget already exhausted.
+    Deadline,
+    /// Discarded while still queued because the server was dropped
+    /// (aborted) before a worker reached it. A graceful
+    /// [`shutdown`](crate::AmsServer::shutdown) never sheds this way — it
+    /// drains the backlog.
+    Drain,
+}
+
+impl ShedReason {
+    /// Stable lowercase name for logs and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedReason::Admission => "admission",
+            ShedReason::Overflow => "overflow",
+            ShedReason::Deadline => "deadline",
+            ShedReason::Drain => "drain",
+        }
+    }
+}
+
+/// The per-request labeling result delivered to the submitting client —
+/// what `shutdown()`'s merged statistics used to fold away.
+#[derive(Debug, Clone)]
+pub struct LabelResult {
+    /// The ticket this result resolves.
+    pub ticket: u64,
+    /// SLO class index the request ran under (0 without SLO classes).
+    pub class: usize,
+    /// Labels extracted for this item (with confidences), sorted by id.
+    pub labels: Vec<(LabelId, f32)>,
+    /// The models the scheduler chose and executed, in completion order.
+    pub executed: Vec<ModelId>,
+    /// Value of the extracted labels, `f(S, d)` — the paper's objective.
+    pub label_value: f64,
+    /// The value the SLO ledger banked for this request: the predicted
+    /// (class-weighted) value the shedding economics priced it at.
+    pub banked_value: f64,
+    /// Recall of the full-execution value.
+    pub recall: f64,
+    /// Wall-clock time the request waited in its shard queue, µs.
+    pub queue_wait_us: u64,
+    /// Wall-clock time the request spent in its worker (label + batched
+    /// execution wait), µs.
+    pub execute_us: u64,
+    /// Whether wait + execute met the request's deadline (`true` when the
+    /// request carried no deadline).
+    pub deadline_met: bool,
+}
+
+/// The single terminal event of one ticket.
+#[derive(Debug, Clone)]
+pub enum Completion {
+    /// The request was labeled; here is its result.
+    Labeled(LabelResult),
+    /// The request was shed on the given loss path.
+    Shed {
+        /// The ticket this event resolves.
+        ticket: u64,
+        /// SLO class index of the shed request.
+        class: usize,
+        /// Which loss path took it.
+        reason: ShedReason,
+    },
+    /// The request was cancelled by its ticket before any worker claimed
+    /// it.
+    Cancelled {
+        /// The ticket this event resolves.
+        ticket: u64,
+        /// SLO class index of the cancelled request.
+        class: usize,
+    },
+}
+
+impl Completion {
+    /// The ticket id this event resolves.
+    pub fn ticket(&self) -> u64 {
+        match self {
+            Completion::Labeled(r) => r.ticket,
+            Completion::Shed { ticket, .. } | Completion::Cancelled { ticket, .. } => *ticket,
+        }
+    }
+
+    /// The labeling result, when the request completed.
+    pub fn labeled(&self) -> Option<&LabelResult> {
+        match self {
+            Completion::Labeled(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this event is a cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, Completion::Cancelled { .. })
+    }
+}
+
+/// Server-side cancellation ledger: how many tickets were cancelled, by
+/// class, with the predicted value they carried. Shared between the live
+/// tickets (which record into it) and the server (which folds it into the
+/// final report), so a cancellation arriving from any thread lands in the
+/// same conservation equation as every other loss path.
+///
+/// The winning `PENDING → RESOLVED` compare-and-swap of a cancellation
+/// runs **while holding this ledger's lock** ([`CompletionSlot::try_cancel`]):
+/// any observer that can see the resolved tombstone (a worker skipping it,
+/// a queue purge) is therefore ordered after the ledger entry, and a
+/// reader taking this lock — `shutdown` folding the report after the
+/// workers joined — can never see a cancellation the counters are missing.
+#[derive(Debug, Default)]
+pub(crate) struct CancelLedger {
+    state: Mutex<CancelState>,
+}
+
+#[derive(Debug, Default)]
+struct CancelState {
+    total: u64,
+    by_class: Vec<ClassCancel>,
+}
+
+/// One class's cancellation tally.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ClassCancel {
+    pub(crate) count: u64,
+    pub(crate) value: f64,
+}
+
+impl CancelLedger {
+    pub(crate) fn total(&self) -> u64 {
+        self.state.lock().expect("cancel ledger").total
+    }
+
+    pub(crate) fn by_class(&self) -> Vec<ClassCancel> {
+        self.state.lock().expect("cancel ledger").by_class.clone()
+    }
+}
+
+const PENDING: u8 = 0;
+const CLAIMED: u8 = 1;
+const RESOLVED: u8 = 2;
+
+/// The shared state behind one ticket: the atomic resolution state machine
+/// plus everything needed to build and deliver the terminal event. Queued
+/// requests carry an `Arc` of this slot, so overflow eviction, deadline
+/// shedding, drain-abort, and the labeling path can all notify their
+/// victim's client directly.
+#[derive(Debug)]
+pub struct CompletionSlot {
+    id: u64,
+    class: usize,
+    value: f64,
+    state: AtomicU8,
+    queue: Arc<CompletionQueue>,
+    ledger: Arc<CancelLedger>,
+}
+
+impl CompletionSlot {
+    pub(crate) fn new(
+        id: u64,
+        class: usize,
+        value: f64,
+        queue: Arc<CompletionQueue>,
+        ledger: Arc<CancelLedger>,
+    ) -> Self {
+        Self {
+            id,
+            class,
+            value,
+            state: AtomicU8::new(PENDING),
+            queue,
+            ledger,
+        }
+    }
+
+    /// The ticket id.
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the slot has reached its terminal state (event delivered or
+    /// retracted). A resolved slot still sitting in a shard queue is a
+    /// cancellation tombstone: workers and eviction skip it silently.
+    pub(crate) fn is_resolved(&self) -> bool {
+        self.state.load(Ordering::Acquire) == RESOLVED
+    }
+
+    /// Worker-side claim before labeling: `PENDING → CLAIMED`. Returns
+    /// `false` when the request was already cancelled (or shed) — the
+    /// caller must skip it without ledgering anything.
+    pub(crate) fn try_claim(&self) -> bool {
+        self.state
+            .compare_exchange(PENDING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Deliver the labeling result for a previously claimed slot.
+    pub(crate) fn finish_labeled(&self, result: LabelResult) {
+        debug_assert_eq!(self.state.load(Ordering::Acquire), CLAIMED);
+        self.state.store(RESOLVED, Ordering::Release);
+        self.queue.deliver(Completion::Labeled(result));
+    }
+
+    /// Try to resolve the slot as shed: `PENDING → RESOLVED`, delivering
+    /// the [`Completion::Shed`] event on success. Returns `false` when a
+    /// cancellation (or another shed path) already won — the caller must
+    /// not ledger the shed.
+    pub(crate) fn try_shed(&self, reason: ShedReason) -> bool {
+        if self
+            .state
+            .compare_exchange(PENDING, RESOLVED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        self.queue.deliver(Completion::Shed {
+            ticket: self.id,
+            class: self.class,
+            reason,
+        });
+        true
+    }
+
+    /// Client-side cancellation: `PENDING → RESOLVED`, recording the
+    /// cancellation in the server ledger and delivering
+    /// [`Completion::Cancelled`] on success.
+    ///
+    /// The CAS runs under the ledger lock so the win and its ledger entry
+    /// are one atomic step to every ledger reader: without this, a worker
+    /// could observe the tombstone (and count nothing), the server could
+    /// join its workers and fold the report, and only then would the
+    /// preempted canceller write its ledger entry — a transient
+    /// conservation violation in the report.
+    pub(crate) fn try_cancel(&self) -> bool {
+        let mut ledger = self.ledger.state.lock().expect("cancel ledger");
+        if self
+            .state
+            .compare_exchange(PENDING, RESOLVED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        ledger.total += 1;
+        if ledger.by_class.len() <= self.class {
+            ledger
+                .by_class
+                .resize(self.class + 1, ClassCancel::default());
+        }
+        ledger.by_class[self.class].count += 1;
+        ledger.by_class[self.class].value += self.value;
+        drop(ledger);
+        self.queue.deliver(Completion::Cancelled {
+            ticket: self.id,
+            class: self.class,
+        });
+        true
+    }
+
+    /// Retract a ticket whose submission was refused synchronously (queue
+    /// closed, or full under the reject policy): resolve without an event
+    /// and release the window slot. The caller saw `Rejected` and knows no
+    /// event is coming.
+    pub(crate) fn retract(&self) {
+        self.state.store(RESOLVED, Ordering::Release);
+        self.queue.retract();
+    }
+}
+
+/// A cancellable handle to one submitted request, tied to exactly one
+/// terminal [`Completion`] event on the issuing client's queue.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    slot: Arc<CompletionSlot>,
+}
+
+impl Ticket {
+    pub(crate) fn new(slot: Arc<CompletionSlot>) -> Self {
+        Self { slot }
+    }
+
+    pub(crate) fn slot(&self) -> &Arc<CompletionSlot> {
+        &self.slot
+    }
+
+    /// The ticket id — the key every [`Completion`] event carries.
+    pub fn id(&self) -> u64 {
+        self.slot.id
+    }
+
+    /// The SLO class the request was submitted under.
+    pub fn class(&self) -> usize {
+        self.slot.class
+    }
+
+    /// Cancel the request. Returns `true` when this call won the race and
+    /// the terminal event will be [`Completion::Cancelled`]; `false` when
+    /// the request already resolved (labeled, shed, or cancelled earlier)
+    /// or a worker has claimed it for execution — its original terminal
+    /// event stands. Either way exactly one event per ticket is delivered.
+    pub fn cancel(&self) -> bool {
+        self.slot.try_cancel()
+    }
+
+    /// Whether the ticket has reached its terminal state (its event is
+    /// delivered or in the client queue). A claimed, still-executing
+    /// request reads `false`.
+    pub fn is_resolved(&self) -> bool {
+        self.slot.is_resolved()
+    }
+}
+
+#[derive(Debug, Default)]
+struct CqState {
+    events: VecDeque<Completion>,
+    /// Tickets issued whose events the client has not yet consumed:
+    /// pending/claimed requests plus queued events. The submit-side window
+    /// bound — queued events can never exceed it.
+    outstanding: usize,
+}
+
+/// The bounded per-client completion queue: an mpsc channel in the vendored
+/// style of this repo (mutex + condvars, no dependencies). Producers are
+/// the shard workers, overflow eviction, admission control, and
+/// cancellation; the consumer is the client. See the module docs for why
+/// pushes never block while the ticket window does.
+#[derive(Debug)]
+pub struct CompletionQueue {
+    state: Mutex<CqState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl CompletionQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(CqState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured window capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Claim one window slot for a new ticket, blocking while `capacity`
+    /// tickets are already outstanding.
+    pub(crate) fn issue(&self) {
+        let mut st = self.state.lock().expect("completion queue");
+        while st.outstanding >= self.capacity {
+            st = self.not_full.wait(st).expect("completion queue");
+        }
+        st.outstanding += 1;
+    }
+
+    /// Release a window slot without an event (refused submission).
+    fn retract(&self) {
+        let mut st = self.state.lock().expect("completion queue");
+        st.outstanding = st.outstanding.saturating_sub(1);
+        drop(st);
+        self.not_full.notify_one();
+    }
+
+    /// Enqueue one terminal event. Never blocks: the window bound
+    /// guarantees `events.len() < capacity` here.
+    fn deliver(&self, event: Completion) {
+        let mut st = self.state.lock().expect("completion queue");
+        debug_assert!(st.events.len() < self.capacity, "window bound violated");
+        st.events.push_back(event);
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    /// Tickets issued whose events have not been consumed yet.
+    pub(crate) fn outstanding(&self) -> usize {
+        self.state.lock().expect("completion queue").outstanding
+    }
+
+    /// Blocking receive: the next terminal event, or `None` when no ticket
+    /// is outstanding (nothing will ever arrive — returning instead of
+    /// deadlocking).
+    pub(crate) fn recv(&self) -> Option<Completion> {
+        let mut st = self.state.lock().expect("completion queue");
+        while st.events.is_empty() {
+            if st.outstanding == 0 {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("completion queue");
+        }
+        let ev = st.events.pop_front();
+        st.outstanding = st.outstanding.saturating_sub(1);
+        drop(st);
+        self.not_full.notify_one();
+        ev
+    }
+
+    /// Non-blocking receive: the next event if one is already queued.
+    pub(crate) fn try_recv(&self) -> Option<Completion> {
+        let mut st = self.state.lock().expect("completion queue");
+        let ev = st.events.pop_front()?;
+        st.outstanding = st.outstanding.saturating_sub(1);
+        drop(st);
+        self.not_full.notify_one();
+        Some(ev)
+    }
+
+    /// Drain every currently queued event without blocking.
+    pub(crate) fn drain(&self) -> Vec<Completion> {
+        let mut st = self.state.lock().expect("completion queue");
+        let events: Vec<Completion> = st.events.drain(..).collect();
+        st.outstanding = st.outstanding.saturating_sub(events.len());
+        drop(st);
+        self.not_full.notify_all();
+        events
+    }
+}

@@ -4,8 +4,14 @@
 //! indexing, surveillance) are continuous services, not batch jobs. This
 //! crate turns the labeling engine into one:
 //!
+//! * [`completion`] — the request/response half of the client API:
+//!   cancellable [`Ticket`]s, terminal [`Completion`] events (per-request
+//!   labels / shed reason / cancelled), and the bounded per-client
+//!   completion queue they arrive on.
 //! * [`queue`] — bounded per-shard admission queues with selectable
-//!   backpressure (block / reject / shed-oldest).
+//!   backpressure (block / reject / shed-oldest) and per-class admission
+//!   reservations; queued entries carry their ticket's completion slot so
+//!   eviction notifies its victims.
 //! * [`router`] — request routing: scene-id hash, or *model-affinity*
 //!   routing that steers requests with matching predicted model sets onto
 //!   the same shard (bigger same-model batches) with a least-loaded spill
@@ -34,15 +40,17 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod completion;
 pub mod queue;
 pub mod router;
 pub mod server;
 pub mod telemetry;
 
+pub use completion::{Completion, LabelResult, ShedReason, Ticket};
 pub use queue::{BackpressurePolicy, ClassShed, Request, ShardQueue, SubmitOutcome};
 pub use router::{fib_shard, AffinityConfig, Route, Router, RoutingMode};
 pub use server::{
-    AdaptiveBatchConfig, AdaptiveReport, AmsServer, ClassReport, ServeConfig, ServeReport,
+    AdaptiveBatchConfig, AdaptiveReport, AmsServer, ClassReport, Client, ServeConfig, ServeReport,
     ShardAdaptive, SloClass, SloConfig, SloReport,
 };
 pub use telemetry::{LatencyHistogram, LatencySummary};

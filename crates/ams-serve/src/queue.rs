@@ -6,7 +6,22 @@
 //! The queue is the *only* synchronization point between producers and a
 //! shard's workers, and it is held only for O(1) push/pop bookkeeping —
 //! never across labeling work.
+//!
+//! Queued requests carry their ticket's [`CompletionSlot`], so every
+//! in-queue loss path — overflow eviction, the incoming-doomed shed, and
+//! drain-abort — notifies its victim's client directly instead of only
+//! ledgering the loss. A request cancelled while queued becomes a
+//! *tombstone* (its slot already resolved); tombstones are purged for free
+//! when the queue needs a slot and skipped by the workers otherwise.
+//!
+//! With per-class **admission reservations** configured
+//! ([`ShardQueue::with_reservations`]), each SLO class is guaranteed its
+//! reserved share of the queue's slots: a burst of one class cannot occupy
+//! the slots another class has in reserve, and overflow eviction never
+//! picks a victim from a class that is at or under its reservation (other
+//! than the incoming request's own class).
 
+use crate::completion::{CompletionSlot, ShedReason};
 use ams_data::ItemTruth;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,30 +55,90 @@ impl BackpressurePolicy {
     }
 }
 
-/// Outcome of one submission.
+/// Outcome of one submission, carrying the issued [`Ticket`](crate::Ticket)
+/// when submitted through a [`Client`](crate::Client) (`T = Ticket`), or
+/// nothing on the fire-and-forget server path (`T = ()`).
+///
+/// Every variant except [`SubmitOutcome::Rejected`] issued a ticket whose
+/// terminal [`Completion`](crate::Completion) event will arrive on the
+/// client's queue — for the shed variants it is already there. `Rejected`
+/// carries no ticket and produces no event: the refusal itself is the
+/// synchronous answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SubmitOutcome {
+pub enum SubmitOutcome<T = ()> {
     /// Queued; a worker will label it (or deadline-shed it at dequeue).
-    Enqueued,
+    Enqueued(T),
     /// Queued, at the cost of shedding a queued request
     /// ([`BackpressurePolicy::ShedOldest`] on a full queue: the head under
     /// blind shedding, the worst value-per-remaining-deadline victim
-    /// under value-weighted shedding).
-    EnqueuedShedOldest,
+    /// under value-weighted shedding). The victim's own ticket receives
+    /// the `Shed(Overflow)` event.
+    EnqueuedShedOldest(T),
     /// Not queued: the queue was full and, under value-weighted shedding,
     /// the submission itself was already *doomed* (expired, or budget
     /// below the queue's drain wait) and scored strictly worst — evicting
     /// viable queued work to admit a request that would only be
     /// deadline-shed at dequeue loses a completion for nothing. Accounted
-    /// in the overflow-shed ledger, exactly like an evicted request.
-    ShedIncoming,
-    /// Refused: the queue was full ([`BackpressurePolicy::Reject`]) or the
-    /// server is shutting down.
-    Rejected,
+    /// in the overflow-shed ledger, exactly like an evicted request; the
+    /// ticket resolves to `Shed(Overflow)` immediately.
+    ShedIncoming(T),
     /// Shed at admission, before occupying a queue slot: the shard's
     /// predicted queue wait already exceeded the request's deadline, so
-    /// queueing it could only convert capacity into a deadline shed.
-    ShedAdmission,
+    /// queueing it could only convert capacity into a deadline shed. The
+    /// ticket resolves to `Shed(Admission)` immediately.
+    ShedAdmission(T),
+    /// Refused: the queue was full ([`BackpressurePolicy::Reject`]), the
+    /// class's admission reservation was exhausted under `Reject`, or the
+    /// server is shutting down. No ticket, no event.
+    Rejected,
+}
+
+impl<T> SubmitOutcome<T> {
+    /// Whether the submission took a queue slot (a worker will reach it).
+    pub fn is_accepted(&self) -> bool {
+        matches!(
+            self,
+            SubmitOutcome::Enqueued(_) | SubmitOutcome::EnqueuedShedOldest(_)
+        )
+    }
+
+    /// Whether the submission was refused synchronously (no ticket).
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, SubmitOutcome::Rejected)
+    }
+
+    /// The issued ticket (for every variant except `Rejected`).
+    pub fn ticket(self) -> Option<T> {
+        match self {
+            SubmitOutcome::Enqueued(t)
+            | SubmitOutcome::EnqueuedShedOldest(t)
+            | SubmitOutcome::ShedIncoming(t)
+            | SubmitOutcome::ShedAdmission(t) => Some(t),
+            SubmitOutcome::Rejected => None,
+        }
+    }
+
+    /// The issued ticket, by reference.
+    pub fn as_ticket(&self) -> Option<&T> {
+        match self {
+            SubmitOutcome::Enqueued(t)
+            | SubmitOutcome::EnqueuedShedOldest(t)
+            | SubmitOutcome::ShedIncoming(t)
+            | SubmitOutcome::ShedAdmission(t) => Some(t),
+            SubmitOutcome::Rejected => None,
+        }
+    }
+
+    /// Map the carried ticket, keeping the outcome shape.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> SubmitOutcome<U> {
+        match self {
+            SubmitOutcome::Enqueued(t) => SubmitOutcome::Enqueued(f(t)),
+            SubmitOutcome::EnqueuedShedOldest(t) => SubmitOutcome::EnqueuedShedOldest(f(t)),
+            SubmitOutcome::ShedIncoming(t) => SubmitOutcome::ShedIncoming(f(t)),
+            SubmitOutcome::ShedAdmission(t) => SubmitOutcome::ShedAdmission(f(t)),
+            SubmitOutcome::Rejected => SubmitOutcome::Rejected,
+        }
+    }
 }
 
 /// One labeling request as it sits in a shard queue.
@@ -87,6 +162,9 @@ pub struct Request {
     pub deadline_us: Option<u64>,
     /// When the request entered the queue (queue-wait clock starts here).
     pub enqueued_at: Instant,
+    /// The submitting client's completion slot (`None` on the
+    /// fire-and-forget server path).
+    completion: Option<Arc<CompletionSlot>>,
 }
 
 impl Request {
@@ -99,6 +177,7 @@ impl Request {
             value: 1.0,
             deadline_us: None,
             enqueued_at: Instant::now(),
+            completion: None,
         }
     }
 
@@ -108,6 +187,25 @@ impl Request {
         self.value = value;
         self.deadline_us = deadline_us;
         self
+    }
+
+    /// Attach the submitting client's completion slot: every loss path and
+    /// the labeling path will resolve it with the request's terminal event.
+    pub(crate) fn with_completion(mut self, slot: Arc<CompletionSlot>) -> Self {
+        self.completion = Some(slot);
+        self
+    }
+
+    /// The attached completion slot, if the request was submitted through
+    /// a client.
+    pub(crate) fn completion(&self) -> Option<&Arc<CompletionSlot>> {
+        self.completion.as_ref()
+    }
+
+    /// Whether the request was cancelled (or otherwise resolved) while
+    /// still queued — a dead entry the queue can drop for free.
+    fn is_tombstone(&self) -> bool {
+        self.completion.as_ref().is_some_and(|s| s.is_resolved())
     }
 
     /// Remaining deadline budget at `now`, µs (`None` = unbounded;
@@ -152,6 +250,9 @@ struct QueueState {
     shed_oldest: u64,
     /// The evictions broken down by SLO class (index = class).
     shed_classes: Vec<ClassShed>,
+    /// Queued requests per SLO class (index = class) — the admission
+    /// reservations' accounting.
+    class_counts: Vec<usize>,
 }
 
 impl QueueState {
@@ -164,6 +265,62 @@ impl QueueState {
         self.shed_classes[req.class].count += 1;
         self.shed_classes[req.class].value += req.value;
     }
+
+    fn class_count(&self, class: usize) -> usize {
+        self.class_counts.get(class).copied().unwrap_or(0)
+    }
+
+    fn inc_class(&mut self, class: usize) {
+        if self.class_counts.len() <= class {
+            self.class_counts.resize(class + 1, 0);
+        }
+        self.class_counts[class] += 1;
+    }
+
+    fn dec_class(&mut self, class: usize) {
+        if let Some(n) = self.class_counts.get_mut(class) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Drop every cancellation tombstone, returning how many slots were
+    /// freed. Their terminal events were already delivered at cancel time,
+    /// so nothing is ledgered.
+    fn purge_tombstones(&mut self) -> usize {
+        let before = self.pending.len();
+        let mut kept = VecDeque::with_capacity(before);
+        for req in self.pending.drain(..) {
+            if req.is_tombstone() {
+                continue;
+            }
+            kept.push_back(req);
+        }
+        let freed = before - kept.len();
+        if freed > 0 {
+            self.class_counts.clear();
+            for req in &kept {
+                let class = req.class;
+                if self.class_counts.len() <= class {
+                    self.class_counts.resize(class + 1, 0);
+                }
+                self.class_counts[class] += 1;
+            }
+        }
+        self.pending = kept;
+        freed
+    }
+}
+
+/// What one eviction attempt decided (see [`ShardQueue::push`]).
+enum Eviction {
+    /// A queued victim was shed; the incoming request may take its slot.
+    Evicted,
+    /// The incoming request itself was the shed.
+    ShedIncoming,
+    /// The chosen victim turned out to be a cancellation tombstone (its
+    /// slot resolved between selection and shedding); it was dropped for
+    /// free — retry admission.
+    Retry,
 }
 
 /// A bounded MPMC queue for one shard.
@@ -180,6 +337,11 @@ pub struct ShardQueue {
     /// Dequeue picks the earliest-deadline head (EDF) instead of the
     /// oldest, so urgent work leads batch assembly.
     edf: bool,
+    /// Per-class reserved queue slots (index = class; empty = no
+    /// reservations). A class is always admitted while it holds fewer
+    /// slots than its reservation, and the shared pool excludes the slots
+    /// other classes still have in reserve.
+    reservations: Vec<usize>,
     /// Per-request drain time of this queue, µs (amortized service time ÷
     /// workers), published by the shard's workers
     /// ([`ShardQueue::set_service_hint_us`]; 0 = unknown). Value-weighted
@@ -214,15 +376,33 @@ impl ShardQueue {
             policy,
             value_weighted,
             edf,
+            reservations: Vec::new(),
             service_hint_us: AtomicU64::new(0),
         }
+    }
+
+    /// Attach per-class admission reservations: `reservations[class]`
+    /// queue slots are guaranteed to the class (clamped so the sum never
+    /// exceeds the capacity — earlier classes keep their full reserve).
+    /// A burst of another class can fill the *shared* slots but never the
+    /// reserved ones, so no class is starved of admission.
+    pub fn with_reservations(mut self, mut reservations: Vec<usize>) -> Self {
+        let mut budget = self.capacity;
+        for r in &mut reservations {
+            *r = (*r).min(budget);
+            budget -= *r;
+        }
+        self.reservations = reservations;
+        self
     }
 
     /// Publish the queue's observed per-request *drain* time (µs): the
     /// workers' amortized service time divided by how many workers share
     /// this queue. Purely advisory: it sharpens the value-weighted
-    /// eviction's notion of a doomed request, and 0 (never published)
-    /// degrades gracefully to pure value-per-remaining-deadline.
+    /// eviction's notion of a doomed request, feeds the router's
+    /// estimated-wait spill pricing, and 0 (never published) degrades
+    /// gracefully to pure value-per-remaining-deadline / load-only
+    /// behavior.
     pub fn set_service_hint_us(&self, us: u64) {
         self.service_hint_us.store(us, Ordering::Relaxed);
     }
@@ -242,6 +422,29 @@ impl ShardQueue {
         self.len() == 0
     }
 
+    /// Requests currently queued that still want service — cancellation
+    /// tombstones excluded (they will be dropped, not served, so they
+    /// represent no drain work).
+    pub fn live_len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("shard queue")
+            .pending
+            .iter()
+            .filter(|r| !r.is_tombstone())
+            .count()
+    }
+
+    /// The queue's estimated drain wait, µs: *live* depth × the published
+    /// per-request drain time (0 while the workers have published no
+    /// evidence). The deadline-aware spill router prices shards with this
+    /// instead of raw depth; pricing with the physical length would spill
+    /// deadline traffic away from a shard whose queue is full of
+    /// already-cancelled tombstones.
+    pub fn estimated_wait_us(&self) -> u64 {
+        (self.live_len() as u64).saturating_mul(self.service_hint_us.load(Ordering::Relaxed))
+    }
+
     /// Requests evicted on overflow so far (ShedOldest policy).
     pub fn shed_oldest_count(&self) -> u64 {
         self.state.lock().expect("shard queue").shed_oldest
@@ -254,22 +457,69 @@ impl ShardQueue {
     }
 
     /// One consistent admission snapshot — `(depth, ahead)` — under a
-    /// single lock acquisition: the total queued requests, and the subset
-    /// whose absolute deadline falls before `deadline_at` (the work an
-    /// EDF dequeue would serve *ahead of* a request with that deadline;
-    /// deadline-less requests sort last under EDF and are never counted).
-    /// Admission control prices an EDF queue with `ahead` instead of the
-    /// raw depth — an urgent request doesn't wait behind lax work it will
-    /// overtake — and checks fullness against `depth` from the *same*
-    /// snapshot, so the decision is internally consistent.
+    /// single lock acquisition: the queued requests that still want
+    /// service, and the subset whose absolute deadline falls before
+    /// `deadline_at` (the work an EDF dequeue would serve *ahead of* a
+    /// request with that deadline; deadline-less requests sort last under
+    /// EDF and are never counted). Cancellation tombstones count toward
+    /// neither number — they will be dropped, not served, so they are no
+    /// drain work and no real occupancy (a push purges them before
+    /// applying backpressure): pricing them would shed fresh requests
+    /// against dead backlog. Admission control prices an EDF queue with
+    /// `ahead` instead of the depth — an urgent request doesn't wait
+    /// behind lax work it will overtake — and checks fullness against
+    /// `depth` from the *same* snapshot, so the decision is internally
+    /// consistent.
     pub fn queued_ahead(&self, deadline_at: Instant) -> (usize, usize) {
         let st = self.state.lock().expect("shard queue");
-        let ahead = st
-            .pending
+        let mut depth = 0usize;
+        let mut ahead = 0usize;
+        for r in &st.pending {
+            if r.is_tombstone() {
+                continue;
+            }
+            depth += 1;
+            if r.deadline_at().is_some_and(|d| d < deadline_at) {
+                ahead += 1;
+            }
+        }
+        (depth, ahead)
+    }
+
+    /// Whether `class` may take a slot right now: the queue has room and
+    /// the class either sits under its own reservation or the shared pool
+    /// (capacity minus the slots other classes still hold in reserve) has
+    /// space.
+    fn admittable(&self, st: &QueueState, class: usize) -> bool {
+        if st.pending.len() >= self.capacity {
+            return false;
+        }
+        if self.reservations.is_empty() {
+            return true;
+        }
+        if st.class_count(class) < self.reservations.get(class).copied().unwrap_or(0) {
+            return true;
+        }
+        let held: usize = self
+            .reservations
             .iter()
-            .filter(|r| r.deadline_at().is_some_and(|d| d < deadline_at))
-            .count();
-        (st.pending.len(), ahead)
+            .enumerate()
+            .filter(|&(k, _)| k != class)
+            .map(|(k, &r)| r.saturating_sub(st.class_count(k)))
+            .sum();
+        st.pending.len() + held < self.capacity
+    }
+
+    /// Whether a queued request of `victim_class` may be evicted to admit
+    /// a request of `incoming_class`: its class must be strictly over its
+    /// reservation (eviction never dips a class below its guaranteed
+    /// share), except that the incoming class may always cannibalize its
+    /// own queue.
+    fn evictable(&self, st: &QueueState, victim_class: usize, incoming_class: usize) -> bool {
+        if self.reservations.is_empty() || victim_class == incoming_class {
+            return true;
+        }
+        st.class_count(victim_class) > self.reservations.get(victim_class).copied().unwrap_or(0)
     }
 
     /// Eviction sort key for one request, smallest shed first:
@@ -294,26 +544,83 @@ impl ShardQueue {
         }
     }
 
-    /// The queued request with the smallest [`victim_key`] — the overflow
-    /// victim under value-weighted shedding — plus its key and the doom
-    /// horizon used (half the queue depth × the published per-request
-    /// drain time), so the caller can score the incoming request against
-    /// the same yardstick without re-deriving it.
+    /// The evictable queued request with the smallest [`victim_key`] — the
+    /// overflow victim under value-weighted shedding — plus its key and
+    /// the doom horizon used (half the queue depth × the published
+    /// per-request drain time), so the caller can score the incoming
+    /// request against the same yardstick without re-deriving it.
     ///
     /// [`victim_key`]: ShardQueue::victim_key
-    fn pick_victim(&self, pending: &VecDeque<Request>, now: Instant) -> (usize, (u8, f64), u64) {
+    fn pick_victim(
+        &self,
+        st: &QueueState,
+        incoming_class: usize,
+        now: Instant,
+    ) -> Option<(usize, (u8, f64), u64)> {
         let hint = self.service_hint_us.load(Ordering::Relaxed);
-        let doom_wait_us = hint.saturating_mul(pending.len() as u64 / 2);
-        let mut victim = 0usize;
-        let mut worst = (u8::MAX, f64::INFINITY);
-        for (i, r) in pending.iter().enumerate() {
+        let doom_wait_us = hint.saturating_mul(st.pending.len() as u64 / 2);
+        let mut victim: Option<(usize, (u8, f64))> = None;
+        for (i, r) in st.pending.iter().enumerate() {
+            if !self.evictable(st, r.class, incoming_class) {
+                continue;
+            }
             let key = Self::victim_key(r, now, doom_wait_us);
-            if key < worst {
-                worst = key;
-                victim = i;
+            if victim.map(|(_, worst)| key < worst).unwrap_or(true) {
+                victim = Some((i, key));
             }
         }
-        (victim, worst, doom_wait_us)
+        victim.map(|(i, key)| (i, key, doom_wait_us))
+    }
+
+    /// One overflow-eviction attempt under ShedOldest (queue full for the
+    /// incoming request's class). Resolves the victim's completion slot
+    /// with `Shed(Overflow)`; a victim that turned out to be a
+    /// cancellation tombstone is dropped without ledgering and the caller
+    /// retries.
+    fn evict_for(&self, st: &mut QueueState, req: &Request, now: Instant) -> Eviction {
+        let picked = if self.value_weighted {
+            // A *doomed* incoming request (tier 0: expired, or budget
+            // already below the queue's drain wait) that also scores
+            // worse than every evictable queued request is itself the
+            // shed — evicting viable queued work to admit a request that
+            // will only be deadline-shed at dequeue loses a completion
+            // for nothing. A viable newcomer always gets its slot: value
+            // density naturally reads lower on a fresh full budget than
+            // on aged queued work, and shedding fresh-but-lax traffic on
+            // that alone would invert the freshest-first instinct that
+            // makes overflow eviction work.
+            match self.pick_victim(st, req.class, now) {
+                Some((victim, victim_key, doom_wait_us)) => {
+                    let incoming_key = Self::victim_key(req, now, doom_wait_us);
+                    if incoming_key.0 == 0 && incoming_key < victim_key {
+                        return Eviction::ShedIncoming;
+                    }
+                    Some(victim)
+                }
+                None => None,
+            }
+        } else {
+            // Blind: the oldest (front-most) evictable request.
+            (0..st.pending.len()).find(|&i| self.evictable(st, st.pending[i].class, req.class))
+        };
+        let Some(victim) = picked else {
+            // Every queued request is protected by a reservation the
+            // incoming class may not touch: the newcomer is the shed.
+            return Eviction::ShedIncoming;
+        };
+        let shed = st.pending.remove(victim).expect("victim index in range");
+        st.dec_class(shed.class);
+        match shed.completion() {
+            Some(slot) if !slot.try_shed(ShedReason::Overflow) => {
+                // Cancelled between selection and shedding: its event was
+                // already delivered, so this was a free purge, not a shed.
+                Eviction::Retry
+            }
+            _ => {
+                st.record_shed(&shed);
+                Eviction::Evicted
+            }
+        }
     }
 
     /// Submit one request under the queue's backpressure policy. The
@@ -322,59 +629,55 @@ impl ShardQueue {
     /// clock never charges producer-side blocking.
     pub fn push(&self, mut req: Request) -> SubmitOutcome {
         let mut st = self.state.lock().expect("shard queue");
-        if st.closed {
-            return SubmitOutcome::Rejected;
-        }
-        let mut outcome = SubmitOutcome::Enqueued;
-        if st.pending.len() >= self.capacity {
+        let mut outcome = SubmitOutcome::Enqueued(());
+        let mut evicted = false;
+        while !self.admittable(&st, req.class) {
+            if st.closed {
+                return SubmitOutcome::Rejected;
+            }
+            // Cancellation tombstones are free slots; drop them first.
+            if st.purge_tombstones() > 0 {
+                continue;
+            }
             match self.policy {
                 BackpressurePolicy::Block => {
-                    while st.pending.len() >= self.capacity && !st.closed {
-                        st = self.not_full.wait(st).expect("shard queue");
-                    }
-                    if st.closed {
-                        return SubmitOutcome::Rejected;
-                    }
+                    st = self.not_full.wait(st).expect("shard queue");
                 }
                 BackpressurePolicy::Reject => return SubmitOutcome::Rejected,
                 BackpressurePolicy::ShedOldest => {
-                    let now = Instant::now();
-                    if self.value_weighted {
-                        // A *doomed* incoming request (tier 0: expired,
-                        // or budget already below the queue's drain wait)
-                        // that also scores worse than every queued
-                        // request is itself the shed — evicting viable
-                        // queued work to admit a request that will only
-                        // be deadline-shed at dequeue loses a completion
-                        // for nothing. A viable newcomer always gets its
-                        // slot: value density naturally reads lower on a
-                        // fresh full budget than on aged queued work, and
-                        // shedding fresh-but-lax traffic on that alone
-                        // would invert the freshest-first instinct that
-                        // makes overflow eviction work.
-                        let (victim, victim_key, doom_wait_us) = self.pick_victim(&st.pending, now);
-                        let incoming_key = Self::victim_key(&req, now, doom_wait_us);
-                        if incoming_key.0 == 0 && incoming_key < victim_key {
+                    match self.evict_for(&mut st, &req, Instant::now()) {
+                        Eviction::Evicted => {
+                            evicted = true;
+                            outcome = SubmitOutcome::EnqueuedShedOldest(());
+                        }
+                        Eviction::ShedIncoming => {
                             st.record_shed(&req);
+                            if let Some(slot) = req.completion() {
+                                slot.try_shed(ShedReason::Overflow);
+                            }
                             // No slot was freed and nothing was queued:
                             // waiting workers and producers are
                             // unaffected.
-                            return SubmitOutcome::ShedIncoming;
+                            return SubmitOutcome::ShedIncoming(());
                         }
-                        let shed = st.pending.remove(victim).expect("victim index in range");
-                        st.record_shed(&shed);
-                    } else {
-                        let shed = st.pending.pop_front().expect("full queue has a head");
-                        st.record_shed(&shed);
+                        Eviction::Retry => {}
                     }
-                    outcome = SubmitOutcome::EnqueuedShedOldest;
                 }
             }
         }
+        if st.closed {
+            return SubmitOutcome::Rejected;
+        }
         req.enqueued_at = Instant::now();
+        st.inc_class(req.class);
         st.pending.push_back(req);
         drop(st);
         self.not_empty.notify_one();
+        if evicted {
+            // The class mix changed: a producer blocked on a reservation
+            // may be admittable now even though the depth is unchanged.
+            self.not_full.notify_all();
+        }
         outcome
     }
 
@@ -405,9 +708,10 @@ impl ShardQueue {
     /// shard). A closed queue never lingers: drain stays prompt.
     ///
     /// The linger is additionally capped by **half the tightest remaining
-    /// deadline budget** among the queued requests: an uncapped linger
-    /// longer than a request's deadline would hold a perfectly
-    /// dequeued-able batch until its members expire, converting
+    /// deadline budget** among the queued requests (cancellation
+    /// tombstones excluded — a dead entry must not cap a live batch): an
+    /// uncapped linger longer than a request's deadline would hold a
+    /// perfectly dequeued-able batch until its members expire, converting
     /// completable work into deadline sheds. Half, not all, of the budget
     /// is spent lingering so the batch still has the other half to
     /// actually execute in. The cap is recomputed on every wakeup, so a
@@ -430,7 +734,12 @@ impl ShardQueue {
             let mut until = Instant::now() + linger;
             while st.pending.len() < max_batch && !st.closed {
                 let now = Instant::now();
-                if let Some(tightest) = st.pending.iter().filter_map(|r| r.remaining_us(now)).min()
+                if let Some(tightest) = st
+                    .pending
+                    .iter()
+                    .filter(|r| !r.is_tombstone())
+                    .filter_map(|r| r.remaining_us(now))
+                    .min()
                 {
                     until = until.min(now + Duration::from_micros(tightest / 2));
                 }
@@ -519,7 +828,9 @@ impl ShardQueue {
             desc.sort_unstable_by(|a, b| b.cmp(a));
             let mut tagged: Vec<(usize, Request)> = Vec::with_capacity(take);
             for i in desc {
-                tagged.push((i, st.pending.remove(i).expect("picked index in range")));
+                let req = st.pending.remove(i).expect("picked index in range");
+                st.dec_class(req.class);
+                tagged.push((i, req));
             }
             for want in order {
                 let pos = tagged
@@ -546,6 +857,22 @@ impl ShardQueue {
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
+
+    /// Close the queue *and discard its backlog*: the abort path
+    /// ([`AmsServer`](crate::AmsServer) dropped without `shutdown`).
+    /// Returns the discarded requests so the caller can resolve their
+    /// completion slots with `Shed(Drain)`; workers see a closed, empty
+    /// queue and exit promptly.
+    pub fn abort(&self) -> Vec<Request> {
+        let mut st = self.state.lock().expect("shard queue");
+        st.closed = true;
+        let discarded: Vec<Request> = st.pending.drain(..).collect();
+        st.class_counts.clear();
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        discarded
+    }
 }
 
 #[cfg(test)]
@@ -569,8 +896,8 @@ mod tests {
     fn reject_policy_refuses_when_full() {
         let q = ShardQueue::new(2, BackpressurePolicy::Reject);
         let it = item();
-        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::Enqueued);
-        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::Enqueued);
+        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::Enqueued(()));
+        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::Enqueued(()));
         assert_eq!(q.push(req(&it, 0)), SubmitOutcome::Rejected);
         assert_eq!(q.len(), 2);
     }
@@ -581,7 +908,7 @@ mod tests {
         let it = item();
         q.push(req(&it, 0));
         q.push(req(&it, 0));
-        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::EnqueuedShedOldest);
+        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::EnqueuedShedOldest(()));
         assert_eq!(q.len(), 2, "still at capacity");
         assert_eq!(q.shed_oldest_count(), 1);
         let ledger = q.shed_ledger();
@@ -602,7 +929,10 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         let drained = q.pop_batch(1);
         assert_eq!(drained.len(), 1);
-        assert_eq!(producer.join().expect("producer"), SubmitOutcome::Enqueued);
+        assert_eq!(
+            producer.join().expect("producer"),
+            SubmitOutcome::Enqueued(())
+        );
         assert_eq!(q.len(), 1);
     }
 
@@ -649,6 +979,18 @@ mod tests {
     }
 
     #[test]
+    fn abort_discards_the_backlog_and_closes() {
+        let q = ShardQueue::new(8, BackpressurePolicy::Block);
+        let it = item();
+        q.push(req(&it, 0));
+        q.push(req(&it, 0));
+        let discarded = q.abort();
+        assert_eq!(discarded.len(), 2, "backlog handed back for Drain sheds");
+        assert!(q.pop_batch(8).is_empty(), "workers see closed + empty");
+        assert_eq!(q.push(req(&it, 0)), SubmitOutcome::Rejected);
+    }
+
+    #[test]
     fn value_weighted_eviction_drops_worst_value_density() {
         let q = ShardQueue::with_slo(3, BackpressurePolicy::ShedOldest, true, false);
         let it = item();
@@ -660,7 +1002,7 @@ mod tests {
         q.push(req(&it, 0).with_slo(0, 3.0, Some(1_000_000)));
         assert_eq!(
             q.push(req(&it, 0).with_slo(0, 2.0, Some(1_000_000))),
-            SubmitOutcome::EnqueuedShedOldest
+            SubmitOutcome::EnqueuedShedOldest(())
         );
         let ledger = q.shed_ledger();
         assert_eq!(ledger.len(), 2, "class-1 victim recorded");
@@ -681,7 +1023,7 @@ mod tests {
         q.push(req(&it, 0).with_slo(0, 1.0, Some(1_000_000)));
         assert_eq!(
             q.push(req(&it, 0).with_slo(0, 1.0, Some(1_000_000))),
-            SubmitOutcome::EnqueuedShedOldest
+            SubmitOutcome::EnqueuedShedOldest(())
         );
         let survivors = q.pop_batch(4);
         assert_eq!(survivors.len(), 2);
@@ -780,7 +1122,7 @@ mod tests {
         // queued request into a shed.
         assert_eq!(
             q.push(req(&it, 0).with_slo(1, 9.0, Some(0))),
-            SubmitOutcome::ShedIncoming
+            SubmitOutcome::ShedIncoming(())
         );
         let ledger = q.shed_ledger();
         assert_eq!(ledger.len(), 2, "the class-1 newcomer was the shed");
@@ -836,5 +1178,120 @@ mod tests {
             t0.elapsed() >= Duration::from_millis(35),
             "without deadlines the full linger is spent"
         );
+    }
+
+    /// Admission reservations: a flood of class 0 can fill the shared
+    /// slots but never the slots class 1 holds in reserve, so class 1 is
+    /// still admitted at the flood's peak — and eviction never dips
+    /// class 1 below its guaranteed share.
+    #[test]
+    fn reservations_protect_a_class_from_a_foreign_flood() {
+        // Capacity 4, class 1 reserves 2 slots.
+        for policy in [BackpressurePolicy::Reject, BackpressurePolicy::ShedOldest] {
+            let q = ShardQueue::with_slo(4, policy, false, false).with_reservations(vec![0, 2]);
+            let it = item();
+            // Class-0 flood: only the 2 shared slots admit.
+            let mut admitted0 = 0;
+            for _ in 0..6 {
+                if q.push(req(&it, 0).with_slo(0, 1.0, None)).is_accepted() {
+                    admitted0 += 1;
+                }
+            }
+            // Under ShedOldest the flood churns the shared slots among
+            // itself (evicting its own class), never the reserve.
+            assert_eq!(q.len(), 2, "{policy:?}: only the shared slots fill");
+            // Class 1 still gets its reserved slots.
+            assert!(q.push(req(&it, 0).with_slo(1, 1.0, None)).is_accepted());
+            assert!(q.push(req(&it, 0).with_slo(1, 1.0, None)).is_accepted());
+            assert_eq!(q.len(), 4);
+            match policy {
+                BackpressurePolicy::Reject => assert_eq!(admitted0, 2),
+                _ => assert!(admitted0 >= 2),
+            }
+            // A further class-0 push may not evict class 1's reserve.
+            let outcome = q.push(req(&it, 0).with_slo(0, 1.0, None));
+            let batch = q.pop_batch(8);
+            let class1 = batch.iter().filter(|r| r.class == 1).count();
+            assert_eq!(class1, 2, "{policy:?}: the reserve survived {outcome:?}");
+        }
+    }
+
+    /// With every queued request protected by a foreign reservation, a
+    /// ShedOldest newcomer with no reserve of its own is itself the shed.
+    #[test]
+    fn newcomer_is_shed_when_every_slot_is_reserved_by_others() {
+        let q = ShardQueue::with_slo(2, BackpressurePolicy::ShedOldest, false, false)
+            .with_reservations(vec![0, 2]);
+        let it = item();
+        assert!(q.push(req(&it, 0).with_slo(1, 1.0, None)).is_accepted());
+        assert!(q.push(req(&it, 0).with_slo(1, 1.0, None)).is_accepted());
+        assert_eq!(
+            q.push(req(&it, 0).with_slo(0, 1.0, None)),
+            SubmitOutcome::ShedIncoming(())
+        );
+        let ledger = q.shed_ledger();
+        assert_eq!(ledger[0].count, 1, "the class-0 newcomer was the shed");
+        assert_eq!(q.pop_batch(4).len(), 2, "class-1 work untouched");
+    }
+
+    /// Regression: cancellation tombstones must not inflate the admission
+    /// snapshot or the router's wait estimate — a queue full of cancelled
+    /// entries is no drain work, and pricing it as backlog would shed or
+    /// spill fresh requests against dead weight.
+    #[test]
+    fn tombstones_are_excluded_from_admission_pricing() {
+        use crate::completion::{CancelLedger, CompletionQueue, CompletionSlot, Ticket};
+        let q = ShardQueue::new(4, BackpressurePolicy::Block);
+        let it = item();
+        let cq = Arc::new(CompletionQueue::new(8));
+        let ledger = Arc::new(CancelLedger::default());
+        let mut tickets = Vec::new();
+        for id in 0..3u64 {
+            cq.issue();
+            let slot = Arc::new(CompletionSlot::new(
+                id,
+                0,
+                1.0,
+                Arc::clone(&cq),
+                Arc::clone(&ledger),
+            ));
+            tickets.push(Ticket::new(Arc::clone(&slot)));
+            q.push(
+                req(&it, 0)
+                    .with_slo(0, 1.0, Some(50_000))
+                    .with_completion(slot),
+            );
+        }
+        q.set_service_hint_us(400_000);
+        let now = Instant::now();
+        assert_eq!(q.queued_ahead(now + Duration::from_secs(10)), (3, 3));
+        assert!(q.estimated_wait_us() >= 1_200_000);
+        for t in &tickets {
+            assert!(t.cancel());
+        }
+        // All three entries are tombstones now: physically queued, but no
+        // drain work and no admission occupancy.
+        assert_eq!(q.len(), 3, "tombstones still occupy until purged");
+        assert_eq!(q.live_len(), 0);
+        assert_eq!(q.queued_ahead(now + Duration::from_secs(10)), (0, 0));
+        assert_eq!(q.estimated_wait_us(), 0);
+        assert_eq!(ledger.total(), 3, "cancels recorded atomically");
+    }
+
+    /// Reservation sums beyond the capacity are clamped, earlier classes
+    /// first — the queue never promises slots it does not have.
+    #[test]
+    fn oversubscribed_reservations_are_clamped() {
+        let q = ShardQueue::with_slo(3, BackpressurePolicy::Reject, false, false)
+            .with_reservations(vec![2, 4]);
+        let it = item();
+        // Class 1's reserve clamps to 1 (3 - 2); class 0 keeps 2.
+        for _ in 0..2 {
+            assert!(q.push(req(&it, 0).with_slo(0, 1.0, None)).is_accepted());
+        }
+        assert!(q.push(req(&it, 0).with_slo(1, 1.0, None)).is_accepted());
+        assert_eq!(q.push(req(&it, 0).with_slo(1, 1.0, None)), {
+            SubmitOutcome::Rejected
+        });
     }
 }

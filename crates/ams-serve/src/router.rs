@@ -34,6 +34,17 @@
 //! traffic the router degrades gracefully toward balanced sharding. Hits
 //! and spills are counted and published in the
 //! [`ServeReport`](crate::ServeReport).
+//!
+//! For a request carrying an SLO deadline the spill is additionally
+//! **deadline-aware**: each candidate shard is priced by its *estimated
+//! wait* — queue depth × the per-request drain time the shard's workers
+//! publish ([`ShardQueue::estimated_wait_us`]) — and a home (or alternate)
+//! whose estimated wait already exceeds the request's deadline budget is
+//! treated as full, not merely busy. A request that would provably miss
+//! its deadline on its affinity home spills to the first choice that can
+//! still serve it in time (falling back to the minimum-estimated-wait
+//! shard when none can), instead of being routed by load alone into a
+//! queue where admission control or the deadline check will only shed it.
 
 use crate::queue::ShardQueue;
 use ams_core::framework::AdaptiveModelScheduler;
@@ -167,14 +178,33 @@ impl Router {
         self.affinity_spills.load(Ordering::Relaxed)
     }
 
-    /// Pick the shard for `item` and record the hit/spill. Queue lengths
-    /// are a racy snapshot — good enough for balancing, never consulted for
-    /// correctness (any shard labels any item identically).
+    /// Whether a shard can plausibly serve a request within `deadline_us`:
+    /// its estimated drain wait (depth × the workers' published
+    /// per-request drain time) fits the budget. With no deadline, or no
+    /// published evidence yet, every shard fits — the check only ever
+    /// *adds* reasons to spill, never invents them.
+    fn fits_deadline(q: &ShardQueue, deadline_us: Option<u64>) -> bool {
+        match deadline_us {
+            Some(d) => {
+                let wait = q.estimated_wait_us();
+                wait == 0 || wait <= d
+            }
+            None => true,
+        }
+    }
+
+    /// Pick the shard for `item` and record the hit/spill. A request
+    /// carrying an SLO deadline passes it as `deadline_us`, which makes
+    /// the affinity spill deadline-aware (see the module docs). Queue
+    /// lengths and wait estimates are racy snapshots — good enough for
+    /// balancing, never consulted for correctness (any shard labels any
+    /// item identically).
     pub fn route(
         &self,
         scheduler: &AdaptiveModelScheduler,
         item: &ItemTruth,
         queues: &[ShardQueue],
+        deadline_us: Option<u64>,
     ) -> Route {
         match self.mode {
             RoutingMode::Hash => Route {
@@ -247,8 +277,9 @@ impl Router {
                 // full least-loaded scan is paid on spills alone.
                 let home_len = queues[home].len();
                 let alt_len = queues[alt].len();
-                let home_ok =
-                    home_len < queues[home].capacity() && home_len <= alt_len + cfg.spill_lag;
+                let home_ok = home_len < queues[home].capacity()
+                    && home_len <= alt_len + cfg.spill_lag
+                    && Self::fits_deadline(&queues[home], deadline_us);
                 if home_ok || alt == home {
                     self.affinity_hits.fetch_add(1, Ordering::Relaxed);
                     return Route {
@@ -267,10 +298,36 @@ impl Router {
                         least_len = len;
                     }
                 }
-                let alt_ok =
-                    alt_len < queues[alt].capacity() && alt_len <= least_len + cfg.spill_lag;
+                let alt_ok = alt_len < queues[alt].capacity()
+                    && alt_len <= least_len + cfg.spill_lag
+                    && Self::fits_deadline(&queues[alt], deadline_us);
+                if alt_ok {
+                    return Route {
+                        shard: alt,
+                        signature: sig,
+                        value,
+                        affine: false,
+                    };
+                }
+                // Neither signature shard can serve the request in time
+                // (or both are full): pick by *estimated wait* against the
+                // deadline, not load alone — the least-loaded shard may
+                // still be the slowest-draining one. Without a deadline
+                // (or without published drain evidence) this degrades to
+                // the classic least-loaded cascade.
+                let escape = if deadline_us.is_some() {
+                    queues
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, q)| q.len() < q.capacity())
+                        .min_by_key(|(i, q)| (q.estimated_wait_us(), q.len(), *i))
+                        .map(|(i, _)| i)
+                        .unwrap_or(least)
+                } else {
+                    least
+                };
                 Route {
-                    shard: if alt_ok { alt } else { least },
+                    shard: escape,
                     signature: sig,
                     value,
                     affine: false,
@@ -314,7 +371,7 @@ mod tests {
         let qs = queues(4, 16);
         let r = Router::new(RoutingMode::Hash, 4);
         for item in t.items() {
-            let route = r.route(&s, item, &qs);
+            let route = r.route(&s, item, &qs, None);
             assert_eq!(route.shard, fib_shard(item.scene_id, 4));
             assert!(route.affine);
         }
@@ -328,8 +385,8 @@ mod tests {
         let qs = queues(4, 16);
         let r = Router::new(RoutingMode::Affinity(AffinityConfig::default()), 4);
         for item in t.items() {
-            let a = r.route(&s, item, &qs).shard;
-            let b = r.route(&s, item, &qs).shard;
+            let a = r.route(&s, item, &qs, None).shard;
+            let b = r.route(&s, item, &qs, None).shard;
             assert_eq!(a, b, "same item, same idle queues, same shard");
         }
         assert_eq!(r.affinity_hits(), 24);
@@ -351,7 +408,7 @@ mod tests {
         let mut by_sig: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for item in t.items() {
             let sig = s.affinity_signature(item, 4);
-            let shard = r.route(&s, item, &qs).shard;
+            let shard = r.route(&s, item, &qs, None).shard;
             if let Some(&prev) = by_sig.get(&sig) {
                 assert_eq!(prev, shard, "signature {sig:#x} split across shards");
             }
@@ -372,12 +429,12 @@ mod tests {
             }),
             2,
         );
-        let home = r.route(&s, &item, &qs).shard;
+        let home = r.route(&s, &item, &qs, None).shard;
         // Load the home queue past the lag threshold; the other stays empty.
         for _ in 0..4 {
             qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
         }
-        let route = r.route(&s, &item, &qs);
+        let route = r.route(&s, &item, &qs, None);
         assert_ne!(route.shard, home, "must divert to the least-loaded shard");
         assert!(!route.affine);
         assert!(r.affinity_spills() >= 1);
@@ -397,10 +454,10 @@ mod tests {
             }),
             2,
         );
-        let home = r.route(&s, &item, &qs).shard;
+        let home = r.route(&s, &item, &qs, None).shard;
         qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
         qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
-        let route = r.route(&s, &item, &qs);
+        let route = r.route(&s, &item, &qs, None);
         assert_ne!(route.shard, home);
         assert!(!route.affine);
     }
@@ -421,7 +478,7 @@ mod tests {
             // Zero out the value profile: the scan yields signature 0.
             let mut flat = item.clone();
             flat.model_value.iter_mut().for_each(|v| *v = 0.0);
-            let route = r.route(&s, &flat, &qs);
+            let route = r.route(&s, &flat, &qs, None);
             assert_eq!(route.signature, 0, "empty profile → empty signature");
             assert_eq!(route.value, 0.0);
             assert_eq!(
@@ -438,6 +495,84 @@ mod tests {
         );
     }
 
+    /// SLO-aware spill: a home shard whose *estimated wait* (depth × the
+    /// workers' published drain time) exceeds the request's deadline is
+    /// spilled away from even though its raw load is within the lag
+    /// tolerance — and a deadline-less request still homes normally, so
+    /// the behavior is purely additive.
+    #[test]
+    fn spill_prices_the_home_shard_by_estimated_wait_vs_deadline() {
+        let s = scheduler();
+        let t = truth(4);
+        let item = Arc::new(t.item(0).clone());
+        let qs = queues(2, 64);
+        let r = Router::new(
+            RoutingMode::Affinity(AffinityConfig {
+                top_k: 2,
+                // Generous lag: load alone would never trigger the spill.
+                spill_lag: 50,
+            }),
+            2,
+        );
+        let home = r.route(&s, &item, &qs, None).shard;
+        // Three queued requests and a published drain time of 0.5 s each:
+        // the home's estimated wait is ~1.5 s.
+        for _ in 0..3 {
+            qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
+        }
+        qs[home].set_service_hint_us(500_000);
+        // Deadline-less: still the affinity home (load is fine).
+        assert_eq!(r.route(&s, &item, &qs, None).shard, home);
+        // A 100 ms deadline cannot survive a 1.5 s wait: spill to the
+        // alternate, whose estimated wait (0 — no evidence) fits.
+        let route = r.route(&s, &item, &qs, Some(100_000));
+        assert_ne!(route.shard, home, "doomed home must be spilled away");
+        assert!(!route.affine);
+        assert!(r.affinity_spills() >= 1);
+        // A lax 10 s deadline tolerates the wait: home again.
+        assert_eq!(r.route(&s, &item, &qs, Some(10_000_000)).shard, home);
+    }
+
+    /// When no candidate fits the deadline, the escape hatch picks the
+    /// minimum *estimated wait* shard, not the least-loaded one: a short
+    /// queue draining slowly is worse than a longer queue draining fast.
+    #[test]
+    fn deadline_escape_prefers_fastest_draining_shard_over_least_loaded() {
+        let s = scheduler();
+        let t = truth(2);
+        let item = Arc::new(t.item(0).clone());
+        let qs = queues(3, 64);
+        let r = Router::new(
+            RoutingMode::Affinity(AffinityConfig {
+                top_k: 2,
+                spill_lag: 0,
+            }),
+            3,
+        );
+        let home = r.route(&s, &item, &qs, None).shard;
+        // Every shard misses the 1 ms deadline, with distinct estimated
+        // waits; the least-loaded shard (1 request) drains slowest.
+        let (fast, slow) = {
+            let mut others = (0..3).filter(|&i| i != home);
+            (others.next().unwrap(), others.next().unwrap())
+        };
+        for _ in 0..4 {
+            qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
+        }
+        for _ in 0..3 {
+            qs[fast].push(crate::queue::Request::new(Arc::clone(&item), 0));
+        }
+        qs[slow].push(crate::queue::Request::new(Arc::clone(&item), 0));
+        qs[home].set_service_hint_us(500_000); // 2.0 s estimated
+        qs[fast].set_service_hint_us(10_000); //  30 ms estimated
+        qs[slow].set_service_hint_us(900_000); // 0.9 s estimated
+        let route = r.route(&s, &item, &qs, Some(1_000));
+        assert_eq!(
+            route.shard, fast,
+            "escape must price by estimated wait, not queue length"
+        );
+    }
+
     /// The routing scan doubles as the SLO value hook: the route's value
     /// is the scheduler's top-k scan sum, under both modes.
     #[test]
@@ -449,8 +584,8 @@ mod tests {
         let aff = Router::new(RoutingMode::Affinity(AffinityConfig::default()), 4);
         for item in t.items() {
             let (_, want2) = s.affinity_value_scan(item, 2);
-            assert!((hash.route(&s, item, &qs).value - want2).abs() < 1e-12);
-            assert!((aff.route(&s, item, &qs).value - want2).abs() < 1e-12);
+            assert!((hash.route(&s, item, &qs, None).value - want2).abs() < 1e-12);
+            assert!((aff.route(&s, item, &qs, None).value - want2).abs() < 1e-12);
             assert!(want2 > 0.0, "fixture items carry value");
         }
     }

@@ -18,7 +18,27 @@
 //! *predictably* overshoots its own target. `shutdown` closes the queues,
 //! drains every worker gracefully, and merges the per-worker shards into
 //! one [`ServeReport`].
+//!
+//! ## The client API
+//!
+//! [`AmsServer::client`] opens a request/response [`Client`]: its
+//! `submit`/`submit_class` return `SubmitOutcome<Ticket>`, where the
+//! [`Ticket`] is a cancellable handle tied to exactly one terminal
+//! [`Completion`] event — `Labeled` (the request's own labels, chosen
+//! models, value banked, queue-wait/execute breakdown), `Shed` (which
+//! loss path took it, delivered at eviction time), or `Cancelled`.
+//! Events arrive on the client's bounded completion queue
+//! ([`Client::recv`] / [`Client::try_recv`] / [`Client::drain`]). The
+//! original fire-and-forget [`AmsServer::submit`] survives as a thin
+//! wrapper over the same path with no ticket issued, so aggregate-only
+//! callers (and the serve==serial equivalence gates) are untouched.
+//! Dropping an [`AmsServer`] without calling `shutdown` aborts it:
+//! queued-but-unserved requests resolve to `Shed(Drain)` and every worker
+//! is joined — no detached threads survive the drop.
 
+use crate::completion::{
+    CancelLedger, Completion, CompletionQueue, CompletionSlot, LabelResult, ShedReason, Ticket,
+};
 use crate::queue::{BackpressurePolicy, ClassShed, Request, ShardQueue, SubmitOutcome};
 use crate::router::{fib_shard, Router, RoutingMode};
 use crate::telemetry::{LatencyHistogram, LatencySummary};
@@ -29,7 +49,7 @@ use ams_models::ModelId;
 use ams_sim::{batched_makespan, BatchLatencyModel, Job};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -98,16 +118,32 @@ pub struct SloClass {
     pub deadline_ms: u64,
     /// Multiplier on the request's predicted label value.
     pub weight: f64,
+    /// Admission reservation: the fraction of every shard queue's slots
+    /// guaranteed to this class (0.0 = no reserve, purely shared slots).
+    /// A burst of another class can fill the shared pool but never the
+    /// slots this class holds in reserve, so it cannot starve this class
+    /// of *admission*. Fractions are clamped so the per-queue reserved
+    /// slots never exceed the capacity (earlier classes keep their full
+    /// reserve).
+    pub reserve: f64,
 }
 
 impl SloClass {
-    /// A named class with the given deadline and weight.
+    /// A named class with the given deadline and weight (no reservation).
     pub fn new(name: impl Into<String>, deadline_ms: u64, weight: f64) -> Self {
         Self {
             name: name.into(),
             deadline_ms,
             weight: weight.max(0.0),
+            reserve: 0.0,
         }
+    }
+
+    /// Guarantee the class `fraction` of every shard queue's slots at
+    /// admission (clamped into `[0, 1]`).
+    pub fn with_reserve(mut self, fraction: f64) -> Self {
+        self.reserve = fraction.clamp(0.0, 1.0);
+        self
     }
 }
 
@@ -312,6 +348,12 @@ pub struct ClassReport {
     pub shed_oldest: u64,
     /// Dequeued requests shed because their deadline budget was exhausted.
     pub shed_deadline: u64,
+    /// Tickets of this class cancelled before a worker claimed them.
+    pub cancelled: u64,
+    /// Summed predicted (weighted) value of the cancelled tickets —
+    /// tracked apart from `value_shed`: the *client* withdrew this value,
+    /// the service didn't lose it.
+    pub value_cancelled: f64,
     /// Summed predicted (weighted) value of offered requests.
     pub value_offered: f64,
     /// Summed value of completed requests — the value the service banked.
@@ -329,7 +371,8 @@ pub struct ClassReport {
 }
 
 impl ClassReport {
-    /// Every offered request of the class is accounted for exactly once.
+    /// Every offered request of the class is accounted for exactly once
+    /// (completions, all four loss paths, and cancellations).
     pub fn is_conserved(&self) -> bool {
         self.offered
             == self.completed
@@ -337,6 +380,7 @@ impl ClassReport {
                 + self.shed_admission
                 + self.shed_oldest
                 + self.shed_deadline
+                + self.cancelled
     }
 
     /// Share of offered requests that completed within the class deadline
@@ -438,6 +482,10 @@ pub struct ServeReport {
     /// Requests shed by SLO admission control before occupying a queue
     /// slot: the shard's predicted wait already exceeded their deadline.
     pub shed_admission: u64,
+    /// Tickets cancelled by their clients before a worker claimed them
+    /// (exactly one `Cancelled` completion event each; 0 on the
+    /// fire-and-forget path, which issues no tickets).
+    pub cancelled: u64,
     /// Batched invocation rounds the workers executed (rounds whose every
     /// member was deadline-shed don't count — no work ran).
     pub batches: u64,
@@ -485,7 +533,11 @@ impl ServeReport {
             / self.offered as f64
     }
 
-    /// Every offered request is accounted for exactly once.
+    /// Every offered request is accounted for exactly once: labeled, lost
+    /// on one of the four shed/reject paths, or cancelled by its client.
+    /// This is also the exactly-once completion invariant seen from the
+    /// ledger side — each bucket except `rejected` delivers exactly one
+    /// terminal event per request when a ticket was issued.
     pub fn is_conserved(&self) -> bool {
         self.offered
             == self.completed
@@ -493,6 +545,7 @@ impl ServeReport {
                 + self.shed_oldest
                 + self.shed_deadline
                 + self.shed_admission
+                + self.cancelled
     }
 
     /// Mean executed requests per batched round (0 when no batch ran).
@@ -649,22 +702,26 @@ impl ShardControl {
     }
 
     /// Close out the controller at drain: judge a half-full residual window
-    /// (enough evidence), discard a thinner one.
-    fn into_record(self, shard: usize, acfg: &AdaptiveBatchConfig) -> ShardAdaptive {
+    /// (enough evidence), discard a thinner one. Takes `&self` (the
+    /// workers are joined, but client handles may still hold weak
+    /// references to the shared state, so the record is read under the
+    /// lock rather than by consuming the control).
+    fn record(&self, shard: usize, acfg: &AdaptiveBatchConfig) -> ShardAdaptive {
         let final_max_batch = self.limit.load(Ordering::Relaxed);
-        let mut win = self.window.into_inner().expect("adaptive window");
+        let win = self.window.lock().expect("adaptive window");
+        let (mut last_p99, mut within) = (win.last_window_p99_us, win.last_within_target);
         if win.total.count() * 2 >= acfg.window.max(1) {
             let p99 = win.total.quantile_us(0.99);
-            win.last_window_p99_us = p99;
-            win.last_within_target = p99 <= acfg.target_p99_ms.saturating_mul(1000);
+            last_p99 = p99;
+            within = p99 <= acfg.target_p99_ms.saturating_mul(1000);
         }
         ShardAdaptive {
             shard,
             final_max_batch,
             adjustments: win.adjustments,
-            last_window_p99_us: win.last_window_p99_us,
-            within_target: win.last_within_target,
-            trajectory: win.trajectory,
+            last_window_p99_us: last_p99,
+            within_target: within,
+            trajectory: win.trajectory.clone(),
         }
     }
 }
@@ -693,6 +750,12 @@ struct Shared {
     submitted: AtomicU64,
     rejected: AtomicU64,
     shed_admission: AtomicU64,
+    /// Monotone ticket ids, unique across every client of this server.
+    next_ticket: AtomicU64,
+    /// The cancellation ledger live tickets record into (shared with the
+    /// ticket slots by `Arc`, so a cancellation from any thread — even
+    /// after the server wound down — lands in one place).
+    cancel_ledger: Arc<CancelLedger>,
     /// Per-shard, per-class submit-path ledgers (present when SLO classes
     /// are configured; outer index = shard). Shard-local so producers
     /// contend at the same granularity as the shard queues themselves —
@@ -774,6 +837,13 @@ impl WorkerLocal {
 /// assert!(report.is_conserved());
 /// ```
 pub struct AmsServer {
+    /// `Some` until `shutdown` consumes the server; `None` afterwards so
+    /// the `Drop` impl knows a graceful drain already happened.
+    inner: Option<ServerInner>,
+}
+
+/// The live server: shared state plus the joinable worker handles.
+struct ServerInner {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<WorkerLocal>>,
 }
@@ -808,8 +878,28 @@ impl AmsServer {
         let (value_weighted, edf) = cfg.slo.as_ref().map_or((false, false), |s| {
             (s.value_weighted_shedding, s.edf_dequeue)
         });
+        // Per-class admission reservations: each class's configured
+        // fraction of every shard queue's slots, floored to whole slots
+        // (the queue clamps the sum to its capacity, earlier classes
+        // first). All-zero reservations are dropped entirely — the
+        // classless admission path stays untouched.
+        let reservations: Vec<usize> = cfg.slo.as_ref().map_or(Vec::new(), |s| {
+            let slots: Vec<usize> = s
+                .classes
+                .iter()
+                .map(|c| (c.reserve.clamp(0.0, 1.0) * cfg.queue_capacity as f64).floor() as usize)
+                .collect();
+            if slots.iter().all(|&r| r == 0) {
+                Vec::new()
+            } else {
+                slots
+            }
+        });
         let queues: Vec<ShardQueue> = (0..cfg.shards)
-            .map(|_| ShardQueue::with_slo(cfg.queue_capacity, cfg.policy, value_weighted, edf))
+            .map(|_| {
+                ShardQueue::with_slo(cfg.queue_capacity, cfg.policy, value_weighted, edf)
+                    .with_reservations(reservations.clone())
+            })
             .collect();
         // The controller starts every shard at the configured static limit,
         // clamped into the adaptive band.
@@ -842,6 +932,8 @@ impl AmsServer {
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shed_admission: AtomicU64::new(0),
+            next_ticket: AtomicU64::new(0),
+            cancel_ledger: Arc::new(CancelLedger::default()),
             class_admission,
         });
         let workers = (0..shared.cfg.shards * shared.cfg.workers_per_shard)
@@ -851,7 +943,39 @@ impl AmsServer {
                 std::thread::spawn(move || worker_loop(&shared, shard))
             })
             .collect();
-        Self { shared, workers }
+        Self {
+            inner: Some(ServerInner { shared, workers }),
+        }
+    }
+
+    fn shared(&self) -> &Arc<Shared> {
+        &self
+            .inner
+            .as_ref()
+            .expect("server alive until shutdown")
+            .shared
+    }
+
+    /// Open a request/response [`Client`] with the default completion
+    /// window (1024 outstanding tickets). Any number of clients may run
+    /// concurrently; each gets its own completion queue, and completion
+    /// events route to the client that issued the ticket.
+    pub fn client(&self) -> Client {
+        self.client_with_capacity(Client::DEFAULT_CAPACITY)
+    }
+
+    /// [`AmsServer::client`] with an explicit completion-window capacity:
+    /// at most `capacity` tickets may be outstanding (issued but their
+    /// completion events not yet consumed); `submit` blocks past that
+    /// until the client drains. Size it at least as large as the deepest
+    /// submit burst between drains (see `PERF.md`, "Completion-queue
+    /// sizing").
+    pub fn client_with_capacity(&self, capacity: usize) -> Client {
+        Client {
+            shared: Arc::downgrade(self.shared()),
+            queue: Arc::new(CompletionQueue::new(capacity)),
+            cancel_ledger: Arc::clone(&self.shared().cancel_ledger),
+        }
     }
 
     /// The shard an item routes to ([`fib_shard`] of the scene id — the
@@ -860,12 +984,17 @@ impl AmsServer {
     /// submission elsewhere; this accessor stays the stable hash-partition
     /// answer.
     pub fn shard_of(&self, item: &ItemTruth) -> usize {
-        fib_shard(item.scene_id, self.shared.cfg.shards)
+        fib_shard(item.scene_id, self.shared().cfg.shards)
     }
 
     /// Submit one item for labeling under the shard's backpressure policy
     /// (SLO class 0 when classes are configured). Under
     /// [`BackpressurePolicy::Block`] this call waits for queue space.
+    ///
+    /// This is the fire-and-forget path: no ticket is issued and the
+    /// labels are only visible in the aggregate [`ServeReport`]. For
+    /// per-request results and cancellation, open a [`Client`] via
+    /// [`AmsServer::client`].
     pub fn submit(&self, item: Arc<ItemTruth>) -> SubmitOutcome {
         self.submit_class(item, 0)
     }
@@ -881,116 +1010,57 @@ impl AmsServer {
     /// occupies a queue slot — admitting it could only evict or delay
     /// work that still has a chance, then be deadline-shed anyway.
     pub fn submit_class(&self, item: Arc<ItemTruth>, class: usize) -> SubmitOutcome {
-        let route = self
-            .shared
-            .router
-            .route(&self.shared.scheduler, &item, &self.shared.queues);
-        self.shared.offered.fetch_add(1, Ordering::Relaxed);
-        let (class, value, deadline_us) = match &self.shared.cfg.slo {
-            Some(slo) => {
-                let class = class.min(slo.classes.len() - 1);
-                let c = &slo.classes[class];
-                (
-                    class,
-                    c.weight * route.value,
-                    Some(c.deadline_ms.saturating_mul(1000)),
-                )
-            }
-            None => (
-                0,
-                1.0,
-                self.shared
-                    .cfg
-                    .request_timeout_ms
-                    .map(|t| t.saturating_mul(1000)),
-            ),
-        };
-        if let Some(ledgers) = &self.shared.class_admission {
-            let mut l = ledgers[route.shard].lock().expect("class ledger");
-            l[class].offered += 1;
-            l[class].value_offered += value;
-        }
-        if let (Some(slo), Some(deadline)) = (&self.shared.cfg.slo, deadline_us) {
-            if slo.admission_control {
-                let amortized = self.shared.controls[route.shard]
-                    .amortized_us
-                    .load(Ordering::Relaxed);
-                // One consistent snapshot of the queue (single lock
-                // acquisition): total depth for the fullness check, and
-                // the earlier-deadline backlog for EDF pricing — under
-                // EDF dequeue an urgent request overtakes lax work, so
-                // the raw depth would overcharge it (and shed requests
-                // EDF would have served in time).
-                let at = Instant::now() + Duration::from_micros(deadline);
-                let (qlen, ahead) = self.shared.queues[route.shard].queued_ahead(at);
-                let depth = if slo.edf_dequeue { ahead } else { qlen } as u64;
-                // Two shedding criteria, deliberately asymmetric:
-                //
-                // * the predicted *wait alone* exceeds the deadline — the
-                //   request provably cannot complete in time (it cannot
-                //   even dequeue in budget), so queueing it only wastes a
-                //   slot;
-                // * the queue is *full* and wait + one batch execute span
-                //   (the measured EWMA) exceeds the deadline — here
-                //   admitting means evicting a queued request that still
-                //   has a chance, in favor of one predicted to finish
-                //   late; refusing the doomed newcomer is the strictly
-                //   better trade.
-                //
-                // A merely-probably-late request on a non-full queue is
-                // admitted: EDF dequeue may still save it, and shedding
-                // at the margin would throw away value on a coin flip.
-                let wait_us =
-                    depth as f64 * amortized as f64 / self.shared.cfg.workers_per_shard as f64;
-                let full = qlen >= self.shared.queues[route.shard].capacity();
-                let span = self.shared.controls[route.shard]
-                    .exec_span_us
-                    .load(Ordering::Relaxed);
-                let doomed = wait_us >= deadline as f64
-                    || (full && wait_us + span as f64 >= deadline as f64);
-                if amortized > 0 && doomed {
-                    self.shared.shed_admission.fetch_add(1, Ordering::Relaxed);
-                    if let Some(ledgers) = &self.shared.class_admission {
-                        let mut l = ledgers[route.shard].lock().expect("class ledger");
-                        l[class].shed_admission += 1;
-                        l[class].value_shed_admission += value;
-                    }
-                    return SubmitOutcome::ShedAdmission;
-                }
-            }
-        }
-        let req = Request::new(item, route.signature).with_slo(class, value, deadline_us);
-        let outcome = self.shared.queues[route.shard].push(req);
-        match outcome {
-            SubmitOutcome::Enqueued | SubmitOutcome::EnqueuedShedOldest => {
-                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-            }
-            // The submission itself was the overflow shed: it never
-            // entered a queue (so it is not `submitted`) and the queue
-            // recorded it in the overflow-shed ledger, which keeps the
-            // conservation equation balanced.
-            SubmitOutcome::ShedIncoming => {}
-            SubmitOutcome::Rejected => {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-                if let Some(ledgers) = &self.shared.class_admission {
-                    let mut l = ledgers[route.shard].lock().expect("class ledger");
-                    l[class].rejected += 1;
-                    l[class].value_rejected += value;
-                }
-            }
-            SubmitOutcome::ShedAdmission => unreachable!("queues never shed at admission"),
-        }
-        outcome
+        submit_inner(self.shared(), item, class, None).map(|_| ())
     }
 
     /// Requests currently queued across all shards (racy snapshot).
     pub fn pending(&self) -> usize {
-        self.shared.queues.iter().map(ShardQueue::len).sum()
+        self.shared().queues.iter().map(ShardQueue::len).sum()
     }
 
     /// Close admission, drain every queue through the workers, join them,
     /// and merge the per-worker shards into the final report.
-    pub fn shutdown(self) -> ServeReport {
+    pub fn shutdown(mut self) -> ServeReport {
+        self.inner
+            .take()
+            .expect("server alive until shutdown")
+            .shutdown()
+    }
+}
+
+impl Drop for AmsServer {
+    /// Abort on drop (when [`AmsServer::shutdown`] was never called):
+    /// close every queue *discarding* its backlog — each queued request's
+    /// ticket resolves to `Shed(Drain)`, so clients still get their one
+    /// terminal event — and join every worker. A dropped server leaves no
+    /// detached threads behind; in-flight batches finish and deliver
+    /// normally. Use `shutdown` for the graceful drain-everything exit.
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner.abort();
+        }
+    }
+}
+
+impl ServerInner {
+    /// The abort path (`Drop` without `shutdown`): discard queued work,
+    /// notify its tickets, join the workers, drop the report.
+    fn abort(self) {
+        for q in &self.shared.queues {
+            for victim in q.abort() {
+                if let Some(slot) = victim.completion() {
+                    slot.try_shed(ShedReason::Drain);
+                }
+            }
+        }
+        for handle in self.workers {
+            // Don't double-panic while unwinding: a worker that died
+            // already reported its panic.
+            let _ = handle.join();
+        }
+    }
+
+    fn shutdown(self) -> ServeReport {
         for q in &self.shared.queues {
             q.close();
         }
@@ -1036,17 +1106,22 @@ impl AmsServer {
                 }
             }
         }
-        let shared = Arc::try_unwrap(self.shared)
-            .unwrap_or_else(|_| panic!("workers joined; no other Arc holder remains"));
+        // Clients hold only weak references, so the shared state is read
+        // in place — a client submitting after this point sees closed
+        // queues (`Rejected`), and cancellations of still-live tickets
+        // keep landing in the shared cancel ledger (read below *after*
+        // the workers joined, so every worker-side resolution is final).
+        let shared = &self.shared;
         let adaptive = shared.cfg.adaptive.map(|acfg| AdaptiveReport {
             target_p99_ms: acfg.target_p99_ms,
             shards: shared
                 .controls
-                .into_iter()
+                .iter()
                 .enumerate()
-                .map(|(shard, ctl)| ctl.into_record(shard, &acfg))
+                .map(|(shard, ctl)| ctl.record(shard, &acfg))
                 .collect(),
         });
+        let cancelled_classes = shared.cancel_ledger.by_class();
         let slo = shared.cfg.slo.as_ref().map(|slo_cfg| {
             // Fold the per-shard submit-path ledgers into one.
             let mut admission = vec![ClassAdmission::default(); slo_cfg.classes.len()];
@@ -1079,6 +1154,7 @@ impl AmsServer {
                         let adm = &admission[i];
                         let local = &merged.classes[i];
                         let oldest = shed_classes[i];
+                        let cancel = cancelled_classes.get(i).copied().unwrap_or_default();
                         ClassReport {
                             class: i,
                             name: c.name.clone(),
@@ -1091,6 +1167,8 @@ impl AmsServer {
                             shed_admission: adm.shed_admission,
                             shed_oldest: oldest.count,
                             shed_deadline: local.shed_deadline,
+                            cancelled: cancel.count,
+                            value_cancelled: cancel.value,
                             value_offered: adm.value_offered,
                             value_completed: local.value_completed,
                             value_late: local.value_late,
@@ -1118,6 +1196,7 @@ impl AmsServer {
             shed_oldest,
             shed_deadline: merged.shed_deadline,
             shed_admission: shared.shed_admission.load(Ordering::Relaxed),
+            cancelled: shared.cancel_ledger.total(),
             batches: merged.batches,
             max_batch_observed: merged.max_batch_observed,
             model_invocations: merged.model_invocations,
@@ -1131,6 +1210,252 @@ impl AmsServer {
             slo,
         }
     }
+}
+
+/// A request/response handle onto an [`AmsServer`]: submissions issue
+/// cancellable [`Ticket`]s, and every ticket's single terminal
+/// [`Completion`] event arrives on this client's own bounded completion
+/// queue.
+///
+/// ```
+/// use ams_core::framework::{AdaptiveModelScheduler, Budget};
+/// use ams_core::predictor::OraclePredictor;
+/// use ams_data::{Dataset, DatasetProfile, TruthTable};
+/// use ams_models::ModelZoo;
+/// use ams_serve::{AmsServer, Completion, ServeConfig};
+/// use std::sync::Arc;
+///
+/// let zoo = ModelZoo::standard();
+/// let ds = Dataset::generate(DatasetProfile::Coco2017, 4, 42);
+/// let truth = TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5);
+/// let predictor = Box::new(OraclePredictor::new(zoo.len(), 0.5));
+/// let scheduler = AdaptiveModelScheduler::new(zoo, predictor, 0.5, 42);
+///
+/// let server = AmsServer::start(scheduler, Budget::Deadline { ms: 1000 }, ServeConfig::default());
+/// let client = server.client();
+/// let tickets: Vec<_> = truth
+///     .items()
+///     .iter()
+///     .filter_map(|item| client.submit(Arc::new(item.clone())).ticket())
+///     .collect();
+/// for _ in &tickets {
+///     match client.recv().expect("one event per ticket") {
+///         Completion::Labeled(result) => assert!(!result.labels.is_empty() || result.recall == 1.0),
+///         other => panic!("lossless config never sheds: {other:?}"),
+///     }
+/// }
+/// server.shutdown();
+/// ```
+///
+/// The client holds only a weak reference to the server: submitting after
+/// `shutdown` (or drop) returns [`SubmitOutcome::Rejected`], and
+/// undelivered events remain receivable.
+#[derive(Debug, Clone)]
+pub struct Client {
+    shared: Weak<Shared>,
+    queue: Arc<CompletionQueue>,
+    cancel_ledger: Arc<CancelLedger>,
+}
+
+impl Client {
+    /// Default completion-window capacity of [`AmsServer::client`].
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Submit one item, returning its [`Ticket`] inside the admission
+    /// outcome (SLO class 0 when classes are configured).
+    ///
+    /// Blocks while the completion window is full — `capacity` tickets
+    /// outstanding with their events unconsumed — and then under the
+    /// shard's own backpressure policy, exactly like
+    /// [`AmsServer::submit`].
+    pub fn submit(&self, item: Arc<ItemTruth>) -> SubmitOutcome<Ticket> {
+        self.submit_class(item, 0)
+    }
+
+    /// [`Client::submit`] with an explicit SLO class (clamped to the
+    /// configured classes; ignored when no SLO is configured).
+    pub fn submit_class(&self, item: Arc<ItemTruth>, class: usize) -> SubmitOutcome<Ticket> {
+        let Some(shared) = self.shared.upgrade() else {
+            // The server shut down; nothing can be queued anymore.
+            return SubmitOutcome::Rejected;
+        };
+        submit_inner(&shared, item, class, Some(self))
+            .map(|ticket| ticket.expect("ticketed submissions always issue a ticket"))
+    }
+
+    /// Blocking receive: the next terminal event, in delivery order.
+    /// Returns `None` when no ticket is outstanding (every issued ticket's
+    /// event was already consumed) — so a drain loop terminates instead of
+    /// deadlocking.
+    pub fn recv(&self) -> Option<Completion> {
+        self.queue.recv()
+    }
+
+    /// Non-blocking receive: the next event if one is already queued.
+    pub fn try_recv(&self) -> Option<Completion> {
+        self.queue.try_recv()
+    }
+
+    /// Drain every currently queued event without blocking (outstanding
+    /// tickets whose events have not arrived yet stay outstanding).
+    pub fn drain(&self) -> Vec<Completion> {
+        self.queue.drain()
+    }
+
+    /// Tickets issued by this client whose terminal events have not been
+    /// consumed yet.
+    pub fn outstanding(&self) -> usize {
+        self.queue.outstanding()
+    }
+
+    /// The completion-window capacity.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+}
+
+/// The one submit path behind both [`AmsServer::submit_class`]
+/// (fire-and-forget, `client: None`) and [`Client::submit_class`]
+/// (ticketed). Returns the issued ticket in the outcome (`None` inside
+/// the outcome on the fire-and-forget path).
+fn submit_inner(
+    shared: &Shared,
+    item: Arc<ItemTruth>,
+    class: usize,
+    client: Option<&Client>,
+) -> SubmitOutcome<Option<Ticket>> {
+    // Resolve the class and its deadline *before* routing: the router's
+    // deadline-aware spill prices candidate shards against the budget.
+    let (class, weight, deadline_us) = match &shared.cfg.slo {
+        Some(slo) => {
+            let class = class.min(slo.classes.len() - 1);
+            let c = &slo.classes[class];
+            (class, c.weight, Some(c.deadline_ms.saturating_mul(1000)))
+        }
+        None => (
+            0,
+            1.0,
+            shared
+                .cfg
+                .request_timeout_ms
+                .map(|t| t.saturating_mul(1000)),
+        ),
+    };
+    // Claim the completion-window slot first: it may block while the
+    // client's window is full, and the queue snapshots the router takes
+    // should be fresh when the push actually happens.
+    if let Some(c) = client {
+        c.queue.issue();
+    }
+    let route = shared
+        .router
+        .route(&shared.scheduler, &item, &shared.queues, deadline_us);
+    shared.offered.fetch_add(1, Ordering::Relaxed);
+    let value = match &shared.cfg.slo {
+        Some(_) => weight * route.value,
+        None => 1.0,
+    };
+    let ticket = client.map(|c| {
+        let id = shared.next_ticket.fetch_add(1, Ordering::Relaxed);
+        Ticket::new(Arc::new(CompletionSlot::new(
+            id,
+            class,
+            value,
+            Arc::clone(&c.queue),
+            Arc::clone(&c.cancel_ledger),
+        )))
+    });
+    if let Some(ledgers) = &shared.class_admission {
+        let mut l = ledgers[route.shard].lock().expect("class ledger");
+        l[class].offered += 1;
+        l[class].value_offered += value;
+    }
+    if let (Some(slo), Some(deadline)) = (&shared.cfg.slo, deadline_us) {
+        if slo.admission_control {
+            let amortized = shared.controls[route.shard]
+                .amortized_us
+                .load(Ordering::Relaxed);
+            // One consistent snapshot of the queue (single lock
+            // acquisition): total depth for the fullness check, and
+            // the earlier-deadline backlog for EDF pricing — under
+            // EDF dequeue an urgent request overtakes lax work, so
+            // the raw depth would overcharge it (and shed requests
+            // EDF would have served in time).
+            let at = Instant::now() + Duration::from_micros(deadline);
+            let (qlen, ahead) = shared.queues[route.shard].queued_ahead(at);
+            let depth = if slo.edf_dequeue { ahead } else { qlen } as u64;
+            // Two shedding criteria, deliberately asymmetric:
+            //
+            // * the predicted *wait alone* exceeds the deadline — the
+            //   request provably cannot complete in time (it cannot
+            //   even dequeue in budget), so queueing it only wastes a
+            //   slot;
+            // * the queue is *full* and wait + one batch execute span
+            //   (the measured EWMA) exceeds the deadline — here
+            //   admitting means evicting a queued request that still
+            //   has a chance, in favor of one predicted to finish
+            //   late; refusing the doomed newcomer is the strictly
+            //   better trade.
+            //
+            // A merely-probably-late request on a non-full queue is
+            // admitted: EDF dequeue may still save it, and shedding
+            // at the margin would throw away value on a coin flip.
+            let wait_us = depth as f64 * amortized as f64 / shared.cfg.workers_per_shard as f64;
+            let full = qlen >= shared.queues[route.shard].capacity();
+            let span = shared.controls[route.shard]
+                .exec_span_us
+                .load(Ordering::Relaxed);
+            let doomed =
+                wait_us >= deadline as f64 || (full && wait_us + span as f64 >= deadline as f64);
+            if amortized > 0 && doomed {
+                shared.shed_admission.fetch_add(1, Ordering::Relaxed);
+                if let Some(ledgers) = &shared.class_admission {
+                    let mut l = ledgers[route.shard].lock().expect("class ledger");
+                    l[class].shed_admission += 1;
+                    l[class].value_shed_admission += value;
+                }
+                // The ticket resolves right here: the shed *is* its
+                // terminal event, delivered at decision time.
+                if let Some(t) = &ticket {
+                    t.slot().try_shed(ShedReason::Admission);
+                }
+                return SubmitOutcome::ShedAdmission(ticket);
+            }
+        }
+    }
+    let mut req = Request::new(item, route.signature).with_slo(class, value, deadline_us);
+    if let Some(t) = &ticket {
+        req = req.with_completion(Arc::clone(t.slot()));
+    }
+    let outcome = shared.queues[route.shard].push(req);
+    match outcome {
+        SubmitOutcome::Enqueued(()) | SubmitOutcome::EnqueuedShedOldest(()) => {
+            shared.submitted.fetch_add(1, Ordering::Relaxed);
+        }
+        // The submission itself was the overflow shed: it never
+        // entered a queue (so it is not `submitted`) and the queue
+        // recorded it in the overflow-shed ledger — and resolved its
+        // ticket with `Shed(Overflow)` — which keeps the conservation
+        // equation balanced.
+        SubmitOutcome::ShedIncoming(()) => {}
+        SubmitOutcome::Rejected => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(ledgers) = &shared.class_admission {
+                let mut l = ledgers[route.shard].lock().expect("class ledger");
+                l[class].rejected += 1;
+                l[class].value_rejected += value;
+            }
+            // A rejection is synchronous: the caller sees it, no event
+            // is owed, so the provisional ticket is withdrawn and its
+            // window slot released.
+            if let Some(t) = &ticket {
+                t.slot().retract();
+            }
+            return SubmitOutcome::Rejected;
+        }
+        SubmitOutcome::ShedAdmission(()) => unreachable!("queues never shed at admission"),
+    }
+    outcome.map(|()| ticket)
 }
 
 /// One worker: pop → shed stale → label → batch-admit → record, until the
@@ -1163,18 +1488,37 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
         // before any work is spent on it. A shed request is accounted
         // exactly once — in `shed_deadline` — and never reaches the stats
         // (the recall denominator) or the latency histograms.
+        //
+        // Cancellation races resolve here: a ticketed request is *claimed*
+        // (`PENDING → CLAIMED`) before any labeling work, so a cancel that
+        // arrives later is too late, while a request cancelled between
+        // enqueue and this point is skipped without ledgering anything —
+        // the cancellation already delivered its terminal event and
+        // recorded itself.
         let mut survivors: Vec<(Request, Duration)> = Vec::with_capacity(batch.len());
         for req in batch {
             let now = Instant::now();
             let wait = now.saturating_duration_since(req.enqueued_at);
             if req.expired(now) {
-                local.shed_deadline += 1;
-                if let Some(cl) = local.classes.get_mut(req.class) {
-                    cl.shed_deadline += 1;
-                    cl.value_shed_deadline += req.value;
+                let owns_shed = match req.completion() {
+                    Some(slot) => slot.try_shed(ShedReason::Deadline),
+                    None => true,
+                };
+                if owns_shed {
+                    local.shed_deadline += 1;
+                    if let Some(cl) = local.classes.get_mut(req.class) {
+                        cl.shed_deadline += 1;
+                        cl.value_shed_deadline += req.value;
+                    }
                 }
             } else {
-                survivors.push((req, wait));
+                let claimed = match req.completion() {
+                    Some(slot) => slot.try_claim(),
+                    None => true,
+                };
+                if claimed {
+                    survivors.push((req, wait));
+                }
             }
         }
         if survivors.is_empty() {
@@ -1240,24 +1584,42 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
         let amortized = shared.controls[shard].publish_amortized(exec_elapsed, survivors.len());
         shared.queues[shard]
             .set_service_hint_us((amortized / shared.cfg.workers_per_shard as u64).max(1));
-        for ((req, wait), outcome) in survivors.iter().zip(&outcomes) {
-            local.stats.absorb(outcome, shared.cfg.alert_recall);
+        let exec_us = exec_elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        for ((req, wait), outcome) in survivors.iter().zip(outcomes) {
+            local.stats.absorb(&outcome, shared.cfg.alert_recall);
             local.queue_wait.record(*wait);
             local.execute.record(exec_elapsed);
             let total = *wait + exec_elapsed;
             local.total.record(total);
             local.completed += 1;
+            let met = req
+                .deadline_us
+                .is_none_or(|d| total.as_micros().min(u128::from(u64::MAX)) as u64 <= d);
             if let Some(cl) = local.classes.get_mut(req.class) {
                 cl.completed += 1;
                 cl.value_completed += req.value;
                 cl.total.record(total);
-                let met = req
-                    .deadline_us
-                    .is_none_or(|d| total.as_micros().min(u128::from(u64::MAX)) as u64 <= d);
                 cl.deadline_met += u64::from(met);
                 if !met {
                     cl.value_late += req.value;
                 }
+            }
+            // Per-request delivery: the claimed slot receives the
+            // request's *own* labels and latency split — the payload the
+            // aggregate-only path folds into `ServeReport::stats`.
+            if let Some(slot) = req.completion() {
+                slot.finish_labeled(LabelResult {
+                    ticket: slot.id(),
+                    class: req.class,
+                    labels: outcome.labels,
+                    executed: outcome.executed,
+                    label_value: outcome.value,
+                    banked_value: req.value,
+                    recall: outcome.recall,
+                    queue_wait_us: wait.as_micros().min(u128::from(u64::MAX)) as u64,
+                    execute_us: exec_us,
+                    deadline_met: met,
+                });
             }
         }
         if let Some(acfg) = &shared.cfg.adaptive {

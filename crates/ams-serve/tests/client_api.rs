@@ -1,0 +1,460 @@
+//! The request/response client API: completion tickets, per-request label
+//! delivery, cancellation, the drop-abort path, and the exactly-once
+//! completion invariant — every issued ticket resolves to precisely one
+//! terminal event, across every backpressure policy, under cancellation
+//! storms and value-weighted eviction.
+
+use ams_core::framework::{AdaptiveModelScheduler, Budget};
+use ams_core::predictor::OraclePredictor;
+use ams_data::{Dataset, DatasetProfile, TruthTable};
+use ams_models::ModelZoo;
+use ams_serve::{
+    AmsServer, BackpressurePolicy, Completion, ServeConfig, ShedReason, SloClass, SloConfig, Ticket,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
+
+fn scheduler() -> AdaptiveModelScheduler {
+    let zoo = ModelZoo::standard();
+    let predictor = Box::new(OraclePredictor::new(zoo.len(), 0.5));
+    AdaptiveModelScheduler::new(zoo, predictor, 0.5, 64)
+}
+
+fn truth() -> &'static TruthTable {
+    static TRUTH: OnceLock<TruthTable> = OnceLock::new();
+    TRUTH.get_or_init(|| {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, 40, 64);
+        TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5)
+    })
+}
+
+/// Count events by kind: (labeled, shed, cancelled).
+fn tally(events: &[Completion]) -> (u64, u64, u64) {
+    let mut t = (0u64, 0u64, 0u64);
+    for ev in events {
+        match ev {
+            Completion::Labeled(_) => t.0 += 1,
+            Completion::Shed { .. } => t.1 += 1,
+            Completion::Cancelled { .. } => t.2 += 1,
+        }
+    }
+    t
+}
+
+/// Lossless serving through the client API: every ticket resolves to a
+/// `Labeled` event carrying the request's *own* labels — exactly what the
+/// scheduler produces for that item serially — plus a coherent latency
+/// split, while the aggregate report stays byte-identical to the old path.
+#[test]
+fn client_receives_each_requests_own_labels() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth();
+    let server = AmsServer::start(
+        scheduler(),
+        budget,
+        ServeConfig {
+            shards: 3,
+            workers_per_shard: 2,
+            max_batch: 4,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    let mut by_ticket: Vec<(u64, usize)> = Vec::new(); // (ticket id, item index)
+    for (i, item) in table.items().iter().enumerate() {
+        let ticket = client
+            .submit(Arc::new(item.clone()))
+            .ticket()
+            .expect("lossless config accepts everything");
+        by_ticket.push((ticket.id(), i));
+    }
+    let mut events = Vec::new();
+    while let Some(ev) = client.recv() {
+        events.push(ev);
+    }
+    assert_eq!(events.len(), 40, "one terminal event per ticket");
+    let serial = scheduler();
+    for ev in &events {
+        let result = ev.labeled().expect("lossless run only labels");
+        let &(_, item_idx) = by_ticket
+            .iter()
+            .find(|&&(id, _)| id == result.ticket)
+            .expect("event for a known ticket");
+        let want = serial.label_item(table.item(item_idx), budget);
+        assert_eq!(result.labels, want.labels, "item {item_idx}: labels");
+        assert_eq!(result.executed, want.executed, "item {item_idx}: models");
+        assert!((result.label_value - want.value).abs() < 1e-9);
+        assert!((result.recall - want.recall).abs() < 1e-9);
+        assert!(result.deadline_met, "no deadline configured");
+        assert_eq!(result.class, 0);
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 40);
+    assert_eq!(report.cancelled, 0);
+    assert!(report.is_conserved());
+    // recv after everything resolved: no outstanding tickets, no hang.
+    assert_eq!(client.outstanding(), 0);
+    assert!(client.recv().is_none());
+}
+
+/// Cancellation races with dequeue and batch assembly: under a storm that
+/// cancels every other ticket mid-service, each ticket still resolves to
+/// exactly one terminal event, the report's `cancelled` bucket matches the
+/// delivered `Cancelled` events, and the conservation equation includes
+/// them.
+#[test]
+fn cancellation_storm_keeps_completions_exactly_once() {
+    let table = truth();
+    let server = AmsServer::start(
+        scheduler(),
+        Budget::Deadline { ms: 900 },
+        ServeConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            max_batch: 4,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            // Real wall time per batch, so cancels genuinely race the
+            // workers instead of always losing to an instant drain.
+            exec_emulation_scale: 2e-3,
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    let (tx, rx) = std::sync::mpsc::channel::<Ticket>();
+    let canceller = std::thread::spawn(move || {
+        let mut won = 0u64;
+        for ticket in rx {
+            if ticket.cancel() {
+                won += 1;
+                // A won cancel can never be won again.
+                assert!(!ticket.cancel(), "double cancel must lose");
+                assert!(ticket.is_resolved());
+            }
+        }
+        won
+    });
+    let mut issued = 0u64;
+    for (i, item) in table.items().iter().enumerate() {
+        let outcome = client.submit(Arc::new(item.clone()));
+        let ticket = outcome.ticket().expect("block policy always queues");
+        issued += 1;
+        if i % 2 == 0 {
+            tx.send(ticket).expect("canceller alive");
+        }
+    }
+    drop(tx);
+    let cancels_won = canceller.join().expect("canceller");
+    let report = server.shutdown();
+    let mut events = Vec::new();
+    while let Some(ev) = client.recv() {
+        events.push(ev);
+    }
+    assert_eq!(events.len() as u64, issued, "exactly one event per ticket");
+    let ids: HashSet<u64> = events.iter().map(Completion::ticket).collect();
+    assert_eq!(ids.len() as u64, issued, "no ticket resolved twice");
+    let (labeled, shed, cancelled) = tally(&events);
+    assert_eq!(labeled, report.completed);
+    assert_eq!(cancelled, report.cancelled);
+    assert_eq!(cancelled, cancels_won, "every won cancel delivered");
+    assert_eq!(
+        shed,
+        report.shed_admission + report.shed_oldest + report.shed_deadline
+    );
+    assert!(report.is_conserved(), "cancelled requests stay conserved");
+    assert_eq!(report.completed + report.cancelled, issued);
+    assert!(report.cancelled > 0, "some cancels must win the race");
+    assert!(report.completed > 0, "some requests must outrun the storm");
+    // Stats cover only labeled requests — a cancelled request never enters
+    // the recall denominator.
+    assert_eq!(report.stats.items as u64, report.completed);
+}
+
+/// Dropping a server without `shutdown` aborts it: queued-but-unserved
+/// tickets resolve to `Shed(Drain)`, in-flight work completes, every
+/// worker is joined (drop returns only afterwards), and the client sees
+/// exactly one event per ticket. Regression for the detached-thread leak:
+/// dropping mid-test used to leave workers running forever.
+#[test]
+fn dropping_the_server_drains_workers_and_sheds_the_backlog() {
+    let table = truth();
+    let server = AmsServer::start(
+        scheduler(),
+        Budget::Deadline { ms: 900 },
+        ServeConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            max_batch: 2,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            // Slow workers: most of the stream is still queued at drop.
+            exec_emulation_scale: 5e-3,
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    let mut issued = 0u64;
+    for item in table.items() {
+        client.submit(Arc::new(item.clone())).ticket().unwrap();
+        issued += 1;
+    }
+    // Wait for the workers to pop (and thereby claim) at least one batch:
+    // a popped request is in a worker's hands, so it must complete even
+    // through the abort. Everything still queued at drop is shed as Drain.
+    while server.pending() as u64 >= issued {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    drop(server);
+    // After the drop every worker has been joined: no new completions can
+    // be in flight, so a plain drain must already see all of them.
+    let events = client.drain();
+    assert_eq!(events.len() as u64, issued, "one event per ticket");
+    let (labeled, shed, cancelled) = tally(&events);
+    assert_eq!(cancelled, 0);
+    assert!(shed > 0, "the backlog must be shed as Drain");
+    assert!(labeled > 0, "in-flight batches still complete");
+    for ev in &events {
+        if let Completion::Shed { reason, .. } = ev {
+            assert_eq!(*reason, ShedReason::Drain, "abort sheds are Drain");
+        }
+    }
+    // The server is gone: later submissions are refused synchronously.
+    assert!(client.submit(Arc::new(table.item(0).clone())).is_rejected());
+    assert_eq!(client.outstanding(), 0);
+    assert!(client.recv().is_none(), "drained client terminates recv");
+}
+
+/// The completion window genuinely bounds the ticket pipeline: a client
+/// with capacity N blocks its (N+1)-th submission until an event is
+/// consumed — and unblocks as soon as one is.
+#[test]
+fn completion_window_blocks_submission_until_the_client_drains() {
+    let table = truth();
+    let server = AmsServer::start(
+        scheduler(),
+        Budget::Deadline { ms: 900 },
+        ServeConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            max_batch: 8,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client_with_capacity(4);
+    assert_eq!(client.capacity(), 4);
+    let items: Vec<Arc<_>> = table
+        .items()
+        .iter()
+        .take(6)
+        .map(|i| Arc::new(i.clone()))
+        .collect();
+    let submitter = {
+        let client = client.clone();
+        std::thread::spawn(move || {
+            for item in items {
+                client.submit(item).ticket().expect("eventually accepted");
+            }
+        })
+    };
+    // Consume events until the submitter gets all 6 through its 4-wide
+    // window; recv unblocks the window as it consumes.
+    let mut events = Vec::new();
+    while events.len() < 6 {
+        match client.recv() {
+            Some(ev) => events.push(ev),
+            None => std::thread::yield_now(),
+        }
+    }
+    submitter.join().expect("submitter");
+    assert_eq!(events.len(), 6);
+    assert!(events.iter().all(|e| e.labeled().is_some()));
+    server.shutdown();
+}
+
+/// Per-class admission reservations, end to end: a flood of bulk traffic
+/// cannot starve the interactive class of *admission* — its reserved
+/// slots admit it at the flood's peak — and the per-class ledgers stay
+/// conserved (including cancellations) under every backpressure policy.
+#[test]
+fn admission_reservations_conserve_and_protect_across_policies() {
+    let table = truth();
+    for policy in [
+        BackpressurePolicy::Block,
+        BackpressurePolicy::Reject,
+        BackpressurePolicy::ShedOldest,
+    ] {
+        let server = AmsServer::start(
+            scheduler(),
+            Budget::Deadline { ms: 900 },
+            ServeConfig {
+                shards: 1,
+                workers_per_shard: 1,
+                queue_capacity: 8,
+                max_batch: 2,
+                policy,
+                // Slow drain so the flood genuinely saturates the queue.
+                exec_emulation_scale: 5e-3,
+                slo: Some(SloConfig {
+                    classes: vec![
+                        SloClass::new("bulk", 60_000, 1.0),
+                        // Interactive reserves half the queue's slots.
+                        SloClass::new("interactive", 60_000, 4.0).with_reserve(0.5),
+                    ],
+                    admission_control: false,
+                    value_weighted_shedding: policy == BackpressurePolicy::ShedOldest,
+                    edf_dequeue: false,
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        let client = server.client();
+        let mut outcomes: Vec<(usize, bool)> = Vec::new(); // (class, accepted)
+        let mut issued = 0u64;
+        // Bulk flood first, then interactive submissions at the peak.
+        for (i, item) in table.items().iter().enumerate() {
+            let class = if i < 30 { 0 } else { 1 };
+            let outcome = client.submit_class(Arc::new(item.clone()), class);
+            issued += u64::from(!outcome.is_rejected());
+            outcomes.push((class, outcome.is_accepted()));
+        }
+        let report = server.shutdown();
+        let ctx = format!("policy {policy:?}");
+        // The reserve holds: the bulk flood can saturate the shared slots,
+        // but the interactive class is still admitted at least up to its
+        // reserved share (4 of 8 slots) — without the reservation, a
+        // Reject queue full of bulk would refuse *every* interactive
+        // request. Block and ShedOldest admit all of them (blocking or
+        // evicting over-reserve bulk, never the protected slots).
+        let interactive_accepted = outcomes
+            .iter()
+            .filter(|&&(class, accepted)| class == 1 && accepted)
+            .count();
+        assert!(
+            interactive_accepted >= 4,
+            "{ctx}: the reserve admits at least its share, got {interactive_accepted}"
+        );
+        if policy != BackpressurePolicy::Reject {
+            assert_eq!(interactive_accepted, 10, "{ctx}: nothing refused");
+        }
+        assert!(report.is_conserved(), "{ctx}");
+        let slo = report.slo.as_ref().expect("slo ledger");
+        assert!(slo.is_conserved(), "{ctx}: per-class ledgers balance");
+        assert_eq!(slo.classes[1].offered, 10, "{ctx}");
+        for c in &slo.classes {
+            assert!(
+                (c.value_offered - c.value_completed - c.value_shed - c.value_cancelled).abs()
+                    < 1e-6,
+                "{ctx} class {}: value ledger balances",
+                c.name
+            );
+        }
+        // Exactly-once on the event side too.
+        let events = client.drain();
+        assert_eq!(events.len() as u64, issued, "{ctx}: one event per ticket");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The exactly-once completion property: over arbitrary shard/worker/
+    /// batch shapes, all three backpressure policies, value-weighted
+    /// eviction on or off, and a cancellation storm of arbitrary phase,
+    /// every issued ticket yields one terminal event, ids never repeat,
+    /// the event tally matches the report's ledger bucket for bucket, and
+    /// the conservation equation (now including `cancelled`) holds.
+    #[test]
+    fn every_ticket_resolves_exactly_once(
+        shards in 1usize..4,
+        workers_per_shard in 1usize..3,
+        max_batch in 1usize..6,
+        queue_capacity in 2usize..10,
+        policy_idx in 0usize..3,
+        slo_aware in any::<bool>(),
+        cancel_stride in 2usize..5,
+    ) {
+        let policy = [
+            BackpressurePolicy::Block,
+            BackpressurePolicy::Reject,
+            BackpressurePolicy::ShedOldest,
+        ][policy_idx];
+        let table = truth();
+        let slo = slo_aware.then(|| SloConfig::aware(vec![
+            SloClass::new("interactive", 25, 4.0),
+            SloClass::new("bulk", 10_000, 1.0),
+        ]));
+        let server = AmsServer::start(
+            scheduler(),
+            Budget::Deadline { ms: 900 },
+            ServeConfig {
+                shards,
+                workers_per_shard,
+                max_batch,
+                queue_capacity,
+                policy,
+                exec_emulation_scale: 2e-3,
+                slo,
+                ..ServeConfig::default()
+            },
+        );
+        let client = server.client();
+        let mut issued = 0u64;
+        let mut rejected = 0u64;
+        let mut storm: Vec<Ticket> = Vec::new();
+        for (i, item) in table.items().iter().enumerate() {
+            match client.submit_class(Arc::new(item.clone()), i % 2).ticket() {
+                Some(ticket) => {
+                    issued += 1;
+                    if i % cancel_stride == 0 {
+                        storm.push(ticket);
+                    }
+                }
+                None => rejected += 1,
+            }
+            // Cancel with a lag of one burst, so cancels hit queued,
+            // in-assembly, and already-resolved tickets alike.
+            if i % 8 == 7 {
+                for t in storm.drain(..) {
+                    t.cancel();
+                }
+            }
+        }
+        for t in storm.drain(..) {
+            t.cancel();
+        }
+        let report = server.shutdown();
+        let mut events = Vec::new();
+        while let Some(ev) = client.recv() {
+            events.push(ev);
+        }
+        prop_assert_eq!(events.len() as u64, issued, "one event per ticket");
+        let ids: HashSet<u64> = events.iter().map(Completion::ticket).collect();
+        prop_assert_eq!(ids.len() as u64, issued, "ids unique");
+        let (labeled, shed, cancelled) = tally(&events);
+        prop_assert_eq!(labeled, report.completed);
+        prop_assert_eq!(cancelled, report.cancelled);
+        prop_assert_eq!(
+            shed,
+            report.shed_admission + report.shed_oldest + report.shed_deadline
+        );
+        prop_assert_eq!(rejected, report.rejected);
+        prop_assert!(report.is_conserved(), "conservation with cancellation");
+        prop_assert_eq!(report.offered, issued + rejected);
+        if let Some(slo) = &report.slo {
+            prop_assert!(slo.is_conserved(), "class ledgers balance");
+            for c in &slo.classes {
+                prop_assert!(
+                    (c.value_offered - c.value_completed - c.value_shed - c.value_cancelled)
+                        .abs() < 1e-6,
+                    "class {} value ledger", c.name
+                );
+            }
+        }
+    }
+}

@@ -71,10 +71,10 @@ fn serve_stats_match_serial_when_nothing_is_shed() {
             ..ServeConfig::default()
         };
         let server = AmsServer::start(scheduler(), budget, cfg);
+        let client = server.client();
         for item in table.items() {
-            assert_ne!(
-                server.submit(Arc::new(item.clone())),
-                SubmitOutcome::Rejected,
+            assert!(
+                client.submit(Arc::new(item.clone())).ticket().is_some(),
                 "lossless config must accept everything"
             );
         }
@@ -89,6 +89,13 @@ fn serve_stats_match_serial_when_nothing_is_shed() {
         assert_stats_match(&report.stats, &want, &ctx);
         assert_eq!(report.total.count, 40, "{ctx}: every request timed");
         assert!(report.batches > 0 && report.max_batch_observed <= max_batch);
+        // The client view agrees: one Labeled event per ticket, no losses.
+        let events = client.drain();
+        assert_eq!(events.len(), 40, "{ctx}: exactly-once delivery");
+        assert!(
+            events.iter().all(|e| e.labeled().is_some()),
+            "{ctx}: lossless run only labels"
+        );
     }
 }
 
@@ -384,7 +391,7 @@ fn shard_of_matches_the_hash_routers_placement() {
         for item in table.items() {
             assert_eq!(
                 server.shard_of(item),
-                router.route(&sched, item, &queues).shard,
+                router.route(&sched, item, &queues, None).shard,
                 "scene {} with {shards} shards",
                 item.scene_id
             );
@@ -427,11 +434,11 @@ fn slo_shedding_conserves_every_request_across_policies() {
         {
             let mut submit = |item: &ItemTruth, class: usize| {
                 let idx = match server.submit_class(Arc::new(item.clone()), class) {
-                    SubmitOutcome::Enqueued => 0,
-                    SubmitOutcome::EnqueuedShedOldest => 1,
+                    SubmitOutcome::Enqueued(()) => 0,
+                    SubmitOutcome::EnqueuedShedOldest(()) => 1,
                     SubmitOutcome::Rejected => 2,
-                    SubmitOutcome::ShedAdmission => 3,
-                    SubmitOutcome::ShedIncoming => 4,
+                    SubmitOutcome::ShedAdmission(()) => 3,
+                    SubmitOutcome::ShedIncoming(()) => 4,
                 };
                 outcomes[idx] += 1;
                 offered_by_class[class] += 1;
@@ -546,7 +553,7 @@ fn blind_slo_mode_tracks_classes_without_perturbing_results() {
     for (i, item) in table.items().iter().enumerate() {
         assert_eq!(
             server.submit_class(Arc::new(item.clone()), i % 2),
-            SubmitOutcome::Enqueued,
+            SubmitOutcome::Enqueued(()),
             "lossless blind config admits everything"
         );
     }

@@ -14,10 +14,12 @@
 //! * [`core`] — value prediction, Algorithms 1–2, baselines, rules, the
 //!   relation graph, and the [`core::framework::AdaptiveModelScheduler`]
 //!   facade.
-//! * [`serve`] — the sharded serving front-end: bounded queues with
-//!   backpressure, model-affinity routing, batched admission with an
-//!   adaptive per-shard batch-limit controller, deadline shedding, and
-//!   latency telemetry.
+//! * [`serve`] — the sharded serving front-end: a request/response client
+//!   API (completion tickets, per-request label delivery, cancellation),
+//!   bounded queues with backpressure and per-class admission
+//!   reservations, model-affinity routing with deadline-aware spill,
+//!   batched admission with an adaptive per-shard batch-limit controller,
+//!   deadline shedding, and latency telemetry.
 //!
 //! ## Quickstart
 //!
@@ -89,8 +91,9 @@ pub mod prelude {
     };
     pub use ams_serve::{
         AdaptiveBatchConfig, AdaptiveReport, AffinityConfig, AmsServer, BackpressurePolicy,
-        ClassReport, LatencySummary, RoutingMode, ServeConfig, ServeReport, ShardAdaptive,
-        SloClass, SloConfig, SloReport, SubmitOutcome,
+        ClassReport, Client, Completion, LabelResult, LatencySummary, RoutingMode, ServeConfig,
+        ServeReport, ShardAdaptive, ShedReason, SloClass, SloConfig, SloReport, SubmitOutcome,
+        Ticket,
     };
     pub use ams_sim::{
         batched_makespan, BatchLatencyModel, ExecTrace, Job, MemoryPool, ParallelExecutor,

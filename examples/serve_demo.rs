@@ -2,17 +2,23 @@
 //! deployment shape of the paper's motivating applications — with sharded
 //! admission queues, batched execution, and latency telemetry.
 //!
-//! A burst of album photos is submitted to an [`AmsServer`] four times:
+//! A burst of album photos is submitted to an [`AmsServer`] five times:
 //! once with a lossless blocking configuration, once with a tiny queue and
 //! a shed-oldest policy under a request timeout (graceful degradation
 //! under overload), once with model-affinity routing plus the adaptive
 //! batch-limit controller — the configuration that coalesces same-model
 //! batches deliberately and retunes `max_batch` against a tail-latency
-//! target — and once with SLO classes (deadline + value weight per
-//! request), where admission control, value-weighted eviction, and EDF
-//! dequeue make the *shedding* deliberate as well.
+//! target — once with SLO classes (deadline + value weight per request),
+//! where admission control, value-weighted eviction, and EDF dequeue make
+//! the *shedding* deliberate as well — and once through the
+//! request/response **client API**: every submission returns a cancellable
+//! completion ticket, each request's own labels come back as a `Labeled`
+//! event on the client's completion queue, and a cancelled straggler
+//! resolves to exactly one `Cancelled` event instead of wasting a worker.
 //!
-//! Run with: `cargo run --release --example serve_demo`
+//! Run with: `cargo run --release --example serve_demo [-- --smoke]`
+//! (`--smoke` shrinks the dataset and training so CI can exercise the
+//! whole public serving surface in seconds).
 
 use ams::prelude::*;
 use std::sync::Arc;
@@ -107,12 +113,16 @@ fn print_report(tag: &str, r: &ServeReport) {
 }
 
 fn main() {
+    // `--smoke` keeps CI runs in seconds: a smaller album and a shorter
+    // training run, same code paths end to end.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (album_size, episodes) = if smoke { (48, 8) } else { (240, 120) };
     // Album-indexing content plus a quickly trained value predictor.
     let zoo = ModelZoo::standard();
-    let album = Dataset::generate(DatasetProfile::Coco2017, 240, 11);
+    let album = Dataset::generate(DatasetProfile::Coco2017, album_size, 11);
     let truth = TruthTable::build(&zoo, &zoo.catalog(), &album, 0.5);
     let cfg = TrainConfig {
-        episodes: 120,
+        episodes,
         ..TrainConfig::fast_test(Algo::Dqn)
     };
     let (agent, _) = train(truth.items(), zoo.len(), &cfg);
@@ -198,7 +208,7 @@ fn main() {
     //    first. Compare the per-class ledger with scenario 2, which shed
     //    blind.
     let server = AmsServer::start(
-        scheduler(agent, album.world_seed),
+        scheduler(agent.clone(), album.world_seed),
         budget,
         ServeConfig {
             shards: 2,
@@ -227,10 +237,86 @@ fn main() {
         &server.shutdown(),
     );
 
-    println!("\nthe same scheduler serves all four: backpressure and deadline shedding");
+    // 5) The request/response client API: per-request label retrieval.
+    //    Every submission returns a cancellable ticket; each request's own
+    //    labels arrive as a Labeled completion event (what the aggregate
+    //    report folds away), and a cancelled straggler resolves to exactly
+    //    one Cancelled event — the worker never wastes a batch slot on it.
+    let server = AmsServer::start(
+        scheduler(agent, album.world_seed),
+        budget,
+        ServeConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            max_batch: 4,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            exec_emulation_scale: 5e-3,
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    let take = items.len().min(24);
+    let mut tickets = Vec::new();
+    for item in items.iter().take(take) {
+        if let Some(ticket) = client.submit(Arc::clone(item)).ticket() {
+            tickets.push(ticket);
+        }
+    }
+    // The last submission is a straggler the caller no longer wants —
+    // cancel it while the workers are still chewing through the backlog.
+    let straggler = tickets.last().expect("submitted at least one");
+    let cancel_won = straggler.cancel();
+    println!("--- client API (per-request retrieval) ---");
+    let mut labeled = 0u64;
+    let mut cancelled = 0u64;
+    let mut first_labels: Option<(u64, usize, f64, u64)> = None;
+    while let Some(event) = client.recv() {
+        match event {
+            Completion::Labeled(result) => {
+                labeled += 1;
+                first_labels.get_or_insert((
+                    result.ticket,
+                    result.labels.len(),
+                    result.recall,
+                    result.queue_wait_us + result.execute_us,
+                ));
+            }
+            Completion::Cancelled { ticket, .. } => {
+                cancelled += 1;
+                println!("  ticket {ticket} cancelled before a worker claimed it");
+            }
+            Completion::Shed { ticket, reason, .. } => {
+                println!("  ticket {ticket} shed ({})", reason.name());
+            }
+        }
+    }
+    let report = server.shutdown();
+    if let Some((ticket, labels, recall, total_us)) = first_labels {
+        println!(
+            "  ticket {ticket}: {labels} labels at {:.0}% recall, {:.1}ms wait+execute",
+            recall * 100.0,
+            total_us as f64 / 1000.0,
+        );
+    }
+    println!(
+        "  {take} tickets -> {labeled} labeled + {cancelled} cancelled \
+         (cancel {}), ledger cancelled = {}",
+        if cancel_won {
+            "won the race"
+        } else {
+            "lost the race"
+        },
+        report.cancelled,
+    );
+    assert_eq!(labeled + cancelled, take as u64, "exactly one event each");
+    assert!(report.is_conserved());
+
+    println!("\nthe same scheduler serves all five: backpressure and deadline shedding");
     println!("trade recall coverage for bounded queues and fresh frames; affinity");
-    println!("routing and the adaptive batch controller make batching deliberate; and");
-    println!("SLO classes make the *shedding* deliberate too — when something must be");
-    println!("dropped, it is the request whose label was worth the least per unit of");
-    println!("remaining deadline.");
+    println!("routing and the adaptive batch controller make batching deliberate;");
+    println!("SLO classes make the *shedding* deliberate too; and the client API");
+    println!("closes the loop — every request hands its caller a ticket that");
+    println!("resolves to exactly one completion: its labels, its shed reason, or");
+    println!("its cancellation.");
 }

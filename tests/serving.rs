@@ -45,13 +45,30 @@ fn served_agent_pipeline_matches_serial_engine() {
         ..ServeConfig::default()
     };
     let server = AmsServer::start(scheduler_for(agent, world_seed), budget, cfg);
+    let client = server.client();
+    let mut tickets = Vec::new();
     for item in truth.items() {
-        assert_ne!(
-            server.submit(Arc::new(item.clone())),
-            SubmitOutcome::Rejected,
-            "lossless serving config must accept every request"
+        tickets.push(
+            client
+                .submit(Arc::new(item.clone()))
+                .ticket()
+                .expect("lossless serving config must accept every request"),
         );
     }
+    // Per-request delivery: exactly one Labeled event per ticket, summing
+    // to the serial engine's aggregate story.
+    let mut delivered = 0u64;
+    let mut value_sum = 0.0f64;
+    let mut recall_sum = 0.0f64;
+    while let Some(ev) = client.recv() {
+        let result = ev.labeled().expect("lossless run only labels");
+        value_sum += result.label_value;
+        recall_sum += result.recall;
+        delivered += 1;
+    }
+    assert_eq!(delivered, tickets.len() as u64);
+    assert!((value_sum - want.value_sum).abs() < 1e-9);
+    assert!((recall_sum - want.recall_sum).abs() < 1e-9);
     let report = server.shutdown();
 
     // Nothing shed → serve-mode stats are the serial engine's, exactly.
@@ -182,10 +199,25 @@ fn served_pipeline_with_slo_classes_keeps_the_ledger_exact() {
         ..ServeConfig::default()
     };
     let server = AmsServer::start(scheduler_for(agent, world_seed), budget, cfg);
+    let client = server.client();
+    let mut issued = 0u64;
     for (i, item) in truth.items().iter().enumerate() {
-        server.submit_class(Arc::new(item.clone()), i % 2);
+        let outcome = client.submit_class(Arc::new(item.clone()), i % 2);
+        issued += u64::from(!outcome.is_rejected());
+        // Cancel a straggler mid-stream: the ledger must absorb the race
+        // (either the cancel wins, or the request resolves normally).
+        if i == 20 {
+            if let Some(ticket) = outcome.as_ticket() {
+                ticket.cancel();
+            }
+        }
     }
     let report = server.shutdown();
+    // Exactly-once: every issued ticket delivered one terminal event.
+    let events = client.drain();
+    assert_eq!(events.len() as u64, issued);
+    let cancelled_events = events.iter().filter(|e| e.is_cancelled()).count() as u64;
+    assert_eq!(cancelled_events, report.cancelled);
     assert!(report.is_conserved());
     assert_eq!(report.offered, 36);
     let slo = report.slo.as_ref().expect("slo ledger present");
@@ -198,7 +230,7 @@ fn served_pipeline_with_slo_classes_keeps_the_ledger_exact() {
     );
     for c in &slo.classes {
         assert!(
-            (c.value_offered - c.value_completed - c.value_shed).abs() < 1e-6,
+            (c.value_offered - c.value_completed - c.value_shed - c.value_cancelled).abs() < 1e-6,
             "class {} value ledger",
             c.name
         );
