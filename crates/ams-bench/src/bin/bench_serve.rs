@@ -13,7 +13,7 @@
 //!   growth, shed requests, and tail-latency blowup rather than as a
 //!   silently slowed producer.
 //!
-//! Four gates run *inside* the bench (the process aborts on violation, so
+//! Five gates run *inside* the bench (the process aborts on violation, so
 //! a green record is a green guarantee):
 //! * serve-mode stats equal the serial engine's, under hash **and**
 //!   affinity routing;
@@ -25,7 +25,15 @@
 //!   request/response [`Client`] API, and at every measured point the
 //!   tickets issued equal the terminal completion events delivered
 //!   (labeled + shed + cancelled), bucket-for-bucket against the report's
-//!   conservation ledger.
+//!   conservation ledger;
+//! * **label-cache economics** — a Zipf-repetition sweep (repeat rate 0 /
+//!   0.3 / 0.6 / 0.9, same sequence cache-on and cache-off) where the
+//!   bill saving and the effective capacity strictly increase with the
+//!   repeat rate, cache-on strictly undercuts cache-off on the virtual
+//!   GPU bill at repeat ≥ 0.6, conservation (including the `cache_hit`
+//!   and `coalesced` buckets) holds at every point, and at repeat 0 the
+//!   cache is a perfect no-op (zero hits, stats equal to the serial
+//!   engine's — unique streams pay nothing for the cache).
 //!
 //! Run with: `cargo run --release -p ams-bench --bin bench_serve [-- --smoke]`
 
@@ -139,6 +147,37 @@ struct SloSweep {
     aware: SloPoint,
 }
 
+/// One repeat-rate point of the label-cache Zipf sweep: the same
+/// submission sequence served twice, cache-off then cache-on.
+#[derive(Debug, Serialize)]
+struct ZipfPoint {
+    /// Probability that a submission repeats an already-seen content
+    /// (repeats drawn with a Zipf-like skew toward the oldest contents).
+    repeat_rate: f64,
+    submissions: u64,
+    /// Distinct contents in the sequence.
+    distinct: u64,
+    /// Exact hits answered before admission (cache-on run).
+    cache_hit: u64,
+    /// Duplicates that coalesced onto an in-flight leader (cache-on run).
+    coalesced: u64,
+    /// (cache_hit + coalesced) / offered.
+    cache_hit_rate: f64,
+    /// Virtual GPU time billed, cache on / off (the billing view: what
+    /// dedup actually saves).
+    bill_on_ms: u64,
+    bill_off_ms: u64,
+    /// 1 − bill_on / bill_off.
+    bill_saving_fraction: f64,
+    /// Closed-loop effective capacity (offered / elapsed), items/s.
+    capacity_on_per_s: f64,
+    capacity_off_per_s: f64,
+    /// capacity_on / capacity_off.
+    capacity_gain: f64,
+    /// Conservation — with `cache_hit`/`coalesced` — held in both runs.
+    conserved: bool,
+}
+
 /// The adaptive-controller closed-loop sweep.
 #[derive(Debug, Serialize)]
 struct AdaptiveSweep {
@@ -195,6 +234,12 @@ struct Record {
     /// loss and not worsen the deadline-met rate, with conservation
     /// holding in both modes.
     slo_sweep: SloSweep,
+    /// The label cache under increasing content repetition. Gated
+    /// in-process: bill saving and effective capacity strictly increase
+    /// with the repeat rate, cache-on strictly beats cache-off on the
+    /// bill at repeat ≥ 0.6, every point conserves, and repeat 0 is a
+    /// cache no-op (zero hits, serial-identical stats).
+    zipf_sweep: Vec<ZipfPoint>,
     sweep: Vec<LoadPoint>,
 }
 
@@ -294,7 +339,11 @@ impl Ticketed {
                 Completion::Cancelled { .. } => cancelled += 1,
             }
         }
-        assert_eq!(labeled, report.completed, "{ctx}: labeled == completed");
+        assert_eq!(
+            labeled,
+            report.completed + report.cache_hit + report.coalesced,
+            "{ctx}: labeled == worker completions + cache answers"
+        );
         assert_eq!(
             shed,
             report.shed_admission + report.shed_oldest + report.shed_deadline,
@@ -304,6 +353,39 @@ impl Ticketed {
         assert_eq!(self.rejected, report.rejected, "{ctx}: rejections");
         self.issued
     }
+}
+
+/// A deterministic repetition stream: with probability `repeat_rate` a
+/// submission repeats an already-seen content, drawn with a Zipf-like
+/// quadratic skew toward the earliest (most popular) distinct items;
+/// otherwise it introduces the next fresh item. At rate 0 this is exactly
+/// the fixture stream, once, in order. Returns the stream and the number
+/// of distinct contents in it.
+fn zipf_stream(
+    items: &[Arc<ItemTruth>],
+    submissions: usize,
+    repeat_rate: f64,
+    seed: u64,
+) -> (Vec<Arc<ItemTruth>>, u64) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: Vec<usize> = Vec::new();
+    let mut fresh = 0usize;
+    let mut out = Vec::with_capacity(submissions);
+    for _ in 0..submissions {
+        let idx = if !seen.is_empty() && rng.gen_bool(repeat_rate) {
+            let u: f64 = rng.gen();
+            seen[((u * u * seen.len() as f64) as usize).min(seen.len() - 1)]
+        } else {
+            let i = fresh % items.len();
+            fresh += 1;
+            seen.push(i);
+            i
+        };
+        out.push(Arc::clone(&items[idx]));
+    }
+    (out, seen.len() as u64)
 }
 
 /// Submit the items in bursts of `burst` at an aggregate rate of
@@ -746,6 +828,119 @@ fn main() {
         aware: aware_pt,
     };
 
+    // ---- label cache: Zipf-repetition sweep, cache-off vs cache-on ------
+    // The same deterministic sequence is served twice per repeat rate:
+    // once without the cache (every submission executes) and once with it
+    // (repeats are answered as exact hits or coalesce onto the in-flight
+    // leader). Closed-loop blocking admission, so the measured elapsed
+    // time is the server's — the capacity gain is dedup, not pacing. At
+    // repeat 0 the sequence is exactly the fixture stream once, which
+    // doubles as the cache-no-op equivalence gate: a unique stream must
+    // produce zero hits and the serial engine's exact stats.
+    let mut zipf_sweep: Vec<ZipfPoint> = Vec::new();
+    for (zi, repeat_rate) in [0.0f64, 0.3, 0.6, 0.9].into_iter().enumerate() {
+        let (stream, distinct) = zipf_stream(&items, items.len(), repeat_rate, 0xA31 + zi as u64);
+        let mut measured: Vec<(ServeReport, f64)> = Vec::new();
+        for cache_on in [false, true] {
+            let server = AmsServer::start(
+                fx.scheduler(),
+                budget,
+                ServeConfig {
+                    policy: BackpressurePolicy::Block,
+                    cache: cache_on.then(CacheConfig::default),
+                    ..base_cfg.clone()
+                },
+            );
+            let mut client = Ticketed::open(&server, stream.len());
+            let t0 = Instant::now();
+            for item in &stream {
+                client.submit(Arc::clone(item));
+            }
+            let report = server.shutdown();
+            let elapsed = t0.elapsed().max(Duration::from_micros(1));
+            tickets_issued += client.assert_exactly_once(&report, "zipf sweep");
+            assert!(
+                report.is_conserved(),
+                "zipf @{repeat_rate} cache_on={cache_on}: conservation"
+            );
+            let capacity = report.offered as f64 / elapsed.as_secs_f64();
+            measured.push((report, capacity));
+        }
+        let (on, capacity_on) = measured.pop().expect("cache-on run");
+        let (off, capacity_off) = measured.pop().expect("cache-off run");
+        assert_eq!(off.cache_hit + off.coalesced, 0, "cache-off never caches");
+        if !skip_gates && repeat_rate == 0.0 {
+            // Unique stream: the cache must be invisible — no hits, no
+            // coalescing, and byte-for-byte the serial engine's stats
+            // (the serve==serial equivalence holds with the cache on).
+            assert_eq!(on.cache_hit + on.coalesced, 0, "unique stream: no-op");
+            assert_eq!(on.completed, off.completed, "repeat 0: same completions");
+            assert_eq!(on.stats.items, want.items, "repeat 0: serial items");
+            assert_eq!(on.stats.total_exec_ms, want.total_exec_ms, "repeat 0");
+            assert_eq!(on.stats.total_executions, want.total_executions, "repeat 0");
+            assert_eq!(on.stats.per_model_runs, want.per_model_runs, "repeat 0");
+            assert!((on.stats.recall_sum - want.recall_sum).abs() < 1e-9);
+        }
+        let point = ZipfPoint {
+            repeat_rate,
+            submissions: stream.len() as u64,
+            distinct,
+            cache_hit: on.cache_hit,
+            coalesced: on.coalesced,
+            cache_hit_rate: on.cache_hit_rate(),
+            bill_on_ms: on.virtual_work_ms,
+            bill_off_ms: off.virtual_work_ms,
+            bill_saving_fraction: 1.0
+                - on.virtual_work_ms as f64 / off.virtual_work_ms.max(1) as f64,
+            capacity_on_per_s: capacity_on,
+            capacity_off_per_s: capacity_off,
+            capacity_gain: capacity_on / capacity_off.max(f64::MIN_POSITIVE),
+            conserved: on.is_conserved() && off.is_conserved(),
+        };
+        eprintln!(
+            "[bench_serve] zipf repeat {repeat_rate}: hit rate {hit:.0}%, bill {bon}ms vs {boff}ms \
+             ({saving:.0}% saved), capacity {con:.0}/s vs {coff:.0}/s",
+            hit = point.cache_hit_rate * 100.0,
+            bon = point.bill_on_ms,
+            boff = point.bill_off_ms,
+            saving = point.bill_saving_fraction * 100.0,
+            con = point.capacity_on_per_s,
+            coff = point.capacity_off_per_s,
+        );
+        if !skip_gates {
+            if repeat_rate >= 0.6 {
+                assert!(
+                    point.bill_on_ms < point.bill_off_ms,
+                    "zipf @{repeat_rate}: cache-on must strictly undercut cache-off's bill: \
+                     {} vs {}",
+                    point.bill_on_ms,
+                    point.bill_off_ms
+                );
+            }
+            if let Some(prev) = zipf_sweep.last() {
+                assert!(
+                    point.bill_saving_fraction > prev.bill_saving_fraction,
+                    "bill saving must strictly increase with the repeat rate: \
+                     {:.4} @{} vs {:.4} @{}",
+                    point.bill_saving_fraction,
+                    point.repeat_rate,
+                    prev.bill_saving_fraction,
+                    prev.repeat_rate
+                );
+                assert!(
+                    point.capacity_on_per_s > prev.capacity_on_per_s,
+                    "effective capacity must strictly increase with the repeat rate: \
+                     {:.0}/s @{} vs {:.0}/s @{}",
+                    point.capacity_on_per_s,
+                    point.repeat_rate,
+                    prev.capacity_on_per_s,
+                    prev.repeat_rate
+                );
+            }
+        }
+        zipf_sweep.push(point);
+    }
+
     // ---- open loop: under, near, and past saturation --------------------
     for load_factor in [0.4f64, 0.8, 1.6] {
         let rate = (capacity_per_s * load_factor).max(1.0);
@@ -786,8 +981,10 @@ fn main() {
                       workers, batched admission into the virtual GPU pool) driven closed-loop \
                       at capacity and open-loop under/near/past saturation; hash vs \
                       model-affinity routing compared at 0.8x/1.6x burst load; adaptive \
-                      batch-limit controller closed-loop against a self-calibrated p99 target. \
-                      DRL-agent predictor, 1s per-item deadline. See PERF.md for methodology."
+                      batch-limit controller closed-loop against a self-calibrated p99 target; \
+                      the content-addressed label cache swept over Zipf repeat rates, cache-on \
+                      vs cache-off. DRL-agent predictor, 1s per-item deadline. See PERF.md for \
+                      methodology."
             .into(),
         cores_available: cores,
         smoke,
@@ -806,6 +1003,7 @@ fn main() {
         routing_sweep,
         adaptive,
         slo_sweep,
+        zipf_sweep,
         sweep,
     };
     let json = serde_json::to_string_pretty(&record).expect("record serializes");

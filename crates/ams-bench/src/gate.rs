@@ -247,6 +247,75 @@ pub fn gate_serve(baseline: &Value, candidate: &Value) -> GateOutcome {
             .failed
             .push(format!("slo deadline_met_rate incomplete: {a:?} vs {b:?}")),
     }
+    // The label-cache economics are re-verified from the candidate record
+    // itself: the bill saving must strictly increase with the repeat
+    // rate, cache-on must strictly undercut cache-off's bill at repeat
+    // >= 0.6, every point must conserve (cache_hit/coalesced included in
+    // its ledger), and repeat 0 must be a perfect cache no-op.
+    match get(candidate, "zipf_sweep") {
+        Some(Value::Array(points)) if !points.is_empty() => {
+            let mut prev: Option<(f64, f64)> = None;
+            for p in points.iter() {
+                let rate = p
+                    .field("repeat_rate")
+                    .and_then(value_f64)
+                    .unwrap_or(f64::NAN);
+                match p.field("conserved") {
+                    Some(Value::Bool(true)) => out.passed.push(format!("zipf @{rate}: conserved")),
+                    _ => out.failed.push(format!("zipf @{rate}: not conserved")),
+                }
+                match p.field("bill_saving_fraction").and_then(value_f64) {
+                    Some(s) => {
+                        if let Some((prate, psave)) = prev {
+                            let line = format!(
+                                "zipf bill saving increases with repeat rate: \
+                                 {s:.4} @{rate} vs {psave:.4} @{prate}"
+                            );
+                            if s > psave {
+                                out.passed.push(line);
+                            } else {
+                                out.failed.push(line);
+                            }
+                        }
+                        prev = Some((rate, s));
+                    }
+                    None => out
+                        .failed
+                        .push(format!("zipf @{rate}: missing bill_saving_fraction")),
+                }
+                if rate >= 0.6 {
+                    match (
+                        p.field("bill_on_ms").and_then(value_f64),
+                        p.field("bill_off_ms").and_then(value_f64),
+                    ) {
+                        (Some(on), Some(off)) => {
+                            let line =
+                                format!("zipf @{rate}: cache-on bill {on:.0} < cache-off {off:.0}");
+                            if on < off {
+                                out.passed.push(line);
+                            } else {
+                                out.failed.push(line);
+                            }
+                        }
+                        _ => out
+                            .failed
+                            .push(format!("zipf @{rate}: missing bill fields")),
+                    }
+                }
+                if rate == 0.0 {
+                    let hits = p.field("cache_hit").and_then(value_f64).unwrap_or(f64::NAN)
+                        + p.field("coalesced").and_then(value_f64).unwrap_or(f64::NAN);
+                    let line = format!("zipf @0: cache is a no-op ({hits:.0} cached answers)");
+                    if hits == 0.0 {
+                        out.passed.push(line);
+                    } else {
+                        out.failed.push(line);
+                    }
+                }
+            }
+        }
+        _ => out.failed.push("missing `zipf_sweep` array".into()),
+    }
     // The routing win is re-verified from the candidate record itself:
     // affinity must out-coalesce hash at every measured load factor.
     match get(candidate, "routing_sweep") {
@@ -486,6 +555,20 @@ pub fn self_test(serve_baseline: &Value, hotpath_baseline: &Value) -> Result<Vec
         &|v| inject_at(v, "slo_sweep/aware/conserved", Value::Bool(false)),
     )?;
     inject(
+        "label-cache dedup win lost",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| {
+            if let Some(Value::Array(points)) = get_mut(v, "zipf_sweep") {
+                if let Some(last) = points.last_mut() {
+                    if let Some(s) = field_mut(last, "bill_saving_fraction") {
+                        *s = Value::F64(0.0);
+                    }
+                }
+            }
+        },
+    )?;
+    inject(
         "exactly-once ticketing lost",
         GateKind::Serve,
         serve_baseline,
@@ -529,6 +612,20 @@ mod tests {
                     "blind": { "value_shed_loss": 8400.0, "deadline_met_rate": 0.75, "conserved": true },
                     "aware": { "value_shed_loss": 5800.0, "deadline_met_rate": 0.78, "conserved": true }
                 },
+                "zipf_sweep": [
+                    { "repeat_rate": 0.0, "cache_hit": 0, "coalesced": 0,
+                      "bill_on_ms": 48600, "bill_off_ms": 48900, "bill_saving_fraction": 0.006,
+                      "conserved": true },
+                    { "repeat_rate": 0.3, "cache_hit": 22, "coalesced": 6,
+                      "bill_on_ms": 37100, "bill_off_ms": 52000, "bill_saving_fraction": 0.29,
+                      "conserved": true },
+                    { "repeat_rate": 0.6, "cache_hit": 46, "coalesced": 12,
+                      "bill_on_ms": 22300, "bill_off_ms": 53500, "bill_saving_fraction": 0.58,
+                      "conserved": true },
+                    { "repeat_rate": 0.9, "cache_hit": 66, "coalesced": 14,
+                      "bill_on_ms": 8800, "bill_off_ms": 51400, "bill_saving_fraction": 0.83,
+                      "conserved": true }
+                ],
                 "sweep": [
                     { "mode": "closed", "mean_recall": 0.72 },
                     { "mode": "open", "mean_recall": 0.70 }
@@ -606,7 +703,32 @@ mod tests {
     #[test]
     fn self_test_exercises_every_injection() {
         let injected = self_test(&serve_record(), &hotpath_record()).expect("self test passes");
-        assert_eq!(injected.len(), 11, "{injected:?}");
+        assert_eq!(injected.len(), 12, "{injected:?}");
+    }
+
+    #[test]
+    fn zipf_cache_economics_are_gated() {
+        let base = serve_record();
+        // A flat (non-increasing) bill saving fails.
+        let mut bad = base.clone();
+        inject_at(
+            &mut bad,
+            "zipf_sweep/2/bill_saving_fraction",
+            Value::F64(0.29),
+        );
+        assert!(!gate_serve(&base, &bad).ok());
+        // Cache-on no longer undercutting cache-off at repeat >= 0.6 fails.
+        let mut bad = base.clone();
+        inject_at(&mut bad, "zipf_sweep/3/bill_on_ms", Value::U64(60_000));
+        assert!(!gate_serve(&base, &bad).ok());
+        // A unique stream with cache hits (broken no-op) fails.
+        let mut bad = base.clone();
+        inject_at(&mut bad, "zipf_sweep/0/cache_hit", Value::U64(3));
+        assert!(!gate_serve(&base, &bad).ok());
+        // A broken ledger at any point fails.
+        let mut bad = base.clone();
+        inject_at(&mut bad, "zipf_sweep/1/conserved", Value::Bool(false));
+        assert!(!gate_serve(&base, &bad).ok());
     }
 
     #[test]

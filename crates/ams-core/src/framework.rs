@@ -33,6 +33,58 @@ pub enum Budget {
     },
 }
 
+/// A request's full serving fingerprint: the affinity signature and value
+/// estimate produced by one top-k scan, plus a 64-bit hash of the item's
+/// *complete* content so exact duplicates are detected — not merely items
+/// that land in the same affinity cluster.
+///
+/// Two items with equal `content` hashes produce identical labeling
+/// outcomes under the same scheduler and budget (labeling is a pure
+/// function of the item's truth row), which is what lets a serving-side
+/// result cache answer repeats without re-invoking any model. Distinct
+/// items collide with probability ~2⁻⁶⁴ per pair; see PERF.md ("Label
+/// cache") for the collision stance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fingerprint {
+    /// Affinity signature: bitmask of the item's top-k models (routing key).
+    pub signature: u64,
+    /// Summed static value of the masked models (admission value estimate).
+    pub value: f64,
+    /// FNV-1a hash over the item's full content (exact-duplicate cache key).
+    pub content: u64,
+}
+
+/// 64-bit FNV-1a over an item's full ground-truth content: scene id, every
+/// model's detections, the valuable-label profile, and the per-model value
+/// vector. Everything the labeling path can read flows into the hash, so
+/// equal hashes mean (up to the ~2⁻⁶⁴ collision floor) equal labels.
+pub fn content_hash(item: &ItemTruth) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn mix(h: u64, x: u64) -> u64 {
+        (h ^ x).wrapping_mul(PRIME)
+    }
+    let mut h = mix(OFFSET, item.scene_id);
+    for out in &item.outputs {
+        h = mix(h, u64::from(out.model.0));
+        h = mix(h, out.detections.len() as u64);
+        for d in &out.detections {
+            h = mix(h, u64::from(d.label.0));
+            h = mix(h, u64::from(d.confidence.to_bits()));
+        }
+    }
+    h = mix(h, item.valuable.len() as u64);
+    for &(label, profit) in &item.valuable {
+        h = mix(h, u64::from(label.0));
+        h = mix(h, u64::from(profit.to_bits()));
+    }
+    h = mix(h, item.total_value.to_bits());
+    for &v in &item.model_value {
+        h = mix(h, v.to_bits());
+    }
+    h
+}
+
 /// Result of labeling one data item.
 #[derive(Debug, Clone)]
 pub struct LabelingOutcome {
@@ -159,6 +211,20 @@ impl AdaptiveModelScheduler {
             value += v;
         }
         (mask, value)
+    }
+
+    /// The item's full [`Fingerprint`]: affinity signature + value estimate
+    /// from one top-k scan, plus the full-content hash. This is the single
+    /// per-request scan the serving front-end performs — routing, admission
+    /// pricing, and the content-addressed result cache all key off the one
+    /// returned struct, so the top-k scan runs exactly once per request.
+    pub fn fingerprint(&self, item: &ItemTruth, top_k: usize) -> Fingerprint {
+        let (signature, value) = self.affinity_value_scan(item, top_k);
+        Fingerprint {
+            signature,
+            value,
+            content: content_hash(item),
+        }
     }
 
     /// Label a scene: simulates model execution on demand, then schedules.
@@ -438,6 +504,60 @@ mod tests {
         let mut flat = ams_data::ItemTruth::build(s.zoo(), s.catalog(), &scenes[0], 7, 0.5);
         flat.model_value.iter_mut().for_each(|v| *v = 0.0);
         assert_eq!(s.affinity_value_scan(&flat, 4), (0, 0.0));
+    }
+
+    #[test]
+    fn fingerprint_extends_the_scan_with_a_content_hash() {
+        let s = scheduler();
+        let scenes = Dataset::generate(DatasetProfile::Coco2017, 6, 7).scenes;
+        for scene in &scenes {
+            let item = ams_data::ItemTruth::build(s.zoo(), s.catalog(), scene, 7, 0.5);
+            let fp = s.fingerprint(&item, 2);
+            let (sig, value) = s.affinity_value_scan(&item, 2);
+            assert_eq!(fp.signature, sig, "same top-k scan");
+            assert!((fp.value - value).abs() < 1e-12);
+            assert_eq!(fp.content, content_hash(&item), "content hash attached");
+            assert_eq!(fp, s.fingerprint(&item, 2), "deterministic");
+            // An identical rebuild of the same scene hashes identically —
+            // the property the result cache relies on for exact hits.
+            let again = ams_data::ItemTruth::build(s.zoo(), s.catalog(), scene, 7, 0.5);
+            assert_eq!(content_hash(&again), fp.content);
+        }
+    }
+
+    #[test]
+    fn content_hash_separates_items_the_signature_conflates() {
+        let s = scheduler();
+        let scenes = Dataset::generate(DatasetProfile::Coco2017, 24, 7).scenes;
+        let items: Vec<_> = scenes
+            .iter()
+            .map(|sc| ams_data::ItemTruth::build(s.zoo(), s.catalog(), sc, 7, 0.5))
+            .collect();
+        // Distinct items never share a content hash (24 items, 64-bit
+        // hash: a collision here would be a hash bug, not bad luck)...
+        for (i, a) in items.iter().enumerate() {
+            for b in items.iter().skip(i + 1) {
+                assert_ne!(content_hash(a), content_hash(b));
+            }
+        }
+        // ...while the coarse top-k signature does conflate some of them —
+        // that's the gap the full-content hash closes.
+        let mut sigs: Vec<u64> = items.iter().map(|it| s.affinity_signature(it, 1)).collect();
+        sigs.sort_unstable();
+        sigs.dedup();
+        assert!(sigs.len() < items.len(), "top-1 signatures cluster");
+        // Any content perturbation moves the hash: value profile, valuable
+        // labels, and raw detections are all covered.
+        let base = &items[0];
+        let mut tweaked = base.clone();
+        tweaked.model_value[0] += 1.0;
+        assert_ne!(content_hash(base), content_hash(&tweaked));
+        let mut tweaked = base.clone();
+        tweaked.total_value += 1.0;
+        assert_ne!(content_hash(base), content_hash(&tweaked));
+        let mut tweaked = base.clone();
+        tweaked.scene_id ^= 1;
+        assert_ne!(content_hash(base), content_hash(&tweaked));
     }
 
     #[test]

@@ -264,6 +264,27 @@ impl CompletionSlot {
         self.queue.deliver(Completion::Labeled(result));
     }
 
+    /// Try to resolve a *pending* slot with a labeling result:
+    /// `PENDING → RESOLVED`, delivering [`Completion::Labeled`] on
+    /// success. Unlike [`CompletionSlot::finish_labeled`] (which requires
+    /// a prior claim), this races against cancellation — it is the
+    /// delivery path for cache hits answered at submit time and for
+    /// coalesced followers fanned out when their leader resolves, neither
+    /// of which ever passes through a worker's claim. Returns `false`
+    /// when the slot already resolved (cancelled) — the caller must not
+    /// ledger the completion.
+    pub(crate) fn try_labeled(&self, result: LabelResult) -> bool {
+        if self
+            .state
+            .compare_exchange(PENDING, RESOLVED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        self.queue.deliver(Completion::Labeled(result));
+        true
+    }
+
     /// Try to resolve the slot as shed: `PENDING → RESOLVED`, delivering
     /// the [`Completion::Shed`] event on success. Returns `false` when a
     /// cancellation (or another shed path) already won — the caller must

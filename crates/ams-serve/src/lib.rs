@@ -8,6 +8,12 @@
 //!   cancellable [`Ticket`]s, terminal [`Completion`] events (per-request
 //!   labels / shed reason / cancelled), and the bounded per-client
 //!   completion queue they arrive on.
+//! * [`cache`] — a sharded, lock-striped, content-addressed label cache
+//!   keyed by the full-content scene fingerprint: exact repeats are
+//!   answered before admission with zero virtual-GPU bill, duplicates of
+//!   queued or in-flight requests coalesce onto the leader and fan out
+//!   when it resolves, and eviction is priced in SLO value units
+//!   (value-per-byte × recency) under a bounded byte budget.
 //! * [`queue`] — bounded per-shard admission queues with selectable
 //!   backpressure (block / reject / shed-oldest) and per-class admission
 //!   reservations; queued entries carry their ticket's completion slot so
@@ -40,12 +46,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cache;
 pub mod completion;
 pub mod queue;
 pub mod router;
 pub mod server;
 pub mod telemetry;
 
+pub use cache::{CacheConfig, CacheReport};
 pub use completion::{Completion, LabelResult, ShedReason, Ticket};
 pub use queue::{BackpressurePolicy, ClassShed, Request, ShardQueue, SubmitOutcome};
 pub use router::{fib_shard, AffinityConfig, Route, Router, RoutingMode};

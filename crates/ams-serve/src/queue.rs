@@ -21,6 +21,7 @@
 //! picks a victim from a class that is at or under its reservation (other
 //! than the incoming request's own class).
 
+use crate::cache::PendingEntry;
 use crate::completion::{CompletionSlot, ShedReason};
 use ams_data::ItemTruth;
 use std::collections::VecDeque;
@@ -87,6 +88,14 @@ pub enum SubmitOutcome<T = ()> {
     /// queueing it could only convert capacity into a deadline shed. The
     /// ticket resolves to `Shed(Admission)` immediately.
     ShedAdmission(T),
+    /// Answered from the content-addressed label cache before admission:
+    /// the ticket's `Labeled` event (the cached labels, zero bill) is
+    /// already on the client's queue. Never routed, queued, or executed.
+    Cached(T),
+    /// Coalesced onto an identical already-queued or in-flight request:
+    /// the ticket's terminal event arrives when that leader resolves (its
+    /// labels fan out) or fails (the followers are shed with it).
+    Coalesced(T),
     /// Refused: the queue was full ([`BackpressurePolicy::Reject`]), the
     /// class's admission reservation was exhausted under `Reject`, or the
     /// server is shutting down. No ticket, no event.
@@ -113,7 +122,9 @@ impl<T> SubmitOutcome<T> {
             SubmitOutcome::Enqueued(t)
             | SubmitOutcome::EnqueuedShedOldest(t)
             | SubmitOutcome::ShedIncoming(t)
-            | SubmitOutcome::ShedAdmission(t) => Some(t),
+            | SubmitOutcome::ShedAdmission(t)
+            | SubmitOutcome::Cached(t)
+            | SubmitOutcome::Coalesced(t) => Some(t),
             SubmitOutcome::Rejected => None,
         }
     }
@@ -124,7 +135,9 @@ impl<T> SubmitOutcome<T> {
             SubmitOutcome::Enqueued(t)
             | SubmitOutcome::EnqueuedShedOldest(t)
             | SubmitOutcome::ShedIncoming(t)
-            | SubmitOutcome::ShedAdmission(t) => Some(t),
+            | SubmitOutcome::ShedAdmission(t)
+            | SubmitOutcome::Cached(t)
+            | SubmitOutcome::Coalesced(t) => Some(t),
             SubmitOutcome::Rejected => None,
         }
     }
@@ -136,6 +149,8 @@ impl<T> SubmitOutcome<T> {
             SubmitOutcome::EnqueuedShedOldest(t) => SubmitOutcome::EnqueuedShedOldest(f(t)),
             SubmitOutcome::ShedIncoming(t) => SubmitOutcome::ShedIncoming(f(t)),
             SubmitOutcome::ShedAdmission(t) => SubmitOutcome::ShedAdmission(f(t)),
+            SubmitOutcome::Cached(t) => SubmitOutcome::Cached(f(t)),
+            SubmitOutcome::Coalesced(t) => SubmitOutcome::Coalesced(f(t)),
             SubmitOutcome::Rejected => SubmitOutcome::Rejected,
         }
     }
@@ -165,6 +180,11 @@ pub struct Request {
     /// The submitting client's completion slot (`None` on the
     /// fire-and-forget server path).
     completion: Option<Arc<CompletionSlot>>,
+    /// The label-cache coalescing entry this request leads (`None` when
+    /// the cache is off or the fingerprint was already in flight). Every
+    /// loss path fails it (shedding its followers); the labeling path
+    /// resolves it (fanning the result out).
+    cache: Option<Arc<PendingEntry>>,
 }
 
 impl Request {
@@ -178,6 +198,7 @@ impl Request {
             deadline_us: None,
             enqueued_at: Instant::now(),
             completion: None,
+            cache: None,
         }
     }
 
@@ -202,10 +223,34 @@ impl Request {
         self.completion.as_ref()
     }
 
+    /// Attach the coalescing entry this request leads: followers of the
+    /// same fingerprint wait on it for the leader's result.
+    pub(crate) fn with_cache(mut self, entry: Arc<PendingEntry>) -> Self {
+        self.cache = Some(entry);
+        self
+    }
+
+    /// The coalescing entry this request leads, if any.
+    pub(crate) fn cache_entry(&self) -> Option<&Arc<PendingEntry>> {
+        self.cache.as_ref()
+    }
+
+    /// Fail the request's coalescing entry (no-op without one): its
+    /// followers are shed with `reason` and the next lookup of the
+    /// fingerprint starts a fresh leader. Idempotent.
+    pub(crate) fn fail_cache(&self, reason: ShedReason) {
+        if let Some(entry) = &self.cache {
+            entry.fail(reason);
+        }
+    }
+
     /// Whether the request was cancelled (or otherwise resolved) while
-    /// still queued — a dead entry the queue can drop for free.
+    /// still queued — a dead entry the queue can drop for free. A
+    /// cancelled request still *leading* a coalescing entry is **not** a
+    /// tombstone: followers wait on it, so it must reach a worker (which
+    /// either executes it for them or abandons the entry).
     fn is_tombstone(&self) -> bool {
-        self.completion.as_ref().is_some_and(|s| s.is_resolved())
+        self.completion.as_ref().is_some_and(|s| s.is_resolved()) && self.cache.is_none()
     }
 
     /// Remaining deadline budget at `now`, µs (`None` = unbounded;
@@ -610,6 +655,11 @@ impl ShardQueue {
         };
         let shed = st.pending.remove(victim).expect("victim index in range");
         st.dec_class(shed.class);
+        // An evicted coalescing leader takes its followers with it: each
+        // is shed with `Overflow` through its own slot CAS. This runs for
+        // the already-cancelled victim too — eviction removes the entry's
+        // only path to a worker, so its followers must not wait forever.
+        shed.fail_cache(ShedReason::Overflow);
         match shed.completion() {
             Some(slot) if !slot.try_shed(ShedReason::Overflow) => {
                 // Cancelled between selection and shedding: its event was
@@ -652,6 +702,10 @@ impl ShardQueue {
                         }
                         Eviction::ShedIncoming => {
                             st.record_shed(&req);
+                            // The incoming request may already lead a
+                            // coalescing entry (the lookup ran before
+                            // admission): shed its followers with it.
+                            req.fail_cache(ShedReason::Overflow);
                             if let Some(slot) = req.completion() {
                                 slot.try_shed(ShedReason::Overflow);
                             }

@@ -47,7 +47,7 @@
 //! queue where admission control or the deadline check will only shed it.
 
 use crate::queue::ShardQueue;
-use ams_core::framework::AdaptiveModelScheduler;
+use ams_core::framework::{content_hash, AdaptiveModelScheduler, Fingerprint};
 use ams_data::ItemTruth;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -178,6 +178,38 @@ impl Router {
         self.affinity_spills.load(Ordering::Relaxed)
     }
 
+    /// Compute the one per-request [`Fingerprint`] the whole submission
+    /// path shares: routing placement, batch grouping, SLO admission
+    /// pricing, and (when `with_content` is set) the content-addressed
+    /// result cache all key off this single top-k scan. The scan width
+    /// follows the routing mode (`top_k` under affinity, the fixed
+    /// [`VALUE_SCAN_TOP_K`] under hash), and a hash-mode router that opted
+    /// out of the value scan skips it entirely — the no-SLO, no-cache
+    /// submission path pays exactly what it paid before. The content hash
+    /// is only computed when a cache will consume it.
+    pub fn fingerprint(
+        &self,
+        scheduler: &AdaptiveModelScheduler,
+        item: &ItemTruth,
+        with_content: bool,
+    ) -> Fingerprint {
+        let (signature, value) = match self.mode {
+            // A hash-mode router that opted out of the value scan skips it
+            // even when the cache wants a content hash — the scan feeds
+            // SLO shedding, not the cache key. Hash mode never carries a
+            // batch-grouping signature (placement is the scene hash), so
+            // the fingerprint's signature stays 0 either way.
+            RoutingMode::Hash if !self.hash_value_scan => (0, 0.0),
+            RoutingMode::Hash => (0, scheduler.affinity_value_scan(item, VALUE_SCAN_TOP_K).1),
+            RoutingMode::Affinity(cfg) => scheduler.affinity_value_scan(item, cfg.top_k),
+        };
+        Fingerprint {
+            signature,
+            value,
+            content: if with_content { content_hash(item) } else { 0 },
+        }
+    }
+
     /// Whether a shard can plausibly serve a request within `deadline_us`:
     /// its estimated drain wait (depth × the workers' published
     /// per-request drain time) fits the budget. With no deadline, or no
@@ -193,15 +225,19 @@ impl Router {
         }
     }
 
-    /// Pick the shard for `item` and record the hit/spill. A request
-    /// carrying an SLO deadline passes it as `deadline_us`, which makes
-    /// the affinity spill deadline-aware (see the module docs). Queue
-    /// lengths and wait estimates are racy snapshots — good enough for
-    /// balancing, never consulted for correctness (any shard labels any
-    /// item identically).
+    /// Pick the shard for `item` and record the hit/spill. The caller
+    /// passes the request's precomputed [`Fingerprint`] (from
+    /// [`Router::fingerprint`]) — the top-k value scan runs exactly once
+    /// per request, shared between routing, admission pricing, and the
+    /// result cache, instead of being recomputed here. A request carrying
+    /// an SLO deadline passes it as `deadline_us`, which makes the
+    /// affinity spill deadline-aware (see the module docs). Queue lengths
+    /// and wait estimates are racy snapshots — good enough for balancing,
+    /// never consulted for correctness (any shard labels any item
+    /// identically).
     pub fn route(
         &self,
-        scheduler: &AdaptiveModelScheduler,
+        fp: &Fingerprint,
         item: &ItemTruth,
         queues: &[ShardQueue],
         deadline_us: Option<u64>,
@@ -210,15 +246,11 @@ impl Router {
             RoutingMode::Hash => Route {
                 shard: fib_shard(item.scene_id, self.shards),
                 signature: 0,
-                value: if self.hash_value_scan {
-                    scheduler.affinity_value_scan(item, VALUE_SCAN_TOP_K).1
-                } else {
-                    0.0
-                },
+                value: fp.value,
                 affine: true,
             },
             RoutingMode::Affinity(cfg) => {
-                let (sig, value) = scheduler.affinity_value_scan(item, cfg.top_k);
+                let (sig, value) = (fp.signature, fp.value);
                 // Route on the *coarse* key — the single dominant model,
                 // i.e. the highest-value bit of the fingerprint — so every
                 // request leaning on that model shares a home even when
@@ -364,6 +396,17 @@ mod tests {
             .collect()
     }
 
+    /// Fingerprint-then-route, as the server's submission path does.
+    fn route_via(
+        r: &Router,
+        s: &AdaptiveModelScheduler,
+        item: &ItemTruth,
+        qs: &[ShardQueue],
+        deadline_us: Option<u64>,
+    ) -> Route {
+        r.route(&r.fingerprint(s, item, false), item, qs, deadline_us)
+    }
+
     #[test]
     fn hash_mode_matches_scene_hash_and_counts_nothing() {
         let s = scheduler();
@@ -371,7 +414,7 @@ mod tests {
         let qs = queues(4, 16);
         let r = Router::new(RoutingMode::Hash, 4);
         for item in t.items() {
-            let route = r.route(&s, item, &qs, None);
+            let route = route_via(&r, &s, item, &qs, None);
             assert_eq!(route.shard, fib_shard(item.scene_id, 4));
             assert!(route.affine);
         }
@@ -385,8 +428,8 @@ mod tests {
         let qs = queues(4, 16);
         let r = Router::new(RoutingMode::Affinity(AffinityConfig::default()), 4);
         for item in t.items() {
-            let a = r.route(&s, item, &qs, None).shard;
-            let b = r.route(&s, item, &qs, None).shard;
+            let a = route_via(&r, &s, item, &qs, None).shard;
+            let b = route_via(&r, &s, item, &qs, None).shard;
             assert_eq!(a, b, "same item, same idle queues, same shard");
         }
         assert_eq!(r.affinity_hits(), 24);
@@ -408,7 +451,7 @@ mod tests {
         let mut by_sig: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for item in t.items() {
             let sig = s.affinity_signature(item, 4);
-            let shard = r.route(&s, item, &qs, None).shard;
+            let shard = route_via(&r, &s, item, &qs, None).shard;
             if let Some(&prev) = by_sig.get(&sig) {
                 assert_eq!(prev, shard, "signature {sig:#x} split across shards");
             }
@@ -429,12 +472,12 @@ mod tests {
             }),
             2,
         );
-        let home = r.route(&s, &item, &qs, None).shard;
+        let home = route_via(&r, &s, &item, &qs, None).shard;
         // Load the home queue past the lag threshold; the other stays empty.
         for _ in 0..4 {
             qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
         }
-        let route = r.route(&s, &item, &qs, None);
+        let route = route_via(&r, &s, &item, &qs, None);
         assert_ne!(route.shard, home, "must divert to the least-loaded shard");
         assert!(!route.affine);
         assert!(r.affinity_spills() >= 1);
@@ -454,10 +497,10 @@ mod tests {
             }),
             2,
         );
-        let home = r.route(&s, &item, &qs, None).shard;
+        let home = route_via(&r, &s, &item, &qs, None).shard;
         qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
         qs[home].push(crate::queue::Request::new(Arc::clone(&item), 0));
-        let route = r.route(&s, &item, &qs, None);
+        let route = route_via(&r, &s, &item, &qs, None);
         assert_ne!(route.shard, home);
         assert!(!route.affine);
     }
@@ -478,7 +521,7 @@ mod tests {
             // Zero out the value profile: the scan yields signature 0.
             let mut flat = item.clone();
             flat.model_value.iter_mut().for_each(|v| *v = 0.0);
-            let route = r.route(&s, &flat, &qs, None);
+            let route = route_via(&r, &s, &flat, &qs, None);
             assert_eq!(route.signature, 0, "empty profile → empty signature");
             assert_eq!(route.value, 0.0);
             assert_eq!(
@@ -514,7 +557,7 @@ mod tests {
             }),
             2,
         );
-        let home = r.route(&s, &item, &qs, None).shard;
+        let home = route_via(&r, &s, &item, &qs, None).shard;
         // Three queued requests and a published drain time of 0.5 s each:
         // the home's estimated wait is ~1.5 s.
         for _ in 0..3 {
@@ -522,15 +565,15 @@ mod tests {
         }
         qs[home].set_service_hint_us(500_000);
         // Deadline-less: still the affinity home (load is fine).
-        assert_eq!(r.route(&s, &item, &qs, None).shard, home);
+        assert_eq!(route_via(&r, &s, &item, &qs, None).shard, home);
         // A 100 ms deadline cannot survive a 1.5 s wait: spill to the
         // alternate, whose estimated wait (0 — no evidence) fits.
-        let route = r.route(&s, &item, &qs, Some(100_000));
+        let route = route_via(&r, &s, &item, &qs, Some(100_000));
         assert_ne!(route.shard, home, "doomed home must be spilled away");
         assert!(!route.affine);
         assert!(r.affinity_spills() >= 1);
         // A lax 10 s deadline tolerates the wait: home again.
-        assert_eq!(r.route(&s, &item, &qs, Some(10_000_000)).shard, home);
+        assert_eq!(route_via(&r, &s, &item, &qs, Some(10_000_000)).shard, home);
     }
 
     /// When no candidate fits the deadline, the escape hatch picks the
@@ -549,7 +592,7 @@ mod tests {
             }),
             3,
         );
-        let home = r.route(&s, &item, &qs, None).shard;
+        let home = route_via(&r, &s, &item, &qs, None).shard;
         // Every shard misses the 1 ms deadline, with distinct estimated
         // waits; the least-loaded shard (1 request) drains slowest.
         let (fast, slow) = {
@@ -566,7 +609,7 @@ mod tests {
         qs[home].set_service_hint_us(500_000); // 2.0 s estimated
         qs[fast].set_service_hint_us(10_000); //  30 ms estimated
         qs[slow].set_service_hint_us(900_000); // 0.9 s estimated
-        let route = r.route(&s, &item, &qs, Some(1_000));
+        let route = route_via(&r, &s, &item, &qs, Some(1_000));
         assert_eq!(
             route.shard, fast,
             "escape must price by estimated wait, not queue length"
@@ -584,8 +627,8 @@ mod tests {
         let aff = Router::new(RoutingMode::Affinity(AffinityConfig::default()), 4);
         for item in t.items() {
             let (_, want2) = s.affinity_value_scan(item, 2);
-            assert!((hash.route(&s, item, &qs, None).value - want2).abs() < 1e-12);
-            assert!((aff.route(&s, item, &qs, None).value - want2).abs() < 1e-12);
+            assert!((route_via(&hash, &s, item, &qs, None).value - want2).abs() < 1e-12);
+            assert!((route_via(&aff, &s, item, &qs, None).value - want2).abs() < 1e-12);
             assert!(want2 > 0.0, "fixture items carry value");
         }
     }

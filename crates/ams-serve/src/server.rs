@@ -36,6 +36,9 @@
 //! queued-but-unserved requests resolve to `Shed(Drain)` and every worker
 //! is joined — no detached threads survive the drop.
 
+use crate::cache::{
+    CacheConfig, CacheReport, CachedResult, ClassCache, Follower, LabelCache, Lookup, PendingEntry,
+};
 use crate::completion::{
     CancelLedger, Completion, CompletionQueue, CompletionSlot, LabelResult, ShedReason, Ticket,
 };
@@ -261,6 +264,10 @@ pub struct ServeConfig {
     pub exec_emulation_scale: f64,
     /// Items below this recall increment [`StreamStats::low_recall_items`].
     pub alert_recall: f64,
+    /// Content-addressed label cache with in-flight coalescing (see
+    /// [`crate::cache`]); `None` disables it — on a unique stream the
+    /// cached and uncached servers behave identically.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for ServeConfig {
@@ -282,6 +289,7 @@ impl Default for ServeConfig {
             slo: None,
             exec_emulation_scale: 0.0,
             alert_recall: 0.5,
+            cache: None,
         }
     }
 }
@@ -350,6 +358,16 @@ pub struct ClassReport {
     pub shed_deadline: u64,
     /// Tickets of this class cancelled before a worker claimed them.
     pub cancelled: u64,
+    /// Requests answered from the label cache before admission (exact
+    /// content-hash hits; zero queue wait, zero bill).
+    pub cache_hit: u64,
+    /// Requests coalesced onto an identical in-flight request and
+    /// completed by its fan-out (one execution, many completions).
+    pub coalesced: u64,
+    /// Summed predicted (weighted) value delivered from the cache —
+    /// hits plus fanned-out followers. The bill-free share of the
+    /// class's banked value.
+    pub value_cached: f64,
     /// Summed predicted (weighted) value of the cancelled tickets —
     /// tracked apart from `value_shed`: the *client* withdrew this value,
     /// the service didn't lose it.
@@ -372,7 +390,9 @@ pub struct ClassReport {
 
 impl ClassReport {
     /// Every offered request of the class is accounted for exactly once
-    /// (completions, all four loss paths, and cancellations).
+    /// (completions, all four loss paths, cancellations, and the two
+    /// cache buckets — a hit and a fanned-out follower each resolve
+    /// exactly one ticket too).
     pub fn is_conserved(&self) -> bool {
         self.offered
             == self.completed
@@ -381,6 +401,8 @@ impl ClassReport {
                 + self.shed_oldest
                 + self.shed_deadline
                 + self.cancelled
+                + self.cache_hit
+                + self.coalesced
     }
 
     /// Share of offered requests that completed within the class deadline
@@ -486,6 +508,12 @@ pub struct ServeReport {
     /// (exactly one `Cancelled` completion event each; 0 on the
     /// fire-and-forget path, which issues no tickets).
     pub cancelled: u64,
+    /// Requests answered from the label cache before admission (exact
+    /// content-hash hits; zero queue wait, zero virtual-GPU bill).
+    pub cache_hit: u64,
+    /// Requests coalesced onto an identical in-flight request and
+    /// completed by its fan-out when the leader resolved.
+    pub coalesced: u64,
     /// Batched invocation rounds the workers executed (rounds whose every
     /// member was deadline-shed don't count — no work ran).
     pub batches: u64,
@@ -521,6 +549,8 @@ pub struct ServeReport {
     pub adaptive: Option<AdaptiveReport>,
     /// Per-class SLO ledgers (when SLO classes were configured).
     pub slo: Option<SloReport>,
+    /// Label-cache telemetry (when the cache ran).
+    pub cache: Option<CacheReport>,
 }
 
 impl ServeReport {
@@ -534,7 +564,8 @@ impl ServeReport {
     }
 
     /// Every offered request is accounted for exactly once: labeled, lost
-    /// on one of the four shed/reject paths, or cancelled by its client.
+    /// on one of the four shed/reject paths, cancelled by its client,
+    /// answered from the cache, or completed by a coalescing fan-out.
     /// This is also the exactly-once completion invariant seen from the
     /// ledger side — each bucket except `rejected` delivers exactly one
     /// terminal event per request when a ticket was issued.
@@ -546,6 +577,18 @@ impl ServeReport {
                 + self.shed_deadline
                 + self.shed_admission
                 + self.cancelled
+                + self.cache_hit
+                + self.coalesced
+    }
+
+    /// Share of offered requests answered without a fresh execution —
+    /// exact cache hits plus coalesced followers (0 when nothing was
+    /// offered). The cache's capacity-multiplier headline number.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        (self.cache_hit + self.coalesced) as f64 / self.offered as f64
     }
 
     /// Mean executed requests per batched round (0 when no batch ran).
@@ -761,6 +804,9 @@ struct Shared {
     /// contend at the same granularity as the shard queues themselves —
     /// one global ledger lock would serialize every submitter.
     class_admission: Option<Vec<Mutex<Vec<ClassAdmission>>>>,
+    /// The content-addressed label cache (present when
+    /// [`ServeConfig::cache`] is configured).
+    cache: Option<Arc<LabelCache>>,
 }
 
 /// Per-class worker-side accumulators (completions, deadline sheds,
@@ -921,6 +967,7 @@ impl AmsServer {
         if cfg.slo.is_none() {
             router = router.without_hash_value_scan();
         }
+        let cfg_cache = cfg.cache;
         let shared = Arc::new(Shared {
             router,
             queues,
@@ -935,6 +982,7 @@ impl AmsServer {
             next_ticket: AtomicU64::new(0),
             cancel_ledger: Arc::new(CancelLedger::default()),
             class_admission,
+            cache: cfg_cache.map(LabelCache::new),
         });
         let workers = (0..shared.cfg.shards * shared.cfg.workers_per_shard)
             .map(|w| {
@@ -1048,6 +1096,8 @@ impl ServerInner {
     fn abort(self) {
         for q in &self.shared.queues {
             for victim in q.abort() {
+                // A discarded coalescing leader drains its followers too.
+                victim.fail_cache(ShedReason::Drain);
                 if let Some(slot) = victim.completion() {
                     slot.try_shed(ShedReason::Drain);
                 }
@@ -1122,6 +1172,19 @@ impl ServerInner {
                 .collect(),
         });
         let cancelled_classes = shared.cancel_ledger.by_class();
+        // The cache ledger: hits and coalesced followers get their own
+        // buckets; followers shed with a failed leader fold into the
+        // matching loss buckets (their loss path was real). Drain sheds
+        // only happen on abort, where no report exists.
+        let cache_classes: Vec<ClassCache> = shared
+            .cache
+            .as_ref()
+            .map_or_else(Vec::new, |c| c.ledger().by_class());
+        let cache_hit: u64 = cache_classes.iter().map(|c| c.cache_hit).sum();
+        let coalesced: u64 = cache_classes.iter().map(|c| c.coalesced).sum();
+        let follower_shed_admission: u64 = cache_classes.iter().map(|c| c.shed_admission).sum();
+        let follower_shed_overflow: u64 = cache_classes.iter().map(|c| c.shed_overflow).sum();
+        let follower_shed_deadline: u64 = cache_classes.iter().map(|c| c.shed_deadline).sum();
         let slo = shared.cfg.slo.as_ref().map(|slo_cfg| {
             // Fold the per-shard submit-path ledgers into one.
             let mut admission = vec![ClassAdmission::default(); slo_cfg.classes.len()];
@@ -1155,27 +1218,32 @@ impl ServerInner {
                         let local = &merged.classes[i];
                         let oldest = shed_classes[i];
                         let cancel = cancelled_classes.get(i).copied().unwrap_or_default();
+                        let cached = cache_classes.get(i).copied().unwrap_or_default();
                         ClassReport {
                             class: i,
                             name: c.name.clone(),
                             deadline_ms: c.deadline_ms,
                             weight: c.weight,
-                            offered: adm.offered,
+                            offered: adm.offered + cached.offered,
                             completed: local.completed,
                             deadline_met: local.deadline_met,
                             rejected: adm.rejected,
-                            shed_admission: adm.shed_admission,
-                            shed_oldest: oldest.count,
-                            shed_deadline: local.shed_deadline,
+                            shed_admission: adm.shed_admission + cached.shed_admission,
+                            shed_oldest: oldest.count + cached.shed_overflow,
+                            shed_deadline: local.shed_deadline + cached.shed_deadline,
                             cancelled: cancel.count,
+                            cache_hit: cached.cache_hit,
+                            coalesced: cached.coalesced,
+                            value_cached: cached.value_cached,
                             value_cancelled: cancel.value,
-                            value_offered: adm.value_offered,
+                            value_offered: adm.value_offered + cached.value_offered,
                             value_completed: local.value_completed,
                             value_late: local.value_late,
                             value_shed: adm.value_rejected
                                 + adm.value_shed_admission
                                 + oldest.value
-                                + local.value_shed_deadline,
+                                + local.value_shed_deadline
+                                + cached.value_shed,
                             total: local.total.summary(),
                         }
                     })
@@ -1193,10 +1261,12 @@ impl ServerInner {
             submitted: shared.submitted.load(Ordering::Relaxed),
             completed: merged.completed,
             rejected: shared.rejected.load(Ordering::Relaxed),
-            shed_oldest,
-            shed_deadline: merged.shed_deadline,
-            shed_admission: shared.shed_admission.load(Ordering::Relaxed),
+            shed_oldest: shed_oldest + follower_shed_overflow,
+            shed_deadline: merged.shed_deadline + follower_shed_deadline,
+            shed_admission: shared.shed_admission.load(Ordering::Relaxed) + follower_shed_admission,
             cancelled: shared.cancel_ledger.total(),
+            cache_hit,
+            coalesced,
             batches: merged.batches,
             max_batch_observed: merged.max_batch_observed,
             model_invocations: merged.model_invocations,
@@ -1208,6 +1278,7 @@ impl ServerInner {
             stats: merged.stats,
             adaptive,
             slo,
+            cache: shared.cache.as_ref().map(|c| c.report()),
         }
     }
 }
@@ -1347,12 +1418,17 @@ fn submit_inner(
     if let Some(c) = client {
         c.queue.issue();
     }
-    let route = shared
+    // One fingerprint per request (the top-k affinity-value scan used to
+    // run twice — once for admission pricing, once inside `route`): the
+    // router derives placement from it, admission and shedding price with
+    // its value, and the cache keys on its content hash — computed only
+    // when the cache is on, so the uncached path pays nothing extra.
+    let fp = shared
         .router
-        .route(&shared.scheduler, &item, &shared.queues, deadline_us);
+        .fingerprint(&shared.scheduler, &item, shared.cache.is_some());
     shared.offered.fetch_add(1, Ordering::Relaxed);
     let value = match &shared.cfg.slo {
-        Some(_) => weight * route.value,
+        Some(_) => weight * fp.value,
         None => 1.0,
     };
     let ticket = client.map(|c| {
@@ -1365,6 +1441,46 @@ fn submit_inner(
             Arc::clone(&c.cancel_ledger),
         )))
     });
+    // Pre-admission cache protocol: an exact duplicate of a *resolved*
+    // fingerprint is answered right here — cached labels, zero queue
+    // wait, zero virtual-GPU bill, no queue slot; a duplicate of a
+    // *queued or in-flight* fingerprint coalesces onto that leader and
+    // completes at its fan-out. Only a first sighting (the leader)
+    // proceeds to routing and admission, carrying the pending entry.
+    let mut lead: Option<Arc<PendingEntry>> = None;
+    if let Some(cache) = &shared.cache {
+        let follower = Follower {
+            slot: ticket.as_ref().map(|t| Arc::clone(t.slot())),
+            class,
+            value,
+            deadline_us,
+            submitted_at: Instant::now(),
+        };
+        match cache.lookup(fp.content, follower) {
+            Lookup::Hit(result) => {
+                cache.ledger().record_hit(class, value);
+                if let Some(t) = &ticket {
+                    let slot = t.slot();
+                    slot.try_labeled(LabelResult {
+                        ticket: slot.id(),
+                        class,
+                        labels: result.labels,
+                        executed: result.executed,
+                        label_value: result.label_value,
+                        banked_value: value,
+                        recall: result.recall,
+                        queue_wait_us: 0,
+                        execute_us: 0,
+                        deadline_met: true,
+                    });
+                }
+                return SubmitOutcome::Cached(ticket);
+            }
+            Lookup::Coalesced => return SubmitOutcome::Coalesced(ticket),
+            Lookup::Miss(entry) => lead = Some(entry),
+        }
+    }
+    let route = shared.router.route(&fp, &item, &shared.queues, deadline_us);
     if let Some(ledgers) = &shared.class_admission {
         let mut l = ledgers[route.shard].lock().expect("class ledger");
         l[class].offered += 1;
@@ -1415,7 +1531,13 @@ fn submit_inner(
                     l[class].value_shed_admission += value;
                 }
                 // The ticket resolves right here: the shed *is* its
-                // terminal event, delivered at decision time.
+                // terminal event, delivered at decision time. A shed
+                // leader takes its pending cache entry down with it —
+                // no worker will ever resolve it, so followers that
+                // coalesced between lookup and here shed too.
+                if let Some(entry) = &lead {
+                    entry.fail(ShedReason::Admission);
+                }
                 if let Some(t) = &ticket {
                     t.slot().try_shed(ShedReason::Admission);
                 }
@@ -1426,6 +1548,9 @@ fn submit_inner(
     let mut req = Request::new(item, route.signature).with_slo(class, value, deadline_us);
     if let Some(t) = &ticket {
         req = req.with_completion(Arc::clone(t.slot()));
+    }
+    if let Some(entry) = &lead {
+        req = req.with_cache(Arc::clone(entry));
     }
     let outcome = shared.queues[route.shard].push(req);
     match outcome {
@@ -1447,13 +1572,22 @@ fn submit_inner(
             }
             // A rejection is synchronous: the caller sees it, no event
             // is owed, so the provisional ticket is withdrawn and its
-            // window slot released.
+            // window slot released. The leader's pending cache entry
+            // dies with it; followers shed as Overflow — the rejection
+            // means the shard queue was full or closed, and no more
+            // specific shed reason exists for "leader never enqueued".
+            if let Some(entry) = &lead {
+                entry.fail(ShedReason::Overflow);
+            }
             if let Some(t) = &ticket {
                 t.slot().retract();
             }
             return SubmitOutcome::Rejected;
         }
         SubmitOutcome::ShedAdmission(()) => unreachable!("queues never shed at admission"),
+        SubmitOutcome::Cached(()) | SubmitOutcome::Coalesced(()) => {
+            unreachable!("queues never consult the cache")
+        }
     }
     outcome.map(|()| ticket)
 }
@@ -1495,11 +1629,21 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
         // enqueue and this point is skipped without ledgering anything —
         // the cancellation already delivered its terminal event and
         // recorded itself.
-        let mut survivors: Vec<(Request, Duration)> = Vec::with_capacity(batch.len());
+        // The third field marks a *ghost*: a leader whose own ticket
+        // already resolved (cancelled) but whose pending cache entry
+        // still has live followers. The ghost is labeled and billed like
+        // any survivor — the followers' completions need the result —
+        // but it is not *completed*: its own terminal event (the
+        // cancellation) was already delivered, and counting it again
+        // would break ticket/event exactly-once.
+        let mut survivors: Vec<(Request, Duration, bool)> = Vec::with_capacity(batch.len());
         for req in batch {
             let now = Instant::now();
             let wait = now.saturating_duration_since(req.enqueued_at);
             if req.expired(now) {
+                // An expired leader takes its coalesced followers down
+                // with it, whoever owns the leader's own shed event.
+                req.fail_cache(ShedReason::Deadline);
                 let owns_shed = match req.completion() {
                     Some(slot) => slot.try_shed(ShedReason::Deadline),
                     None => true,
@@ -1517,7 +1661,13 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
                     None => true,
                 };
                 if claimed {
-                    survivors.push((req, wait));
+                    survivors.push((req, wait, false));
+                } else if req.cache_entry().is_some_and(|e| e.wanted_or_abandon()) {
+                    // Cancelled leader with waiters: promote to ghost —
+                    // execute for the followers' sake. With no waiters
+                    // the entry abandons itself and the slot is free for
+                    // the next submission of the same content.
+                    survivors.push((req, wait, true));
                 }
             }
         }
@@ -1533,7 +1683,7 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
         runs_per_model.fill(0);
         let outcomes: Vec<_> = survivors
             .iter()
-            .map(|(req, _)| {
+            .map(|(req, _, _)| {
                 let outcome = shared.scheduler.label_item(&req.item, shared.budget);
                 for &m in &outcome.executed {
                     runs_per_model[m.index()] += 1;
@@ -1585,7 +1735,28 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
         shared.queues[shard]
             .set_service_hint_us((amortized / shared.cfg.workers_per_shard as u64).max(1));
         let exec_us = exec_elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        for ((req, wait), outcome) in survivors.iter().zip(outcomes) {
+        for ((req, wait, ghost), outcome) in survivors.iter().zip(outcomes) {
+            // Publish into the cache first: followers fan out the moment
+            // the leader resolves, and the entry flips to `Done` so the
+            // next identical submission is an exact hit.
+            if let (Some(cache), Some(entry)) = (&shared.cache, req.cache_entry()) {
+                cache.resolve(
+                    entry,
+                    CachedResult {
+                        labels: outcome.labels.clone(),
+                        executed: outcome.executed.clone(),
+                        label_value: outcome.value,
+                        recall: outcome.recall,
+                    },
+                    req.value,
+                );
+            }
+            if *ghost {
+                // Billed above (its model runs are in `runs_per_model`),
+                // but its own ticket already resolved as cancelled —
+                // nothing to complete, record, or deliver.
+                continue;
+            }
             local.stats.absorb(&outcome, shared.cfg.alert_recall);
             local.queue_wait.record(*wait);
             local.execute.record(exec_elapsed);
@@ -1624,7 +1795,7 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
         }
         if let Some(acfg) = &shared.cfg.adaptive {
             shared.controls[shard].observe_batch(
-                survivors.iter().map(|(_, wait)| *wait),
+                survivors.iter().map(|(_, wait, _)| *wait),
                 exec_elapsed,
                 acfg,
                 &shared.cfg.batch_model,

@@ -389,9 +389,10 @@ fn shard_of_matches_the_hash_routers_placement() {
             },
         );
         for item in table.items() {
+            let fp = router.fingerprint(&sched, item, false);
             assert_eq!(
                 server.shard_of(item),
-                router.route(&sched, item, &queues, None).shard,
+                router.route(&fp, item, &queues, None).shard,
                 "scene {} with {shards} shards",
                 item.scene_id
             );
@@ -439,6 +440,9 @@ fn slo_shedding_conserves_every_request_across_policies() {
                     SubmitOutcome::Rejected => 2,
                     SubmitOutcome::ShedAdmission(()) => 3,
                     SubmitOutcome::ShedIncoming(()) => 4,
+                    SubmitOutcome::Cached(()) | SubmitOutcome::Coalesced(()) => {
+                        unreachable!("cache is off in this config")
+                    }
                 };
                 outcomes[idx] += 1;
                 offered_by_class[class] += 1;

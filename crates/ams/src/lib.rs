@@ -19,7 +19,8 @@
 //!   bounded queues with backpressure and per-class admission
 //!   reservations, model-affinity routing with deadline-aware spill,
 //!   batched admission with an adaptive per-shard batch-limit controller,
-//!   deadline shedding, and latency telemetry.
+//!   deadline shedding, a content-addressed label cache with request
+//!   coalescing, and latency telemetry.
 //!
 //! ## Quickstart
 //!
@@ -91,9 +92,9 @@ pub mod prelude {
     };
     pub use ams_serve::{
         AdaptiveBatchConfig, AdaptiveReport, AffinityConfig, AmsServer, BackpressurePolicy,
-        ClassReport, Client, Completion, LabelResult, LatencySummary, RoutingMode, ServeConfig,
-        ServeReport, ShardAdaptive, ShedReason, SloClass, SloConfig, SloReport, SubmitOutcome,
-        Ticket,
+        CacheConfig, CacheReport, ClassReport, Client, Completion, LabelResult, LatencySummary,
+        RoutingMode, ServeConfig, ServeReport, ShardAdaptive, ShedReason, SloClass, SloConfig,
+        SloReport, SubmitOutcome, Ticket,
     };
     pub use ams_sim::{
         batched_makespan, BatchLatencyModel, ExecTrace, Job, MemoryPool, ParallelExecutor,

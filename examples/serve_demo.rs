@@ -2,7 +2,7 @@
 //! deployment shape of the paper's motivating applications — with sharded
 //! admission queues, batched execution, and latency telemetry.
 //!
-//! A burst of album photos is submitted to an [`AmsServer`] five times:
+//! A burst of album photos is submitted to an [`AmsServer`] six times:
 //! once with a lossless blocking configuration, once with a tiny queue and
 //! a shed-oldest policy under a request timeout (graceful degradation
 //! under overload), once with model-affinity routing plus the adaptive
@@ -14,7 +14,11 @@
 //! request/response **client API**: every submission returns a cancellable
 //! completion ticket, each request's own labels come back as a `Labeled`
 //! event on the client's completion queue, and a cancelled straggler
-//! resolves to exactly one `Cancelled` event instead of wasting a worker.
+//! resolves to exactly one `Cancelled` event instead of wasting a worker —
+//! and finally once with the **content-addressed label cache**, where a
+//! repetitive stream is deduplicated: exact repeats answer before
+//! admission with zero GPU bill, in-flight duplicates coalesce onto one
+//! execution, and a cancelled leader's followers are fed by a ghost run.
 //!
 //! Run with: `cargo run --release --example serve_demo [-- --smoke]`
 //! (`--smoke` shrinks the dataset and training so CI can exercise the
@@ -243,7 +247,7 @@ fn main() {
     //    report folds away), and a cancelled straggler resolves to exactly
     //    one Cancelled event — the worker never wastes a batch slot on it.
     let server = AmsServer::start(
-        scheduler(agent, album.world_seed),
+        scheduler(agent.clone(), album.world_seed),
         budget,
         ServeConfig {
             shards: 2,
@@ -312,11 +316,106 @@ fn main() {
     assert_eq!(labeled + cancelled, take as u64, "exactly one event each");
     assert!(report.is_conserved());
 
-    println!("\nthe same scheduler serves all five: backpressure and deadline shedding");
+    // 6) The content-addressed label cache: a repetitive stream — the
+    //    album re-uploaded several times over — where repeats are
+    //    answered from the cache (exact hits, zero queue wait, zero GPU
+    //    bill) or coalesce onto the identical in-flight request. A
+    //    cancelled leader with waiting followers is executed as a ghost:
+    //    its own ticket resolves Cancelled, its followers still get
+    //    their labels.
+    let server = AmsServer::start(
+        scheduler(agent, album.world_seed),
+        budget,
+        ServeConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            max_batch: 4,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            exec_emulation_scale: 5e-3,
+            cache: Some(CacheConfig::default()),
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    let take = items.len().min(16);
+    println!("--- label cache (content-addressed dedup) ---");
+    let mut issued = 0u64;
+    let mut leader: Option<Ticket> = None;
+    let mut followers = 0u64;
+    // Three passes over the same photos: pass 0 leads, passes 1-2 are
+    // duplicates. The *last* photo's leader — still deep in the queue
+    // when pass 1 resubmits it — is cancelled while its repeats wait on
+    // it: the worker ghost-executes it for them.
+    for pass in 0..3 {
+        for item in items.iter().take(take) {
+            let outcome = client.submit(Arc::clone(item));
+            if matches!(outcome, SubmitOutcome::Coalesced(_)) {
+                followers += 1;
+            }
+            if let Some(t) = outcome.ticket() {
+                if pass == 0 {
+                    leader = Some(t);
+                }
+            }
+            issued += 1;
+        }
+        if pass == 1 {
+            if let Some(t) = leader.take() {
+                let won = t.cancel();
+                println!(
+                    "  cancelled the last photo's leader mid-queue ({}): its duplicates still complete",
+                    if won { "won the race" } else { "worker already claimed it" },
+                );
+            }
+        }
+    }
+    let mut labeled = 0u64;
+    let mut cancelled = 0u64;
+    let mut events = 0u64;
+    while let Some(event) = client.recv() {
+        events += 1;
+        match event {
+            Completion::Labeled(_) => labeled += 1,
+            Completion::Cancelled { ticket, .. } => {
+                cancelled += 1;
+                println!("  ticket {ticket} resolved Cancelled — its followers were fed by the ghost execution");
+            }
+            Completion::Shed { .. } => {}
+        }
+    }
+    let report = server.shutdown();
+    let cache = report.cache.as_ref().expect("cache configured");
+    println!(
+        "  {issued} submissions over {take} distinct photos -> {} executed, {} exact hits + {} coalesced ({:.0}% answered by the cache)",
+        report.completed,
+        report.cache_hit,
+        report.coalesced,
+        report.cache_hit_rate() * 100.0,
+    );
+    println!(
+        "  cache: {} entries / {} bytes (budget {}), {} insertions, {} evictions",
+        cache.entries, cache.bytes, cache.capacity_bytes, cache.insertions, cache.evictions,
+    );
+    println!(
+        "  virtual GPU bill {:.1}s — the {} cached answers billed nothing; every ticket still resolved exactly once ({events} events: {labeled} labeled, {cancelled} cancelled)",
+        report.virtual_work_ms as f64 / 1000.0,
+        report.cache_hit + report.coalesced,
+    );
+    assert_eq!(events, issued, "exactly one event per ticket");
+    assert!(
+        followers > 0,
+        "repeats coalesced while leaders were in flight"
+    );
+    assert!(report.is_conserved());
+
+    println!("\nthe same scheduler serves all six: backpressure and deadline shedding");
     println!("trade recall coverage for bounded queues and fresh frames; affinity");
     println!("routing and the adaptive batch controller make batching deliberate;");
-    println!("SLO classes make the *shedding* deliberate too; and the client API");
+    println!("SLO classes make the *shedding* deliberate too; the client API");
     println!("closes the loop — every request hands its caller a ticket that");
     println!("resolves to exactly one completion: its labels, its shed reason, or");
-    println!("its cancellation.");
+    println!("its cancellation — and the content-addressed cache makes repeated");
+    println!("content free: exact repeats answer before admission, in-flight");
+    println!("duplicates coalesce onto one execution.");
 }

@@ -3,9 +3,11 @@
 # the committed smoke baselines under results-smoke/. Fails if throughput,
 # recall, the batching saving, the affinity-routing win, the SLO-aware
 # shedding win (lower value-weighted shed loss + no-worse deadline-met
-# rate + request conservation in both modes), or the adaptive controller's
-# target compliance regresses beyond tolerance (tolerances live in
-# crates/ams-bench/src/gate.rs, with rationale).
+# rate + request conservation in both modes), the label-cache zipf
+# economics (monotone bill saving, cache-on beating cache-off at repeat
+# >= 0.6, the repeat-0 no-op, per-point conservation), or the adaptive
+# controller's target compliance regresses beyond tolerance (tolerances
+# live in crates/ams-bench/src/gate.rs, with rationale).
 #
 #   ./scripts/bench_gate.sh               # self-test + rerun + compare
 #   ./scripts/bench_gate.sh --self-test   # only prove the gate can fail

@@ -4,8 +4,9 @@
 #
 #   ./scripts/check.sh          # full: fmt + clippy + release build
 #                               #       + bench gate + tier-1 tests
-#   ./scripts/check.sh --quick  # fmt + clippy + debug tests (no release
-#                               #       build, no bench gate)
+#   ./scripts/check.sh --quick  # fmt + clippy + a fast label-cache pass
+#                               #       (PROPTEST_CASES=16) + debug tests
+#                               #       (no release build, no bench gate)
 #   ./scripts/check.sh --smoke  # fmt + clippy + bench gate only (the
 #                               #       fast perf-regression lane; runs
 #                               #       scripts/bench_gate.sh, which also
@@ -44,6 +45,16 @@ if [[ $mode == full || $mode == smoke ]]; then
     # Perf-regression gate: smoke sweeps compared against the committed
     # baselines (plus the in-process serve==serial equivalence assert).
     ./scripts/bench_gate.sh
+fi
+
+if [[ $mode == quick ]]; then
+    # Targeted first pass over the label cache: the stripe/eviction unit
+    # tests plus the cross-policy coalescing + cancellation-storm suite,
+    # capped at 16 proptest cases so exactly-once violations surface in
+    # seconds before the full debug run below.
+    echo "==> label-cache tests (PROPTEST_CASES=16)"
+    PROPTEST_CASES=16 cargo test -q -p ams-serve --lib cache::
+    PROPTEST_CASES=16 cargo test -q -p ams-serve --test cache_coalescing
 fi
 
 if [[ $mode == full || $mode == quick ]]; then
