@@ -63,6 +63,12 @@ const SAVING_SLACK: f64 = 0.10;
 /// Speedup ratios are scale-free; half the baseline ratio means the
 /// optimization substantially regressed.
 const SPEEDUP_FLOOR: f64 = 0.5;
+/// The live observability layer may cost at most this fraction of the
+/// closed-loop capacity. Absolute (not baseline-relative): the budget is
+/// a design contract — one timestamp plus a lock-free ring push per
+/// event — so a machine where it blows past 2% has a hot-path problem,
+/// not noise.
+const OBS_OVERHEAD_CEILING: f64 = 0.02;
 
 /// Numeric view of a [`Value`].
 fn value_f64(v: &Value) -> Option<f64> {
@@ -188,6 +194,18 @@ pub fn gate_serve(baseline: &Value, candidate: &Value) -> GateOutcome {
         (b, c) => out
             .failed
             .push(format!("closed_loop_capacity_per_s: {b:?} vs {c:?}")),
+    }
+    // The observability layer's capacity tax, measured obs-off vs obs-on
+    // on the candidate's own closed-loop fixture (best-of-trials), must
+    // stay within the absolute ceiling.
+    match num(candidate, "obs_overhead_fraction") {
+        Ok(f) if f <= OBS_OVERHEAD_CEILING => out.passed.push(format!(
+            "obs_overhead_fraction: {f:.4} <= {OBS_OVERHEAD_CEILING:.2}"
+        )),
+        Ok(f) => out.failed.push(format!(
+            "obs_overhead_fraction: {f:.4} > {OBS_OVERHEAD_CEILING:.2}"
+        )),
+        Err(e) => out.failed.push(e),
     }
     match (sweep_recall(baseline), sweep_recall(candidate)) {
         (Ok(b), Ok(c)) => check_slack(&mut out, "closed-loop mean_recall", b, c, RECALL_SLACK),
@@ -575,6 +593,12 @@ pub fn self_test(serve_baseline: &Value, hotpath_baseline: &Value) -> Result<Vec
         &|v| inject_at(v, "exactly_once_ticketing", Value::Bool(false)),
     )?;
     inject(
+        "observability overhead blowout (10%)",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| inject_at(v, "obs_overhead_fraction", Value::F64(0.10)),
+    )?;
+    inject(
         "learn speedup collapse (x0.3)",
         GateKind::Hotpath,
         hotpath_baseline,
@@ -601,6 +625,7 @@ mod tests {
                 "exactly_once_ticketing": true,
                 "closed_loop_capacity_per_s": 1800.0,
                 "batching_saving_fraction": 0.8,
+                "obs_overhead_fraction": 0.004,
                 "adaptive": { "all_within_target": true },
                 "routing_sweep": [
                     { "mode": "hash", "load_factor": 0.8, "mean_coalesced": 2.5 },
@@ -703,7 +728,29 @@ mod tests {
     #[test]
     fn self_test_exercises_every_injection() {
         let injected = self_test(&serve_record(), &hotpath_record()).expect("self test passes");
-        assert_eq!(injected.len(), 12, "{injected:?}");
+        assert_eq!(injected.len(), 13, "{injected:?}");
+    }
+
+    #[test]
+    fn obs_overhead_is_gated_absolutely() {
+        let base = serve_record();
+        // Right at the ceiling passes; just over it fails, even though the
+        // baseline itself carried a far smaller fraction (absolute check).
+        let mut cand = base.clone();
+        inject_at(&mut cand, "obs_overhead_fraction", Value::F64(0.02));
+        assert!(
+            gate_serve(&base, &cand).ok(),
+            "{}",
+            gate_serve(&base, &cand).render()
+        );
+        inject_at(&mut cand, "obs_overhead_fraction", Value::F64(0.021));
+        assert!(!gate_serve(&base, &cand).ok());
+        // A record that drops the field fails loudly.
+        let mut cand = base.clone();
+        if let Value::Object(fields) = &mut cand {
+            fields.retain(|(k, _)| k != "obs_overhead_fraction");
+        }
+        assert!(!gate_serve(&base, &cand).ok());
     }
 
     #[test]

@@ -65,6 +65,7 @@
 //! `cancelled` — the fan-out's losing CAS keeps it out of `coalesced`.
 
 use crate::completion::{CompletionSlot, LabelResult, ShedReason};
+use crate::obs::{Event, EventKind, ServerObs, NO_SHARD, NO_TICKET};
 use ams_models::{LabelId, ModelId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -150,6 +151,8 @@ pub(crate) struct Follower {
     pub(crate) deadline_us: Option<u64>,
     /// When the follower attached — the start of its latency clock.
     pub(crate) submitted_at: Instant,
+    /// Observability correlation id (`u64::MAX` outside a server).
+    pub(crate) req_id: u64,
 }
 
 /// What [`PendingEntry::attach`] decided.
@@ -187,6 +190,10 @@ pub(crate) struct PendingEntry {
     /// Back-reference for map cleanup on failure (weak: a failed entry
     /// must not keep a dropped cache alive).
     cache: Weak<LabelCache>,
+    /// Observability pipeline: follower terminal events (coalesced
+    /// deliveries, follower sheds) are emitted exactly where the cache
+    /// ledger counts them, so event totals reconcile with the report.
+    obs: Option<Arc<ServerObs>>,
 }
 
 impl PendingEntry {
@@ -251,6 +258,18 @@ impl PendingEntry {
             };
             if delivered {
                 self.ledger.record_coalesced(f.class, f.value);
+                if let Some(obs) = &self.obs {
+                    obs.emit(Event {
+                        at_us: obs.now_us(),
+                        req: f.req_id,
+                        ticket: f.slot.as_ref().map(|s| s.id()).unwrap_or(NO_TICKET),
+                        shard: NO_SHARD,
+                        class: f.class as u32,
+                        kind: EventKind::Coalesced,
+                        detail: waited_us,
+                        flag: !met,
+                    });
+                }
             }
         }
     }
@@ -280,6 +299,18 @@ impl PendingEntry {
             };
             if owned {
                 self.ledger.record_follower_shed(f.class, f.value, reason);
+                if let Some(obs) = &self.obs {
+                    obs.emit(Event {
+                        at_us: obs.now_us(),
+                        req: f.req_id,
+                        ticket: f.slot.as_ref().map(|s| s.id()).unwrap_or(NO_TICKET),
+                        shard: NO_SHARD,
+                        class: f.class as u32,
+                        kind: EventKind::of_shed(reason),
+                        detail: 0,
+                        flag: false,
+                    });
+                }
             }
         }
         if let Some(cache) = self.cache.upgrade() {
@@ -357,10 +388,20 @@ pub(crate) struct LabelCache {
     insertions: AtomicU64,
     evictions: AtomicU64,
     ledger: Arc<CacheLedger>,
+    /// Observability pipeline, cloned into every pending entry so
+    /// fan-out and follower-shed events can be emitted from the entry.
+    obs: Option<Arc<ServerObs>>,
 }
 
 impl LabelCache {
+    /// A cache without observability (the in-module tests' constructor —
+    /// the server always threads its `obs` through `new_with_obs`).
+    #[cfg(test)]
     pub(crate) fn new(cfg: CacheConfig) -> Arc<Self> {
+        Self::new_with_obs(cfg, None)
+    }
+
+    pub(crate) fn new_with_obs(cfg: CacheConfig, obs: Option<Arc<ServerObs>>) -> Arc<Self> {
         let stripes = cfg.stripes.max(1);
         let capacity_bytes = cfg.capacity_bytes.max(1024);
         Arc::new(Self {
@@ -373,6 +414,7 @@ impl LabelCache {
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             ledger: Arc::new(CacheLedger::default()),
+            obs,
         })
     }
 
@@ -433,6 +475,7 @@ impl LabelCache {
             state: Mutex::new(EntryState::Waiting(Vec::new())),
             ledger: Arc::clone(&self.ledger),
             cache: Arc::downgrade(self),
+            obs: self.obs.clone(),
         })
     }
 
@@ -617,6 +660,7 @@ mod tests {
             value: 1.0,
             deadline_us: None,
             submitted_at: Instant::now(),
+            req_id: u64::MAX,
         }
     }
 

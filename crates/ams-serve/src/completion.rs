@@ -47,6 +47,7 @@
 //! a canceller running on the client's own thread cannot deadlock against
 //! the client's own full queue.
 
+use crate::obs::{Event, EventKind, ServerObs, NO_SHARD};
 use ams_models::{LabelId, ModelId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -216,6 +217,11 @@ pub struct CompletionSlot {
     state: AtomicU8,
     queue: Arc<CompletionQueue>,
     ledger: Arc<CancelLedger>,
+    /// Observability hook (`request correlation id`, pipeline): the
+    /// cancellation path emits its terminal event from here, and every
+    /// resolution marks the ticket resolved for the outstanding-tickets
+    /// gauge.
+    obs: Option<(u64, Arc<ServerObs>)>,
 }
 
 impl CompletionSlot {
@@ -233,6 +239,20 @@ impl CompletionSlot {
             state: AtomicU8::new(PENDING),
             queue,
             ledger,
+            obs: None,
+        }
+    }
+
+    /// Attach the observability pipeline (and the request's correlation
+    /// id). Must happen before the slot is shared.
+    pub(crate) fn with_obs(mut self, req_id: u64, obs: Arc<ServerObs>) -> Self {
+        self.obs = Some((req_id, obs));
+        self
+    }
+
+    fn obs_resolved(&self) {
+        if let Some((_, obs)) = &self.obs {
+            obs.ticket_resolved();
         }
     }
 
@@ -261,6 +281,7 @@ impl CompletionSlot {
     pub(crate) fn finish_labeled(&self, result: LabelResult) {
         debug_assert_eq!(self.state.load(Ordering::Acquire), CLAIMED);
         self.state.store(RESOLVED, Ordering::Release);
+        self.obs_resolved();
         self.queue.deliver(Completion::Labeled(result));
     }
 
@@ -281,6 +302,7 @@ impl CompletionSlot {
         {
             return false;
         }
+        self.obs_resolved();
         self.queue.deliver(Completion::Labeled(result));
         true
     }
@@ -297,6 +319,7 @@ impl CompletionSlot {
         {
             return false;
         }
+        self.obs_resolved();
         self.queue.deliver(Completion::Shed {
             ticket: self.id,
             class: self.class,
@@ -332,6 +355,24 @@ impl CompletionSlot {
         }
         ledger.by_class[self.class].count += 1;
         ledger.by_class[self.class].value += self.value;
+        // Emit the terminal event *inside* the ledger-lock region: a
+        // reader that takes this lock after us (shutdown folding the
+        // report before its final ring drain) is then guaranteed every
+        // ledgered cancellation already has its event in a ring, so the
+        // event stream can never under-count what the ledger shows.
+        if let Some((req_id, obs)) = &self.obs {
+            obs.ticket_resolved();
+            obs.emit(Event {
+                at_us: obs.now_us(),
+                req: *req_id,
+                ticket: self.id,
+                shard: NO_SHARD,
+                class: self.class as u32,
+                kind: EventKind::Cancelled,
+                detail: 0,
+                flag: false,
+            });
+        }
         drop(ledger);
         self.queue.deliver(Completion::Cancelled {
             ticket: self.id,
@@ -346,6 +387,7 @@ impl CompletionSlot {
     /// event is coming.
     pub(crate) fn retract(&self) {
         self.state.store(RESOLVED, Ordering::Release);
+        self.obs_resolved();
         self.queue.retract();
     }
 }

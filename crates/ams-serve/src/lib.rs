@@ -32,6 +32,15 @@
 //!   shedding** (per-request deadline + value classes, predicted-wait
 //!   admission control, value-weighted overflow eviction, EDF dequeue,
 //!   per-class ledgers), and graceful drain on shutdown.
+//! * [`obs`] — the live observability layer: a structured lifecycle
+//!   event stream (per-worker lock-free bounded rings, drop-counted on
+//!   overflow, drained by a background aggregator), a time-sliced rolling
+//!   metrics registry behind [`AmsServer::metrics_snapshot`] /
+//!   [`AmsServer::render_metrics`], and a flight recorder that retains
+//!   the complete causal trace of the last N sheds, deadline misses, and
+//!   cancellations ([`AmsServer::why`]). Event totals reconcile
+//!   bucket-for-bucket against the [`ServeReport`] conservation ledger
+//!   ([`ServeReport::events_reconcile`]).
 //! * [`telemetry`] — per-request latency histograms split into queue wait
 //!   vs execute, published as p50/p95/p99 summaries.
 //!
@@ -48,6 +57,7 @@
 
 pub mod cache;
 pub mod completion;
+pub mod obs;
 pub mod queue;
 pub mod router;
 pub mod server;
@@ -55,6 +65,10 @@ pub mod telemetry;
 
 pub use cache::{CacheConfig, CacheReport};
 pub use completion::{Completion, LabelResult, ShedReason, Ticket};
+pub use obs::{
+    CacheGauges, ClassRates, EventCount, EventKind, EventRecord, MetricsSnapshot, ObsConfig,
+    ObsReport, ShardGauges, SliceSnapshot, TraceReport,
+};
 pub use queue::{BackpressurePolicy, ClassShed, Request, ShardQueue, SubmitOutcome};
 pub use router::{fib_shard, AffinityConfig, Route, Router, RoutingMode};
 pub use server::{

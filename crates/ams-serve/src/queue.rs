@@ -23,6 +23,7 @@
 
 use crate::cache::PendingEntry;
 use crate::completion::{CompletionSlot, ShedReason};
+use crate::obs::{Event, EventKind, ServerObs, NO_TICKET};
 use ams_data::ItemTruth;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -185,6 +186,10 @@ pub struct Request {
     /// loss path fails it (shedding its followers); the labeling path
     /// resolves it (fanning the result out).
     cache: Option<Arc<PendingEntry>>,
+    /// Observability correlation id (the server's `offered` sequence
+    /// number; `u64::MAX` when the request never passed through a
+    /// server's submission path).
+    pub(crate) req_id: u64,
 }
 
 impl Request {
@@ -199,7 +204,14 @@ impl Request {
             enqueued_at: Instant::now(),
             completion: None,
             cache: None,
+            req_id: u64::MAX,
         }
+    }
+
+    /// Attach the observability correlation id events are keyed by.
+    pub(crate) fn with_req_id(mut self, req_id: u64) -> Self {
+        self.req_id = req_id;
+        self
     }
 
     /// Attach an SLO class: index, weighted value, and deadline budget.
@@ -395,6 +407,10 @@ pub struct ShardQueue {
     /// first: they will be deadline-shed at dequeue anyway, so their slot
     /// is free.
     service_hint_us: AtomicU64,
+    /// Observability sink (`shard index`, pipeline handle): overflow
+    /// sheds emit their lifecycle event at the exact point the ledger
+    /// counts them, so event totals reconcile with `shed_oldest`.
+    obs: Option<(u32, Arc<ServerObs>)>,
 }
 
 impl ShardQueue {
@@ -423,6 +439,31 @@ impl ShardQueue {
             edf,
             reservations: Vec::new(),
             service_hint_us: AtomicU64::new(0),
+            obs: None,
+        }
+    }
+
+    /// Attach the observability pipeline (and this queue's shard index)
+    /// so overflow evictions emit lifecycle events.
+    pub(crate) fn with_obs(mut self, shard: u32, obs: Arc<ServerObs>) -> Self {
+        self.obs = Some((shard, obs));
+        self
+    }
+
+    /// Emit a terminal overflow-shed event for `req`, mirroring exactly
+    /// the points where the queue's shed ledger counts it.
+    fn emit_shed_overflow(&self, req: &Request) {
+        if let Some((shard, obs)) = &self.obs {
+            obs.emit(Event {
+                at_us: obs.now_us(),
+                req: req.req_id,
+                ticket: req.completion().map(|s| s.id()).unwrap_or(NO_TICKET),
+                shard: *shard,
+                class: req.class as u32,
+                kind: EventKind::ShedOverflow,
+                detail: 0,
+                flag: false,
+            });
         }
     }
 
@@ -450,6 +491,14 @@ impl ShardQueue {
     /// behavior.
     pub fn set_service_hint_us(&self, us: u64) {
         self.service_hint_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The currently published per-request drain hint (µs; 0 = unknown).
+    /// One of the two [`ShardQueue::estimated_wait_us`] inputs, exported
+    /// as a registry gauge so the wait the spill router prices is
+    /// observable rather than inferred.
+    pub fn service_hint_us(&self) -> u64 {
+        self.service_hint_us.load(Ordering::Relaxed)
     }
 
     /// The configured capacity.
@@ -668,6 +717,7 @@ impl ShardQueue {
             }
             _ => {
                 st.record_shed(&shed);
+                self.emit_shed_overflow(&shed);
                 Eviction::Evicted
             }
         }
@@ -702,6 +752,7 @@ impl ShardQueue {
                         }
                         Eviction::ShedIncoming => {
                             st.record_shed(&req);
+                            self.emit_shed_overflow(&req);
                             // The incoming request may already lead a
                             // coalescing entry (the lookup ran before
                             // admission): shed its followers with it.

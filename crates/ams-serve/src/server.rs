@@ -42,6 +42,10 @@ use crate::cache::{
 use crate::completion::{
     CancelLedger, Completion, CompletionQueue, CompletionSlot, LabelResult, ShedReason, Ticket,
 };
+use crate::obs::{
+    CacheGauges, Event, EventKind, MetricsSnapshot, ObsConfig, ObsReport, ServerObs, ShardSample,
+    TraceReport, NO_SHARD, NO_TICKET,
+};
 use crate::queue::{BackpressurePolicy, ClassShed, Request, ShardQueue, SubmitOutcome};
 use crate::router::{fib_shard, Router, RoutingMode};
 use crate::telemetry::{LatencyHistogram, LatencySummary};
@@ -268,6 +272,12 @@ pub struct ServeConfig {
     /// [`crate::cache`]); `None` disables it — on a unique stream the
     /// cached and uncached servers behave identically.
     pub cache: Option<CacheConfig>,
+    /// Live observability: the lifecycle event stream, the rolling
+    /// metrics registry behind [`AmsServer::metrics_snapshot`], and the
+    /// shed/deadline-miss flight recorder (see [`crate::obs`]). `None`
+    /// disables the whole layer — no rings, no aggregator thread, and a
+    /// branch-on-`None` as the only hot-path residue.
+    pub obs: Option<ObsConfig>,
 }
 
 impl Default for ServeConfig {
@@ -290,6 +300,7 @@ impl Default for ServeConfig {
             exec_emulation_scale: 0.0,
             alert_recall: 0.5,
             cache: None,
+            obs: None,
         }
     }
 }
@@ -551,6 +562,10 @@ pub struct ServeReport {
     pub slo: Option<SloReport>,
     /// Label-cache telemetry (when the cache ran).
     pub cache: Option<CacheReport>,
+    /// Final observability fold (when [`ServeConfig::obs`] ran): the
+    /// closing metrics snapshot plus the flight recorder's retained
+    /// traces.
+    pub obs: Option<ObsReport>,
 }
 
 impl ServeReport {
@@ -620,6 +635,27 @@ impl ServeReport {
             return 0.0;
         }
         1.0 - self.virtual_work_ms as f64 / self.stats.total_exec_ms as f64
+    }
+
+    /// The lifecycle event stream agrees with the conservation ledger
+    /// bucket for bucket: each terminal kind's reconciled total (events
+    /// drained + events drop-counted at the rings) equals the matching
+    /// `ServeReport` counter, and `spilled` matches the router's spill
+    /// count. Vacuously true when observability was off. This is the
+    /// cross-check that makes the event stream trustworthy — drops are
+    /// counted, never silently lost.
+    pub fn events_reconcile(&self) -> bool {
+        let Some(obs) = &self.obs else { return true };
+        obs.total(EventKind::Admitted) == self.offered
+            && obs.total(EventKind::Labeled) == self.completed
+            && obs.total(EventKind::CacheHit) == self.cache_hit
+            && obs.total(EventKind::Coalesced) == self.coalesced
+            && obs.total(EventKind::ShedOverflow) == self.shed_oldest
+            && obs.total(EventKind::ShedDeadline) == self.shed_deadline
+            && obs.total(EventKind::ShedAdmission) == self.shed_admission
+            && obs.total(EventKind::Rejected) == self.rejected
+            && obs.total(EventKind::Cancelled) == self.cancelled
+            && obs.total(EventKind::Spilled) == self.affinity_spills
     }
 
     /// Share of routed requests that landed on their affinity home shard
@@ -807,6 +843,10 @@ struct Shared {
     /// The content-addressed label cache (present when
     /// [`ServeConfig::cache`] is configured).
     cache: Option<Arc<LabelCache>>,
+    /// The live observability pipeline (present when [`ServeConfig::obs`]
+    /// is configured) — shared with the queues, the cache, and every
+    /// ticket slot so each layer can stamp its own lifecycle events.
+    obs: Option<Arc<ServerObs>>,
 }
 
 /// Per-class worker-side accumulators (completions, deadline sheds,
@@ -892,6 +932,60 @@ pub struct AmsServer {
 struct ServerInner {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<WorkerLocal>>,
+    /// The observability aggregator thread (present when
+    /// [`ServeConfig::obs`] is configured); joined at shutdown/abort.
+    aggregator: Option<JoinHandle<()>>,
+}
+
+/// Every shard's live AIMD batch limit — the trajectory sample the
+/// aggregator stamps onto each metrics time slice.
+fn shard_batch_limits(shared: &Shared) -> Vec<u64> {
+    shared
+        .controls
+        .iter()
+        .map(|c| c.limit.load(Ordering::Relaxed) as u64)
+        .collect()
+}
+
+/// One racy-but-consistent gauge sample per shard: the queue depth and
+/// published drain hint — the very inputs [`ShardQueue::estimated_wait_us`]
+/// prices admission and spill routing with — plus the live batch limit.
+fn obs_shard_samples(shared: &Shared) -> Vec<ShardSample> {
+    shared
+        .queues
+        .iter()
+        .zip(&shared.controls)
+        .map(|(q, c)| ShardSample {
+            depth: q.live_len() as u64,
+            service_hint_us: q.service_hint_us(),
+            estimated_wait_us: q.estimated_wait_us(),
+            batch_limit: c.limit.load(Ordering::Relaxed) as u64,
+        })
+        .collect()
+}
+
+/// Cache occupancy gauges for a snapshot (`None` when the cache is off).
+fn obs_cache_gauges(shared: &Shared) -> Option<CacheGauges> {
+    shared.cache.as_ref().map(|c| {
+        let r = c.report();
+        let hits: u64 = c
+            .ledger()
+            .by_class()
+            .iter()
+            .map(|cc| cc.cache_hit + cc.coalesced)
+            .sum();
+        let offered = shared.offered.load(Ordering::Relaxed);
+        CacheGauges {
+            entries: r.entries,
+            bytes: r.bytes,
+            capacity_bytes: r.capacity_bytes,
+            hit_rate: if offered == 0 {
+                0.0
+            } else {
+                hits as f64 / offered as f64
+            },
+        }
+    })
 }
 
 impl AmsServer {
@@ -941,10 +1035,19 @@ impl AmsServer {
                 slots
             }
         });
+        let obs = cfg
+            .obs
+            .clone()
+            .map(|o| Arc::new(ServerObs::new(o, cfg.shards, cfg.workers_per_shard)));
         let queues: Vec<ShardQueue> = (0..cfg.shards)
-            .map(|_| {
-                ShardQueue::with_slo(cfg.queue_capacity, cfg.policy, value_weighted, edf)
-                    .with_reservations(reservations.clone())
+            .map(|shard| {
+                let mut q =
+                    ShardQueue::with_slo(cfg.queue_capacity, cfg.policy, value_weighted, edf)
+                        .with_reservations(reservations.clone());
+                if let Some(o) = &obs {
+                    q = q.with_obs(shard as u32, Arc::clone(o));
+                }
+                q
             })
             .collect();
         // The controller starts every shard at the configured static limit,
@@ -982,17 +1085,48 @@ impl AmsServer {
             next_ticket: AtomicU64::new(0),
             cancel_ledger: Arc::new(CancelLedger::default()),
             class_admission,
-            cache: cfg_cache.map(LabelCache::new),
+            cache: cfg_cache.map(|c| LabelCache::new_with_obs(c, obs.clone())),
+            obs,
         });
         let workers = (0..shared.cfg.shards * shared.cfg.workers_per_shard)
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 let shard = w / shared.cfg.workers_per_shard;
-                std::thread::spawn(move || worker_loop(&shared, shard))
+                std::thread::spawn(move || worker_loop(&shared, shard, w))
             })
             .collect();
+        // The aggregator: a background thread that periodically drains the
+        // event rings into the metrics registry. Workers never block on
+        // observability — they only push into their rings (dropping, with
+        // a count, when full); all folding happens here.
+        let aggregator = shared.obs.as_ref().map(|o| {
+            let obs = Arc::clone(o);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let interval = Duration::from_millis(obs.drain_interval_ms());
+                while !obs.stopped() {
+                    // Sleep in short steps so a long drain interval never
+                    // holds shutdown hostage — stop is re-checked every
+                    // few milliseconds.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !obs.stopped() {
+                        let step = (interval - slept).min(Duration::from_millis(5));
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    if obs.stopped() {
+                        break;
+                    }
+                    obs.drain(&shard_batch_limits(&shared));
+                }
+            })
+        });
         Self {
-            inner: Some(ServerInner { shared, workers }),
+            inner: Some(ServerInner {
+                shared,
+                workers,
+                aggregator,
+            }),
         }
     }
 
@@ -1066,6 +1200,44 @@ impl AmsServer {
         self.shared().queues.iter().map(ShardQueue::len).sum()
     }
 
+    /// A live metrics snapshot *while the server is running*: event
+    /// totals, in-flight and outstanding-ticket gauges, per-shard queue
+    /// depth / wait estimate / busy fraction / batch-limit trajectory,
+    /// per-class admission and deadline rates, cache occupancy, and the
+    /// rolling latency histogram — all without stopping a single worker
+    /// (the rings are drained opportunistically first so the numbers are
+    /// current). `None` when [`ServeConfig::obs`] is off.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let shared = self.shared();
+        shared
+            .obs
+            .as_ref()
+            .map(|o| o.snapshot(&obs_shard_samples(shared), obs_cache_gauges(shared)))
+    }
+
+    /// Prometheus-style text exposition of [`AmsServer::metrics_snapshot`]
+    /// (`# HELP`/`# TYPE` families). A single comment line when
+    /// observability is off, so scrapers always get well-formed text.
+    pub fn render_metrics(&self) -> String {
+        self.metrics_snapshot().map_or_else(
+            || "# ams observability disabled\n".to_string(),
+            |s| s.render_prometheus(),
+        )
+    }
+
+    /// Flight-recorder dump for one settled "interesting" request
+    /// (deadline miss, any shed path, or a cancellation), by request or
+    /// ticket id: the complete causal event trace the recorder retained.
+    /// `None` when observability is off, the id never settled
+    /// interestingly, or the bounded recorder already evicted it.
+    pub fn why(&self, id: u64) -> Option<TraceReport> {
+        let shared = self.shared();
+        let obs = shared.obs.as_ref()?;
+        // Drain first so a request that settled moments ago is visible.
+        obs.drain(&shard_batch_limits(shared));
+        obs.why(id)
+    }
+
     /// Close admission, drain every queue through the workers, join them,
     /// and merge the per-worker shards into the final report.
     pub fn shutdown(mut self) -> ServeReport {
@@ -1098,14 +1270,35 @@ impl ServerInner {
             for victim in q.abort() {
                 // A discarded coalescing leader drains its followers too.
                 victim.fail_cache(ShedReason::Drain);
-                if let Some(slot) = victim.completion() {
-                    slot.try_shed(ShedReason::Drain);
+                let owned = match victim.completion() {
+                    Some(slot) => slot.try_shed(ShedReason::Drain),
+                    None => true,
+                };
+                if owned {
+                    if let Some(obs) = &self.shared.obs {
+                        obs.emit(Event {
+                            at_us: obs.now_us(),
+                            req: victim.req_id,
+                            ticket: victim.completion().map_or(NO_TICKET, |s| s.id()),
+                            shard: NO_SHARD,
+                            class: victim.class as u32,
+                            kind: EventKind::ShedDrain,
+                            detail: 0,
+                            flag: false,
+                        });
+                    }
                 }
             }
         }
         for handle in self.workers {
             // Don't double-panic while unwinding: a worker that died
             // already reported its panic.
+            let _ = handle.join();
+        }
+        if let Some(obs) = &self.shared.obs {
+            obs.request_stop();
+        }
+        if let Some(handle) = self.aggregator {
             let _ = handle.join();
         }
     }
@@ -1140,6 +1333,15 @@ impl ServerInner {
                 into.total.merge(&from.total);
             }
         }
+        // Stop the observability aggregator only after the workers joined:
+        // every worker-side event is in its ring by now, and the final
+        // drain below (inside `report`) folds the stragglers in.
+        if let Some(obs) = &self.shared.obs {
+            obs.request_stop();
+        }
+        if let Some(handle) = self.aggregator {
+            handle.join().expect("obs aggregator panicked");
+        }
         let shed_oldest: u64 = self
             .shared
             .queues
@@ -1172,6 +1374,7 @@ impl ServerInner {
                 .collect(),
         });
         let cancelled_classes = shared.cancel_ledger.by_class();
+        let cancelled = shared.cancel_ledger.total();
         // The cache ledger: hits and coalesced followers get their own
         // buckets; followers shed with a failed leader fold into the
         // matching loss buckets (their loss path was real). Drain sheds
@@ -1185,6 +1388,16 @@ impl ServerInner {
         let follower_shed_admission: u64 = cache_classes.iter().map(|c| c.shed_admission).sum();
         let follower_shed_overflow: u64 = cache_classes.iter().map(|c| c.shed_overflow).sum();
         let follower_shed_deadline: u64 = cache_classes.iter().map(|c| c.shed_deadline).sum();
+        // The final observability fold. `report` drains the rings one last
+        // time, and the order matters: every ledger above was read first,
+        // and every ledgered settlement pushed its event *before* its
+        // ledger mutation became visible — so the drain can only see a
+        // superset of the settlements the counters above counted, never
+        // miss one (`events_reconcile` depends on this).
+        let obs_report = shared
+            .obs
+            .as_ref()
+            .map(|o| o.report(&obs_shard_samples(shared), obs_cache_gauges(shared)));
         let slo = shared.cfg.slo.as_ref().map(|slo_cfg| {
             // Fold the per-shard submit-path ledgers into one.
             let mut admission = vec![ClassAdmission::default(); slo_cfg.classes.len()];
@@ -1264,7 +1477,7 @@ impl ServerInner {
             shed_oldest: shed_oldest + follower_shed_overflow,
             shed_deadline: merged.shed_deadline + follower_shed_deadline,
             shed_admission: shared.shed_admission.load(Ordering::Relaxed) + follower_shed_admission,
-            cancelled: shared.cancel_ledger.total(),
+            cancelled,
             cache_hit,
             coalesced,
             batches: merged.batches,
@@ -1279,6 +1492,7 @@ impl ServerInner {
             adaptive,
             slo,
             cache: shared.cache.as_ref().map(|c| c.report()),
+            obs: obs_report,
         }
     }
 }
@@ -1426,21 +1640,40 @@ fn submit_inner(
     let fp = shared
         .router
         .fingerprint(&shared.scheduler, &item, shared.cache.is_some());
-    shared.offered.fetch_add(1, Ordering::Relaxed);
+    // The prior `offered` count doubles as the request's observability
+    // correlation id: unique per submission, ticketed or not.
+    let req_id = shared.offered.fetch_add(1, Ordering::Relaxed);
     let value = match &shared.cfg.slo {
         Some(_) => weight * fp.value,
         None => 1.0,
     };
     let ticket = client.map(|c| {
         let id = shared.next_ticket.fetch_add(1, Ordering::Relaxed);
-        Ticket::new(Arc::new(CompletionSlot::new(
+        let mut slot = CompletionSlot::new(
             id,
             class,
             value,
             Arc::clone(&c.queue),
             Arc::clone(&c.cancel_ledger),
-        )))
+        );
+        if let Some(obs) = &shared.obs {
+            obs.ticket_issued();
+            slot = slot.with_obs(req_id, Arc::clone(obs));
+        }
+        Ticket::new(Arc::new(slot))
     });
+    if let Some(obs) = &shared.obs {
+        obs.emit(Event {
+            at_us: obs.now_us(),
+            req: req_id,
+            ticket: ticket.as_ref().map_or(NO_TICKET, |t| t.slot().id()),
+            shard: NO_SHARD,
+            class: class as u32,
+            kind: EventKind::Admitted,
+            detail: 0,
+            flag: false,
+        });
+    }
     // Pre-admission cache protocol: an exact duplicate of a *resolved*
     // fingerprint is answered right here — cached labels, zero queue
     // wait, zero virtual-GPU bill, no queue slot; a duplicate of a
@@ -1455,10 +1688,23 @@ fn submit_inner(
             value,
             deadline_us,
             submitted_at: Instant::now(),
+            req_id,
         };
         match cache.lookup(fp.content, follower) {
             Lookup::Hit(result) => {
                 cache.ledger().record_hit(class, value);
+                if let Some(obs) = &shared.obs {
+                    obs.emit(Event {
+                        at_us: obs.now_us(),
+                        req: req_id,
+                        ticket: ticket.as_ref().map_or(NO_TICKET, |t| t.slot().id()),
+                        shard: NO_SHARD,
+                        class: class as u32,
+                        kind: EventKind::CacheHit,
+                        detail: 0,
+                        flag: false,
+                    });
+                }
                 if let Some(t) = &ticket {
                     let slot = t.slot();
                     slot.try_labeled(LabelResult {
@@ -1481,6 +1727,23 @@ fn submit_inner(
         }
     }
     let route = shared.router.route(&fp, &item, &shared.queues, deadline_us);
+    if !route.affine {
+        // Exactly the routes the router counted as `affinity_spills`
+        // (hash routes are always "affine"), so the spill events
+        // reconcile against the router's own counter.
+        if let Some(obs) = &shared.obs {
+            obs.emit(Event {
+                at_us: obs.now_us(),
+                req: req_id,
+                ticket: ticket.as_ref().map_or(NO_TICKET, |t| t.slot().id()),
+                shard: route.shard as u32,
+                class: class as u32,
+                kind: EventKind::Spilled,
+                detail: 0,
+                flag: false,
+            });
+        }
+    }
     if let Some(ledgers) = &shared.class_admission {
         let mut l = ledgers[route.shard].lock().expect("class ledger");
         l[class].offered += 1;
@@ -1525,6 +1788,21 @@ fn submit_inner(
                 wait_us >= deadline as f64 || (full && wait_us + span as f64 >= deadline as f64);
             if amortized > 0 && doomed {
                 shared.shed_admission.fetch_add(1, Ordering::Relaxed);
+                // No cancel race to lose: the ticket has not been returned
+                // to the caller yet, so this shed always owns the slot —
+                // the event mirrors the unconditional counter above.
+                if let Some(obs) = &shared.obs {
+                    obs.emit(Event {
+                        at_us: obs.now_us(),
+                        req: req_id,
+                        ticket: ticket.as_ref().map_or(NO_TICKET, |t| t.slot().id()),
+                        shard: route.shard as u32,
+                        class: class as u32,
+                        kind: EventKind::ShedAdmission,
+                        detail: wait_us as u64,
+                        flag: false,
+                    });
+                }
                 if let Some(ledgers) = &shared.class_admission {
                     let mut l = ledgers[route.shard].lock().expect("class ledger");
                     l[class].shed_admission += 1;
@@ -1545,7 +1823,9 @@ fn submit_inner(
             }
         }
     }
-    let mut req = Request::new(item, route.signature).with_slo(class, value, deadline_us);
+    let mut req = Request::new(item, route.signature)
+        .with_slo(class, value, deadline_us)
+        .with_req_id(req_id);
     if let Some(t) = &ticket {
         req = req.with_completion(Arc::clone(t.slot()));
     }
@@ -1556,6 +1836,18 @@ fn submit_inner(
     match outcome {
         SubmitOutcome::Enqueued(()) | SubmitOutcome::EnqueuedShedOldest(()) => {
             shared.submitted.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &shared.obs {
+                obs.emit(Event {
+                    at_us: obs.now_us(),
+                    req: req_id,
+                    ticket: ticket.as_ref().map_or(NO_TICKET, |t| t.slot().id()),
+                    shard: route.shard as u32,
+                    class: class as u32,
+                    kind: EventKind::Enqueued,
+                    detail: 0,
+                    flag: false,
+                });
+            }
         }
         // The submission itself was the overflow shed: it never
         // entered a queue (so it is not `submitted`) and the queue
@@ -1565,6 +1857,18 @@ fn submit_inner(
         SubmitOutcome::ShedIncoming(()) => {}
         SubmitOutcome::Rejected => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &shared.obs {
+                obs.emit(Event {
+                    at_us: obs.now_us(),
+                    req: req_id,
+                    ticket: ticket.as_ref().map_or(NO_TICKET, |t| t.slot().id()),
+                    shard: route.shard as u32,
+                    class: class as u32,
+                    kind: EventKind::Rejected,
+                    detail: 0,
+                    flag: false,
+                });
+            }
             if let Some(ledgers) = &shared.class_admission {
                 let mut l = ledgers[route.shard].lock().expect("class ledger");
                 l[class].rejected += 1;
@@ -1593,8 +1897,9 @@ fn submit_inner(
 }
 
 /// One worker: pop → shed stale → label → batch-admit → record, until the
-/// shard queue closes and drains.
-fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
+/// shard queue closes and drains. `worker` is the server-wide worker
+/// index — the key of this worker's private observability event ring.
+fn worker_loop(shared: &Shared, shard: usize, worker: usize) -> WorkerLocal {
     let zoo = shared.scheduler.zoo();
     let n = zoo.len();
     let num_classes = shared.cfg.slo.as_ref().map_or(0, |s| s.classes.len());
@@ -1654,6 +1959,21 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
                         cl.shed_deadline += 1;
                         cl.value_shed_deadline += req.value;
                     }
+                    if let Some(obs) = &shared.obs {
+                        obs.emit_worker(
+                            worker,
+                            Event {
+                                at_us: obs.now_us(),
+                                req: req.req_id,
+                                ticket: req.completion().map_or(NO_TICKET, |s| s.id()),
+                                shard: shard as u32,
+                                class: req.class as u32,
+                                kind: EventKind::ShedDeadline,
+                                detail: wait.as_micros().min(u128::from(u64::MAX)) as u64,
+                                flag: false,
+                            },
+                        );
+                    }
                 }
             } else {
                 let claimed = match req.completion() {
@@ -1678,6 +1998,25 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
         }
         local.batches += 1;
         local.max_batch_observed = local.max_batch_observed.max(survivors.len());
+        if let Some(obs) = &shared.obs {
+            obs.batch_started(shard, survivors.len());
+            let size = survivors.len() as u64;
+            for (req, _, _) in &survivors {
+                obs.emit_worker(
+                    worker,
+                    Event {
+                        at_us: obs.now_us(),
+                        req: req.req_id,
+                        ticket: req.completion().map_or(NO_TICKET, |s| s.id()),
+                        shard: shard as u32,
+                        class: req.class as u32,
+                        kind: EventKind::Batched,
+                        detail: size,
+                        flag: false,
+                    },
+                );
+            }
+        }
 
         // Label each survivor; collect the batch's per-model run counts.
         runs_per_model.fill(0);
@@ -1735,6 +2074,9 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
         shared.queues[shard]
             .set_service_hint_us((amortized / shared.cfg.workers_per_shard as u64).max(1));
         let exec_us = exec_elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        if let Some(obs) = &shared.obs {
+            obs.batch_finished(shard, survivors.len(), exec_us);
+        }
         for ((req, wait, ghost), outcome) in survivors.iter().zip(outcomes) {
             // Publish into the cache first: followers fan out the moment
             // the leader resolves, and the entry flips to `Done` so the
@@ -1755,6 +2097,21 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
                 // Billed above (its model runs are in `runs_per_model`),
                 // but its own ticket already resolved as cancelled —
                 // nothing to complete, record, or deliver.
+                if let Some(obs) = &shared.obs {
+                    obs.emit_worker(
+                        worker,
+                        Event {
+                            at_us: obs.now_us(),
+                            req: req.req_id,
+                            ticket: req.completion().map_or(NO_TICKET, |s| s.id()),
+                            shard: shard as u32,
+                            class: req.class as u32,
+                            kind: EventKind::GhostExecuted,
+                            detail: exec_us,
+                            flag: false,
+                        },
+                    );
+                }
                 continue;
             }
             local.stats.absorb(&outcome, shared.cfg.alert_recall);
@@ -1774,6 +2131,36 @@ fn worker_loop(shared: &Shared, shard: usize) -> WorkerLocal {
                 if !met {
                     cl.value_late += req.value;
                 }
+            }
+            if let Some(obs) = &shared.obs {
+                let at = obs.now_us();
+                let t = req.completion().map_or(NO_TICKET, |s| s.id());
+                obs.emit_worker(
+                    worker,
+                    Event {
+                        at_us: at,
+                        req: req.req_id,
+                        ticket: t,
+                        shard: shard as u32,
+                        class: req.class as u32,
+                        kind: EventKind::Executed,
+                        detail: exec_us,
+                        flag: false,
+                    },
+                );
+                obs.emit_worker(
+                    worker,
+                    Event {
+                        at_us: at,
+                        req: req.req_id,
+                        ticket: t,
+                        shard: shard as u32,
+                        class: req.class as u32,
+                        kind: EventKind::Labeled,
+                        detail: total.as_micros().min(u128::from(u64::MAX)) as u64,
+                        flag: !met,
+                    },
+                );
             }
             // Per-request delivery: the claimed slot receives the
             // request's *own* labels and latency split — the payload the

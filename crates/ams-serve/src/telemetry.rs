@@ -27,7 +27,13 @@ const BUCKETS: usize = 128;
 /// like every serving statistic), and quantiles are read by walking the
 /// cumulative counts. Values are clamped into the last bucket rather than
 /// dropped, so `count` is always the number of recorded requests.
-#[derive(Debug, Clone)]
+///
+/// The histogram serializes at full bucket resolution (not just the
+/// [`LatencySummary`] quantiles), so a consumer of a serialized snapshot
+/// can compute *arbitrary* quantiles — and merging serialized histograms
+/// by element-wise count addition commutes with quantile reads (see the
+/// `merge_then_quantile_equals_quantile_over_merged_counts` property).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     count: u64,
@@ -115,6 +121,24 @@ impl LatencyHistogram {
     /// Largest recorded latency in microseconds.
     pub fn max_us(&self) -> u64 {
         self.max_us
+    }
+
+    /// Summed recorded latency in microseconds (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// The raw per-bucket counts, aligned with [`Self::bucket_bounds_us`].
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper bounds (µs) of every bucket, aligned with
+    /// [`Self::bucket_counts`]. Bucket `i` holds values
+    /// `bounds[i-1] < us <= bounds[i]`; the last bucket is the unbounded
+    /// overflow bucket (quantile reads there report the observed max).
+    pub fn bucket_bounds_us() -> &'static [u64] {
+        bucket_bounds()
     }
 
     /// The latency at quantile `q` in `[0, 1]`, as the upper bound of the
@@ -346,6 +370,67 @@ mod tests {
         h.record_us(u64::MAX);
         assert_eq!(h.count(), 1);
         assert_eq!(h.quantile_us(0.5), u64::MAX);
+    }
+
+    proptest! {
+        /// Merge-then-quantile equals quantile-over-merged-counts: folding
+        /// two histograms with [`LatencyHistogram::merge`] and rebuilding
+        /// one from the element-wise sum of their *serialized* bucket
+        /// counts are the same histogram, at every quantile. This is the
+        /// contract that lets a snapshot consumer merge per-shard (or
+        /// per-scrape) serialized histograms client-side.
+        #[test]
+        fn merge_then_quantile_equals_quantile_over_merged_counts(
+            xs in proptest::prop::collection::vec(0u64..10_000_000, 0..40),
+            ys in proptest::prop::collection::vec(0u64..10_000_000, 0..40),
+        ) {
+            let mut a = LatencyHistogram::default();
+            let mut b = LatencyHistogram::default();
+            for &us in &xs {
+                a.record_us(us);
+            }
+            for &us in &ys {
+                b.record_us(us);
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            // Rebuild independently from the serialized bucket counts.
+            let counts: Vec<u64> = a
+                .bucket_counts()
+                .iter()
+                .zip(b.bucket_counts())
+                .map(|(x, y)| x + y)
+                .collect();
+            let json = format!(
+                "{{\"counts\":{:?},\"count\":{},\"sum_us\":{},\"max_us\":{}}}",
+                counts,
+                a.count() + b.count(),
+                a.sum_us() + b.sum_us(),
+                a.max_us().max(b.max_us()),
+            );
+            let rebuilt: LatencyHistogram =
+                serde_json::from_str(&json).expect("counts-merged histogram parses");
+            prop_assert_eq!(&rebuilt, &merged);
+            for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                prop_assert_eq!(rebuilt.quantile_us(q), merged.quantile_us(q), "q={}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_serializes_at_full_bucket_resolution() {
+        let mut h = LatencyHistogram::default();
+        for us in [10u64, 100, 1000, 90_000] {
+            h.record_us(us);
+        }
+        let json = serde_json::to_string(&h).expect("histogram serializes");
+        let back: LatencyHistogram = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, h);
+        assert_eq!(back.bucket_counts().iter().sum::<u64>(), 4);
+        assert_eq!(
+            back.bucket_counts().len(),
+            LatencyHistogram::bucket_bounds_us().len()
+        );
     }
 
     #[test]

@@ -92,9 +92,10 @@ pub mod prelude {
     };
     pub use ams_serve::{
         AdaptiveBatchConfig, AdaptiveReport, AffinityConfig, AmsServer, BackpressurePolicy,
-        CacheConfig, CacheReport, ClassReport, Client, Completion, LabelResult, LatencySummary,
-        RoutingMode, ServeConfig, ServeReport, ShardAdaptive, ShedReason, SloClass, SloConfig,
-        SloReport, SubmitOutcome, Ticket,
+        CacheConfig, CacheReport, ClassReport, Client, Completion, EventKind, LabelResult,
+        LatencySummary, MetricsSnapshot, ObsConfig, ObsReport, RoutingMode, ServeConfig,
+        ServeReport, ShardAdaptive, ShedReason, SloClass, SloConfig, SloReport, SubmitOutcome,
+        Ticket, TraceReport,
     };
     pub use ams_sim::{
         batched_makespan, BatchLatencyModel, ExecTrace, Job, MemoryPool, ParallelExecutor,

@@ -2,7 +2,7 @@
 //! deployment shape of the paper's motivating applications — with sharded
 //! admission queues, batched execution, and latency telemetry.
 //!
-//! A burst of album photos is submitted to an [`AmsServer`] six times:
+//! A burst of album photos is submitted to an [`AmsServer`] seven times:
 //! once with a lossless blocking configuration, once with a tiny queue and
 //! a shed-oldest policy under a request timeout (graceful degradation
 //! under overload), once with model-affinity routing plus the adaptive
@@ -18,7 +18,11 @@
 //! and finally once with the **content-addressed label cache**, where a
 //! repetitive stream is deduplicated: exact repeats answer before
 //! admission with zero GPU bill, in-flight duplicates coalesce onto one
-//! execution, and a cancelled leader's followers are fed by a ghost run.
+//! execution, and a cancelled leader's followers are fed by a ghost run —
+//! and once more with the **live observability layer** on: periodic
+//! metrics snapshots taken *while the overload runs*, a Prometheus
+//! scrape, and a flight-recorder post-mortem for a deadline casualty,
+//! with the event stream reconciling against the conservation ledger.
 //!
 //! Run with: `cargo run --release --example serve_demo [-- --smoke]`
 //! (`--smoke` shrinks the dataset and training so CI can exercise the
@@ -324,7 +328,7 @@ fn main() {
     //    its own ticket resolves Cancelled, its followers still get
     //    their labels.
     let server = AmsServer::start(
-        scheduler(agent, album.world_seed),
+        scheduler(agent.clone(), album.world_seed),
         budget,
         ServeConfig {
             shards: 2,
@@ -409,13 +413,117 @@ fn main() {
     );
     assert!(report.is_conserved());
 
-    println!("\nthe same scheduler serves all six: backpressure and deadline shedding");
+    // 7) Live observability: the same paced SLO overload as scenario 4,
+    //    but watched from the *outside while it runs* — periodic metrics
+    //    snapshots mid-stream (the rings are lock-free and the workers
+    //    never block for a reader), a Prometheus scrape, and a
+    //    flight-recorder post-mortem answering "why did this specific
+    //    request miss?" after the fact. The event stream reconciles
+    //    bucket-for-bucket with the conservation ledger at shutdown.
+    let server = AmsServer::start(
+        scheduler(agent, album.world_seed),
+        budget,
+        ServeConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            queue_capacity: 8,
+            max_batch: 4,
+            policy: BackpressurePolicy::ShedOldest,
+            exec_emulation_scale: 5e-3,
+            slo: Some(SloConfig::aware(vec![
+                SloClass::new("alert", 40, 4.0),
+                SloClass::new("archive", 400, 1.0),
+            ])),
+            obs: Some(ObsConfig::default()),
+            ..ServeConfig::default()
+        },
+    );
+    println!("--- live observability (snapshots mid-overload) ---");
+    let tick = (items.len() / 4).max(1);
+    for (i, item) in items.iter().enumerate() {
+        if i % 8 == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        server.submit_class(Arc::clone(item), i % 2);
+        if i > 0 && i % tick == 0 {
+            let snap = server.metrics_snapshot().expect("obs is on");
+            let depth: u64 = snap.shards.iter().map(|s| s.depth).sum();
+            let waits: Vec<u64> = snap
+                .shards
+                .iter()
+                .map(|s| s.estimated_wait_us / 1000)
+                .collect();
+            println!(
+                "  t+{:>4}ms: {:>3} in flight, queue depth {:>2}, est wait/shard {:?}ms, shed so far {}",
+                snap.uptime_us / 1000,
+                snap.in_flight,
+                depth,
+                waits,
+                snap.total(EventKind::ShedAdmission)
+                    + snap.total(EventKind::ShedOverflow)
+                    + snap.total(EventKind::ShedDeadline),
+            );
+        }
+    }
+    // One live Prometheus scrape, as a monitoring agent would see it.
+    let scrape = server.render_metrics();
+    let picked: Vec<&str> = scrape
+        .lines()
+        .filter(|l| {
+            l.starts_with("ams_in_flight")
+                || l.starts_with("ams_shard_queue_depth")
+                || l.starts_with("ams_class_deadline_met_rate")
+        })
+        .collect();
+    println!(
+        "  prometheus scrape ({} lines), e.g.:",
+        scrape.lines().count()
+    );
+    for line in picked {
+        println!("    {line}");
+    }
+    let report = server.shutdown();
+    print_report(
+        "live observability (slo overload, event stream on)",
+        &report,
+    );
+    let obs = report.obs.as_ref().expect("obs configured");
+    println!(
+        "  events: {} admitted -> {} labeled / {} shed / {} cache-answered ({} dropped on rings, still counted)",
+        obs.total(EventKind::Admitted),
+        obs.total(EventKind::Labeled),
+        obs.total(EventKind::ShedAdmission)
+            + obs.total(EventKind::ShedOverflow)
+            + obs.total(EventKind::ShedDeadline)
+            + obs.total(EventKind::ShedDrain),
+        obs.total(EventKind::CacheHit) + obs.total(EventKind::Coalesced),
+        obs.snapshot.dropped_total,
+    );
+    assert!(
+        report.events_reconcile(),
+        "event totals must reconcile with the conservation ledger"
+    );
+    // The flight recorder: pick one deadline casualty and ask why.
+    if let Some(trace) = obs
+        .traces
+        .iter()
+        .find(|t| t.verdict == "deadline_miss" || t.verdict.starts_with("shed"))
+    {
+        println!("  flight recorder, why(req {}):", trace.req);
+        for line in trace.dump().lines() {
+            println!("    {line}");
+        }
+    }
+
+    println!("\nthe same scheduler serves all seven: backpressure and deadline shedding");
     println!("trade recall coverage for bounded queues and fresh frames; affinity");
     println!("routing and the adaptive batch controller make batching deliberate;");
     println!("SLO classes make the *shedding* deliberate too; the client API");
     println!("closes the loop — every request hands its caller a ticket that");
     println!("resolves to exactly one completion: its labels, its shed reason, or");
-    println!("its cancellation — and the content-addressed cache makes repeated");
+    println!("its cancellation — the content-addressed cache makes repeated");
     println!("content free: exact repeats answer before admission, in-flight");
-    println!("duplicates coalesce onto one execution.");
+    println!("duplicates coalesce onto one execution — and the observability");
+    println!("layer watches it all live, with event totals that reconcile");
+    println!("bucket-for-bucket against the conservation ledger.");
 }
