@@ -13,10 +13,18 @@
 //!   growth, shed requests, and tail-latency blowup rather than as a
 //!   silently slowed producer.
 //!
-//! Six gates run *inside* the bench (the process aborts on violation, so
-//! a green record is a green guarantee):
+//! Seven gates run *inside* the bench (the process aborts on violation,
+//! so a green record is a green guarantee):
 //! * serve-mode stats equal the serial engine's, under hash **and**
 //!   affinity routing;
+//! * **wire transparency** — a loopback [`NetServer`] driven by 1, 2, and
+//!   4 forked client *processes* (each a [`NetClient`] submitting a
+//!   strided partition of the same item set) must reproduce the serial
+//!   stats through the socket, deliver exactly one terminal completion
+//!   per wire request, conserve and reconcile at every point, and return
+//!   labels **byte-identical** to the in-process client (an
+//!   order-independent digest over each item's serialized labels must
+//!   match the in-process reference exactly);
 //! * affinity routing strictly raises the mean coalesced batch depth and
 //!   the virtual-GPU saving over hash routing at 0.8x and 1.6x load;
 //! * the adaptive controller's last window on every shard meets the
@@ -43,8 +51,10 @@
 //! Run with: `cargo run --release -p ams-bench --bin bench_serve [-- --smoke]`
 
 use ams::prelude::*;
+use ams::serve::net::{decode_value, encode_value};
 use ams_bench::hotpath::StreamSetup;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -183,6 +193,51 @@ struct ZipfPoint {
     conserved: bool,
 }
 
+/// One point of the wire-protocol sweep: a loopback listener driven by
+/// `procs` forked client processes partitioning the same item set.
+#[derive(Debug, Serialize)]
+struct NetPoint {
+    /// Forked `NetClient` processes driving the listener concurrently.
+    procs: usize,
+    offered: u64,
+    completed: u64,
+    /// Completions / wall clock from first child spawn to last child
+    /// exit — socket framing, loopback TCP, and drain included.
+    achieved_per_s: f64,
+    /// XOR of the children's per-item label digests equals the in-process
+    /// reference digest: labels through the socket are byte-identical.
+    labels_match: bool,
+    /// Server-side `StreamStats` through the socket equal the serial
+    /// engine's (items, executions, virtual bill, per-model runs,
+    /// recall).
+    stats_match_serial: bool,
+    /// Every wire request came back as exactly one terminal completion
+    /// in its child process, and the server ledger agrees.
+    exactly_once: bool,
+    conserved: bool,
+    /// Lifecycle event totals reconcile with the ledger through the
+    /// transport ([`ServeReport::events_reconcile`]).
+    events_reconciled: bool,
+}
+
+/// The wire-protocol sweep: the TCP front-end under 1, 2, and 4 client
+/// processes over loopback.
+#[derive(Debug, Serialize)]
+struct NetSweep {
+    /// Per-connection completion window each client declared in its
+    /// `Hello` — the only flow control on the wire.
+    window: usize,
+    /// `stats_match_serial` held at every point.
+    stats_match_serial: bool,
+    /// `exactly_once` held at every point.
+    exactly_once_ticketing: bool,
+    /// Hex FNV-64 fold of `(item index, labels JSON)` over the full item
+    /// set, computed through the in-process `Client`; every point's
+    /// child digests must XOR back to exactly this value.
+    reference_digest: String,
+    points: Vec<NetPoint>,
+}
+
 /// The adaptive-controller closed-loop sweep.
 #[derive(Debug, Serialize)]
 struct AdaptiveSweep {
@@ -250,6 +305,12 @@ struct Record {
     /// bill at repeat ≥ 0.6, every point conserves, and repeat 0 is a
     /// cache no-op (zero hits, serial-identical stats).
     zipf_sweep: Vec<ZipfPoint>,
+    /// The TCP front-end over loopback: 1/2/4 forked client processes,
+    /// lossless configuration. Gated in-process: serial-identical stats
+    /// through the socket, byte-identical labels against the in-process
+    /// reference digest, exactly-once per wire request, conservation and
+    /// event reconciliation at every point.
+    net_sweep: NetSweep,
     sweep: Vec<LoadPoint>,
 }
 
@@ -365,6 +426,244 @@ impl Ticketed {
     }
 }
 
+/// FNV-64 over `(item index, serialized labels)` — one item's
+/// contribution to the order-independent label digest. Both sides of the
+/// wire serialize with the same `serde_json`, so equal digests mean the
+/// label payloads are byte-identical, floats included.
+fn item_digest(index: usize, labels: &[(LabelId, f32)]) -> u64 {
+    let json = serde_json::to_string(&labels.to_vec()).expect("labels serialize");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in (index as u64).to_le_bytes().iter().chain(json.as_bytes()) {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// The in-process reference for the wire sweep: label every item through
+/// the `Client` API on the lossless socket configuration and fold each
+/// result into the order-independent digest keyed by item index. Returns
+/// the digest and the tickets issued.
+fn reference_label_digest(
+    fx: &StreamSetup,
+    budget: Budget,
+    cfg: &ServeConfig,
+    items: &[Arc<ItemTruth>],
+) -> (u64, u64) {
+    let server = AmsServer::start(fx.scheduler(), budget, cfg.clone());
+    let client = server.client_with_capacity(items.len() + 1);
+    let mut index_of = HashMap::new();
+    for (i, item) in items.iter().enumerate() {
+        let ticket = client
+            .submit(Arc::clone(item))
+            .ticket()
+            .expect("lossless config accepts every submission");
+        index_of.insert(ticket.id(), i);
+    }
+    let report = server.shutdown();
+    assert!(report.is_conserved(), "reference run conserves");
+    let mut digest = 0u64;
+    let mut labeled = 0usize;
+    for ev in client.drain() {
+        let Completion::Labeled(r) = ev else {
+            panic!("lossless reference run labels everything");
+        };
+        digest ^= item_digest(index_of[&r.ticket], &r.labels);
+        labeled += 1;
+    }
+    assert_eq!(labeled, items.len(), "reference run labels every item");
+    (digest, report.offered)
+}
+
+/// One child process's parsed summary line.
+struct ChildSummary {
+    labeled: u64,
+    other: u64,
+    digest: u64,
+}
+
+fn parse_child_summary(stdout: &[u8]) -> ChildSummary {
+    let line = String::from_utf8_lossy(stdout);
+    let (mut labeled, mut other, mut digest) = (None, None, None);
+    for tok in line.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("labeled=") {
+            labeled = v.parse().ok();
+        } else if let Some(v) = tok.strip_prefix("other=") {
+            other = v.parse().ok();
+        } else if let Some(v) = tok.strip_prefix("digest=") {
+            digest = u64::from_str_radix(v, 16).ok();
+        }
+    }
+    ChildSummary {
+        labeled: labeled.unwrap_or_else(|| panic!("child summary missing labeled=: {line}")),
+        other: other.unwrap_or_else(|| panic!("child summary missing other=: {line}")),
+        digest: digest.unwrap_or_else(|| panic!("child summary missing digest=: {line}")),
+    }
+}
+
+/// Drive one wire-protocol point: bind a fresh loopback listener, fork
+/// `procs` copies of this binary in `net-client` mode (each submits the
+/// strided partition `start, start+procs, ...` of the shared item file),
+/// fold their summaries, and shut the listener down. Returns the point
+/// and the tickets issued through the socket.
+#[allow(clippy::too_many_arguments)]
+fn run_net_point(
+    fx: &StreamSetup,
+    budget: Budget,
+    cfg: &ServeConfig,
+    want: &StreamStats,
+    items_path: &str,
+    procs: usize,
+    window: usize,
+    reference_digest: u64,
+    skip_gates: bool,
+) -> (NetPoint, u64) {
+    let total = want.items;
+    let net = NetServer::bind(
+        AmsServer::start(fx.scheduler(), budget, cfg.clone()),
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback listener");
+    let addr = net.local_addr().to_string();
+    let exe = std::env::current_exe().expect("current_exe");
+    let t0 = Instant::now();
+    let children: Vec<std::process::Child> = (0..procs)
+        .map(|start| {
+            std::process::Command::new(&exe)
+                .args([
+                    "net-client",
+                    &addr,
+                    items_path,
+                    &start.to_string(),
+                    &procs.to_string(),
+                    &window.to_string(),
+                ])
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn net-client child")
+        })
+        .collect();
+    let mut labeled = 0u64;
+    let mut other = 0u64;
+    let mut digest = 0u64;
+    for child in children {
+        let out = child.wait_with_output().expect("net-client child exits");
+        assert!(
+            out.status.success(),
+            "net-client child failed with {:?}",
+            out.status
+        );
+        let summary = parse_child_summary(&out.stdout);
+        labeled += summary.labeled;
+        other += summary.other;
+        digest ^= summary.digest;
+    }
+    let elapsed = t0.elapsed();
+    let report = net.shutdown();
+
+    let labels_match = digest == reference_digest;
+    let stats_match_serial = report.stats.items == want.items
+        && report.stats.total_exec_ms == want.total_exec_ms
+        && report.stats.total_executions == want.total_executions
+        && report.stats.per_model_runs == want.per_model_runs
+        && (report.stats.recall_sum - want.recall_sum).abs() < 1e-9;
+    let exactly_once = labeled == total as u64
+        && other == 0
+        && report.offered == total as u64
+        && report.completed == total as u64;
+    let point = NetPoint {
+        procs,
+        offered: report.offered,
+        completed: report.completed,
+        achieved_per_s: report.completed as f64 / elapsed.as_secs_f64(),
+        labels_match,
+        stats_match_serial,
+        exactly_once,
+        conserved: report.is_conserved(),
+        events_reconciled: report.events_reconcile(),
+    };
+    if !skip_gates {
+        assert!(
+            point.labels_match,
+            "{procs} proc(s): wire labels must be byte-identical to in-process \
+             (digest {digest:016x} vs reference {reference_digest:016x})"
+        );
+        assert!(
+            point.stats_match_serial,
+            "{procs} proc(s): serve stats through the socket diverged from serial"
+        );
+        assert!(
+            point.exactly_once,
+            "{procs} proc(s): exactly-once broke over the wire \
+             (labeled {labeled}, other {other}, offered {}, completed {})",
+            report.offered, report.completed
+        );
+        assert!(point.conserved, "{procs} proc(s): ledger must conserve");
+        assert!(
+            point.events_reconciled,
+            "{procs} proc(s): event stream must reconcile through the transport"
+        );
+    }
+    (point, report.offered)
+}
+
+/// Hidden subcommand: one forked loopback client of the wire-protocol
+/// sweep (`bench_serve net-client <addr> <items-file> <start> <stride>
+/// <window>`). Connects a [`NetClient`], submits its strided partition of
+/// the shared item file, drains every completion, and prints a one-line
+/// machine-readable summary (event counts + label digest) for the parent
+/// to fold and check.
+fn net_client_child(args: &[String]) {
+    let (addr, items_path) = (args[0].as_str(), args[1].as_str());
+    let start: usize = args[2].parse().expect("start index");
+    let stride: usize = args[3].parse().expect("stride");
+    let window: usize = args[4].parse().expect("window");
+    let bytes = std::fs::read(items_path).unwrap_or_else(|e| panic!("read {items_path}: {e}"));
+    let tree = decode_value(&bytes).expect("item file decodes");
+    let items = Vec::<ItemTruth>::from_value(&tree).expect("item file is Vec<ItemTruth>");
+
+    let client = NetClient::connect_with_window(addr, window).expect("connect to parent listener");
+    let mut index_of_id = HashMap::new();
+    let mut events = Vec::new();
+    for i in (start..items.len()).step_by(stride.max(1)) {
+        // The completion window is the flow control: when it is full the
+        // client owes the server a read before the protocol lets it
+        // submit again (a blind `submit` would block forever — nothing
+        // else drains this single-threaded client's socket).
+        while client.outstanding() >= client.capacity() {
+            let ev = client
+                .recv()
+                .expect("recv completion")
+                .expect("window full implies outstanding completions");
+            events.push(ev);
+        }
+        let id = client
+            .submit(Arc::new(items[i].clone()))
+            .expect("submit over the wire");
+        index_of_id.insert(id, i);
+    }
+    events.extend(client.drain().expect("drain completions"));
+    assert_eq!(
+        events.len(),
+        index_of_id.len(),
+        "every wire request must come back exactly once"
+    );
+    let mut labeled = 0u64;
+    let mut other = 0u64;
+    let mut digest = 0u64;
+    for ev in &events {
+        match ev.completion() {
+            Some(Completion::Labeled(r)) => {
+                labeled += 1;
+                digest ^= item_digest(index_of_id[&ev.id()], &r.labels);
+            }
+            _ => other += 1,
+        }
+    }
+    client.goodbye().expect("goodbye");
+    println!("labeled={labeled} other={other} digest={digest:016x}");
+}
+
 /// A deterministic repetition stream: with probability `repeat_rate` a
 /// submission repeats an already-seen content, drawn with a Zipf-like
 /// quadratic skew toward the earliest (most popular) distinct items;
@@ -415,6 +714,13 @@ fn submit_bursts(client: &mut Ticketed, items: &[Arc<ItemTruth>], rate: f64, bur
 }
 
 fn main() {
+    // Child-process mode for the wire sweep: the parent re-execs this
+    // binary with the hidden `net-client` subcommand.
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("net-client") {
+        net_client_child(&argv[2..]);
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     // Exploration escape hatch: skip the in-process gates (still measures
     // and writes the record) so parameter experiments can inspect a
@@ -492,6 +798,69 @@ fn main() {
         "[bench_serve] equivalence: hash and affinity serve stats == serial stats over {} items",
         want.items
     );
+
+    // ---- wire protocol: N forked clients over loopback ------------------
+    // Lossless socket configuration: Block backpressure (the completion
+    // window is the only flow control the clients see), no execution
+    // emulation (labels and stats, not timing, are under test), and the
+    // observability layer on so the event stream must reconcile through
+    // the transport too.
+    let net_cfg = ServeConfig {
+        policy: BackpressurePolicy::Block,
+        exec_emulation_scale: 0.0,
+        obs: Some(ObsConfig::default()),
+        ..base_cfg.clone()
+    };
+    let (reference_digest, ref_tickets) = reference_label_digest(&fx, budget, &net_cfg, &items);
+    tickets_issued += ref_tickets;
+    // Hand the children the exact item set through the wire codec itself:
+    // the file is an encoded `Vec<ItemTruth>`, so a child that can read it
+    // has also exercised the decoder on a large nested payload.
+    let items_path = if smoke {
+        "target/net_items.smoke.bin"
+    } else {
+        "target/net_items.bin"
+    };
+    {
+        let owned: Vec<ItemTruth> = fx.truth.items().to_vec();
+        let mut buf = Vec::new();
+        encode_value(&owned.to_value(), &mut buf);
+        std::fs::create_dir_all("target").expect("target dir");
+        std::fs::write(items_path, &buf).unwrap_or_else(|e| panic!("write {items_path}: {e}"));
+    }
+    let net_window = 32usize;
+    let mut net_points: Vec<NetPoint> = Vec::new();
+    for procs in [1usize, 2, 4] {
+        let (point, net_tickets) = run_net_point(
+            &fx,
+            budget,
+            &net_cfg,
+            &want,
+            items_path,
+            procs,
+            net_window,
+            reference_digest,
+            skip_gates,
+        );
+        eprintln!(
+            "[bench_serve] net {procs} proc(s): {:.0} items/s over loopback, labels {}",
+            point.achieved_per_s,
+            if point.labels_match {
+                "byte-identical to in-process"
+            } else {
+                "DIVERGED"
+            }
+        );
+        tickets_issued += net_tickets;
+        net_points.push(point);
+    }
+    let net_sweep = NetSweep {
+        window: net_window,
+        stats_match_serial: net_points.iter().all(|p| p.stats_match_serial),
+        exactly_once_ticketing: net_points.iter().all(|p| p.exactly_once),
+        reference_digest: format!("{reference_digest:016x}"),
+        points: net_points,
+    };
 
     let mut sweep: Vec<LoadPoint> = Vec::new();
 
@@ -1063,8 +1432,9 @@ fn main() {
                       model-affinity routing compared at 0.8x/1.6x burst load; adaptive \
                       batch-limit controller closed-loop against a self-calibrated p99 target; \
                       the content-addressed label cache swept over Zipf repeat rates, cache-on \
-                      vs cache-off. DRL-agent predictor, 1s per-item deadline. See PERF.md for \
-                      methodology."
+                      vs cache-off; the TCP front-end driven by 1/2/4 forked loopback client \
+                      processes with byte-identical-label and serial-equivalence gates. \
+                      DRL-agent predictor, 1s per-item deadline. See PERF.md for methodology."
             .into(),
         cores_available: cores,
         smoke,
@@ -1085,6 +1455,7 @@ fn main() {
         adaptive,
         slo_sweep,
         zipf_sweep,
+        net_sweep,
         sweep,
     };
     let json = serde_json::to_string_pretty(&record).expect("record serializes");

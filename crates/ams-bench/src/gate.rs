@@ -180,6 +180,39 @@ pub fn gate_serve(baseline: &Value, candidate: &Value) -> GateOutcome {
         "exactly_once_ticketing",
         boolean(candidate, "exactly_once_ticketing"),
     );
+    // The wire-protocol sweep's guarantees travel with the record: at
+    // every forked-client point the socket transport must have reproduced
+    // the serial stats, delivered exactly one terminal completion per
+    // wire request, returned labels byte-identical to the in-process
+    // reference digest, and kept the ledger and event stream reconciled.
+    check_flag(
+        &mut out,
+        "net_sweep.stats_match_serial",
+        boolean(candidate, "net_sweep/stats_match_serial"),
+    );
+    check_flag(
+        &mut out,
+        "net_sweep.exactly_once_ticketing",
+        boolean(candidate, "net_sweep/exactly_once_ticketing"),
+    );
+    match get(candidate, "net_sweep/points") {
+        Some(Value::Array(points)) if !points.is_empty() => {
+            for p in points.iter() {
+                let procs = p.field("procs").and_then(value_f64).unwrap_or(f64::NAN);
+                for flag in ["labels_match", "conserved", "events_reconciled"] {
+                    match p.field(flag) {
+                        Some(Value::Bool(true)) => {
+                            out.passed.push(format!("net @{procs} proc(s): {flag}"));
+                        }
+                        _ => out
+                            .failed
+                            .push(format!("net @{procs} proc(s): {flag} is not true")),
+                    }
+                }
+            }
+        }
+        _ => out.failed.push("missing `net_sweep/points` array".into()),
+    }
     match (
         num(baseline, "closed_loop_capacity_per_s"),
         num(candidate, "closed_loop_capacity_per_s"),
@@ -593,6 +626,24 @@ pub fn self_test(serve_baseline: &Value, hotpath_baseline: &Value) -> Result<Vec
         &|v| inject_at(v, "exactly_once_ticketing", Value::Bool(false)),
     )?;
     inject(
+        "wire labels diverged",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| inject_at(v, "net_sweep/points/0/labels_match", Value::Bool(false)),
+    )?;
+    inject(
+        "wire exactly-once lost",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| inject_at(v, "net_sweep/exactly_once_ticketing", Value::Bool(false)),
+    )?;
+    inject(
+        "wire conservation broken",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| inject_at(v, "net_sweep/points/1/conserved", Value::Bool(false)),
+    )?;
+    inject(
         "observability overhead blowout (10%)",
         GateKind::Serve,
         serve_baseline,
@@ -651,6 +702,26 @@ mod tests {
                       "bill_on_ms": 8800, "bill_off_ms": 51400, "bill_saving_fraction": 0.83,
                       "conserved": true }
                 ],
+                "net_sweep": {
+                    "window": 32,
+                    "stats_match_serial": true,
+                    "exactly_once_ticketing": true,
+                    "reference_digest": "9f1c2b3a4d5e6f70",
+                    "points": [
+                        { "procs": 1, "offered": 96, "completed": 96,
+                          "achieved_per_s": 4500.0, "labels_match": true,
+                          "stats_match_serial": true, "exactly_once": true,
+                          "conserved": true, "events_reconciled": true },
+                        { "procs": 2, "offered": 96, "completed": 96,
+                          "achieved_per_s": 2900.0, "labels_match": true,
+                          "stats_match_serial": true, "exactly_once": true,
+                          "conserved": true, "events_reconciled": true },
+                        { "procs": 4, "offered": 96, "completed": 96,
+                          "achieved_per_s": 1700.0, "labels_match": true,
+                          "stats_match_serial": true, "exactly_once": true,
+                          "conserved": true, "events_reconciled": true }
+                    ]
+                },
                 "sweep": [
                     { "mode": "closed", "mean_recall": 0.72 },
                     { "mode": "open", "mean_recall": 0.70 }
@@ -728,7 +799,7 @@ mod tests {
     #[test]
     fn self_test_exercises_every_injection() {
         let injected = self_test(&serve_record(), &hotpath_record()).expect("self test passes");
-        assert_eq!(injected.len(), 13, "{injected:?}");
+        assert_eq!(injected.len(), 16, "{injected:?}");
     }
 
     #[test]
@@ -775,6 +846,38 @@ mod tests {
         // A broken ledger at any point fails.
         let mut bad = base.clone();
         inject_at(&mut bad, "zipf_sweep/1/conserved", Value::Bool(false));
+        assert!(!gate_serve(&base, &bad).ok());
+    }
+
+    #[test]
+    fn wire_transparency_is_gated() {
+        let base = serve_record();
+        // Labels diverging from the in-process reference at any point
+        // fails.
+        let mut bad = base.clone();
+        inject_at(
+            &mut bad,
+            "net_sweep/points/2/labels_match",
+            Value::Bool(false),
+        );
+        assert!(!gate_serve(&base, &bad).ok());
+        // A dropped event stream through the transport fails.
+        let mut bad = base.clone();
+        inject_at(
+            &mut bad,
+            "net_sweep/points/0/events_reconciled",
+            Value::Bool(false),
+        );
+        assert!(!gate_serve(&base, &bad).ok());
+        // Serial-stats divergence through the socket fails.
+        let mut bad = base.clone();
+        inject_at(&mut bad, "net_sweep/stats_match_serial", Value::Bool(false));
+        assert!(!gate_serve(&base, &bad).ok());
+        // A record missing the sweep entirely fails loudly.
+        let mut bad = base.clone();
+        if let Value::Object(fields) = &mut bad {
+            fields.retain(|(k, _)| k != "net_sweep");
+        }
         assert!(!gate_serve(&base, &bad).ok());
     }
 

@@ -49,13 +49,18 @@
 
 use crate::obs::{Event, EventKind, ServerObs, NO_SHARD};
 use ams_models::{LabelId, ModelId};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Which loss path took a shed request — the reason delivered to the
 /// client in its [`Completion::Shed`] event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Wire-stable: serializes by variant name, so the TCP front-end
+/// ([`crate::net`]) can carry it verbatim in `Completion` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ShedReason {
     /// Refused at admission, before occupying a queue slot: the shard's
     /// predicted wait already exceeded the request's deadline.
@@ -86,7 +91,11 @@ impl ShedReason {
 
 /// The per-request labeling result delivered to the submitting client —
 /// what `shutdown()`'s merged statistics used to fold away.
-#[derive(Debug, Clone)]
+///
+/// Wire-stable: every field round-trips bit-exactly through the frame
+/// codec (floats travel as raw IEEE-754 bits), so labels received over
+/// TCP are byte-identical to the in-process client's.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LabelResult {
     /// The ticket this result resolves.
     pub ticket: u64,
@@ -114,7 +123,11 @@ pub struct LabelResult {
 }
 
 /// The single terminal event of one ticket.
-#[derive(Debug, Clone)]
+///
+/// Wire-stable: the TCP front-end's `Completion` frames embed this type
+/// directly (tagged by variant name), with the ticket id remapped to the
+/// client-chosen request id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Completion {
     /// The request was labeled; here is its result.
     Labeled(LabelResult),
@@ -521,6 +534,28 @@ impl CompletionQueue {
         drop(st);
         self.not_full.notify_one();
         ev
+    }
+
+    /// Receive with a timeout: wait up to `timeout` for the next event,
+    /// returning `None` on timeout. Unlike [`CompletionQueue::recv`] this
+    /// keeps waiting while nothing is outstanding — the caller (the TCP
+    /// front-end's per-connection writer, which outlives idle gaps
+    /// between submission bursts) distinguishes "idle" from "done" by
+    /// other means.
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Option<Completion> {
+        let mut st = self.state.lock().expect("completion queue");
+        if st.events.is_empty() {
+            let (guard, _timed_out) = self
+                .not_empty
+                .wait_timeout(st, timeout)
+                .expect("completion queue");
+            st = guard;
+        }
+        let ev = st.events.pop_front()?;
+        st.outstanding = st.outstanding.saturating_sub(1);
+        drop(st);
+        self.not_full.notify_one();
+        Some(ev)
     }
 
     /// Non-blocking receive: the next event if one is already queued.

@@ -32,6 +32,15 @@
 //!   shedding** (per-request deadline + value classes, predicted-wait
 //!   admission control, value-weighted overflow eviction, EDF dequeue,
 //!   per-class ledgers), and graceful drain on shutdown.
+//! * [`net`] — the TCP front-end: a blocking `std::net` listener
+//!   speaking the ticket protocol over compact length-prefixed binary
+//!   frames. One persistent connection multiplexes many tickets
+//!   (client-chosen request ids echoed in completions), the
+//!   per-connection completion window is the flow control (a full window
+//!   stops socket reads, so TCP backpressure mirrors the in-process
+//!   bound), disconnect cancels the connection's outstanding tickets,
+//!   and the [`net::NetClient`] mirrors the in-process [`Client`] API so
+//!   callers can swap transports without code changes.
 //! * [`obs`] — the live observability layer: a structured lifecycle
 //!   event stream (per-worker lock-free bounded rings, drop-counted on
 //!   overflow, drained by a background aggregator), a time-sliced rolling
@@ -57,6 +66,7 @@
 
 pub mod cache;
 pub mod completion;
+pub mod net;
 pub mod obs;
 pub mod queue;
 pub mod router;
@@ -65,6 +75,7 @@ pub mod telemetry;
 
 pub use cache::{CacheConfig, CacheReport};
 pub use completion::{Completion, LabelResult, ShedReason, Ticket};
+pub use net::{ClientFrame, NetClient, NetEvent, NetServer, ServerFrame, WireError, WireRequest};
 pub use obs::{
     CacheGauges, ClassRates, EventCount, EventKind, EventRecord, MetricsSnapshot, ObsConfig,
     ObsReport, ShardGauges, SliceSnapshot, TraceReport,
@@ -73,6 +84,6 @@ pub use queue::{BackpressurePolicy, ClassShed, Request, ShardQueue, SubmitOutcom
 pub use router::{fib_shard, AffinityConfig, Route, Router, RoutingMode};
 pub use server::{
     AdaptiveBatchConfig, AdaptiveReport, AmsServer, ClassReport, Client, ServeConfig, ServeReport,
-    ShardAdaptive, SloClass, SloConfig, SloReport,
+    ShardAdaptive, SloClass, SloConfig, SloReport, SubmitOptions,
 };
 pub use telemetry::{LatencyHistogram, LatencySummary};

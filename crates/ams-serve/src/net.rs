@@ -1,0 +1,1004 @@
+//! TCP front-end for the serving engine: the ticket protocol over a
+//! socket.
+//!
+//! The PR-5 client API (`Client` / `Ticket` / `Completion`) was shaped
+//! like a wire protocol on purpose; this module gives it a real
+//! transport so the scheduler can serve clients in other processes (and,
+//! eventually, other machines) without changing what it computes:
+//!
+//! * **Framing** — compact length-prefixed frames: a 4-byte little-endian
+//!   payload length (capped at [`MAX_FRAME`]) followed by a binary
+//!   encoding of the vendored serde [`Value`] tree (tag byte + LEB128
+//!   varints; floats travel as raw IEEE-754 bits, so labels received
+//!   over TCP are **byte-identical** to the in-process client's). The
+//!   decoder is total: truncation, oversized claims, unknown tags, bad
+//!   UTF-8, and pathological nesting all return [`WireError`] — never a
+//!   panic.
+//! * **Multiplexing** — one persistent connection carries many tickets.
+//!   The client picks a request id per submission and the server echoes
+//!   it in the terminal [`ServerFrame::Completion`] (the embedded
+//!   [`Completion`]'s ticket field is rewritten to the request id), so
+//!   responses arrive in completion order, not submission order.
+//! * **Flow control** — the connection's `Hello { window }` sizes a
+//!   server-side per-connection [`Client`](crate::Client) completion
+//!   window. When the window is full the connection's reader thread
+//!   blocks in `submit_with` and **stops reading the socket**; TCP
+//!   backpressure propagates the stall to the remote client, exactly
+//!   mirroring how the in-process `CompletionQueue` bounds a local
+//!   submitter. [`NetClient`] enforces the same bound locally, so a
+//!   well-behaved client never even fills the kernel buffers.
+//! * **Lifecycle** — `Goodbye` closes gracefully (outstanding tickets
+//!   still resolve and their completions are delivered); an abrupt
+//!   disconnect (EOF, reset, malformed frame) cancels every outstanding
+//!   ticket of that connection — cancellation already races correctly
+//!   against claim/shed via the CAS completion slots, so a worker
+//!   mid-label simply completes into a closed socket and the event is
+//!   dropped *after* it balanced the ledgers. Either way the
+//!   conservation equations and `events_reconcile()` hold, and other
+//!   connections keep serving.
+//!
+//! Synchronously refused submissions (queue full under the reject
+//! policy, server shut down) have no in-process completion event — the
+//! caller sees `SubmitOutcome::Rejected`. Over the wire every request id
+//! must get an answer, so the connection sends
+//! [`ServerFrame::Rejected`] instead.
+
+use crate::completion::Completion;
+use crate::server::{AmsServer, Client, ServeReport, SubmitOptions};
+use ams_data::ItemTruth;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on one frame's payload, bytes. A length prefix above this is
+/// a protocol error — the connection closes before allocating anything.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Cap on the per-connection completion window a `Hello` may request.
+pub const MAX_WINDOW: u64 = 65_536;
+
+/// Maximum nesting depth the value decoder accepts — a crafted payload
+/// of nested arrays must error out, not overflow the stack.
+const MAX_DEPTH: u32 = 64;
+
+/// How often blocked socket reads and completion waits re-check their
+/// stop conditions.
+const POLL: Duration = Duration::from_millis(50);
+
+// ---------------------------------------------------------------------------
+// Wire errors
+// ---------------------------------------------------------------------------
+
+/// Why a wire operation failed. Every failure path through the codec and
+/// the connection handlers lands here — malformed input never panics.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level I/O failure.
+    Io(std::io::Error),
+    /// The peer closed the connection (EOF, possibly mid-frame).
+    Closed,
+    /// A frame length prefix of zero or above [`MAX_FRAME`].
+    FrameTooLarge(u32),
+    /// The frame payload did not decode (truncated value, unknown tag,
+    /// bad UTF-8, over-deep nesting, trailing bytes, or a well-formed
+    /// value of the wrong shape).
+    Malformed(String),
+    /// A well-formed frame that violates the protocol (first frame not
+    /// `Hello`, duplicate request id, frame after `Goodbye`).
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::FrameTooLarge(n) => write!(f, "frame length {n} outside 1..={MAX_FRAME}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            WireError::Closed
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary value codec
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_U64: u8 = 0x03;
+const TAG_I64: u8 = 0x04;
+const TAG_F64: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_ARRAY: u8 = 0x07;
+const TAG_OBJECT: u8 = 0x08;
+
+fn put_varint(out: &mut Vec<u8>, mut n: u64) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encode one value tree into the compact binary form. Total: every
+/// value encodes, and `decode_value` of the result returns an equal tree
+/// (floats bit-exactly — they travel as raw IEEE-754 bits, unlike the
+/// JSON text path).
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::U64(n) => {
+            out.push(TAG_U64);
+            put_varint(out, *n);
+        }
+        Value::I64(n) => {
+            // ZigZag so small negatives stay small.
+            out.push(TAG_I64);
+            put_varint(out, ((n << 1) ^ (n >> 63)) as u64);
+        }
+        Value::F64(f) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Object(fields) => {
+            out.push(TAG_OBJECT);
+            put_varint(out, fields.len() as u64);
+            for (k, val) in fields {
+                put_varint(out, k.len() as u64);
+                out.extend_from_slice(k.as_bytes());
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8, WireError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| WireError::Malformed("truncated value".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Malformed("truncated value".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut n: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            let low = u64::from(b & 0x7f);
+            if shift == 63 && low > 1 {
+                return Err(WireError::Malformed("varint overflows u64".into()));
+            }
+            n |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(n);
+            }
+        }
+        Err(WireError::Malformed("varint longer than 10 bytes".into()))
+    }
+
+    /// A claimed element count, sanity-bounded by the bytes actually
+    /// present (every element costs at least `min_bytes`), so a hostile
+    /// length claim cannot drive a huge allocation.
+    fn count(&mut self, min_bytes: usize) -> Result<usize, WireError> {
+        let n = self.varint()?;
+        let ceiling = (self.remaining() / min_bytes.max(1)) as u64;
+        if n > ceiling {
+            return Err(WireError::Malformed(format!(
+                "count {n} exceeds remaining payload"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("invalid utf-8 in string".into()))
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Value, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::Malformed("value nested too deeply".into()));
+        }
+        match self.byte()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_U64 => Ok(Value::U64(self.varint()?)),
+            TAG_I64 => {
+                let z = self.varint()?;
+                Ok(Value::I64(((z >> 1) as i64) ^ -((z & 1) as i64)))
+            }
+            TAG_F64 => {
+                let bytes: [u8; 8] = self.take(8)?.try_into().expect("take(8) is 8 bytes");
+                Ok(Value::F64(f64::from_bits(u64::from_le_bytes(bytes))))
+            }
+            TAG_STR => Ok(Value::Str(self.string()?)),
+            TAG_ARRAY => {
+                let n = self.count(1)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Array(items))
+            }
+            TAG_OBJECT => {
+                let n = self.count(2)?;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = self.string()?;
+                    let val = self.value(depth + 1)?;
+                    fields.push((key, val));
+                }
+                Ok(Value::Object(fields))
+            }
+            tag => Err(WireError::Malformed(format!(
+                "unknown value tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+/// Decode one value tree from the compact binary form. Strict: trailing
+/// bytes after the root value are an error, and no input panics.
+pub fn decode_value(buf: &[u8]) -> Result<Value, WireError> {
+    let mut cur = Cursor { buf, pos: 0 };
+    let v = cur.value(0)?;
+    if cur.remaining() != 0 {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after value",
+            cur.remaining()
+        )));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// One submission travelling client → server: the scene content plus the
+/// ticket's own economics. `id` is chosen by the client and echoed in
+/// the terminal [`ServerFrame`]; it must be unique among the
+/// connection's in-flight requests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Client-chosen request id, echoed in the completion.
+    pub id: u64,
+    /// The scene to label (full content — the server fingerprints it for
+    /// the cache and affinity routing exactly like a local submission).
+    pub item: ItemTruth,
+    /// SLO class (aggregation bucket; clamped server-side).
+    pub class: usize,
+    /// Optional per-ticket deadline override, µs.
+    pub deadline_us: Option<u64>,
+    /// Optional per-ticket value override.
+    pub value: Option<f64>,
+}
+
+/// Frames travelling client → server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ClientFrame {
+    /// Mandatory first frame: size the connection's completion window
+    /// (clamped to `1..=`[`MAX_WINDOW`]). The window is the flow
+    /// control — the server stops reading the socket while it is full.
+    Hello {
+        /// Requested window: maximum in-flight (unanswered) requests.
+        window: u64,
+    },
+    /// Submit one item for labeling.
+    Request(WireRequest),
+    /// Cancel an in-flight request by its client-chosen id. Exactly like
+    /// [`Ticket::cancel`](crate::Ticket::cancel): wins only while the
+    /// request is unclaimed, and the terminal completion reports what
+    /// actually happened.
+    Cancel {
+        /// The client-chosen id of the request to cancel.
+        id: u64,
+    },
+    /// Graceful close: the server stops reading, lets every outstanding
+    /// ticket resolve, delivers the remaining completions, and closes.
+    Goodbye,
+}
+
+/// Frames travelling server → client.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ServerFrame {
+    /// The terminal event of one request. The embedded completion's
+    /// ticket field carries the **client-chosen request id**, not the
+    /// server-internal ticket id.
+    Completion(Completion),
+    /// The submission was refused synchronously (shard queue full under
+    /// the reject policy, or the server is shutting down): no ticket was
+    /// issued and no completion will follow. The in-process analogue is
+    /// `SubmitOutcome::Rejected`.
+    Rejected {
+        /// The client-chosen id of the refused request.
+        id: u64,
+    },
+}
+
+/// What [`NetClient::recv`] yields: a terminal completion (with the
+/// ticket field already carrying the client-chosen request id) or a
+/// synchronous rejection.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// The request's terminal event; `completion.ticket()` is the
+    /// client-chosen request id.
+    Completion(Completion),
+    /// The request was refused synchronously; no labels exist.
+    Rejected {
+        /// The client-chosen id of the refused request.
+        id: u64,
+    },
+}
+
+impl NetEvent {
+    /// The client-chosen request id this event answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            NetEvent::Completion(c) => c.ticket(),
+            NetEvent::Rejected { id } => *id,
+        }
+    }
+
+    /// The completion, when the request got one.
+    pub fn completion(&self) -> Option<&Completion> {
+        match self {
+            NetEvent::Completion(c) => Some(c),
+            NetEvent::Rejected { .. } => None,
+        }
+    }
+}
+
+/// Rewrite the ticket id inside a completion to the client-chosen
+/// request id before it crosses the wire.
+fn with_wire_id(mut ev: Completion, id: u64) -> Completion {
+    match &mut ev {
+        Completion::Labeled(r) => r.ticket = id,
+        Completion::Shed { ticket, .. } | Completion::Cancelled { ticket, .. } => *ticket = id,
+    }
+    ev
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+/// Serialize and write one frame: length prefix + binary value.
+fn write_frame<T: Serialize>(stream: &mut TcpStream, frame: &T) -> Result<(), WireError> {
+    let mut payload = Vec::with_capacity(128);
+    encode_value(&frame.to_value(), &mut payload);
+    debug_assert!(payload.len() as u64 <= u64::from(MAX_FRAME));
+    let mut buf = Vec::with_capacity(payload.len() + 4);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    stream.write_all(&buf)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// `read_exact` that tolerates read timeouts (re-checking `stop`) so a
+/// server-side reader can notice shutdown while blocked, without ever
+/// losing partially read bytes.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(WireError::Closed),
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::Relaxed) {
+                    return Err(WireError::Closed);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame and decode its payload to a value tree.
+fn read_frame_value(stream: &mut TcpStream, stop: &AtomicBool) -> Result<Value, WireError> {
+    let mut len = [0u8; 4];
+    read_exact_interruptible(stream, &mut len, stop)?;
+    let n = u32::from_le_bytes(len);
+    if n == 0 || n > MAX_FRAME {
+        return Err(WireError::FrameTooLarge(n));
+    }
+    let mut payload = vec![0u8; n as usize];
+    read_exact_interruptible(stream, &mut payload, stop)?;
+    decode_value(&payload)
+}
+
+/// Read one typed frame.
+fn read_frame<T: Deserialize>(stream: &mut TcpStream, stop: &AtomicBool) -> Result<T, WireError> {
+    let v = read_frame_value(stream, stop)?;
+    T::from_value(&v).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Per-connection request-id bookkeeping, shared between the reader
+/// (inserts after `submit_with` returns the ticket) and the writer
+/// (resolves ticket ids back to request ids as completions arrive).
+///
+/// A completion can be delivered *during* `submit_with` (cache hit,
+/// admission shed) — before the reader has inserted the mapping — so the
+/// writer waits on the condvar for a mapping it cannot find yet.
+#[derive(Default)]
+struct ConnMaps {
+    state: Mutex<ConnMapState>,
+    mapped: Condvar,
+}
+
+#[derive(Default)]
+struct ConnMapState {
+    /// request id → ticket (for `Cancel` frames and disconnect
+    /// cancel-all).
+    by_req: HashMap<u64, crate::Ticket>,
+    /// ticket id → request id (for echoing completions).
+    req_of: HashMap<u64, u64>,
+}
+
+impl ConnMaps {
+    /// Register a request-id ↔ ticket pair. On a duplicate request id
+    /// the ticket is handed back so the caller can cancel it.
+    fn insert(&self, req_id: u64, ticket: crate::Ticket) -> Result<(), crate::Ticket> {
+        let mut st = self.state.lock().expect("conn maps");
+        if st.by_req.contains_key(&req_id) {
+            return Err(ticket);
+        }
+        st.req_of.insert(ticket.id(), req_id);
+        st.by_req.insert(req_id, ticket);
+        drop(st);
+        self.mapped.notify_all();
+        Ok(())
+    }
+
+    /// Resolve a ticket id to its request id, waiting for the reader's
+    /// insert when the completion outran it. Returns `None` only if the
+    /// mapping never appears (reader died before inserting — the ticket
+    /// then resolved without a wire identity and the event is dropped;
+    /// the socket is gone in that case anyway).
+    fn wait_req_of(&self, ticket_id: u64, reader_done: &AtomicBool) -> Option<u64> {
+        let mut st = self.state.lock().expect("conn maps");
+        loop {
+            if let Some(req) = st.req_of.get(&ticket_id) {
+                return Some(*req);
+            }
+            if reader_done.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self.mapped.wait_timeout(st, POLL).expect("conn maps");
+            st = guard;
+        }
+    }
+
+    fn remove(&self, ticket_id: u64) {
+        let mut st = self.state.lock().expect("conn maps");
+        if let Some(req) = st.req_of.remove(&ticket_id) {
+            st.by_req.remove(&req);
+        }
+    }
+
+    fn ticket_of(&self, req_id: u64) -> Option<crate::Ticket> {
+        self.state
+            .lock()
+            .expect("conn maps")
+            .by_req
+            .get(&req_id)
+            .cloned()
+    }
+
+    fn cancel_all(&self) {
+        let tickets: Vec<crate::Ticket> = self
+            .state
+            .lock()
+            .expect("conn maps")
+            .by_req
+            .values()
+            .cloned()
+            .collect();
+        // Cancel outside the lock: each cancel delivers a completion the
+        // writer may race to translate, and translation takes this lock.
+        for t in &tickets {
+            t.cancel();
+        }
+    }
+}
+
+/// The TCP front-end: a blocking `std::net` listener that serves the
+/// ticket protocol on top of an [`AmsServer`]. One reader/writer thread
+/// pair per connection; see the module docs for the protocol.
+///
+/// ```no_run
+/// # use ams_serve::net::NetServer;
+/// # use ams_serve::server::AmsServer;
+/// # fn demo(server: AmsServer) -> Result<(), Box<dyn std::error::Error>> {
+/// let net = NetServer::bind(server, "127.0.0.1:0")?;
+/// let addr = net.local_addr();
+/// // ... clients connect to `addr` from other processes ...
+/// let report = net.shutdown();
+/// # Ok(()) }
+/// ```
+pub struct NetServer {
+    server: Arc<AmsServer>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Bind a listener and start accepting connections on a background
+    /// thread. Bind to port 0 for an ephemeral port; [`NetServer::local_addr`]
+    /// reports the actual address.
+    pub fn bind(server: AmsServer, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let server = Arc::new(server);
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let server = Arc::clone(&server);
+                    let conn_stop = Arc::clone(&stop);
+                    let handle =
+                        std::thread::spawn(move || handle_connection(server, stream, conn_stop));
+                    conns.lock().expect("conn registry").push(handle);
+                }
+            })
+        };
+        Ok(Self {
+            server,
+            addr,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The wrapped server, for live metrics and local submissions.
+    pub fn server(&self) -> &AmsServer {
+        &self.server
+    }
+
+    /// Stop accepting, disconnect-cancel any connection still open, join
+    /// every connection thread, then drain and shut down the inner
+    /// server, returning its final report. The conservation equations
+    /// hold across everything every connection ever submitted.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.stop.store(true, Ordering::Release);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.conns.lock().expect("conn registry"));
+        for h in handles {
+            let _ = h.join();
+        }
+        Arc::try_unwrap(self.server)
+            .ok()
+            .expect("all connection threads joined")
+            .shutdown()
+    }
+}
+
+/// One connection: read `Hello`, open a window-sized in-process client,
+/// then pump frames until goodbye/disconnect. The reader thread is the
+/// current thread; completions are written back by a spawned writer.
+fn handle_connection(server: Arc<AmsServer>, stream: TcpStream, stop: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    // Timeouts make every blocking read re-check `stop`, so shutdown can
+    // interrupt idle connections; `read_exact_interruptible` preserves
+    // partial reads across them.
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut reader = stream;
+    let Ok(writer_stream) = reader.try_clone() else {
+        return;
+    };
+
+    // The handshake sizes the window; anything else is a protocol error.
+    let window = match read_frame::<ClientFrame>(&mut reader, &stop) {
+        Ok(ClientFrame::Hello { window }) => window.clamp(1, MAX_WINDOW) as usize,
+        _ => return,
+    };
+    let client = server.client_with_capacity(window);
+    drop(server); // the Arc clone; the listener keeps the server alive
+
+    let maps = Arc::new(ConnMaps::default());
+    let reader_done = Arc::new(AtomicBool::new(false));
+    // Both threads write frames: the writer sends completions, the
+    // reader sends synchronous rejections. Frames are serialized under
+    // this lock so they never interleave.
+    let out = Arc::new(Mutex::new(writer_stream.try_clone().ok()));
+
+    let writer = {
+        let client = client.clone();
+        let maps = Arc::clone(&maps);
+        let reader_done = Arc::clone(&reader_done);
+        let out = Arc::clone(&out);
+        std::thread::spawn(move || {
+            loop {
+                match client.recv_timeout(POLL) {
+                    Some(ev) => {
+                        let ticket_id = ev.ticket();
+                        if let Some(req_id) = maps.wait_req_of(ticket_id, &reader_done) {
+                            let frame = ServerFrame::Completion(with_wire_id(ev, req_id));
+                            // A dead socket is fine: the events still
+                            // drain so the window frees and the ledgers
+                            // balance; only the delivery is lost.
+                            if let Some(stream) = out.lock().expect("conn writer").as_mut() {
+                                let _ = write_frame(stream, &frame);
+                            }
+                        }
+                        maps.remove(ticket_id);
+                    }
+                    None => {
+                        if reader_done.load(Ordering::Acquire) && client.outstanding() == 0 {
+                            return;
+                        }
+                    }
+                }
+            }
+        })
+    };
+
+    // Reader loop. Any exit except `Goodbye` is an abrupt disconnect:
+    // cancel every outstanding ticket of this connection.
+    let mut graceful = false;
+    while let Ok(frame) = read_frame::<ClientFrame>(&mut reader, &stop) {
+        match frame {
+            ClientFrame::Hello { .. } => break, // duplicate handshake
+            ClientFrame::Goodbye => {
+                graceful = true;
+                break;
+            }
+            ClientFrame::Cancel { id } => {
+                if let Some(t) = maps.ticket_of(id) {
+                    t.cancel();
+                }
+            }
+            ClientFrame::Request(req) => {
+                let opts = SubmitOptions {
+                    class: req.class,
+                    deadline_us: req.deadline_us,
+                    value: req.value,
+                };
+                // This is the flow control: with the window full,
+                // `submit_with` blocks and the socket goes unread.
+                let outcome = client.submit_with(Arc::new(req.item), opts);
+                match outcome.ticket() {
+                    Some(ticket) => {
+                        if let Err(dup) = maps.insert(req.id, ticket) {
+                            // Duplicate id: the just-issued ticket is
+                            // cancelled (its event drains unsent) and
+                            // the connection dies as a protocol error.
+                            dup.cancel();
+                            break;
+                        }
+                    }
+                    None => {
+                        let frame = ServerFrame::Rejected { id: req.id };
+                        if let Some(stream) = out.lock().expect("conn writer").as_mut() {
+                            let _ = write_frame(stream, &frame);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !graceful {
+        maps.cancel_all();
+    }
+    reader_done.store(true, Ordering::Release);
+    let _ = writer.join();
+    let _ = writer_stream.shutdown(std::net::Shutdown::Both);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// The remote mirror of the in-process [`Client`]: same submit surface
+/// (`submit` / `submit_class` / `submit_with`), same bounded-window
+/// semantics (`submit` blocks while `window` requests are in flight),
+/// same drain-loop termination (`recv` returns `Ok(None)` at zero
+/// outstanding). The differences forced by the transport: submissions
+/// return the request id instead of a `Ticket` (cancellation goes
+/// through [`NetClient::cancel`] with that id), admission outcomes
+/// arrive asynchronously ([`NetEvent::Rejected`] instead of a
+/// synchronous `SubmitOutcome::Rejected`), and every call can fail with
+/// a [`WireError`].
+pub struct NetClient {
+    write: Mutex<TcpStream>,
+    read: Mutex<TcpStream>,
+    window: usize,
+    state: Mutex<NcState>,
+    not_full: Condvar,
+    /// Never set client-side; [`read_frame`] wants a stop flag.
+    no_stop: AtomicBool,
+}
+
+#[derive(Default)]
+struct NcState {
+    outstanding: usize,
+    next_id: u64,
+    goodbye: bool,
+}
+
+impl NetClient {
+    /// Connect with the default window ([`Client::DEFAULT_CAPACITY`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        Self::connect_with_window(addr, Client::DEFAULT_CAPACITY)
+    }
+
+    /// Connect and size the completion window: at most `window` requests
+    /// in flight (submitted, their events not yet received); `submit`
+    /// blocks past that until `recv` drains. The server clamps to
+    /// `1..=`[`MAX_WINDOW`] and sizes its per-connection window the
+    /// same, which is the wire's flow control.
+    pub fn connect_with_window(addr: impl ToSocketAddrs, window: usize) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let read = stream.try_clone().map_err(WireError::Io)?;
+        let mut write = stream;
+        let window = (window as u64).clamp(1, MAX_WINDOW) as usize;
+        write_frame(
+            &mut write,
+            &ClientFrame::Hello {
+                window: window as u64,
+            },
+        )?;
+        Ok(Self {
+            write: Mutex::new(write),
+            read: Mutex::new(read),
+            window,
+            state: Mutex::new(NcState::default()),
+            not_full: Condvar::new(),
+            no_stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Submit one item (class 0, class-default economics), returning its
+    /// request id. Blocks while the window is full.
+    pub fn submit(&self, item: Arc<ItemTruth>) -> Result<u64, WireError> {
+        self.submit_with(item, SubmitOptions::default())
+    }
+
+    /// [`NetClient::submit`] with an explicit SLO class.
+    pub fn submit_class(&self, item: Arc<ItemTruth>, class: usize) -> Result<u64, WireError> {
+        self.submit_with(item, SubmitOptions::class(class))
+    }
+
+    /// [`NetClient::submit`] with full per-ticket economics, mirroring
+    /// [`Client::submit_with`].
+    pub fn submit_with(&self, item: Arc<ItemTruth>, opts: SubmitOptions) -> Result<u64, WireError> {
+        let id = {
+            let mut st = self.state.lock().expect("net client");
+            if st.goodbye {
+                return Err(WireError::Protocol("submit after goodbye".into()));
+            }
+            while st.outstanding >= self.window {
+                st = self.not_full.wait(st).expect("net client");
+            }
+            st.outstanding += 1;
+            let id = st.next_id;
+            st.next_id += 1;
+            id
+        };
+        let frame = ClientFrame::Request(WireRequest {
+            id,
+            item: (*item).clone(),
+            class: opts.class,
+            deadline_us: opts.deadline_us,
+            value: opts.value,
+        });
+        let res = write_frame(&mut self.write.lock().expect("net client write"), &frame);
+        if let Err(e) = res {
+            // The request never left: release its window slot.
+            let mut st = self.state.lock().expect("net client");
+            st.outstanding -= 1;
+            drop(st);
+            self.not_full.notify_one();
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Request cancellation of an in-flight request. Exactly like
+    /// [`Ticket::cancel`](crate::Ticket::cancel), the race is resolved
+    /// server-side; the terminal event reports what actually happened.
+    pub fn cancel(&self, id: u64) -> Result<(), WireError> {
+        write_frame(
+            &mut self.write.lock().expect("net client write"),
+            &ClientFrame::Cancel { id },
+        )
+    }
+
+    /// Blocking receive of the next terminal event, in server delivery
+    /// order. Returns `Ok(None)` when nothing is outstanding — so a
+    /// drain loop terminates, mirroring [`Client::recv`].
+    pub fn recv(&self) -> Result<Option<NetEvent>, WireError> {
+        if self.state.lock().expect("net client").outstanding == 0 {
+            return Ok(None);
+        }
+        let frame = read_frame::<ServerFrame>(
+            &mut self.read.lock().expect("net client read"),
+            &self.no_stop,
+        )?;
+        let ev = match frame {
+            ServerFrame::Completion(c) => NetEvent::Completion(c),
+            ServerFrame::Rejected { id } => NetEvent::Rejected { id },
+        };
+        let mut st = self.state.lock().expect("net client");
+        st.outstanding = st.outstanding.saturating_sub(1);
+        drop(st);
+        self.not_full.notify_one();
+        Ok(Some(ev))
+    }
+
+    /// Receive every remaining outstanding event (blocking), mirroring a
+    /// full in-process drain loop.
+    pub fn drain(&self) -> Result<Vec<NetEvent>, WireError> {
+        let mut events = Vec::new();
+        while let Some(ev) = self.recv()? {
+            events.push(ev);
+        }
+        Ok(events)
+    }
+
+    /// Requests in flight: submitted, their events not yet received.
+    pub fn outstanding(&self) -> usize {
+        self.state.lock().expect("net client").outstanding
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.window
+    }
+
+    /// Graceful close: tell the server to stop reading and let every
+    /// outstanding request resolve. Further submissions error; `recv`
+    /// keeps delivering until the window drains.
+    pub fn goodbye(&self) -> Result<(), WireError> {
+        let mut st = self.state.lock().expect("net client");
+        if st.goodbye {
+            return Ok(());
+        }
+        st.goodbye = true;
+        drop(st);
+        write_frame(
+            &mut self.write.lock().expect("net client write"),
+            &ClientFrame::Goodbye,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: Value) {
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        let back = decode_value(&buf).expect("round trip decodes");
+        // Debug compare instead of PartialEq so NaN round trips count.
+        assert_eq!(format!("{back:?}"), format!("{v:?}"));
+        // Float bit-exactness is the whole point of the binary codec.
+        if let (Value::F64(a), Value::F64(b)) = (&v, &back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_scalars_and_containers() {
+        round_trip(Value::Null);
+        round_trip(Value::Bool(true));
+        round_trip(Value::U64(u64::MAX));
+        round_trip(Value::I64(-1));
+        round_trip(Value::I64(i64::MIN));
+        round_trip(Value::F64(0.1 + 0.2));
+        round_trip(Value::F64(f64::NAN)); // bit-compare via to_bits path
+        round_trip(Value::Str("héllo".into()));
+        round_trip(Value::Array(vec![Value::U64(1), Value::Str("x".into())]));
+        round_trip(Value::Object(vec![
+            ("a".into(), Value::Null),
+            ("b".into(), Value::Array(vec![Value::F64(1.5)])),
+        ]));
+    }
+
+    #[test]
+    fn decoder_rejects_garbage_without_panicking() {
+        assert!(decode_value(&[]).is_err());
+        assert!(decode_value(&[0xff]).is_err());
+        assert!(decode_value(&[TAG_STR, 0x05, b'a']).is_err()); // truncated string
+        assert!(decode_value(&[TAG_ARRAY, 0xff, 0xff, 0xff, 0x7f]).is_err()); // huge count
+        assert!(decode_value(&[TAG_NULL, TAG_NULL]).is_err()); // trailing bytes
+        let deep: Vec<u8> = std::iter::repeat_n([TAG_ARRAY, 1], 1000)
+            .flatten()
+            .collect();
+        assert!(decode_value(&deep).is_err()); // nesting bomb
+    }
+}

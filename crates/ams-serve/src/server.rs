@@ -1192,7 +1192,14 @@ impl AmsServer {
     /// occupies a queue slot — admitting it could only evict or delay
     /// work that still has a chance, then be deadline-shed anyway.
     pub fn submit_class(&self, item: Arc<ItemTruth>, class: usize) -> SubmitOutcome {
-        submit_inner(self.shared(), item, class, None).map(|_| ())
+        self.submit_with(item, SubmitOptions::class(class))
+    }
+
+    /// [`AmsServer::submit_class`] with full per-ticket economics: an
+    /// optional deadline and value that override the class defaults for
+    /// this submission only (see [`SubmitOptions`]).
+    pub fn submit_with(&self, item: Arc<ItemTruth>, opts: SubmitOptions) -> SubmitOutcome {
+        submit_inner(self.shared(), item, opts, None).map(|_| ())
     }
 
     /// Requests currently queued across all shards (racy snapshot).
@@ -1560,11 +1567,21 @@ impl Client {
     /// [`Client::submit`] with an explicit SLO class (clamped to the
     /// configured classes; ignored when no SLO is configured).
     pub fn submit_class(&self, item: Arc<ItemTruth>, class: usize) -> SubmitOutcome<Ticket> {
+        self.submit_with(item, SubmitOptions::class(class))
+    }
+
+    /// [`Client::submit_class`] with full per-ticket economics: an
+    /// optional deadline and value that override the class defaults for
+    /// this ticket only (see [`SubmitOptions`]). Admission pricing, EDF
+    /// dequeue, deadline shedding, and value-weighted eviction read the
+    /// per-ticket numbers; the class remains the ledger bucket, so every
+    /// conservation gate is unchanged.
+    pub fn submit_with(&self, item: Arc<ItemTruth>, opts: SubmitOptions) -> SubmitOutcome<Ticket> {
         let Some(shared) = self.shared.upgrade() else {
             // The server shut down; nothing can be queued anymore.
             return SubmitOutcome::Rejected;
         };
-        submit_inner(&shared, item, class, Some(self))
+        submit_inner(&shared, item, opts, Some(self))
             .map(|ticket| ticket.expect("ticketed submissions always issue a ticket"))
     }
 
@@ -1579,6 +1596,15 @@ impl Client {
     /// Non-blocking receive: the next event if one is already queued.
     pub fn try_recv(&self) -> Option<Completion> {
         self.queue.try_recv()
+    }
+
+    /// Receive with a timeout: wait up to `timeout` for the next event,
+    /// returning `None` on timeout. Unlike [`Client::recv`] this keeps
+    /// waiting while nothing is outstanding — callers that outlive idle
+    /// gaps between submission bursts (the TCP front-end's per-connection
+    /// writer) distinguish "idle" from "done" themselves.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Completion> {
+        self.queue.recv_timeout(timeout)
     }
 
     /// Drain every currently queued event without blocking (outstanding
@@ -1599,21 +1625,69 @@ impl Client {
     }
 }
 
-/// The one submit path behind both [`AmsServer::submit_class`]
-/// (fire-and-forget, `client: None`) and [`Client::submit_class`]
+/// Per-ticket economics for [`Client::submit_with`] /
+/// [`AmsServer::submit_with`]: the SLO class is the aggregation bucket
+/// (ledgers, reports, reservations), while the optional deadline and
+/// value override the class defaults for *this ticket only* — admission
+/// pricing, EDF dequeue, deadline shedding, and value-weighted eviction
+/// all read the per-ticket numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SubmitOptions {
+    /// SLO class (clamped to the configured classes; aggregation bucket
+    /// only — ignored for scheduling when no SLO is configured).
+    pub class: usize,
+    /// Per-ticket deadline in microseconds. `None` falls back to the
+    /// class deadline (or the server-wide request timeout without SLO
+    /// classes). Honored even without SLO classes: the request expires
+    /// and is deadline-shed once the budget is exhausted.
+    pub deadline_us: Option<u64>,
+    /// Per-ticket value in SLO value units. `None` falls back to the
+    /// class weight × the predicted affinity value (or `1.0` without SLO
+    /// classes). Feeds admission pricing, overflow eviction, cache
+    /// eviction pricing, and the per-class value ledgers.
+    pub value: Option<f64>,
+}
+
+impl SubmitOptions {
+    /// Options for a plain submission into `class` (class defaults for
+    /// deadline and value).
+    pub fn class(class: usize) -> Self {
+        Self {
+            class,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: set the per-ticket deadline in microseconds.
+    #[must_use]
+    pub fn deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Builder: set the per-ticket value.
+    #[must_use]
+    pub fn value(mut self, value: f64) -> Self {
+        self.value = Some(value);
+        self
+    }
+}
+
+/// The one submit path behind both [`AmsServer::submit_with`]
+/// (fire-and-forget, `client: None`) and [`Client::submit_with`]
 /// (ticketed). Returns the issued ticket in the outcome (`None` inside
 /// the outcome on the fire-and-forget path).
 fn submit_inner(
     shared: &Shared,
     item: Arc<ItemTruth>,
-    class: usize,
+    opts: SubmitOptions,
     client: Option<&Client>,
 ) -> SubmitOutcome<Option<Ticket>> {
     // Resolve the class and its deadline *before* routing: the router's
     // deadline-aware spill prices candidate shards against the budget.
-    let (class, weight, deadline_us) = match &shared.cfg.slo {
+    let (class, weight, class_deadline_us) = match &shared.cfg.slo {
         Some(slo) => {
-            let class = class.min(slo.classes.len() - 1);
+            let class = opts.class.min(slo.classes.len() - 1);
             let c = &slo.classes[class];
             (class, c.weight, Some(c.deadline_ms.saturating_mul(1000)))
         }
@@ -1626,6 +1700,10 @@ fn submit_inner(
                 .map(|t| t.saturating_mul(1000)),
         ),
     };
+    // A per-ticket deadline replaces the class default; everything
+    // downstream (router spill pricing, admission control, EDF, the
+    // worker's staleness check) reads the resolved number.
+    let deadline_us = opts.deadline_us.or(class_deadline_us);
     // Claim the completion-window slot first: it may block while the
     // client's window is full, and the queue snapshots the router takes
     // should be fresh when the push actually happens.
@@ -1643,10 +1721,12 @@ fn submit_inner(
     // The prior `offered` count doubles as the request's observability
     // correlation id: unique per submission, ticketed or not.
     let req_id = shared.offered.fetch_add(1, Ordering::Relaxed);
-    let value = match &shared.cfg.slo {
+    // A per-ticket value replaces the predicted one; either way the
+    // class stays the ledger bucket, so conservation sums are untouched.
+    let value = opts.value.unwrap_or(match &shared.cfg.slo {
         Some(_) => weight * fp.value,
         None => 1.0,
-    };
+    });
     let ticket = client.map(|c| {
         let id = shared.next_ticket.fetch_add(1, Ordering::Relaxed);
         let mut slot = CompletionSlot::new(

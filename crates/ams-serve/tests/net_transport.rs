@@ -1,0 +1,383 @@
+//! The TCP front-end, end to end over loopback: labels through the
+//! socket byte-identical to the in-process client, per-ticket
+//! deadline/value travelling the wire, cancellation by request id,
+//! graceful goodbye vs abrupt disconnect (cancel-all), and ledger/event
+//! conservation across all of it.
+
+use ams_core::framework::{AdaptiveModelScheduler, Budget};
+use ams_core::predictor::OraclePredictor;
+use ams_data::{Dataset, DatasetProfile, TruthTable};
+use ams_models::ModelZoo;
+use ams_serve::net::{NetClient, NetEvent, NetServer};
+use ams_serve::{
+    AmsServer, BackpressurePolicy, Completion, ObsConfig, ServeConfig, ShedReason, SloClass,
+    SloConfig, SubmitOptions,
+};
+use serde_json::to_string;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+fn scheduler() -> AdaptiveModelScheduler {
+    let zoo = ModelZoo::standard();
+    let predictor = Box::new(OraclePredictor::new(zoo.len(), 0.5));
+    AdaptiveModelScheduler::new(zoo, predictor, 0.5, 64)
+}
+
+fn truth() -> &'static TruthTable {
+    static TRUTH: OnceLock<TruthTable> = OnceLock::new();
+    TRUTH.get_or_init(|| {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Coco2017, 40, 64);
+        TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5)
+    })
+}
+
+fn lossless_config() -> ServeConfig {
+    ServeConfig {
+        shards: 3,
+        workers_per_shard: 2,
+        max_batch: 4,
+        queue_capacity: 64,
+        policy: BackpressurePolicy::Block,
+        obs: Some(ObsConfig::default()),
+        ..ServeConfig::default()
+    }
+}
+
+/// Labels received over the socket are **byte-identical** to what the
+/// in-process client delivers for the same items under the same config:
+/// same labels, same model choices, bit-equal values — compared through
+/// their serialized form, which is exactly what crossed the wire.
+#[test]
+fn socket_labels_are_byte_identical_to_in_process() {
+    let budget = Budget::Deadline { ms: 900 };
+    let table = truth();
+
+    // In-process reference run.
+    let server = AmsServer::start(scheduler(), budget, lossless_config());
+    let client = server.client();
+    let mut inproc: HashMap<usize, String> = HashMap::new(); // item idx → labels JSON
+    let mut by_ticket: HashMap<u64, usize> = HashMap::new();
+    for (i, item) in table.items().iter().enumerate() {
+        let t = client.submit(Arc::new(item.clone())).ticket().unwrap();
+        by_ticket.insert(t.id(), i);
+    }
+    while let Some(ev) = client.recv() {
+        let r = ev.labeled().expect("lossless run");
+        let idx = by_ticket[&r.ticket];
+        inproc.insert(idx, to_string(&r.labels).unwrap());
+    }
+    let inproc_report = server.shutdown();
+
+    // Same items through the TCP front-end; request id = item index.
+    let net = NetServer::bind(
+        AmsServer::start(scheduler(), budget, lossless_config()),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let remote = NetClient::connect(net.local_addr()).expect("connect");
+    for item in table.items() {
+        remote.submit(Arc::new(item.clone())).expect("submit");
+    }
+    let events = remote.drain().expect("drain");
+    assert_eq!(events.len(), 40, "one completion per request");
+    for ev in &events {
+        let c = ev.completion().expect("no rejections under Block");
+        let r = c.labeled().expect("lossless run only labels");
+        let idx = r.ticket as usize; // echoed client-chosen id
+        assert_eq!(
+            to_string(&r.labels).unwrap(),
+            inproc[&idx],
+            "item {idx}: labels byte-identical through the socket"
+        );
+    }
+    remote.goodbye().expect("goodbye");
+    assert!(
+        remote.recv().expect("recv").is_none(),
+        "drained mirror terminates"
+    );
+    drop(remote);
+    let net_report = net.shutdown();
+
+    // serve == serial holds *through the socket*: the aggregate stats
+    // match the in-process run field for field.
+    assert_eq!(net_report.completed, inproc_report.completed);
+    assert_eq!(net_report.stats.items, inproc_report.stats.items);
+    assert_eq!(
+        net_report.stats.total_executions,
+        inproc_report.stats.total_executions
+    );
+    assert!((net_report.stats.recall_sum - inproc_report.stats.recall_sum).abs() < 1e-12);
+    assert!(net_report.is_conserved());
+    assert!(net_report.events_reconcile());
+}
+
+/// Satellite regression: a client killed abruptly after its first
+/// completion leaves no dangling state — all its outstanding tickets
+/// resolve (`Cancelled` for the unclaimed, their original event for the
+/// claimed), `events_reconcile()` and the per-class value ledgers
+/// balance, and a second connection keeps being served throughout.
+#[test]
+fn abrupt_disconnect_cancels_outstanding_and_server_keeps_serving() {
+    let table = truth();
+    let server = AmsServer::start(
+        scheduler(),
+        Budget::Deadline { ms: 900 },
+        ServeConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            max_batch: 2,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            // Slow workers: most of the victim's stream is still queued
+            // when the disconnect lands.
+            exec_emulation_scale: 5e-3,
+            obs: Some(ObsConfig::default()),
+            slo: Some(SloConfig {
+                classes: vec![
+                    SloClass::new("interactive", 60_000, 4.0),
+                    SloClass::new("bulk", 60_000, 1.0),
+                ],
+                admission_control: false,
+                value_weighted_shedding: false,
+                edf_dequeue: false,
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let net = NetServer::bind(server, "127.0.0.1:0").expect("bind");
+    let addr = net.local_addr();
+
+    // The victim: submit everything, read exactly one completion (so at
+    // least one claim happened), then die without a goodbye.
+    let victim = NetClient::connect_with_window(addr, 64).expect("connect");
+    for (i, item) in table.items().iter().enumerate() {
+        victim
+            .submit_class(Arc::new(item.clone()), i % 2)
+            .expect("submit");
+    }
+    let first = victim
+        .recv()
+        .expect("recv")
+        .expect("40 outstanding, one must arrive");
+    assert!(first.completion().is_some());
+    drop(victim); // abrupt: no goodbye, 39 events undelivered
+
+    // A second connection is served to completion while the victim's
+    // tickets are being cancelled and its claimed work drains.
+    let survivor = NetClient::connect_with_window(addr, 16).expect("connect");
+    for item in table.items().iter().take(10) {
+        survivor.submit(Arc::new(item.clone())).expect("submit");
+    }
+    let events = survivor.drain().expect("drain");
+    assert_eq!(events.len(), 10, "survivor gets every completion");
+    assert!(
+        events
+            .iter()
+            .all(|e| e.completion().and_then(Completion::labeled).is_some()),
+        "survivor's requests all label"
+    );
+    survivor.goodbye().expect("goodbye");
+    drop(survivor);
+
+    let report = net.shutdown();
+    // An abrupt close is a TCP reset: requests the victim wrote but the
+    // server had not yet read may be discarded by the kernel, so the
+    // exact offered count is not deterministic — the conservation of
+    // everything that *was* admitted is.
+    assert!(
+        (11..=50).contains(&report.offered),
+        "survivor's 10 plus at least the victim's claimed head, got {}",
+        report.offered
+    );
+    assert!(
+        report.cancelled > 0,
+        "disconnect cancelled the victim's queued backlog"
+    );
+    assert!(report.is_conserved(), "conservation across the disconnect");
+    assert!(
+        report.events_reconcile(),
+        "event stream reconciles bucket-for-bucket"
+    );
+    let slo = report.slo.as_ref().expect("slo ledgers");
+    assert!(slo.is_conserved(), "per-class ledgers balance");
+    for c in &slo.classes {
+        assert!(
+            (c.value_offered - c.value_completed - c.value_shed - c.value_cancelled).abs() < 1e-6,
+            "class {}: value ledger balances through the disconnect",
+            c.name
+        );
+    }
+}
+
+/// Per-ticket economics ride the wire: a tight per-request deadline set
+/// via `SubmitOptions` (no SLO classes configured at all) sheds exactly
+/// the requests that carried it, and a per-ticket value override lands
+/// in the class value ledger.
+#[test]
+fn per_ticket_deadline_and_value_travel_the_wire() {
+    let table = truth();
+
+    // Deadlines without SLO classes: one slow worker, batch of 1. The
+    // first (deadline-free) request occupies the worker long enough that
+    // every deadline-carrying request behind it expires in queue.
+    let server = AmsServer::start(
+        scheduler(),
+        Budget::Deadline { ms: 900 },
+        ServeConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            max_batch: 1,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            exec_emulation_scale: 5e-3,
+            obs: Some(ObsConfig::default()),
+            ..ServeConfig::default()
+        },
+    );
+    let net = NetServer::bind(server, "127.0.0.1:0").expect("bind");
+    let remote = NetClient::connect(net.local_addr()).expect("connect");
+    // Four deadline-free head requests keep the single worker busy for
+    // several real milliseconds (serial batches of 1 under slowed
+    // execution) — the doomed wave behind them is guaranteed to age past
+    // its 1 ms per-ticket budget while queued.
+    let heads = 4u64;
+    for item in table.items().iter().take(heads as usize) {
+        remote.submit(Arc::new(item.clone())).expect("submit");
+    }
+    let doomed = 12u64;
+    for item in table
+        .items()
+        .iter()
+        .skip(heads as usize)
+        .take(doomed as usize)
+    {
+        remote
+            .submit_with(
+                Arc::new(item.clone()),
+                SubmitOptions::default().deadline_us(1_000),
+            )
+            .expect("submit");
+    }
+    let events = remote.drain().expect("drain");
+    assert_eq!(events.len() as u64, heads + doomed);
+    let mut labeled = 0u64;
+    let mut shed_deadline = 0u64;
+    for ev in &events {
+        match ev.completion().expect("no rejections") {
+            Completion::Labeled(r) => {
+                labeled += 1;
+                assert!(r.ticket < heads, "only the deadline-free heads label");
+            }
+            Completion::Shed { reason, ticket, .. } => {
+                assert_eq!(*reason, ShedReason::Deadline);
+                assert!(*ticket >= heads, "sheds are the deadline-carrying wave");
+                shed_deadline += 1;
+            }
+            Completion::Cancelled { .. } => panic!("nothing was cancelled"),
+        }
+    }
+    assert_eq!(labeled, heads);
+    assert_eq!(shed_deadline, doomed, "every per-ticket deadline enforced");
+    remote.goodbye().expect("goodbye");
+    drop(remote);
+    let report = net.shutdown();
+    assert_eq!(report.shed_deadline, doomed);
+    assert!(report.is_conserved());
+    assert!(report.events_reconcile());
+
+    // Value override: with SLO classes configured, a wire-supplied value
+    // replaces the predicted class-weighted one in the ledgers.
+    let server = AmsServer::start(
+        scheduler(),
+        Budget::Deadline { ms: 900 },
+        ServeConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            max_batch: 4,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            slo: Some(SloConfig {
+                classes: vec![SloClass::new("only", 60_000, 1.0)],
+                admission_control: false,
+                value_weighted_shedding: false,
+                edf_dequeue: false,
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let net = NetServer::bind(server, "127.0.0.1:0").expect("bind");
+    let remote = NetClient::connect(net.local_addr()).expect("connect");
+    let n = 8u64;
+    for item in table.items().iter().take(n as usize) {
+        remote
+            .submit_with(Arc::new(item.clone()), SubmitOptions::default().value(7.25))
+            .expect("submit");
+    }
+    let events = remote.drain().expect("drain");
+    assert_eq!(events.len() as u64, n);
+    for ev in &events {
+        let r = ev
+            .completion()
+            .and_then(Completion::labeled)
+            .expect("lossless");
+        assert_eq!(r.banked_value, 7.25, "per-ticket value banked verbatim");
+    }
+    remote.goodbye().expect("goodbye");
+    drop(remote);
+    let report = net.shutdown();
+    let slo = report.slo.as_ref().expect("slo ledgers");
+    assert!(
+        (slo.classes[0].value_offered - 7.25 * n as f64).abs() < 1e-9,
+        "ledger saw the wire-supplied value, not the predicted one"
+    );
+    assert!(slo.is_conserved());
+}
+
+/// Cancellation by request id over the wire: unclaimed requests resolve
+/// `Cancelled`, and every request still gets exactly one event.
+#[test]
+fn wire_cancellation_resolves_exactly_once() {
+    let table = truth();
+    let server = AmsServer::start(
+        scheduler(),
+        Budget::Deadline { ms: 900 },
+        ServeConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            max_batch: 2,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            exec_emulation_scale: 5e-3,
+            obs: Some(ObsConfig::default()),
+            ..ServeConfig::default()
+        },
+    );
+    let net = NetServer::bind(server, "127.0.0.1:0").expect("bind");
+    let remote = NetClient::connect(net.local_addr()).expect("connect");
+    let mut ids = Vec::new();
+    for item in table.items() {
+        ids.push(remote.submit(Arc::new(item.clone())).expect("submit"));
+    }
+    // Cancel every other request; the race against claims is resolved
+    // server-side, exactly like Ticket::cancel.
+    for id in ids.iter().skip(1).step_by(2) {
+        remote.cancel(*id).expect("cancel");
+    }
+    let events = remote.drain().expect("drain");
+    assert_eq!(events.len(), 40, "exactly one event per request");
+    let mut seen: Vec<u64> = events.iter().map(NetEvent::id).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, ids, "every request id answered exactly once");
+    let cancelled = events
+        .iter()
+        .filter(|e| matches!(e.completion(), Some(Completion::Cancelled { .. })))
+        .count();
+    assert!(cancelled > 0, "some cancels won the race");
+    remote.goodbye().expect("goodbye");
+    drop(remote);
+    let report = net.shutdown();
+    assert_eq!(report.cancelled, cancelled as u64);
+    assert!(report.is_conserved());
+    assert!(report.events_reconcile());
+}

@@ -93,9 +93,9 @@ pub mod prelude {
     pub use ams_serve::{
         AdaptiveBatchConfig, AdaptiveReport, AffinityConfig, AmsServer, BackpressurePolicy,
         CacheConfig, CacheReport, ClassReport, Client, Completion, EventKind, LabelResult,
-        LatencySummary, MetricsSnapshot, ObsConfig, ObsReport, RoutingMode, ServeConfig,
-        ServeReport, ShardAdaptive, ShedReason, SloClass, SloConfig, SloReport, SubmitOutcome,
-        Ticket, TraceReport,
+        LatencySummary, MetricsSnapshot, NetClient, NetEvent, NetServer, ObsConfig, ObsReport,
+        RoutingMode, ServeConfig, ServeReport, ShardAdaptive, ShedReason, SloClass, SloConfig,
+        SloReport, SubmitOptions, SubmitOutcome, Ticket, TraceReport, WireError,
     };
     pub use ams_sim::{
         batched_makespan, BatchLatencyModel, ExecTrace, Job, MemoryPool, ParallelExecutor,

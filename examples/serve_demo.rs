@@ -2,7 +2,7 @@
 //! deployment shape of the paper's motivating applications — with sharded
 //! admission queues, batched execution, and latency telemetry.
 //!
-//! A burst of album photos is submitted to an [`AmsServer`] seven times:
+//! A burst of album photos is submitted to an [`AmsServer`] eight times:
 //! once with a lossless blocking configuration, once with a tiny queue and
 //! a shed-oldest policy under a request timeout (graceful degradation
 //! under overload), once with model-affinity routing plus the adaptive
@@ -22,7 +22,12 @@
 //! and once more with the **live observability layer** on: periodic
 //! metrics snapshots taken *while the overload runs*, a Prometheus
 //! scrape, and a flight-recorder post-mortem for a deadline casualty,
-//! with the event stream reconciling against the conservation ledger.
+//! with the event stream reconciling against the conservation ledger —
+//! and lastly **over the wire**: a loopback [`NetServer`] serving two
+//! separate OS processes, each a [`NetClient`] on one persistent
+//! connection whose completion window is the only flow control, one of
+//! them attaching a per-ticket deadline that travels the frames and is
+//! enforced server-side.
 //!
 //! Run with: `cargo run --release --example serve_demo [-- --smoke]`
 //! (`--smoke` shrinks the dataset and training so CI can exercise the
@@ -30,6 +35,67 @@
 
 use ams::prelude::*;
 use std::sync::Arc;
+
+/// Hidden child mode for scenario 8 (`serve_demo net-client <addr>
+/// <album-size> <start> <stride> <deadline-us>`): a separate OS process
+/// that rebuilds the deterministic album, connects a [`NetClient`] to the
+/// parent's loopback listener, submits its strided half (attaching a
+/// per-ticket deadline when asked), pumps the completion window, and
+/// prints a one-line summary the parent's output interleaves with.
+fn net_client_child(args: &[String]) {
+    let addr = args[0].as_str();
+    let album_size: usize = args[1].parse().expect("album size");
+    let start: usize = args[2].parse().expect("start");
+    let stride: usize = args[3].parse().expect("stride");
+    let deadline_us: u64 = args[4].parse().expect("deadline");
+    let zoo = ModelZoo::standard();
+    let album = Dataset::generate(DatasetProfile::Coco2017, album_size, 11);
+    let truth = TruthTable::build(&zoo, &zoo.catalog(), &album, 0.5);
+
+    let client = NetClient::connect_with_window(addr, 8).expect("connect to parent listener");
+    let mut events = Vec::new();
+    let mut submitted = 0u64;
+    for item in truth.items().iter().skip(start).step_by(stride.max(1)) {
+        // A full completion window is the wire's flow control: the client
+        // must read a completion before the protocol lets it submit more.
+        while client.outstanding() >= client.capacity() {
+            events.push(
+                client
+                    .recv()
+                    .expect("recv completion")
+                    .expect("window full implies outstanding completions"),
+            );
+        }
+        let opts = if deadline_us > 0 {
+            SubmitOptions::default().deadline_us(deadline_us)
+        } else {
+            SubmitOptions::default()
+        };
+        client
+            .submit_with(Arc::new(item.clone()), opts)
+            .expect("submit over the wire");
+        submitted += 1;
+    }
+    events.extend(client.drain().expect("drain completions"));
+    let (mut labeled, mut shed, mut other) = (0u64, 0u64, 0u64);
+    for ev in &events {
+        match ev.completion() {
+            Some(Completion::Labeled(_)) => labeled += 1,
+            Some(Completion::Shed { .. }) => shed += 1,
+            _ => other += 1,
+        }
+    }
+    client.goodbye().expect("goodbye");
+    let tag = if deadline_us > 0 { "deadline" } else { "plain" };
+    println!(
+        "  [child {tag}] {submitted} submitted over the wire -> {labeled} labeled, {shed} shed, {other} other"
+    );
+    assert_eq!(
+        events.len() as u64,
+        submitted,
+        "every wire request resolves exactly once"
+    );
+}
 
 fn scheduler(agent: TrainedAgent, world_seed: u64) -> AdaptiveModelScheduler {
     AdaptiveModelScheduler::new(
@@ -121,6 +187,13 @@ fn print_report(tag: &str, r: &ServeReport) {
 }
 
 fn main() {
+    // Scenario 8's child processes re-exec this binary with a hidden
+    // subcommand; they never train or serve, just speak the wire.
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("net-client") {
+        net_client_child(&argv[2..]);
+        return;
+    }
     // `--smoke` keeps CI runs in seconds: a smaller album and a shorter
     // training run, same code paths end to end.
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -421,7 +494,7 @@ fn main() {
     //    request miss?" after the fact. The event stream reconciles
     //    bucket-for-bucket with the conservation ledger at shutdown.
     let server = AmsServer::start(
-        scheduler(agent, album.world_seed),
+        scheduler(agent.clone(), album.world_seed),
         budget,
         ServeConfig {
             shards: 2,
@@ -515,7 +588,67 @@ fn main() {
         }
     }
 
-    println!("\nthe same scheduler serves all seven: backpressure and deadline shedding");
+    // 8) The wire: the same ticket protocol over TCP. A loopback
+    //    `NetServer` serves two *separate OS processes* at once, each a
+    //    `NetClient` on one persistent multiplexed connection whose
+    //    completion window is the only flow control. One child attaches a
+    //    per-ticket 60ms deadline to every request — the number rides the
+    //    request frame and the server's deadline shedder enforces it —
+    //    while the other submits plain. Conservation and event
+    //    reconciliation hold through the socket.
+    let server = AmsServer::start(
+        scheduler(agent, album.world_seed),
+        budget,
+        ServeConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            max_batch: 4,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            exec_emulation_scale: 5e-3,
+            obs: Some(ObsConfig::default()),
+            ..ServeConfig::default()
+        },
+    );
+    let net = NetServer::bind(server, "127.0.0.1:0").expect("bind loopback listener");
+    let addr = net.local_addr().to_string();
+    println!("--- over the wire (two client processes on {addr}) ---");
+    let exe = std::env::current_exe().expect("current_exe");
+    let spawn = |start: usize, deadline_us: u64| {
+        std::process::Command::new(&exe)
+            .args([
+                "net-client",
+                &addr,
+                &album_size.to_string(),
+                &start.to_string(),
+                "2",
+                &deadline_us.to_string(),
+            ])
+            .spawn()
+            .expect("spawn net-client child")
+    };
+    // Even indices plain, odd indices with a per-ticket 60ms deadline.
+    let children = [spawn(0, 0), spawn(1, 60_000)];
+    for mut child in children {
+        let status = child.wait().expect("child exits");
+        assert!(status.success(), "net-client child failed: {status:?}");
+    }
+    let report = net.shutdown();
+    print_report(
+        "over the wire (per-ticket deadlines from a forked client)",
+        &report,
+    );
+    assert_eq!(report.offered, items.len() as u64, "both halves arrived");
+    assert!(
+        report.is_conserved(),
+        "conservation holds through the socket"
+    );
+    assert!(
+        report.events_reconcile(),
+        "event stream reconciles through the socket"
+    );
+
+    println!("\nthe same scheduler serves all eight: backpressure and deadline shedding");
     println!("trade recall coverage for bounded queues and fresh frames; affinity");
     println!("routing and the adaptive batch controller make batching deliberate;");
     println!("SLO classes make the *shedding* deliberate too; the client API");
@@ -523,7 +656,10 @@ fn main() {
     println!("resolves to exactly one completion: its labels, its shed reason, or");
     println!("its cancellation — the content-addressed cache makes repeated");
     println!("content free: exact repeats answer before admission, in-flight");
-    println!("duplicates coalesce onto one execution — and the observability");
+    println!("duplicates coalesce onto one execution — the observability");
     println!("layer watches it all live, with event totals that reconcile");
-    println!("bucket-for-bucket against the conservation ledger.");
+    println!("bucket-for-bucket against the conservation ledger — and the");
+    println!("whole ticket protocol travels a TCP socket unchanged: separate");
+    println!("processes hold persistent windowed connections, per-ticket");
+    println!("deadlines ride the request frames, and disconnect is cancel.");
 }

@@ -5,9 +5,13 @@
 # shedding win (lower value-weighted shed loss + no-worse deadline-met
 # rate + request conservation in both modes), the label-cache zipf
 # economics (monotone bill saving, cache-on beating cache-off at repeat
-# >= 0.6, the repeat-0 no-op, per-point conservation), or the adaptive
-# controller's target compliance regresses beyond tolerance (tolerances
-# live in crates/ams-bench/src/gate.rs, with rationale).
+# >= 0.6, the repeat-0 no-op, per-point conservation), the wire-protocol
+# guarantees (the net_sweep's forked loopback clients must get labels
+# byte-identical to the in-process reference digest, serial-identical
+# stats through the socket, exactly one terminal completion per wire
+# request, and per-point conservation + event reconciliation), or the
+# adaptive controller's target compliance regresses beyond tolerance
+# (tolerances live in crates/ams-bench/src/gate.rs, with rationale).
 #
 #   ./scripts/bench_gate.sh               # self-test + rerun + compare
 #   ./scripts/bench_gate.sh --self-test   # only prove the gate can fail
