@@ -11,6 +11,8 @@
 //! wins, by roughly what factor, and where crossovers fall. EXPERIMENTS.md
 //! records paper-vs-measured for every experiment.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod gate;
 pub mod harness;

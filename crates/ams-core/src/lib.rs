@@ -24,6 +24,7 @@
 //! * [`framework`] — the user-facing facade: the
 //!   "prediction → scheduling → execution → state update" loop of Fig. 3.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -24,6 +24,7 @@
 //!
 //! Everything is deterministic under a `world_seed`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

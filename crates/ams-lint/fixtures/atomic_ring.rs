@@ -1,0 +1,17 @@
+//! Fixture: atomic ordering justification in a ring-like file.
+
+fn push(ring: &Ring, slot: &Slot) {
+    let h = ring.head.load(Ordering::Relaxed);
+    // Acquire pairs with the seq Release store in pop: the slot's
+    // payload writes happen-before we observe its seq.
+    let s = slot.seq.load(Ordering::Acquire);
+    ring.head.store(h + 1, Ordering::Relaxed); // Relaxed: head only advances via CAS winners; publication is via seq.
+    slot.seq
+        .store(s + 1, Ordering::Release); // Release: publishes the payload write to the consumer's Acquire load.
+    let t = ring.tail.swap(0, Ordering::AcqRel);
+    let _ = (h, s, t);
+}
+
+fn claim(slot: &Slot) {
+    slot.state.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).ok();
+}

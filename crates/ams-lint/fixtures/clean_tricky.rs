@@ -1,0 +1,15 @@
+//! Fixture: lexical edge cases that must NOT fire inside a zone.
+
+// ams-lint: begin(no-panic) lexer stress
+fn tricky<'a>(s: &'a str) -> &'a str {
+    let raw = r#"call .unwrap() and panic!("boom") and index x[0]"#;
+    let byte = b"expect(nothing)";
+    /* a block comment /* nested */ mentioning v[i].unwrap() */
+    let ch = 'a';
+    let lifetime_ref: &'a str = s;
+    let msg = "escaped \" unwrap() \" quote";
+    let got = s.get(0..1).unwrap_or_default();
+    let _ = (raw, byte, ch, lifetime_ref, msg);
+    got
+}
+// ams-lint: end(no-panic)

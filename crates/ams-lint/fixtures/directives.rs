@@ -1,0 +1,17 @@
+//! Fixture: malformed directives are themselves findings.
+
+fn f() {
+    a(); // ams-lint: allow(no-panic)
+    b(); // ams-lint: allow(imaginary-rule) because reasons
+    c(); // ams-lint: allow no parens
+}
+
+// ams-lint: end(no-panic)
+
+// ams-lint: begin(hot-path) unknown zone name
+fn g() {}
+
+// ams-lint: frobnicate(everything)
+
+// ams-lint: begin(no-panic) never closed
+fn h() {}

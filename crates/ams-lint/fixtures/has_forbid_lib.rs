@@ -1,0 +1,4 @@
+//! Fixture: a compliant crate root.
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,39 @@
+//! Fixture: ledger↔event pairing in a server-like file.
+
+struct Ledger {
+    offered: u64,
+    completed: u64,
+    cache_hit: u64,
+}
+
+fn bad_offer(l: &mut Ledger) {
+    l.offered += 1;
+}
+
+fn good_offer(l: &mut Ledger, obs: &Obs) {
+    obs.emit(EventKind::Admitted);
+    l.offered += 1;
+}
+
+fn merge(total: &mut Ledger, shard: &Ledger) {
+    total.offered += shard.offered;
+    total.completed += shard.completed;
+}
+
+fn bad_helper_call(cache: &Cache) {
+    cache.ledger.record_hit(1);
+}
+
+fn good_helper_call(cache: &Cache, obs: &Obs) {
+    cache.ledger.record_hit(1);
+    obs.emit(EventKind::CacheHit);
+}
+
+fn record_hit(n: u64) {
+    HITS.cache_hit += 1;
+    let _ = n;
+}
+
+fn allowed_site(l: &mut Ledger) {
+    l.completed += 1; // ams-lint: allow(ledger-event) event emitted by caller under the ledger lock
+}

@@ -1,0 +1,28 @@
+//! Fixture: stripe-lock discipline.
+
+fn nested_bad(c: &Cache, a: usize, b: usize) {
+    let g1 = c.stripes[a].lock().unwrap_or_else(|e| e.into_inner());
+    let g2 = c.stripes[b].lock().unwrap_or_else(|e| e.into_inner());
+    let _ = (g1, g2);
+}
+
+fn sequential_ok(c: &Cache, a: usize, b: usize) {
+    let g1 = c.stripe(a).lock().expect("stripe lock");
+    drop(g1);
+    let g2 = c.stripe(b).lock().expect("stripe lock");
+    let _ = g2;
+}
+
+fn scoped_ok(c: &Cache, a: usize, b: usize) {
+    {
+        let g1 = c.stripe(a).lock().expect("stripe lock");
+        let _ = g1;
+    }
+    let g2 = c.stripe(b).lock().expect("stripe lock");
+    let _ = g2;
+}
+
+fn temporary_ok(c: &Cache, a: usize, b: usize) {
+    c.stripe(a).lock().expect("stripe lock").touch();
+    c.stripe(b).lock().expect("stripe lock").touch();
+}

@@ -1,0 +1,38 @@
+//! Fixture: no-panic zone violations and escapes.
+
+fn outside() {
+    let x = risky().unwrap(); // fine: not in a zone
+    let _ = x;
+}
+
+// ams-lint: begin(no-panic) fixture hot path
+fn hot(buf: &[u8], i: usize) -> u8 {
+    let a = parse().unwrap();
+    let b = parse().expect("never fails");
+    if buf.is_empty() {
+        panic!("empty");
+    }
+    assert_eq!(a, b);
+    match a {
+        0 => todo!(),
+        1 => unimplemented!(),
+        2 => unreachable!(),
+        _ => {}
+    }
+    let c = buf[i];
+    let d = buf[i + 1]; // ams-lint: allow(no-panic) caller checked i + 1 < len
+    // ams-lint: allow(no-panic) standalone escape covers the next line
+    let e = buf[0];
+    let f = buf.get(1).copied().unwrap_or(0);
+    a + b + c + d + e + f
+}
+
+// ams-lint: allow(no-panic) whole helper is fixture scaffolding
+fn allowed_helper(v: &[u8]) -> u8 {
+    v[0] + v.last().copied().unwrap()
+}
+// ams-lint: end(no-panic)
+
+fn parse() -> Result<u8, ()> {
+    Ok(0)
+}

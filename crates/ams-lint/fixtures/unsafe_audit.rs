@@ -1,0 +1,21 @@
+//! Fixture: unsafe sites with and without SAFETY comments.
+
+struct Ring(u8);
+
+unsafe impl Send for Ring {}
+
+// SAFETY: single-field POD; no thread affinity.
+unsafe impl Sync for Ring {}
+
+fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn read_ok(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+
+fn read_trailing(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: p derived from a live reference above.
+}

@@ -1,0 +1,81 @@
+//! CLI for ams-lint. See `LINTS.md` at the repo root for rule docs.
+//!
+//! ```text
+//! ams-lint [--json] [ROOT]    lint the workspace rooted at ROOT (default .)
+//! ams-lint --self-test        prove every rule fires on its fixtures
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage or
+//! I/O error — mirroring the bench gate so check.sh treats them alike.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ams-lint [--json] [--self-test] [ROOT]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut self_test = false;
+    let mut root: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                eprintln!("usage: ams-lint [--json] [--self-test] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            s if s.starts_with('-') => {
+                eprintln!("ams-lint: unknown flag `{s}`");
+                return usage();
+            }
+            s => {
+                if root.replace(s.to_string()).is_some() {
+                    eprintln!("ams-lint: more than one ROOT given");
+                    return usage();
+                }
+            }
+        }
+    }
+
+    if self_test {
+        return if ams_lint::selftest::run() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    let root = root.unwrap_or_else(|| ".".to_string());
+    match ams_lint::scan_root(Path::new(&root)) {
+        Err(e) => {
+            eprintln!("ams-lint: cannot scan `{root}`: {e}");
+            ExitCode::from(2)
+        }
+        Ok((findings, nfiles)) => {
+            if json {
+                println!("{}", ams_lint::render_json(&findings));
+            } else {
+                for f in &findings {
+                    println!("{}", f.render());
+                }
+                eprintln!(
+                    "ams-lint: {} finding{} across {} files",
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" },
+                    nfiles
+                );
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! per-model times in the 50–450 ms band and peak memory in the 500–8000 MB
 //! band (Table III). See [`zoo::ModelZoo::standard`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -17,6 +17,7 @@
 //! * No autograd: each layer implements its own backward pass, verified
 //!   against finite differences in the test suite.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

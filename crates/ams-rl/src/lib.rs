@@ -16,6 +16,7 @@
 //! * [`eval`] — Q-value-greedy rollouts and the §VI-B metrics (average
 //!   executed models / execution time vs required recall rate).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

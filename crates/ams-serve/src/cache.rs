@@ -204,7 +204,7 @@ impl PendingEntry {
         let mut st = self.state.lock().expect("cache entry");
         match &mut *st {
             EntryState::Waiting(followers) => {
-                self.ledger.record_offered(follower.class, follower.value);
+                self.ledger.record_offered(follower.class, follower.value); // ams-lint: allow(ledger-event) the follower's Admitted event was emitted by submit_inner before coalescing routed it here
                 followers.push(follower);
                 Attach::Attached
             }

@@ -278,6 +278,8 @@ impl CompletionSlot {
     /// retracted). A resolved slot still sitting in a shard queue is a
     /// cancellation tombstone: workers and eviction skip it silently.
     pub(crate) fn is_resolved(&self) -> bool {
+        // Acquire: pairs with the Release in the resolving CAS/store, so
+        // a reader that sees RESOLVED also sees the delivered completion.
         self.state.load(Ordering::Acquire) == RESOLVED
     }
 
@@ -285,6 +287,11 @@ impl CompletionSlot {
     /// `false` when the request was already cancelled (or shed) — the
     /// caller must skip it without ledgering anything.
     pub(crate) fn try_claim(&self) -> bool {
+        // AcqRel: the Acquire half orders the claim after any prior
+        // resolution attempt it beat; the Release half publishes the
+        // claim to the cancel/shed CASes racing on PENDING. Acquire on
+        // failure: the loser must see the winner's writes before it
+        // skips the slot.
         self.state
             .compare_exchange(PENDING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
@@ -292,7 +299,12 @@ impl CompletionSlot {
 
     /// Deliver the labeling result for a previously claimed slot.
     pub(crate) fn finish_labeled(&self, result: LabelResult) {
+        // Acquire (debug-only check): orders the read after our own
+        // claim CAS so the assertion can't see a stale pre-claim value.
         debug_assert_eq!(self.state.load(Ordering::Acquire), CLAIMED);
+        // Release: only this worker can move CLAIMED → RESOLVED (claim
+        // won the CAS), so a plain store suffices; Release publishes the
+        // labeling result to is_resolved's Acquire readers.
         self.state.store(RESOLVED, Ordering::Release);
         self.obs_resolved();
         self.queue.deliver(Completion::Labeled(result));
@@ -308,6 +320,10 @@ impl CompletionSlot {
     /// when the slot already resolved (cancelled) — the caller must not
     /// ledger the completion.
     pub(crate) fn try_labeled(&self, result: LabelResult) -> bool {
+        // AcqRel: Release publishes the result delivered below to
+        // is_resolved's Acquire readers; Acquire orders us after any
+        // cancel that beat us. Acquire on failure: before returning
+        // false we must see the winner's resolution.
         if self
             .state
             .compare_exchange(PENDING, RESOLVED, Ordering::AcqRel, Ordering::Acquire)
@@ -325,6 +341,9 @@ impl CompletionSlot {
     /// cancellation (or another shed path) already won — the caller must
     /// not ledger the shed.
     pub(crate) fn try_shed(&self, reason: ShedReason) -> bool {
+        // AcqRel/Acquire: same protocol as try_labeled — Release
+        // publishes the shed resolution, Acquire orders the loser after
+        // the winner before the caller skips ledgering.
         if self
             .state
             .compare_exchange(PENDING, RESOLVED, Ordering::AcqRel, Ordering::Acquire)
@@ -353,6 +372,11 @@ impl CompletionSlot {
     /// conservation violation in the report.
     pub(crate) fn try_cancel(&self) -> bool {
         let mut ledger = self.ledger.state.lock().expect("cancel ledger");
+        // AcqRel: Release publishes the cancellation (and its ledger
+        // entry, made atomic by the lock held around us) to Acquire
+        // readers; Acquire orders us after a claim/labeling that won.
+        // Acquire on failure: we must see the winner's state before
+        // reporting the cancel as lost.
         if self
             .state
             .compare_exchange(PENDING, RESOLVED, Ordering::AcqRel, Ordering::Acquire)
@@ -399,6 +423,9 @@ impl CompletionSlot {
     /// and release the window slot. The caller saw `Rejected` and knows no
     /// event is coming.
     pub(crate) fn retract(&self) {
+        // Release: the slot was never shared with a worker (submission
+        // was refused synchronously), so no CAS race exists; Release
+        // still publishes the tombstone to any is_resolved reader.
         self.state.store(RESOLVED, Ordering::Release);
         self.obs_resolved();
         self.queue.retract();

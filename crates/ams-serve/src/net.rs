@@ -189,6 +189,9 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
     }
 }
 
+// ams-lint: begin(no-panic) wire decode path — parses hostile bytes; a
+// malformed frame must produce WireError::Malformed, never a panic
+
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -209,10 +212,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Malformed("truncated value".into()));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+        let s = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| WireError::Malformed("truncated value".into()))?;
         self.pos += n;
         Ok(s)
     }
@@ -268,7 +271,10 @@ impl<'a> Cursor<'a> {
                 Ok(Value::I64(((z >> 1) as i64) ^ -((z & 1) as i64)))
             }
             TAG_F64 => {
-                let bytes: [u8; 8] = self.take(8)?.try_into().expect("take(8) is 8 bytes");
+                let bytes: [u8; 8] = self
+                    .take(8)?
+                    .try_into()
+                    .map_err(|_| WireError::Malformed("truncated f64".into()))?;
                 Ok(Value::F64(f64::from_bits(u64::from_le_bytes(bytes))))
             }
             TAG_STR => Ok(Value::Str(self.string()?)),
@@ -310,6 +316,8 @@ pub fn decode_value(buf: &[u8]) -> Result<Value, WireError> {
     }
     Ok(v)
 }
+
+// ams-lint: end(no-panic)
 
 // ---------------------------------------------------------------------------
 // Frames
@@ -436,6 +444,9 @@ fn write_frame<T: Serialize>(stream: &mut TcpStream, frame: &T) -> Result<(), Wi
     Ok(())
 }
 
+// ams-lint: begin(no-panic) frame read path — feeds raw socket bytes to
+// the decoder; connection handlers must fail with WireError, not die
+
 /// `read_exact` that tolerates read timeouts (re-checking `stop`) so a
 /// server-side reader can notice shutdown while blocked, without ever
 /// losing partially read bytes.
@@ -446,6 +457,7 @@ fn read_exact_interruptible(
 ) -> Result<(), WireError> {
     let mut filled = 0;
     while filled < buf.len() {
+        // ams-lint: allow(no-panic) filled < buf.len() by the loop condition
         match stream.read(&mut buf[filled..]) {
             Ok(0) => return Err(WireError::Closed),
             Ok(n) => filled += n,
@@ -479,6 +491,8 @@ fn read_frame<T: Deserialize>(stream: &mut TcpStream, stop: &AtomicBool) -> Resu
     let v = read_frame_value(stream, stop)?;
     T::from_value(&v).map_err(|e| WireError::Malformed(e.to_string()))
 }
+
+// ams-lint: end(no-panic)
 
 // ---------------------------------------------------------------------------
 // Server

@@ -253,11 +253,16 @@ pub(crate) struct EventRing {
     tail: AtomicUsize,
 }
 
-// SAFETY: slots are handed off between threads via the `seq` acquire /
-// release protocol below; a slot's value is only written by the producer
-// that won the head CAS and only read by the consumer that won the tail
-// CAS, with the seq store ordering the hand-off.
+// SAFETY: sending an EventRing to another thread moves the whole slot
+// allocation with it; no slot holds thread-affine state (raw Events are
+// plain data), so ownership transfer is sound.
 unsafe impl Send for EventRing {}
+// SAFETY: shared `&EventRing` access is mediated by the per-slot `seq`
+// acquire/release protocol below: a slot's value is only written by the
+// producer that won the head CAS and only read by the consumer that won
+// the tail CAS, and the winner's exclusive window is published by the
+// slot's seq Release store and observed by the other side's Acquire
+// load — every UnsafeCell access has a happens-before edge.
 unsafe impl Sync for EventRing {}
 
 impl EventRing {
@@ -278,15 +283,27 @@ impl EventRing {
         }
     }
 
+    // ams-lint: begin(no-panic) event ring hot path — push runs on every
+    // worker iteration, pop on every aggregator drain
+
     /// Non-blocking enqueue. `false` means the ring was full — the event
     /// is lost and the caller must count it.
     pub(crate) fn push(&self, ev: Event) -> bool {
+        // Relaxed: this load only seeds the CAS; slot ownership (the
+        // part that needs ordering) travels through `seq`, not `head`.
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
-            let slot = &self.slots[pos & self.mask];
+            let slot = &self.slots[pos & self.mask]; // ams-lint: allow(no-panic) pos & mask < slots.len(), len is a power of two
+                                                     // Acquire: pairs with the consumer's seq Release store in
+                                                     // pop — seeing seq == pos proves the previous occupant was
+                                                     // fully read out before we overwrite the slot.
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = seq as isize - pos as isize;
             if dif == 0 {
+                // Relaxed on success and failure: the CAS only
+                // arbitrates which producer owns the slot; payload
+                // publication happens via the seq Release store below,
+                // so head itself carries no data.
                 match self.head.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
@@ -297,6 +314,8 @@ impl EventRing {
                         // SAFETY: winning the CAS grants exclusive write
                         // access to this slot until the seq store below.
                         unsafe { (*slot.value.get()).write(ev) };
+                        // Release: publishes the value write above to
+                        // the consumer whose Acquire load sees pos + 1.
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                         return true;
                     }
@@ -305,6 +324,8 @@ impl EventRing {
             } else if dif < 0 {
                 return false; // full
             } else {
+                // Relaxed: a stale head only costs another loop pass;
+                // ordering is re-established by the seq Acquire above.
                 pos = self.head.load(Ordering::Relaxed);
             }
         }
@@ -313,12 +334,20 @@ impl EventRing {
     /// Non-blocking dequeue (aggregator side; safe under concurrent
     /// snapshot-taking consumers).
     pub(crate) fn pop(&self) -> Option<Event> {
+        // Relaxed: seeds the CAS; see push — ordering rides on `seq`.
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
-            let slot = &self.slots[pos & self.mask];
+            let slot = &self.slots[pos & self.mask]; // ams-lint: allow(no-panic) pos & mask < slots.len(), len is a power of two
+                                                     // Acquire: pairs with the producer's seq Release store in
+                                                     // push — seeing seq == pos + 1 proves the value write is
+                                                     // visible before assume_init reads it.
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = seq as isize - pos.wrapping_add(1) as isize;
             if dif == 0 {
+                // Relaxed on success and failure: the CAS only
+                // arbitrates which consumer drains the slot; visibility
+                // of the payload was already secured by the seq Acquire
+                // load above.
                 match self.tail.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
@@ -330,6 +359,9 @@ impl EventRing {
                         // access; the producer's Release store made the
                         // value visible.
                         let ev = unsafe { (*slot.value.get()).assume_init() };
+                        // Release: hands the emptied slot back to the
+                        // producer generation `pos + cap`; pairs with
+                        // push's seq Acquire load.
                         slot.seq
                             .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
                         return Some(ev);
@@ -339,10 +371,14 @@ impl EventRing {
             } else if dif < 0 {
                 return None; // empty
             } else {
+                // Relaxed: a stale tail only costs another loop pass;
+                // ordering is re-established by the seq Acquire above.
                 pos = self.tail.load(Ordering::Relaxed);
             }
         }
     }
+
+    // ams-lint: end(no-panic)
 }
 
 // ---------------------------------------------------------------------------
@@ -700,23 +736,28 @@ impl ServerObs {
         self.start.elapsed().as_micros() as u64
     }
 
+    // ams-lint: begin(no-panic) emit paths — called from every submit and
+    // every worker iteration; an event must never be able to kill a worker
+
     /// Record an event from a submit-side thread (ring keyed by request
     /// id so concurrent clients spread across shard rings).
     pub(crate) fn emit(&self, ev: Event) {
-        let ring = &self.rings[(ev.req as usize) % self.shards];
+        let ring = &self.rings[(ev.req as usize) % self.shards]; // ams-lint: allow(no-panic) index is % shards and rings.len() >= shards
         if !ring.push(ev) {
-            self.dropped[ev.kind.index()].fetch_add(1, Ordering::Relaxed);
+            self.dropped[ev.kind.index()].fetch_add(1, Ordering::Relaxed); // ams-lint: allow(no-panic) kind.index() < EventKind::ALL.len() == dropped.len()
         }
     }
 
     /// Record an event from worker `worker` (its private ring: no
     /// cross-worker contention on the hot path).
     pub(crate) fn emit_worker(&self, worker: usize, ev: Event) {
-        let ring = &self.rings[self.shards + worker % (self.shards * self.workers_per_shard)];
+        let ring = &self.rings[self.shards + worker % (self.shards * self.workers_per_shard)]; // ams-lint: allow(no-panic) rings.len() == shards + shards * workers_per_shard
         if !ring.push(ev) {
-            self.dropped[ev.kind.index()].fetch_add(1, Ordering::Relaxed);
+            self.dropped[ev.kind.index()].fetch_add(1, Ordering::Relaxed); // ams-lint: allow(no-panic) kind.index() < EventKind::ALL.len() == dropped.len()
         }
     }
+
+    // ams-lint: end(no-panic)
 
     pub(crate) fn ticket_issued(&self) {
         self.tickets_issued.fetch_add(1, Ordering::Relaxed);

@@ -1976,12 +1976,19 @@ fn submit_inner(
     outcome.map(|()| ticket)
 }
 
+// ams-lint: begin(no-panic) worker hot loop — a panicking worker strands
+// its shard queue and every in-flight ticket on it
+
 /// One worker: pop → shed stale → label → batch-admit → record, until the
 /// shard queue closes and drains. `worker` is the server-wide worker
 /// index — the key of this worker's private observability event ring.
 fn worker_loop(shared: &Shared, shard: usize, worker: usize) -> WorkerLocal {
     let zoo = shared.scheduler.zoo();
     let n = zoo.len();
+    // One bounds check each here instead of one per batch below: the
+    // worker is pinned to `shard` for its whole life.
+    let queue = &shared.queues[shard]; // ams-lint: allow(no-panic) shard < queues.len() — workers are spawned one per existing shard
+    let control = &shared.controls[shard]; // ams-lint: allow(no-panic) shard < controls.len() — controls is built with one entry per shard
     let num_classes = shared.cfg.slo.as_ref().map_or(0, |s| s.classes.len());
     let mut local = WorkerLocal::new(n, num_classes);
     let mut runs_per_model = vec![0usize; n];
@@ -1989,12 +1996,12 @@ fn worker_loop(shared: &Shared, shard: usize, worker: usize) -> WorkerLocal {
         // Under adaptive batching the shard's live limit replaces the
         // static one; the controller retunes it between pops.
         let limit = if shared.cfg.adaptive.is_some() {
-            shared.controls[shard].limit.load(Ordering::Relaxed)
+            control.limit.load(Ordering::Relaxed)
         } else {
             shared.cfg.max_batch
         };
-        let batch = shared.queues[shard]
-            .pop_batch_lingering(limit, Duration::from_millis(shared.cfg.batch_linger_ms));
+        let batch =
+            queue.pop_batch_lingering(limit, Duration::from_millis(shared.cfg.batch_linger_ms));
         if batch.is_empty() {
             return local;
         }
@@ -2105,7 +2112,7 @@ fn worker_loop(shared: &Shared, shard: usize, worker: usize) -> WorkerLocal {
             .map(|(req, _, _)| {
                 let outcome = shared.scheduler.label_item(&req.item, shared.budget);
                 for &m in &outcome.executed {
-                    runs_per_model[m.index()] += 1;
+                    runs_per_model[m.index()] += 1; // ams-lint: allow(no-panic) m.index() < zoo.len() == runs_per_model.len()
                 }
                 outcome
             })
@@ -2150,9 +2157,8 @@ fn worker_loop(shared: &Shared, shard: usize, worker: usize) -> WorkerLocal {
         // queue), which value-weighted eviction prices its doom horizon
         // with. Same yardstick as admission, so the two policies agree on
         // what a queued request's wait looks like.
-        let amortized = shared.controls[shard].publish_amortized(exec_elapsed, survivors.len());
-        shared.queues[shard]
-            .set_service_hint_us((amortized / shared.cfg.workers_per_shard as u64).max(1));
+        let amortized = control.publish_amortized(exec_elapsed, survivors.len());
+        queue.set_service_hint_us((amortized / shared.cfg.workers_per_shard as u64).max(1));
         let exec_us = exec_elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
         if let Some(obs) = &shared.obs {
             obs.batch_finished(shard, survivors.len(), exec_us);
@@ -2261,7 +2267,7 @@ fn worker_loop(shared: &Shared, shard: usize, worker: usize) -> WorkerLocal {
             }
         }
         if let Some(acfg) = &shared.cfg.adaptive {
-            shared.controls[shard].observe_batch(
+            control.observe_batch(
                 survivors.iter().map(|(_, wait, _)| *wait),
                 exec_elapsed,
                 acfg,
@@ -2270,3 +2276,5 @@ fn worker_loop(shared: &Shared, shard: usize, worker: usize) -> WorkerLocal {
         }
     }
 }
+
+// ams-lint: end(no-panic)

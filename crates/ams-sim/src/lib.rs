@@ -20,6 +20,7 @@
 //! The crate is deliberately generic: a job is just `(id, time, memory)`.
 //! `ams-core` maps models onto jobs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -169,12 +169,14 @@ mod tests {
     #[test]
     fn parallel_overlap_shortens_makespan() {
         let mut ex = ParallelExecutor::new(1000);
-        ex.admit(job(0, 300, 400)).unwrap();
-        ex.admit(job(1, 200, 400)).unwrap();
-        let first = ex.wait_next().unwrap();
+        ex.admit(job(0, 300, 400))
+            .expect("400MB fits a 1000MB pool");
+        ex.admit(job(1, 200, 400))
+            .expect("800MB total fits the pool");
+        let first = ex.wait_next().expect("two jobs are running");
         assert_eq!(first.id, 1, "shorter job completes first");
         assert_eq!(ex.now_ms(), 200);
-        let second = ex.wait_next().unwrap();
+        let second = ex.wait_next().expect("one job still running");
         assert_eq!(second.id, 0);
         assert_eq!(ex.now_ms(), 300);
         let t = ex.into_trace();
@@ -186,23 +188,28 @@ mod tests {
     #[test]
     fn memory_gate_rejects_oversubscription() {
         let mut ex = ParallelExecutor::new(500);
-        ex.admit(job(0, 100, 300)).unwrap();
+        ex.admit(job(0, 100, 300)).expect("300MB fits a 500MB pool");
         assert!(ex.admit(job(1, 100, 300)).is_err());
         assert_eq!(ex.running_count(), 1);
         // after completion the memory frees up
-        ex.wait_next().unwrap();
+        ex.wait_next().expect("job 0 is running");
         assert!(ex.admit(job(1, 100, 300)).is_ok());
     }
 
     #[test]
     fn admission_after_wait_starts_at_current_time() {
         let mut ex = ParallelExecutor::new(1000);
-        ex.admit(job(0, 100, 100)).unwrap();
-        ex.wait_next().unwrap();
-        ex.admit(job(1, 50, 100)).unwrap();
-        ex.wait_next().unwrap();
+        ex.admit(job(0, 100, 100))
+            .expect("100MB fits a 1000MB pool");
+        ex.wait_next().expect("job 0 is running");
+        ex.admit(job(1, 50, 100)).expect("pool is empty again");
+        ex.wait_next().expect("job 1 is running");
         let t = ex.into_trace();
-        let span1 = t.spans.iter().find(|s| s.job == 1).unwrap();
+        let span1 = t
+            .spans
+            .iter()
+            .find(|s| s.job == 1)
+            .expect("job 1 completed, so it has a span");
         assert_eq!(span1.start_ms, 100);
         assert_eq!(span1.end_ms, 150);
     }
@@ -210,17 +217,20 @@ mod tests {
     #[test]
     fn deterministic_tie_break_by_id() {
         let mut ex = ParallelExecutor::new(1000);
-        ex.admit(job(5, 100, 100)).unwrap();
-        ex.admit(job(2, 100, 100)).unwrap();
-        assert_eq!(ex.wait_next().unwrap().id, 2);
-        assert_eq!(ex.wait_next().unwrap().id, 5);
+        ex.admit(job(5, 100, 100))
+            .expect("100MB fits a 1000MB pool");
+        ex.admit(job(2, 100, 100))
+            .expect("200MB total fits the pool");
+        assert_eq!(ex.wait_next().expect("two jobs running").id, 2);
+        assert_eq!(ex.wait_next().expect("one job running").id, 5);
     }
 
     #[test]
     fn drain_completes_everything() {
         let mut ex = ParallelExecutor::new(10_000);
         for i in 0..5 {
-            ex.admit(job(i, 100 * (i as u32 + 1), 1000)).unwrap();
+            ex.admit(job(i, 100 * (i as u32 + 1), 1000))
+                .expect("5 x 1000MB fits a 10000MB pool");
         }
         let done = ex.drain();
         assert_eq!(done.len(), 5);
@@ -244,7 +254,7 @@ mod tests {
             "memory charged per batch, not per item"
         );
         assert!(ex.admit_batch(job(1, 100, 400), 2, &model).is_err());
-        let done = ex.wait_next().unwrap();
+        let done = ex.wait_next().expect("the batch is running");
         assert_eq!(done.id, 0);
         assert_eq!(ex.now_ms(), 450);
         assert_eq!(ex.available_mb(), 500);
@@ -264,10 +274,11 @@ mod tests {
     #[test]
     fn trace_memory_profile_matches_pool_constraint() {
         let mut ex = ParallelExecutor::new(700);
-        ex.admit(job(0, 300, 400)).unwrap();
-        ex.admit(job(1, 100, 300)).unwrap();
-        ex.wait_next().unwrap(); // job 1 at t=100
-        ex.admit(job(2, 100, 300)).unwrap();
+        ex.admit(job(0, 300, 400)).expect("400MB fits a 700MB pool");
+        ex.admit(job(1, 100, 300))
+            .expect("700MB total fits the pool");
+        ex.wait_next().expect("job 1 finishes at t=100");
+        ex.admit(job(2, 100, 300)).expect("job 1 freed 300MB");
         let t = ex.into_trace();
         assert!(t.respects_memory(700));
         assert_eq!(t.peak_mem_mb(), 700);

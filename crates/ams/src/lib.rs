@@ -49,6 +49,7 @@
 //! assert!(outcome.elapsed_ms <= 1000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

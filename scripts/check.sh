@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# One-command gate for every PR: formatting, lints, the perf gate, and the
-# tier-1 verify. Three modes:
+# One-command gate for every PR: formatting, lints (clippy + the ams-lint
+# workspace analyzer), the perf gate, and the tier-1 verify. Three modes:
 #
 #   ./scripts/check.sh          # full: fmt + clippy + release build
 #                               #       + bench gate + tier-1 tests
@@ -35,6 +35,14 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Workspace-specific static analysis (all modes — it is fast): first prove
+# every rule can fire on its injected-violation fixtures, then require the
+# tree itself to be clean. Rules and allow-list syntax: LINTS.md.
+echo "==> ams-lint --self-test"
+cargo run -q -p ams-lint -- --self-test
+echo "==> ams-lint (workspace must be clean)"
+cargo run -q -p ams-lint -- .
 
 if [[ $mode == full ]]; then
     echo "==> cargo build --release"
