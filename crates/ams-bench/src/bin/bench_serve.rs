@@ -13,7 +13,7 @@
 //!   growth, shed requests, and tail-latency blowup rather than as a
 //!   silently slowed producer.
 //!
-//! Seven gates run *inside* the bench (the process aborts on violation,
+//! Eight gates run *inside* the bench (the process aborts on violation,
 //! so a green record is a green guarantee):
 //! * serve-mode stats equal the serial engine's, under hash **and**
 //!   affinity routing;
@@ -42,6 +42,13 @@
 //!   and `coalesced` buckets) holds at every point, and at repeat 0 the
 //!   cache is a perfect no-op (zero hits, stats equal to the serial
 //!   engine's — unique streams pay nothing for the cache);
+//! * **online adaptation under drift** — a two-phase stream whose item
+//!   mixture shifts mid-run is served frozen (`adapt: None`) and adaptive
+//!   with identical configs otherwise: the frozen run must reproduce the
+//!   serial engine byte-for-byte (the off-switch is a true no-op), and the
+//!   adaptive run must hot-swap trainer generations into the predict path
+//!   mid-stream and bank strictly more realized label value after the
+//!   shift, with conservation and event reconciliation in both modes;
 //! * **event/ledger reconciliation** — the closed-loop capacity fixture is
 //!   re-run with the live observability layer on, and the lifecycle event
 //!   totals must match the conservation ledger bucket-for-bucket
@@ -193,6 +200,58 @@ struct ZipfPoint {
     conserved: bool,
 }
 
+/// One serving mode of the drift sweep: the same two-phase stream served
+/// frozen (`adapt: None`) or with the online trainer hot-swapping
+/// generations into the predict path.
+#[derive(Debug, Serialize)]
+struct DriftPoint {
+    /// `"frozen"` or `"adaptive"`.
+    mode: String,
+    completed: u64,
+    /// Σ realized label value `f(S, d)` banked before the mixture shift.
+    phase1_value: f64,
+    /// Σ realized label value banked after the shift — the number online
+    /// adaptation exists to raise.
+    phase2_value: f64,
+    /// Whole-stream realized value (`StreamStats::value_sum`).
+    value_sum: f64,
+    mean_recall: f64,
+    /// Generations the trainer published into the predict path (0 frozen).
+    swaps: u64,
+    learn_steps: u64,
+    /// Outcomes that crossed the worker→trainer experience channel.
+    experiences: u64,
+    experiences_dropped: u64,
+    conserved: bool,
+    /// Lifecycle events — `weights_swapped` included — reconcile with the
+    /// ledgers ([`ServeReport::events_reconcile`]).
+    events_reconciled: bool,
+}
+
+/// The drift sweep: a workload whose item mixture shifts mid-stream,
+/// served by a deliberately undertrained boot agent with adaptation off
+/// vs on.
+#[derive(Debug, Serialize)]
+struct DriftSweep {
+    phase1_profile: String,
+    phase2_profile: String,
+    phase1_submissions: u64,
+    phase2_submissions: u64,
+    /// Times the post-shift item set repeats (adaptation needs later
+    /// repetitions to cash in what it learned from earlier ones).
+    phase2_passes: usize,
+    /// Training episodes behind the boot agent (deliberately few: the
+    /// drift story needs headroom for the online trainer to close).
+    boot_episodes: usize,
+    /// The frozen run's serve stats equal the serial engine's over the
+    /// same drifted stream — adaptation off stays byte-identical.
+    frozen_matches_serial: bool,
+    /// adaptive post-shift value / frozen post-shift value.
+    phase2_value_gain: f64,
+    frozen: DriftPoint,
+    adaptive: DriftPoint,
+}
+
 /// One point of the wire-protocol sweep: a loopback listener driven by
 /// `procs` forked client processes partitioning the same item set.
 #[derive(Debug, Serialize)]
@@ -305,6 +364,13 @@ struct Record {
     /// bill at repeat ≥ 0.6, every point conserves, and repeat 0 is a
     /// cache no-op (zero hits, serial-identical stats).
     zipf_sweep: Vec<ZipfPoint>,
+    /// Online adaptation under a mid-stream mixture shift. Gated
+    /// in-process: the frozen run reproduces the serial engine
+    /// byte-for-byte, the adaptive run hot-swaps generations mid-stream
+    /// (swaps > 0, no experience drops) and banks strictly more realized
+    /// post-shift value than the frozen path, with conservation and event
+    /// reconciliation holding in both modes.
+    drift_sweep: DriftSweep,
     /// The TCP front-end over loopback: 1/2/4 forked client processes,
     /// lossless configuration. Gated in-process: serial-identical stats
     /// through the socket, byte-identical labels against the in-process
@@ -1390,6 +1456,228 @@ fn main() {
         zipf_sweep.push(point);
     }
 
+    // ---- drift: online adaptation under a mid-stream mixture shift ------
+    // A two-phase stream: the fixture's items first, then several passes
+    // over a disjoint dataset profile the boot agent never trained on.
+    // The boot agent is deliberately undertrained (2 episodes), so its
+    // value ranking is poor everywhere and the online trainer has
+    // headroom; the mixture shift makes the comparison about *live*
+    // traffic — everything the trainer learns, it learns from served
+    // outcomes, and it must cash the learning in before the stream ends.
+    // Served twice with identical configs except `adapt`:
+    // * frozen — `adapt: None`; must reproduce the serial engine
+    //   byte-for-byte over the same drifted stream (the adaptation
+    //   subsystem's off-switch is a true no-op);
+    // * adaptive — the background trainer taps every outcome, learns, and
+    //   hot-swaps generations into the predict path mid-stream.
+    // The gate: the adaptive run must bank strictly more realized label
+    // value after the shift (per-phase value summed client-side from each
+    // ticket's completion), with swaps > 0, zero experience drops, and
+    // conservation + event reconciliation in both modes. Execution
+    // emulation stretches serving over wall time so swaps land *during*
+    // the stream, not after it.
+    let drift_boot_episodes = 2usize;
+    let drift_phase2_passes = 4usize;
+    let drift_phase2_distinct = if smoke { 32 } else { 80 };
+    let drift_boot = {
+        let cfg = TrainConfig {
+            episodes: drift_boot_episodes,
+            ..TrainConfig::fast_test(Algo::Dqn)
+        };
+        train(fx.truth.items(), ModelZoo::standard().len(), &cfg).0
+    };
+    let phase2_truth = {
+        let zoo = ModelZoo::standard();
+        let ds = Dataset::generate(DatasetProfile::Places365, drift_phase2_distinct, 0xD21F7);
+        TruthTable::build(&zoo, &zoo.catalog(), &ds, 0.5)
+    };
+    let phase2_stream: Vec<Arc<ItemTruth>> = phase2_truth
+        .items()
+        .iter()
+        .cycle()
+        .take(drift_phase2_distinct * drift_phase2_passes)
+        .map(|i| Arc::new(i.clone()))
+        .collect();
+    let drift_total = items.len() + phase2_stream.len();
+    // Both serve modes and the serial reference predict from the same
+    // generation-0 snapshot of the boot agent — the exact predictor the
+    // adaptive path serves until its first swap.
+    let drift_scheduler = || {
+        AdaptiveModelScheduler::new(
+            ModelZoo::standard(),
+            Box::new(SnapshotPredictor::new(Arc::new(AgentSnapshot::initial(
+                drift_boot.clone(),
+            )))),
+            0.5,
+            fx.world_seed,
+        )
+    };
+    let want_drift = {
+        let serial_stream: Vec<ItemTruth> = fx
+            .truth
+            .items()
+            .iter()
+            .cloned()
+            .chain(phase2_stream.iter().map(|i| (**i).clone()))
+            .collect();
+        let mut serial = StreamProcessor::new(drift_scheduler(), budget);
+        serial.process_all(&serial_stream);
+        serial.stats().clone()
+    };
+    let drift_cfg = ServeConfig {
+        shards: 2,
+        workers_per_shard: 1,
+        max_batch: 4,
+        queue_capacity: 64,
+        policy: BackpressurePolicy::Block,
+        obs: Some(ObsConfig::default()),
+        exec_emulation_scale: 2e-3,
+        ..ServeConfig::default()
+    };
+    let mut drift_points: Vec<DriftPoint> = Vec::new();
+    let mut frozen_matches_serial = true;
+    for adaptive_on in [false, true] {
+        let mode = if adaptive_on { "adaptive" } else { "frozen" };
+        let adapt = adaptive_on.then(|| AdaptConfig {
+            channel_capacity: 8192,
+            online: OnlineConfig {
+                warmup: 32,
+                batch: 16,
+                seed: 0xAD47,
+                ..OnlineConfig::default()
+            },
+            steps_per_outcome: 4,
+            swap_every: 8,
+            agent: drift_boot.clone(),
+        });
+        let server = AmsServer::start(
+            drift_scheduler(),
+            budget,
+            ServeConfig {
+                adapt,
+                ..drift_cfg.clone()
+            },
+        );
+        let client = server.client_with_capacity(drift_total + 16);
+        let mut is_phase2 = HashMap::new();
+        for item in &items {
+            let t = client
+                .submit(Arc::clone(item))
+                .ticket()
+                .expect("lossless drift config accepts every submission");
+            is_phase2.insert(t.id(), false);
+        }
+        for item in &phase2_stream {
+            let t = client
+                .submit(Arc::clone(item))
+                .ticket()
+                .expect("lossless drift config accepts every submission");
+            is_phase2.insert(t.id(), true);
+        }
+        let report = server.shutdown();
+        tickets_issued += report.offered;
+        assert!(report.is_conserved(), "drift {mode}: conservation");
+        let events = client.drain();
+        assert_eq!(
+            events.len(),
+            drift_total,
+            "drift {mode}: every ticket delivers exactly one terminal event"
+        );
+        let (mut phase1_value, mut phase2_value) = (0.0f64, 0.0f64);
+        for ev in events {
+            let Completion::Labeled(r) = ev else {
+                panic!("drift {mode}: lossless run labels everything");
+            };
+            if is_phase2[&r.ticket] {
+                phase2_value += r.label_value;
+            } else {
+                phase1_value += r.label_value;
+            }
+        }
+        if !adaptive_on {
+            frozen_matches_serial = report.stats.items == want_drift.items
+                && report.stats.total_exec_ms == want_drift.total_exec_ms
+                && report.stats.total_executions == want_drift.total_executions
+                && report.stats.per_model_runs == want_drift.per_model_runs
+                && (report.stats.recall_sum - want_drift.recall_sum).abs() < 1e-9
+                && (report.stats.value_sum - want_drift.value_sum).abs() < 1e-9;
+        }
+        let a = report.adapt.as_ref();
+        let point = DriftPoint {
+            mode: mode.into(),
+            completed: report.completed,
+            phase1_value,
+            phase2_value,
+            value_sum: report.stats.value_sum,
+            mean_recall: report.stats.mean_recall(),
+            swaps: a.map_or(0, |a| a.swaps),
+            learn_steps: a.map_or(0, |a| a.learn_steps),
+            experiences: a.map_or(0, |a| a.experiences),
+            experiences_dropped: a.map_or(0, |a| a.experiences_dropped),
+            conserved: report.is_conserved(),
+            events_reconciled: report.events_reconcile(),
+        };
+        eprintln!(
+            "[bench_serve] drift {mode}: phase-2 value {p2:.1} (phase-1 {p1:.1}), \
+             {swaps} swap(s), {steps} learn step(s)",
+            p2 = point.phase2_value,
+            p1 = point.phase1_value,
+            swaps = point.swaps,
+            steps = point.learn_steps,
+        );
+        drift_points.push(point);
+    }
+    let drift_adaptive = drift_points.pop().expect("adaptive drift point");
+    let drift_frozen = drift_points.pop().expect("frozen drift point");
+    if !skip_gates {
+        assert!(
+            frozen_matches_serial,
+            "drift frozen run must equal the serial engine byte-for-byte \
+             (adapt: None is a true no-op)"
+        );
+        assert!(
+            drift_frozen.events_reconciled && drift_adaptive.events_reconciled,
+            "drift runs must reconcile events with the ledger"
+        );
+        assert!(
+            drift_adaptive.swaps > 0,
+            "the trainer must publish generations mid-stream: {drift_adaptive:?}"
+        );
+        assert_eq!(
+            drift_adaptive.experiences, drift_total as u64,
+            "every served outcome must cross the experience channel"
+        );
+        assert_eq!(
+            drift_adaptive.experiences_dropped, 0,
+            "8192-deep channel must absorb the whole stream"
+        );
+        assert!(
+            drift_adaptive.phase2_value > drift_frozen.phase2_value,
+            "online adaptation must bank strictly more post-shift value: \
+             adaptive {:.2} vs frozen {:.2}",
+            drift_adaptive.phase2_value,
+            drift_frozen.phase2_value
+        );
+    }
+    let drift_sweep = DriftSweep {
+        phase1_profile: "Coco2017".into(),
+        phase2_profile: "Places365".into(),
+        phase1_submissions: items.len() as u64,
+        phase2_submissions: phase2_stream.len() as u64,
+        phase2_passes: drift_phase2_passes,
+        boot_episodes: drift_boot_episodes,
+        frozen_matches_serial,
+        phase2_value_gain: drift_adaptive.phase2_value
+            / drift_frozen.phase2_value.max(f64::MIN_POSITIVE),
+        frozen: drift_frozen,
+        adaptive: drift_adaptive,
+    };
+    eprintln!(
+        "[bench_serve] drift: adaptive banked {:.2}x the frozen post-shift value \
+         over {} phase-2 submissions",
+        drift_sweep.phase2_value_gain, drift_sweep.phase2_submissions
+    );
+
     // ---- open loop: under, near, and past saturation --------------------
     for load_factor in [0.4f64, 0.8, 1.6] {
         let rate = (capacity_per_s * load_factor).max(1.0);
@@ -1433,7 +1721,9 @@ fn main() {
                       batch-limit controller closed-loop against a self-calibrated p99 target; \
                       the content-addressed label cache swept over Zipf repeat rates, cache-on \
                       vs cache-off; the TCP front-end driven by 1/2/4 forked loopback client \
-                      processes with byte-identical-label and serial-equivalence gates. \
+                      processes with byte-identical-label and serial-equivalence gates; online \
+                      adaptation (ams-serve::adapt) under a mid-stream mixture shift, frozen vs \
+                      adaptive, gated on post-shift realized value. \
                       DRL-agent predictor, 1s per-item deadline. See PERF.md for methodology."
             .into(),
         cores_available: cores,
@@ -1455,6 +1745,7 @@ fn main() {
         adaptive,
         slo_sweep,
         zipf_sweep,
+        drift_sweep,
         net_sweep,
         sweep,
     };

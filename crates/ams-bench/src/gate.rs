@@ -367,6 +367,56 @@ pub fn gate_serve(baseline: &Value, candidate: &Value) -> GateOutcome {
         }
         _ => out.failed.push("missing `zipf_sweep` array".into()),
     }
+    // The online-adaptation win is re-verified from the candidate record
+    // itself: with adaptation off the serving path must have reproduced
+    // the serial engine byte-for-byte over the same drifted stream, and
+    // with it on the trainer must have actually hot-swapped generations
+    // and banked strictly more post-shift value than the frozen path,
+    // with ledgers and event streams intact in both modes.
+    check_flag(
+        &mut out,
+        "drift_sweep.frozen_matches_serial",
+        boolean(candidate, "drift_sweep/frozen_matches_serial"),
+    );
+    for mode in ["frozen", "adaptive"] {
+        check_flag(
+            &mut out,
+            &format!("drift_sweep.{mode}.conserved"),
+            boolean(candidate, &format!("drift_sweep/{mode}/conserved")),
+        );
+        check_flag(
+            &mut out,
+            &format!("drift_sweep.{mode}.events_reconciled"),
+            boolean(candidate, &format!("drift_sweep/{mode}/events_reconciled")),
+        );
+    }
+    match (
+        num(candidate, "drift_sweep/adaptive/phase2_value"),
+        num(candidate, "drift_sweep/frozen/phase2_value"),
+    ) {
+        (Ok(adaptive), Ok(frozen)) => {
+            let line = format!(
+                "drift adaptive banks more post-shift value: {adaptive:.1} vs frozen {frozen:.1}"
+            );
+            if adaptive > frozen {
+                out.passed.push(line);
+            } else {
+                out.failed.push(line);
+            }
+        }
+        (a, f) => out
+            .failed
+            .push(format!("drift phase2_value incomplete: {a:?} vs {f:?}")),
+    }
+    match num(candidate, "drift_sweep/adaptive/swaps") {
+        Ok(s) if s > 0.0 => out
+            .passed
+            .push(format!("drift adaptive swapped generations: {s:.0}")),
+        Ok(_) => out
+            .failed
+            .push("drift adaptive never swapped a generation".into()),
+        Err(e) => out.failed.push(e),
+    }
     // The routing win is re-verified from the candidate record itself:
     // affinity must out-coalesce hash at every measured load factor.
     match get(candidate, "routing_sweep") {
@@ -644,6 +694,23 @@ pub fn self_test(serve_baseline: &Value, hotpath_baseline: &Value) -> Result<Vec
         &|v| inject_at(v, "net_sweep/points/1/conserved", Value::Bool(false)),
     )?;
     inject(
+        "drift adaptation win lost",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| {
+            let frozen = get(v, "drift_sweep/frozen/phase2_value")
+                .and_then(value_f64)
+                .unwrap_or(0.0);
+            inject_at(v, "drift_sweep/adaptive/phase2_value", Value::F64(frozen));
+        },
+    )?;
+    inject(
+        "drift frozen-path identity broken",
+        GateKind::Serve,
+        serve_baseline,
+        &|v| inject_at(v, "drift_sweep/frozen_matches_serial", Value::Bool(false)),
+    )?;
+    inject(
         "observability overhead blowout (10%)",
         GateKind::Serve,
         serve_baseline,
@@ -702,6 +769,16 @@ mod tests {
                       "bill_on_ms": 8800, "bill_off_ms": 51400, "bill_saving_fraction": 0.83,
                       "conserved": true }
                 ],
+                "drift_sweep": {
+                    "phase1_profile": "Coco2017",
+                    "phase2_profile": "Places365",
+                    "frozen_matches_serial": true,
+                    "phase2_value_gain": 1.18,
+                    "frozen": { "phase2_value": 512.0, "swaps": 0,
+                      "conserved": true, "events_reconciled": true },
+                    "adaptive": { "phase2_value": 604.0, "swaps": 12,
+                      "conserved": true, "events_reconciled": true }
+                },
                 "net_sweep": {
                     "window": 32,
                     "stats_match_serial": true,
@@ -799,7 +876,7 @@ mod tests {
     #[test]
     fn self_test_exercises_every_injection() {
         let injected = self_test(&serve_record(), &hotpath_record()).expect("self test passes");
-        assert_eq!(injected.len(), 16, "{injected:?}");
+        assert_eq!(injected.len(), 18, "{injected:?}");
     }
 
     #[test]
@@ -877,6 +954,46 @@ mod tests {
         let mut bad = base.clone();
         if let Value::Object(fields) = &mut bad {
             fields.retain(|(k, _)| k != "net_sweep");
+        }
+        assert!(!gate_serve(&base, &bad).ok());
+    }
+
+    #[test]
+    fn drift_adaptation_is_gated() {
+        let base = serve_record();
+        // Adaptive merely tying frozen on post-shift value fails (the win
+        // must be strict).
+        let mut bad = base.clone();
+        inject_at(
+            &mut bad,
+            "drift_sweep/adaptive/phase2_value",
+            Value::F64(512.0),
+        );
+        assert!(!gate_serve(&base, &bad).ok());
+        // A trainer that never published a generation fails.
+        let mut bad = base.clone();
+        inject_at(&mut bad, "drift_sweep/adaptive/swaps", Value::U64(0));
+        assert!(!gate_serve(&base, &bad).ok());
+        // The off-switch losing byte-identity fails.
+        let mut bad = base.clone();
+        inject_at(
+            &mut bad,
+            "drift_sweep/frozen_matches_serial",
+            Value::Bool(false),
+        );
+        assert!(!gate_serve(&base, &bad).ok());
+        // A dropped event stream in either mode fails.
+        let mut bad = base.clone();
+        inject_at(
+            &mut bad,
+            "drift_sweep/adaptive/events_reconciled",
+            Value::Bool(false),
+        );
+        assert!(!gate_serve(&base, &bad).ok());
+        // A record missing the sweep entirely fails loudly.
+        let mut bad = base.clone();
+        if let Value::Object(fields) = &mut bad {
+            fields.retain(|(k, _)| k != "drift_sweep");
         }
         assert!(!gate_serve(&base, &bad).ok());
     }

@@ -244,21 +244,33 @@ impl AdaptiveModelScheduler {
 
     /// Label a pre-executed ground-truth item under `budget`.
     pub fn label_item(&self, item: &ItemTruth, budget: Budget) -> LabelingOutcome {
+        self.label_item_with(self.predictor.as_ref(), item, budget)
+    }
+
+    /// Label an item under `budget`, scoring models with a caller-supplied
+    /// predictor instead of the framework's own.
+    ///
+    /// This is the hook online adaptation serves through: each worker pins
+    /// a [`SnapshotPredictor`](crate::predictor::SnapshotPredictor) to one
+    /// weight generation per batch and labels through it, so a concurrent
+    /// hot-swap never tears an in-flight prediction. With
+    /// `self.predictor()` as the argument this is exactly
+    /// [`label_item`](AdaptiveModelScheduler::label_item).
+    pub fn label_item_with(
+        &self,
+        predictor: &dyn ValuePredictor,
+        item: &ItemTruth,
+        budget: Budget,
+    ) -> LabelingOutcome {
         match budget {
-            Budget::Unconstrained => self.label_unconstrained(item),
+            Budget::Unconstrained => self.label_unconstrained(predictor, item),
             Budget::Deadline { ms } => {
-                let r = schedule_deadline(
-                    self.predictor.as_ref(),
-                    &self.zoo,
-                    item,
-                    ms,
-                    self.value_threshold,
-                );
+                let r = schedule_deadline(predictor, &self.zoo, item, ms, self.value_threshold);
                 self.outcome(item, r.executed, r.value, r.recall, r.elapsed_ms)
             }
             Budget::DeadlineMemory { ms, mem_mb } => {
                 let r = schedule_deadline_memory(
-                    self.predictor.as_ref(),
+                    predictor,
                     &self.zoo,
                     item,
                     ms,
@@ -273,7 +285,11 @@ impl AdaptiveModelScheduler {
 
     /// Greedy by predicted value until no unexecuted model has positive
     /// predicted value (the "no resource constraint" mode of §V).
-    fn label_unconstrained(&self, item: &ItemTruth) -> LabelingOutcome {
+    fn label_unconstrained(
+        &self,
+        predictor: &dyn ValuePredictor,
+        item: &ItemTruth,
+    ) -> LabelingOutcome {
         let n = self.zoo.len();
         let mut state = LabelSet::new(item.universe());
         let mut executed = Vec::new();
@@ -282,7 +298,7 @@ impl AdaptiveModelScheduler {
         let mut elapsed = 0u64;
         let mut q = vec![0.0f32; n];
         while executed.len() < n {
-            self.predictor.predict_into(&state, item, &mut q);
+            predictor.predict_into(&state, item, &mut q);
             let mut best: Option<(usize, f32)> = None;
             for (m, &v) in q.iter().enumerate() {
                 if mask >> m & 1 == 0 && best.map(|(_, bv)| v > bv).unwrap_or(true) {
@@ -558,6 +574,33 @@ mod tests {
         let mut tweaked = base.clone();
         tweaked.scene_id ^= 1;
         assert_ne!(content_hash(base), content_hash(&tweaked));
+    }
+
+    #[test]
+    fn label_item_with_own_predictor_equals_label_item() {
+        let s = scheduler();
+        let items: Vec<_> = Dataset::generate(DatasetProfile::Coco2017, 5, 7)
+            .scenes
+            .iter()
+            .map(|sc| ams_data::ItemTruth::build(s.zoo(), s.catalog(), sc, 7, 0.5))
+            .collect();
+        for budget in [
+            Budget::Unconstrained,
+            Budget::Deadline { ms: 700 },
+            Budget::DeadlineMemory {
+                ms: 700,
+                mem_mb: 12288,
+            },
+        ] {
+            for item in &items {
+                let a = s.label_item(item, budget);
+                let b = s.label_item_with(s.predictor(), item, budget);
+                assert_eq!(a.labels, b.labels);
+                assert_eq!(a.executed, b.executed);
+                assert_eq!(a.value, b.value);
+                assert_eq!(a.elapsed_ms, b.elapsed_ms);
+            }
+        }
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub mod streaming;
 
 pub use framework::{AdaptiveModelScheduler, Budget, LabelingOutcome};
 pub use predictor::{
-    AgentPredictor, OraclePredictor, StaticValuePredictor, UniformPredictor, ValuePredictor,
+    AgentPredictor, OraclePredictor, SnapshotPredictor, StaticValuePredictor, UniformPredictor,
+    ValuePredictor,
 };
 pub use scheduler::deadline::{schedule_deadline, DeadlineResult};
 pub use scheduler::deadline_memory::{schedule_deadline_memory, DeadlineMemoryResult};

@@ -4,8 +4,8 @@
 use ams_data::ItemTruth;
 use ams_models::LabelSet;
 use ams_nn::{FwdCache, Input};
-use ams_rl::TrainedAgent;
-use std::sync::Mutex;
+use ams_rl::{AgentSnapshot, TrainedAgent};
+use std::sync::{Arc, Mutex};
 
 /// Predicts the value of executing each model given the current labeling
 /// state (Fig. 3's "model value prediction" component).
@@ -100,6 +100,78 @@ impl ValuePredictor for AgentPredictor {
 
     fn name(&self) -> &'static str {
         "drl-agent"
+    }
+}
+
+/// A predictor over a pinned, generation-stamped weight snapshot — the
+/// serve-time face of online adaptation.
+///
+/// Unlike [`AgentPredictor`], which owns its agent for the process
+/// lifetime, this predictor reads from an [`AgentSnapshot`] behind an
+/// `Arc` and can be repointed at a newer generation with
+/// [`SnapshotPredictor::set_snapshot`]. The swap takes `&mut self`: a
+/// predict in progress holds `&self`, so the borrow checker — not a lock —
+/// guarantees a forward pass can never observe half-old, half-new weights.
+/// Workers pin one snapshot per batch (one generation check, then every
+/// predict in the batch sees the same coherent weights) and keep their
+/// scratch buffers across swaps.
+pub struct SnapshotPredictor {
+    snapshot: Arc<AgentSnapshot>,
+    scratch_pool: Mutex<Vec<AgentScratch>>,
+}
+
+impl SnapshotPredictor {
+    /// A predictor pinned to `snapshot`.
+    pub fn new(snapshot: Arc<AgentSnapshot>) -> Self {
+        Self {
+            snapshot,
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Generation of the pinned snapshot.
+    pub fn generation(&self) -> u64 {
+        self.snapshot.generation
+    }
+
+    /// The pinned snapshot.
+    pub fn snapshot(&self) -> &Arc<AgentSnapshot> {
+        &self.snapshot
+    }
+
+    /// Repoint at a newer snapshot, keeping the scratch buffers. Takes
+    /// `&mut self` so no concurrent predict can straddle the swap.
+    pub fn set_snapshot(&mut self, snapshot: Arc<AgentSnapshot>) {
+        self.snapshot = snapshot;
+    }
+}
+
+impl ValuePredictor for SnapshotPredictor {
+    fn num_models(&self) -> usize {
+        self.snapshot.agent.num_models
+    }
+
+    fn predict_into(&self, state: &LabelSet, _item: &ItemTruth, out: &mut [f32]) {
+        let mut scratch = self
+            .scratch_pool
+            .lock()
+            .expect("scratch pool")
+            .pop()
+            .unwrap_or_default();
+        state.write_sparse(&mut scratch.sparse);
+        let agent = &self.snapshot.agent;
+        let q = agent
+            .net
+            .forward(Input::Sparse(&scratch.sparse), &mut scratch.cache);
+        out.copy_from_slice(&q[..agent.num_models]);
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool")
+            .push(scratch);
+    }
+
+    fn name(&self) -> &'static str {
+        "drl-agent-snapshot"
     }
 }
 
@@ -245,6 +317,42 @@ mod tests {
             item.apply(&mut full, ModelId(m), 0.5);
         }
         assert_eq!(p.predict(&empty, item), p.predict(&full, item));
+    }
+
+    #[test]
+    fn snapshot_predictor_matches_agent_predictor_and_swaps() {
+        use ams_rl::{train, Algo, TrainConfig};
+        let t = fixture();
+        let cfg = TrainConfig {
+            episodes: 8,
+            ..TrainConfig::fast_test(Algo::Dqn)
+        };
+        let (agent, _) = train(t.items(), 30, &cfg);
+        let direct = AgentPredictor::new(agent.clone());
+        let mut snap = SnapshotPredictor::new(Arc::new(AgentSnapshot::initial(agent.clone())));
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(snap.num_models(), 30);
+        let item = t.item(0);
+        let mut state = LabelSet::new(item.universe());
+        assert_eq!(direct.predict(&state, item), snap.predict(&state, item));
+        item.apply(&mut state, ModelId(4), 0.5);
+        assert_eq!(direct.predict(&state, item), snap.predict(&state, item));
+        // Repointing at a newer generation changes what predicts.
+        let cfg2 = TrainConfig {
+            episodes: 8,
+            seed: 5,
+            ..TrainConfig::fast_test(Algo::Dqn)
+        };
+        let (agent2, _) = train(t.items(), 30, &cfg2);
+        snap.set_snapshot(Arc::new(AgentSnapshot {
+            agent: agent2.clone(),
+            generation: 3,
+        }));
+        assert_eq!(snap.generation(), 3);
+        assert_eq!(
+            AgentPredictor::new(agent2).predict(&state, item),
+            snap.predict(&state, item)
+        );
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! Fixture: atomic ordering justification in the weight-swap cell.
+
+fn publish(cell: &Cell, next: Snapshot) {
+    *cell.slot.lock().unwrap_or_else(|p| p.into_inner()) = next;
+    cell.generation.store(1, Ordering::Release);
+}
+
+fn read_generation(cell: &Cell) -> u64 {
+    // Acquire pairs with the Release store in publish: a reader that
+    // observes generation G also observes the slot carrying G.
+    cell.generation.load(Ordering::Acquire)
+}
+
+fn swap_probe(cell: &Cell) {
+    let g = cell.generation.fetch_add(1, Ordering::AcqRel); // AcqRel ordering: the RMW both publishes the new generation and observes prior swaps.
+    let s = cell.generation.swap(0, Ordering::SeqCst);
+    let _ = (g, s);
+}

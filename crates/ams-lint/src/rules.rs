@@ -267,9 +267,9 @@ fn safety_comment(f: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
-/// Atomic fields whose orderings carry the ring / completion-slot
-/// protocols, and the methods that read or write them.
-const ATOMIC_FIELDS: &[&str] = &["seq", "head", "tail", "state"];
+/// Atomic fields whose orderings carry the ring / completion-slot /
+/// weight-swap protocols, and the methods that read or write them.
+const ATOMIC_FIELDS: &[&str] = &["seq", "head", "tail", "state", "generation"];
 const ATOMIC_OPS: &[&str] = &[
     "load",
     "store",
@@ -283,13 +283,14 @@ const ORDERING_WORDS: &[&str] = &[
     "Acquire", "Release", "AcqRel", "Relaxed", "SeqCst", "ordering", "Ordering",
 ];
 
-/// rule `atomic-order` — in `obs.rs` (event rings) and `completion.rs`
-/// (ticket slots), every atomic op on `seq`/`head`/`tail`/`state` needs
-/// an adjacent comment justifying its memory ordering (it must name the
-/// ordering or say "ordering"). These two protocols are the only
+/// rule `atomic-order` — in `obs.rs` (event rings), `completion.rs`
+/// (ticket slots), and `adapt.rs` (the generation-counted weight-swap
+/// cell), every atomic op on `seq`/`head`/`tail`/`state`/`generation`
+/// needs an adjacent comment justifying its memory ordering (it must name
+/// the ordering or say "ordering"). These protocols are the only
 /// lock-free code in the workspace; each fence choice is load-bearing.
 fn atomic_order(f: &SourceFile, out: &mut Vec<Finding>) {
-    if !matches!(f.basename(), "obs.rs" | "completion.rs") {
+    if !matches!(f.basename(), "obs.rs" | "completion.rs" | "adapt.rs") {
         return;
     }
     for i in 0..f.tokens.len() {

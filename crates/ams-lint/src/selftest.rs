@@ -65,6 +65,14 @@ const FIXTURES: &[Fixture] = &[
         ],
     },
     Fixture {
+        path: "crates/ams-serve/src/adapt.rs",
+        src: include_str!("../fixtures/atomic_adapt.rs"),
+        expect: &[
+            ("atomic-order", 5),  // generation.store, no justification
+            ("atomic-order", 16), // generation.swap, no justification
+        ],
+    },
+    Fixture {
         path: "crates/ams-serve/src/cache.rs",
         src: include_str!("../fixtures/lock_nesting.rs"),
         expect: &[

@@ -52,6 +52,13 @@
 //!   ([`ServeReport::events_reconcile`]).
 //! * [`telemetry`] — per-request latency histograms split into queue wait
 //!   vs execute, published as p50/p95/p99 summaries.
+//! * [`adapt`] — online adaptation: a background trainer taps served
+//!   outcomes over a bounded experience channel, learns on them
+//!   ([`ams_rl::OnlineTrainer`]), and hot-swaps updated agent weights
+//!   into the predict path through a generation-counted snapshot cell —
+//!   workers pin one coherent snapshot per batch with a single atomic
+//!   load. With [`ServeConfig::adapt`] unset, the serving path is
+//!   byte-identical to a server built without the module.
 //!
 //! Served statistics are *exact*: per-item labeling is deterministic and
 //! every [`StreamStats`](ams_core::streaming::StreamStats) field is an
@@ -64,6 +71,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod adapt;
 pub mod cache;
 pub mod completion;
 pub mod net;
@@ -73,6 +81,7 @@ pub mod router;
 pub mod server;
 pub mod telemetry;
 
+pub use adapt::{AdaptConfig, AdaptReport};
 pub use cache::{CacheConfig, CacheReport};
 pub use completion::{Completion, LabelResult, ShedReason, Ticket};
 pub use net::{ClientFrame, NetClient, NetEvent, NetServer, ServerFrame, WireError, WireRequest};

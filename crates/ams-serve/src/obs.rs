@@ -93,7 +93,7 @@ impl Default for ObsConfig {
 // ---------------------------------------------------------------------------
 
 /// Number of [`EventKind`] variants (array-indexed counters).
-pub const KIND_COUNT: usize = 15;
+pub const KIND_COUNT: usize = 16;
 
 /// A lifecycle event type. The nine *terminal* kinds map one-to-one onto
 /// the `ServeReport` conservation buckets; the rest are causal markers
@@ -135,6 +135,10 @@ pub enum EventKind {
     Cancelled = 13,
     /// A cancelled leader was executed anyway for its cache followers.
     GhostExecuted = 14,
+    /// The online adaptation trainer published a new weight generation
+    /// into the predict path (`detail` = generation). Not tied to any
+    /// request (`req` is a sentinel) and never terminal.
+    WeightsSwapped = 15,
 }
 
 impl EventKind {
@@ -155,6 +159,7 @@ impl EventKind {
         EventKind::Rejected,
         EventKind::Cancelled,
         EventKind::GhostExecuted,
+        EventKind::WeightsSwapped,
     ];
 
     /// Stable snake_case name (metric label / JSON value).
@@ -175,6 +180,7 @@ impl EventKind {
             EventKind::Rejected => "rejected",
             EventKind::Cancelled => "cancelled",
             EventKind::GhostExecuted => "ghost_executed",
+            EventKind::WeightsSwapped => "weights_swapped",
         }
     }
 
@@ -659,7 +665,11 @@ impl Registry {
         }
         let idx = ev.at_us / slice_us.max(1);
         self.slice_mut(idx, max_slices).counts[ev.kind.index()] += 1;
-        self.recorder.observe(ev);
+        // Swap events carry no request id — feeding their sentinel `req`
+        // to the recorder would open a trace that can never settle.
+        if ev.kind != EventKind::WeightsSwapped {
+            self.recorder.observe(ev);
+        }
     }
 }
 
@@ -833,6 +843,7 @@ impl ServerObs {
         &self,
         shards: &[ShardSample],
         cache: Option<CacheGauges>,
+        adapt_generation: Option<u64>,
     ) -> MetricsSnapshot {
         let limits: Vec<u64> = shards.iter().map(|s| s.batch_limit).collect();
         self.drain(&limits);
@@ -933,14 +944,20 @@ impl ServerObs {
             shards: shard_gauges,
             classes,
             cache,
+            adapt_generation,
             latency: reg.latency.clone(),
             slices,
         }
     }
 
     /// Final fold at drain: snapshot plus the recorder's retained traces.
-    pub(crate) fn report(&self, shards: &[ShardSample], cache: Option<CacheGauges>) -> ObsReport {
-        let snapshot = self.snapshot(shards, cache);
+    pub(crate) fn report(
+        &self,
+        shards: &[ShardSample],
+        cache: Option<CacheGauges>,
+        adapt_generation: Option<u64>,
+    ) -> ObsReport {
+        let snapshot = self.snapshot(shards, cache, adapt_generation);
         let reg = self.registry.lock().expect("obs registry poisoned");
         ObsReport {
             snapshot,
@@ -1072,6 +1089,9 @@ pub struct MetricsSnapshot {
     pub classes: Vec<ClassRates>,
     /// Cache occupancy, when the label cache is enabled.
     pub cache: Option<CacheGauges>,
+    /// Current weight generation in the predict path, when online
+    /// adaptation is enabled (0 = still serving the boot weights).
+    pub adapt_generation: Option<u64>,
     /// Total-latency histogram over labeled requests (full bucket
     /// resolution — arbitrary quantiles can be computed client-side).
     pub latency: LatencyHistogram,
@@ -1226,6 +1246,14 @@ impl MetricsSnapshot {
                 "ams_class_shed_rate",
                 "Fraction of settled requests shed.",
                 &class_lines(&|c| c.shed_rate),
+            );
+        }
+        if let Some(g) = self.adapt_generation {
+            gauge(
+                &mut out,
+                "ams_adapt_generation",
+                "Weight generation currently serving predictions.",
+                &[(String::new(), g as f64)],
             );
         }
         if let Some(c) = &self.cache {
@@ -1451,6 +1479,7 @@ mod tests {
                 batch_limit: 4,
             }],
             None,
+            None,
         );
         assert_eq!(snap.total(EventKind::Admitted), 50);
         assert!(snap.dropped_total > 0, "tiny ring must have overflowed");
@@ -1546,13 +1575,14 @@ mod tests {
                 batch_limit: 4,
             },
         ];
-        let snap = obs.snapshot(&samples, None);
+        let snap = obs.snapshot(&samples, None, Some(7));
         let json = serde_json::to_string(&snap).expect("snapshot serializes");
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("snapshot round-trips");
         assert_eq!(back, snap);
         let text = snap.render_prometheus();
         assert!(text.contains("ams_events_total{kind=\"admitted\"} 1"));
         assert!(text.contains("ams_shard_estimated_wait_us{shard=\"0\"} 120"));
+        assert!(text.contains("ams_adapt_generation 7"));
         assert!(text.contains("ams_latency_us_count 1"));
     }
 }

@@ -36,6 +36,7 @@
 //! queued-but-unserved requests resolve to `Shed(Drain)` and every worker
 //! is joined — no detached threads survive the drop.
 
+use crate::adapt::{AdaptConfig, AdaptReport, AdaptRuntime, AdaptShared, WorkerAdapt};
 use crate::cache::{
     CacheConfig, CacheReport, CachedResult, ClassCache, Follower, LabelCache, Lookup, PendingEntry,
 };
@@ -278,6 +279,12 @@ pub struct ServeConfig {
     /// disables the whole layer — no rings, no aggregator thread, and a
     /// branch-on-`None` as the only hot-path residue.
     pub obs: Option<ObsConfig>,
+    /// Online adaptation (see [`crate::adapt`]): a background trainer
+    /// taps served outcomes and hot-swaps updated agent weights into the
+    /// predict path, generation by generation. `None` serves the
+    /// scheduler's own predictor frozen — byte-identical behavior to a
+    /// server built without adaptation.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl Default for ServeConfig {
@@ -301,6 +308,7 @@ impl Default for ServeConfig {
             alert_recall: 0.5,
             cache: None,
             obs: None,
+            adapt: None,
         }
     }
 }
@@ -566,6 +574,9 @@ pub struct ServeReport {
     /// closing metrics snapshot plus the flight recorder's retained
     /// traces.
     pub obs: Option<ObsReport>,
+    /// Online-adaptation record (when [`ServeConfig::adapt`] ran): final
+    /// generation, swap/step/transition counts, and the loss trajectory.
+    pub adapt: Option<AdaptReport>,
 }
 
 impl ServeReport {
@@ -656,6 +667,7 @@ impl ServeReport {
             && obs.total(EventKind::Rejected) == self.rejected
             && obs.total(EventKind::Cancelled) == self.cancelled
             && obs.total(EventKind::Spilled) == self.affinity_spills
+            && obs.total(EventKind::WeightsSwapped) == self.adapt.as_ref().map_or(0, |a| a.swaps)
     }
 
     /// Share of routed requests that landed on their affinity home shard
@@ -847,6 +859,10 @@ struct Shared {
     /// is configured) — shared with the queues, the cache, and every
     /// ticket slot so each layer can stamp its own lifecycle events.
     obs: Option<Arc<ServerObs>>,
+    /// The adaptation state shared with the trainer thread (present when
+    /// [`ServeConfig::adapt`] is configured) — read here only for the
+    /// live `adapt_generation` gauge; workers carry their own taps.
+    adapt: Option<Arc<AdaptShared>>,
 }
 
 /// Per-class worker-side accumulators (completions, deadline sheds,
@@ -935,6 +951,10 @@ struct ServerInner {
     /// The observability aggregator thread (present when
     /// [`ServeConfig::obs`] is configured); joined at shutdown/abort.
     aggregator: Option<JoinHandle<()>>,
+    /// The adaptation runtime (present when [`ServeConfig::adapt`] is
+    /// configured): holds the trainer thread, joined after the workers so
+    /// channel disconnect is its natural stop signal.
+    adapt: Option<AdaptRuntime>,
 }
 
 /// Every shard's live AIMD batch limit — the trajectory sample the
@@ -1070,6 +1090,13 @@ impl AmsServer {
         if cfg.slo.is_none() {
             router = router.without_hash_value_scan();
         }
+        // Boot the adaptation runtime (cell at generation 0 + trainer
+        // thread) before the workers so every worker's tap can pin the
+        // boot snapshot on its first batch.
+        let adapt = cfg
+            .adapt
+            .as_ref()
+            .map(|a| AdaptRuntime::start(a, obs.clone()));
         let cfg_cache = cfg.cache;
         let shared = Arc::new(Shared {
             router,
@@ -1087,12 +1114,17 @@ impl AmsServer {
             class_admission,
             cache: cfg_cache.map(|c| LabelCache::new_with_obs(c, obs.clone())),
             obs,
+            adapt: adapt.as_ref().map(|r| Arc::clone(&r.shared)),
         });
         let workers = (0..shared.cfg.shards * shared.cfg.workers_per_shard)
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 let shard = w / shared.cfg.workers_per_shard;
-                std::thread::spawn(move || worker_loop(&shared, shard, w))
+                // Each worker owns its tap (sender clone + snapshot pin);
+                // when the workers join, the tap clones drop and the
+                // trainer's channel disconnects.
+                let tap = adapt.as_ref().map(|r| WorkerAdapt::new(r.tap()));
+                std::thread::spawn(move || worker_loop(&shared, shard, w, tap))
             })
             .collect();
         // The aggregator: a background thread that periodically drains the
@@ -1126,6 +1158,7 @@ impl AmsServer {
                 shared,
                 workers,
                 aggregator,
+                adapt,
             }),
         }
     }
@@ -1216,10 +1249,13 @@ impl AmsServer {
     /// current). `None` when [`ServeConfig::obs`] is off.
     pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         let shared = self.shared();
-        shared
-            .obs
-            .as_ref()
-            .map(|o| o.snapshot(&obs_shard_samples(shared), obs_cache_gauges(shared)))
+        shared.obs.as_ref().map(|o| {
+            o.snapshot(
+                &obs_shard_samples(shared),
+                obs_cache_gauges(shared),
+                shared.adapt.as_ref().map(|a| a.generation()),
+            )
+        })
     }
 
     /// Prometheus-style text exposition of [`AmsServer::metrics_snapshot`]
@@ -1302,6 +1338,9 @@ impl ServerInner {
             // already reported its panic.
             let _ = handle.join();
         }
+        if let Some(adapt) = self.adapt {
+            adapt.abort();
+        }
         if let Some(obs) = &self.shared.obs {
             obs.request_stop();
         }
@@ -1340,6 +1379,12 @@ impl ServerInner {
                 into.total.merge(&from.total);
             }
         }
+        // Finish the trainer after the workers joined (their tap senders
+        // are gone, so dropping the runtime's own sender disconnects the
+        // channel and the trainer drains out) but *before* the
+        // observability stop below: the trainer's tail swap events must
+        // still land in the rings for the final drain to reconcile.
+        let adapt_report = self.adapt.map(AdaptRuntime::finish);
         // Stop the observability aggregator only after the workers joined:
         // every worker-side event is in its ring by now, and the final
         // drain below (inside `report`) folds the stragglers in.
@@ -1401,10 +1446,13 @@ impl ServerInner {
         // ledger mutation became visible — so the drain can only see a
         // superset of the settlements the counters above counted, never
         // miss one (`events_reconcile` depends on this).
-        let obs_report = shared
-            .obs
-            .as_ref()
-            .map(|o| o.report(&obs_shard_samples(shared), obs_cache_gauges(shared)));
+        let obs_report = shared.obs.as_ref().map(|o| {
+            o.report(
+                &obs_shard_samples(shared),
+                obs_cache_gauges(shared),
+                adapt_report.as_ref().map(|a| a.generation),
+            )
+        });
         let slo = shared.cfg.slo.as_ref().map(|slo_cfg| {
             // Fold the per-shard submit-path ledgers into one.
             let mut admission = vec![ClassAdmission::default(); slo_cfg.classes.len()];
@@ -1500,6 +1548,7 @@ impl ServerInner {
             slo,
             cache: shared.cache.as_ref().map(|c| c.report()),
             obs: obs_report,
+            adapt: adapt_report,
         }
     }
 }
@@ -1982,7 +2031,15 @@ fn submit_inner(
 /// One worker: pop → shed stale → label → batch-admit → record, until the
 /// shard queue closes and drains. `worker` is the server-wide worker
 /// index — the key of this worker's private observability event ring.
-fn worker_loop(shared: &Shared, shard: usize, worker: usize) -> WorkerLocal {
+/// With adaptation on, `adapt` carries the worker's experience tap and
+/// its pinned snapshot predictor; `None` labels through the scheduler's
+/// own frozen predictor, byte-identical to a server without adaptation.
+fn worker_loop(
+    shared: &Shared,
+    shard: usize,
+    worker: usize,
+    mut adapt: Option<WorkerAdapt>,
+) -> WorkerLocal {
     let zoo = shared.scheduler.zoo();
     let n = zoo.len();
     // One bounds check each here instead of one per batch below: the
@@ -2106,11 +2163,25 @@ fn worker_loop(shared: &Shared, shard: usize, worker: usize) -> WorkerLocal {
         }
 
         // Label each survivor; collect the batch's per-model run counts.
+        // With adaptation on, repin the snapshot predictor first — one
+        // atomic generation check per batch, so every predict in this
+        // batch runs against one coherent weight set even while the
+        // trainer publishes mid-batch.
+        if let Some(a) = adapt.as_mut() {
+            a.refresh();
+        }
         runs_per_model.fill(0);
         let outcomes: Vec<_> = survivors
             .iter()
             .map(|(req, _, _)| {
-                let outcome = shared.scheduler.label_item(&req.item, shared.budget);
+                let outcome = match &adapt {
+                    Some(a) => {
+                        shared
+                            .scheduler
+                            .label_item_with(&a.predictor, &req.item, shared.budget)
+                    }
+                    None => shared.scheduler.label_item(&req.item, shared.budget),
+                };
                 for &m in &outcome.executed {
                     runs_per_model[m.index()] += 1; // ams-lint: allow(no-panic) m.index() < zoo.len() == runs_per_model.len()
                 }
@@ -2164,6 +2235,11 @@ fn worker_loop(shared: &Shared, shard: usize, worker: usize) -> WorkerLocal {
             obs.batch_finished(shard, survivors.len(), exec_us);
         }
         for ((req, wait, ghost), outcome) in survivors.iter().zip(outcomes) {
+            // Feed the trainer (non-blocking; a full channel drops and
+            // counts). Ghosts included — their executions were real.
+            if let Some(a) = &adapt {
+                a.offer(&req.item, &outcome.executed);
+            }
             // Publish into the cache first: followers fan out the moment
             // the leader resolves, and the entry flips to `Done` so the
             // next identical submission is an exact hit.

@@ -20,7 +20,9 @@
 //!   reservations, model-affinity routing with deadline-aware spill,
 //!   batched admission with an adaptive per-shard batch-limit controller,
 //!   deadline shedding, a content-addressed label cache with request
-//!   coalescing, and latency telemetry.
+//!   coalescing, latency telemetry, and online adaptation (a background
+//!   trainer learning from served outcomes and hot-swapping
+//!   generation-counted weight snapshots into the predict path).
 //!
 //! ## Quickstart
 //!
@@ -69,7 +71,8 @@ pub mod prelude {
     pub use ams_core::metrics::{Cdf, Figure, Series};
     pub use ams_core::policies;
     pub use ams_core::predictor::{
-        AgentPredictor, OraclePredictor, StaticValuePredictor, UniformPredictor, ValuePredictor,
+        AgentPredictor, OraclePredictor, SnapshotPredictor, StaticValuePredictor, UniformPredictor,
+        ValuePredictor,
     };
     pub use ams_core::rules::{rule_rollout, Rule, RuleBook, Trigger};
     pub use ams_core::scheduler::deadline::{schedule_deadline, DeadlineResult};
@@ -87,16 +90,16 @@ pub mod prelude {
         QualityProfile, SkillTier, Task,
     };
     pub use ams_rl::{
-        evaluate_q_greedy, learn_step_batched, learn_step_scalar, q_greedy_rollout, train, Algo,
-        BatchScratch, EvalSummary, LabelingEnv, RewardConfig, Rollout, ScalarScratch, Smoothing,
-        TrainConfig, TrainStats, TrainedAgent,
+        evaluate_q_greedy, learn_step_batched, learn_step_scalar, q_greedy_rollout, train,
+        AgentSnapshot, Algo, BatchScratch, EvalSummary, LabelingEnv, OnlineConfig, OnlineTrainer,
+        RewardConfig, Rollout, ScalarScratch, Smoothing, TrainConfig, TrainStats, TrainedAgent,
     };
     pub use ams_serve::{
-        AdaptiveBatchConfig, AdaptiveReport, AffinityConfig, AmsServer, BackpressurePolicy,
-        CacheConfig, CacheReport, ClassReport, Client, Completion, EventKind, LabelResult,
-        LatencySummary, MetricsSnapshot, NetClient, NetEvent, NetServer, ObsConfig, ObsReport,
-        RoutingMode, ServeConfig, ServeReport, ShardAdaptive, ShedReason, SloClass, SloConfig,
-        SloReport, SubmitOptions, SubmitOutcome, Ticket, TraceReport, WireError,
+        AdaptConfig, AdaptReport, AdaptiveBatchConfig, AdaptiveReport, AffinityConfig, AmsServer,
+        BackpressurePolicy, CacheConfig, CacheReport, ClassReport, Client, Completion, EventKind,
+        LabelResult, LatencySummary, MetricsSnapshot, NetClient, NetEvent, NetServer, ObsConfig,
+        ObsReport, RoutingMode, ServeConfig, ServeReport, ShardAdaptive, ShedReason, SloClass,
+        SloConfig, SloReport, SubmitOptions, SubmitOutcome, Ticket, TraceReport, WireError,
     };
     pub use ams_sim::{
         batched_makespan, BatchLatencyModel, ExecTrace, Job, MemoryPool, ParallelExecutor,

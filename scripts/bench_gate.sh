@@ -9,7 +9,11 @@
 # guarantees (the net_sweep's forked loopback clients must get labels
 # byte-identical to the in-process reference digest, serial-identical
 # stats through the socket, exactly one terminal completion per wire
-# request, and per-point conservation + event reconciliation), or the
+# request, and per-point conservation + event reconciliation), the
+# online-adaptation drift guarantees (the drift_sweep's frozen run must
+# stay byte-identical to the serial engine, the adaptive run must have
+# hot-swapped generations and banked strictly more post-shift value,
+# with conservation + event reconciliation in both modes), or the
 # adaptive controller's target compliance regresses beyond tolerance
 # (tolerances live in crates/ams-bench/src/gate.rs, with rationale).
 #
